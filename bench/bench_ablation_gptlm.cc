@@ -1,0 +1,107 @@
+// Section V exploration: the GPT-style decoder-only alternative. A causal
+// LM is fine-tuned on "query <sep1> title <sep2> query2" sequences (query2
+// is a mined synonymous query); rewriting samples a title continuation and
+// then a query continuation. The paper reports this approach "has not been
+// found to perform better than our jointly trained machine translation
+// models yet" — this bench compares oracle-judge scores of both.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/string_util.h"
+#include "eval/judge.h"
+#include "lm/gpt_lm.h"
+
+int main() {
+  using namespace cyqr;
+  bench::BenchWorld world = bench::BuildWorld();
+
+  // Extend the vocabulary with the two separator tokens by injecting them
+  // into the corpus before building.
+  std::vector<std::vector<std::string>> corpus;
+  for (const TokenPair& p : world.token_pairs) {
+    corpus.push_back(p.query);
+    corpus.push_back(p.title);
+  }
+  corpus.push_back({"sep1", "sep2"});
+  const Vocabulary vocab = Vocabulary::Build(corpus);
+  const int32_t sep1 = vocab.Id("sep1");
+  const int32_t sep2 = vocab.Id("sep2");
+
+  // Training sequences: query sep1 title sep2 rewrite, where the rewrite
+  // is a mined synonymous query of the original.
+  const auto mined = MineSynonymousQueryPairs(world.click_log, 3);
+  std::map<std::string, std::vector<std::string>> synonym_of;
+  for (const QueryPair& p : mined) {
+    synonym_of.emplace(JoinStrings(p.a), p.b);
+    synonym_of.emplace(JoinStrings(p.b), p.a);
+  }
+  std::vector<std::vector<int32_t>> sequences;
+  for (const TokenPair& p : world.token_pairs) {
+    auto it = synonym_of.find(JoinStrings(p.query));
+    if (it == synonym_of.end()) continue;
+    std::vector<int32_t> seq = vocab.Encode(p.query);
+    seq.push_back(sep1);
+    for (int32_t id : vocab.Encode(p.title)) seq.push_back(id);
+    seq.push_back(sep2);
+    for (int32_t id : vocab.Encode(it->second)) seq.push_back(id);
+    if (seq.size() > 30) seq.resize(30);
+    sequences.push_back(std::move(seq));
+  }
+  std::printf("GPT-LM training sequences: %zu\n", sequences.size());
+  if (sequences.empty()) return 1;
+
+  Seq2SeqConfig lm_config;
+  lm_config.vocab_size = vocab.size();
+  lm_config.d_model = 32;
+  lm_config.num_heads = 2;
+  lm_config.ff_hidden = 64;
+  lm_config.num_layers = 2;
+  Rng rng(21);
+  GptLm lm(lm_config, rng);
+  LmTrainingOptions lm_options;
+  lm_options.max_steps = 400;
+  std::printf("fine-tuning decoder-only LM (%lld params)...\n",
+              static_cast<long long>(lm.NumParameters()));
+  const double lm_loss = TrainLm(lm, sequences, lm_options);
+  std::printf("final LM loss: %.3f\n", lm_loss);
+  lm.SetTraining(false);
+
+  // Baseline: the jointly trained cycle model (cached).
+  const CycleConfig cycle_config =
+      bench::BenchCycleConfig(world.vocab.size());
+  const auto joint = bench::GetTrainedCycleModel(world, cycle_config,
+                                                 /*joint=*/true,
+                                                 "joint_transformer");
+  CycleRewriter rewriter(joint.get(), &world.vocab);
+  const RelevanceJudge judge(&world.catalog);
+
+  const std::vector<QuerySpec> queries = bench::HardQueries(world, 40);
+  double lm_score = 0.0;
+  double cycle_score = 0.0;
+  Rng sample_rng(31);
+  for (const QuerySpec& q : queries) {
+    // LM rewrite: prefix "BOS query sep1", sample title to sep2, then
+    // sample the rewrite to EOS.
+    std::vector<int32_t> prefix = {kBosId};
+    for (int32_t id : vocab.Encode(q.tokens)) prefix.push_back(id);
+    prefix.push_back(sep1);
+    const auto title = lm.Generate(prefix, sep2, 24, 5, sample_rng);
+    prefix.insert(prefix.end(), title.begin(), title.end());
+    prefix.push_back(sep2);
+    const auto rewrite_ids = lm.Generate(prefix, kEosId, 8, 5, sample_rng);
+    lm_score += judge.Score(q.intent, vocab.Decode(rewrite_ids));
+
+    const auto cycle_rewrites = bench::ModelRewrites(rewriter, q.tokens, 3);
+    cycle_score += judge.ScoreSet(q.intent, cycle_rewrites);
+  }
+  std::printf("\nAblation — GPT-style LM vs jointly trained cycle model\n");
+  std::printf("  mean judge score (LM rewrite):        %.3f\n",
+              lm_score / queries.size());
+  std::printf("  mean judge score (joint cycle model): %.3f\n",
+              cycle_score / queries.size());
+  std::printf("\npaper: the GPT-2 exploration did not beat the jointly "
+              "trained translation models; the same ordering is expected "
+              "here.\n");
+  return 0;
+}

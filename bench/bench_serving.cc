@@ -1,0 +1,116 @@
+// Section III-G serving bench: latency of the three rewrite paths —
+// KV-store cache hit (paper: <5 ms at production scale), the fast direct
+// query-to-query model (paper: ~30 ms on a 32-core CPU), and the full
+// two-hop cyclic pipeline (paper: >100 ms even on GPU, too slow to serve).
+// Shape to reproduce: cache << direct model << full pipeline.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "core/string_util.h"
+#include "datagen/traffic.h"
+#include "rewrite/direct_model.h"
+#include "serving/rewrite_service.h"
+
+namespace {
+
+using namespace cyqr;
+
+struct ServingFixture {
+  bench::BenchWorld world = bench::BuildWorld();
+  std::unique_ptr<CycleModel> joint;
+  std::unique_ptr<CycleRewriter> pipeline;
+  std::unique_ptr<DirectRewriter> direct;
+  RewriteKvStore store;
+  std::vector<std::vector<std::string>> head_queries;
+  std::vector<std::vector<std::string>> tail_queries;
+
+  ServingFixture() {
+    const CycleConfig config =
+        bench::BenchCycleConfig(world.vocab.size());
+    joint = bench::GetTrainedCycleModel(world, config, /*joint=*/true,
+                                        "joint_transformer");
+    pipeline = std::make_unique<CycleRewriter>(joint.get(), &world.vocab);
+
+    // Fast path: hybrid direct model on mined synonymous pairs.
+    Seq2SeqConfig direct_config;
+    direct_config.vocab_size = world.vocab.size();
+    direct_config.d_model = 32;
+    direct_config.num_heads = 2;
+    direct_config.ff_hidden = 64;
+    direct_config.num_layers = 1;
+    Rng rng(42);
+    direct = std::make_unique<DirectRewriter>(DirectArch::kHybrid,
+                                              direct_config, &world.vocab,
+                                              rng);
+    const auto mined = MineSynonymousQueryPairs(world.click_log, 3);
+    const auto pairs = EncodeQueryPairs(mined, world.vocab);
+    SupervisedTrainOptions options;
+    options.max_steps = 200;
+    TrainSupervised(direct->model(), pairs, options);
+    direct->model().SetTraining(false);
+
+    // Precompute the traffic head into the KV store.
+    TrafficSampler traffic(&world.click_log);
+    for (int64_t q : traffic.HeadQueries(0.8)) {
+      head_queries.push_back(world.click_log.queries()[q].tokens);
+    }
+    RewriteOptions rewrite_options;
+    // Cap precompute volume so fixture setup stays fast.
+    if (head_queries.size() > 100) head_queries.resize(100);
+    RewriteService::PrecomputeHead(*pipeline, head_queries, rewrite_options,
+                                   &store);
+    for (const QuerySpec& q : world.click_log.queries()) {
+      if (store.Get(JoinStrings(q.tokens)) == nullptr) {
+        tail_queries.push_back(q.tokens);
+      }
+      if (tail_queries.size() >= 50) break;
+    }
+  }
+};
+
+ServingFixture& GetFixture() {
+  static ServingFixture* fixture = new ServingFixture();
+  return *fixture;
+}
+
+void BM_CacheHit(benchmark::State& state) {
+  ServingFixture& f = GetFixture();
+  RewriteService service(&f.store, f.direct.get(), {});
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto response =
+        service.Serve(f.head_queries[i++ % f.head_queries.size()]);
+    benchmark::DoNotOptimize(&response);
+  }
+}
+BENCHMARK(BM_CacheHit)->Unit(benchmark::kMicrosecond);
+
+void BM_DirectModelFallback(benchmark::State& state) {
+  ServingFixture& f = GetFixture();
+  RewriteService service(&f.store, f.direct.get(), {});
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto response =
+        service.Serve(f.tail_queries[i++ % f.tail_queries.size()]);
+    benchmark::DoNotOptimize(&response);
+  }
+}
+BENCHMARK(BM_DirectModelFallback)->Unit(benchmark::kMillisecond);
+
+void BM_FullCyclicPipeline(benchmark::State& state) {
+  ServingFixture& f = GetFixture();
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto result = f.pipeline->Rewrite(
+        f.tail_queries[i++ % f.tail_queries.size()], {});
+    benchmark::DoNotOptimize(&result);
+  }
+}
+BENCHMARK(BM_FullCyclicPipeline)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,24 @@
+// Regenerates Table II: model hyperparameters. The architecture shape
+// (4-layer query-to-title transformer, 1-layer title-to-query transformer,
+// lambda 0.1, beam width 3, top-n 40, dropout 0.1) follows the paper; the
+// widths are scaled to single-core CPU training.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace cyqr;
+  const bench::BenchWorld world = bench::BuildWorld();
+  const CycleConfig config = PaperScaledConfig(world.vocab.size());
+  std::printf("Table II — %s", ConfigTable(config).c_str());
+
+  Rng rng(1);
+  CycleModel model(config, rng);
+  std::printf("\n  trainable parameters: forward %lld, backward %lld\n",
+              static_cast<long long>(model.forward().NumParameters()),
+              static_cast<long long>(model.backward().NumParameters()));
+  std::printf("  (the forward model is the larger one: the paper notes the"
+              "\n   query-to-title direction needs more memorization)\n");
+  return 0;
+}

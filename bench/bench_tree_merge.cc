@@ -1,0 +1,90 @@
+// Section III-H system-optimization bench: retrieval cost of one merged
+// syntax tree vs separate per-query trees, over the catalog's inverted
+// index. Paper claim: the merged tree is "slightly larger than the previous
+// tree for only the original query" and "significantly reduces the
+// retrieval system computation cost".
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/rng.h"
+#include "index/retrieval.h"
+
+namespace {
+
+using namespace cyqr;
+
+struct Fixture {
+  InvertedIndex index;
+  // Rewrite sets of increasing size: original + N-1 rewrites that differ
+  // in one position (the typical output of the rewriter).
+  std::vector<std::vector<std::vector<std::string>>> query_sets;
+
+  Fixture() {
+    // A production-shaped corpus: the shared query tokens ("pearfone",
+    // "smartphone") have LONG posting lists — that is precisely the cost
+    // the merged tree avoids re-scanning per rewrite.
+    Rng rng(5);
+    const std::vector<std::string> variants = {"senior", "student",
+                                               "gaming", "budget"};
+    const std::vector<std::string> filler = {"official", "warranty",
+                                             "unlocked", "dual", "netcom"};
+    for (DocId d = 0; d < 20000; ++d) {
+      std::vector<std::string> doc = {"pearfone", "smartphone"};
+      doc.push_back(variants[rng.NextBelow(variants.size())]);
+      doc.push_back(filler[rng.NextBelow(filler.size())]);
+      index.AddDocument(d, doc);
+    }
+    for (size_t n = 1; n <= 4; ++n) {
+      std::vector<std::vector<std::string>> set;
+      for (size_t i = 0; i < n; ++i) {
+        set.push_back({"pearfone", variants[i], "smartphone"});
+      }
+      query_sets.push_back(std::move(set));
+    }
+  }
+};
+
+Fixture& GetFixture() {
+  static Fixture* fixture = new Fixture();
+  return *fixture;
+}
+
+void BM_RetrieveSeparate(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const auto& queries = f.query_sets[state.range(0) - 1];
+  RetrievalEngine engine(&f.index);
+  int64_t postings = 0;
+  int64_t nodes = 0;
+  for (auto _ : state) {
+    const auto result = engine.RetrieveSeparate(queries);
+    benchmark::DoNotOptimize(result.docs.data());
+    postings = result.cost.postings_scanned;
+    nodes = result.tree_nodes;
+  }
+  state.counters["postings_scanned"] = static_cast<double>(postings);
+  state.counters["tree_nodes"] = static_cast<double>(nodes);
+}
+BENCHMARK(BM_RetrieveSeparate)->DenseRange(1, 4)->Unit(benchmark::kMicrosecond);
+
+void BM_RetrieveMerged(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const auto& queries = f.query_sets[state.range(0) - 1];
+  RetrievalEngine engine(&f.index);
+  int64_t postings = 0;
+  int64_t nodes = 0;
+  for (auto _ : state) {
+    const auto result = engine.RetrieveMerged(queries);
+    benchmark::DoNotOptimize(result.docs.data());
+    postings = result.cost.postings_scanned;
+    nodes = result.tree_nodes;
+  }
+  state.counters["postings_scanned"] = static_cast<double>(postings);
+  state.counters["tree_nodes"] = static_cast<double>(nodes);
+}
+BENCHMARK(BM_RetrieveMerged)->DenseRange(1, 4)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,53 @@
+#include "baseline/rule_based.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+#include "core/string_util.h"
+
+namespace cyqr {
+
+RuleBasedRewriter::RuleBasedRewriter(const SynonymDictionary* dictionary)
+    : dictionary_(dictionary) {
+  CYQR_CHECK(dictionary != nullptr);
+}
+
+std::vector<std::vector<std::string>> RuleBasedRewriter::Rewrite(
+    const std::vector<std::string>& query_tokens, int64_t k) const {
+  std::vector<std::vector<std::string>> out;
+  // Replace each matching phrase occurrence independently (longest match
+  // first at each position), producing one rewrite per replacement site.
+  for (size_t i = 0; i < query_tokens.size() &&
+                     static_cast<int64_t>(out.size()) < k;
+       ++i) {
+    for (size_t len = std::min<size_t>(3, query_tokens.size() - i); len >= 1;
+         --len) {
+      std::string phrase = query_tokens[i];
+      for (size_t j = 1; j < len; ++j) phrase += " " + query_tokens[i + j];
+      auto it = dictionary_->entries().find(phrase);
+      if (it == dictionary_->entries().end()) continue;
+      std::vector<std::string> rewritten(query_tokens.begin(),
+                                         query_tokens.begin() + i);
+      for (std::string& w : SplitString(it->second)) {
+        rewritten.push_back(std::move(w));
+      }
+      rewritten.insert(rewritten.end(), query_tokens.begin() + i + len,
+                       query_tokens.end());
+      if (rewritten != query_tokens &&
+          std::find(out.begin(), out.end(), rewritten) == out.end()) {
+        out.push_back(std::move(rewritten));
+      }
+      i += len - 1;  // Skip past the replaced phrase.
+      break;
+    }
+  }
+  return out;
+}
+
+bool RuleBasedRewriter::HasSynonym(
+    const std::vector<std::string>& query_tokens) const {
+  std::vector<std::string> unused;
+  return dictionary_->Apply(query_tokens, &unused);
+}
+
+}  // namespace cyqr

@@ -1,0 +1,35 @@
+#ifndef CYCLEQR_BASELINE_RULE_BASED_H_
+#define CYCLEQR_BASELINE_RULE_BASED_H_
+
+#include <string>
+#include <vector>
+
+#include "datagen/synonyms.h"
+
+namespace cyqr {
+
+/// The paper's production baseline (Section IV-C3): "starts from a
+/// human-curated synonym phrase dictionary [and] simply replaces the phrase
+/// in the query with its synonym phrase" — high lexical similarity, low
+/// diversity, and context-free (the "cherry" polysemy failure).
+class RuleBasedRewriter {
+ public:
+  /// `dictionary` must outlive the rewriter.
+  explicit RuleBasedRewriter(const SynonymDictionary* dictionary);
+
+  /// Up to `k` rewrites produced by replacing matching phrases, one
+  /// replacement per rewrite (different phrases give different rewrites).
+  std::vector<std::vector<std::string>> Rewrite(
+      const std::vector<std::string>& query_tokens, int64_t k = 3) const;
+
+  /// True if at least one dictionary phrase occurs in the query — the
+  /// paper's Table VI evaluation set is restricted to such queries.
+  bool HasSynonym(const std::vector<std::string>& query_tokens) const;
+
+ private:
+  const SynonymDictionary* dictionary_;
+};
+
+}  // namespace cyqr
+
+#endif  // CYCLEQR_BASELINE_RULE_BASED_H_

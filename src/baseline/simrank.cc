@@ -1,0 +1,162 @@
+#include "baseline/simrank.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "core/check.h"
+
+namespace cyqr {
+
+namespace {
+
+using SparseRow = std::unordered_map<int64_t, double>;
+
+/// evidence(a, b) = sum_{k=1..common} 2^-k — the SimRank++ evidence factor
+/// rewarding many shared neighbors.
+double Evidence(int64_t common) {
+  double e = 0.0;
+  double term = 0.5;
+  for (int64_t k = 0; k < common; ++k) {
+    e += term;
+    term *= 0.5;
+  }
+  return e;
+}
+
+}  // namespace
+
+SimRankRewriter::SimRankRewriter(const ClickLog* log, const Options& options)
+    : log_(log), options_(options) {
+  CYQR_CHECK(log != nullptr);
+  const auto& pairs = log->pairs();
+  const int64_t num_queries = static_cast<int64_t>(log->queries().size());
+
+  // Weighted bipartite adjacency, truncated to the heaviest neighbors.
+  std::map<int64_t, std::vector<std::pair<int64_t, double>>> q_adj;  // q -> (item, w)
+  std::map<int64_t, std::vector<std::pair<int64_t, double>>> i_adj;  // item -> (q, w)
+  for (const ClickPair& p : pairs) {
+    q_adj[p.query_index].emplace_back(p.product_id,
+                                      static_cast<double>(p.clicks));
+    i_adj[p.product_id].emplace_back(p.query_index,
+                                     static_cast<double>(p.clicks));
+  }
+  auto truncate_and_normalize =
+      [this](std::map<int64_t, std::vector<std::pair<int64_t, double>>>& adj) {
+        for (auto& [node, edges] : adj) {
+          std::sort(edges.begin(), edges.end(),
+                    [](const auto& a, const auto& b) {
+                      return a.second > b.second;
+                    });
+          if (static_cast<int64_t>(edges.size()) > options_.max_neighbors) {
+            edges.resize(options_.max_neighbors);
+          }
+          double total = 0.0;
+          for (const auto& e : edges) total += e.second;
+          for (auto& e : edges) e.second /= total;
+        }
+      };
+  truncate_and_normalize(q_adj);
+  truncate_and_normalize(i_adj);
+
+  // Candidate pairs: queries sharing an item; items sharing a query.
+  std::map<std::pair<int64_t, int64_t>, int64_t> q_common;
+  for (const auto& [item, qs] : i_adj) {
+    for (size_t i = 0; i < qs.size(); ++i) {
+      for (size_t j = i + 1; j < qs.size(); ++j) {
+        auto key = std::minmax(qs[i].first, qs[j].first);
+        ++q_common[{key.first, key.second}];
+      }
+    }
+  }
+  std::map<std::pair<int64_t, int64_t>, int64_t> i_common;
+  for (const auto& [q, items] : q_adj) {
+    for (size_t i = 0; i < items.size(); ++i) {
+      for (size_t j = i + 1; j < items.size(); ++j) {
+        auto key = std::minmax(items[i].first, items[j].first);
+        ++i_common[{key.first, key.second}];
+      }
+    }
+  }
+
+  // Iterate the SimRank++ recurrence on the candidate pairs.
+  std::map<std::pair<int64_t, int64_t>, double> q_sim;
+  std::map<std::pair<int64_t, int64_t>, double> i_sim;
+  auto i_sim_at = [&i_sim](int64_t a, int64_t b) -> double {
+    if (a == b) return 1.0;
+    auto key = std::minmax(a, b);
+    auto it = i_sim.find({key.first, key.second});
+    return it == i_sim.end() ? 0.0 : it->second;
+  };
+  auto q_sim_at = [&q_sim](int64_t a, int64_t b) -> double {
+    if (a == b) return 1.0;
+    auto key = std::minmax(a, b);
+    auto it = q_sim.find({key.first, key.second});
+    return it == q_sim.end() ? 0.0 : it->second;
+  };
+
+  for (int iter = 0; iter < options_.iterations; ++iter) {
+    std::map<std::pair<int64_t, int64_t>, double> q_next;
+    for (const auto& [key, common] : q_common) {
+      const auto& na = q_adj[key.first];
+      const auto& nb = q_adj[key.second];
+      double s = 0.0;
+      for (const auto& [ia, wa] : na) {
+        for (const auto& [ib, wb] : nb) {
+          s += wa * wb * i_sim_at(ia, ib);
+        }
+      }
+      q_next[key] = Evidence(common) * options_.decay * s;
+    }
+    std::map<std::pair<int64_t, int64_t>, double> i_next;
+    for (const auto& [key, common] : i_common) {
+      const auto& na = i_adj[key.first];
+      const auto& nb = i_adj[key.second];
+      double s = 0.0;
+      for (const auto& [qa, wa] : na) {
+        for (const auto& [qb, wb] : nb) {
+          s += wa * wb * q_sim_at(qa, qb);
+        }
+      }
+      i_next[key] = Evidence(common) * options_.decay * s;
+    }
+    q_sim = std::move(q_next);
+    i_sim = std::move(i_next);
+  }
+
+  sims_.assign(num_queries, {});
+  for (const auto& [key, s] : q_sim) {
+    if (s <= 0.0) continue;
+    sims_[key.first].emplace_back(key.second, s);
+    sims_[key.second].emplace_back(key.first, s);
+  }
+  for (auto& row : sims_) {
+    std::sort(row.begin(), row.end(), [](const auto& a, const auto& b) {
+      return a.second > b.second;
+    });
+  }
+}
+
+std::vector<SimRankRewriter::Similar> SimRankRewriter::MostSimilar(
+    int64_t query_index, int64_t k) const {
+  CYQR_CHECK(query_index >= 0 &&
+             query_index < static_cast<int64_t>(sims_.size()));
+  std::vector<Similar> out;
+  for (const auto& [other, s] : sims_[query_index]) {
+    out.push_back({other, s});
+    if (static_cast<int64_t>(out.size()) >= k) break;
+  }
+  return out;
+}
+
+double SimRankRewriter::Similarity(int64_t a, int64_t b) const {
+  if (a == b) return 1.0;
+  CYQR_CHECK(a >= 0 && a < static_cast<int64_t>(sims_.size()));
+  for (const auto& [other, s] : sims_[a]) {
+    if (other == b) return s;
+  }
+  return 0.0;
+}
+
+}  // namespace cyqr

@@ -1,0 +1,36 @@
+#ifndef CYCLEQR_CORE_CHECK_H_
+#define CYCLEQR_CORE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Internal-invariant checks. These are programming-error assertions (always
+/// on, including release builds); recoverable conditions use Status instead.
+///
+///   CYQR_CHECK(index < size) << optional stream-free message via _MSG form.
+#define CYQR_CHECK(cond)                                              \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      std::fprintf(stderr, "CYQR_CHECK failed at %s:%d: %s\n",        \
+                   __FILE__, __LINE__, #cond);                        \
+      std::abort();                                                   \
+    }                                                                 \
+  } while (false)
+
+#define CYQR_CHECK_MSG(cond, msg)                                     \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      std::fprintf(stderr, "CYQR_CHECK failed at %s:%d: %s (%s)\n",   \
+                   __FILE__, __LINE__, #cond, (msg));                 \
+      std::abort();                                                   \
+    }                                                                 \
+  } while (false)
+
+#define CYQR_CHECK_EQ(a, b) CYQR_CHECK((a) == (b))
+#define CYQR_CHECK_NE(a, b) CYQR_CHECK((a) != (b))
+#define CYQR_CHECK_LT(a, b) CYQR_CHECK((a) < (b))
+#define CYQR_CHECK_LE(a, b) CYQR_CHECK((a) <= (b))
+#define CYQR_CHECK_GT(a, b) CYQR_CHECK((a) > (b))
+#define CYQR_CHECK_GE(a, b) CYQR_CHECK((a) >= (b))
+
+#endif  // CYCLEQR_CORE_CHECK_H_

@@ -1,0 +1,40 @@
+#ifndef CYCLEQR_CORE_FLAGS_H_
+#define CYCLEQR_CORE_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cyqr {
+
+/// Minimal command-line flag parser for the CLI tools. Accepts
+/// "--key=value", "--key value", and bare "--switch" (boolean true);
+/// everything else is positional.
+class FlagParser {
+ public:
+  FlagParser(int argc, const char* const* argv);
+
+  bool Has(const std::string& name) const;
+  std::string GetString(const std::string& name,
+                        const std::string& default_value = "") const;
+  int64_t GetInt(const std::string& name, int64_t default_value = 0) const;
+  double GetDouble(const std::string& name,
+                   double default_value = 0.0) const;
+  bool GetBool(const std::string& name, bool default_value = false) const;
+
+  /// Arguments that are not flags, in order (argv[0] excluded).
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Flags that were set but never read — typo detection for the CLI.
+  std::vector<std::string> UnusedFlags() const;
+
+ private:
+  std::map<std::string, std::string> flags_;
+  mutable std::map<std::string, bool> read_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace cyqr
+
+#endif  // CYCLEQR_CORE_FLAGS_H_

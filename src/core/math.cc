@@ -1,0 +1,85 @@
+#include "core/math.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "core/check.h"
+
+namespace cyqr {
+
+double LogSumExp(const double* x, size_t n) {
+  if (n == 0) return -std::numeric_limits<double>::infinity();
+  double m = x[0];
+  for (size_t i = 1; i < n; ++i) m = std::max(m, x[i]);
+  if (std::isinf(m) && m < 0) return m;  // All -inf.
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) sum += std::exp(x[i] - m);
+  return m + std::log(sum);
+}
+
+double LogSumExp(const std::vector<double>& x) {
+  return LogSumExp(x.data(), x.size());
+}
+
+float LogSumExp(const float* x, size_t n) {
+  if (n == 0) return -std::numeric_limits<float>::infinity();
+  float m = x[0];
+  for (size_t i = 1; i < n; ++i) m = std::max(m, x[i]);
+  if (std::isinf(m) && m < 0) return m;
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) sum += std::exp(static_cast<double>(x[i] - m));
+  return m + static_cast<float>(std::log(sum));
+}
+
+double LogAdd(double a, double b) {
+  if (std::isinf(a) && a < 0) return b;
+  if (std::isinf(b) && b < 0) return a;
+  const double m = std::max(a, b);
+  return m + std::log(std::exp(a - m) + std::exp(b - m));
+}
+
+void SoftmaxInPlace(float* x, size_t n) {
+  if (n == 0) return;
+  float m = x[0];
+  for (size_t i = 1; i < n; ++i) m = std::max(m, x[i]);
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = std::exp(x[i] - m);
+    sum += x[i];
+  }
+  const float inv = static_cast<float>(1.0 / sum);
+  for (size_t i = 0; i < n; ++i) x[i] *= inv;
+}
+
+void LogSoftmax(const float* logits, size_t n, float* out) {
+  if (n == 0) return;
+  const float lse = LogSumExp(logits, n);
+  for (size_t i = 0; i < n; ++i) out[i] = logits[i] - lse;
+}
+
+std::vector<size_t> TopKIndices(const float* x, size_t n, size_t k) {
+  k = std::min(k, n);
+  std::vector<size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  std::partial_sort(idx.begin(), idx.begin() + k, idx.end(),
+                    [x](size_t a, size_t b) { return x[a] > x[b]; });
+  idx.resize(k);
+  return idx;
+}
+
+double Mean(const std::vector<double>& x) {
+  if (x.empty()) return 0.0;
+  return std::accumulate(x.begin(), x.end(), 0.0) / x.size();
+}
+
+double Quantile(std::vector<double> x, double q) {
+  if (x.empty()) return 0.0;
+  CYQR_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(x.begin(), x.end());
+  const size_t rank = static_cast<size_t>(q * (x.size() - 1) + 0.5);
+  return x[std::min(rank, x.size() - 1)];
+}
+
+}  // namespace cyqr

@@ -1,0 +1,38 @@
+#ifndef CYCLEQR_CORE_MATH_H_
+#define CYCLEQR_CORE_MATH_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace cyqr {
+
+/// Numerically stable log(sum_i exp(x_i)). Returns -inf for an empty range.
+/// This is the workhorse behind all log-space probability aggregation in the
+/// cyclic-translation pipeline (paper Section III-E numeric note).
+double LogSumExp(const double* x, size_t n);
+double LogSumExp(const std::vector<double>& x);
+float LogSumExp(const float* x, size_t n);
+
+/// log(exp(a) + exp(b)) without overflow.
+double LogAdd(double a, double b);
+
+/// In-place stable softmax over x[0..n).
+void SoftmaxInPlace(float* x, size_t n);
+
+/// Writes log-softmax of `logits` into `out` (may alias `logits`).
+void LogSoftmax(const float* logits, size_t n, float* out);
+
+/// Indices of the k largest values, in descending value order.
+/// k is clamped to n.
+std::vector<size_t> TopKIndices(const float* x, size_t n, size_t k);
+
+/// Mean of a vector; 0 for empty input.
+double Mean(const std::vector<double>& x);
+
+/// Returns the q-quantile (0 <= q <= 1) of x by nearest-rank on a sorted
+/// copy; 0 for empty input.
+double Quantile(std::vector<double> x, double q);
+
+}  // namespace cyqr
+
+#endif  // CYCLEQR_CORE_MATH_H_

@@ -1,0 +1,60 @@
+#ifndef CYCLEQR_CORE_RNG_H_
+#define CYCLEQR_CORE_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cyqr {
+
+/// Deterministic pseudo-random number generator (xoshiro256** seeded through
+/// splitmix64). Every stochastic component in the library takes an Rng so
+/// experiments are reproducible bit-for-bit across runs.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42);
+
+  /// Uniform 64-bit value.
+  uint64_t NextUint64();
+
+  /// Uniform in [0, 1).
+  double NextDouble();
+
+  /// Uniform float in [0, 1).
+  float NextFloat() { return static_cast<float>(NextDouble()); }
+
+  /// Uniform integer in [0, n). Precondition: n > 0.
+  uint64_t NextBelow(uint64_t n);
+
+  /// Uniform integer in [lo, hi]. Precondition: lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Standard normal (Box-Muller).
+  double NextGaussian();
+
+  /// True with the given probability.
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+  /// Samples an index proportionally to `weights` (need not be normalized;
+  /// all weights must be >= 0 and at least one > 0).
+  size_t SampleCategorical(const std::vector<float>& weights);
+
+  /// Samples an index from `log_weights` via the Gumbel-free softmax route:
+  /// exponentiates against the max for stability, then samples.
+  size_t SampleFromLogits(const float* logits, size_t n);
+
+  /// Fisher-Yates shuffle of [0, n) indices.
+  std::vector<size_t> Permutation(size_t n);
+
+  /// Splits off an independent generator (for deterministic sub-streams).
+  Rng Split();
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace cyqr
+
+#endif  // CYCLEQR_CORE_RNG_H_

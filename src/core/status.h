@@ -1,0 +1,117 @@
+#ifndef CYCLEQR_CORE_STATUS_H_
+#define CYCLEQR_CORE_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace cyqr {
+
+/// Error codes used across the library. Modeled after the RocksDB/Arrow
+/// Status idiom: library code reports failures through Status rather than
+/// exceptions.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kFailedPrecondition = 4,
+  kInternal = 5,
+  kIoError = 6,
+  kUnimplemented = 7,
+};
+
+/// Returns a short human-readable name for a status code ("OK",
+/// "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error result for operations with no payload.
+///
+/// Cheap to copy in the common OK case (empty message). Construct errors
+/// through the named factory functions:
+///
+///   Status s = Status::InvalidArgument("beam width must be positive");
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error result. Holds either a T or a non-OK Status.
+///
+///   Result<Vocabulary> v = Vocabulary::Load(path);
+///   if (!v.ok()) return v.status();
+///   Use(v.value());
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: allows `return my_t;` in Result-returning code.
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT
+  /// Implicit from error status; must not be OK.
+  Result(Status status) : payload_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// The error status; Status::OK() when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(payload_);
+  }
+
+  /// Precondition: ok().
+  const T& value() const& { return std::get<T>(payload_); }
+  T& value() & { return std::get<T>(payload_); }
+  T&& value() && { return std::get<T>(std::move(payload_)); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+/// Propagates a non-OK Status out of the current function.
+#define CYQR_RETURN_IF_ERROR(expr)                \
+  do {                                            \
+    ::cyqr::Status cyqr_status_ = (expr);         \
+    if (!cyqr_status_.ok()) return cyqr_status_;  \
+  } while (false)
+
+}  // namespace cyqr
+
+#endif  // CYCLEQR_CORE_STATUS_H_

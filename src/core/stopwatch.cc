@@ -1,0 +1,3 @@
+#include "core/stopwatch.h"
+
+// Header-only; this TU anchors the library target.

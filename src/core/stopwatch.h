@@ -1,0 +1,30 @@
+#ifndef CYCLEQR_CORE_STOPWATCH_H_
+#define CYCLEQR_CORE_STOPWATCH_H_
+
+#include <chrono>
+
+namespace cyqr {
+
+/// Wall-clock stopwatch for latency measurement (Table V, serving benches).
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace cyqr
+
+#endif  // CYCLEQR_CORE_STOPWATCH_H_

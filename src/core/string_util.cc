@@ -1,0 +1,46 @@
+#include "core/string_util.h"
+
+#include <cctype>
+
+namespace cyqr {
+
+std::vector<std::string> SplitString(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (start < s.size()) {
+    while (start < s.size() && s[start] == delim) ++start;
+    size_t end = start;
+    while (end < s.size() && s[end] != delim) ++end;
+    if (end > start) out.emplace_back(s.substr(start, end - start));
+    start = end;
+  }
+  return out;
+}
+
+std::string JoinStrings(const std::vector<std::string>& pieces,
+                        std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(pieces[i]);
+  }
+  return out;
+}
+
+std::string ToLowerAscii(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+std::string StripAscii(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+}  // namespace cyqr

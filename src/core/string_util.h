@@ -1,0 +1,25 @@
+#ifndef CYCLEQR_CORE_STRING_UTIL_H_
+#define CYCLEQR_CORE_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cyqr {
+
+/// Splits on any run of the delimiter; empty pieces are dropped.
+std::vector<std::string> SplitString(std::string_view s, char delim = ' ');
+
+/// Joins pieces with a separator.
+std::string JoinStrings(const std::vector<std::string>& pieces,
+                        std::string_view sep = " ");
+
+/// ASCII lowercase copy.
+std::string ToLowerAscii(std::string_view s);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string StripAscii(std::string_view s);
+
+}  // namespace cyqr
+
+#endif  // CYCLEQR_CORE_STRING_UTIL_H_

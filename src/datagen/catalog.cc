@@ -1,0 +1,498 @@
+#include "datagen/catalog.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+#include "core/string_util.h"
+
+namespace cyqr {
+
+namespace {
+
+/// The fixed ontology. Canonical tokens appear in item titles; colloquial
+/// phrases appear only in user queries, creating the query/title vocabulary
+/// gap (paper Section I: "cellphone for grandpa" vs "senior mobile phone").
+/// The "cherry" brand in the keyboard category doubles as a fruit flavor in
+/// the snacks category — the polysemy trap of Section IV-C2.
+std::vector<CategorySpec> BuildOntology() {
+  std::vector<CategorySpec> cats;
+
+  cats.push_back(CategorySpec{
+      /*name=*/"phone",
+      /*head=*/{"smartphone"},
+      /*query_heads=*/{"phone", "cellphone"},
+      /*brands=*/{"pearfone", "nokla", "huawi", "redmo"},
+      /*brand_nicknames=*/{{"pear", "pearfone"}, {"hw", "huawi"}},
+      /*attributes=*/
+      {{"senior", {"for grandpa", "for grandma", "for old people"}},
+       {"student", {"for school kids"}},
+       {"gaming", {"for playing games"}},
+       {"budget", {"cheap", "low price"}},
+       {"flagship", {"newest", "latest"}},
+       {"64gb", {}},
+       {"128gb", {}},
+       {"black", {}},
+       {"golden", {}}},
+      /*marketing=*/
+      {"dual", "sim", "netcom", "unlocked", "official", "warranty",
+       "fullscreen", "4g"},
+      /*base_price=*/300.0});
+
+  cats.push_back(CategorySpec{
+      "milkpowder",
+      {"milk", "powder"},
+      {"milkpowder"},
+      {"yilo", "anchor", "friso", "aptam"},
+      {{"yl", "yilo"}},
+      {{"adult", {"for seniors", "for old people", "for grandpa"}},
+       {"infant", {"for baby", "for newborn"}},
+       {"skimmed", {"low fat", "diet"}},
+       {"goat", {}},
+       {"organic", {"natural", "healthy"}},
+       {"900g", {}},
+       {"imported", {"from overseas"}}},
+      {"canned", "formula", "segment3", "nutrition", "calcium", "fresh",
+       "bagged", "stage2"},
+      40.0});
+
+  cats.push_back(CategorySpec{
+      "shoes",
+      {"shoes"},
+      {"shoes", "sneakers"},
+      {"adibo", "niko", "pumo", "liing"},
+      {{"adi", "adibo"}, {"nk", "niko"}},
+      {{"running", {"for jogging", "for marathon"}},
+       {"casual", {"comfortable", "for walking"}},
+       {"mens", {"for men", "for boyfriend", "for husband"}},
+       {"womens", {"for women", "for girlfriend", "for wife"}},
+       {"leather", {}},
+       {"white", {}},
+       {"red", {}},
+       {"size42", {}}},
+      {"breathable", "spring", "new", "lightweight", "cushioning", "sport",
+       "genuine", "classic"},
+      80.0});
+
+  cats.push_back(CategorySpec{
+      "coin",
+      {"commemorative", "coin"},
+      {"coin", "coins"},
+      {"chinagold", "royalmint", "centurycoin"},
+      {},
+      {{"rat2020", {"year of the rat"}},
+       {"pig2019", {"year of the pig", "year of the boar"}},
+       {"ox2021", {"year of the ox"}},
+       {"silver", {}},
+       {"gold", {}},
+       {"boxed", {"with gift box"}}},
+      {"zodiac", "circulation", "collection", "yuan", "facevalue", "limited",
+       "edition", "round2"},
+      120.0});
+
+  cats.push_back(CategorySpec{
+      "skincare",
+      {"skincare", "set"},
+      {"skincare", "cream"},
+      {"lorea", "nivia", "olai", "shisedo"},
+      {{"lr", "lorea"}},
+      {{"antiwrinkle", {"wrinkle removal", "against wrinkles", "antiaging"}},
+       {"moisturizing", {"for dry skin"}},
+       {"mens", {"for men", "for boyfriend", "for husband"}},
+       {"womens", {"for women", "for mom"}},
+       {"whitening", {}},
+       {"firming", {}}},
+      {"facial", "authentic", "fivepiece", "lotion", "essence", "toner",
+       "hydrating", "counter"},
+      60.0});
+
+  cats.push_back(CategorySpec{
+      "keyboard",
+      {"mechanical", "keyboard"},
+      {"keyboard"},
+      {"cherry", "logitec", "razor", "keychron"},
+      {},
+      {{"wireless", {"bluetooth", "no cable"}},
+       {"gaming", {"for playing games", "for esports"}},
+       {"office", {"for work", "for typing"}},
+       {"rgb", {"with lights", "backlit"}},
+       {"blueswitch", {}},
+       {"redswitch", {}},
+       {"87key", {}}},
+      {"usb", "hotswap", "macro", "ergonomic", "nkey", "rollover",
+       "aluminum", "pbt"},
+      90.0});
+
+  cats.push_back(CategorySpec{
+      "snacks",
+      {"dried", "fruit", "snack"},
+      {"snack", "snacks"},
+      {"threesquirrel", "bestore", "baicao"},
+      {},
+      {{"cherry", {}},  // Fruit flavor: collides with the keyboard brand.
+       {"mango", {}},
+       {"strawberry", {}},
+       {"nosugar", {"sugar free", "healthy", "diet"}},
+       {"spicy", {}},
+       {"bulk", {"family pack", "big bag"}}},
+      {"preserved", "candied", "office", "leisure", "500g", "gift", "sweet",
+       "natural"},
+      15.0});
+
+  cats.push_back(CategorySpec{
+      "headphones",
+      {"headphones"},
+      {"headphones", "earphones", "headset"},
+      {"sonic", "boso", "jbel", "airpo"},
+      {{"ap", "airpo"}},
+      {{"wireless", {"bluetooth", "no cable"}},
+       {"noisecancel", {"quiet", "for airplane"}},
+       {"sport", {"for running", "for gym"}},
+       {"kids", {"for children", "for school kids"}},
+       {"overear", {}},
+       {"inear", {}}},
+      {"stereo", "bass", "microphone", "foldable", "hifi", "charging",
+       "case", "waterproof"},
+      70.0});
+
+  cats.push_back(CategorySpec{
+      "watch",
+      {"wrist", "watch"},
+      {"watch"},
+      {"casius", "seikon", "citizon", "fosil"},
+      {{"cs", "casius"}},
+      {{"mens", {"for men", "for boyfriend", "for husband", "for dad"}},
+       {"womens", {"for women", "for girlfriend", "for wife", "for mom"}},
+       {"mechanical", {"automatic"}},
+       {"quartz", {}},
+       {"waterproof", {"for swimming"}},
+       {"luminous", {"glow in dark"}}},
+      {"sapphire", "steel", "strap", "calendar", "business", "luxury",
+       "boxed", "genuine"},
+      200.0});
+
+  cats.push_back(CategorySpec{
+      "perfume",
+      {"eau", "de", "toilette"},
+      {"perfume", "fragrance"},
+      {"chanol", "dioro", "gucce", "versaco"},
+      {},
+      {{"mens", {"for men", "for boyfriend", "for husband"}},
+       {"womens", {"for women", "for girlfriend", "for wife"}},
+       {"50ml", {}},
+       {"100ml", {}},
+       {"floral", {"flower scent"}},
+       {"woody", {}}},
+      {"lasting", "spray", "gift", "boxed", "counter", "authentic", "fresh",
+       "light"},
+      110.0});
+
+  return cats;
+}
+
+/// Query-side-only vague words the model should learn to drop (the paper's
+/// attention visualization shows "comfortable" being skipped).
+const std::vector<std::string>& VagueWords() {
+  static const std::vector<std::string> kWords = {
+      "nice", "good", "best", "comfortable", "quality", "popular"};
+  return kWords;
+}
+
+}  // namespace
+
+Catalog Catalog::Generate(const CatalogConfig& config) {
+  Catalog catalog;
+  catalog.categories_ = BuildOntology();
+  Rng rng(config.seed);
+
+  for (size_t ci = 0; ci < catalog.categories_.size(); ++ci) {
+    const CategorySpec& cat = catalog.categories_[ci];
+    catalog.head_to_category_[JoinStrings(cat.head)] =
+        static_cast<int>(ci);
+    for (const std::string& qh : cat.query_heads) {
+      catalog.head_to_category_.try_emplace(qh, static_cast<int>(ci));
+    }
+    for (const std::string& b : cat.brands) {
+      catalog.brand_to_category_[b] = static_cast<int>(ci);
+    }
+    for (const auto& [nick, brand] : cat.brand_nicknames) {
+      catalog.nickname_to_brand_[nick] = brand;
+    }
+    for (const AttributeSpec& attr : cat.attributes) {
+      catalog.attr_to_categories_[attr.canonical].push_back(
+          static_cast<int>(ci));
+      for (const std::string& phrase : attr.colloquial) {
+        catalog.colloquial_to_canonical_[phrase].push_back(attr.canonical);
+      }
+    }
+  }
+
+  // Instantiate products: every brand x model x a sampled attribute set.
+  int64_t next_id = 0;
+  for (const CategorySpec& cat : catalog.categories_) {
+    for (const std::string& brand : cat.brands) {
+      for (int64_t m = 0; m < config.models_per_brand; ++m) {
+        Product p;
+        p.id = next_id++;
+        p.category = cat.name;
+        p.brand = brand;
+        p.model = brand.substr(0, 2) + std::to_string(100 + 10 * m +
+                                                      rng.NextInt(0, 9));
+        // 2-4 attributes, distinct.
+        const int64_t num_attrs = rng.NextInt(2, 4);
+        std::vector<size_t> perm = rng.Permutation(cat.attributes.size());
+        for (int64_t a = 0; a < num_attrs &&
+                            a < static_cast<int64_t>(perm.size());
+             ++a) {
+          p.attributes.push_back(cat.attributes[perm[a]].canonical);
+        }
+        // Long keyword-stuffed title: brand model marketing... attrs head
+        // marketing... brand head.
+        std::vector<size_t> mperm = rng.Permutation(cat.marketing.size());
+        p.title_tokens.push_back(brand);
+        p.title_tokens.push_back(p.model);
+        for (int i = 0; i < 3; ++i) {
+          p.title_tokens.push_back(cat.marketing[mperm[i]]);
+        }
+        for (const std::string& a : p.attributes) {
+          p.title_tokens.push_back(a);
+        }
+        for (const std::string& h : cat.head) p.title_tokens.push_back(h);
+        for (int i = 3; i < 6; ++i) {
+          p.title_tokens.push_back(cat.marketing[mperm[i]]);
+        }
+        p.title_tokens.push_back(brand);
+        for (const std::string& h : cat.head) p.title_tokens.push_back(h);
+
+        p.price = cat.base_price * (0.5 + 1.5 * rng.NextDouble());
+        p.quality = 0.2 + 1.8 * rng.NextDouble();
+        catalog.products_.push_back(std::move(p));
+      }
+    }
+  }
+  return catalog;
+}
+
+const Product& Catalog::product(int64_t id) const {
+  CYQR_CHECK(id >= 0 && id < static_cast<int64_t>(products_.size()));
+  return products_[id];
+}
+
+const CategorySpec* Catalog::FindCategory(const std::string& name) const {
+  for (const CategorySpec& c : categories_) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+QuerySpec Catalog::SampleQuery(Rng& rng) const {
+  const CategorySpec& cat =
+      categories_[rng.NextBelow(categories_.size())];
+  QuerySpec spec;
+  spec.intent.category = cat.name;
+
+  const bool want_brand = rng.NextBernoulli(0.4);
+  std::string brand_surface;
+  if (want_brand) {
+    spec.intent.brand = cat.brands[rng.NextBelow(cat.brands.size())];
+    brand_surface = spec.intent.brand;
+  }
+
+  // 0-2 attributes.
+  const int64_t num_attrs = rng.NextInt(0, 2);
+  std::vector<size_t> perm = rng.Permutation(cat.attributes.size());
+  std::vector<const AttributeSpec*> chosen;
+  for (int64_t a = 0; a < num_attrs; ++a) {
+    chosen.push_back(&cat.attributes[perm[a]]);
+    spec.intent.attributes.push_back(cat.attributes[perm[a]].canonical);
+  }
+
+  spec.is_colloquial = rng.NextBernoulli(0.45);
+  std::vector<std::string> before_head;  // brand/attr words before the head.
+  std::vector<std::string> after_head;   // "for grandpa"-style phrases.
+  if (spec.is_colloquial) {
+    // Nickname for the brand when available.
+    if (want_brand) {
+      for (const auto& [nick, b] : cat.brand_nicknames) {
+        if (b == spec.intent.brand && rng.NextBernoulli(0.6)) {
+          brand_surface = nick;
+          break;
+        }
+      }
+    }
+    // Colloquial phrasing for attributes when available.
+    for (const AttributeSpec* attr : chosen) {
+      if (!attr->colloquial.empty() && rng.NextBernoulli(0.8)) {
+        const std::string& phrase =
+            attr->colloquial[rng.NextBelow(attr->colloquial.size())];
+        std::vector<std::string> words = SplitString(phrase);
+        if (!words.empty() && words[0] == "for") {
+          after_head.insert(after_head.end(), words.begin(), words.end());
+        } else {
+          before_head.insert(before_head.end(), words.begin(), words.end());
+        }
+      } else {
+        before_head.push_back(attr->canonical);
+      }
+    }
+    if (rng.NextBernoulli(0.25)) {
+      before_head.insert(
+          before_head.begin(),
+          VagueWords()[rng.NextBelow(VagueWords().size())]);
+    }
+  } else {
+    for (const AttributeSpec* attr : chosen) {
+      before_head.push_back(attr->canonical);
+    }
+  }
+
+  if (!brand_surface.empty()) spec.tokens.push_back(brand_surface);
+  spec.tokens.insert(spec.tokens.end(), before_head.begin(),
+                     before_head.end());
+  // Head: colloquial queries use the user-side head word.
+  if (spec.is_colloquial || rng.NextBernoulli(0.5)) {
+    spec.tokens.push_back(
+        cat.query_heads[rng.NextBelow(cat.query_heads.size())]);
+  } else {
+    spec.tokens.insert(spec.tokens.end(), cat.head.begin(), cat.head.end());
+  }
+  spec.tokens.insert(spec.tokens.end(), after_head.begin(), after_head.end());
+  return spec;
+}
+
+std::vector<std::string> Catalog::CanonicalQueryTokens(
+    const QueryIntent& intent) const {
+  std::vector<std::string> out;
+  if (!intent.brand.empty()) out.push_back(intent.brand);
+  out.insert(out.end(), intent.attributes.begin(), intent.attributes.end());
+  const CategorySpec* cat = FindCategory(intent.category);
+  if (cat != nullptr) {
+    out.insert(out.end(), cat->head.begin(), cat->head.end());
+  }
+  return out;
+}
+
+QueryIntent Catalog::ParseQuery(const std::vector<std::string>& tokens) const {
+  QueryIntent intent;
+  std::vector<int> category_votes(categories_.size(), 0);
+  std::vector<std::string> attrs;
+  // Brand candidates with their home category; the winner is picked only
+  // after the category vote so polysemous tokens ("cherry" the keyboard
+  // brand vs the fruit flavor) resolve by context.
+  std::vector<std::pair<std::string, int>> brand_candidates;
+
+  // Resolve colloquial phrases first (longest match, up to 3 tokens).
+  std::vector<std::string> resolved;
+  for (size_t i = 0; i < tokens.size();) {
+    bool matched = false;
+    for (size_t len = std::min<size_t>(3, tokens.size() - i); len >= 2;
+         --len) {
+      std::string phrase = tokens[i];
+      for (size_t j = 1; j < len; ++j) phrase += " " + tokens[i + j];
+      auto it = colloquial_to_canonical_.find(phrase);
+      if (it != colloquial_to_canonical_.end()) {
+        // Ambiguous phrases contribute every candidate; the category
+        // filter below keeps only the ones consistent with the vote.
+        resolved.insert(resolved.end(), it->second.begin(),
+                        it->second.end());
+        i += len;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      resolved.push_back(tokens[i]);
+      ++i;
+    }
+  }
+
+  for (size_t i = 0; i < resolved.size(); ++i) {
+    const std::string& tok = resolved[i];
+    // Bigram heads ("milk powder").
+    if (i + 1 < resolved.size()) {
+      auto it = head_to_category_.find(tok + " " + resolved[i + 1]);
+      if (it != head_to_category_.end()) {
+        category_votes[it->second] += 3;
+      }
+    }
+    // Trigram heads ("eau de toilette", "dried fruit snack").
+    if (i + 2 < resolved.size()) {
+      auto it = head_to_category_.find(tok + " " + resolved[i + 1] + " " +
+                                       resolved[i + 2]);
+      if (it != head_to_category_.end()) {
+        category_votes[it->second] += 3;
+      }
+    }
+    auto hit = head_to_category_.find(tok);
+    if (hit != head_to_category_.end()) category_votes[hit->second] += 3;
+
+    auto nit = nickname_to_brand_.find(tok);
+    const std::string brand_tok =
+        nit != nickname_to_brand_.end() ? nit->second : tok;
+    auto bit = brand_to_category_.find(brand_tok);
+    if (bit != brand_to_category_.end()) {
+      brand_candidates.emplace_back(brand_tok, bit->second);
+      category_votes[bit->second] += 2;
+    }
+    auto ait = attr_to_categories_.find(tok);
+    if (ait != attr_to_categories_.end()) {
+      attrs.push_back(tok);
+      for (int c : ait->second) category_votes[c] += 1;
+    }
+  }
+
+  int best = -1;
+  int best_votes = 0;
+  for (size_t c = 0; c < category_votes.size(); ++c) {
+    if (category_votes[c] > best_votes) {
+      best_votes = category_votes[c];
+      best = static_cast<int>(c);
+    }
+  }
+  if (best >= 0) intent.category = categories_[best].name;
+  for (const auto& [brand_tok, cat] : brand_candidates) {
+    if (cat == best) {
+      intent.brand = brand_tok;
+      break;
+    }
+  }
+  // Keep only attributes belonging to the resolved category.
+  if (best >= 0) {
+    for (const std::string& a : attrs) {
+      auto it = attr_to_categories_.find(a);
+      if (it != attr_to_categories_.end() &&
+          std::find(it->second.begin(), it->second.end(), best) !=
+              it->second.end()) {
+        intent.attributes.push_back(a);
+      }
+    }
+  }
+  return intent;
+}
+
+double Catalog::MatchScore(const QueryIntent& intent,
+                           const Product& product) const {
+  if (intent.category.empty() || product.category != intent.category) {
+    return 0.0;
+  }
+  if (!intent.brand.empty() && product.brand != intent.brand) return 0.0;
+  if (intent.attributes.empty()) return 1.0;
+  int hit = 0;
+  for (const std::string& a : intent.attributes) {
+    if (std::find(product.attributes.begin(), product.attributes.end(), a) !=
+        product.attributes.end()) {
+      ++hit;
+    }
+  }
+  return 1.0 + static_cast<double>(hit) / intent.attributes.size();
+}
+
+std::vector<int64_t> Catalog::MatchingProducts(
+    const QueryIntent& intent) const {
+  std::vector<int64_t> out;
+  for (const Product& p : products_) {
+    if (MatchScore(intent, p) > 0.0) out.push_back(p.id);
+  }
+  return out;
+}
+
+}  // namespace cyqr

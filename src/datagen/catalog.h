@@ -1,0 +1,119 @@
+#ifndef CYCLEQR_DATAGEN_CATALOG_H_
+#define CYCLEQR_DATAGEN_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace cyqr {
+
+/// One catalog attribute: the canonical token that appears in item titles
+/// plus the colloquial phrases users type instead ("senior" <- "for
+/// grandpa"). The gap between the two vocabularies is exactly the semantic
+/// matching problem the paper attacks.
+struct AttributeSpec {
+  std::string canonical;                 // Title-side token.
+  std::vector<std::string> colloquial;   // Query-side phrases (may be multiword).
+};
+
+/// Ontology of one product category.
+struct CategorySpec {
+  std::string name;                      // Internal id, e.g. "phone".
+  std::vector<std::string> head;         // Canonical head tokens ("mobile phone").
+  std::vector<std::string> query_heads;  // What users type ("cellphone", "phone").
+  std::vector<std::string> brands;
+  std::map<std::string, std::string> brand_nicknames;  // nickname -> brand.
+  std::vector<AttributeSpec> attributes;
+  std::vector<std::string> marketing;    // Title filler ("official", "2020").
+  double base_price = 50.0;
+};
+
+/// A catalog item. Titles are long, keyword-stuffed token sequences in the
+/// canonical vocabulary, mimicking e-commerce item titles (Table I: titles
+/// average ~50 words vs ~6 for queries).
+struct Product {
+  int64_t id = 0;
+  std::string category;
+  std::string brand;
+  std::string model;
+  std::vector<std::string> attributes;   // Canonical attribute tokens.
+  std::vector<std::string> title_tokens;
+  double price = 0.0;
+  double quality = 1.0;                  // Intrinsic appeal in [0.2, 2].
+};
+
+/// What a query means, independent of its surface form.
+struct QueryIntent {
+  std::string category;                  // Empty when unparseable.
+  std::string brand;                     // Empty = any brand.
+  std::vector<std::string> attributes;   // Canonical attribute tokens.
+};
+
+/// A concrete query: surface tokens + ground-truth intent.
+struct QuerySpec {
+  std::vector<std::string> tokens;
+  QueryIntent intent;
+  bool is_colloquial = false;  // Uses query-side-only vocabulary ("hard").
+};
+
+struct CatalogConfig {
+  int64_t models_per_brand = 3;
+  uint64_t seed = 7;
+};
+
+/// The synthetic e-commerce world: a fixed ontology (categories, brands,
+/// nicknames, attributes, colloquialisms) instantiated into products.
+/// Substitutes for the paper's proprietary JD catalog + click logs; see
+/// DESIGN.md "Substitutions".
+class Catalog {
+ public:
+  static Catalog Generate(const CatalogConfig& config);
+
+  const std::vector<Product>& products() const { return products_; }
+  const std::vector<CategorySpec>& categories() const { return categories_; }
+  const Product& product(int64_t id) const;
+
+  /// Samples a query. With probability ~0.45 the query uses colloquial
+  /// phrases / nicknames / vague words (the hard long-tail the paper's
+  /// model targets); otherwise it is close to canonical.
+  QuerySpec SampleQuery(Rng& rng) const;
+
+  /// Canonical surface for an intent: [brand?] attrs... head — the kind of
+  /// query the inverted index retrieves well.
+  std::vector<std::string> CanonicalQueryTokens(const QueryIntent& intent) const;
+
+  /// Best-effort intent parse of arbitrary query tokens using the ontology
+  /// (canonical + colloquial vocabulary). Used by the oracle judge.
+  QueryIntent ParseQuery(const std::vector<std::string>& tokens) const;
+
+  /// Relevance of a product to an intent: 0 = category/brand mismatch,
+  /// otherwise 1 + (fraction of requested attributes the product has).
+  double MatchScore(const QueryIntent& intent, const Product& product) const;
+
+  /// All products matching an intent with score > 0.
+  std::vector<int64_t> MatchingProducts(const QueryIntent& intent) const;
+
+  const CategorySpec* FindCategory(const std::string& name) const;
+
+ private:
+  std::vector<CategorySpec> categories_;
+  std::vector<Product> products_;
+  // Token -> category index lookups for parsing.
+  std::map<std::string, int> head_to_category_;
+  std::map<std::string, int> brand_to_category_;
+  std::map<std::string, std::string> nickname_to_brand_;
+  // Attribute tokens may be shared across categories ("mens", "wireless").
+  std::map<std::string, std::vector<int>> attr_to_categories_;
+  // Colloquial phrase (space-joined) -> canonical attribute candidates.
+  // Phrases can be ambiguous across categories ("for grandpa" means
+  // "senior" phones but "adult" milk powder); the parser keeps every
+  // candidate and lets the category vote decide.
+  std::map<std::string, std::vector<std::string>> colloquial_to_canonical_;
+};
+
+}  // namespace cyqr
+
+#endif  // CYCLEQR_DATAGEN_CATALOG_H_

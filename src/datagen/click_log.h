@@ -1,0 +1,73 @@
+#ifndef CYCLEQR_DATAGEN_CLICK_LOG_H_
+#define CYCLEQR_DATAGEN_CLICK_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "datagen/catalog.h"
+
+namespace cyqr {
+
+/// An aggregated (query, clicked item) record — the unit of the paper's
+/// 60-day click log training data.
+struct ClickPair {
+  int64_t query_index = 0;  // Into ClickLog::queries().
+  int64_t product_id = 0;
+  int64_t clicks = 0;
+};
+
+struct ClickLogConfig {
+  int64_t num_distinct_queries = 1200;
+  int64_t num_sessions = 60000;  // Simulated search sessions ("60 days").
+  int64_t min_clicks = 2;        // Paper: keep samples with more than one click.
+  double zipf_exponent = 1.05;   // Head/tail skew of query traffic.
+  uint64_t seed = 11;
+};
+
+/// Table I statistics of the generated data set.
+struct DatasetStats {
+  int64_t num_pairs = 0;
+  int64_t num_sessions = 0;
+  int64_t num_distinct_queries = 0;
+  int64_t num_products = 0;
+  int64_t vocab_size = 0;
+  double avg_query_words = 0.0;
+  double avg_title_words = 0.0;
+};
+
+/// A raw (query tokens, title tokens) training pair.
+struct TokenPair {
+  std::vector<std::string> query;
+  std::vector<std::string> title;
+  int64_t clicks = 0;
+};
+
+/// Synthetic click log: distinct queries with Zipfian popularity, sessions
+/// that click relevant products proportionally to quality x relevance, and
+/// the >=min_clicks aggregation filter of Section IV-A.
+class ClickLog {
+ public:
+  static ClickLog Generate(const Catalog& catalog,
+                           const ClickLogConfig& config);
+
+  const std::vector<QuerySpec>& queries() const { return queries_; }
+  const std::vector<double>& query_popularity() const { return popularity_; }
+  const std::vector<ClickPair>& pairs() const { return pairs_; }
+  int64_t num_sessions() const { return num_sessions_; }
+
+  /// Training pairs in token form (query -> clicked title).
+  std::vector<TokenPair> TokenPairs(const Catalog& catalog) const;
+
+  DatasetStats Stats(const Catalog& catalog) const;
+
+ private:
+  std::vector<QuerySpec> queries_;
+  std::vector<double> popularity_;  // Normalized sampling weights.
+  std::vector<ClickPair> pairs_;
+  int64_t num_sessions_ = 0;
+};
+
+}  // namespace cyqr
+
+#endif  // CYCLEQR_DATAGEN_CLICK_LOG_H_

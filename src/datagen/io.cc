@@ -1,0 +1,56 @@
+#include "datagen/io.h"
+
+#include <fstream>
+
+#include "core/string_util.h"
+
+namespace cyqr {
+
+Status SaveTokenPairs(const std::vector<TokenPair>& pairs,
+                      const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) return Status::IoError("cannot open " + path);
+  for (const TokenPair& p : pairs) {
+    out << JoinStrings(p.query) << '\t' << JoinStrings(p.title) << '\t'
+        << p.clicks << '\n';
+  }
+  if (!out.good()) return Status::IoError("failed writing " + path);
+  return Status::OK();
+}
+
+Result<std::vector<TokenPair>> LoadTokenPairs(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open " + path);
+  }
+  std::vector<TokenPair> pairs;
+  std::string line;
+  int64_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    const size_t tab1 = line.find('\t');
+    if (tab1 == std::string::npos) {
+      return Status::InvalidArgument(
+          "missing tab on line " + std::to_string(line_number));
+    }
+    const size_t tab2 = line.find('\t', tab1 + 1);
+    TokenPair p;
+    p.query = SplitString(line.substr(0, tab1));
+    if (tab2 == std::string::npos) {
+      p.title = SplitString(line.substr(tab1 + 1));
+      p.clicks = 1;
+    } else {
+      p.title = SplitString(line.substr(tab1 + 1, tab2 - tab1 - 1));
+      p.clicks = std::strtoll(line.c_str() + tab2 + 1, nullptr, 10);
+    }
+    if (p.query.empty() || p.title.empty()) {
+      return Status::InvalidArgument(
+          "empty query or title on line " + std::to_string(line_number));
+    }
+    pairs.push_back(std::move(p));
+  }
+  return pairs;
+}
+
+}  // namespace cyqr

@@ -1,0 +1,22 @@
+#ifndef CYCLEQR_DATAGEN_IO_H_
+#define CYCLEQR_DATAGEN_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "datagen/click_log.h"
+
+namespace cyqr {
+
+/// TSV persistence of click-log token pairs: each line is
+/// "query tokens<TAB>title tokens<TAB>clicks". The interchange format of
+/// the CLI tools — bring-your-own click logs use the same layout.
+Status SaveTokenPairs(const std::vector<TokenPair>& pairs,
+                      const std::string& path);
+
+Result<std::vector<TokenPair>> LoadTokenPairs(const std::string& path);
+
+}  // namespace cyqr
+
+#endif  // CYCLEQR_DATAGEN_IO_H_

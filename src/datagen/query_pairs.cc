@@ -1,0 +1,45 @@
+#include "datagen/query_pairs.h"
+
+#include <algorithm>
+#include <map>
+
+#include "core/string_util.h"
+
+namespace cyqr {
+
+std::vector<QueryPair> MineSynonymousQueryPairs(const ClickLog& log,
+                                                int64_t min_shared_clicks) {
+  // product -> [(query index, clicks)].
+  std::map<int64_t, std::vector<std::pair<int64_t, int64_t>>> by_product;
+  for (const ClickPair& p : log.pairs()) {
+    by_product[p.product_id].emplace_back(p.query_index, p.clicks);
+  }
+  // Unordered query-index pair -> shared clicks.
+  std::map<std::pair<int64_t, int64_t>, int64_t> shared;
+  for (const auto& [product, qs] : by_product) {
+    for (size_t i = 0; i < qs.size(); ++i) {
+      for (size_t j = i + 1; j < qs.size(); ++j) {
+        auto key = std::minmax(qs[i].first, qs[j].first);
+        shared[{key.first, key.second}] +=
+            std::min(qs[i].second, qs[j].second);
+      }
+    }
+  }
+  std::vector<QueryPair> out;
+  for (const auto& [key, clicks] : shared) {
+    if (clicks < min_shared_clicks) continue;
+    QueryPair qp;
+    qp.a = log.queries()[key.first].tokens;
+    qp.b = log.queries()[key.second].tokens;
+    qp.shared_clicks = clicks;
+    out.push_back(std::move(qp));
+  }
+  // Most-evidence first.
+  std::sort(out.begin(), out.end(), [](const QueryPair& a,
+                                       const QueryPair& b) {
+    return a.shared_clicks > b.shared_clicks;
+  });
+  return out;
+}
+
+}  // namespace cyqr

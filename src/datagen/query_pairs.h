@@ -1,0 +1,29 @@
+#ifndef CYCLEQR_DATAGEN_QUERY_PAIRS_H_
+#define CYCLEQR_DATAGEN_QUERY_PAIRS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "datagen/click_log.h"
+
+namespace cyqr {
+
+/// A mined synonymous query pair (Section III-G): two queries that share at
+/// least `min_shared_clicks` clicks on the same items are treated as
+/// synonyms — the training data for the fast direct query-to-query model.
+struct QueryPair {
+  std::vector<std::string> a;
+  std::vector<std::string> b;
+  int64_t shared_clicks = 0;
+};
+
+/// Mines synonymous pairs from the click log by co-click counting. The
+/// shared-click count of (q1, q2) sums min(clicks1, clicks2) over all items
+/// both queries clicked. Pairs are unordered (a < b lexicographically).
+std::vector<QueryPair> MineSynonymousQueryPairs(const ClickLog& log,
+                                                int64_t min_shared_clicks);
+
+}  // namespace cyqr
+
+#endif  // CYCLEQR_DATAGEN_QUERY_PAIRS_H_

@@ -1,0 +1,65 @@
+#include "datagen/synonyms.h"
+
+#include <algorithm>
+
+#include "core/string_util.h"
+
+namespace cyqr {
+
+void SynonymDictionary::Add(const std::string& phrase,
+                            const std::string& replacement) {
+  entries_[phrase] = replacement;
+}
+
+bool SynonymDictionary::Contains(const std::string& phrase) const {
+  return entries_.count(phrase) > 0;
+}
+
+bool SynonymDictionary::Apply(const std::vector<std::string>& tokens,
+                              std::vector<std::string>* rewritten) const {
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    for (size_t len = std::min<size_t>(3, tokens.size() - i); len >= 1;
+         --len) {
+      std::string phrase = tokens[i];
+      for (size_t j = 1; j < len; ++j) phrase += " " + tokens[i + j];
+      auto it = entries_.find(phrase);
+      if (it == entries_.end()) continue;
+      rewritten->clear();
+      rewritten->insert(rewritten->end(), tokens.begin(),
+                        tokens.begin() + i);
+      for (std::string& w : SplitString(it->second)) {
+        rewritten->push_back(std::move(w));
+      }
+      rewritten->insert(rewritten->end(), tokens.begin() + i + len,
+                        tokens.end());
+      return true;
+    }
+  }
+  return false;
+}
+
+SynonymDictionary BuildRuleDictionary(const Catalog& catalog, double coverage,
+                                      Rng& rng) {
+  SynonymDictionary dict;
+  for (const CategorySpec& cat : catalog.categories()) {
+    for (const auto& [nick, brand] : cat.brand_nicknames) {
+      dict.Add(nick, brand);
+    }
+    const std::string canonical_head = JoinStrings(cat.head);
+    for (const std::string& qh : cat.query_heads) {
+      if (qh != canonical_head) dict.Add(qh, canonical_head);
+    }
+    for (const AttributeSpec& attr : cat.attributes) {
+      for (const std::string& phrase : attr.colloquial) {
+        if (rng.NextBernoulli(coverage)) dict.Add(phrase, attr.canonical);
+      }
+    }
+  }
+  // Polysemy trap: a context-free rule that treats "cherry" as the fruit.
+  // Correct for snack queries, harmful for the keyboard brand (the rewritten
+  // query "cherry fruit keyboard" retrieves nothing).
+  dict.Add("cherry", "cherry fruit");
+  return dict;
+}
+
+}  // namespace cyqr

@@ -1,0 +1,49 @@
+#ifndef CYCLEQR_DATAGEN_SYNONYMS_H_
+#define CYCLEQR_DATAGEN_SYNONYMS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "datagen/catalog.h"
+
+namespace cyqr {
+
+/// A phrase-to-phrase synonym dictionary, the substrate of the paper's
+/// production rule-based rewriter: "it simply replaces the phrase in the
+/// query with its synonym phrase from the dictionary".
+class SynonymDictionary {
+ public:
+  /// Phrases are space-joined token sequences.
+  void Add(const std::string& phrase, const std::string& replacement);
+
+  bool Contains(const std::string& phrase) const;
+  const std::map<std::string, std::string>& entries() const {
+    return entries_;
+  }
+  size_t size() const { return entries_.size(); }
+
+  /// Longest-match replacement of the first matching phrase (up to 3
+  /// tokens) in `tokens`. Returns true and writes the rewritten tokens if
+  /// any phrase matched.
+  bool Apply(const std::vector<std::string>& tokens,
+             std::vector<std::string>* rewritten) const;
+
+ private:
+  std::map<std::string, std::string> entries_;
+};
+
+/// Derives the "human-curated" dictionary from the catalog ontology:
+///  * brand nicknames -> brands (fully covered — these are common);
+///  * user head words -> canonical heads ("cellphone" -> "smartphone");
+///  * colloquial attribute phrases -> canonical attributes, but only a
+///    `coverage` fraction — human curation misses the long tail;
+///  * the context-free polysemy trap of Section IV-C2: "cherry" (the
+///    keyboard brand) -> "cherry fruit".
+SynonymDictionary BuildRuleDictionary(const Catalog& catalog, double coverage,
+                                      Rng& rng);
+
+}  // namespace cyqr
+
+#endif  // CYCLEQR_DATAGEN_SYNONYMS_H_

@@ -1,0 +1,49 @@
+#include "datagen/traffic.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/check.h"
+
+namespace cyqr {
+
+TrafficSampler::TrafficSampler(const ClickLog* log) : log_(log) {
+  CYQR_CHECK(log != nullptr);
+  const auto& pop = log->query_popularity();
+  cdf_.resize(pop.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < pop.size(); ++i) {
+    acc += pop[i];
+    cdf_[i] = acc;
+  }
+  by_popularity_.resize(pop.size());
+  std::iota(by_popularity_.begin(), by_popularity_.end(), 0);
+  std::sort(by_popularity_.begin(), by_popularity_.end(),
+            [&pop](int64_t a, int64_t b) { return pop[a] > pop[b]; });
+}
+
+int64_t TrafficSampler::SampleQueryIndex(Rng& rng) const {
+  const double u = rng.NextDouble() * cdf_.back();
+  const size_t i = static_cast<size_t>(
+      std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+  return static_cast<int64_t>(std::min(i, cdf_.size() - 1));
+}
+
+std::vector<int64_t> TrafficSampler::HeadQueries(double fraction) const {
+  std::vector<int64_t> out;
+  const auto& pop = log_->query_popularity();
+  double covered = 0.0;
+  for (int64_t q : by_popularity_) {
+    if (covered >= fraction) break;
+    out.push_back(q);
+    covered += pop[q];
+  }
+  return out;
+}
+
+bool TrafficSampler::IsHeadQuery(int64_t query_index, double fraction) const {
+  const std::vector<int64_t> head = HeadQueries(fraction);
+  return std::find(head.begin(), head.end(), query_index) != head.end();
+}
+
+}  // namespace cyqr

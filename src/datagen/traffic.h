@@ -1,0 +1,39 @@
+#ifndef CYCLEQR_DATAGEN_TRAFFIC_H_
+#define CYCLEQR_DATAGEN_TRAFFIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.h"
+#include "datagen/click_log.h"
+
+namespace cyqr {
+
+/// Samples live search traffic over the click log's query population,
+/// following its Zipfian popularity — the workload for the serving bench
+/// and the online A/B simulation.
+class TrafficSampler {
+ public:
+  /// `log` must outlive the sampler.
+  explicit TrafficSampler(const ClickLog* log);
+
+  /// Samples a query index into log->queries().
+  int64_t SampleQueryIndex(Rng& rng) const;
+
+  /// Indices of the most popular queries covering `fraction` of traffic —
+  /// the "top 8 million queries / 80% of traffic" head the paper
+  /// precomputes into the KV store (Section III-G).
+  std::vector<int64_t> HeadQueries(double fraction) const;
+
+  /// True if the query index is within the head set for `fraction`.
+  bool IsHeadQuery(int64_t query_index, double fraction) const;
+
+ private:
+  const ClickLog* log_;
+  std::vector<double> cdf_;
+  std::vector<int64_t> by_popularity_;  // Query indices, most popular first.
+};
+
+}  // namespace cyqr
+
+#endif  // CYCLEQR_DATAGEN_TRAFFIC_H_

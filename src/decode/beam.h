@@ -1,0 +1,19 @@
+#ifndef CYCLEQR_DECODE_BEAM_H_
+#define CYCLEQR_DECODE_BEAM_H_
+
+#include "decode/common.h"
+
+namespace cyqr {
+
+/// Standard beam search with beam width options.beam_size. Returns up to
+/// beam_size finished hypotheses sorted by log probability. The paper finds
+/// beam search "outputs very similar sequences that lack diversity", which
+/// motivates the top-n sampling decoder; the decoding ablation bench
+/// quantifies that observation.
+std::vector<DecodedSequence> BeamSearchDecode(
+    const Seq2SeqModel& model, const std::vector<int32_t>& src_ids,
+    const DecodeOptions& options = {});
+
+}  // namespace cyqr
+
+#endif  // CYCLEQR_DECODE_BEAM_H_

@@ -1,0 +1,108 @@
+#include "decode/diverse_beam.h"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+
+#include "core/check.h"
+#include "core/math.h"
+#include "text/vocabulary.h"
+
+namespace cyqr {
+
+namespace {
+
+struct Hypothesis {
+  std::unique_ptr<DecodeState> state;
+  std::vector<int32_t> ids;
+  double log_prob = 0.0;     // True model score (reported).
+  double penalized = 0.0;    // Score with diversity penalty (search key).
+  int32_t last_token = kBosId;
+};
+
+}  // namespace
+
+std::vector<DecodedSequence> DiverseBeamSearchDecode(
+    const Seq2SeqModel& model, const std::vector<int32_t>& src_ids,
+    const DecodeOptions& options) {
+  NoGradGuard no_grad;
+  CYQR_CHECK_GT(options.num_groups, 0);
+  const int64_t groups = std::min(options.num_groups, options.beam_size);
+  const size_t per_group = static_cast<size_t>(
+      std::max<int64_t>(1, options.beam_size / groups));
+
+  std::vector<std::vector<Hypothesis>> beams(groups);
+  std::vector<std::vector<DecodedSequence>> finished(groups);
+  for (int64_t g = 0; g < groups; ++g) {
+    Hypothesis root;
+    root.state = model.StartDecode(src_ids);
+    beams[g].push_back(std::move(root));
+  }
+
+  for (int64_t t = 0; t < options.max_len; ++t) {
+    // Tokens chosen by earlier groups at this time step.
+    std::unordered_map<int32_t, int> chosen_counts;
+    for (int64_t g = 0; g < groups; ++g) {
+      struct Expansion {
+        size_t parent;
+        int32_t token;
+        double log_prob;
+        double penalized;
+      };
+      std::vector<Expansion> expansions;
+      for (size_t i = 0; i < beams[g].size(); ++i) {
+        Hypothesis& h = beams[g][i];
+        const std::vector<float> logits = model.Step(*h.state, h.last_token);
+        const std::vector<float> lp =
+            decode_internal::StepLogProbs(logits, /*allow_eos=*/t > 0);
+        const std::vector<size_t> top = TopKIndices(
+            lp.data(), lp.size(), per_group + chosen_counts.size());
+        for (size_t j : top) {
+          const int32_t tok = static_cast<int32_t>(j);
+          const auto it = chosen_counts.find(tok);
+          const double penalty =
+              it == chosen_counts.end()
+                  ? 0.0
+                  : options.diversity_penalty * it->second;
+          expansions.push_back({i, tok, h.log_prob + lp[j],
+                                h.penalized + lp[j] - penalty});
+        }
+      }
+      std::sort(expansions.begin(), expansions.end(),
+                [](const Expansion& a, const Expansion& b) {
+                  return a.penalized > b.penalized;
+                });
+      std::vector<Hypothesis> next;
+      for (const Expansion& e : expansions) {
+        if (next.size() >= per_group) break;
+        ++chosen_counts[e.token];
+        if (e.token == kEosId) {
+          finished[g].push_back({beams[g][e.parent].ids, e.log_prob});
+          continue;
+        }
+        Hypothesis h;
+        h.ids = beams[g][e.parent].ids;
+        h.ids.push_back(e.token);
+        h.log_prob = e.log_prob;
+        h.penalized = e.penalized;
+        h.last_token = e.token;
+        h.state = beams[g][e.parent].state->Clone();
+        next.push_back(std::move(h));
+      }
+      beams[g] = std::move(next);
+    }
+  }
+
+  std::vector<DecodedSequence> out;
+  for (int64_t g = 0; g < groups; ++g) {
+    for (DecodedSequence& s : finished[g]) out.push_back(std::move(s));
+    for (Hypothesis& h : beams[g]) {
+      out.push_back({std::move(h.ids), h.log_prob});
+    }
+  }
+  decode_internal::SortAndTrim(&out,
+                               static_cast<size_t>(options.beam_size));
+  return out;
+}
+
+}  // namespace cyqr

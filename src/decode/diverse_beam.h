@@ -1,0 +1,19 @@
+#ifndef CYCLEQR_DECODE_DIVERSE_BEAM_H_
+#define CYCLEQR_DECODE_DIVERSE_BEAM_H_
+
+#include "decode/common.h"
+
+namespace cyqr {
+
+/// Diverse beam search (Vijayakumar et al. [32]) — the decoding direction
+/// the paper lists as future work. The beam is partitioned into
+/// options.num_groups groups; each group runs beam search but token scores
+/// are penalized by options.diversity_penalty times the number of earlier
+/// groups that already chose that token at the current step.
+std::vector<DecodedSequence> DiverseBeamSearchDecode(
+    const Seq2SeqModel& model, const std::vector<int32_t>& src_ids,
+    const DecodeOptions& options = {});
+
+}  // namespace cyqr
+
+#endif  // CYCLEQR_DECODE_DIVERSE_BEAM_H_

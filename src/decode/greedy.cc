@@ -1,0 +1,62 @@
+#include "decode/greedy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "text/vocabulary.h"
+
+namespace cyqr {
+
+namespace decode_internal {
+
+std::vector<float> StepLogProbs(const std::vector<float>& logits,
+                                bool allow_eos) {
+  std::vector<float> lp(logits.size());
+  // Stable log-softmax.
+  float max_logit = logits[0];
+  for (float v : logits) max_logit = std::max(max_logit, v);
+  double sum = 0.0;
+  for (float v : logits) sum += std::exp(static_cast<double>(v - max_logit));
+  const float lse = max_logit + static_cast<float>(std::log(sum));
+  for (size_t i = 0; i < logits.size(); ++i) lp[i] = logits[i] - lse;
+  lp[kPadId] = -1e30f;
+  lp[kBosId] = -1e30f;
+  lp[kUnkId] = -1e30f;
+  if (!allow_eos) lp[kEosId] = -1e30f;
+  return lp;
+}
+
+void SortAndTrim(std::vector<DecodedSequence>* seqs, size_t limit) {
+  std::sort(seqs->begin(), seqs->end(),
+            [](const DecodedSequence& a, const DecodedSequence& b) {
+              return a.log_prob > b.log_prob;
+            });
+  if (seqs->size() > limit) seqs->resize(limit);
+}
+
+}  // namespace decode_internal
+
+DecodedSequence GreedyDecode(const Seq2SeqModel& model,
+                             const std::vector<int32_t>& src_ids,
+                             const DecodeOptions& options) {
+  NoGradGuard no_grad;
+  auto state = model.StartDecode(src_ids);
+  DecodedSequence out;
+  int32_t last = kBosId;
+  for (int64_t t = 0; t < options.max_len; ++t) {
+    const std::vector<float> logits = model.Step(*state, last);
+    const std::vector<float> lp =
+        decode_internal::StepLogProbs(logits, /*allow_eos=*/t > 0);
+    int32_t best = 0;
+    for (size_t j = 1; j < lp.size(); ++j) {
+      if (lp[j] > lp[best]) best = static_cast<int32_t>(j);
+    }
+    out.log_prob += lp[best];
+    if (best == kEosId) return out;
+    out.ids.push_back(best);
+    last = best;
+  }
+  return out;
+}
+
+}  // namespace cyqr

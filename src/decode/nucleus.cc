@@ -1,0 +1,108 @@
+#include "decode/nucleus.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <numeric>
+
+#include "core/check.h"
+#include "core/math.h"
+#include "text/vocabulary.h"
+
+namespace cyqr {
+
+namespace {
+
+struct Candidate {
+  std::unique_ptr<DecodeState> state;
+  std::vector<int32_t> ids;
+  double log_prob = 0.0;
+  int32_t last_token = kBosId;
+  bool finished = false;
+};
+
+/// Samples one token from the nucleus of `lp` (log-probabilities).
+int32_t SampleNucleus(const std::vector<float>& lp, double top_p, Rng& rng) {
+  std::vector<size_t> order(lp.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&lp](size_t a, size_t b) { return lp[a] > lp[b]; });
+  std::vector<float> weights;
+  std::vector<size_t> pool;
+  double cumulative = 0.0;
+  for (size_t idx : order) {
+    const double p = std::exp(static_cast<double>(lp[idx]));
+    pool.push_back(idx);
+    weights.push_back(static_cast<float>(p));
+    cumulative += p;
+    if (cumulative >= top_p) break;
+  }
+  return static_cast<int32_t>(pool[rng.SampleCategorical(weights)]);
+}
+
+}  // namespace
+
+std::vector<DecodedSequence> NucleusSamplingDecode(
+    const Seq2SeqModel& model, const std::vector<int32_t>& src_ids,
+    const DecodeOptions& options, const NucleusOptions& nucleus) {
+  Rng rng(options.seed);
+  return NucleusSamplingDecode(model, src_ids, options, nucleus, rng);
+}
+
+std::vector<DecodedSequence> NucleusSamplingDecode(
+    const Seq2SeqModel& model, const std::vector<int32_t>& src_ids,
+    const DecodeOptions& options, const NucleusOptions& nucleus, Rng& rng) {
+  NoGradGuard no_grad;
+  CYQR_CHECK_GT(options.beam_size, 0);
+  CYQR_CHECK(nucleus.top_p > 0.0 && nucleus.top_p <= 1.0);
+  const size_t k = static_cast<size_t>(options.beam_size);
+
+  // First step: the k most likely distinct tokens, one per candidate
+  // (shared with the top-n decoder — the diversity-critical step).
+  auto root = model.StartDecode(src_ids);
+  const std::vector<float> first_lp = decode_internal::StepLogProbs(
+      model.Step(*root, kBosId), /*allow_eos=*/false);
+  const std::vector<size_t> first_tokens =
+      TopKIndices(first_lp.data(), first_lp.size(), k);
+
+  std::vector<Candidate> candidates;
+  for (size_t i = 0; i < first_tokens.size(); ++i) {
+    Candidate c;
+    c.state = (i + 1 == first_tokens.size()) ? std::move(root)
+                                             : root->Clone();
+    const int32_t tok = static_cast<int32_t>(first_tokens[i]);
+    c.ids.push_back(tok);
+    c.log_prob = first_lp[tok];
+    c.last_token = tok;
+    candidates.push_back(std::move(c));
+  }
+
+  for (int64_t t = 1; t < options.max_len; ++t) {
+    bool any_live = false;
+    for (Candidate& c : candidates) {
+      if (c.finished) continue;
+      any_live = true;
+      const std::vector<float> lp = decode_internal::StepLogProbs(
+          model.Step(*c.state, c.last_token), /*allow_eos=*/true);
+      const int32_t tok = SampleNucleus(lp, nucleus.top_p, rng);
+      c.log_prob += lp[tok];
+      if (tok == kEosId) {
+        c.finished = true;
+      } else {
+        c.ids.push_back(tok);
+        c.last_token = tok;
+      }
+    }
+    if (!any_live) break;
+  }
+
+  std::vector<DecodedSequence> out;
+  out.reserve(candidates.size());
+  for (Candidate& c : candidates) {
+    out.push_back({std::move(c.ids), c.log_prob});
+  }
+  decode_internal::SortAndTrim(&out, k);
+  return out;
+}
+
+}  // namespace cyqr

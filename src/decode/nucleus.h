@@ -1,0 +1,29 @@
+#ifndef CYCLEQR_DECODE_NUCLEUS_H_
+#define CYCLEQR_DECODE_NUCLEUS_H_
+
+#include "core/rng.h"
+#include "decode/common.h"
+
+namespace cyqr {
+
+/// Nucleus (top-p) sampling — a modern alternative to the paper's top-n
+/// decoder included for the decoding ablation: each step samples from the
+/// smallest token set whose cumulative probability exceeds `top_p`, so the
+/// pool adapts to the sharpness of the distribution instead of being a
+/// fixed n. Like the top-n decoder, the first step assigns the k most
+/// likely distinct tokens, one per candidate, for output diversity.
+struct NucleusOptions {
+  double top_p = 0.9;
+};
+
+std::vector<DecodedSequence> NucleusSamplingDecode(
+    const Seq2SeqModel& model, const std::vector<int32_t>& src_ids,
+    const DecodeOptions& options = {}, const NucleusOptions& nucleus = {});
+
+std::vector<DecodedSequence> NucleusSamplingDecode(
+    const Seq2SeqModel& model, const std::vector<int32_t>& src_ids,
+    const DecodeOptions& options, const NucleusOptions& nucleus, Rng& rng);
+
+}  // namespace cyqr
+
+#endif  // CYCLEQR_DECODE_NUCLEUS_H_

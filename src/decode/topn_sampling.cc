@@ -1,0 +1,98 @@
+#include "decode/topn_sampling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "core/check.h"
+#include "core/math.h"
+#include "text/vocabulary.h"
+
+namespace cyqr {
+
+namespace {
+
+struct Candidate {
+  std::unique_ptr<DecodeState> state;
+  std::vector<int32_t> ids;
+  double log_prob = 0.0;
+  int32_t last_token = kBosId;
+  bool finished = false;
+};
+
+}  // namespace
+
+std::vector<DecodedSequence> TopNSamplingDecode(
+    const Seq2SeqModel& model, const std::vector<int32_t>& src_ids,
+    const DecodeOptions& options) {
+  Rng rng(options.seed);
+  return TopNSamplingDecode(model, src_ids, options, rng);
+}
+
+std::vector<DecodedSequence> TopNSamplingDecode(
+    const Seq2SeqModel& model, const std::vector<int32_t>& src_ids,
+    const DecodeOptions& options, Rng& rng) {
+  NoGradGuard no_grad;
+  CYQR_CHECK_GT(options.beam_size, 0);
+  CYQR_CHECK_GT(options.top_n, 0);
+  const size_t k = static_cast<size_t>(options.beam_size);
+
+  // First step: expand the root once and claim the k most likely distinct
+  // first tokens, one per candidate (Figure 4).
+  auto root = model.StartDecode(src_ids);
+  const std::vector<float> first_logits = model.Step(*root, kBosId);
+  const std::vector<float> first_lp =
+      decode_internal::StepLogProbs(first_logits, /*allow_eos=*/false);
+  const std::vector<size_t> first_tokens =
+      TopKIndices(first_lp.data(), first_lp.size(), k);
+
+  std::vector<Candidate> candidates;
+  for (size_t i = 0; i < first_tokens.size(); ++i) {
+    Candidate c;
+    c.state = (i + 1 == first_tokens.size()) ? std::move(root)
+                                             : root->Clone();
+    const int32_t tok = static_cast<int32_t>(first_tokens[i]);
+    c.ids.push_back(tok);
+    c.log_prob = first_lp[tok];
+    c.last_token = tok;
+    candidates.push_back(std::move(c));
+  }
+
+  // Following steps: per-candidate top-n sampling.
+  for (int64_t t = 1; t < options.max_len; ++t) {
+    bool any_live = false;
+    for (Candidate& c : candidates) {
+      if (c.finished) continue;
+      any_live = true;
+      const std::vector<float> logits = model.Step(*c.state, c.last_token);
+      const std::vector<float> lp =
+          decode_internal::StepLogProbs(logits, /*allow_eos=*/true);
+      const std::vector<size_t> pool =
+          TopKIndices(lp.data(), lp.size(), options.top_n);
+      std::vector<float> weights(pool.size());
+      for (size_t j = 0; j < pool.size(); ++j) {
+        weights[j] = std::exp(lp[pool[j]]);
+      }
+      const size_t pick = rng.SampleCategorical(weights);
+      const int32_t tok = static_cast<int32_t>(pool[pick]);
+      c.log_prob += lp[tok];  // True model probability, not renormalized.
+      if (tok == kEosId) {
+        c.finished = true;
+      } else {
+        c.ids.push_back(tok);
+        c.last_token = tok;
+      }
+    }
+    if (!any_live) break;
+  }
+
+  std::vector<DecodedSequence> out;
+  out.reserve(candidates.size());
+  for (Candidate& c : candidates) {
+    out.push_back({std::move(c.ids), c.log_prob});
+  }
+  decode_internal::SortAndTrim(&out, k);
+  return out;
+}
+
+}  // namespace cyqr

@@ -1,0 +1,33 @@
+#ifndef CYCLEQR_DECODE_TOPN_SAMPLING_H_
+#define CYCLEQR_DECODE_TOPN_SAMPLING_H_
+
+#include "core/rng.h"
+#include "decode/common.h"
+
+namespace cyqr {
+
+/// The paper's top-n sampling decoder (Section III-F, Figure 4):
+///
+///  * k (= options.beam_size) candidate sequences are maintained;
+///  * at the FIRST step, the k most likely distinct tokens are assigned one
+///    per candidate — this forces every candidate to begin differently,
+///    "a key step to increase the result's diversity";
+///  * at every following step each candidate samples its next token among
+///    the top n (= options.top_n) most likely tokens, proportionally to
+///    their conditional probabilities.
+///
+/// Returns up to k sequences with their true model log probabilities,
+/// sorted descending. Deterministic given options.seed.
+std::vector<DecodedSequence> TopNSamplingDecode(
+    const Seq2SeqModel& model, const std::vector<int32_t>& src_ids,
+    const DecodeOptions& options = {});
+
+/// Variant taking an external RNG so callers (e.g. the trainer's synthetic
+/// title stage) can advance one stream across many decodes.
+std::vector<DecodedSequence> TopNSamplingDecode(
+    const Seq2SeqModel& model, const std::vector<int32_t>& src_ids,
+    const DecodeOptions& options, Rng& rng);
+
+}  // namespace cyqr
+
+#endif  // CYCLEQR_DECODE_TOPN_SAMPLING_H_

@@ -1,0 +1,159 @@
+#include "eval/ab_sim.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+
+namespace cyqr {
+
+AbSimulator::AbSimulator(const Catalog* catalog, const ClickLog* log,
+                         const InvertedIndex* index)
+    : catalog_(catalog), log_(log), index_(index), traffic_(log) {
+  CYQR_CHECK(catalog != nullptr);
+  CYQR_CHECK(log != nullptr);
+  CYQR_CHECK(index != nullptr);
+}
+
+AbSimulator::SessionOutcome AbSimulator::RunSession(
+    const QuerySpec& query,
+    const std::vector<std::vector<std::string>>& extra_rewrites,
+    const AbConfig& config, Rng& rng) const {
+  RetrievalEngine engine(index_);
+
+  // Candidate generation: original query, plus extra rewrites through the
+  // merged syntax tree (Section III-H) capped per rewrite.
+  RetrievalEngine::Result base = engine.RetrieveOne(query.tokens);
+  PostingList candidates = base.docs;
+  if (!extra_rewrites.empty()) {
+    std::vector<std::vector<std::string>> merged_input;
+    merged_input.push_back(query.tokens);
+    for (const auto& r : extra_rewrites) {
+      if (static_cast<int64_t>(merged_input.size()) - 1 >=
+          config.max_rewrites) {
+        break;
+      }
+      merged_input.push_back(r);
+    }
+    RetrievalEngine::Result extra = engine.RetrieveMerged(merged_input);
+    if (static_cast<int64_t>(extra.docs.size()) >
+        config.max_candidates_per_rewrite * config.max_rewrites) {
+      extra.docs.resize(config.max_candidates_per_rewrite *
+                        config.max_rewrites);
+    }
+    RetrievalCost unused;
+    candidates = UnionLists(candidates, extra.docs, &unused);
+  }
+
+  // Shared ranking: relevance to the TRUE intent x item quality, the proxy
+  // for the production deep ranker both arms share.
+  struct Ranked {
+    DocId doc;
+    double score;
+  };
+  std::vector<Ranked> ranked;
+  ranked.reserve(candidates.size());
+  for (DocId doc : candidates) {
+    const Product& p = catalog_->product(doc);
+    const double rel = catalog_->MatchScore(query.intent, p);
+    ranked.push_back({doc, rel * p.quality});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const Ranked& a, const Ranked& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.doc < b.doc;
+            });
+  if (static_cast<int64_t>(ranked.size()) > config.results_page_size) {
+    ranked.resize(config.results_page_size);
+  }
+
+  // Position-biased examination -> click -> purchase.
+  SessionOutcome outcome;
+  bool clicked = false;
+  double examine = 1.0;
+  for (const Ranked& r : ranked) {
+    if (!rng.NextBernoulli(examine)) {
+      examine *= config.examine_decay;
+      continue;
+    }
+    examine *= config.examine_decay;
+    const Product& p = catalog_->product(r.doc);
+    const double rel = catalog_->MatchScore(query.intent, p);
+    if (rel <= 0.0) continue;
+    if (rng.NextBernoulli(std::min(1.0, config.click_base * rel / 2.0))) {
+      clicked = true;
+      if (rng.NextBernoulli(
+              std::min(1.0, config.purchase_base * p.quality / 2.0))) {
+        outcome.converted = true;
+        outcome.gmv += p.price;
+      }
+    }
+  }
+  // Users who find nothing clickable tend to rephrase the query manually.
+  if (!clicked && rng.NextBernoulli(config.requery_prob)) {
+    outcome.requeried = true;
+  }
+  return outcome;
+}
+
+AbResult AbSimulator::Run(const RewriteFn& control_rewrites,
+                          const RewriteFn& treatment_rewrites,
+                          const AbConfig& config) const {
+  Rng traffic_rng(config.seed);
+  AbResult result;
+  int64_t control_conversions = 0;
+  int64_t treatment_conversions = 0;
+  int64_t control_requeries = 0;
+  int64_t treatment_requeries = 0;
+
+  for (int64_t s = 0; s < config.num_sessions; ++s) {
+    const int64_t qi = traffic_.SampleQueryIndex(traffic_rng);
+    const QuerySpec& query = log_->queries()[qi];
+    // Paired user randomness: both arms replay the same user.
+    const uint64_t user_seed = traffic_rng.NextUint64();
+
+    Rng control_rng(user_seed);
+    const SessionOutcome control = RunSession(
+        query, control_rewrites ? control_rewrites(query)
+                                : std::vector<std::vector<std::string>>{},
+        config, control_rng);
+    Rng treatment_rng(user_seed);
+    const SessionOutcome treatment = RunSession(
+        query, treatment_rewrites ? treatment_rewrites(query)
+                                  : std::vector<std::vector<std::string>>{},
+        config, treatment_rng);
+
+    control_conversions += control.converted ? 1 : 0;
+    treatment_conversions += treatment.converted ? 1 : 0;
+    control_requeries += control.requeried ? 1 : 0;
+    treatment_requeries += treatment.requeried ? 1 : 0;
+    result.control.gmv += control.gmv;
+    result.treatment.gmv += treatment.gmv;
+  }
+
+  result.control.sessions = config.num_sessions;
+  result.treatment.sessions = config.num_sessions;
+  result.control.ucvr =
+      static_cast<double>(control_conversions) / config.num_sessions;
+  result.treatment.ucvr =
+      static_cast<double>(treatment_conversions) / config.num_sessions;
+  result.control.qrr =
+      static_cast<double>(control_requeries) / config.num_sessions;
+  result.treatment.qrr =
+      static_cast<double>(treatment_requeries) / config.num_sessions;
+
+  if (result.control.ucvr > 0.0) {
+    result.ucvr_lift =
+        (result.treatment.ucvr - result.control.ucvr) / result.control.ucvr;
+  }
+  if (result.control.gmv > 0.0) {
+    result.gmv_lift =
+        (result.treatment.gmv - result.control.gmv) / result.control.gmv;
+  }
+  if (result.control.qrr > 0.0) {
+    result.qrr_delta =
+        (result.treatment.qrr - result.control.qrr) / result.control.qrr;
+  }
+  return result;
+}
+
+}  // namespace cyqr

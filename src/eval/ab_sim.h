@@ -1,0 +1,85 @@
+#ifndef CYCLEQR_EVAL_AB_SIM_H_
+#define CYCLEQR_EVAL_AB_SIM_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "datagen/traffic.h"
+#include "index/retrieval.h"
+
+namespace cyqr {
+
+/// Configuration of the simulated online A/B experiment (Table VIII). The
+/// treatment differs from control exactly as in the paper: "at most 3
+/// rewritten queries, each of which retrieves at most 1,000 candidates in
+/// addition to those in the baseline", shared ranking for both arms.
+struct AbConfig {
+  int64_t num_sessions = 20000;          // "10 days" of traffic.
+  int64_t max_rewrites = 3;
+  int64_t max_candidates_per_rewrite = 1000;
+  int64_t results_page_size = 10;
+  double examine_decay = 0.85;           // Position-bias examination prob.
+  double click_base = 0.45;              // Click prob scale on relevance.
+  double purchase_base = 0.30;           // Purchase prob scale on quality.
+  double requery_prob = 0.8;             // Rephrase prob after a dead page.
+  uint64_t seed = 2020;
+};
+
+/// Per-arm business metrics.
+struct AbMetrics {
+  double ucvr = 0.0;  // User conversion rate: sessions with a purchase.
+  double gmv = 0.0;   // Gross merchandise value (sum of purchase prices).
+  double qrr = 0.0;   // Query rewrite (manual re-query) rate.
+  int64_t sessions = 0;
+};
+
+struct AbResult {
+  AbMetrics control;
+  AbMetrics treatment;
+  // Relative improvements as reported in Table VIII.
+  double ucvr_lift = 0.0;   // (treat - ctrl) / ctrl.
+  double gmv_lift = 0.0;
+  double qrr_delta = 0.0;   // Relative change; negative = fewer re-queries.
+};
+
+/// Simulates paired A/B traffic: each session draws a query from the
+/// Zipfian traffic model, both arms retrieve candidates through the
+/// inverted index (control: original + rule rewrites; treatment: control
+/// plus up to 3 model rewrites x 1000 candidates via the merged syntax
+/// tree), a shared relevance x quality ranker produces the page, and a
+/// position-biased user model clicks / purchases / re-queries.
+class AbSimulator {
+ public:
+  /// Produces extra rewrites for a query (arm-specific).
+  using RewriteFn =
+      std::function<std::vector<std::vector<std::string>>(const QuerySpec&)>;
+
+  AbSimulator(const Catalog* catalog, const ClickLog* log,
+              const InvertedIndex* index);
+
+  AbResult Run(const RewriteFn& control_rewrites,
+               const RewriteFn& treatment_rewrites,
+               const AbConfig& config) const;
+
+ private:
+  struct SessionOutcome {
+    bool converted = false;
+    double gmv = 0.0;
+    bool requeried = false;
+  };
+
+  SessionOutcome RunSession(const QuerySpec& query,
+                            const std::vector<std::vector<std::string>>&
+                                extra_rewrites,
+                            const AbConfig& config, Rng& rng) const;
+
+  const Catalog* catalog_;
+  const ClickLog* log_;
+  const InvertedIndex* index_;
+  TrafficSampler traffic_;
+};
+
+}  // namespace cyqr
+
+#endif  // CYCLEQR_EVAL_AB_SIM_H_

@@ -1,0 +1,105 @@
+#include "eval/judge.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+
+namespace cyqr {
+
+RelevanceJudge::RelevanceJudge(const Catalog* catalog) : catalog_(catalog) {
+  CYQR_CHECK(catalog != nullptr);
+  for (const Product& p : catalog->products()) {
+    category_title_vocab_[p.category].insert(p.title_tokens.begin(),
+                                             p.title_tokens.end());
+  }
+}
+
+double RelevanceJudge::Score(const QueryIntent& original_intent,
+                             const std::vector<std::string>& rewrite) const {
+  if (rewrite.empty()) return 0.0;
+  const QueryIntent parsed = catalog_->ParseQuery(rewrite);
+
+  // Category must be preserved.
+  if (parsed.category.empty() || parsed.category != original_intent.category) {
+    return 0.0;
+  }
+  double score = 1.0;
+
+  // Brand: keeping it is best; generalizing away is a mild loss; switching
+  // to a different brand breaks the intent.
+  if (!original_intent.brand.empty()) {
+    if (parsed.brand == original_intent.brand) {
+      // Full credit.
+    } else if (parsed.brand.empty()) {
+      score *= 0.7;
+    } else {
+      return 0.0;
+    }
+  } else if (!parsed.brand.empty()) {
+    score *= 0.6;  // Invented a brand constraint the user did not ask for.
+  }
+
+  // Attribute preservation.
+  if (!original_intent.attributes.empty()) {
+    int64_t hit = 0;
+    for (const std::string& a : original_intent.attributes) {
+      if (std::find(parsed.attributes.begin(), parsed.attributes.end(), a) !=
+          parsed.attributes.end()) {
+        ++hit;
+      }
+    }
+    score *= 0.4 + 0.6 * static_cast<double>(hit) /
+                       original_intent.attributes.size();
+  }
+
+  // Retrieval viability: AND retrieval over the inverted index fails on
+  // tokens that never occur in the category's titles — e.g. "fruit" in a
+  // keyboard query ("cherry fruit keyboard" retrieves nothing), or
+  // query-side-only words like "for".
+  auto vocab_it = category_title_vocab_.find(parsed.category);
+  if (vocab_it != category_title_vocab_.end()) {
+    for (const std::string& tok : rewrite) {
+      if (vocab_it->second.count(tok) == 0) {
+        score *= 0.2;
+        break;
+      }
+    }
+  }
+  // And the parsed intent must actually match some product.
+  if (catalog_->MatchingProducts(parsed).empty()) score *= 0.2;
+  return score;
+}
+
+double RelevanceJudge::ScoreSet(
+    const QueryIntent& original_intent,
+    const std::vector<std::vector<std::string>>& rewrites) const {
+  if (rewrites.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& r : rewrites) total += Score(original_intent, r);
+  return total / rewrites.size();
+}
+
+RelevanceJudge::Verdict RelevanceJudge::Compare(
+    const QueryIntent& original_intent,
+    const std::vector<std::vector<std::string>>& a,
+    const std::vector<std::vector<std::string>>& b, double margin) const {
+  const double sa = ScoreSet(original_intent, a);
+  const double sb = ScoreSet(original_intent, b);
+  if (sa > sb + margin) return Verdict::kWin;
+  if (sb > sa + margin) return Verdict::kLose;
+  return Verdict::kTie;
+}
+
+const char* VerdictName(RelevanceJudge::Verdict verdict) {
+  switch (verdict) {
+    case RelevanceJudge::Verdict::kLose:
+      return "lose";
+    case RelevanceJudge::Verdict::kTie:
+      return "tie";
+    case RelevanceJudge::Verdict::kWin:
+      return "win";
+  }
+  return "unknown";
+}
+
+}  // namespace cyqr

@@ -1,0 +1,53 @@
+#ifndef CYCLEQR_EVAL_JUDGE_H_
+#define CYCLEQR_EVAL_JUDGE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "datagen/catalog.h"
+
+namespace cyqr {
+
+/// Oracle relevance judge — the stand-in for the paper's human labelers
+/// (Table VI). Because the data generator knows each query's true intent,
+/// a rewrite can be scored by (a) whether its parsed intent preserves the
+/// original category/brand/attributes and (b) whether it would actually
+/// retrieve anything (every token must exist in the title vocabulary;
+/// AND-retrieval dies on out-of-catalog tokens — this is what catches the
+/// "cherry" polysemy failure of context-free rules).
+class RelevanceJudge {
+ public:
+  /// `catalog` must outlive the judge.
+  explicit RelevanceJudge(const Catalog* catalog);
+
+  /// Relevance of a rewrite to the original intent, in [0, 1].
+  double Score(const QueryIntent& original_intent,
+               const std::vector<std::string>& rewrite) const;
+
+  /// Mean score of a rewrite set (0 for an empty set).
+  double ScoreSet(const QueryIntent& original_intent,
+                  const std::vector<std::vector<std::string>>& rewrites) const;
+
+  enum class Verdict { kLose, kTie, kWin };
+
+  /// Side-by-side comparison of two rewrite sets for the same query
+  /// (the Table VI protocol). `margin` is the tie band.
+  Verdict Compare(const QueryIntent& original_intent,
+                  const std::vector<std::vector<std::string>>& a,
+                  const std::vector<std::vector<std::string>>& b,
+                  double margin = 0.05) const;
+
+ private:
+  const Catalog* catalog_;
+  // Title-token vocabulary per category: a rewrite token outside its
+  // category's title vocabulary breaks AND retrieval.
+  std::map<std::string, std::set<std::string>> category_title_vocab_;
+};
+
+const char* VerdictName(RelevanceJudge::Verdict verdict);
+
+}  // namespace cyqr
+
+#endif  // CYCLEQR_EVAL_JUDGE_H_

@@ -1,0 +1,70 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "text/ngram.h"
+
+namespace cyqr {
+
+double NGramF1(const std::vector<std::string>& rewritten,
+               const std::vector<std::string>& original) {
+  const std::set<std::string> r = UniAndBigramSet(rewritten);
+  const std::set<std::string> o = UniAndBigramSet(original);
+  if (r.empty() || o.empty()) return 0.0;
+  int64_t overlap = 0;
+  for (const std::string& g : r) overlap += o.count(g);
+  if (overlap == 0) return 0.0;
+  const double p = static_cast<double>(overlap) / r.size();
+  const double rec = static_cast<double>(overlap) / o.size();
+  return 2.0 * p * rec / (p + rec);
+}
+
+namespace {
+
+template <typename Seq>
+int64_t Levenshtein(const Seq& a, const Seq& b) {
+  const size_t m = a.size();
+  const size_t n = b.size();
+  std::vector<int64_t> prev(n + 1);
+  std::vector<int64_t> cur(n + 1);
+  for (size_t j = 0; j <= n; ++j) prev[j] = static_cast<int64_t>(j);
+  for (size_t i = 1; i <= m; ++i) {
+    cur[0] = static_cast<int64_t>(i);
+    for (size_t j = 1; j <= n; ++j) {
+      const int64_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[n];
+}
+
+}  // namespace
+
+int64_t TokenEditDistance(const std::vector<std::string>& a,
+                          const std::vector<std::string>& b) {
+  return Levenshtein(a, b);
+}
+
+int64_t CharEditDistance(const std::string& a, const std::string& b) {
+  return Levenshtein(a, b);
+}
+
+double CosineSimilarity(const std::vector<float>& a,
+                        const std::vector<float>& b) {
+  if (a.size() != b.size() || a.empty()) return 0.0;
+  double dot = 0.0;
+  double na = 0.0;
+  double nb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+}  // namespace cyqr

@@ -1,0 +1,38 @@
+#ifndef CYCLEQR_EVAL_METRICS_H_
+#define CYCLEQR_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cyqr {
+
+/// Table VII F1: rewritten and original queries are represented as sets of
+/// their unigrams + bigrams; precision = overlap / rewrite n-grams,
+/// recall = overlap / original n-grams, F1 = 2pr/(p+r). High F1 means the
+/// rewrite is lexically close to the original (rule-based behaviour).
+double NGramF1(const std::vector<std::string>& rewritten,
+               const std::vector<std::string>& original);
+
+/// Levenshtein distance on token sequences (Table VII edit distance).
+int64_t TokenEditDistance(const std::vector<std::string>& a,
+                          const std::vector<std::string>& b);
+
+/// Levenshtein distance on characters.
+int64_t CharEditDistance(const std::string& a, const std::string& b);
+
+/// Cosine similarity of two embedding vectors (0 when either is zero).
+double CosineSimilarity(const std::vector<float>& a,
+                        const std::vector<float>& b);
+
+/// Aggregated Table VII row.
+struct OfflineMetrics {
+  double f1 = 0.0;
+  double edit_distance = 0.0;
+  double cosine_similarity = 0.0;
+  int64_t num_rewrites = 0;
+};
+
+}  // namespace cyqr
+
+#endif  // CYCLEQR_EVAL_METRICS_H_

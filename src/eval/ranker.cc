@@ -1,0 +1,108 @@
+#include "eval/ranker.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+#include "eval/metrics.h"
+
+namespace cyqr {
+
+PairwiseRanker::PairwiseRanker(const Catalog* catalog,
+                               const Bm25Scorer* bm25,
+                               const TwoTowerModel* embedder,
+                               const Vocabulary* vocab)
+    : catalog_(catalog),
+      bm25_(bm25),
+      embedder_(embedder),
+      vocab_(vocab),
+      weights_(4, 0.0) {
+  CYQR_CHECK(catalog != nullptr);
+  CYQR_CHECK(bm25 != nullptr);
+  CYQR_CHECK(embedder != nullptr);
+  CYQR_CHECK(vocab != nullptr);
+  weights_[0] = 1.0;  // Start from plain BM25.
+}
+
+PairwiseRanker::Features PairwiseRanker::ExtractFeatures(
+    const std::vector<std::string>& query, DocId doc) const {
+  Features f;
+  f.bm25 = bm25_->Score(query, doc);
+  const Product& p = catalog_->product(doc);
+  f.embedding_cosine = CosineSimilarity(
+      embedder_->EmbedQuery(vocab_->Encode(query)),
+      embedder_->EmbedTitle(vocab_->Encode(p.title_tokens)));
+  f.quality = p.quality;
+  return f;
+}
+
+double PairwiseRanker::ScoreFeatures(const Features& f) const {
+  return weights_[0] * f.bm25 + weights_[1] * f.embedding_cosine +
+         weights_[2] * f.quality + weights_[3];
+}
+
+double PairwiseRanker::Score(const std::vector<std::string>& query,
+                             DocId doc) const {
+  return ScoreFeatures(ExtractFeatures(query, doc));
+}
+
+double PairwiseRanker::Train(const ClickLog& log,
+                             const TrainOptions& options) {
+  // Candidate pools per query: the products the query's intent matches.
+  const auto& queries = log.queries();
+  std::vector<std::vector<int64_t>> clicked(queries.size());
+  for (const ClickPair& p : log.pairs()) {
+    clicked[p.query_index].push_back(p.product_id);
+  }
+  std::vector<int64_t> trainable;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    if (!clicked[q].empty()) trainable.push_back(static_cast<int64_t>(q));
+  }
+  CYQR_CHECK(!trainable.empty());
+
+  Rng rng(options.seed);
+  const int64_t num_products =
+      static_cast<int64_t>(catalog_->products().size());
+  double mean_loss = 0.0;
+  for (int64_t step = 0; step < options.steps; ++step) {
+    const int64_t qi = trainable[rng.NextBelow(trainable.size())];
+    const auto& pos_pool = clicked[qi];
+    const DocId pos = pos_pool[rng.NextBelow(pos_pool.size())];
+    // Negative: a random product the query did not click.
+    DocId neg = static_cast<DocId>(rng.NextBelow(num_products));
+    if (std::find(pos_pool.begin(), pos_pool.end(), neg) != pos_pool.end()) {
+      continue;
+    }
+    const Features fp = ExtractFeatures(queries[qi].tokens, pos);
+    const Features fn = ExtractFeatures(queries[qi].tokens, neg);
+    const double margin = ScoreFeatures(fp) - ScoreFeatures(fn);
+    // Pairwise logistic loss: log(1 + exp(-margin)).
+    const double sigma = 1.0 / (1.0 + std::exp(margin));
+    mean_loss += std::log1p(std::exp(-margin));
+    const double diff[4] = {fp.bm25 - fn.bm25,
+                            fp.embedding_cosine - fn.embedding_cosine,
+                            fp.quality - fn.quality, 0.0};
+    for (int j = 0; j < 4; ++j) {
+      weights_[j] += options.learning_rate * sigma * diff[j];
+    }
+  }
+  return mean_loss / options.steps;
+}
+
+std::vector<Bm25Scorer::Scored> PairwiseRanker::Rank(
+    const std::vector<std::string>& query,
+    const PostingList& candidates) const {
+  std::vector<Bm25Scorer::Scored> out;
+  out.reserve(candidates.size());
+  for (DocId doc : candidates) {
+    out.push_back({doc, Score(query, doc)});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Bm25Scorer::Scored& a, const Bm25Scorer::Scored& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.doc < b.doc;
+            });
+  return out;
+}
+
+}  // namespace cyqr

@@ -1,0 +1,62 @@
+#ifndef CYCLEQR_EVAL_RANKER_H_
+#define CYCLEQR_EVAL_RANKER_H_
+
+#include <vector>
+
+#include "datagen/click_log.h"
+#include "eval/two_tower.h"
+#include "index/bm25.h"
+#include "text/vocabulary.h"
+
+namespace cyqr {
+
+/// A learned pairwise ranking model in the spirit of the paper's production
+/// ranker ([31], "From semantic retrieval to pairwise ranking"): a logistic
+/// model over (BM25, two-tower cosine, item-quality prior) features,
+/// trained on click pairs — for each impression, clicked items should
+/// outrank non-clicked candidates.
+class PairwiseRanker {
+ public:
+  struct Features {
+    double bm25 = 0.0;
+    double embedding_cosine = 0.0;
+    double quality = 0.0;
+  };
+
+  struct TrainOptions {
+    int64_t steps = 2000;
+    double learning_rate = 0.05;
+    uint64_t seed = 4242;
+  };
+
+  /// All dependencies must outlive the ranker.
+  PairwiseRanker(const Catalog* catalog, const Bm25Scorer* bm25,
+                 const TwoTowerModel* embedder, const Vocabulary* vocab);
+
+  Features ExtractFeatures(const std::vector<std::string>& query,
+                           DocId doc) const;
+
+  double ScoreFeatures(const Features& f) const;
+  double Score(const std::vector<std::string>& query, DocId doc) const;
+
+  /// Trains with pairwise logistic loss on (query, clicked, non-clicked)
+  /// triples sampled from the click log. Returns final mean loss.
+  double Train(const ClickLog& log, const TrainOptions& options);
+
+  /// Ranks candidates descending by learned score.
+  std::vector<Bm25Scorer::Scored> Rank(const std::vector<std::string>& query,
+                                       const PostingList& candidates) const;
+
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  const Catalog* catalog_;
+  const Bm25Scorer* bm25_;
+  const TwoTowerModel* embedder_;
+  const Vocabulary* vocab_;
+  std::vector<double> weights_;  // [bm25, cosine, quality, bias].
+};
+
+}  // namespace cyqr
+
+#endif  // CYCLEQR_EVAL_RANKER_H_

@@ -1,0 +1,106 @@
+#include "eval/two_tower.h"
+
+#include <cmath>
+
+#include "core/check.h"
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+
+namespace cyqr {
+
+TwoTowerModel::TwoTowerModel(int64_t vocab_size, int64_t dim, Rng& rng)
+    : dim_(dim),
+      query_tower_(vocab_size, dim, rng),
+      title_tower_(vocab_size, dim, rng) {
+  RegisterModule(&query_tower_);
+  RegisterModule(&title_tower_);
+}
+
+Tensor TwoTowerModel::PoolTower(const Embedding& tower,
+                                const EncodedBatch& batch) const {
+  Tensor emb = tower.Forward(batch.ids, batch.batch, batch.max_len);
+  // Constant masked-mean pooling weights [B, 1, T].
+  std::vector<float> w(batch.batch * batch.max_len, 0.0f);
+  for (int64_t b = 0; b < batch.batch; ++b) {
+    float len = 0.0f;
+    for (int64_t t = 0; t < batch.max_len; ++t) {
+      len += batch.mask[b * batch.max_len + t];
+    }
+    if (len == 0.0f) continue;
+    for (int64_t t = 0; t < batch.max_len; ++t) {
+      w[b * batch.max_len + t] = batch.mask[b * batch.max_len + t] / len;
+    }
+  }
+  Tensor weights =
+      Tensor::FromData(Shape{batch.batch, 1, batch.max_len}, std::move(w));
+  return Reshape(MatMul(weights, emb), Shape{batch.batch, dim_});
+}
+
+double TwoTowerModel::Train(const std::vector<SeqPair>& click_pairs,
+                            const TrainOptions& options) {
+  CYQR_CHECK(!click_pairs.empty());
+  Adam::Options adam_options;
+  adam_options.learning_rate = options.learning_rate;
+  Adam optimizer(Parameters(), adam_options);
+  Rng rng(options.seed);
+  double last_loss = 0.0;
+  for (int64_t step = 0; step < options.steps; ++step) {
+    std::vector<std::vector<int32_t>> queries;
+    std::vector<std::vector<int32_t>> titles;
+    for (int64_t i = 0; i < options.batch_size; ++i) {
+      const SeqPair& p = click_pairs[rng.NextBelow(click_pairs.size())];
+      queries.push_back(p.src);
+      titles.push_back(p.tgt);
+    }
+    const EncodedBatch qb = PadBatch(queries);
+    const EncodedBatch tb = PadBatch(titles);
+    Tensor q = PoolTower(query_tower_, qb);  // [B, D]
+    Tensor t = PoolTower(title_tower_, tb);  // [B, D]
+    // In-batch softmax: scores[i][j] = <q_i, t_j> / temperature; the
+    // clicked title is the diagonal.
+    Tensor scores = Scale(MatMul(q, t, /*trans_a=*/false, /*trans_b=*/true),
+                          1.0f / options.temperature);
+    const int64_t b = qb.batch;
+    std::vector<int32_t> targets(b);
+    std::vector<float> mask(b, 1.0f);
+    for (int64_t i = 0; i < b; ++i) targets[i] = static_cast<int32_t>(i);
+    Tensor loss = MaskedCrossEntropy(Reshape(scores, Shape{1, b, b}),
+                                     targets, mask);
+    optimizer.ZeroGrad();
+    loss.Backward();
+    optimizer.Step();
+    last_loss = loss.item();
+  }
+  return last_loss;
+}
+
+namespace {
+
+std::vector<float> Normalized(const Tensor& row, int64_t dim) {
+  std::vector<float> out(row.data(), row.data() + dim);
+  double norm = 0.0;
+  for (float v : out) norm += static_cast<double>(v) * v;
+  norm = std::sqrt(norm);
+  if (norm > 0.0) {
+    for (float& v : out) v = static_cast<float>(v / norm);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<float> TwoTowerModel::EmbedQuery(
+    const std::vector<int32_t>& ids) const {
+  NoGradGuard no_grad;
+  const EncodedBatch batch = PadBatch({ids});
+  return Normalized(PoolTower(query_tower_, batch), dim_);
+}
+
+std::vector<float> TwoTowerModel::EmbedTitle(
+    const std::vector<int32_t>& ids) const {
+  NoGradGuard no_grad;
+  const EncodedBatch batch = PadBatch({ids});
+  return Normalized(PoolTower(title_tower_, batch), dim_);
+}
+
+}  // namespace cyqr

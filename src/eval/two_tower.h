@@ -1,0 +1,52 @@
+#ifndef CYCLEQR_EVAL_TWO_TOWER_H_
+#define CYCLEQR_EVAL_TWO_TOWER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nmt/batch.h"
+#include "nmt/scorer.h"
+#include "nn/layers.h"
+
+namespace cyqr {
+
+/// A from-scratch stand-in for the production DPSR embedding model [1] the
+/// paper uses for Table VII's cosine similarity: a two-tower (query tower /
+/// title tower) average-of-embeddings encoder trained on click pairs with
+/// in-batch softmax negatives.
+class TwoTowerModel : public Module {
+ public:
+  struct TrainOptions {
+    int64_t steps = 300;
+    int64_t batch_size = 16;
+    float learning_rate = 5e-3f;
+    float temperature = 0.1f;
+    uint64_t seed = 555;
+  };
+
+  TwoTowerModel(int64_t vocab_size, int64_t dim, Rng& rng);
+
+  /// Trains on (query, clicked title) id pairs; returns final loss.
+  double Train(const std::vector<SeqPair>& click_pairs,
+               const TrainOptions& options);
+
+  /// L2-normalized query embedding (gradient-free).
+  std::vector<float> EmbedQuery(const std::vector<int32_t>& ids) const;
+
+  /// L2-normalized title embedding (gradient-free).
+  std::vector<float> EmbedTitle(const std::vector<int32_t>& ids) const;
+
+  int64_t dim() const { return dim_; }
+
+ private:
+  /// Mean-pooled tower output [B, D] (differentiable).
+  Tensor PoolTower(const Embedding& tower, const EncodedBatch& batch) const;
+
+  int64_t dim_;
+  Embedding query_tower_;
+  Embedding title_tower_;
+};
+
+}  // namespace cyqr
+
+#endif  // CYCLEQR_EVAL_TWO_TOWER_H_

@@ -1,0 +1,66 @@
+#include "index/bm25.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+
+namespace cyqr {
+
+Bm25Scorer::Bm25Scorer(const Options& options) : options_(options) {}
+
+void Bm25Scorer::AddDocument(DocId id,
+                             const std::vector<std::string>& tokens) {
+  CYQR_CHECK_EQ(id, static_cast<DocId>(term_freq_.size()));
+  std::unordered_map<std::string, int64_t> tf;
+  for (const std::string& tok : tokens) ++tf[tok];
+  for (const auto& [term, count] : tf) {
+    (void)count;
+    ++doc_freq_[term];
+  }
+  doc_lengths_.push_back(static_cast<int64_t>(tokens.size()));
+  total_length_ += static_cast<double>(tokens.size());
+  term_freq_.push_back(std::move(tf));
+}
+
+double Bm25Scorer::Score(const std::vector<std::string>& query,
+                         DocId doc) const {
+  if (doc < 0 || doc >= static_cast<DocId>(term_freq_.size())) return 0.0;
+  const double n = static_cast<double>(term_freq_.size());
+  const double avg_len = n > 0 ? total_length_ / n : 1.0;
+  const double len_norm =
+      options_.k1 *
+      (1.0 - options_.b +
+       options_.b * static_cast<double>(doc_lengths_[doc]) / avg_len);
+  double score = 0.0;
+  const auto& tf = term_freq_[doc];
+  for (const std::string& term : query) {
+    auto tf_it = tf.find(term);
+    if (tf_it == tf.end()) continue;
+    auto df_it = doc_freq_.find(term);
+    const double df = static_cast<double>(df_it->second);
+    // BM25+-style floor keeps the IDF non-negative for very common terms.
+    const double idf =
+        std::log(1.0 + (n - df + 0.5) / (df + 0.5));
+    const double f = static_cast<double>(tf_it->second);
+    score += idf * (f * (options_.k1 + 1.0)) / (f + len_norm);
+  }
+  return score;
+}
+
+std::vector<Bm25Scorer::Scored> Bm25Scorer::Rank(
+    const std::vector<std::string>& query,
+    const PostingList& candidates) const {
+  std::vector<Scored> out;
+  out.reserve(candidates.size());
+  for (DocId doc : candidates) {
+    out.push_back({doc, Score(query, doc)});
+  }
+  std::sort(out.begin(), out.end(), [](const Scored& a, const Scored& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc < b.doc;
+  });
+  return out;
+}
+
+}  // namespace cyqr

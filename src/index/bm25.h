@@ -1,0 +1,55 @@
+#ifndef CYCLEQR_INDEX_BM25_H_
+#define CYCLEQR_INDEX_BM25_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "index/inverted_index.h"
+
+namespace cyqr {
+
+/// Okapi BM25 relevance scoring over the same tokenized corpus the
+/// inverted index retrieves from — the classic term-matching ranker that
+/// scores the candidates the syntax trees produce.
+class Bm25Scorer {
+ public:
+  struct Options {
+    double k1 = 1.2;
+    double b = 0.75;
+  };
+
+  Bm25Scorer() : Bm25Scorer(Options()) {}
+  explicit Bm25Scorer(const Options& options);
+
+  /// Documents must be added in increasing id order (matching the index).
+  void AddDocument(DocId id, const std::vector<std::string>& tokens);
+
+  /// BM25 score of a document for a tokenized query; 0 for unknown docs.
+  double Score(const std::vector<std::string>& query, DocId doc) const;
+
+  /// Scores and sorts candidates descending (ties by ascending id).
+  struct Scored {
+    DocId doc = 0;
+    double score = 0.0;
+  };
+  std::vector<Scored> Rank(const std::vector<std::string>& query,
+                           const PostingList& candidates) const;
+
+  int64_t num_documents() const {
+    return static_cast<int64_t>(doc_lengths_.size());
+  }
+
+ private:
+  Options options_;
+  // term -> document frequency.
+  std::unordered_map<std::string, int64_t> doc_freq_;
+  // doc -> (term -> term frequency); docs are dense ids from 0.
+  std::vector<std::unordered_map<std::string, int64_t>> term_freq_;
+  std::vector<int64_t> doc_lengths_;
+  double total_length_ = 0.0;
+};
+
+}  // namespace cyqr
+
+#endif  // CYCLEQR_INDEX_BM25_H_

@@ -1,0 +1,28 @@
+#include "index/inverted_index.h"
+
+#include <set>
+
+#include "core/check.h"
+
+namespace cyqr {
+
+void InvertedIndex::AddDocument(DocId id,
+                                const std::vector<std::string>& tokens) {
+  ++num_documents_;
+  std::set<std::string> unique(tokens.begin(), tokens.end());
+  for (const std::string& term : unique) {
+    PostingList& list = postings_[term];
+    CYQR_CHECK_MSG(list.empty() || list.back() < id,
+                   "documents must be added in increasing id order");
+    list.push_back(id);
+    ++total_postings_;
+  }
+}
+
+const PostingList& InvertedIndex::Lookup(const std::string& term) const {
+  static const PostingList kEmpty;
+  auto it = postings_.find(term);
+  return it == postings_.end() ? kEmpty : it->second;
+}
+
+}  // namespace cyqr

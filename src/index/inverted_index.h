@@ -1,0 +1,38 @@
+#ifndef CYCLEQR_INDEX_INVERTED_INDEX_H_
+#define CYCLEQR_INDEX_INVERTED_INDEX_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "index/posting.h"
+
+namespace cyqr {
+
+/// Term -> sorted posting list index over tokenized documents — the
+/// candidate-retrieval core of the simulated search engine ("built to
+/// efficiently retrieve candidate items based on term matching").
+class InvertedIndex {
+ public:
+  /// Documents must be added in increasing id order to keep postings
+  /// sorted without re-sorting.
+  void AddDocument(DocId id, const std::vector<std::string>& tokens);
+
+  /// Posting list of a term; empty list for unknown terms.
+  const PostingList& Lookup(const std::string& term) const;
+
+  int64_t num_documents() const { return num_documents_; }
+  int64_t num_terms() const {
+    return static_cast<int64_t>(postings_.size());
+  }
+  int64_t total_postings() const { return total_postings_; }
+
+ private:
+  std::unordered_map<std::string, PostingList> postings_;
+  int64_t num_documents_ = 0;
+  int64_t total_postings_ = 0;
+};
+
+}  // namespace cyqr
+
+#endif  // CYCLEQR_INDEX_INVERTED_INDEX_H_

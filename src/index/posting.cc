@@ -1,0 +1,47 @@
+#include "index/posting.h"
+
+#include <cstddef>
+
+namespace cyqr {
+
+PostingList IntersectLists(const PostingList& a, const PostingList& b,
+                           RetrievalCost* cost) {
+  PostingList out;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (cost != nullptr) ++cost->postings_scanned;
+    if (a[i] == b[j]) {
+      out.push_back(a[i]);
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return out;
+}
+
+PostingList UnionLists(const PostingList& a, const PostingList& b,
+                       RetrievalCost* cost) {
+  PostingList out;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() || j < b.size()) {
+    if (cost != nullptr) ++cost->postings_scanned;
+    if (j >= b.size() || (i < a.size() && a[i] < b[j])) {
+      out.push_back(a[i++]);
+    } else if (i >= a.size() || b[j] < a[i]) {
+      out.push_back(b[j++]);
+    } else {
+      out.push_back(a[i]);
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+}  // namespace cyqr

@@ -1,0 +1,37 @@
+#ifndef CYCLEQR_INDEX_POSTING_H_
+#define CYCLEQR_INDEX_POSTING_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace cyqr {
+
+using DocId = int64_t;
+
+/// A sorted, duplicate-free document id list.
+using PostingList = std::vector<DocId>;
+
+/// Work counters for retrieval-cost accounting (Section III-H: the merged
+/// syntax tree exists to reduce exactly these numbers).
+struct RetrievalCost {
+  int64_t postings_scanned = 0;  // Posting entries touched.
+  int64_t nodes_evaluated = 0;   // Syntax tree nodes executed.
+
+  RetrievalCost& operator+=(const RetrievalCost& other) {
+    postings_scanned += other.postings_scanned;
+    nodes_evaluated += other.nodes_evaluated;
+    return *this;
+  }
+};
+
+/// Sorted-list intersection; adds the scanned entries to `cost`.
+PostingList IntersectLists(const PostingList& a, const PostingList& b,
+                           RetrievalCost* cost);
+
+/// Sorted-list union; adds the scanned entries to `cost`.
+PostingList UnionLists(const PostingList& a, const PostingList& b,
+                       RetrievalCost* cost);
+
+}  // namespace cyqr
+
+#endif  // CYCLEQR_INDEX_POSTING_H_

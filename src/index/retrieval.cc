@@ -1,0 +1,47 @@
+#include "index/retrieval.h"
+
+#include "core/check.h"
+
+namespace cyqr {
+
+RetrievalEngine::RetrievalEngine(const InvertedIndex* index)
+    : index_(index) {
+  CYQR_CHECK(index != nullptr);
+}
+
+RetrievalEngine::Result RetrievalEngine::RetrieveOne(
+    const std::vector<std::string>& query, int64_t max_docs) const {
+  Result result;
+  SyntaxTree tree = SyntaxTree::FromQuery(query);
+  result.tree_nodes = tree.NodeCount();
+  result.docs = tree.Evaluate(*index_, &result.cost);
+  if (max_docs > 0 &&
+      static_cast<int64_t>(result.docs.size()) > max_docs) {
+    result.docs.resize(max_docs);
+  }
+  return result;
+}
+
+RetrievalEngine::Result RetrievalEngine::RetrieveSeparate(
+    const std::vector<std::vector<std::string>>& queries,
+    int64_t max_docs_per_query) const {
+  Result result;
+  for (const auto& query : queries) {
+    Result one = RetrieveOne(query, max_docs_per_query);
+    result.tree_nodes += one.tree_nodes;
+    result.cost += one.cost;
+    result.docs = UnionLists(result.docs, one.docs, &result.cost);
+  }
+  return result;
+}
+
+RetrievalEngine::Result RetrievalEngine::RetrieveMerged(
+    const std::vector<std::vector<std::string>>& queries) const {
+  Result result;
+  TreeMerger::Result merged = TreeMerger::Merge(queries);
+  result.tree_nodes = merged.tree.NodeCount();
+  result.docs = merged.tree.Evaluate(*index_, &result.cost);
+  return result;
+}
+
+}  // namespace cyqr

@@ -1,0 +1,44 @@
+#ifndef CYCLEQR_INDEX_RETRIEVAL_H_
+#define CYCLEQR_INDEX_RETRIEVAL_H_
+
+#include <string>
+#include <vector>
+
+#include "index/tree_merge.h"
+
+namespace cyqr {
+
+/// Candidate retrieval over the inverted index, with both strategies of
+/// Section III-H: one syntax tree per query ("straightforward ...
+/// unfortunately inefficient") and one merged tree for all queries.
+class RetrievalEngine {
+ public:
+  /// `index` must outlive the engine.
+  explicit RetrievalEngine(const InvertedIndex* index);
+
+  struct Result {
+    PostingList docs;
+    RetrievalCost cost;
+    int64_t tree_nodes = 0;  // Total syntax-tree nodes constructed.
+  };
+
+  /// Retrieves one query (AND of its terms), optionally capped to the
+  /// first `max_docs` candidates (paper: <= 1000 per rewritten query).
+  Result RetrieveOne(const std::vector<std::string>& query,
+                     int64_t max_docs = 0) const;
+
+  /// Builds a separate tree per query, evaluates each, unions the results.
+  Result RetrieveSeparate(const std::vector<std::vector<std::string>>& queries,
+                          int64_t max_docs_per_query = 0) const;
+
+  /// Builds one merged tree (Figure 5) and evaluates it once.
+  Result RetrieveMerged(const std::vector<std::vector<std::string>>& queries)
+      const;
+
+ private:
+  const InvertedIndex* index_;
+};
+
+}  // namespace cyqr
+
+#endif  // CYCLEQR_INDEX_RETRIEVAL_H_

@@ -1,0 +1,125 @@
+#include "index/syntax_tree.h"
+
+#include <set>
+
+#include "core/check.h"
+
+namespace cyqr {
+
+namespace {
+
+int64_t CountNodes(const SyntaxNode* node) {
+  if (node == nullptr) return 0;
+  int64_t n = 1;
+  for (const auto& child : node->children) n += CountNodes(child.get());
+  return n;
+}
+
+void Render(const SyntaxNode* node, std::string* out) {
+  if (node == nullptr) return;
+  switch (node->type) {
+    case SyntaxNode::Type::kTerm:
+      *out += node->term;
+      return;
+    case SyntaxNode::Type::kAnd:
+    case SyntaxNode::Type::kOr: {
+      const char* sep = node->type == SyntaxNode::Type::kAnd ? " & " : " | ";
+      *out += "(";
+      for (size_t i = 0; i < node->children.size(); ++i) {
+        if (i > 0) *out += sep;
+        Render(node->children[i].get(), out);
+      }
+      *out += ")";
+      return;
+    }
+  }
+}
+
+PostingList EvaluateNode(const SyntaxNode* node, const InvertedIndex& index,
+                         RetrievalCost* cost) {
+  if (cost != nullptr) ++cost->nodes_evaluated;
+  switch (node->type) {
+    case SyntaxNode::Type::kTerm: {
+      const PostingList& list = index.Lookup(node->term);
+      if (cost != nullptr) {
+        cost->postings_scanned += static_cast<int64_t>(list.size());
+      }
+      return list;
+    }
+    case SyntaxNode::Type::kAnd: {
+      CYQR_CHECK(!node->children.empty());
+      PostingList acc =
+          EvaluateNode(node->children[0].get(), index, cost);
+      for (size_t i = 1; i < node->children.size() && !acc.empty(); ++i) {
+        acc = IntersectLists(
+            acc, EvaluateNode(node->children[i].get(), index, cost), cost);
+      }
+      return acc;
+    }
+    case SyntaxNode::Type::kOr: {
+      CYQR_CHECK(!node->children.empty());
+      PostingList acc =
+          EvaluateNode(node->children[0].get(), index, cost);
+      for (size_t i = 1; i < node->children.size(); ++i) {
+        acc = UnionLists(
+            acc, EvaluateNode(node->children[i].get(), index, cost), cost);
+      }
+      return acc;
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+std::unique_ptr<SyntaxNode> SyntaxNode::Term(std::string term) {
+  auto node = std::make_unique<SyntaxNode>();
+  node->type = Type::kTerm;
+  node->term = std::move(term);
+  return node;
+}
+
+std::unique_ptr<SyntaxNode> SyntaxNode::And() {
+  auto node = std::make_unique<SyntaxNode>();
+  node->type = Type::kAnd;
+  return node;
+}
+
+std::unique_ptr<SyntaxNode> SyntaxNode::Or() {
+  auto node = std::make_unique<SyntaxNode>();
+  node->type = Type::kOr;
+  return node;
+}
+
+SyntaxTree::SyntaxTree(std::unique_ptr<SyntaxNode> root)
+    : root_(std::move(root)) {}
+
+SyntaxTree SyntaxTree::FromQuery(const std::vector<std::string>& tokens) {
+  if (tokens.empty()) return SyntaxTree();
+  std::set<std::string> seen;
+  auto root = SyntaxNode::And();
+  for (const std::string& tok : tokens) {
+    if (!seen.insert(tok).second) continue;
+    root->children.push_back(SyntaxNode::Term(tok));
+  }
+  if (root->children.size() == 1) {
+    return SyntaxTree(std::move(root->children[0]));
+  }
+  return SyntaxTree(std::move(root));
+}
+
+int64_t SyntaxTree::NodeCount() const { return CountNodes(root_.get()); }
+
+std::string SyntaxTree::ToString() const {
+  std::string out;
+  Render(root_.get(), &out);
+  return out;
+}
+
+PostingList SyntaxTree::Evaluate(const InvertedIndex& index,
+                                 RetrievalCost* cost) const {
+  if (root_ == nullptr) return {};
+  return EvaluateNode(root_.get(), index, cost);
+}
+
+}  // namespace cyqr

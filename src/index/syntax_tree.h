@@ -1,0 +1,53 @@
+#ifndef CYCLEQR_INDEX_SYNTAX_TREE_H_
+#define CYCLEQR_INDEX_SYNTAX_TREE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "index/inverted_index.h"
+
+namespace cyqr {
+
+/// A boolean retrieval expression over index terms: the "syntax tree" the
+/// search engine builds from a query before extracting document lists
+/// (Section III-H, Figure 5). "&" nodes intersect children, "|" nodes
+/// union them, leaves look up one term.
+struct SyntaxNode {
+  enum class Type { kTerm, kAnd, kOr };
+
+  Type type = Type::kTerm;
+  std::string term;  // For kTerm.
+  std::vector<std::unique_ptr<SyntaxNode>> children;
+
+  static std::unique_ptr<SyntaxNode> Term(std::string term);
+  static std::unique_ptr<SyntaxNode> And();
+  static std::unique_ptr<SyntaxNode> Or();
+};
+
+class SyntaxTree {
+ public:
+  SyntaxTree() = default;
+  explicit SyntaxTree(std::unique_ptr<SyntaxNode> root);
+
+  /// AND-of-terms tree for a single tokenized query (duplicates removed).
+  static SyntaxTree FromQuery(const std::vector<std::string>& tokens);
+
+  const SyntaxNode* root() const { return root_.get(); }
+  bool empty() const { return root_ == nullptr; }
+
+  int64_t NodeCount() const;
+
+  /// "(red & mens & (sandals | slippers))".
+  std::string ToString() const;
+
+  /// Executes the tree against the index, accumulating work into `cost`.
+  PostingList Evaluate(const InvertedIndex& index, RetrievalCost* cost) const;
+
+ private:
+  std::unique_ptr<SyntaxNode> root_;
+};
+
+}  // namespace cyqr
+
+#endif  // CYCLEQR_INDEX_SYNTAX_TREE_H_

@@ -1,0 +1,146 @@
+#include "index/tree_merge.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+
+namespace cyqr {
+
+namespace {
+
+/// Aligns `tokens` against the running `groups` sequence: LCS on exact
+/// token-in-group matches anchors the shared tokens; the gap runs between
+/// anchors are zipped positionally so diverging tokens join the group at
+/// their position as OR alternatives (Figure 5 behaviour).
+void AlignQuery(std::vector<MergedGroup>* groups,
+                const std::vector<std::string>& tokens) {
+  const size_t m = groups->size();
+  const size_t n = tokens.size();
+  // LCS DP over exact matches.
+  std::vector<std::vector<int>> dp(m + 1, std::vector<int>(n + 1, 0));
+  for (size_t i = m; i-- > 0;) {
+    for (size_t j = n; j-- > 0;) {
+      if ((*groups)[i].tokens.count(tokens[j]) > 0) {
+        dp[i][j] = dp[i + 1][j + 1] + 1;
+      } else {
+        dp[i][j] = std::max(dp[i + 1][j], dp[i][j + 1]);
+      }
+    }
+  }
+  // Traceback to anchor pairs.
+  std::vector<std::pair<size_t, size_t>> anchors;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < m && j < n) {
+    if ((*groups)[i].tokens.count(tokens[j]) > 0 &&
+        dp[i][j] == dp[i + 1][j + 1] + 1) {
+      anchors.emplace_back(i, j);
+      ++i;
+      ++j;
+    } else if (dp[i + 1][j] >= dp[i][j + 1]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  anchors.emplace_back(m, n);  // Sentinel closes the final gap.
+
+  // Process gaps between anchors; build the new group sequence.
+  std::vector<MergedGroup> next;
+  size_t gi = 0;  // Group cursor.
+  size_t tj = 0;  // Token cursor.
+  for (const auto& [ai, aj] : anchors) {
+    // Zip the gap [gi, ai) x [tj, aj) positionally.
+    const size_t gap_groups = ai - gi;
+    const size_t gap_tokens = aj - tj;
+    const size_t zip = std::min(gap_groups, gap_tokens);
+    for (size_t p = 0; p < zip; ++p) {
+      MergedGroup g = std::move((*groups)[gi + p]);
+      g.tokens.insert(tokens[tj + p]);
+      ++g.queries_contributing;
+      next.push_back(std::move(g));
+    }
+    // Leftover groups get no contribution from this query.
+    for (size_t p = zip; p < gap_groups; ++p) {
+      next.push_back(std::move((*groups)[gi + p]));
+    }
+    // Leftover tokens become fresh groups.
+    for (size_t p = zip; p < gap_tokens; ++p) {
+      MergedGroup g;
+      g.tokens.insert(tokens[tj + p]);
+      g.queries_contributing = 1;
+      next.push_back(std::move(g));
+    }
+    // The anchor itself.
+    if (ai < m) {
+      MergedGroup g = std::move((*groups)[ai]);
+      ++g.queries_contributing;
+      next.push_back(std::move(g));
+    }
+    gi = ai + 1;
+    tj = aj + 1;
+  }
+  *groups = std::move(next);
+}
+
+}  // namespace
+
+TreeMerger::Result TreeMerger::Merge(
+    const std::vector<std::vector<std::string>>& queries) {
+  Result result;
+  if (queries.empty()) return result;
+
+  std::vector<MergedGroup> groups;
+  for (const std::string& tok : queries[0]) {
+    MergedGroup g;
+    g.tokens.insert(tok);
+    g.queries_contributing = 1;
+    groups.push_back(std::move(g));
+  }
+  for (size_t q = 1; q < queries.size(); ++q) {
+    AlignQuery(&groups, queries[q]);
+  }
+
+  const int64_t num_queries = static_cast<int64_t>(queries.size());
+  result.groups_total = static_cast<int64_t>(groups.size());
+  auto root = SyntaxNode::And();
+  for (const MergedGroup& g : groups) {
+    // Only groups every query reached stay AND-required; dropping the
+    // others relaxes the tree so the merged result is a superset of the
+    // union of the individual queries' results.
+    if (g.queries_contributing < num_queries) continue;
+    ++result.groups_required;
+    if (g.tokens.size() == 1) {
+      root->children.push_back(SyntaxNode::Term(*g.tokens.begin()));
+    } else {
+      auto or_node = SyntaxNode::Or();
+      for (const std::string& tok : g.tokens) {
+        or_node->children.push_back(SyntaxNode::Term(tok));
+      }
+      root->children.push_back(std::move(or_node));
+    }
+  }
+  // Degenerate cases: nothing required -> OR everything (recall first).
+  if (root->children.empty()) {
+    auto or_node = SyntaxNode::Or();
+    for (const MergedGroup& g : groups) {
+      for (const std::string& tok : g.tokens) {
+        or_node->children.push_back(SyntaxNode::Term(tok));
+      }
+    }
+    if (or_node->children.size() == 1) {
+      result.tree = SyntaxTree(std::move(or_node->children[0]));
+    } else if (!or_node->children.empty()) {
+      result.tree = SyntaxTree(std::move(or_node));
+    }
+    return result;
+  }
+  if (root->children.size() == 1) {
+    result.tree = SyntaxTree(std::move(root->children[0]));
+  } else {
+    result.tree = SyntaxTree(std::move(root));
+  }
+  return result;
+}
+
+}  // namespace cyqr

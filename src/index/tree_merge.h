@@ -1,0 +1,41 @@
+#ifndef CYCLEQR_INDEX_TREE_MERGE_H_
+#define CYCLEQR_INDEX_TREE_MERGE_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "index/syntax_tree.h"
+
+namespace cyqr {
+
+/// Position-aligned merge state: the merged query is an AND over groups;
+/// each group is an OR over the tokens the input queries put at that
+/// aligned position (Figure 5: Red & Men & (Sandals | Slippers | Anklet)).
+struct MergedGroup {
+  std::set<std::string> tokens;
+  int64_t queries_contributing = 0;  // How many input queries hit the group.
+};
+
+/// Merges the original query and its rewrites into one syntax tree
+/// (Section III-H). Queries are aligned greedily by longest common
+/// subsequence against the running group sequence; tokens aligned to the
+/// same position form an OR group, and groups reached by every query stay
+/// AND-required. The merged tree's result is a superset of the union of the
+/// individual queries' results (no recall loss), at a fraction of the
+/// evaluation cost of separate trees.
+class TreeMerger {
+ public:
+  /// Merge result plus bookkeeping for the cost study.
+  struct Result {
+    SyntaxTree tree;
+    int64_t groups_total = 0;
+    int64_t groups_required = 0;  // Groups present in every query.
+  };
+
+  static Result Merge(const std::vector<std::vector<std::string>>& queries);
+};
+
+}  // namespace cyqr
+
+#endif  // CYCLEQR_INDEX_TREE_MERGE_H_

@@ -1,0 +1,106 @@
+#include "lm/gpt_lm.h"
+
+#include <cmath>
+
+#include "core/check.h"
+#include "core/math.h"
+#include "nn/optimizer.h"
+#include "nn/schedule.h"
+#include "tensor/ops.h"
+
+namespace cyqr {
+
+GptLm::GptLm(const Seq2SeqConfig& config, Rng& rng)
+    : config_(config),
+      embedding_(config.vocab_size, config.d_model, rng),
+      dropout_(config.dropout, rng),
+      final_norm_(config.d_model),
+      output_proj_(config.d_model, config.vocab_size, rng) {
+  RegisterModule(&embedding_);
+  RegisterModule(&dropout_);
+  for (int64_t i = 0; i < config.num_layers; ++i) {
+    // A decoder-only block is an encoder block fed a causal mask.
+    layers_.push_back(std::make_unique<TransformerEncoderLayer>(config, rng));
+    RegisterModule(layers_.back().get());
+  }
+  RegisterModule(&final_norm_);
+  RegisterModule(&output_proj_);
+}
+
+Tensor GptLm::Forward(const EncodedBatch& sequences) const {
+  const float scale = std::sqrt(static_cast<float>(config_.d_model));
+  Tensor x = Scale(
+      embedding_.Forward(sequences.ids, sequences.batch, sequences.max_len),
+      scale);
+  x = dropout_.Forward(AddPositionalEncoding(x));
+  const std::vector<float> causal = MakeCausalMask(
+      sequences.batch, config_.num_heads, sequences.max_len, sequences.mask);
+  for (const auto& layer : layers_) {
+    x = layer->Forward(x, causal);
+  }
+  return output_proj_.Forward(final_norm_.Forward(x));
+}
+
+std::vector<int32_t> GptLm::Generate(const std::vector<int32_t>& prefix_ids,
+                                     int32_t stop_id,
+                                     int64_t max_new_tokens, int64_t top_n,
+                                     Rng& rng) const {
+  NoGradGuard no_grad;
+  std::vector<int32_t> sequence = prefix_ids;
+  std::vector<int32_t> generated;
+  for (int64_t t = 0; t < max_new_tokens; ++t) {
+    EncodedBatch batch;
+    batch.batch = 1;
+    batch.max_len = static_cast<int64_t>(sequence.size());
+    batch.ids = sequence;
+    batch.mask.assign(sequence.size(), 1.0f);
+    Tensor logits = Forward(batch);
+    const int64_t v = config_.vocab_size;
+    std::vector<float> last(
+        logits.data() + (batch.max_len - 1) * v,
+        logits.data() + batch.max_len * v);
+    last[kPadId] = -1e30f;
+    last[kBosId] = -1e30f;
+    last[kUnkId] = -1e30f;
+    // Top-n sampling over renormalized probabilities.
+    const std::vector<size_t> pool = TopKIndices(last.data(), last.size(),
+                                                 top_n);
+    std::vector<float> pool_logits(pool.size());
+    for (size_t i = 0; i < pool.size(); ++i) pool_logits[i] = last[pool[i]];
+    const size_t pick = rng.SampleFromLogits(pool_logits.data(),
+                                             pool_logits.size());
+    const int32_t tok = static_cast<int32_t>(pool[pick]);
+    if (tok == stop_id || tok == kEosId) break;
+    generated.push_back(tok);
+    sequence.push_back(tok);
+  }
+  return generated;
+}
+
+double TrainLm(GptLm& model, const std::vector<std::vector<int32_t>>& seqs,
+               const LmTrainingOptions& options) {
+  CYQR_CHECK(!seqs.empty());
+  Adam optimizer(model.Parameters(), Adam::Options{});
+  NoamSchedule schedule(32, options.noam_warmup, options.noam_factor);
+  Rng rng(options.seed);
+  double last_loss = 0.0;
+  for (int64_t step = 1; step <= options.max_steps; ++step) {
+    optimizer.set_learning_rate(schedule.LearningRate(step));
+    std::vector<std::vector<int32_t>> batch_seqs;
+    for (int64_t i = 0; i < options.batch_size; ++i) {
+      batch_seqs.push_back(seqs[rng.NextBelow(seqs.size())]);
+    }
+    // Inputs = BOS + seq, targets = seq + EOS (standard causal LM shift).
+    const TeacherForcedBatch tf = MakeTeacherForced(batch_seqs);
+    Tensor loss = MaskedCrossEntropy(model.Forward(tf.inputs), tf.targets,
+                                     tf.target_mask);
+    optimizer.ZeroGrad();
+    loss.Backward();
+    ClipGradNorm(model.Parameters(), options.grad_clip);
+    optimizer.Step();
+    last_loss = loss.item();
+  }
+  return last_loss;
+}
+
+}  // namespace cyqr

@@ -1,0 +1,63 @@
+#ifndef CYCLEQR_LM_GPT_LM_H_
+#define CYCLEQR_LM_GPT_LM_H_
+
+#include <memory>
+#include <vector>
+
+#include "nmt/batch.h"
+#include "nmt/transformer.h"
+#include "nn/layers.h"
+#include "text/vocabulary.h"
+
+namespace cyqr {
+
+/// The GPT-style alternative the paper explores in Section V: a
+/// decoder-only causal language model over concatenated
+///   query <sep1> title <sep2> query2
+/// sequences, fine-tuned so that sampling a continuation of
+/// "query <sep1>" produces a synthetic title and then a rewritten query.
+class GptLm : public Module {
+ public:
+  GptLm(const Seq2SeqConfig& config, Rng& rng);
+
+  /// Causal LM logits [B, T, vocab] for next-token prediction.
+  Tensor Forward(const EncodedBatch& sequences) const;
+
+  /// Samples a continuation of `prefix_ids` with top-n sampling until
+  /// `stop_id` or EOS is produced or max_new_tokens is reached. Returns
+  /// only the newly generated ids (without the stop token).
+  std::vector<int32_t> Generate(const std::vector<int32_t>& prefix_ids,
+                                int32_t stop_id, int64_t max_new_tokens,
+                                int64_t top_n, Rng& rng) const;
+
+  int64_t vocab_size() const { return config_.vocab_size; }
+
+ private:
+  Seq2SeqConfig config_;
+  Embedding embedding_;
+  Dropout dropout_;
+  std::vector<std::unique_ptr<TransformerEncoderLayer>> layers_;
+  LayerNorm final_norm_;
+  Linear output_proj_;
+};
+
+/// Builds "q <sep1> title <sep2> q2" training id sequences from click pairs
+/// plus mined synonymous rewrites: for each (query, title) pair whose query
+/// has a known synonymous query, the target rewrite is that synonym. The
+/// two separator ids must be real vocabulary tokens (add "sep1"/"sep2" to
+/// the corpus before building the vocabulary).
+struct LmTrainingOptions {
+  int64_t max_steps = 300;
+  int64_t batch_size = 8;
+  float noam_factor = 2.0f;
+  int64_t noam_warmup = 100;
+  float grad_clip = 5.0f;
+  uint64_t seed = 777;
+};
+
+double TrainLm(GptLm& model, const std::vector<std::vector<int32_t>>& seqs,
+               const LmTrainingOptions& options);
+
+}  // namespace cyqr
+
+#endif  // CYCLEQR_LM_GPT_LM_H_

@@ -1,0 +1,17 @@
+#include "nmt/attention_seq2seq.h"
+
+namespace cyqr {
+
+std::unique_ptr<Seq2SeqModel> MakeAttentionSeq2Seq(
+    const Seq2SeqConfig& config, Rng& rng) {
+  return std::make_unique<RnnSeq2Seq>(config, CellType::kGru, CellType::kGru,
+                                      AttentionKind::kAdditive, rng);
+}
+
+std::unique_ptr<Seq2SeqModel> MakePureRnnSeq2Seq(const Seq2SeqConfig& config,
+                                                 Rng& rng) {
+  return std::make_unique<RnnSeq2Seq>(config, CellType::kRnn, CellType::kRnn,
+                                      AttentionKind::kDot, rng);
+}
+
+}  // namespace cyqr

@@ -1,0 +1,23 @@
+#ifndef CYCLEQR_NMT_ATTENTION_SEQ2SEQ_H_
+#define CYCLEQR_NMT_ATTENTION_SEQ2SEQ_H_
+
+#include <memory>
+
+#include "nmt/rnn.h"
+
+namespace cyqr {
+
+/// The "attention-based NMT" baseline of the paper (Bahdanau et al. [4]):
+/// GRU encoder/decoder with additive attention. Compared against the
+/// transformer in Figure 8.
+std::unique_ptr<Seq2SeqModel> MakeAttentionSeq2Seq(const Seq2SeqConfig& config,
+                                                   Rng& rng);
+
+/// The "pure RNN" serving simplification of Figure 9: vanilla RNN encoder
+/// and decoder with dot attention.
+std::unique_ptr<Seq2SeqModel> MakePureRnnSeq2Seq(const Seq2SeqConfig& config,
+                                                 Rng& rng);
+
+}  // namespace cyqr
+
+#endif  // CYCLEQR_NMT_ATTENTION_SEQ2SEQ_H_

@@ -1,0 +1,104 @@
+#include "nmt/batch.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+#include "text/vocabulary.h"
+
+namespace cyqr {
+
+namespace {
+constexpr float kBlocked = -1e9f;
+}  // namespace
+
+EncodedBatch PadBatch(const std::vector<std::vector<int32_t>>& seqs,
+                      int64_t max_len_cap) {
+  EncodedBatch out;
+  out.batch = static_cast<int64_t>(seqs.size());
+  for (const auto& s : seqs) {
+    out.max_len = std::max(out.max_len, static_cast<int64_t>(s.size()));
+  }
+  if (max_len_cap > 0) out.max_len = std::min(out.max_len, max_len_cap);
+  out.ids.assign(out.batch * out.max_len, kPadId);
+  out.mask.assign(out.batch * out.max_len, 0.0f);
+  for (int64_t b = 0; b < out.batch; ++b) {
+    const auto& s = seqs[b];
+    const int64_t len =
+        std::min(static_cast<int64_t>(s.size()), out.max_len);
+    for (int64_t t = 0; t < len; ++t) {
+      out.ids[b * out.max_len + t] = s[t];
+      out.mask[b * out.max_len + t] = 1.0f;
+    }
+  }
+  return out;
+}
+
+TeacherForcedBatch MakeTeacherForced(
+    const std::vector<std::vector<int32_t>>& targets, int64_t max_len_cap) {
+  std::vector<std::vector<int32_t>> shifted;
+  shifted.reserve(targets.size());
+  for (const auto& t : targets) {
+    std::vector<int32_t> in;
+    in.reserve(t.size() + 1);
+    in.push_back(kBosId);
+    in.insert(in.end(), t.begin(), t.end());
+    shifted.push_back(std::move(in));
+  }
+  TeacherForcedBatch out;
+  out.inputs = PadBatch(shifted, max_len_cap);
+  out.targets.assign(out.inputs.batch * out.inputs.max_len, kPadId);
+  out.target_mask = out.inputs.mask;
+  for (int64_t b = 0; b < out.inputs.batch; ++b) {
+    const auto& t = targets[b];
+    for (int64_t i = 0; i < out.inputs.max_len; ++i) {
+      if (out.inputs.mask[b * out.inputs.max_len + i] == 0.0f) continue;
+      // Input position i predicts t[i] (since input[i] = t[i-1] or BOS),
+      // with EOS after the last real token.
+      out.targets[b * out.inputs.max_len + i] =
+          (i < static_cast<int64_t>(t.size())) ? t[i] : kEosId;
+    }
+  }
+  return out;
+}
+
+std::vector<float> MakeCausalMask(int64_t batch, int64_t heads, int64_t t,
+                                  const std::vector<float>& tgt_mask) {
+  if (!tgt_mask.empty()) {
+    CYQR_CHECK_EQ(static_cast<int64_t>(tgt_mask.size()), batch * t);
+  }
+  std::vector<float> mask(batch * heads * t * t, 0.0f);
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t h = 0; h < heads; ++h) {
+      float* m = mask.data() + ((b * heads + h) * t) * t;
+      for (int64_t i = 0; i < t; ++i) {
+        for (int64_t j = 0; j < t; ++j) {
+          const bool future = j > i;
+          const bool pad =
+              !tgt_mask.empty() && tgt_mask[b * t + j] == 0.0f;
+          if (future || pad) m[i * t + j] = kBlocked;
+        }
+      }
+    }
+  }
+  return mask;
+}
+
+std::vector<float> MakePaddingMask(int64_t batch, int64_t heads, int64_t tq,
+                                   int64_t tk,
+                                   const std::vector<float>& src_mask) {
+  CYQR_CHECK_EQ(static_cast<int64_t>(src_mask.size()), batch * tk);
+  std::vector<float> mask(batch * heads * tq * tk, 0.0f);
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t h = 0; h < heads; ++h) {
+      float* m = mask.data() + ((b * heads + h) * tq) * tk;
+      for (int64_t i = 0; i < tq; ++i) {
+        for (int64_t j = 0; j < tk; ++j) {
+          if (src_mask[b * tk + j] == 0.0f) m[i * tk + j] = kBlocked;
+        }
+      }
+    }
+  }
+  return mask;
+}
+
+}  // namespace cyqr

@@ -1,0 +1,52 @@
+#ifndef CYCLEQR_NMT_BATCH_H_
+#define CYCLEQR_NMT_BATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace cyqr {
+
+/// A padded batch of token-id sequences plus its validity mask.
+struct EncodedBatch {
+  std::vector<int32_t> ids;  // [batch * max_len], row-major, kPadId padded.
+  std::vector<float> mask;   // 1.0 for real tokens, 0.0 for padding.
+  int64_t batch = 0;
+  int64_t max_len = 0;
+};
+
+/// Pads variable-length sequences into an EncodedBatch. Sequences longer
+/// than `max_len_cap` (if > 0) are truncated. Empty batch yields max_len 0.
+EncodedBatch PadBatch(const std::vector<std::vector<int32_t>>& seqs,
+                      int64_t max_len_cap = 0);
+
+/// A (decoder input, target, mask) triple for teacher forcing:
+///   input  = [BOS, t1, ..., tn]
+///   target = [t1, ..., tn, EOS]
+struct TeacherForcedBatch {
+  EncodedBatch inputs;            // BOS-shifted inputs.
+  std::vector<int32_t> targets;   // [batch * max_len].
+  std::vector<float> target_mask; // Matches inputs.mask.
+};
+
+/// Builds the shifted input / target pair for a batch of target sequences.
+TeacherForcedBatch MakeTeacherForced(
+    const std::vector<std::vector<int32_t>>& targets,
+    int64_t max_len_cap = 0);
+
+/// Additive attention masks (0 allowed / -1e9 blocked), laid out
+/// [batch * heads, tq, tk] as MultiHeadAttention expects.
+
+/// Causal self-attention mask: position i may attend to j <= i. Padding in
+/// `tgt_mask` (length batch*t, may be empty for all-valid) is also blocked.
+std::vector<float> MakeCausalMask(int64_t batch, int64_t heads, int64_t t,
+                                  const std::vector<float>& tgt_mask = {});
+
+/// Source-padding mask for encoder self-attention or decoder cross
+/// attention: queries may attend only to valid source positions.
+std::vector<float> MakePaddingMask(int64_t batch, int64_t heads, int64_t tq,
+                                   int64_t tk,
+                                   const std::vector<float>& src_mask);
+
+}  // namespace cyqr
+
+#endif  // CYCLEQR_NMT_BATCH_H_

@@ -1,0 +1,116 @@
+#include "nmt/scorer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+#include "tensor/ops.h"
+
+namespace cyqr {
+
+double TokenAccuracyFromLogits(const Tensor& logits,
+                               const std::vector<int32_t>& targets,
+                               const std::vector<float>& mask) {
+  CYQR_CHECK_EQ(logits.shape().rank(), 3);
+  const int64_t rows = logits.shape().dim(0) * logits.shape().dim(1);
+  const int64_t v = logits.shape().dim(2);
+  CYQR_CHECK_EQ(static_cast<int64_t>(targets.size()), rows);
+  int64_t correct = 0;
+  int64_t total = 0;
+  const float* p = logits.data();
+  for (int64_t i = 0; i < rows; ++i) {
+    if (mask[i] == 0.0f) continue;
+    int64_t best = 0;
+    const float* row = p + i * v;
+    for (int64_t j = 1; j < v; ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    if (best == targets[i]) ++correct;
+    ++total;
+  }
+  return total == 0 ? 0.0 : static_cast<double>(correct) / total;
+}
+
+TeacherForcedMetrics EvaluateTeacherForced(const Seq2SeqModel& model,
+                                           const std::vector<SeqPair>& pairs,
+                                           int64_t batch_size) {
+  NoGradGuard no_grad;
+  double total_nll = 0.0;
+  int64_t total_tokens = 0;
+  int64_t total_correct = 0;
+  double total_seq_logprob = 0.0;
+  int64_t total_seqs = 0;
+  for (size_t begin = 0; begin < pairs.size();
+       begin += static_cast<size_t>(batch_size)) {
+    const size_t end =
+        std::min(pairs.size(), begin + static_cast<size_t>(batch_size));
+    std::vector<std::vector<int32_t>> srcs;
+    std::vector<std::vector<int32_t>> tgts;
+    for (size_t i = begin; i < end; ++i) {
+      srcs.push_back(pairs[i].src);
+      tgts.push_back(pairs[i].tgt);
+    }
+    const EncodedBatch src = PadBatch(srcs);
+    const TeacherForcedBatch tf = MakeTeacherForced(tgts);
+    Tensor logits = model.Forward(src, tf.inputs);
+    // Token NLL and accuracy.
+    const int64_t rows = tf.inputs.batch * tf.inputs.max_len;
+    const int64_t v = model.vocab_size();
+    const float* p = logits.data();
+    for (int64_t i = 0; i < rows; ++i) {
+      if (tf.target_mask[i] == 0.0f) continue;
+      const float* row = p + i * v;
+      float max_logit = row[0];
+      int64_t best = 0;
+      for (int64_t j = 1; j < v; ++j) {
+        if (row[j] > row[best]) best = j;
+        max_logit = std::max(max_logit, row[j]);
+      }
+      double lse = 0.0;
+      for (int64_t j = 0; j < v; ++j) {
+        lse += std::exp(static_cast<double>(row[j] - max_logit));
+      }
+      lse = max_logit + std::log(lse);
+      total_nll += lse - row[tf.targets[i]];
+      if (best == tf.targets[i]) ++total_correct;
+      ++total_tokens;
+    }
+    Tensor seq_lp = SequenceLogProb(logits, tf.targets, tf.target_mask);
+    for (int64_t b = 0; b < tf.inputs.batch; ++b) {
+      total_seq_logprob += seq_lp.data()[b];
+      ++total_seqs;
+    }
+  }
+  TeacherForcedMetrics m;
+  if (total_tokens > 0) {
+    m.perplexity = std::exp(total_nll / total_tokens);
+    m.token_accuracy = static_cast<double>(total_correct) / total_tokens;
+  }
+  if (total_seqs > 0) m.mean_log_prob = total_seq_logprob / total_seqs;
+  return m;
+}
+
+std::vector<double> ScoreSequences(
+    const Seq2SeqModel& model, const std::vector<int32_t>& src,
+    const std::vector<std::vector<int32_t>>& tgts) {
+  NoGradGuard no_grad;
+  if (tgts.empty()) return {};
+  std::vector<std::vector<int32_t>> srcs(tgts.size(), src);
+  const EncodedBatch src_batch = PadBatch(srcs);
+  const TeacherForcedBatch tf = MakeTeacherForced(tgts);
+  Tensor logits = model.Forward(src_batch, tf.inputs);
+  Tensor seq_lp = SequenceLogProb(logits, tf.targets, tf.target_mask);
+  std::vector<double> out(tgts.size());
+  for (size_t i = 0; i < tgts.size(); ++i) {
+    out[i] = seq_lp.data()[i];
+  }
+  return out;
+}
+
+double ScoreSequence(const Seq2SeqModel& model,
+                     const std::vector<int32_t>& src,
+                     const std::vector<int32_t>& tgt) {
+  return ScoreSequences(model, src, {tgt})[0];
+}
+
+}  // namespace cyqr

@@ -1,0 +1,48 @@
+#ifndef CYCLEQR_NMT_SCORER_H_
+#define CYCLEQR_NMT_SCORER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nmt/seq2seq.h"
+
+namespace cyqr {
+
+/// A (source, target) token-id pair, the unit of click-log training data
+/// (query ids, title ids) after vocabulary encoding.
+struct SeqPair {
+  std::vector<int32_t> src;
+  std::vector<int32_t> tgt;
+};
+
+/// Figure 7/8/9 model-quality metrics measured under teacher forcing.
+struct TeacherForcedMetrics {
+  double perplexity = 0.0;      // exp(mean token NLL); lower is better.
+  double token_accuracy = 0.0;  // Fraction of argmax == target.
+  double mean_log_prob = 0.0;   // Mean per-sequence log P(tgt|src).
+};
+
+/// Evaluates a model on held-out pairs. Runs gradient-free; dropout inert.
+TeacherForcedMetrics EvaluateTeacherForced(const Seq2SeqModel& model,
+                                           const std::vector<SeqPair>& pairs,
+                                           int64_t batch_size = 16);
+
+/// log P(tgt | src) under teacher forcing for each target, sharing one
+/// encoded source. Gradient-free. This is the scoring primitive of the
+/// cyclic inference pipeline (Figure 3).
+std::vector<double> ScoreSequences(
+    const Seq2SeqModel& model, const std::vector<int32_t>& src,
+    const std::vector<std::vector<int32_t>>& tgts);
+
+/// Single-pair convenience for ScoreSequences.
+double ScoreSequence(const Seq2SeqModel& model, const std::vector<int32_t>& src,
+                     const std::vector<int32_t>& tgt);
+
+/// Token accuracy (argmax == target over masked positions) from raw logits.
+double TokenAccuracyFromLogits(const Tensor& logits,
+                               const std::vector<int32_t>& targets,
+                               const std::vector<float>& mask);
+
+}  // namespace cyqr
+
+#endif  // CYCLEQR_NMT_SCORER_H_

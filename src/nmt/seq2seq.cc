@@ -1,0 +1,8 @@
+#include "nmt/seq2seq.h"
+
+namespace cyqr {
+
+// Seq2SeqModel is a pure interface; this TU anchors the nmt target and
+// keeps the header self-contained for include-what-you-use checks.
+
+}  // namespace cyqr

@@ -1,0 +1,196 @@
+#include "nmt/transformer.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace cyqr {
+
+namespace {
+
+/// Incremental decoding re-runs the decoder over the whole generated prefix
+/// each step (no KV cache). This mirrors the cost profile the paper reports
+/// in Table V: the transformer decoder performs self-attention over all
+/// target tokens at every step, which is why it is the serving bottleneck.
+class TransformerDecodeState : public DecodeState {
+ public:
+  Tensor memory;               // [1, Ts, D]
+  std::vector<float> src_mask; // [Ts]
+  std::vector<int32_t> prefix; // Tokens fed so far (starts with BOS).
+
+  std::unique_ptr<DecodeState> Clone() const override {
+    return std::make_unique<TransformerDecodeState>(*this);
+  }
+};
+
+}  // namespace
+
+TransformerEncoderLayer::TransformerEncoderLayer(const Seq2SeqConfig& config,
+                                                 Rng& rng)
+    : self_attn_(config.d_model, config.num_heads, rng),
+      ff_(config.d_model, config.ff_hidden, rng),
+      norm1_(config.d_model),
+      norm2_(config.d_model),
+      dropout_(config.dropout, rng) {
+  RegisterModule(&self_attn_);
+  RegisterModule(&ff_);
+  RegisterModule(&norm1_);
+  RegisterModule(&norm2_);
+  RegisterModule(&dropout_);
+}
+
+Tensor TransformerEncoderLayer::Forward(
+    const Tensor& x, const std::vector<float>& pad_mask) const {
+  Tensor h = norm1_.Forward(x);
+  Tensor y = Add(x, dropout_.Forward(self_attn_.Forward(h, h, pad_mask)));
+  Tensor h2 = norm2_.Forward(y);
+  return Add(y, dropout_.Forward(ff_.Forward(h2)));
+}
+
+TransformerDecoderLayer::TransformerDecoderLayer(const Seq2SeqConfig& config,
+                                                 Rng& rng)
+    : self_attn_(config.d_model, config.num_heads, rng),
+      cross_attn_(config.d_model, config.num_heads, rng),
+      ff_(config.d_model, config.ff_hidden, rng),
+      norm1_(config.d_model),
+      norm2_(config.d_model),
+      norm3_(config.d_model),
+      dropout_(config.dropout, rng) {
+  RegisterModule(&self_attn_);
+  RegisterModule(&cross_attn_);
+  RegisterModule(&ff_);
+  RegisterModule(&norm1_);
+  RegisterModule(&norm2_);
+  RegisterModule(&norm3_);
+  RegisterModule(&dropout_);
+}
+
+Tensor TransformerDecoderLayer::Forward(
+    const Tensor& x, const Tensor& memory,
+    const std::vector<float>& causal_mask,
+    const std::vector<float>& memory_mask) const {
+  Tensor h = norm1_.Forward(x);
+  Tensor y = Add(x, dropout_.Forward(self_attn_.Forward(h, h, causal_mask)));
+  Tensor h2 = norm2_.Forward(y);
+  Tensor z =
+      Add(y, dropout_.Forward(cross_attn_.Forward(h2, memory, memory_mask)));
+  Tensor h3 = norm3_.Forward(z);
+  return Add(z, dropout_.Forward(ff_.Forward(h3)));
+}
+
+TransformerEncoder::TransformerEncoder(const Seq2SeqConfig& config, Rng& rng)
+    : config_(config),
+      embedding_(config.vocab_size, config.d_model, rng),
+      dropout_(config.dropout, rng),
+      final_norm_(config.d_model) {
+  CYQR_CHECK_GT(config.vocab_size, 0);
+  RegisterModule(&embedding_);
+  RegisterModule(&dropout_);
+  for (int64_t i = 0; i < config.num_layers; ++i) {
+    layers_.push_back(std::make_unique<TransformerEncoderLayer>(config, rng));
+    RegisterModule(layers_.back().get());
+  }
+  RegisterModule(&final_norm_);
+}
+
+Tensor TransformerEncoder::Forward(const EncodedBatch& src) const {
+  const float scale = std::sqrt(static_cast<float>(config_.d_model));
+  Tensor x = Scale(embedding_.Forward(src.ids, src.batch, src.max_len), scale);
+  x = dropout_.Forward(AddPositionalEncoding(x));
+  const std::vector<float> pad_mask = MakePaddingMask(
+      src.batch, config_.num_heads, src.max_len, src.max_len, src.mask);
+  for (const auto& layer : layers_) {
+    x = layer->Forward(x, pad_mask);
+  }
+  return final_norm_.Forward(x);
+}
+
+TransformerSeq2Seq::TransformerSeq2Seq(const Seq2SeqConfig& config, Rng& rng)
+    : config_(config),
+      encoder_(config, rng),
+      tgt_embedding_(config.vocab_size, config.d_model, rng),
+      dropout_(config.dropout, rng),
+      final_norm_(config.d_model),
+      output_proj_(config.d_model, config.vocab_size, rng) {
+  RegisterModule(&encoder_);
+  RegisterModule(&tgt_embedding_);
+  RegisterModule(&dropout_);
+  for (int64_t i = 0; i < config.num_layers; ++i) {
+    decoder_layers_.push_back(
+        std::make_unique<TransformerDecoderLayer>(config, rng));
+    RegisterModule(decoder_layers_.back().get());
+  }
+  RegisterModule(&final_norm_);
+  RegisterModule(&output_proj_);
+}
+
+Tensor TransformerSeq2Seq::Decode(const Tensor& memory,
+                                  const std::vector<float>& src_mask,
+                                  const EncodedBatch& tgt_in) const {
+  const int64_t ts = memory.shape().dim(1);
+  const float scale = std::sqrt(static_cast<float>(config_.d_model));
+  Tensor x = Scale(
+      tgt_embedding_.Forward(tgt_in.ids, tgt_in.batch, tgt_in.max_len),
+      scale);
+  x = dropout_.Forward(AddPositionalEncoding(x));
+  const std::vector<float> causal = MakeCausalMask(
+      tgt_in.batch, config_.num_heads, tgt_in.max_len, tgt_in.mask);
+  const std::vector<float> mem_mask = MakePaddingMask(
+      tgt_in.batch, config_.num_heads, tgt_in.max_len, ts, src_mask);
+  for (const auto& layer : decoder_layers_) {
+    x = layer->Forward(x, memory, causal, mem_mask);
+  }
+  return output_proj_.Forward(final_norm_.Forward(x));
+}
+
+Tensor TransformerSeq2Seq::Forward(const EncodedBatch& src,
+                                   const EncodedBatch& tgt_in) const {
+  CYQR_CHECK_EQ(src.batch, tgt_in.batch);
+  Tensor memory = encoder_.Forward(src);
+  return Decode(memory, src.mask, tgt_in);
+}
+
+std::unique_ptr<DecodeState> TransformerSeq2Seq::StartDecode(
+    const std::vector<int32_t>& src_ids) const {
+  NoGradGuard no_grad;
+  auto state = std::make_unique<TransformerDecodeState>();
+  const EncodedBatch src = PadBatch({src_ids});
+  state->memory = encoder_.Forward(src);
+  state->src_mask = src.mask;
+  return state;
+}
+
+std::vector<float> TransformerSeq2Seq::Step(DecodeState& state,
+                                            int32_t token) const {
+  NoGradGuard no_grad;
+  auto& s = static_cast<TransformerDecodeState&>(state);
+  s.prefix.push_back(token);
+  EncodedBatch tgt_in;
+  tgt_in.batch = 1;
+  tgt_in.max_len = static_cast<int64_t>(s.prefix.size());
+  tgt_in.ids = s.prefix;
+  tgt_in.mask.assign(s.prefix.size(), 1.0f);
+  Tensor logits = Decode(s.memory, s.src_mask, tgt_in);
+  const int64_t v = config_.vocab_size;
+  const float* last = logits.data() + (tgt_in.max_len - 1) * v;
+  return std::vector<float>(last, last + v);
+}
+
+void TransformerSeq2Seq::SetCaptureAttention(bool capture) {
+  CYQR_CHECK(!decoder_layers_.empty());
+  decoder_layers_.back()->cross_attention().set_capture_weights(capture);
+}
+
+const std::vector<float>& TransformerSeq2Seq::LastCrossAttention() const {
+  return decoder_layers_.back()->cross_attention().last_attention();
+}
+
+int64_t TransformerSeq2Seq::LastAttentionRows() const {
+  return decoder_layers_.back()->cross_attention().last_tq();
+}
+
+int64_t TransformerSeq2Seq::LastAttentionCols() const {
+  return decoder_layers_.back()->cross_attention().last_tk();
+}
+
+}  // namespace cyqr

@@ -1,0 +1,113 @@
+#ifndef CYCLEQR_NMT_TRANSFORMER_H_
+#define CYCLEQR_NMT_TRANSFORMER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nmt/seq2seq.h"
+#include "nn/attention.h"
+#include "nn/layers.h"
+
+namespace cyqr {
+
+/// One pre-norm transformer encoder block: self-attention + feed-forward,
+/// each with residual connection.
+class TransformerEncoderLayer : public Module {
+ public:
+  TransformerEncoderLayer(const Seq2SeqConfig& config, Rng& rng);
+
+  Tensor Forward(const Tensor& x, const std::vector<float>& pad_mask) const;
+
+ private:
+  MultiHeadAttention self_attn_;
+  FeedForward ff_;
+  LayerNorm norm1_;
+  LayerNorm norm2_;
+  Dropout dropout_;
+};
+
+/// One pre-norm transformer decoder block: causal self-attention,
+/// cross-attention over the encoder memory, feed-forward.
+class TransformerDecoderLayer : public Module {
+ public:
+  TransformerDecoderLayer(const Seq2SeqConfig& config, Rng& rng);
+
+  Tensor Forward(const Tensor& x, const Tensor& memory,
+                 const std::vector<float>& causal_mask,
+                 const std::vector<float>& memory_mask) const;
+
+  MultiHeadAttention& cross_attention() { return cross_attn_; }
+  const MultiHeadAttention& cross_attention() const { return cross_attn_; }
+
+ private:
+  MultiHeadAttention self_attn_;
+  MultiHeadAttention cross_attn_;
+  FeedForward ff_;
+  LayerNorm norm1_;
+  LayerNorm norm2_;
+  LayerNorm norm3_;
+  Dropout dropout_;
+};
+
+/// Stack of encoder layers with shared token embedding + sinusoidal
+/// positions. Reused standalone by the hybrid model (transformer encoder +
+/// RNN decoder, paper Section III-G).
+class TransformerEncoder : public Module {
+ public:
+  TransformerEncoder(const Seq2SeqConfig& config, Rng& rng);
+
+  /// Returns the encoder memory [B, Ts, D].
+  Tensor Forward(const EncodedBatch& src) const;
+
+  int64_t d_model() const { return config_.d_model; }
+  const Seq2SeqConfig& config() const { return config_; }
+
+ private:
+  Seq2SeqConfig config_;
+  Embedding embedding_;
+  Dropout dropout_;
+  std::vector<std::unique_ptr<TransformerEncoderLayer>> layers_;
+  LayerNorm final_norm_;
+};
+
+/// Full transformer encoder-decoder NMT model (Vaswani et al.), the
+/// paper's primary architecture for both translation directions.
+class TransformerSeq2Seq : public Seq2SeqModel {
+ public:
+  TransformerSeq2Seq(const Seq2SeqConfig& config, Rng& rng);
+
+  Tensor Forward(const EncodedBatch& src,
+                 const EncodedBatch& tgt_in) const override;
+  std::unique_ptr<DecodeState> StartDecode(
+      const std::vector<int32_t>& src_ids) const override;
+  std::vector<float> Step(DecodeState& state, int32_t token) const override;
+  int64_t vocab_size() const override { return config_.vocab_size; }
+  std::string name() const override { return "transformer"; }
+
+  /// Enables attention capture on the last decoder layer's cross-attention
+  /// (Figure 6 heat maps). After a Step/Forward, LastCrossAttention()
+  /// returns the head-averaged [T_tgt, T_src] weights of batch element 0.
+  void SetCaptureAttention(bool capture);
+  const std::vector<float>& LastCrossAttention() const;
+  int64_t LastAttentionRows() const;
+  int64_t LastAttentionCols() const;
+
+  const Seq2SeqConfig& config() const { return config_; }
+
+ private:
+  Tensor Decode(const Tensor& memory, const std::vector<float>& src_mask,
+                const EncodedBatch& tgt_in) const;
+
+  Seq2SeqConfig config_;
+  TransformerEncoder encoder_;
+  Embedding tgt_embedding_;
+  Dropout dropout_;
+  std::vector<std::unique_ptr<TransformerDecoderLayer>> decoder_layers_;
+  LayerNorm final_norm_;
+  Linear output_proj_;
+};
+
+}  // namespace cyqr
+
+#endif  // CYCLEQR_NMT_TRANSFORMER_H_

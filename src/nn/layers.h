@@ -1,0 +1,93 @@
+#ifndef CYCLEQR_NN_LAYERS_H_
+#define CYCLEQR_NN_LAYERS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.h"
+#include "nn/module.h"
+#include "tensor/ops.h"
+
+namespace cyqr {
+
+/// Affine map y = x W + b for x of shape [*, in] (rank 2 or 3).
+class Linear : public Module {
+ public:
+  Linear(int64_t in_features, int64_t out_features, Rng& rng,
+         bool bias = true);
+
+  Tensor Forward(const Tensor& x) const;
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  Tensor weight_;  // [in, out]
+  Tensor bias_;    // [out] (undefined when bias = false)
+};
+
+/// Token embedding table [vocab, dim].
+class Embedding : public Module {
+ public:
+  Embedding(int64_t vocab_size, int64_t dim, Rng& rng);
+
+  /// ids has length batch*seq; returns [batch, seq, dim].
+  Tensor Forward(const std::vector<int32_t>& ids, int64_t batch,
+                 int64_t seq) const;
+
+  const Tensor& table() const { return table_; }
+  int64_t vocab_size() const { return vocab_size_; }
+  int64_t dim() const { return dim_; }
+
+ private:
+  int64_t vocab_size_;
+  int64_t dim_;
+  Tensor table_;
+};
+
+/// Layer normalization over the last dim with learned gain/bias.
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(int64_t dim);
+
+  Tensor Forward(const Tensor& x) const;
+
+ private:
+  Tensor gamma_;
+  Tensor beta_;
+};
+
+/// Inverted dropout; active only in training mode (see Module::SetTraining).
+class Dropout : public Module {
+ public:
+  Dropout(float p, Rng& rng) : p_(p), rng_(&rng) {}
+
+  Tensor Forward(const Tensor& x) const;
+
+ private:
+  float p_;
+  Rng* rng_;
+};
+
+/// Position-wise feed-forward block: Linear -> ReLU -> Linear.
+class FeedForward : public Module {
+ public:
+  FeedForward(int64_t dim, int64_t hidden, Rng& rng);
+
+  Tensor Forward(const Tensor& x) const;
+
+ private:
+  Linear fc1_;
+  Linear fc2_;
+};
+
+/// Adds the sinusoidal positional encoding of "Attention Is All You Need"
+/// to x ([B, T, D]); positions start at `offset` (used for incremental
+/// decoding where step t encodes position t).
+Tensor AddPositionalEncoding(const Tensor& x, int64_t offset = 0);
+
+}  // namespace cyqr
+
+#endif  // CYCLEQR_NN_LAYERS_H_

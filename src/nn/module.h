@@ -1,0 +1,56 @@
+#ifndef CYCLEQR_NN_MODULE_H_
+#define CYCLEQR_NN_MODULE_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace cyqr {
+
+/// Base class for neural network building blocks. Concrete modules register
+/// their trainable tensors with RegisterParameter and nested blocks with
+/// RegisterModule; Parameters() then yields every trainable tensor in the
+/// subtree in a stable (registration) order, which is also the
+/// serialization order.
+class Module {
+ public:
+  Module() = default;
+  virtual ~Module() = default;
+
+  // Modules own parameter storage; moving/copying would silently alias or
+  // duplicate trainable state.
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// All trainable parameters in this module and its children.
+  std::vector<Tensor> Parameters() const;
+
+  /// Total number of trainable scalars.
+  int64_t NumParameters() const;
+
+  /// Toggles training mode (affects dropout) for the whole subtree.
+  void SetTraining(bool training);
+  bool training() const { return training_; }
+
+ protected:
+  /// Marks `t` trainable and registers it. Returns the same handle.
+  Tensor RegisterParameter(Tensor t);
+
+  /// Registers a child whose parameters are part of this module's tree.
+  /// The child must outlive this module (typically a data member).
+  void RegisterModule(Module* child);
+
+ private:
+  std::vector<Tensor> params_;
+  std::vector<Module*> children_;
+  bool training_ = true;
+};
+
+/// Rescales gradients of `params` so their global L2 norm is at most
+/// `max_norm`. Returns the pre-clip norm.
+double ClipGradNorm(const std::vector<Tensor>& params, double max_norm);
+
+}  // namespace cyqr
+
+#endif  // CYCLEQR_NN_MODULE_H_

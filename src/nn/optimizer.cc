@@ -1,0 +1,48 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "core/check.h"
+
+namespace cyqr {
+
+Adam::Adam(std::vector<Tensor> params, const Options& options)
+    : params_(std::move(params)), options_(options) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Tensor& p : params_) {
+    m_.emplace_back(p.NumElements(), 0.0f);
+    v_.emplace_back(p.NumElements(), 0.0f);
+  }
+}
+
+void Adam::Step() {
+  ++step_;
+  const float b1 = options_.beta1;
+  const float b2 = options_.beta2;
+  const float bias1 = 1.0f - std::pow(b1, static_cast<float>(step_));
+  const float bias2 = 1.0f - std::pow(b2, static_cast<float>(step_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Tensor& p = params_[i];
+    const float* g = p.grad();
+    if (g == nullptr) continue;
+    float* x = p.data();
+    std::vector<float>& m = m_[i];
+    std::vector<float>& v = v_[i];
+    const int64_t n = p.NumElements();
+    for (int64_t j = 0; j < n; ++j) {
+      m[j] = b1 * m[j] + (1.0f - b1) * g[j];
+      v[j] = b2 * v[j] + (1.0f - b2) * g[j] * g[j];
+      const float mhat = m[j] / bias1;
+      const float vhat = v[j] / bias2;
+      x[j] -= options_.learning_rate * mhat /
+              (std::sqrt(vhat) + options_.eps);
+    }
+  }
+}
+
+void Adam::ZeroGrad() {
+  for (Tensor& p : params_) p.ZeroGrad();
+}
+
+}  // namespace cyqr

@@ -1,0 +1,45 @@
+#ifndef CYCLEQR_NN_OPTIMIZER_H_
+#define CYCLEQR_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace cyqr {
+
+/// Adam optimizer (Kingma & Ba) over a fixed parameter list — the optimizer
+/// the paper uses (lr 0.05 with Noam schedule, beta1 0.9, beta2 0.999,
+/// eps 1e-8; Section IV-A).
+class Adam {
+ public:
+  struct Options {
+    float learning_rate = 1e-3f;
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float eps = 1e-8f;
+  };
+
+  Adam(std::vector<Tensor> params, const Options& options);
+
+  /// Applies one update from the current gradients; parameters without a
+  /// gradient buffer are skipped.
+  void Step();
+
+  /// Zeroes all parameter gradients.
+  void ZeroGrad();
+
+  void set_learning_rate(float lr) { options_.learning_rate = lr; }
+  float learning_rate() const { return options_.learning_rate; }
+  int64_t step_count() const { return step_; }
+
+ private:
+  std::vector<Tensor> params_;
+  Options options_;
+  int64_t step_ = 0;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+};
+
+}  // namespace cyqr
+
+#endif  // CYCLEQR_NN_OPTIMIZER_H_

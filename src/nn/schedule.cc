@@ -1,0 +1,25 @@
+#include "nn/schedule.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+
+namespace cyqr {
+
+NoamSchedule::NoamSchedule(int64_t d_model, int64_t warmup_steps,
+                           float factor)
+    : d_model_(d_model), warmup_steps_(warmup_steps), factor_(factor) {
+  CYQR_CHECK_GT(d_model, 0);
+  CYQR_CHECK_GT(warmup_steps, 0);
+}
+
+float NoamSchedule::LearningRate(int64_t step) const {
+  CYQR_CHECK_GE(step, 1);
+  const double s = static_cast<double>(step);
+  const double w = static_cast<double>(warmup_steps_);
+  return static_cast<float>(factor_ / std::sqrt(double(d_model_)) *
+                            std::min(1.0 / std::sqrt(s), s / (w * std::sqrt(w))));
+}
+
+}  // namespace cyqr

@@ -1,0 +1,26 @@
+#ifndef CYCLEQR_NN_SCHEDULE_H_
+#define CYCLEQR_NN_SCHEDULE_H_
+
+#include <cstdint>
+
+namespace cyqr {
+
+/// The Noam learning-rate schedule of "Attention Is All You Need", adopted
+/// by the paper (Section IV-A):
+///   lr(step) = factor * d_model^-0.5 * min(step^-0.5, step * warmup^-1.5)
+class NoamSchedule {
+ public:
+  NoamSchedule(int64_t d_model, int64_t warmup_steps, float factor = 1.0f);
+
+  /// Learning rate at a 1-based step.
+  float LearningRate(int64_t step) const;
+
+ private:
+  int64_t d_model_;
+  int64_t warmup_steps_;
+  float factor_;
+};
+
+}  // namespace cyqr
+
+#endif  // CYCLEQR_NN_SCHEDULE_H_

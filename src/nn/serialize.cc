@@ -1,0 +1,79 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <ostream>
+
+namespace cyqr {
+
+namespace {
+constexpr uint32_t kMagic = 0x43595152;  // "CYQR"
+}  // namespace
+
+Status SaveParameters(const std::vector<Tensor>& params, std::ostream& out) {
+  const uint32_t magic = kMagic;
+  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  const uint64_t count = params.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const Tensor& p : params) {
+    const uint32_t rank = static_cast<uint32_t>(p.shape().rank());
+    out.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
+    for (int i = 0; i < p.shape().rank(); ++i) {
+      const int64_t d = p.shape().dim(i);
+      out.write(reinterpret_cast<const char*>(&d), sizeof(d));
+    }
+    out.write(reinterpret_cast<const char*>(p.data()),
+              sizeof(float) * p.NumElements());
+  }
+  if (!out.good()) return Status::IoError("failed writing parameters");
+  return Status::OK();
+}
+
+Status LoadParameters(std::vector<Tensor> params, std::istream& in) {
+  uint32_t magic = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (!in.good() || magic != kMagic) {
+    return Status::IoError("bad magic in parameter stream");
+  }
+  uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (count != params.size()) {
+    return Status::InvalidArgument(
+        "parameter count mismatch: stream has " + std::to_string(count) +
+        ", model has " + std::to_string(params.size()));
+  }
+  for (Tensor& p : params) {
+    uint32_t rank = 0;
+    in.read(reinterpret_cast<char*>(&rank), sizeof(rank));
+    if (rank != static_cast<uint32_t>(p.shape().rank())) {
+      return Status::InvalidArgument("parameter rank mismatch");
+    }
+    for (int i = 0; i < p.shape().rank(); ++i) {
+      int64_t d = 0;
+      in.read(reinterpret_cast<char*>(&d), sizeof(d));
+      if (d != p.shape().dim(i)) {
+        return Status::InvalidArgument("parameter shape mismatch");
+      }
+    }
+    in.read(reinterpret_cast<char*>(p.data()),
+            sizeof(float) * p.NumElements());
+    if (!in.good()) return Status::IoError("truncated parameter stream");
+  }
+  return Status::OK();
+}
+
+Status SaveParametersToFile(const std::vector<Tensor>& params,
+                            const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) return Status::IoError("cannot open " + path);
+  return SaveParameters(params, out);
+}
+
+Status LoadParametersFromFile(std::vector<Tensor> params,
+                              const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::IoError("cannot open " + path);
+  return LoadParameters(std::move(params), in);
+}
+
+}  // namespace cyqr

@@ -1,0 +1,31 @@
+#ifndef CYCLEQR_NN_SERIALIZE_H_
+#define CYCLEQR_NN_SERIALIZE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "tensor/tensor.h"
+
+namespace cyqr {
+
+/// Writes the parameter list to a stream in a simple binary format
+/// (magic, count, then shape + float32 data per tensor). Parameter order is
+/// the Module registration order, so save/load pairs must use structurally
+/// identical modules.
+Status SaveParameters(const std::vector<Tensor>& params, std::ostream& out);
+
+/// Reads parameters back into the given (already constructed) tensors.
+/// Fails if the count or any shape mismatches.
+Status LoadParameters(std::vector<Tensor> params, std::istream& in);
+
+/// File-path conveniences.
+Status SaveParametersToFile(const std::vector<Tensor>& params,
+                            const std::string& path);
+Status LoadParametersFromFile(std::vector<Tensor> params,
+                              const std::string& path);
+
+}  // namespace cyqr
+
+#endif  // CYCLEQR_NN_SERIALIZE_H_

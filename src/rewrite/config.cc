@@ -1,0 +1,140 @@
+#include "rewrite/config.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace cyqr {
+
+const char* ArchTypeName(ArchType arch) {
+  switch (arch) {
+    case ArchType::kTransformer:
+      return "transformer";
+    case ArchType::kAttentionRnn:
+      return "attention-rnn";
+  }
+  return "unknown";
+}
+
+CycleConfig PaperScaledConfig(int64_t vocab_size) {
+  CycleConfig config;
+  config.forward.vocab_size = vocab_size;
+  config.forward.d_model = 32;
+  config.forward.num_heads = 2;
+  config.forward.ff_hidden = 64;
+  config.forward.num_layers = 4;  // Paper: 4-layer query-to-title.
+  config.forward.dropout = 0.1f;
+  config.backward = config.forward;
+  config.backward.num_layers = 1;  // Paper: 1-layer title-to-query.
+  return config;
+}
+
+std::string ConfigTable(const CycleConfig& config) {
+  std::ostringstream out;
+  out << "Model hyperparameters (paper Table II, CPU-scaled)\n";
+  out << "                              Query-to-title  Title-to-query\n";
+  out << "  architecture                " << ArchTypeName(config.arch)
+      << "\n";
+  out << "  # transformer layers        " << config.forward.num_layers
+      << "               " << config.backward.num_layers << "\n";
+  out << "  # attention heads           " << config.forward.num_heads
+      << "               " << config.backward.num_heads << "\n";
+  out << "  feed-forward hidden units   " << config.forward.ff_hidden
+      << "              " << config.backward.ff_hidden << "\n";
+  out << "  embedding dimensionality    " << config.forward.d_model
+      << "              " << config.backward.d_model << "\n";
+  out << "  dropout rate                " << config.forward.dropout
+      << "             " << config.backward.dropout << "\n";
+  out << "  vocabulary size             " << config.forward.vocab_size
+      << "\n";
+  out << "  lambda (cycle weight)       " << config.lambda << "\n";
+  out << "  beam width k                " << config.beam_width << "\n";
+  out << "  top-n sampling pool         " << config.top_n << "\n";
+  return out.str();
+}
+
+namespace {
+
+void WriteSeq2SeqConfig(std::ostream& out, const char* prefix,
+                        const Seq2SeqConfig& config) {
+  out << prefix << ".vocab_size=" << config.vocab_size << '\n';
+  out << prefix << ".d_model=" << config.d_model << '\n';
+  out << prefix << ".num_heads=" << config.num_heads << '\n';
+  out << prefix << ".ff_hidden=" << config.ff_hidden << '\n';
+  out << prefix << ".num_layers=" << config.num_layers << '\n';
+  out << prefix << ".dropout=" << config.dropout << '\n';
+}
+
+void ReadSeq2SeqConfig(const std::map<std::string, std::string>& kv,
+                       const std::string& prefix, Seq2SeqConfig* config) {
+  auto get = [&kv, &prefix](const char* key, double fallback) {
+    auto it = kv.find(prefix + "." + key);
+    return it == kv.end() ? fallback : std::stod(it->second);
+  };
+  config->vocab_size =
+      static_cast<int64_t>(get("vocab_size", config->vocab_size));
+  config->d_model = static_cast<int64_t>(get("d_model", config->d_model));
+  config->num_heads =
+      static_cast<int64_t>(get("num_heads", config->num_heads));
+  config->ff_hidden =
+      static_cast<int64_t>(get("ff_hidden", config->ff_hidden));
+  config->num_layers =
+      static_cast<int64_t>(get("num_layers", config->num_layers));
+  config->dropout = static_cast<float>(get("dropout", config->dropout));
+}
+
+}  // namespace
+
+Status SaveCycleConfig(const CycleConfig& config, const std::string& path) {
+  std::ofstream out(path);
+  if (!out.is_open()) return Status::IoError("cannot open " + path);
+  WriteSeq2SeqConfig(out, "forward", config.forward);
+  WriteSeq2SeqConfig(out, "backward", config.backward);
+  out << "arch=" << ArchTypeName(config.arch) << '\n';
+  out << "lambda=" << config.lambda << '\n';
+  out << "beam_width=" << config.beam_width << '\n';
+  out << "top_n=" << config.top_n << '\n';
+  out << "max_title_len=" << config.max_title_len << '\n';
+  out << "max_query_len=" << config.max_query_len << '\n';
+  if (!out.good()) return Status::IoError("failed writing " + path);
+  return Status::OK();
+}
+
+Result<CycleConfig> LoadCycleConfig(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open " + path);
+  }
+  std::map<std::string, std::string> kv;
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    kv[line.substr(0, eq)] = line.substr(eq + 1);
+  }
+  CycleConfig config;
+  ReadSeq2SeqConfig(kv, "forward", &config.forward);
+  ReadSeq2SeqConfig(kv, "backward", &config.backward);
+  if (auto it = kv.find("arch"); it != kv.end()) {
+    config.arch = it->second == "attention-rnn" ? ArchType::kAttentionRnn
+                                                : ArchType::kTransformer;
+  }
+  auto get = [&kv](const char* key, double fallback) {
+    auto it = kv.find(key);
+    return it == kv.end() ? fallback : std::stod(it->second);
+  };
+  config.lambda = static_cast<float>(get("lambda", config.lambda));
+  config.beam_width =
+      static_cast<int64_t>(get("beam_width", config.beam_width));
+  config.top_n = static_cast<int64_t>(get("top_n", config.top_n));
+  config.max_title_len =
+      static_cast<int64_t>(get("max_title_len", config.max_title_len));
+  config.max_query_len =
+      static_cast<int64_t>(get("max_query_len", config.max_query_len));
+  if (config.forward.vocab_size <= 0) {
+    return Status::InvalidArgument("config missing forward.vocab_size");
+  }
+  return config;
+}
+
+}  // namespace cyqr

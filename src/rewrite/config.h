@@ -1,0 +1,46 @@
+#ifndef CYCLEQR_REWRITE_CONFIG_H_
+#define CYCLEQR_REWRITE_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/status.h"
+#include "nmt/seq2seq.h"
+
+namespace cyqr {
+
+/// Architectures the cycle model can be instantiated with (Figure 8
+/// compares transformer vs attention-RNN).
+enum class ArchType { kTransformer, kAttentionRnn };
+
+const char* ArchTypeName(ArchType arch);
+
+/// Full configuration of the cyclic query-rewriting model (paper Table II
+/// plus the training hyperparameters of Section IV-A, scaled to CPU size).
+struct CycleConfig {
+  Seq2SeqConfig forward;   // Query-to-title: deeper (paper: 4 layers).
+  Seq2SeqConfig backward;  // Title-to-query: shallow (paper: 1 layer).
+  ArchType arch = ArchType::kTransformer;
+  float lambda = 0.1f;     // Cycle-consistency weight.
+  int64_t beam_width = 3;  // k: synthetic titles per query.
+  int64_t top_n = 40;      // n: sampling pool of the top-n decoder.
+  int64_t max_title_len = 20;
+  int64_t max_query_len = 10;
+  uint64_t seed = 1;
+};
+
+/// The paper's shape (4-layer q2t / 1-layer t2q transformers, lambda 0.1,
+/// k 3, n 40) at laptop width for the given vocabulary.
+CycleConfig PaperScaledConfig(int64_t vocab_size);
+
+/// Renders the Table II hyperparameter table.
+std::string ConfigTable(const CycleConfig& config);
+
+/// Key=value text persistence of a cycle configuration (the CLI's model
+/// directories store config + vocabulary + parameters side by side).
+Status SaveCycleConfig(const CycleConfig& config, const std::string& path);
+Result<CycleConfig> LoadCycleConfig(const std::string& path);
+
+}  // namespace cyqr
+
+#endif  // CYCLEQR_REWRITE_CONFIG_H_

@@ -1,0 +1,70 @@
+#include "rewrite/direct_model.h"
+
+#include "core/check.h"
+#include "decode/beam.h"
+#include "nmt/attention_seq2seq.h"
+#include "nmt/hybrid.h"
+#include "nmt/transformer.h"
+
+namespace cyqr {
+
+const char* DirectArchName(DirectArch arch) {
+  switch (arch) {
+    case DirectArch::kPureRnn:
+      return "pure-rnn";
+    case DirectArch::kHybrid:
+      return "hybrid";
+    case DirectArch::kTransformer:
+      return "transformer";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::unique_ptr<Seq2SeqModel> MakeDirectModel(DirectArch arch,
+                                              const Seq2SeqConfig& config,
+                                              Rng& rng) {
+  switch (arch) {
+    case DirectArch::kPureRnn:
+      return MakePureRnnSeq2Seq(config, rng);
+    case DirectArch::kHybrid:
+      return std::make_unique<HybridSeq2Seq>(config, CellType::kRnn, rng);
+    case DirectArch::kTransformer:
+      return std::make_unique<TransformerSeq2Seq>(config, rng);
+  }
+  CYQR_CHECK_MSG(false, "unknown direct architecture");
+  return nullptr;
+}
+
+}  // namespace
+
+DirectRewriter::DirectRewriter(DirectArch arch, const Seq2SeqConfig& config,
+                               const Vocabulary* vocab, Rng& rng)
+    : arch_(arch), vocab_(vocab), model_(MakeDirectModel(arch, config, rng)) {
+  CYQR_CHECK(vocab != nullptr);
+}
+
+std::vector<RewriteCandidate> DirectRewriter::Rewrite(
+    const std::vector<std::string>& query_tokens, int64_t k,
+    int64_t max_len) const {
+  NoGradGuard no_grad;
+  const std::vector<int32_t> query_ids = vocab_->Encode(query_tokens);
+  DecodeOptions options;
+  options.beam_size = k + 1;  // One slot may be consumed by the identity.
+  options.max_len = max_len;
+  std::vector<RewriteCandidate> out;
+  for (const DecodedSequence& s :
+       BeamSearchDecode(*model_, query_ids, options)) {
+    if (s.ids.empty() || s.ids == query_ids) continue;
+    RewriteCandidate c;
+    c.ids = s.ids;
+    c.tokens = vocab_->Decode(s.ids);
+    c.log_prob = s.log_prob;
+    out.push_back(std::move(c));
+    if (static_cast<int64_t>(out.size()) >= k) break;
+  }
+  return out;
+}
+
+}  // namespace cyqr

@@ -1,0 +1,48 @@
+#ifndef CYCLEQR_REWRITE_DIRECT_MODEL_H_
+#define CYCLEQR_REWRITE_DIRECT_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "decode/common.h"
+#include "nmt/seq2seq.h"
+#include "rewrite/inference.h"
+#include "text/vocabulary.h"
+
+namespace cyqr {
+
+/// Serving-time architectures for the direct query-to-query model
+/// (Section III-G): the paper compares a pure RNN model with the hybrid
+/// (transformer encoder + RNN decoder) and ships the hybrid; the full
+/// transformer is the accuracy reference.
+enum class DirectArch { kPureRnn, kHybrid, kTransformer };
+
+const char* DirectArchName(DirectArch arch);
+
+/// The fast single-hop rewriter: one translation model trained on mined
+/// synonymous query pairs instead of the two-hop query->title->query
+/// pipeline, trading accuracy for one sequence decode instead of two.
+class DirectRewriter {
+ public:
+  DirectRewriter(DirectArch arch, const Seq2SeqConfig& config,
+                 const Vocabulary* vocab, Rng& rng);
+
+  Seq2SeqModel& model() { return *model_; }
+  const Seq2SeqModel& model() const { return *model_; }
+  DirectArch arch() const { return arch_; }
+
+  /// Generates up to k distinct rewrites (beam search; a single decode).
+  std::vector<RewriteCandidate> Rewrite(
+      const std::vector<std::string>& query_tokens, int64_t k = 3,
+      int64_t max_len = 10) const;
+
+ private:
+  DirectArch arch_;
+  const Vocabulary* vocab_;
+  std::unique_ptr<Seq2SeqModel> model_;
+};
+
+}  // namespace cyqr
+
+#endif  // CYCLEQR_REWRITE_DIRECT_MODEL_H_

@@ -1,0 +1,105 @@
+#include "rewrite/inference.h"
+
+#include <algorithm>
+#include <map>
+
+#include "core/check.h"
+#include "core/math.h"
+#include "decode/topn_sampling.h"
+#include "nmt/scorer.h"
+
+namespace cyqr {
+
+CycleRewriter::CycleRewriter(const CycleModel* model,
+                             const Vocabulary* vocab)
+    : model_(model), vocab_(vocab) {
+  CYQR_CHECK(model != nullptr);
+  CYQR_CHECK(vocab != nullptr);
+}
+
+CycleRewriter::Result CycleRewriter::Rewrite(
+    const std::vector<std::string>& query_tokens,
+    const RewriteOptions& options) const {
+  return RewriteIds(vocab_->Encode(query_tokens), options);
+}
+
+CycleRewriter::Result CycleRewriter::RewriteIds(
+    const std::vector<int32_t>& query_ids,
+    const RewriteOptions& options) const {
+  NoGradGuard no_grad;
+  Result result;
+  Rng rng(options.seed);
+
+  // Step 1: k synthetic titles from the forward model.
+  DecodeOptions title_options;
+  title_options.beam_size = options.k;
+  title_options.top_n = options.top_n;
+  title_options.max_len = options.max_title_len;
+  result.synthetic_titles =
+      TopNSamplingDecode(model_->forward(), query_ids, title_options, rng);
+  if (result.synthetic_titles.empty()) return result;
+
+  // The decoder reports log P(y_t|x) already; re-derive per-title id lists.
+  std::vector<std::vector<int32_t>> titles;
+  std::vector<double> title_log_probs;
+  for (const DecodedSequence& t : result.synthetic_titles) {
+    if (t.ids.empty()) continue;
+    titles.push_back(t.ids);
+    title_log_probs.push_back(t.log_prob);
+  }
+  if (titles.empty()) return result;
+
+  // Step 2: k candidate queries from each title (k^2 total), deduplicated.
+  DecodeOptions query_options;
+  query_options.beam_size = options.k;
+  query_options.top_n = options.top_n;
+  query_options.max_len = options.max_query_len;
+  std::map<std::vector<int32_t>, bool> candidate_set;
+  for (const std::vector<int32_t>& title : titles) {
+    const std::vector<DecodedSequence> queries =
+        TopNSamplingDecode(model_->backward(), title, query_options, rng);
+    for (const DecodedSequence& q : queries) {
+      if (q.ids.empty()) continue;
+      if (!options.keep_original && q.ids == query_ids) continue;
+      candidate_set.emplace(q.ids, true);
+    }
+  }
+  if (candidate_set.empty()) return result;
+
+  // Step 3: score each candidate against EVERY title:
+  //   log P(x'|x) = logsumexp_t [ log P(y_t|x) + log P_b(x'|y_t) ].
+  std::vector<std::vector<int32_t>> candidates;
+  candidates.reserve(candidate_set.size());
+  for (const auto& [ids, unused] : candidate_set) {
+    (void)unused;
+    candidates.push_back(ids);
+  }
+  std::vector<std::vector<double>> back_scores(titles.size());
+  for (size_t t = 0; t < titles.size(); ++t) {
+    back_scores[t] = ScoreSequences(model_->backward(), titles[t],
+                                    candidates);
+  }
+  for (size_t c = 0; c < candidates.size(); ++c) {
+    std::vector<double> joint(titles.size());
+    for (size_t t = 0; t < titles.size(); ++t) {
+      joint[t] = title_log_probs[t] + back_scores[t][c];
+    }
+    RewriteCandidate candidate;
+    candidate.ids = candidates[c];
+    candidate.tokens = vocab_->Decode(candidates[c]);
+    candidate.log_prob = LogSumExp(joint);
+    result.rewrites.push_back(std::move(candidate));
+  }
+
+  // Step 4: top-k by aggregated probability.
+  std::sort(result.rewrites.begin(), result.rewrites.end(),
+            [](const RewriteCandidate& a, const RewriteCandidate& b) {
+              return a.log_prob > b.log_prob;
+            });
+  if (static_cast<int64_t>(result.rewrites.size()) > options.k) {
+    result.rewrites.resize(options.k);
+  }
+  return result;
+}
+
+}  // namespace cyqr

@@ -1,0 +1,62 @@
+#ifndef CYCLEQR_REWRITE_INFERENCE_H_
+#define CYCLEQR_REWRITE_INFERENCE_H_
+
+#include <string>
+#include <vector>
+
+#include "decode/common.h"
+#include "rewrite/cycle_model.h"
+#include "text/vocabulary.h"
+
+namespace cyqr {
+
+/// One rewritten query with its aggregated cyclic-translation score.
+struct RewriteCandidate {
+  std::vector<std::string> tokens;
+  std::vector<int32_t> ids;
+  /// log P(x'|x) = log sum_t P(y_t|x) P(x'|y_t) over the k sampled titles.
+  double log_prob = 0.0;
+};
+
+struct RewriteOptions {
+  int64_t k = 3;       // Synthetic titles AND output rewrites.
+  int64_t top_n = 40;  // Top-n sampling pool.
+  int64_t max_title_len = 20;
+  int64_t max_query_len = 10;
+  uint64_t seed = 99;
+  bool keep_original = false;  // If false, x' == x is filtered out.
+};
+
+/// The full inference pipeline of Figure 3:
+///  1. top-n sample k synthetic titles y_1..y_k from the forward model;
+///  2. top-n sample k candidate queries from each title with the backward
+///     model (k^2 candidates);
+///  3. score every distinct candidate x' by
+///       P(x'|x) = sum_t P(y_t|x) P(x'|y_t)
+///     computed in log space with log-sum-exp;
+///  4. return the k best candidates different from the input query.
+class CycleRewriter {
+ public:
+  struct Result {
+    std::vector<RewriteCandidate> rewrites;        // Sorted by score desc.
+    std::vector<DecodedSequence> synthetic_titles; // The k titles.
+  };
+
+  /// `model` and `vocab` must outlive the rewriter.
+  CycleRewriter(const CycleModel* model, const Vocabulary* vocab);
+
+  Result Rewrite(const std::vector<std::string>& query_tokens,
+                 const RewriteOptions& options = {}) const;
+
+  /// Id-level entry point (used by serving and benches).
+  Result RewriteIds(const std::vector<int32_t>& query_ids,
+                    const RewriteOptions& options = {}) const;
+
+ private:
+  const CycleModel* model_;
+  const Vocabulary* vocab_;
+};
+
+}  // namespace cyqr
+
+#endif  // CYCLEQR_REWRITE_INFERENCE_H_

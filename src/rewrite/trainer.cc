@@ -1,0 +1,289 @@
+#include "rewrite/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "core/check.h"
+#include "core/math.h"
+#include "decode/topn_sampling.h"
+#include "tensor/ops.h"
+
+namespace cyqr {
+
+std::vector<SeqPair> EncodePairs(const std::vector<TokenPair>& pairs,
+                                 const Vocabulary& vocab) {
+  std::vector<SeqPair> out;
+  out.reserve(pairs.size());
+  for (const TokenPair& p : pairs) {
+    out.push_back({vocab.Encode(p.query), vocab.Encode(p.title)});
+  }
+  return out;
+}
+
+std::vector<SeqPair> EncodeQueryPairs(const std::vector<QueryPair>& pairs,
+                                      const Vocabulary& vocab) {
+  std::vector<SeqPair> out;
+  out.reserve(2 * pairs.size());
+  for (const QueryPair& p : pairs) {
+    std::vector<int32_t> a = vocab.Encode(p.a);
+    std::vector<int32_t> b = vocab.Encode(p.b);
+    out.push_back({a, b});
+    out.push_back({std::move(b), std::move(a)});
+  }
+  return out;
+}
+
+std::vector<SeqPair> ReversePairs(const std::vector<SeqPair>& pairs) {
+  std::vector<SeqPair> out;
+  out.reserve(pairs.size());
+  for (const SeqPair& p : pairs) out.push_back({p.tgt, p.src});
+  return out;
+}
+
+CycleTrainer::CycleTrainer(CycleModel* model,
+                           std::vector<SeqPair> train_pairs,
+                           const CycleTrainerOptions& options)
+    : model_(model),
+      train_(std::move(train_pairs)),
+      options_(options),
+      optimizer_(model->Parameters(), Adam::Options{}),
+      schedule_(model->config().forward.d_model, options.noam_warmup,
+                options.noam_factor),
+      rng_(options.seed) {
+  CYQR_CHECK(model != nullptr);
+  CYQR_CHECK(!train_.empty());
+}
+
+std::vector<SeqPair> CycleTrainer::SampleBatch() {
+  std::vector<SeqPair> batch;
+  batch.reserve(options_.batch_size);
+  for (int64_t i = 0; i < options_.batch_size; ++i) {
+    batch.push_back(train_[rng_.NextBelow(train_.size())]);
+  }
+  return batch;
+}
+
+double CycleTrainer::StepOnce() {
+  ++step_;
+  optimizer_.set_learning_rate(schedule_.LearningRate(step_));
+  const std::vector<SeqPair> batch = SampleBatch();
+  const CycleConfig& config = model_->config();
+
+  // L_f: query -> title.
+  std::vector<std::vector<int32_t>> queries;
+  std::vector<std::vector<int32_t>> titles;
+  for (const SeqPair& p : batch) {
+    queries.push_back(p.src);
+    titles.push_back(p.tgt);
+  }
+  const EncodedBatch q_batch = PadBatch(queries, config.max_query_len);
+  const TeacherForcedBatch t_tf = MakeTeacherForced(titles,
+                                                    config.max_title_len);
+  Tensor lf = MaskedCrossEntropy(model_->forward().Forward(q_batch,
+                                                           t_tf.inputs),
+                                 t_tf.targets, t_tf.target_mask,
+                                 options_.label_smoothing);
+
+  // L_b: title -> query.
+  const EncodedBatch t_batch = PadBatch(titles, config.max_title_len);
+  const TeacherForcedBatch q_tf = MakeTeacherForced(queries,
+                                                    config.max_query_len);
+  Tensor lb = MaskedCrossEntropy(model_->backward().Forward(t_batch,
+                                                            q_tf.inputs),
+                                 q_tf.targets, q_tf.target_mask,
+                                 options_.label_smoothing);
+  Tensor loss = Add(lf, lb);
+
+  const bool cyclic_phase =
+      options_.joint && step_ > options_.warmup_steps;
+  if (cyclic_phase) {
+    // Algorithm 1 lines 9-12: k synthetic titles per query via the top-n
+    // sampling decoder, then the approximated cycle likelihood (Eq. 5).
+    const int64_t k = config.beam_width;
+    DecodeOptions decode_options;
+    decode_options.beam_size = k;
+    decode_options.top_n = config.top_n;
+    decode_options.max_len = config.max_title_len;
+    std::vector<std::vector<int32_t>> synth_queries;  // Each repeated k times.
+    std::vector<std::vector<int32_t>> synth_titles;
+    for (const SeqPair& p : batch) {
+      std::vector<DecodedSequence> decoded = TopNSamplingDecode(
+          model_->forward(), p.src, decode_options, rng_);
+      // Guarantee exactly k titles (tiny vocabularies can yield fewer).
+      while (static_cast<int64_t>(decoded.size()) < k && !decoded.empty()) {
+        decoded.push_back(decoded.back());
+      }
+      if (decoded.empty()) {
+        decoded.assign(static_cast<size_t>(k), DecodedSequence{{kUnkId}, 0.0});
+      }
+      for (int64_t i = 0; i < k; ++i) {
+        synth_queries.push_back(p.src);
+        synth_titles.push_back(decoded[i].ids);
+      }
+    }
+    // log P_f(y_i | x) — differentiable in theta_f.
+    const EncodedBatch sq_batch = PadBatch(synth_queries,
+                                           config.max_query_len);
+    const TeacherForcedBatch st_tf =
+        MakeTeacherForced(synth_titles, config.max_title_len);
+    Tensor lpf = SequenceLogProb(
+        model_->forward().Forward(sq_batch, st_tf.inputs), st_tf.targets,
+        st_tf.target_mask);
+    // log P_b(x | y_i) — differentiable in theta_b.
+    const EncodedBatch st_batch = PadBatch(synth_titles,
+                                           config.max_title_len);
+    const TeacherForcedBatch sq_tf =
+        MakeTeacherForced(synth_queries, config.max_query_len);
+    Tensor lpb = SequenceLogProb(
+        model_->backward().Forward(st_batch, sq_tf.inputs), sq_tf.targets,
+        sq_tf.target_mask);
+    // L_c = mean_x logsumexp_i (lpf_i + lpb_i); maximize => subtract.
+    Tensor lc = MeanAll(GroupLogSumExp(Add(lpf, lpb), k));
+    loss = Sub(loss, Scale(lc, config.lambda));
+  }
+
+  optimizer_.ZeroGrad();
+  loss.Backward();
+  ClipGradNorm(model_->Parameters(), options_.grad_clip);
+  optimizer_.Step();
+  return loss.item();
+}
+
+TrainMetricsPoint CycleTrainer::Evaluate(
+    const std::vector<SeqPair>& eval_pairs) {
+  NoGradGuard no_grad;
+  const CycleConfig& config = model_->config();
+  TrainMetricsPoint point;
+  point.step = step_;
+
+  const TeacherForcedMetrics q2t =
+      EvaluateTeacherForced(model_->forward(), eval_pairs);
+  const std::vector<SeqPair> reversed = ReversePairs(eval_pairs);
+  const TeacherForcedMetrics t2q =
+      EvaluateTeacherForced(model_->backward(), reversed);
+  point.q2t_perplexity = q2t.perplexity;
+  point.t2q_perplexity = t2q.perplexity;
+  point.q2t_accuracy = q2t.token_accuracy;
+  point.t2q_accuracy = t2q.token_accuracy;
+
+  // Translate-back metrics over distinct eval queries.
+  std::set<std::string> seen;
+  std::vector<std::vector<int32_t>> eval_queries;
+  for (const SeqPair& p : eval_pairs) {
+    std::string key;
+    for (int32_t id : p.src) key += std::to_string(id) + ",";
+    if (!seen.insert(key).second) continue;
+    eval_queries.push_back(p.src);
+    if (static_cast<int64_t>(eval_queries.size()) >= options_.eval_queries) {
+      break;
+    }
+  }
+  DecodeOptions decode_options;
+  decode_options.beam_size = config.beam_width;
+  decode_options.top_n = config.top_n;
+  decode_options.max_len = config.max_title_len;
+  decode_options.seed = 7777;  // Fixed: evaluation must be comparable.
+
+  double total_lp = 0.0;
+  double total_acc = 0.0;
+  int64_t counted = 0;
+  for (const std::vector<int32_t>& query : eval_queries) {
+    const std::vector<DecodedSequence> titles =
+        TopNSamplingDecode(model_->forward(), query, decode_options);
+    if (titles.empty()) continue;
+    std::vector<std::vector<int32_t>> title_ids;
+    for (const DecodedSequence& t : titles) title_ids.push_back(t.ids);
+    // log P(x|x) = logsumexp_i [log P_f(y_i|x) + log P_b(x|y_i)].
+    const std::vector<double> lpf =
+        ScoreSequences(model_->forward(), query, title_ids);
+    std::vector<double> joint_lp(titles.size());
+    std::vector<double> back_acc(titles.size());
+    for (size_t i = 0; i < titles.size(); ++i) {
+      const double lpb =
+          ScoreSequence(model_->backward(), title_ids[i], query);
+      joint_lp[i] = lpf[i] + lpb;
+      // Token accuracy of reproducing the query from this title.
+      const EncodedBatch src = PadBatch({title_ids[i]});
+      const TeacherForcedBatch tf = MakeTeacherForced({query});
+      Tensor logits = model_->backward().Forward(src, tf.inputs);
+      back_acc[i] =
+          TokenAccuracyFromLogits(logits, tf.targets, tf.target_mask);
+    }
+    total_lp += LogSumExp(joint_lp);
+    // Accuracy weighted by the forward title probabilities.
+    double wsum = 0.0;
+    double acc = 0.0;
+    double max_lpf = *std::max_element(lpf.begin(), lpf.end());
+    for (size_t i = 0; i < titles.size(); ++i) {
+      const double w = std::exp(lpf[i] - max_lpf);
+      wsum += w;
+      acc += w * back_acc[i];
+    }
+    total_acc += acc / wsum;
+    ++counted;
+  }
+  if (counted > 0) {
+    point.translate_back_log_prob = total_lp / counted;
+    point.translate_back_accuracy = total_acc / counted;
+  }
+  return point;
+}
+
+void CycleTrainer::Train(const std::vector<SeqPair>& eval_pairs) {
+  for (int64_t t = step_; t < options_.max_steps; ++t) {
+    StepOnce();
+    if (options_.eval_every > 0 &&
+        (step_ % options_.eval_every == 0 || step_ == options_.max_steps)) {
+      model_->SetTraining(false);
+      curve_.push_back(Evaluate(eval_pairs));
+      model_->SetTraining(true);
+    }
+  }
+}
+
+double TrainSupervised(Seq2SeqModel& model,
+                       const std::vector<SeqPair>& train_pairs,
+                       const SupervisedTrainOptions& options,
+                       const std::vector<SeqPair>* eval_pairs,
+                       std::vector<SupervisedEvalPoint>* curve) {
+  CYQR_CHECK(!train_pairs.empty());
+  Adam optimizer(model.Parameters(), Adam::Options{});
+  // NoamSchedule needs the model width; infer from parameter shapes is
+  // brittle, so use a fixed reference width — only the absolute scale of
+  // the learning rate changes.
+  NoamSchedule schedule(32, options.noam_warmup, options.noam_factor);
+  Rng rng(options.seed);
+  double last_loss = 0.0;
+  for (int64_t step = 1; step <= options.max_steps; ++step) {
+    optimizer.set_learning_rate(schedule.LearningRate(step));
+    std::vector<std::vector<int32_t>> srcs;
+    std::vector<std::vector<int32_t>> tgts;
+    for (int64_t i = 0; i < options.batch_size; ++i) {
+      const SeqPair& p = train_pairs[rng.NextBelow(train_pairs.size())];
+      srcs.push_back(p.src);
+      tgts.push_back(p.tgt);
+    }
+    const EncodedBatch src = PadBatch(srcs, options.max_src_len);
+    const TeacherForcedBatch tf = MakeTeacherForced(tgts,
+                                                    options.max_tgt_len);
+    Tensor loss = MaskedCrossEntropy(model.Forward(src, tf.inputs),
+                                     tf.targets, tf.target_mask,
+                                     options.label_smoothing);
+    optimizer.ZeroGrad();
+    loss.Backward();
+    ClipGradNorm(model.Parameters(), options.grad_clip);
+    optimizer.Step();
+    last_loss = loss.item();
+    if (curve != nullptr && eval_pairs != nullptr &&
+        options.eval_every > 0 &&
+        (step % options.eval_every == 0 || step == options.max_steps)) {
+      model.SetTraining(false);
+      curve->push_back({step, EvaluateTeacherForced(model, *eval_pairs)});
+      model.SetTraining(true);
+    }
+  }
+  return last_loss;
+}
+
+}  // namespace cyqr

@@ -1,0 +1,125 @@
+#ifndef CYCLEQR_REWRITE_TRAINER_H_
+#define CYCLEQR_REWRITE_TRAINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "datagen/click_log.h"
+#include "datagen/query_pairs.h"
+#include "nmt/scorer.h"
+#include "nn/optimizer.h"
+#include "nn/schedule.h"
+#include "rewrite/cycle_model.h"
+#include "text/vocabulary.h"
+
+namespace cyqr {
+
+/// Encodes token pairs (query -> title) into id pairs for training.
+std::vector<SeqPair> EncodePairs(const std::vector<TokenPair>& pairs,
+                                 const Vocabulary& vocab);
+
+/// Encodes mined synonymous query pairs into id pairs, both directions
+/// (a->b and b->a), for the direct query-to-query model.
+std::vector<SeqPair> EncodeQueryPairs(const std::vector<QueryPair>& pairs,
+                                      const Vocabulary& vocab);
+
+/// Swaps src/tgt of every pair (query->title becomes title->query).
+std::vector<SeqPair> ReversePairs(const std::vector<SeqPair>& pairs);
+
+/// One point of the Figure 7 convergence curves.
+struct TrainMetricsPoint {
+  int64_t step = 0;
+  double q2t_perplexity = 0.0;
+  double t2q_perplexity = 0.0;
+  double q2t_accuracy = 0.0;
+  double t2q_accuracy = 0.0;
+  // "Translate back" quality: log P(x|x) marginalized over k sampled
+  // synthetic titles, and token accuracy of reproducing the query.
+  double translate_back_log_prob = 0.0;
+  double translate_back_accuracy = 0.0;
+};
+
+struct CycleTrainerOptions {
+  int64_t max_steps = 600;      // T in Algorithm 1.
+  int64_t warmup_steps = 400;   // G: cyclic term enabled after this.
+  int64_t batch_size = 8;       // B.
+  bool joint = true;            // false = never enable the cyclic term
+                                // ("separately trained" baseline).
+  float grad_clip = 5.0f;
+  float noam_factor = 2.0f;
+  int64_t noam_warmup = 200;
+  int64_t eval_every = 50;      // Curve sampling period (0 = never).
+  int64_t eval_queries = 32;    // Queries used for translate-back metrics.
+  float label_smoothing = 0.0f; // Uniform label smoothing for L_f / L_b.
+  uint64_t seed = 123;
+};
+
+/// Algorithm 1: cyclic-consistent training. Warmup phase maximizes the two
+/// independent likelihoods L_f + L_b; after G steps each batch additionally
+/// samples k synthetic titles per query with the top-n decoder and adds
+/// lambda * L_c where
+///   L_c = mean_x logsumexp_i [ log P_f(y_i|x) + log P_b(x|y_i) ]   (Eq. 5)
+class CycleTrainer {
+ public:
+  /// `model` must outlive the trainer; the training pairs are copied so
+  /// temporaries are safe to pass.
+  CycleTrainer(CycleModel* model, std::vector<SeqPair> train_pairs,
+               const CycleTrainerOptions& options);
+
+  /// Runs the full schedule; records the metric curve on `eval_pairs` every
+  /// options.eval_every steps.
+  void Train(const std::vector<SeqPair>& eval_pairs);
+
+  /// Executes a single optimization step; returns the batch loss.
+  /// Exposed for tests.
+  double StepOnce();
+
+  const std::vector<TrainMetricsPoint>& curve() const { return curve_; }
+  int64_t step() const { return step_; }
+
+  /// Evaluates the Figure 7 metrics at the current parameters.
+  TrainMetricsPoint Evaluate(const std::vector<SeqPair>& eval_pairs);
+
+ private:
+  std::vector<SeqPair> SampleBatch();
+
+  CycleModel* model_;
+  std::vector<SeqPair> train_;
+  CycleTrainerOptions options_;
+  Adam optimizer_;
+  NoamSchedule schedule_;
+  Rng rng_;
+  int64_t step_ = 0;
+  std::vector<TrainMetricsPoint> curve_;
+};
+
+/// Plain supervised seq2seq training (used for the direct query-to-query
+/// model and the Figure 8/9 architecture comparisons). Returns the final
+/// training loss; optionally records an eval curve.
+struct SupervisedTrainOptions {
+  int64_t max_steps = 400;
+  int64_t batch_size = 8;
+  float grad_clip = 5.0f;
+  float noam_factor = 2.0f;
+  int64_t noam_warmup = 150;
+  int64_t eval_every = 0;
+  int64_t max_src_len = 24;
+  int64_t max_tgt_len = 24;
+  float label_smoothing = 0.0f;
+  uint64_t seed = 321;
+};
+
+struct SupervisedEvalPoint {
+  int64_t step = 0;
+  TeacherForcedMetrics metrics;
+};
+
+double TrainSupervised(Seq2SeqModel& model,
+                       const std::vector<SeqPair>& train_pairs,
+                       const SupervisedTrainOptions& options,
+                       const std::vector<SeqPair>* eval_pairs = nullptr,
+                       std::vector<SupervisedEvalPoint>* curve = nullptr);
+
+}  // namespace cyqr
+
+#endif  // CYCLEQR_REWRITE_TRAINER_H_

@@ -1,0 +1,62 @@
+#include "serving/kv_store.h"
+
+#include <fstream>
+
+#include "core/string_util.h"
+
+namespace cyqr {
+
+void RewriteKvStore::Put(const std::string& query, Rewrites rewrites) {
+  store_[query] = std::move(rewrites);
+}
+
+const RewriteKvStore::Rewrites* RewriteKvStore::Get(
+    const std::string& query) const {
+  auto it = store_.find(query);
+  return it == store_.end() ? nullptr : &it->second;
+}
+
+Status RewriteKvStore::Save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.is_open()) return Status::IoError("cannot open " + path);
+  for (const auto& [query, rewrites] : store_) {
+    out << query;
+    for (const auto& r : rewrites) {
+      out << '\t' << JoinStrings(r);
+    }
+    out << '\n';
+  }
+  if (!out.good()) return Status::IoError("failed writing " + path);
+  return Status::OK();
+}
+
+Status RewriteKvStore::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IoError("cannot open " + path);
+  store_.clear();
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    // Split on tabs: first field is the query, the rest are rewrites.
+    std::vector<std::string> fields;
+    size_t start = 0;
+    while (start <= line.size()) {
+      const size_t tab = line.find('\t', start);
+      if (tab == std::string::npos) {
+        fields.push_back(line.substr(start));
+        break;
+      }
+      fields.push_back(line.substr(start, tab - start));
+      start = tab + 1;
+    }
+    if (fields.empty()) continue;
+    Rewrites rewrites;
+    for (size_t i = 1; i < fields.size(); ++i) {
+      rewrites.push_back(SplitString(fields[i]));
+    }
+    store_[fields[0]] = std::move(rewrites);
+  }
+  return Status::OK();
+}
+
+}  // namespace cyqr

@@ -1,0 +1,39 @@
+#ifndef CYCLEQR_SERVING_KV_STORE_H_
+#define CYCLEQR_SERVING_KV_STORE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/status.h"
+
+namespace cyqr {
+
+/// The precomputed rewrite cache of Section III-G: the cyclic model runs
+/// offline over the head queries ("top 8 million popular queries ... more
+/// than 80% of our search engine traffic") and the results are served from
+/// a key-value store with sub-5ms lookups.
+class RewriteKvStore {
+ public:
+  using Rewrites = std::vector<std::vector<std::string>>;
+
+  /// Key is the space-joined query.
+  void Put(const std::string& query, Rewrites rewrites);
+
+  /// Null when the query is not cached.
+  const Rewrites* Get(const std::string& query) const;
+
+  size_t size() const { return store_.size(); }
+
+  /// Simple line-based persistence: one record per line,
+  /// "query\trewrite1\trewrite2...".
+  Status Save(const std::string& path) const;
+  Status Load(const std::string& path);
+
+ private:
+  std::unordered_map<std::string, Rewrites> store_;
+};
+
+}  // namespace cyqr
+
+#endif  // CYCLEQR_SERVING_KV_STORE_H_

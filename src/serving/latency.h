@@ -1,0 +1,26 @@
+#ifndef CYCLEQR_SERVING_LATENCY_H_
+#define CYCLEQR_SERVING_LATENCY_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace cyqr {
+
+/// Collects latency samples and reports the percentiles that gate
+/// deployment (the paper's serving budget is 50 ms end to end).
+class LatencyRecorder {
+ public:
+  void Record(double millis) { samples_.push_back(millis); }
+
+  int64_t count() const { return static_cast<int64_t>(samples_.size()); }
+  double MeanMillis() const;
+  double PercentileMillis(double q) const;  // q in [0, 1].
+  double MaxMillis() const;
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace cyqr
+
+#endif  // CYCLEQR_SERVING_LATENCY_H_

@@ -1,0 +1,63 @@
+#include "serving/rewrite_service.h"
+
+#include "core/check.h"
+#include "core/stopwatch.h"
+#include "core/string_util.h"
+
+namespace cyqr {
+
+RewriteService::RewriteService(const RewriteKvStore* store,
+                               const DirectRewriter* fallback,
+                               const Options& options)
+    : store_(store), fallback_(fallback), options_(options) {
+  CYQR_CHECK(store != nullptr);
+}
+
+RewriteService::Response RewriteService::Serve(
+    const std::vector<std::string>& query_tokens) {
+  Response response;
+  Stopwatch watch;
+  const std::string key = JoinStrings(query_tokens);
+  const RewriteKvStore::Rewrites* cached = store_->Get(key);
+  if (cached != nullptr) {
+    response.rewrites = *cached;
+    if (static_cast<int64_t>(response.rewrites.size()) >
+        options_.max_rewrites) {
+      response.rewrites.resize(options_.max_rewrites);
+    }
+    response.source = Source::kCache;
+    response.latency_millis = watch.ElapsedMillis();
+    cache_latency_.Record(response.latency_millis);
+    ++cache_hits_;
+    return response;
+  }
+  if (fallback_ != nullptr) {
+    for (const RewriteCandidate& c :
+         fallback_->Rewrite(query_tokens, options_.max_rewrites,
+                            options_.max_rewrite_len)) {
+      response.rewrites.push_back(c.tokens);
+    }
+  }
+  response.source = Source::kDirectModel;
+  response.latency_millis = watch.ElapsedMillis();
+  model_latency_.Record(response.latency_millis);
+  ++model_calls_;
+  return response;
+}
+
+void RewriteService::PrecomputeHead(
+    const CycleRewriter& rewriter,
+    const std::vector<std::vector<std::string>>& head_queries,
+    const RewriteOptions& rewrite_options, RewriteKvStore* store) {
+  CYQR_CHECK(store != nullptr);
+  for (const auto& query : head_queries) {
+    CycleRewriter::Result result = rewriter.Rewrite(query, rewrite_options);
+    RewriteKvStore::Rewrites rewrites;
+    for (const RewriteCandidate& c : result.rewrites) {
+      rewrites.push_back(c.tokens);
+    }
+    store->Put(JoinStrings(query), std::move(rewrites));
+  }
+}
+
+}  // namespace cyqr

@@ -1,0 +1,65 @@
+#ifndef CYCLEQR_SERVING_REWRITE_SERVICE_H_
+#define CYCLEQR_SERVING_REWRITE_SERVICE_H_
+
+#include <string>
+#include <vector>
+
+#include "rewrite/direct_model.h"
+#include "rewrite/inference.h"
+#include "serving/kv_store.h"
+#include "serving/latency.h"
+
+namespace cyqr {
+
+/// The two-tier serving architecture of Section III-G:
+///  * head queries are answered from the precomputed KV store (<5 ms);
+///  * the long tail falls back to the fast direct query-to-query model
+///    (transformer encoder + RNN decoder).
+class RewriteService {
+ public:
+  struct Options {
+    int64_t max_rewrites = 3;
+    int64_t max_rewrite_len = 10;
+  };
+
+  enum class Source { kCache, kDirectModel };
+
+  struct Response {
+    std::vector<std::vector<std::string>> rewrites;
+    Source source = Source::kCache;
+    double latency_millis = 0.0;
+  };
+
+  /// `store` and `fallback` must outlive the service; `fallback` may be
+  /// null (cache-only service).
+  RewriteService(const RewriteKvStore* store, const DirectRewriter* fallback,
+                 const Options& options);
+
+  Response Serve(const std::vector<std::string>& query_tokens);
+
+  /// Offline precompute: runs the full cyclic pipeline over head queries
+  /// and fills the store (the paper's nightly batch job).
+  static void PrecomputeHead(const CycleRewriter& rewriter,
+                             const std::vector<std::vector<std::string>>&
+                                 head_queries,
+                             const RewriteOptions& rewrite_options,
+                             RewriteKvStore* store);
+
+  const LatencyRecorder& cache_latency() const { return cache_latency_; }
+  const LatencyRecorder& model_latency() const { return model_latency_; }
+  int64_t cache_hits() const { return cache_hits_; }
+  int64_t model_calls() const { return model_calls_; }
+
+ private:
+  const RewriteKvStore* store_;
+  const DirectRewriter* fallback_;
+  Options options_;
+  LatencyRecorder cache_latency_;
+  LatencyRecorder model_latency_;
+  int64_t cache_hits_ = 0;
+  int64_t model_calls_ = 0;
+};
+
+}  // namespace cyqr
+
+#endif  // CYCLEQR_SERVING_REWRITE_SERVICE_H_

@@ -1,0 +1,29 @@
+#ifndef CYCLEQR_TENSOR_AUTOGRAD_H_
+#define CYCLEQR_TENSOR_AUTOGRAD_H_
+
+#include <functional>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace cyqr {
+
+/// Builds an op output tensor and, when gradients are enabled and any input
+/// requires them, records a tape node whose `backward` accumulates into the
+/// inputs. The backward closure receives the *output* impl (its .grad is the
+/// upstream gradient).
+Tensor MakeOpResult(const Shape& shape, std::vector<float> data,
+                    std::vector<Tensor> inputs,
+                    std::function<void(TensorImpl&)> backward,
+                    const char* name);
+
+/// Numerically verifies the gradient of `fn` (a tensor program producing a
+/// scalar) with respect to `input` by central differences. Returns the
+/// maximum absolute difference between analytic and numeric gradients.
+/// Intended for tests.
+double GradCheck(const std::function<Tensor()>& fn, Tensor input,
+                 float eps = 1e-3f);
+
+}  // namespace cyqr
+
+#endif  // CYCLEQR_TENSOR_AUTOGRAD_H_

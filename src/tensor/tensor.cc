@@ -1,0 +1,137 @@
+#include "tensor/tensor.h"
+
+#include <unordered_set>
+
+#include "core/check.h"
+
+namespace cyqr {
+
+namespace {
+thread_local bool g_grad_enabled = true;
+}  // namespace
+
+Tensor Tensor::Zeros(const Shape& shape) { return Full(shape, 0.0f); }
+
+Tensor Tensor::Full(const Shape& shape, float value) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = shape;
+  impl->data.assign(static_cast<size_t>(shape.NumElements()), value);
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::FromData(const Shape& shape, std::vector<float> data) {
+  CYQR_CHECK_EQ(static_cast<size_t>(shape.NumElements()), data.size());
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = shape;
+  impl->data = std::move(data);
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::Randn(const Shape& shape, Rng& rng, float stddev) {
+  Tensor t = Zeros(shape);
+  float* d = t.data();
+  const int64_t n = shape.NumElements();
+  for (int64_t i = 0; i < n; ++i) {
+    d[i] = static_cast<float>(rng.NextGaussian()) * stddev;
+  }
+  return t;
+}
+
+Tensor Tensor::Scalar(float value) { return Full(Shape{}, value); }
+
+const Shape& Tensor::shape() const {
+  CYQR_CHECK(impl_ != nullptr);
+  return impl_->shape;
+}
+
+float* Tensor::data() {
+  CYQR_CHECK(impl_ != nullptr);
+  return impl_->data.data();
+}
+
+const float* Tensor::data() const {
+  CYQR_CHECK(impl_ != nullptr);
+  return impl_->data.data();
+}
+
+const float* Tensor::grad() const {
+  CYQR_CHECK(impl_ != nullptr);
+  return impl_->grad.empty() ? nullptr : impl_->grad.data();
+}
+
+float* Tensor::mutable_grad() {
+  CYQR_CHECK(impl_ != nullptr);
+  impl_->EnsureGrad();
+  return impl_->grad.data();
+}
+
+bool Tensor::has_grad() const {
+  return impl_ != nullptr && !impl_->grad.empty();
+}
+
+void Tensor::ZeroGrad() {
+  CYQR_CHECK(impl_ != nullptr);
+  if (!impl_->grad.empty()) {
+    std::fill(impl_->grad.begin(), impl_->grad.end(), 0.0f);
+  }
+}
+
+bool Tensor::requires_grad() const {
+  return impl_ != nullptr && impl_->requires_grad;
+}
+
+Tensor& Tensor::set_requires_grad(bool value) {
+  CYQR_CHECK(impl_ != nullptr);
+  impl_->requires_grad = value;
+  return *this;
+}
+
+float Tensor::item() const {
+  CYQR_CHECK(impl_ != nullptr);
+  CYQR_CHECK_EQ(impl_->data.size(), 1u);
+  return impl_->data[0];
+}
+
+void Tensor::Backward() {
+  CYQR_CHECK(impl_ != nullptr);
+  CYQR_CHECK_MSG(impl_->data.size() == 1u,
+                 "Backward() requires a scalar tensor");
+  // Topological sort of the tape reachable from this output.
+  std::vector<TensorImpl*> order;
+  std::unordered_set<TensorImpl*> visited;
+  std::vector<std::pair<TensorImpl*, size_t>> stack;
+  stack.emplace_back(impl_.get(), 0);
+  visited.insert(impl_.get());
+  while (!stack.empty()) {
+    auto& [node, next_child] = stack.back();
+    if (node->node == nullptr || next_child >= node->node->inputs.size()) {
+      order.push_back(node);
+      stack.pop_back();
+      continue;
+    }
+    TensorImpl* child = node->node->inputs[next_child++].get();
+    if (visited.insert(child).second) {
+      stack.emplace_back(child, 0);
+    }
+  }
+  // `order` is post-order (children before parents); iterate in reverse so
+  // each node's grad is complete before its backward fires.
+  impl_->EnsureGrad();
+  impl_->grad[0] += 1.0f;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    TensorImpl* t = *it;
+    if (t->node != nullptr && !t->grad.empty()) {
+      t->node->backward(*t);
+    }
+  }
+}
+
+NoGradGuard::NoGradGuard() : previous_(g_grad_enabled) {
+  g_grad_enabled = false;
+}
+
+NoGradGuard::~NoGradGuard() { g_grad_enabled = previous_; }
+
+bool NoGradGuard::GradEnabled() { return g_grad_enabled; }
+
+}  // namespace cyqr

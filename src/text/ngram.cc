@@ -1,0 +1,42 @@
+#include "text/ngram.h"
+
+namespace cyqr {
+
+std::set<std::string> UniAndBigramSet(const std::vector<std::string>& tokens) {
+  std::set<std::string> out;
+  for (const std::string& t : tokens) out.insert(t);
+  for (size_t i = 0; i + 1 < tokens.size(); ++i) {
+    out.insert(tokens[i] + '\x01' + tokens[i + 1]);
+  }
+  return out;
+}
+
+std::vector<std::string> NGrams(const std::vector<std::string>& tokens,
+                                int order) {
+  std::vector<std::string> out;
+  if (order <= 0 || tokens.size() < static_cast<size_t>(order)) return out;
+  for (size_t i = 0; i + order <= tokens.size(); ++i) {
+    std::string g = tokens[i];
+    for (int j = 1; j < order; ++j) {
+      g += '\x01';
+      g += tokens[i + j];
+    }
+    out.push_back(std::move(g));
+  }
+  return out;
+}
+
+size_t DistinctNGrams(const std::vector<std::vector<std::string>>& sequences,
+                      int max_order) {
+  std::set<std::string> seen;
+  for (const auto& seq : sequences) {
+    for (int order = 1; order <= max_order; ++order) {
+      for (std::string& g : NGrams(seq, order)) {
+        seen.insert(std::move(g));
+      }
+    }
+  }
+  return seen.size();
+}
+
+}  // namespace cyqr

@@ -1,0 +1,26 @@
+#ifndef CYCLEQR_TEXT_NGRAM_H_
+#define CYCLEQR_TEXT_NGRAM_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace cyqr {
+
+/// The multiset-free n-gram representation used by the paper's Table VII F1
+/// metric: a query is represented by the set of all its unigrams and
+/// bigrams (bigrams joined with '\x01' to avoid collisions).
+std::set<std::string> UniAndBigramSet(const std::vector<std::string>& tokens);
+
+/// All contiguous n-grams of a given order.
+std::vector<std::string> NGrams(const std::vector<std::string>& tokens,
+                                int order);
+
+/// Count of distinct n-grams up to `max_order` across many sequences —
+/// the diversity statistic used by the decoding ablation bench.
+size_t DistinctNGrams(const std::vector<std::vector<std::string>>& sequences,
+                      int max_order);
+
+}  // namespace cyqr
+
+#endif  // CYCLEQR_TEXT_NGRAM_H_

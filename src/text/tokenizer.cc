@@ -1,0 +1,30 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+#include "core/string_util.h"
+
+namespace cyqr {
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view text) const {
+  std::vector<std::string> out;
+  std::string current;
+  for (char raw : text) {
+    const unsigned char c = static_cast<unsigned char>(raw);
+    if (std::isalnum(c)) {
+      current.push_back(static_cast<char>(std::tolower(c)));
+    } else if (!current.empty()) {
+      out.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) out.push_back(std::move(current));
+  return out;
+}
+
+std::string Tokenizer::Detokenize(
+    const std::vector<std::string>& tokens) const {
+  return JoinStrings(tokens, " ");
+}
+
+}  // namespace cyqr

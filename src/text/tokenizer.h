@@ -1,0 +1,25 @@
+#ifndef CYCLEQR_TEXT_TOKENIZER_H_
+#define CYCLEQR_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cyqr {
+
+/// Whitespace word tokenizer with ASCII lowercasing and punctuation
+/// stripping. E-commerce queries and item titles in the synthetic corpus are
+/// space-separated word sequences, mirroring the segmented Chinese text the
+/// paper's production system tokenizes upstream.
+class Tokenizer {
+ public:
+  /// "Red Mens Sandals!" -> {"red", "mens", "sandals"}.
+  std::vector<std::string> Tokenize(std::string_view text) const;
+
+  /// Inverse (joins with single spaces).
+  std::string Detokenize(const std::vector<std::string>& tokens) const;
+};
+
+}  // namespace cyqr
+
+#endif  // CYCLEQR_TEXT_TOKENIZER_H_

@@ -1,0 +1,110 @@
+#include "text/vocabulary.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "core/check.h"
+#include "core/string_util.h"
+
+namespace cyqr {
+
+Vocabulary::Vocabulary() {
+  tokens_ = {"<pad>", "<bos>", "<eos>", "<unk>"};
+  for (size_t i = 0; i < tokens_.size(); ++i) {
+    index_[tokens_[i]] = static_cast<int32_t>(i);
+  }
+}
+
+Vocabulary Vocabulary::Build(
+    const std::vector<std::vector<std::string>>& corpus, int min_count,
+    size_t max_size) {
+  Vocabulary vocab;
+  std::unordered_map<std::string, int64_t> counts;
+  std::vector<std::string> order;  // First-appearance order for tie breaks.
+  for (const auto& seq : corpus) {
+    for (const std::string& tok : seq) {
+      auto [it, inserted] = counts.try_emplace(tok, 0);
+      if (inserted) order.push_back(tok);
+      ++it->second;
+    }
+  }
+  std::vector<std::pair<std::string, int64_t>> ranked;
+  ranked.reserve(order.size());
+  for (const std::string& tok : order) {
+    if (counts[tok] >= min_count) ranked.emplace_back(tok, counts[tok]);
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second > b.second;
+                   });
+  for (const auto& [tok, count] : ranked) {
+    (void)count;
+    if (max_size > 0 && vocab.tokens_.size() >= max_size) break;
+    vocab.index_[tok] = static_cast<int32_t>(vocab.tokens_.size());
+    vocab.tokens_.push_back(tok);
+  }
+  return vocab;
+}
+
+int32_t Vocabulary::Id(const std::string& token) const {
+  auto it = index_.find(token);
+  return it == index_.end() ? kUnkId : it->second;
+}
+
+const std::string& Vocabulary::Token(int32_t id) const {
+  CYQR_CHECK(id >= 0 && id < size());
+  return tokens_[id];
+}
+
+std::vector<int32_t> Vocabulary::Encode(
+    const std::vector<std::string>& tokens) const {
+  std::vector<int32_t> out;
+  out.reserve(tokens.size());
+  for (const std::string& tok : tokens) out.push_back(Id(tok));
+  return out;
+}
+
+std::vector<std::string> Vocabulary::Decode(
+    const std::vector<int32_t>& ids) const {
+  std::vector<std::string> out;
+  out.reserve(ids.size());
+  for (int32_t id : ids) {
+    if (id >= kNumSpecialTokens && id < size()) out.push_back(tokens_[id]);
+  }
+  return out;
+}
+
+std::string Vocabulary::DecodeToString(
+    const std::vector<int32_t>& ids) const {
+  return JoinStrings(Decode(ids), " ");
+}
+
+Status Vocabulary::Save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.is_open()) return Status::IoError("cannot open " + path);
+  for (int32_t id = kNumSpecialTokens; id < size(); ++id) {
+    out << tokens_[id] << '\n';
+  }
+  if (!out.good()) return Status::IoError("failed writing " + path);
+  return Status::OK();
+}
+
+Result<Vocabulary> Vocabulary::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::IoError("cannot open " + path);
+  }
+  Vocabulary vocab;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (vocab.index_.count(line) > 0) {
+      return Status::InvalidArgument("duplicate token: " + line);
+    }
+    vocab.index_[line] = static_cast<int32_t>(vocab.tokens_.size());
+    vocab.tokens_.push_back(line);
+  }
+  return vocab;
+}
+
+}  // namespace cyqr

@@ -1,0 +1,66 @@
+#ifndef CYCLEQR_TEXT_VOCABULARY_H_
+#define CYCLEQR_TEXT_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/status.h"
+
+namespace cyqr {
+
+/// Reserved token ids shared across all models.
+inline constexpr int32_t kPadId = 0;
+inline constexpr int32_t kBosId = 1;
+inline constexpr int32_t kEosId = 2;
+inline constexpr int32_t kUnkId = 3;
+inline constexpr int32_t kNumSpecialTokens = 4;
+
+/// Frequency-built token vocabulary with the four reserved specials.
+class Vocabulary {
+ public:
+  /// Builds from tokenized sequences; tokens seen fewer than `min_count`
+  /// times map to <unk>. Tokens are added in descending frequency order
+  /// (ties by first appearance) so id order is stable.
+  static Vocabulary Build(const std::vector<std::vector<std::string>>& corpus,
+                          int min_count = 1, size_t max_size = 0);
+
+  Vocabulary();
+
+  /// Id for a token, or kUnkId if unknown.
+  int32_t Id(const std::string& token) const;
+
+  /// Token for an id; specials render as "<pad>", "<bos>", "<eos>", "<unk>".
+  const std::string& Token(int32_t id) const;
+
+  /// Encodes a token sequence (no BOS/EOS added).
+  std::vector<int32_t> Encode(const std::vector<std::string>& tokens) const;
+
+  /// Decodes ids, skipping specials.
+  std::vector<std::string> Decode(const std::vector<int32_t>& ids) const;
+
+  /// Decodes to a space-joined string, skipping specials.
+  std::string DecodeToString(const std::vector<int32_t>& ids) const;
+
+  /// Total size including the specials.
+  int64_t size() const { return static_cast<int64_t>(tokens_.size()); }
+
+  bool Contains(const std::string& token) const {
+    return index_.count(token) > 0;
+  }
+
+  /// Persists the non-special tokens, one per line, in id order.
+  Status Save(const std::string& path) const;
+
+  /// Loads a vocabulary saved by Save (specials are re-created).
+  static Result<Vocabulary> Load(const std::string& path);
+
+ private:
+  std::vector<std::string> tokens_;
+  std::unordered_map<std::string, int32_t> index_;
+};
+
+}  // namespace cyqr
+
+#endif  // CYCLEQR_TEXT_VOCABULARY_H_

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "baseline/rule_based.h"
+#include "baseline/simrank.h"
+
+namespace cyqr {
+namespace {
+
+TEST(RuleBasedTest, ReplacesColloquialPhrase) {
+  SynonymDictionary dict;
+  dict.Add("for grandpa", "senior");
+  RuleBasedRewriter rewriter(&dict);
+  const auto out = rewriter.Rewrite({"phone", "for", "grandpa"});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], (std::vector<std::string>{"phone", "senior"}));
+}
+
+TEST(RuleBasedTest, MultipleSitesGiveMultipleRewrites) {
+  SynonymDictionary dict;
+  dict.Add("cellphone", "smartphone");
+  dict.Add("cheap", "budget");
+  RuleBasedRewriter rewriter(&dict);
+  const auto out = rewriter.Rewrite({"cheap", "cellphone"}, 3);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], (std::vector<std::string>{"budget", "cellphone"}));
+  EXPECT_EQ(out[1], (std::vector<std::string>{"cheap", "smartphone"}));
+}
+
+TEST(RuleBasedTest, RespectsK) {
+  SynonymDictionary dict;
+  dict.Add("a", "x");
+  dict.Add("b", "y");
+  dict.Add("c", "z");
+  RuleBasedRewriter rewriter(&dict);
+  EXPECT_EQ(rewriter.Rewrite({"a", "b", "c"}, 2).size(), 2u);
+}
+
+TEST(RuleBasedTest, NoMatchGivesNoRewrites) {
+  SynonymDictionary dict;
+  dict.Add("foo", "bar");
+  RuleBasedRewriter rewriter(&dict);
+  EXPECT_TRUE(rewriter.Rewrite({"phone", "case"}).empty());
+  EXPECT_FALSE(rewriter.HasSynonym({"phone", "case"}));
+  EXPECT_TRUE(rewriter.HasSynonym({"foo", "case"}));
+}
+
+TEST(RuleBasedTest, RewritesAreLexicallyClose) {
+  // The Table VII observation: rule rewrites change one phrase only.
+  SynonymDictionary dict;
+  dict.Add("sneakers", "sport shoes");
+  RuleBasedRewriter rewriter(&dict);
+  const auto out = rewriter.Rewrite({"red", "mens", "sneakers"});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0],
+            (std::vector<std::string>{"red", "mens", "sport", "shoes"}));
+}
+
+class SimRankTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new Catalog(Catalog::Generate({}));
+    ClickLogConfig config;
+    config.num_distinct_queries = 150;
+    config.num_sessions = 4000;
+    log_ = new ClickLog(ClickLog::Generate(*catalog_, config));
+    SimRankRewriter::Options options;
+    options.iterations = 3;
+    simrank_ = new SimRankRewriter(log_, options);
+  }
+  static void TearDownTestSuite() {
+    delete simrank_;
+    delete log_;
+    delete catalog_;
+  }
+  static Catalog* catalog_;
+  static ClickLog* log_;
+  static SimRankRewriter* simrank_;
+};
+
+Catalog* SimRankTest::catalog_ = nullptr;
+ClickLog* SimRankTest::log_ = nullptr;
+SimRankRewriter* SimRankTest::simrank_ = nullptr;
+
+TEST_F(SimRankTest, SelfSimilarityIsOne) {
+  EXPECT_DOUBLE_EQ(simrank_->Similarity(0, 0), 1.0);
+}
+
+TEST_F(SimRankTest, SimilarityIsSymmetric) {
+  for (int64_t a = 0; a < 20; ++a) {
+    for (int64_t b = a + 1; b < 20; ++b) {
+      EXPECT_DOUBLE_EQ(simrank_->Similarity(a, b),
+                       simrank_->Similarity(b, a));
+    }
+  }
+}
+
+TEST_F(SimRankTest, MostSimilarSortedAndBounded) {
+  bool any = false;
+  for (int64_t q = 0; q < static_cast<int64_t>(log_->queries().size());
+       ++q) {
+    const auto similar = simrank_->MostSimilar(q, 3);
+    EXPECT_LE(similar.size(), 3u);
+    for (size_t i = 1; i < similar.size(); ++i) {
+      EXPECT_GE(similar[i - 1].similarity, similar[i].similarity);
+    }
+    if (!similar.empty()) any = true;
+  }
+  EXPECT_TRUE(any);
+}
+
+TEST_F(SimRankTest, SimilarQueriesShareCategory) {
+  // Co-click similarity should mostly surface same-intent queries.
+  int64_t checked = 0;
+  int64_t same_category = 0;
+  for (int64_t q = 0; q < static_cast<int64_t>(log_->queries().size());
+       ++q) {
+    const auto similar = simrank_->MostSimilar(q, 1);
+    if (similar.empty()) continue;
+    ++checked;
+    const auto& a = log_->queries()[q].intent;
+    const auto& b = log_->queries()[similar[0].query_index].intent;
+    if (a.category == b.category) ++same_category;
+  }
+  ASSERT_GT(checked, 20);
+  EXPECT_GT(static_cast<double>(same_category) / checked, 0.9);
+}
+
+}  // namespace
+}  // namespace cyqr

@@ -1,0 +1,67 @@
+#include "core/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace cyqr {
+namespace {
+
+FlagParser Parse(std::vector<const char*> args) {
+  args.insert(args.begin(), "prog");
+  return FlagParser(static_cast<int>(args.size()), args.data());
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  FlagParser flags = Parse({"--steps=100", "--out=dir"});
+  EXPECT_EQ(flags.GetInt("steps"), 100);
+  EXPECT_EQ(flags.GetString("out"), "dir");
+}
+
+TEST(FlagsTest, SpaceSyntax) {
+  FlagParser flags = Parse({"--steps", "100", "--out", "dir"});
+  EXPECT_EQ(flags.GetInt("steps"), 100);
+  EXPECT_EQ(flags.GetString("out"), "dir");
+}
+
+TEST(FlagsTest, BareSwitchIsTrue) {
+  FlagParser flags = Parse({"--separate", "--steps=5"});
+  EXPECT_TRUE(flags.GetBool("separate"));
+  EXPECT_FALSE(flags.GetBool("missing"));
+  EXPECT_TRUE(flags.GetBool("missing", true));
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  FlagParser flags = Parse({});
+  EXPECT_EQ(flags.GetInt("steps", 42), 42);
+  EXPECT_EQ(flags.GetString("out", "fallback"), "fallback");
+  EXPECT_DOUBLE_EQ(flags.GetDouble("lambda", 0.1), 0.1);
+  EXPECT_FALSE(flags.Has("steps"));
+}
+
+TEST(FlagsTest, PositionalArguments) {
+  FlagParser flags = Parse({"train", "--steps=5", "extra"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "train");
+  EXPECT_EQ(flags.positional()[1], "extra");
+}
+
+TEST(FlagsTest, DoubleParsing) {
+  FlagParser flags = Parse({"--lambda=0.25"});
+  EXPECT_DOUBLE_EQ(flags.GetDouble("lambda"), 0.25);
+}
+
+TEST(FlagsTest, UnusedFlagsDetected) {
+  FlagParser flags = Parse({"--steps=5", "--typo=oops"});
+  EXPECT_EQ(flags.GetInt("steps"), 5);
+  const auto unused = flags.UnusedFlags();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(FlagsTest, NegativeNumberAsValue) {
+  // "--offset -3": -3 does not start with "--", so it is the value.
+  FlagParser flags = Parse({"--offset", "-3"});
+  EXPECT_EQ(flags.GetInt("offset"), -3);
+}
+
+}  // namespace
+}  // namespace cyqr

@@ -1,0 +1,99 @@
+#include "core/math.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace cyqr {
+namespace {
+
+TEST(MathTest, LogSumExpMatchesNaiveOnSmallValues) {
+  std::vector<double> x = {0.1, 0.5, -0.3};
+  double naive = std::log(std::exp(0.1) + std::exp(0.5) + std::exp(-0.3));
+  EXPECT_NEAR(LogSumExp(x), naive, 1e-12);
+}
+
+TEST(MathTest, LogSumExpStableForLargeValues) {
+  std::vector<double> x = {1000.0, 1000.0};
+  EXPECT_NEAR(LogSumExp(x), 1000.0 + std::log(2.0), 1e-9);
+}
+
+TEST(MathTest, LogSumExpStableForVeryNegativeValues) {
+  std::vector<double> x = {-1000.0, -1000.0};
+  EXPECT_NEAR(LogSumExp(x), -1000.0 + std::log(2.0), 1e-9);
+}
+
+TEST(MathTest, LogSumExpEmptyIsNegInf) {
+  const double* empty = nullptr;
+  EXPECT_TRUE(std::isinf(LogSumExp(empty, 0)));
+  EXPECT_LT(LogSumExp(empty, 0), 0);
+}
+
+TEST(MathTest, LogSumExpAllNegInf) {
+  const double ninf = -std::numeric_limits<double>::infinity();
+  std::vector<double> x = {ninf, ninf};
+  EXPECT_TRUE(std::isinf(LogSumExp(x)));
+}
+
+TEST(MathTest, LogAddCommutesAndMatchesLse) {
+  EXPECT_NEAR(LogAdd(0.3, -0.7), LogAdd(-0.7, 0.3), 1e-12);
+  std::vector<double> x = {0.3, -0.7};
+  EXPECT_NEAR(LogAdd(0.3, -0.7), LogSumExp(x), 1e-12);
+}
+
+TEST(MathTest, LogAddWithNegInfIsIdentity) {
+  const double ninf = -std::numeric_limits<double>::infinity();
+  EXPECT_NEAR(LogAdd(ninf, 1.5), 1.5, 1e-12);
+  EXPECT_NEAR(LogAdd(1.5, ninf), 1.5, 1e-12);
+}
+
+TEST(MathTest, SoftmaxSumsToOneAndOrders) {
+  std::vector<float> x = {1.0f, 2.0f, 3.0f};
+  SoftmaxInPlace(x.data(), x.size());
+  EXPECT_NEAR(x[0] + x[1] + x[2], 1.0f, 1e-6f);
+  EXPECT_LT(x[0], x[1]);
+  EXPECT_LT(x[1], x[2]);
+}
+
+TEST(MathTest, SoftmaxStableForHugeLogits) {
+  std::vector<float> x = {10000.0f, 10000.0f};
+  SoftmaxInPlace(x.data(), x.size());
+  EXPECT_NEAR(x[0], 0.5f, 1e-6f);
+}
+
+TEST(MathTest, LogSoftmaxExpSumsToOne) {
+  std::vector<float> logits = {0.5f, -1.0f, 2.0f, 0.0f};
+  std::vector<float> out(4);
+  LogSoftmax(logits.data(), 4, out.data());
+  double sum = 0.0;
+  for (float v : out) sum += std::exp(v);
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+}
+
+TEST(MathTest, TopKIndicesDescending) {
+  std::vector<float> x = {0.3f, 2.0f, -1.0f, 1.5f};
+  auto idx = TopKIndices(x.data(), x.size(), 3);
+  ASSERT_EQ(idx.size(), 3u);
+  EXPECT_EQ(idx[0], 1u);
+  EXPECT_EQ(idx[1], 3u);
+  EXPECT_EQ(idx[2], 0u);
+}
+
+TEST(MathTest, TopKClampsToN) {
+  std::vector<float> x = {1.0f, 2.0f};
+  auto idx = TopKIndices(x.data(), x.size(), 10);
+  EXPECT_EQ(idx.size(), 2u);
+}
+
+TEST(MathTest, MeanAndQuantile) {
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  std::vector<double> x = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(Quantile(x, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Quantile(x, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Quantile(x, 1.0), 5.0);
+}
+
+}  // namespace
+}  // namespace cyqr

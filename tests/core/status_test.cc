@@ -1,0 +1,69 @@
+#include "core/status.h"
+
+#include <gtest/gtest.h>
+
+namespace cyqr {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad beam width");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad beam width");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad beam width");
+}
+
+TEST(StatusTest, AllFactoryCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("hello");
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "hello");
+}
+
+Status Inner(bool fail) {
+  if (fail) return Status::Internal("inner failed");
+  return Status::OK();
+}
+
+Status Outer(bool fail) {
+  CYQR_RETURN_IF_ERROR(Inner(fail));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  EXPECT_TRUE(Outer(false).ok());
+  Status s = Outer(true);
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace cyqr

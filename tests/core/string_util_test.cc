@@ -1,0 +1,45 @@
+#include "core/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace cyqr {
+namespace {
+
+TEST(StringUtilTest, SplitBasic) {
+  auto parts = SplitString("red mens sandals");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "red");
+  EXPECT_EQ(parts[2], "sandals");
+}
+
+TEST(StringUtilTest, SplitCollapsesRepeatedDelimiters) {
+  auto parts = SplitString("  a   b  ");
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+}
+
+TEST(StringUtilTest, SplitEmpty) {
+  EXPECT_TRUE(SplitString("").empty());
+  EXPECT_TRUE(SplitString("   ").empty());
+}
+
+TEST(StringUtilTest, JoinRoundTrips) {
+  std::vector<std::string> parts = {"cheap", "senior", "phone"};
+  EXPECT_EQ(JoinStrings(parts), "cheap senior phone");
+  EXPECT_EQ(JoinStrings(parts, "-"), "cheap-senior-phone");
+  EXPECT_EQ(JoinStrings({}), "");
+}
+
+TEST(StringUtilTest, ToLowerAscii) {
+  EXPECT_EQ(ToLowerAscii("iPhone 12 PRO"), "iphone 12 pro");
+}
+
+TEST(StringUtilTest, StripAscii) {
+  EXPECT_EQ(StripAscii("  hello \t\n"), "hello");
+  EXPECT_EQ(StripAscii(""), "");
+  EXPECT_EQ(StripAscii("   "), "");
+}
+
+}  // namespace
+}  // namespace cyqr

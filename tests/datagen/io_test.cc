@@ -1,0 +1,65 @@
+#include "datagen/io.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+namespace cyqr {
+namespace {
+
+TEST(DataIoTest, SaveLoadRoundTrip) {
+  std::vector<TokenPair> pairs = {
+      {{"phone", "for", "grandpa"}, {"senior", "smartphone", "official"}, 5},
+      {{"red", "shoes"}, {"adibo", "red", "running", "shoes"}, 2},
+  };
+  const std::string path = testing::TempDir() + "/pairs.tsv";
+  ASSERT_TRUE(SaveTokenPairs(pairs, path).ok());
+  Result<std::vector<TokenPair>> loaded = LoadTokenPairs(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), 2u);
+  EXPECT_EQ(loaded.value()[0].query, pairs[0].query);
+  EXPECT_EQ(loaded.value()[0].title, pairs[0].title);
+  EXPECT_EQ(loaded.value()[0].clicks, 5);
+  EXPECT_EQ(loaded.value()[1].clicks, 2);
+}
+
+TEST(DataIoTest, MissingClicksDefaultsToOne) {
+  const std::string path = testing::TempDir() + "/two_field.tsv";
+  std::ofstream(path) << "cheap phone\tbudget smartphone\n";
+  Result<std::vector<TokenPair>> loaded = LoadTokenPairs(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), 1u);
+  EXPECT_EQ(loaded.value()[0].clicks, 1);
+}
+
+TEST(DataIoTest, MalformedLineFails) {
+  const std::string path = testing::TempDir() + "/bad.tsv";
+  std::ofstream(path) << "no tab on this line\n";
+  Result<std::vector<TokenPair>> loaded = LoadTokenPairs(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DataIoTest, EmptyQueryFails) {
+  const std::string path = testing::TempDir() + "/empty_query.tsv";
+  std::ofstream(path) << "\ttitle words\t3\n";
+  EXPECT_FALSE(LoadTokenPairs(path).ok());
+}
+
+TEST(DataIoTest, MissingFileFails) {
+  Result<std::vector<TokenPair>> loaded =
+      LoadTokenPairs("/nonexistent/nowhere.tsv");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(DataIoTest, BlankLinesSkipped) {
+  const std::string path = testing::TempDir() + "/blanks.tsv";
+  std::ofstream(path) << "a b\tc d\t2\n\n\ne f\tg h\t3\n";
+  Result<std::vector<TokenPair>> loaded = LoadTokenPairs(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().size(), 2u);
+}
+
+}  // namespace
+}  // namespace cyqr

@@ -1,0 +1,116 @@
+// The polysemy machinery ("cherry" the keyboard brand vs the snack
+// flavor, Section IV-C2) — the context the rule-based baseline cannot use
+// and the cycle model can.
+
+#include <gtest/gtest.h>
+
+#include "baseline/rule_based.h"
+#include "datagen/synonyms.h"
+#include "eval/judge.h"
+
+namespace cyqr {
+namespace {
+
+class PolysemyTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new Catalog(Catalog::Generate({}));
+  }
+  static void TearDownTestSuite() { delete catalog_; }
+  static Catalog* catalog_;
+};
+
+Catalog* PolysemyTest::catalog_ = nullptr;
+
+TEST_F(PolysemyTest, CherryKeyboardParsesAsBrand) {
+  const QueryIntent intent = catalog_->ParseQuery({"cherry", "keyboard"});
+  EXPECT_EQ(intent.category, "keyboard");
+  EXPECT_EQ(intent.brand, "cherry");
+}
+
+TEST_F(PolysemyTest, CherrySnackParsesAsFlavor) {
+  const QueryIntent intent = catalog_->ParseQuery({"cherry", "snack"});
+  EXPECT_EQ(intent.category, "snacks");
+  EXPECT_TRUE(intent.brand.empty());
+  ASSERT_EQ(intent.attributes.size(), 1u);
+  EXPECT_EQ(intent.attributes[0], "cherry");
+}
+
+TEST_F(PolysemyTest, BareCherryIsAmbiguousButResolved) {
+  // With no context, some category wins the vote; the important property
+  // is that adding context flips the interpretation (checked above).
+  const QueryIntent intent = catalog_->ParseQuery({"cherry"});
+  EXPECT_FALSE(intent.category.empty());
+}
+
+TEST_F(PolysemyTest, RuleDictionaryRewriteBreaksKeyboardQueries) {
+  Rng rng(5);
+  const SynonymDictionary dict = BuildRuleDictionary(*catalog_, 1.0, rng);
+  RuleBasedRewriter rule(&dict);
+  const RelevanceJudge judge(catalog_);
+
+  // The context-free rule turns "cherry keyboard" into
+  // "cherry fruit keyboard", which retrieves nothing.
+  QueryIntent intent;
+  intent.category = "keyboard";
+  intent.brand = "cherry";
+  const auto rewrites = rule.Rewrite({"cherry", "keyboard"}, 3);
+  ASSERT_FALSE(rewrites.empty());
+  bool found_trap = false;
+  for (const auto& r : rewrites) {
+    if (judge.Score(intent, r) < 0.3) found_trap = true;
+  }
+  EXPECT_TRUE(found_trap);
+}
+
+TEST_F(PolysemyTest, RuleDictionaryRewriteIsFineForSnackQueries) {
+  Rng rng(5);
+  const SynonymDictionary dict = BuildRuleDictionary(*catalog_, 1.0, rng);
+  RuleBasedRewriter rule(&dict);
+  const RelevanceJudge judge(catalog_);
+
+  QueryIntent intent;
+  intent.category = "snacks";
+  intent.attributes = {"cherry"};
+  // "cherry snacks" -> "cherry fruit snacks": still parses to snacks and
+  // "fruit" IS in the snack title vocabulary (head "dried fruit snack").
+  const auto rewrites = rule.Rewrite({"cherry", "snacks"}, 3);
+  ASSERT_FALSE(rewrites.empty());
+  double best = 0.0;
+  for (const auto& r : rewrites) {
+    best = std::max(best, judge.Score(intent, r));
+  }
+  EXPECT_GT(best, 0.5);
+}
+
+TEST_F(PolysemyTest, NicknamesResolveToBrands) {
+  const QueryIntent adi = catalog_->ParseQuery({"adi", "shoes"});
+  EXPECT_EQ(adi.category, "shoes");
+  EXPECT_EQ(adi.brand, "adibo");
+  const QueryIntent hw = catalog_->ParseQuery({"hw", "phone"});
+  EXPECT_EQ(hw.category, "phone");
+  EXPECT_EQ(hw.brand, "huawi");
+}
+
+TEST_F(PolysemyTest, SharedAttributeTokensFollowTheCategory) {
+  // "mens" exists in shoes, skincare, watch, perfume; the head decides.
+  const QueryIntent shoes = catalog_->ParseQuery({"mens", "shoes"});
+  EXPECT_EQ(shoes.category, "shoes");
+  ASSERT_FALSE(shoes.attributes.empty());
+  EXPECT_EQ(shoes.attributes[0], "mens");
+  const QueryIntent watch = catalog_->ParseQuery({"mens", "watch"});
+  EXPECT_EQ(watch.category, "watch");
+  ASSERT_FALSE(watch.attributes.empty());
+  EXPECT_EQ(watch.attributes[0], "mens");
+}
+
+TEST_F(PolysemyTest, ColloquialPhrasesResolveBeforeParsing) {
+  const QueryIntent intent =
+      catalog_->ParseQuery({"phone", "for", "grandpa"});
+  EXPECT_EQ(intent.category, "phone");
+  ASSERT_FALSE(intent.attributes.empty());
+  EXPECT_EQ(intent.attributes[0], "senior");
+}
+
+}  // namespace
+}  // namespace cyqr

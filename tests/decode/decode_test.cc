@@ -1,0 +1,277 @@
+// Decoding-algorithm behaviour, run across architectures where relevant.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "decode/beam.h"
+#include "decode/diverse_beam.h"
+#include "decode/greedy.h"
+#include "decode/nucleus.h"
+#include "decode/topn_sampling.h"
+#include "nmt/scorer.h"
+#include "nmt/transformer.h"
+#include "rewrite/trainer.h"
+#include "text/vocabulary.h"
+
+namespace cyqr {
+namespace {
+
+Seq2SeqConfig SmallConfig() {
+  Seq2SeqConfig config;
+  config.vocab_size = 20;
+  config.d_model = 16;
+  config.num_heads = 2;
+  config.ff_hidden = 32;
+  config.num_layers = 1;
+  config.dropout = 0.0f;
+  return config;
+}
+
+/// A small trained model so decoding has meaningful structure.
+class DecodeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Rng rng(11);
+    model_ = new TransformerSeq2Seq(SmallConfig(), rng);
+    const std::vector<SeqPair> data = {
+        {{4, 5}, {10, 11, 12}},
+        {{6, 7}, {13, 14}},
+        {{8}, {15, 16}},
+    };
+    SupervisedTrainOptions options;
+    options.max_steps = 200;
+    options.batch_size = 3;
+    TrainSupervised(*model_, data, options);
+    model_->SetTraining(false);
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    model_ = nullptr;
+  }
+
+  static TransformerSeq2Seq* model_;
+};
+
+TransformerSeq2Seq* DecodeTest::model_ = nullptr;
+
+TEST_F(DecodeTest, GreedyReproducesTrainingTarget) {
+  DecodeOptions options;
+  options.max_len = 6;
+  EXPECT_EQ(GreedyDecode(*model_, {4, 5}, options).ids,
+            (std::vector<int32_t>{10, 11, 12}));
+}
+
+TEST_F(DecodeTest, GreedyLogProbMatchesSequenceScore) {
+  DecodeOptions options;
+  options.max_len = 6;
+  const DecodedSequence out = GreedyDecode(*model_, {4, 5}, options);
+  // Greedy accumulates log p per chosen token including EOS; scoring the
+  // same sequence under teacher forcing must agree.
+  EXPECT_NEAR(out.log_prob, ScoreSequence(*model_, {4, 5}, out.ids), 1e-3);
+}
+
+TEST_F(DecodeTest, BeamWidthOneEqualsGreedy) {
+  DecodeOptions options;
+  options.beam_size = 1;
+  options.max_len = 6;
+  const auto beam = BeamSearchDecode(*model_, {4, 5}, options);
+  ASSERT_EQ(beam.size(), 1u);
+  EXPECT_EQ(beam[0].ids, GreedyDecode(*model_, {4, 5}, options).ids);
+}
+
+TEST_F(DecodeTest, BeamReturnsSortedScores) {
+  DecodeOptions options;
+  options.beam_size = 3;
+  options.max_len = 6;
+  const auto beam = BeamSearchDecode(*model_, {4, 5}, options);
+  ASSERT_GE(beam.size(), 2u);
+  for (size_t i = 1; i < beam.size(); ++i) {
+    EXPECT_GE(beam[i - 1].log_prob, beam[i].log_prob);
+  }
+}
+
+TEST_F(DecodeTest, BeamTopHypothesisAtLeastAsGoodAsGreedy) {
+  DecodeOptions options;
+  options.beam_size = 4;
+  options.max_len = 6;
+  const auto beam = BeamSearchDecode(*model_, {6, 7}, options);
+  const DecodedSequence greedy = GreedyDecode(*model_, {6, 7}, options);
+  ASSERT_FALSE(beam.empty());
+  EXPECT_GE(beam[0].log_prob, greedy.log_prob - 1e-4);
+}
+
+TEST_F(DecodeTest, TopNSamplingFirstTokensAreDistinct) {
+  // Figure 4: at the first step the k most likely DISTINCT tokens are
+  // assigned one per candidate.
+  DecodeOptions options;
+  options.beam_size = 3;
+  options.top_n = 5;
+  options.max_len = 6;
+  const auto out = TopNSamplingDecode(*model_, {4, 5}, options);
+  ASSERT_EQ(out.size(), 3u);
+  std::set<int32_t> first_tokens;
+  for (const auto& s : out) {
+    ASSERT_FALSE(s.ids.empty());
+    first_tokens.insert(s.ids[0]);
+  }
+  EXPECT_EQ(first_tokens.size(), 3u);
+}
+
+TEST_F(DecodeTest, TopNSamplingDeterministicPerSeed) {
+  DecodeOptions options;
+  options.beam_size = 3;
+  options.max_len = 6;
+  options.seed = 42;
+  const auto a = TopNSamplingDecode(*model_, {4, 5}, options);
+  const auto b = TopNSamplingDecode(*model_, {4, 5}, options);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].ids, b[i].ids);
+    EXPECT_DOUBLE_EQ(a[i].log_prob, b[i].log_prob);
+  }
+}
+
+TEST_F(DecodeTest, TopNSamplingRespectsTopNPool) {
+  // With top_n = 1 every step after the first is greedy, so candidate 0
+  // (seeded with the argmax first token) must equal the greedy sequence.
+  DecodeOptions options;
+  options.beam_size = 3;
+  options.top_n = 1;
+  options.max_len = 6;
+  const auto out = TopNSamplingDecode(*model_, {4, 5}, options);
+  const DecodedSequence greedy = GreedyDecode(*model_, {4, 5}, options);
+  bool found = false;
+  for (const auto& s : out) {
+    if (s.ids == greedy.ids) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(DecodeTest, DiverseBeamReturnsRequestedCount) {
+  DecodeOptions options;
+  options.beam_size = 3;
+  options.num_groups = 3;
+  options.max_len = 6;
+  const auto out = DiverseBeamSearchDecode(*model_, {4, 5}, options);
+  EXPECT_LE(out.size(), 3u);
+  EXPECT_GE(out.size(), 1u);
+  for (size_t i = 1; i < out.size(); ++i) {
+    EXPECT_GE(out[i - 1].log_prob, out[i].log_prob);
+  }
+}
+
+TEST_F(DecodeTest, DiverseBeamFirstTokensMoreDiverseThanPlainBeam) {
+  DecodeOptions options;
+  options.beam_size = 3;
+  options.num_groups = 3;
+  options.diversity_penalty = 2.0f;
+  options.max_len = 6;
+  const auto diverse = DiverseBeamSearchDecode(*model_, {4, 5}, options);
+  std::set<int32_t> diverse_first;
+  for (const auto& s : diverse) {
+    if (!s.ids.empty()) diverse_first.insert(s.ids[0]);
+  }
+  const auto plain = BeamSearchDecode(*model_, {4, 5}, options);
+  std::set<int32_t> plain_first;
+  for (const auto& s : plain) {
+    if (!s.ids.empty()) plain_first.insert(s.ids[0]);
+  }
+  EXPECT_GE(diverse_first.size(), plain_first.size());
+}
+
+TEST_F(DecodeTest, BeamLengthPenaltyPrefersLongerHypotheses) {
+  DecodeOptions plain;
+  plain.beam_size = 4;
+  plain.max_len = 6;
+  DecodeOptions normalized = plain;
+  normalized.length_penalty = 2.0f;
+  const auto a = BeamSearchDecode(*model_, {4, 5}, plain);
+  const auto b = BeamSearchDecode(*model_, {4, 5}, normalized);
+  ASSERT_FALSE(a.empty());
+  ASSERT_FALSE(b.empty());
+  // Normalization divides by a length factor, so the top normalized
+  // hypothesis is at least as long as the top raw one, and the average
+  // returned length does not shrink.
+  EXPECT_GE(b[0].ids.size(), a[0].ids.size());
+  double raw_len = 0.0;
+  for (const auto& s : a) raw_len += static_cast<double>(s.ids.size());
+  double norm_len = 0.0;
+  for (const auto& s : b) norm_len += static_cast<double>(s.ids.size());
+  EXPECT_GE(norm_len / b.size(), raw_len / a.size());
+}
+
+TEST_F(DecodeTest, NucleusFirstTokensDistinct) {
+  DecodeOptions options;
+  options.beam_size = 3;
+  options.max_len = 6;
+  const auto out = NucleusSamplingDecode(*model_, {4, 5}, options);
+  ASSERT_EQ(out.size(), 3u);
+  std::set<int32_t> first;
+  for (const auto& s : out) {
+    ASSERT_FALSE(s.ids.empty());
+    first.insert(s.ids[0]);
+  }
+  EXPECT_EQ(first.size(), 3u);
+}
+
+TEST_F(DecodeTest, NucleusTinyTopPIsGreedyAfterFirstToken) {
+  // top_p -> 0 keeps only the argmax token in the nucleus.
+  DecodeOptions options;
+  options.beam_size = 3;
+  options.max_len = 6;
+  NucleusOptions nucleus;
+  nucleus.top_p = 1e-6;
+  const auto out = NucleusSamplingDecode(*model_, {4, 5}, options, nucleus);
+  const DecodedSequence greedy = GreedyDecode(*model_, {4, 5}, options);
+  bool found = false;
+  for (const auto& s : out) {
+    if (s.ids == greedy.ids) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(DecodeTest, NucleusDeterministicPerSeed) {
+  DecodeOptions options;
+  options.beam_size = 3;
+  options.max_len = 6;
+  options.seed = 77;
+  const auto a = NucleusSamplingDecode(*model_, {6, 7}, options);
+  const auto b = NucleusSamplingDecode(*model_, {6, 7}, options);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].ids, b[i].ids);
+  }
+}
+
+TEST_F(DecodeTest, NoSpecialTokensInOutput) {
+  DecodeOptions options;
+  options.beam_size = 4;
+  options.max_len = 8;
+  for (const auto& s : BeamSearchDecode(*model_, {8}, options)) {
+    for (int32_t id : s.ids) {
+      EXPECT_GE(id, kNumSpecialTokens);
+    }
+  }
+  for (const auto& s : TopNSamplingDecode(*model_, {8}, options)) {
+    for (int32_t id : s.ids) {
+      EXPECT_GE(id, kNumSpecialTokens);
+    }
+  }
+}
+
+TEST_F(DecodeTest, MaxLenIsRespected) {
+  DecodeOptions options;
+  options.beam_size = 2;
+  options.max_len = 2;
+  for (const auto& s : BeamSearchDecode(*model_, {4, 5}, options)) {
+    EXPECT_LE(s.ids.size(), 2u);
+  }
+  for (const auto& s : TopNSamplingDecode(*model_, {4, 5}, options)) {
+    EXPECT_LE(s.ids.size(), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace cyqr

@@ -1,0 +1,103 @@
+#include "eval/judge.h"
+
+#include <gtest/gtest.h>
+
+namespace cyqr {
+namespace {
+
+class JudgeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new Catalog(Catalog::Generate({}));
+    judge_ = new RelevanceJudge(catalog_);
+  }
+  static void TearDownTestSuite() {
+    delete judge_;
+    delete catalog_;
+  }
+  static Catalog* catalog_;
+  static RelevanceJudge* judge_;
+};
+
+Catalog* JudgeTest::catalog_ = nullptr;
+RelevanceJudge* JudgeTest::judge_ = nullptr;
+
+QueryIntent PhoneSeniorIntent() {
+  QueryIntent intent;
+  intent.category = "phone";
+  intent.attributes = {"senior"};
+  return intent;
+}
+
+TEST_F(JudgeTest, CanonicalRewriteScoresHigh) {
+  EXPECT_GE(judge_->Score(PhoneSeniorIntent(), {"senior", "smartphone"}),
+            0.9);
+}
+
+TEST_F(JudgeTest, WrongCategoryScoresZero) {
+  EXPECT_EQ(judge_->Score(PhoneSeniorIntent(), {"leather", "shoes"}), 0.0);
+}
+
+TEST_F(JudgeTest, EmptyRewriteScoresZero) {
+  EXPECT_EQ(judge_->Score(PhoneSeniorIntent(), {}), 0.0);
+}
+
+TEST_F(JudgeTest, DroppedAttributeLosesSomeCredit) {
+  const double with_attr =
+      judge_->Score(PhoneSeniorIntent(), {"senior", "smartphone"});
+  const double without_attr =
+      judge_->Score(PhoneSeniorIntent(), {"smartphone"});
+  EXPECT_GT(with_attr, without_attr);
+  EXPECT_GT(without_attr, 0.0);
+}
+
+TEST_F(JudgeTest, BrandSwitchIsFatal) {
+  QueryIntent intent;
+  intent.category = "shoes";
+  intent.brand = "adibo";
+  EXPECT_GT(judge_->Score(intent, {"adibo", "shoes"}), 0.5);
+  EXPECT_EQ(judge_->Score(intent, {"niko", "shoes"}), 0.0);
+  // Generalizing the brand away is acceptable but discounted.
+  const double general = judge_->Score(intent, {"shoes"});
+  EXPECT_GT(general, 0.0);
+  EXPECT_LT(general, judge_->Score(intent, {"adibo", "shoes"}));
+}
+
+TEST_F(JudgeTest, OutOfCatalogTokenIsHeavilyPenalized) {
+  // The "cherry fruit keyboard" failure: "fruit" never appears in keyboard
+  // titles, so AND retrieval dies.
+  QueryIntent intent;
+  intent.category = "keyboard";
+  intent.brand = "cherry";
+  const double clean = judge_->Score(intent, {"cherry", "keyboard"});
+  const double polluted =
+      judge_->Score(intent, {"cherry", "fruit", "keyboard"});
+  EXPECT_GT(clean, 0.8);
+  EXPECT_LT(polluted, clean * 0.5);
+}
+
+TEST_F(JudgeTest, CompareProtocol) {
+  const QueryIntent intent = PhoneSeniorIntent();
+  const std::vector<std::vector<std::string>> good = {
+      {"senior", "smartphone"}};
+  const std::vector<std::vector<std::string>> bad = {{"leather", "shoes"}};
+  EXPECT_EQ(judge_->Compare(intent, good, bad),
+            RelevanceJudge::Verdict::kWin);
+  EXPECT_EQ(judge_->Compare(intent, bad, good),
+            RelevanceJudge::Verdict::kLose);
+  EXPECT_EQ(judge_->Compare(intent, good, good),
+            RelevanceJudge::Verdict::kTie);
+}
+
+TEST_F(JudgeTest, ScoreSetAverages) {
+  const QueryIntent intent = PhoneSeniorIntent();
+  const double single =
+      judge_->ScoreSet(intent, {{"senior", "smartphone"}});
+  const double mixed = judge_->ScoreSet(
+      intent, {{"senior", "smartphone"}, {"leather", "shoes"}});
+  EXPECT_NEAR(mixed, single / 2.0, 1e-9);
+  EXPECT_EQ(judge_->ScoreSet(intent, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace cyqr

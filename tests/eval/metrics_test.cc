@@ -1,0 +1,64 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace cyqr {
+namespace {
+
+TEST(MetricsTest, F1IdenticalQueriesIsOne) {
+  EXPECT_DOUBLE_EQ(NGramF1({"senior", "phone"}, {"senior", "phone"}), 1.0);
+}
+
+TEST(MetricsTest, F1DisjointQueriesIsZero) {
+  EXPECT_DOUBLE_EQ(NGramF1({"a", "b"}, {"c", "d"}), 0.0);
+}
+
+TEST(MetricsTest, F1PartialOverlap) {
+  // rewritten {a,b,ab}, original {a,c,ac}; overlap {a} -> p=r=1/3.
+  EXPECT_NEAR(NGramF1({"a", "b"}, {"a", "c"}), 1.0 / 3.0, 1e-9);
+}
+
+TEST(MetricsTest, F1SingleWordReplacementIsHigh) {
+  // The rule-based pattern: one token swapped in a 4-token query.
+  const double f1 = NGramF1({"red", "mens", "sport", "sneakers"},
+                            {"red", "mens", "sport", "shoes"});
+  EXPECT_GT(f1, 0.5);
+}
+
+TEST(MetricsTest, F1EmptyInputs) {
+  EXPECT_DOUBLE_EQ(NGramF1({}, {"a"}), 0.0);
+  EXPECT_DOUBLE_EQ(NGramF1({"a"}, {}), 0.0);
+}
+
+TEST(MetricsTest, TokenEditDistanceBasics) {
+  EXPECT_EQ(TokenEditDistance({"a", "b"}, {"a", "b"}), 0);
+  EXPECT_EQ(TokenEditDistance({"a", "b"}, {"a", "c"}), 1);
+  EXPECT_EQ(TokenEditDistance({"a"}, {"a", "b", "c"}), 2);
+  EXPECT_EQ(TokenEditDistance({}, {"x", "y"}), 2);
+}
+
+TEST(MetricsTest, CharEditDistanceClassic) {
+  EXPECT_EQ(CharEditDistance("kitten", "sitting"), 3);
+  EXPECT_EQ(CharEditDistance("", "abc"), 3);
+  EXPECT_EQ(CharEditDistance("same", "same"), 0);
+}
+
+TEST(MetricsTest, EditDistanceSymmetric) {
+  EXPECT_EQ(TokenEditDistance({"a", "b", "c"}, {"b", "c"}),
+            TokenEditDistance({"b", "c"}, {"a", "b", "c"}));
+}
+
+TEST(MetricsTest, CosineSimilarityBasics) {
+  EXPECT_NEAR(CosineSimilarity({1, 0}, {1, 0}), 1.0, 1e-9);
+  EXPECT_NEAR(CosineSimilarity({1, 0}, {0, 1}), 0.0, 1e-9);
+  EXPECT_NEAR(CosineSimilarity({1, 0}, {-1, 0}), -1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(CosineSimilarity({0, 0}, {1, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity({1}, {1, 2}), 0.0);  // Dim mismatch.
+}
+
+TEST(MetricsTest, CosineScaleInvariant) {
+  EXPECT_NEAR(CosineSimilarity({1, 2, 3}, {2, 4, 6}), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace cyqr

@@ -1,0 +1,120 @@
+#include "eval/ranker.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rewrite/trainer.h"
+
+namespace cyqr {
+namespace {
+
+class RankerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new Catalog(Catalog::Generate({}));
+    ClickLogConfig config;
+    config.num_distinct_queries = 250;
+    config.num_sessions = 8000;
+    log_ = new ClickLog(ClickLog::Generate(*catalog_, config));
+
+    std::vector<std::vector<std::string>> corpus;
+    for (const TokenPair& p : log_->TokenPairs(*catalog_)) {
+      corpus.push_back(p.query);
+      corpus.push_back(p.title);
+    }
+    vocab_ = new Vocabulary(Vocabulary::Build(corpus));
+
+    bm25_ = new Bm25Scorer();
+    for (const Product& p : catalog_->products()) {
+      bm25_->AddDocument(p.id, p.title_tokens);
+    }
+    Rng rng(3);
+    embedder_ = new TwoTowerModel(vocab_->size(), 16, rng);
+    TwoTowerModel::TrainOptions tower_options;
+    tower_options.steps = 150;
+    embedder_->Train(EncodePairs(log_->TokenPairs(*catalog_), *vocab_),
+                     tower_options);
+  }
+  static void TearDownTestSuite() {
+    delete embedder_;
+    delete bm25_;
+    delete vocab_;
+    delete log_;
+    delete catalog_;
+  }
+  static Catalog* catalog_;
+  static ClickLog* log_;
+  static Vocabulary* vocab_;
+  static Bm25Scorer* bm25_;
+  static TwoTowerModel* embedder_;
+};
+
+Catalog* RankerTest::catalog_ = nullptr;
+ClickLog* RankerTest::log_ = nullptr;
+Vocabulary* RankerTest::vocab_ = nullptr;
+Bm25Scorer* RankerTest::bm25_ = nullptr;
+TwoTowerModel* RankerTest::embedder_ = nullptr;
+
+TEST_F(RankerTest, FeaturesAreFinite) {
+  PairwiseRanker ranker(catalog_, bm25_, embedder_, vocab_);
+  const auto f = ranker.ExtractFeatures({"red", "shoes"}, 0);
+  EXPECT_TRUE(std::isfinite(f.bm25));
+  EXPECT_TRUE(std::isfinite(f.embedding_cosine));
+  EXPECT_GT(f.quality, 0.0);
+}
+
+TEST_F(RankerTest, TrainingReducesPairwiseLoss) {
+  PairwiseRanker ranker(catalog_, bm25_, embedder_, vocab_);
+  PairwiseRanker::TrainOptions options;
+  options.steps = 200;
+  const double early = ranker.Train(*log_, options);
+  options.steps = 2000;
+  options.seed = 4243;
+  const double late = ranker.Train(*log_, options);
+  EXPECT_LT(late, early + 0.1);  // Non-increasing up to sampling noise.
+}
+
+TEST_F(RankerTest, TrainedRankerPutsClickedItemsFirst) {
+  PairwiseRanker ranker(catalog_, bm25_, embedder_, vocab_);
+  PairwiseRanker::TrainOptions options;
+  options.steps = 2500;
+  ranker.Train(*log_, options);
+
+  // For queries with clicks, the mean rank of clicked items among all
+  // products should be clearly better than random (i.e. < half).
+  int64_t checked = 0;
+  double mean_fraction = 0.0;
+  PostingList all_docs;
+  for (const Product& p : catalog_->products()) all_docs.push_back(p.id);
+  std::vector<std::vector<int64_t>> clicked(log_->queries().size());
+  for (const ClickPair& p : log_->pairs()) {
+    clicked[p.query_index].push_back(p.product_id);
+  }
+  for (size_t q = 0; q < clicked.size() && checked < 30; ++q) {
+    if (clicked[q].empty()) continue;
+    const auto ranked = ranker.Rank(log_->queries()[q].tokens, all_docs);
+    for (size_t pos = 0; pos < ranked.size(); ++pos) {
+      if (ranked[pos].doc == clicked[q][0]) {
+        mean_fraction +=
+            static_cast<double>(pos) / static_cast<double>(ranked.size());
+        ++checked;
+        break;
+      }
+    }
+  }
+  ASSERT_GT(checked, 10);
+  EXPECT_LT(mean_fraction / checked, 0.3);
+}
+
+TEST_F(RankerTest, RankIsSortedDescending) {
+  PairwiseRanker ranker(catalog_, bm25_, embedder_, vocab_);
+  PostingList candidates = {0, 1, 2, 3, 4, 5};
+  const auto ranked = ranker.Rank({"red", "shoes"}, candidates);
+  for (size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_GE(ranked[i - 1].score, ranked[i].score);
+  }
+}
+
+}  // namespace
+}  // namespace cyqr

@@ -1,0 +1,63 @@
+#include "eval/two_tower.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/metrics.h"
+
+namespace cyqr {
+namespace {
+
+TEST(TwoTowerTest, EmbeddingsAreUnitNorm) {
+  Rng rng(1);
+  TwoTowerModel model(30, 8, rng);
+  const auto q = model.EmbedQuery({4, 5, 6});
+  double norm = 0.0;
+  for (float v : q) norm += static_cast<double>(v) * v;
+  EXPECT_NEAR(norm, 1.0, 1e-5);
+  EXPECT_EQ(q.size(), 8u);
+}
+
+TEST(TwoTowerTest, PoolingIsOrderInsensitiveForMeanTower) {
+  Rng rng(2);
+  TwoTowerModel model(30, 8, rng);
+  const auto a = model.EmbedQuery({4, 5, 6});
+  const auto b = model.EmbedQuery({6, 4, 5});
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i], b[i], 1e-6f);
+  }
+}
+
+TEST(TwoTowerTest, TrainingPullsClickedPairsTogether) {
+  Rng rng(3);
+  TwoTowerModel model(40, 16, rng);
+  // Two disjoint "categories": queries 4-6 click titles 10-14, queries
+  // 7-9 click titles 20-24.
+  std::vector<SeqPair> pairs;
+  for (int rep = 0; rep < 8; ++rep) {
+    pairs.push_back({{4, 5}, {10, 11, 12}});
+    pairs.push_back({{5, 6}, {11, 12, 13, 14}});
+    pairs.push_back({{7, 8}, {20, 21, 22}});
+    pairs.push_back({{8, 9}, {22, 23, 24}});
+  }
+  TwoTowerModel::TrainOptions options;
+  options.steps = 200;
+  options.batch_size = 8;
+  const double loss = model.Train(pairs, options);
+  EXPECT_LT(loss, 1.5);
+
+  const auto q1 = model.EmbedQuery({4, 5});
+  const auto t_same = model.EmbedTitle({10, 11, 12});
+  const auto t_other = model.EmbedTitle({20, 21, 22});
+  EXPECT_GT(CosineSimilarity(q1, t_same), CosineSimilarity(q1, t_other));
+
+  // Queries of the same category are closer than across categories —
+  // exactly what Table VII's cosine metric needs.
+  const auto q_same = model.EmbedQuery({5, 6});
+  const auto q_other = model.EmbedQuery({7, 8});
+  EXPECT_GT(CosineSimilarity(q1, q_same), CosineSimilarity(q1, q_other));
+}
+
+}  // namespace
+}  // namespace cyqr

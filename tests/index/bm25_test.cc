@@ -1,0 +1,61 @@
+#include "index/bm25.h"
+
+#include <gtest/gtest.h>
+
+namespace cyqr {
+namespace {
+
+class Bm25Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    scorer_.AddDocument(0, {"red", "running", "shoes"});
+    scorer_.AddDocument(1, {"red", "leather", "boots", "winter", "warm"});
+    scorer_.AddDocument(2, {"blue", "running", "shoes", "running"});
+    scorer_.AddDocument(3, {"red", "red", "red", "phone"});
+  }
+  Bm25Scorer scorer_;
+};
+
+TEST_F(Bm25Test, MatchingTermsScorePositive) {
+  EXPECT_GT(scorer_.Score({"running", "shoes"}, 0), 0.0);
+  EXPECT_DOUBLE_EQ(scorer_.Score({"running", "shoes"}, 1), 0.0);
+}
+
+TEST_F(Bm25Test, UnknownDocScoresZero) {
+  EXPECT_DOUBLE_EQ(scorer_.Score({"red"}, 99), 0.0);
+  EXPECT_DOUBLE_EQ(scorer_.Score({"red"}, -1), 0.0);
+}
+
+TEST_F(Bm25Test, RareTermsOutweighCommonTerms) {
+  // "leather" appears in 1 doc, "red" in 3: doc 1 should beat doc 3 for
+  // a query hitting its rare term.
+  EXPECT_GT(scorer_.Score({"leather"}, 1), scorer_.Score({"red"}, 3));
+}
+
+TEST_F(Bm25Test, TermFrequencySaturates) {
+  // Doc 3 has "red" three times; the score grows with tf but must be less
+  // than 3x the single-occurrence score (k1 saturation).
+  const double tf1 = scorer_.Score({"red"}, 0);
+  const double tf3 = scorer_.Score({"red"}, 3);
+  EXPECT_GT(tf3, tf1 * 0.9);  // Same idf; doc 3 shorter-normalized anyway.
+  EXPECT_LT(tf3, tf1 * 3.0);
+}
+
+TEST_F(Bm25Test, RankSortsDescending) {
+  const auto ranked = scorer_.Rank({"running", "shoes"}, {0, 1, 2, 3});
+  ASSERT_EQ(ranked.size(), 4u);
+  for (size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_GE(ranked[i - 1].score, ranked[i].score);
+  }
+  // Doc 2 mentions "running" twice — it should be first or second.
+  EXPECT_TRUE(ranked[0].doc == 2 || ranked[1].doc == 2);
+}
+
+TEST_F(Bm25Test, EmptyQueryScoresZeroEverywhere) {
+  for (DocId d = 0; d < 4; ++d) {
+    EXPECT_DOUBLE_EQ(scorer_.Score({}, d), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace cyqr

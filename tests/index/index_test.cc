@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/rng.h"
+#include "index/retrieval.h"
+
+namespace cyqr {
+namespace {
+
+TEST(PostingTest, IntersectBasics) {
+  RetrievalCost cost;
+  EXPECT_EQ(IntersectLists({1, 3, 5}, {3, 4, 5}, &cost),
+            (PostingList{3, 5}));
+  EXPECT_GT(cost.postings_scanned, 0);
+  EXPECT_TRUE(IntersectLists({1, 2}, {3, 4}, nullptr).empty());
+  EXPECT_TRUE(IntersectLists({}, {1}, nullptr).empty());
+}
+
+TEST(PostingTest, UnionBasics) {
+  EXPECT_EQ(UnionLists({1, 3}, {2, 3, 4}, nullptr),
+            (PostingList{1, 2, 3, 4}));
+  EXPECT_EQ(UnionLists({}, {1, 2}, nullptr), (PostingList{1, 2}));
+  EXPECT_EQ(UnionLists({5}, {}, nullptr), (PostingList{5}));
+}
+
+TEST(PostingTest, PropertiesOnRandomLists) {
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::set<DocId> sa;
+    std::set<DocId> sb;
+    for (int i = 0; i < 30; ++i) {
+      sa.insert(static_cast<DocId>(rng.NextBelow(50)));
+      sb.insert(static_cast<DocId>(rng.NextBelow(50)));
+    }
+    PostingList a(sa.begin(), sa.end());
+    PostingList b(sb.begin(), sb.end());
+    PostingList inter = IntersectLists(a, b, nullptr);
+    PostingList uni = UnionLists(a, b, nullptr);
+    // |A| + |B| = |A u B| + |A n B|.
+    EXPECT_EQ(a.size() + b.size(), uni.size() + inter.size());
+    EXPECT_TRUE(std::is_sorted(uni.begin(), uni.end()));
+    EXPECT_TRUE(std::is_sorted(inter.begin(), inter.end()));
+    for (DocId d : inter) {
+      EXPECT_TRUE(sa.count(d) && sb.count(d));
+    }
+  }
+}
+
+TEST(InvertedIndexTest, LookupAfterAdd) {
+  InvertedIndex index;
+  index.AddDocument(0, {"red", "shoes"});
+  index.AddDocument(1, {"red", "phone"});
+  index.AddDocument(2, {"blue", "shoes", "shoes"});  // Duplicates collapse.
+  EXPECT_EQ(index.Lookup("red"), (PostingList{0, 1}));
+  EXPECT_EQ(index.Lookup("shoes"), (PostingList{0, 2}));
+  EXPECT_TRUE(index.Lookup("missing").empty());
+  EXPECT_EQ(index.num_documents(), 3);
+  EXPECT_EQ(index.num_terms(), 4);
+  EXPECT_EQ(index.total_postings(), 6);
+}
+
+TEST(SyntaxTreeTest, FromQueryBuildsAndOfTerms) {
+  SyntaxTree tree = SyntaxTree::FromQuery({"red", "mens", "sandals"});
+  EXPECT_EQ(tree.ToString(), "(red & mens & sandals)");
+  EXPECT_EQ(tree.NodeCount(), 4);
+}
+
+TEST(SyntaxTreeTest, SingleTokenIsLeaf) {
+  SyntaxTree tree = SyntaxTree::FromQuery({"red"});
+  EXPECT_EQ(tree.ToString(), "red");
+  EXPECT_EQ(tree.NodeCount(), 1);
+}
+
+TEST(SyntaxTreeTest, DuplicateTokensCollapse) {
+  SyntaxTree tree = SyntaxTree::FromQuery({"red", "red", "shoes"});
+  EXPECT_EQ(tree.NodeCount(), 3);
+}
+
+TEST(SyntaxTreeTest, EvaluateAndOr) {
+  InvertedIndex index;
+  index.AddDocument(0, {"red", "sandals"});
+  index.AddDocument(1, {"red", "slippers"});
+  index.AddDocument(2, {"blue", "sandals"});
+  auto root = SyntaxNode::And();
+  root->children.push_back(SyntaxNode::Term("red"));
+  auto or_node = SyntaxNode::Or();
+  or_node->children.push_back(SyntaxNode::Term("sandals"));
+  or_node->children.push_back(SyntaxNode::Term("slippers"));
+  root->children.push_back(std::move(or_node));
+  SyntaxTree tree(std::move(root));
+  RetrievalCost cost;
+  EXPECT_EQ(tree.Evaluate(index, &cost), (PostingList{0, 1}));
+  EXPECT_GT(cost.nodes_evaluated, 0);
+  EXPECT_GT(cost.postings_scanned, 0);
+}
+
+TEST(TreeMergeTest, Figure5Example) {
+  // Original: red mens sandals; rewrites diverge at the last position.
+  TreeMerger::Result merged = TreeMerger::Merge({
+      {"red", "mens", "sandals"},
+      {"red", "mens", "slippers"},
+      {"red", "mens", "anklet"},
+  });
+  EXPECT_EQ(merged.tree.ToString(),
+            "(red & mens & (anklet | sandals | slippers))");
+  EXPECT_EQ(merged.groups_total, 3);
+  EXPECT_EQ(merged.groups_required, 3);
+}
+
+TEST(TreeMergeTest, IdenticalQueriesStaySimple) {
+  TreeMerger::Result merged =
+      TreeMerger::Merge({{"red", "shoes"}, {"red", "shoes"}});
+  EXPECT_EQ(merged.tree.ToString(), "(red & shoes)");
+}
+
+TEST(TreeMergeTest, MissingTokenRelaxesGroup) {
+  // "mens" appears in only one query, so it cannot stay AND-required.
+  TreeMerger::Result merged =
+      TreeMerger::Merge({{"red", "mens", "shoes"}, {"red", "shoes"}});
+  EXPECT_EQ(merged.tree.ToString(), "(red & shoes)");
+  EXPECT_EQ(merged.groups_total, 3);
+  EXPECT_EQ(merged.groups_required, 2);
+}
+
+TEST(TreeMergeTest, MergedTreeSmallerThanSeparateTrees) {
+  const std::vector<std::vector<std::string>> queries = {
+      {"red", "mens", "sandals"},
+      {"red", "mens", "slippers"},
+      {"red", "mens", "anklet"},
+  };
+  TreeMerger::Result merged = TreeMerger::Merge(queries);
+  int64_t separate_nodes = 0;
+  for (const auto& q : queries) {
+    separate_nodes += SyntaxTree::FromQuery(q).NodeCount();
+  }
+  EXPECT_LT(merged.tree.NodeCount(), separate_nodes);
+  // "slightly larger than the previous tree for only the original query".
+  EXPECT_LE(merged.tree.NodeCount(),
+            SyntaxTree::FromQuery(queries[0]).NodeCount() + 3);
+}
+
+/// Property: merged retrieval never loses a document that any individual
+/// query retrieves (recall preservation), across randomized query sets.
+class TreeMergeRecallTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(TreeMergeRecallTest, MergedIsSupersetOfUnion) {
+  Rng rng(1000 + GetParam());
+  const std::vector<std::string> words = {"red",    "blue",  "mens",
+                                          "womens", "shoes", "sandals",
+                                          "phone",  "case",  "sport"};
+  // Random corpus.
+  InvertedIndex index;
+  for (DocId d = 0; d < 60; ++d) {
+    std::vector<std::string> doc;
+    const int64_t len = rng.NextInt(2, 5);
+    for (int64_t i = 0; i < len; ++i) {
+      doc.push_back(words[rng.NextBelow(words.size())]);
+    }
+    index.AddDocument(d, doc);
+  }
+  // Random related queries (sharing some tokens).
+  const int64_t num_queries = rng.NextInt(2, 4);
+  std::vector<std::vector<std::string>> queries;
+  for (int64_t q = 0; q < num_queries; ++q) {
+    std::vector<std::string> query;
+    const int64_t len = rng.NextInt(1, 3);
+    for (int64_t i = 0; i < len; ++i) {
+      query.push_back(words[rng.NextBelow(words.size())]);
+    }
+    queries.push_back(std::move(query));
+  }
+  RetrievalEngine engine(&index);
+  const auto separate = engine.RetrieveSeparate(queries);
+  const auto merged = engine.RetrieveMerged(queries);
+  // Every doc from per-query retrieval must appear in the merged result.
+  for (DocId d : separate.docs) {
+    EXPECT_TRUE(std::binary_search(merged.docs.begin(), merged.docs.end(),
+                                   d))
+        << "doc " << d << " lost by merge (trial " << GetParam() << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTrials, TreeMergeRecallTest,
+                         ::testing::Range(0, 25));
+
+TEST(RetrievalEngineTest, MergedCostsLessThanSeparate) {
+  // Build a corpus where the shared tokens have long posting lists; the
+  // merged tree scans them once instead of once per query.
+  InvertedIndex index;
+  Rng rng(12);
+  const std::vector<std::string> tails = {"sandals", "slippers", "anklet"};
+  for (DocId d = 0; d < 200; ++d) {
+    std::vector<std::string> doc = {"red", "mens"};
+    doc.push_back(tails[rng.NextBelow(tails.size())]);
+    index.AddDocument(d, doc);
+  }
+  const std::vector<std::vector<std::string>> queries = {
+      {"red", "mens", "sandals"},
+      {"red", "mens", "slippers"},
+      {"red", "mens", "anklet"},
+  };
+  RetrievalEngine engine(&index);
+  const auto separate = engine.RetrieveSeparate(queries);
+  const auto merged = engine.RetrieveMerged(queries);
+  EXPECT_LT(merged.cost.postings_scanned, separate.cost.postings_scanned);
+  EXPECT_LT(merged.tree_nodes, separate.tree_nodes);
+}
+
+TEST(RetrievalEngineTest, MaxDocsCapApplies) {
+  InvertedIndex index;
+  for (DocId d = 0; d < 50; ++d) index.AddDocument(d, {"red"});
+  RetrievalEngine engine(&index);
+  EXPECT_EQ(engine.RetrieveOne({"red"}, 10).docs.size(), 10u);
+  EXPECT_EQ(engine.RetrieveOne({"red"}).docs.size(), 50u);
+}
+
+}  // namespace
+}  // namespace cyqr

@@ -1,0 +1,183 @@
+// End-to-end integration: the full production pipeline on a small world —
+// generate click log -> build vocabulary -> train the cycle model
+// (Algorithm 1) -> rewrite hard queries (Figure 3) -> retrieve through the
+// merged syntax tree (Figure 5) -> verify with the oracle judge and the
+// learned ranker. One slow test that exercises every subsystem together.
+
+#include <gtest/gtest.h>
+
+#include "baseline/rule_based.h"
+#include "core/string_util.h"
+#include "eval/judge.h"
+#include "eval/ranker.h"
+#include "index/retrieval.h"
+#include "rewrite/inference.h"
+#include "rewrite/trainer.h"
+#include "serving/rewrite_service.h"
+
+namespace cyqr {
+namespace {
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    world_ = new World();
+    // 1. Synthetic world.
+    world_->catalog = Catalog::Generate({});
+    ClickLogConfig log_config;
+    log_config.num_distinct_queries = 400;
+    log_config.num_sessions = 20000;
+    world_->log = ClickLog::Generate(world_->catalog, log_config);
+    const auto token_pairs = world_->log.TokenPairs(world_->catalog);
+    std::vector<std::vector<std::string>> corpus;
+    for (const TokenPair& p : token_pairs) {
+      corpus.push_back(p.query);
+      corpus.push_back(p.title);
+    }
+    world_->vocab = Vocabulary::Build(corpus);
+
+    // 2. Train a small joint model (enough to be clearly better than
+    //    random on this world).
+    CycleConfig config = PaperScaledConfig(world_->vocab.size());
+    config.forward.num_layers = 1;
+    Rng rng(77);
+    world_->model = std::make_unique<CycleModel>(config, rng);
+    CycleTrainerOptions options;
+    options.max_steps = 320;
+    options.warmup_steps = 260;
+    options.batch_size = 8;
+    options.eval_every = 0;
+    CycleTrainer trainer(world_->model.get(),
+                         EncodePairs(token_pairs, world_->vocab), options);
+    trainer.Train({});
+    world_->model->SetTraining(false);
+
+    // 3. Index.
+    for (const Product& p : world_->catalog.products()) {
+      world_->index.AddDocument(p.id, p.title_tokens);
+    }
+  }
+  static void TearDownTestSuite() {
+    delete world_;
+    world_ = nullptr;
+  }
+
+  struct World {
+    Catalog catalog;
+    ClickLog log;
+    Vocabulary vocab;
+    std::unique_ptr<CycleModel> model;
+    InvertedIndex index;
+  };
+  static World* world_;
+};
+
+PipelineTest::World* PipelineTest::world_ = nullptr;
+
+TEST_F(PipelineTest, RewritesImproveRecallForHardQueries) {
+  CycleRewriter rewriter(world_->model.get(), &world_->vocab);
+  RetrievalEngine engine(&world_->index);
+  Rng rng(5);
+  int64_t improved = 0;
+  int64_t hard = 0;
+  for (const QuerySpec& q : world_->log.queries()) {
+    if (!q.is_colloquial) continue;
+    const auto base = engine.RetrieveOne(q.tokens);
+    if (!base.docs.empty()) continue;  // Only truly broken queries.
+    ++hard;
+    const auto result = rewriter.Rewrite(q.tokens, {});
+    std::vector<std::vector<std::string>> all = {q.tokens};
+    for (const RewriteCandidate& c : result.rewrites) all.push_back(c.tokens);
+    const auto merged = engine.RetrieveMerged(all);
+    if (!merged.docs.empty()) ++improved;
+    if (hard >= 25) break;
+  }
+  ASSERT_GT(hard, 10);
+  // The trained model must fix a clear majority of dead queries.
+  EXPECT_GT(static_cast<double>(improved) / hard, 0.6);
+}
+
+TEST_F(PipelineTest, JudgeScoresModelAboveRandomTokens) {
+  CycleRewriter rewriter(world_->model.get(), &world_->vocab);
+  const RelevanceJudge judge(&world_->catalog);
+  double model_score = 0.0;
+  double garbage_score = 0.0;
+  int64_t count = 0;
+  for (const QuerySpec& q : world_->log.queries()) {
+    if (!q.is_colloquial) continue;
+    const auto result = rewriter.Rewrite(q.tokens, {});
+    std::vector<std::vector<std::string>> rewrites;
+    for (const RewriteCandidate& c : result.rewrites) {
+      rewrites.push_back(c.tokens);
+    }
+    model_score += judge.ScoreSet(q.intent, rewrites);
+    garbage_score += judge.ScoreSet(q.intent, {{"zzz", "nothing"}});
+    if (++count >= 20) break;
+  }
+  ASSERT_GT(count, 10);
+  EXPECT_GT(model_score, garbage_score + 1.0);
+}
+
+TEST_F(PipelineTest, ServingTiersAgreeOnHeadQueries) {
+  // Precompute a few head queries; the service must return exactly the
+  // precomputed rewrites for them.
+  CycleRewriter rewriter(world_->model.get(), &world_->vocab);
+  RewriteKvStore store;
+  std::vector<std::vector<std::string>> head;
+  for (size_t i = 0; i < 5; ++i) {
+    head.push_back(world_->log.queries()[i].tokens);
+  }
+  RewriteService::PrecomputeHead(rewriter, head, {}, &store);
+  EXPECT_EQ(store.size(), 5u);
+  RewriteService service(&store, nullptr, {});
+  for (const auto& q : head) {
+    const auto response = service.Serve(q);
+    EXPECT_EQ(response.source, RewriteService::Source::kCache);
+    const auto* cached = store.Get(JoinStrings(q));
+    ASSERT_NE(cached, nullptr);
+    EXPECT_EQ(response.rewrites.size(),
+              std::min<size_t>(cached->size(), 3));
+  }
+}
+
+TEST_F(PipelineTest, LearnedRankerBeatsReverseOrderOnClicks) {
+  // Train the pairwise ranker on the same world and verify it orders a
+  // clicked item above the median of the candidate pool for most queries.
+  Bm25Scorer bm25;
+  for (const Product& p : world_->catalog.products()) {
+    bm25.AddDocument(p.id, p.title_tokens);
+  }
+  Rng rng(9);
+  TwoTowerModel embedder(world_->vocab.size(), 16, rng);
+  TwoTowerModel::TrainOptions tower_options;
+  tower_options.steps = 120;
+  embedder.Train(EncodePairs(world_->log.TokenPairs(world_->catalog),
+                             world_->vocab),
+                 tower_options);
+  PairwiseRanker ranker(&world_->catalog, &bm25, &embedder, &world_->vocab);
+  PairwiseRanker::TrainOptions rank_options;
+  rank_options.steps = 1500;
+  ranker.Train(world_->log, rank_options);
+
+  PostingList all;
+  for (const Product& p : world_->catalog.products()) all.push_back(p.id);
+  int64_t wins = 0;
+  int64_t total = 0;
+  for (const ClickPair& p : world_->log.pairs()) {
+    if (total >= 30) break;
+    const auto& q = world_->log.queries()[p.query_index];
+    const auto ranked = ranker.Rank(q.tokens, all);
+    for (size_t pos = 0; pos < ranked.size(); ++pos) {
+      if (ranked[pos].doc == p.product_id) {
+        if (pos < ranked.size() / 2) ++wins;
+        ++total;
+        break;
+      }
+    }
+  }
+  ASSERT_GT(total, 20);
+  EXPECT_GT(static_cast<double>(wins) / total, 0.7);
+}
+
+}  // namespace
+}  // namespace cyqr

@@ -1,0 +1,89 @@
+#include "lm/gpt_lm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cyqr {
+namespace {
+
+Seq2SeqConfig SmallConfig(int64_t vocab) {
+  Seq2SeqConfig config;
+  config.vocab_size = vocab;
+  config.d_model = 16;
+  config.num_heads = 2;
+  config.ff_hidden = 32;
+  config.num_layers = 1;
+  config.dropout = 0.0f;
+  return config;
+}
+
+TEST(GptLmTest, ForwardShape) {
+  Rng rng(1);
+  GptLm model(SmallConfig(20), rng);
+  EncodedBatch batch = PadBatch({{4, 5, 6}, {7, 8}});
+  Tensor logits = model.Forward(batch);
+  EXPECT_EQ(logits.shape(), Shape({2, 3, 20}));
+}
+
+TEST(GptLmTest, CausalityHolds) {
+  // Changing a later token must not change earlier logits.
+  Rng rng(2);
+  GptLm model(SmallConfig(20), rng);
+  model.SetTraining(false);
+  NoGradGuard no_grad;
+  EncodedBatch a = PadBatch({{4, 5, 6}});
+  EncodedBatch b = PadBatch({{4, 5, 7}});
+  Tensor la = model.Forward(a);
+  Tensor lb = model.Forward(b);
+  for (int64_t i = 0; i < 2 * 20; ++i) {
+    EXPECT_NEAR(la.data()[i], lb.data()[i], 1e-5f);
+  }
+}
+
+TEST(GptLmTest, TrainingReducesLoss) {
+  Rng rng(3);
+  GptLm model(SmallConfig(24), rng);
+  // "query sep1 title sep2 rewrite" toy sequences.
+  std::vector<std::vector<int32_t>> seqs = {
+      {4, 5, 20, 10, 11, 12, 21, 6, 5},
+      {7, 5, 20, 13, 14, 21, 8, 5},
+  };
+  LmTrainingOptions options;
+  options.max_steps = 10;
+  const double early = TrainLm(model, seqs, options);
+  options.max_steps = 150;
+  options.seed = 778;
+  const double late = TrainLm(model, seqs, options);
+  EXPECT_LT(late, early);
+}
+
+TEST(GptLmTest, GenerateStopsAtStopToken) {
+  Rng rng(4);
+  GptLm model(SmallConfig(24), rng);
+  // Overfit a single pattern: 4 5 -> 20 -> 10 11 -> 21.
+  std::vector<std::vector<int32_t>> seqs(4, {4, 5, 20, 10, 11, 21, 6, 5});
+  LmTrainingOptions options;
+  options.max_steps = 200;
+  TrainLm(model, seqs, options);
+  model.SetTraining(false);
+  Rng gen_rng(5);
+  const auto continuation =
+      model.Generate({kBosId, 4, 5, 20}, /*stop_id=*/21,
+                     /*max_new_tokens=*/8, /*top_n=*/1, gen_rng);
+  // Greedy continuation should be the memorized "10 11" then stop at 21.
+  EXPECT_EQ(continuation, (std::vector<int32_t>{10, 11}));
+}
+
+TEST(GptLmTest, GenerateRespectsMaxNewTokens) {
+  Rng rng(6);
+  GptLm model(SmallConfig(24), rng);
+  model.SetTraining(false);
+  Rng gen_rng(7);
+  const auto continuation =
+      model.Generate({kBosId, 4}, /*stop_id=*/23, 5, 3, gen_rng);
+  EXPECT_LE(continuation.size(), 5u);
+}
+
+}  // namespace
+}  // namespace cyqr

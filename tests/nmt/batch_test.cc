@@ -1,0 +1,89 @@
+#include "nmt/batch.h"
+
+#include <gtest/gtest.h>
+
+#include "text/vocabulary.h"
+
+namespace cyqr {
+namespace {
+
+TEST(BatchTest, PadBatchShapesAndMask) {
+  EncodedBatch b = PadBatch({{5, 6, 7}, {8}});
+  EXPECT_EQ(b.batch, 2);
+  EXPECT_EQ(b.max_len, 3);
+  EXPECT_EQ(b.ids[0], 5);
+  EXPECT_EQ(b.ids[3], 8);
+  EXPECT_EQ(b.ids[4], kPadId);
+  EXPECT_EQ(b.mask[2], 1.0f);
+  EXPECT_EQ(b.mask[4], 0.0f);
+}
+
+TEST(BatchTest, PadBatchTruncates) {
+  EncodedBatch b = PadBatch({{1, 2, 3, 4, 5}}, /*max_len_cap=*/3);
+  EXPECT_EQ(b.max_len, 3);
+  EXPECT_EQ(b.ids.size(), 3u);
+}
+
+TEST(BatchTest, PadBatchEmpty) {
+  EncodedBatch b = PadBatch({});
+  EXPECT_EQ(b.batch, 0);
+  EXPECT_EQ(b.max_len, 0);
+}
+
+TEST(BatchTest, TeacherForcedShiftsInputsAndAppendsEos) {
+  TeacherForcedBatch tf = MakeTeacherForced({{10, 11}});
+  // Inputs: BOS 10 11; targets: 10 11 EOS.
+  ASSERT_EQ(tf.inputs.max_len, 3);
+  EXPECT_EQ(tf.inputs.ids[0], kBosId);
+  EXPECT_EQ(tf.inputs.ids[1], 10);
+  EXPECT_EQ(tf.inputs.ids[2], 11);
+  EXPECT_EQ(tf.targets[0], 10);
+  EXPECT_EQ(tf.targets[1], 11);
+  EXPECT_EQ(tf.targets[2], kEosId);
+  EXPECT_EQ(tf.target_mask[2], 1.0f);
+}
+
+TEST(BatchTest, TeacherForcedPadsShorterSequences) {
+  TeacherForcedBatch tf = MakeTeacherForced({{10, 11}, {12}});
+  ASSERT_EQ(tf.inputs.max_len, 3);
+  // Second row: BOS 12 <pad>; targets 12 EOS (pad masked).
+  EXPECT_EQ(tf.inputs.ids[3], kBosId);
+  EXPECT_EQ(tf.inputs.ids[4], 12);
+  EXPECT_EQ(tf.inputs.ids[5], kPadId);
+  EXPECT_EQ(tf.targets[3], 12);
+  EXPECT_EQ(tf.targets[4], kEosId);
+  EXPECT_EQ(tf.target_mask[5], 0.0f);
+}
+
+TEST(BatchTest, CausalMaskBlocksFutureOnly) {
+  auto mask = MakeCausalMask(1, 1, 3);
+  // Row i blocks j > i.
+  EXPECT_EQ(mask[0 * 3 + 1], -1e9f);
+  EXPECT_EQ(mask[0 * 3 + 0], 0.0f);
+  EXPECT_EQ(mask[2 * 3 + 0], 0.0f);
+  EXPECT_EQ(mask[2 * 3 + 2], 0.0f);
+  EXPECT_EQ(mask[1 * 3 + 2], -1e9f);
+}
+
+TEST(BatchTest, CausalMaskAlsoBlocksPadding) {
+  std::vector<float> tgt_mask = {1.0f, 1.0f, 0.0f};
+  auto mask = MakeCausalMask(1, 1, 3, tgt_mask);
+  // Padding column blocked even at/below the diagonal.
+  EXPECT_EQ(mask[2 * 3 + 2], -1e9f);
+  EXPECT_EQ(mask[2 * 3 + 1], 0.0f);
+}
+
+TEST(BatchTest, PaddingMaskBlocksInvalidSourceColumns) {
+  std::vector<float> src_mask = {1.0f, 0.0f};
+  auto mask = MakePaddingMask(1, 2, 3, 2, src_mask);
+  // For every head and query row, column 1 is blocked.
+  for (int h = 0; h < 2; ++h) {
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_EQ(mask[(h * 3 + i) * 2 + 0], 0.0f);
+      EXPECT_EQ(mask[(h * 3 + i) * 2 + 1], -1e9f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cyqr

@@ -1,0 +1,101 @@
+#include "nmt/scorer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/math.h"
+#include "nmt/transformer.h"
+#include "text/vocabulary.h"
+
+namespace cyqr {
+namespace {
+
+Seq2SeqConfig SmallConfig() {
+  Seq2SeqConfig config;
+  config.vocab_size = 16;
+  config.d_model = 8;
+  config.num_heads = 2;
+  config.ff_hidden = 16;
+  config.num_layers = 1;
+  config.dropout = 0.0f;
+  return config;
+}
+
+TEST(ScorerTest, ScoreSequenceMatchesManualComputation) {
+  Rng rng(1);
+  TransformerSeq2Seq model(SmallConfig(), rng);
+  model.SetTraining(false);
+  NoGradGuard no_grad;
+  const std::vector<int32_t> src = {4, 5};
+  const std::vector<int32_t> tgt = {6, 7};
+  const double score = ScoreSequence(model, src, tgt);
+
+  // Manual: sum of log-softmax picks over the teacher-forced logits.
+  const EncodedBatch src_batch = PadBatch({src});
+  const TeacherForcedBatch tf = MakeTeacherForced({tgt});
+  Tensor logits = model.Forward(src_batch, tf.inputs);
+  double manual = 0.0;
+  const int64_t v = 16;
+  for (int64_t t = 0; t < tf.inputs.max_len; ++t) {
+    std::vector<float> lp(v);
+    LogSoftmax(logits.data() + t * v, v, lp.data());
+    manual += lp[tf.targets[t]];
+  }
+  EXPECT_NEAR(score, manual, 1e-4);
+}
+
+TEST(ScorerTest, ScoreSequencesBatchMatchesSingles) {
+  Rng rng(2);
+  TransformerSeq2Seq model(SmallConfig(), rng);
+  model.SetTraining(false);
+  const std::vector<int32_t> src = {4, 5, 6};
+  const std::vector<std::vector<int32_t>> tgts = {{7}, {8, 9}, {10, 11, 12}};
+  const std::vector<double> batch = ScoreSequences(model, src, tgts);
+  ASSERT_EQ(batch.size(), 3u);
+  for (size_t i = 0; i < tgts.size(); ++i) {
+    EXPECT_NEAR(batch[i], ScoreSequence(model, src, tgts[i]), 1e-3);
+  }
+}
+
+TEST(ScorerTest, UntrainedPerplexityNearVocabSize) {
+  // A freshly initialized model is near-uniform, so token perplexity is
+  // near the vocabulary size.
+  Rng rng(3);
+  Seq2SeqConfig config = SmallConfig();
+  TransformerSeq2Seq model(config, rng);
+  model.SetTraining(false);
+  std::vector<SeqPair> pairs;
+  for (int i = 0; i < 8; ++i) {
+    pairs.push_back({{4, 5}, {6, 7, 8}});
+  }
+  const TeacherForcedMetrics m = EvaluateTeacherForced(model, pairs);
+  EXPECT_GT(m.perplexity, config.vocab_size * 0.4);
+  EXPECT_LT(m.perplexity, config.vocab_size * 2.5);
+}
+
+TEST(ScorerTest, TokenAccuracyFromLogitsCountsMaskedPositions) {
+  // Logits that argmax to the target at position 0 only.
+  Tensor logits = Tensor::Zeros(Shape{1, 2, 4});
+  logits.data()[2] = 5.0f;          // Position 0 argmax = 2.
+  logits.data()[4 + 1] = 5.0f;      // Position 1 argmax = 1.
+  std::vector<int32_t> targets = {2, 3};
+  std::vector<float> mask_all = {1, 1};
+  EXPECT_NEAR(TokenAccuracyFromLogits(logits, targets, mask_all), 0.5, 1e-9);
+  std::vector<float> mask_first = {1, 0};
+  EXPECT_NEAR(TokenAccuracyFromLogits(logits, targets, mask_first), 1.0,
+              1e-9);
+}
+
+TEST(ScorerTest, LongerSequencesHaveLowerLogProb) {
+  Rng rng(4);
+  TransformerSeq2Seq model(SmallConfig(), rng);
+  model.SetTraining(false);
+  const std::vector<int32_t> src = {4};
+  const double short_lp = ScoreSequence(model, src, {5});
+  const double long_lp = ScoreSequence(model, src, {5, 6, 7, 8, 9});
+  EXPECT_GT(short_lp, long_lp);
+}
+
+}  // namespace
+}  // namespace cyqr

@@ -1,0 +1,102 @@
+#include "nn/attention.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/autograd.h"
+#include "tensor/ops.h"
+
+namespace cyqr {
+namespace {
+
+TEST(AttentionTest, OutputShape) {
+  Rng rng(1);
+  MultiHeadAttention mha(8, 2, rng);
+  Tensor q = Tensor::Randn(Shape{2, 3, 8}, rng);
+  Tensor kv = Tensor::Randn(Shape{2, 5, 8}, rng);
+  Tensor out = mha.Forward(q, kv);
+  EXPECT_EQ(out.shape(), Shape({2, 3, 8}));
+}
+
+TEST(AttentionTest, SelfAttentionShape) {
+  Rng rng(2);
+  MultiHeadAttention mha(8, 4, rng);
+  Tensor x = Tensor::Randn(Shape{1, 6, 8}, rng);
+  EXPECT_EQ(mha.Forward(x, x).shape(), Shape({1, 6, 8}));
+}
+
+TEST(AttentionTest, CausalMaskBlocksFuture) {
+  // With a causal mask, changing a future key must not change the output at
+  // earlier query positions.
+  Rng rng(3);
+  MultiHeadAttention mha(8, 2, rng);
+  const int64_t t = 4;
+  std::vector<float> mask(1 * 2 * t * t, 0.0f);
+  for (int64_t h = 0; h < 2; ++h) {
+    for (int64_t i = 0; i < t; ++i) {
+      for (int64_t j = i + 1; j < t; ++j) {
+        mask[(h * t + i) * t + j] = -1e9f;
+      }
+    }
+  }
+  Tensor x = Tensor::Randn(Shape{1, t, 8}, rng);
+  Tensor out1 = mha.Forward(x, x, mask);
+  // Perturb the last position's input.
+  std::vector<float> data(x.data(), x.data() + x.NumElements());
+  for (int j = 0; j < 8; ++j) data[(t - 1) * 8 + j] += 5.0f;
+  Tensor x2 = Tensor::FromData(Shape{1, t, 8}, data);
+  Tensor out2 = mha.Forward(x2, x2, mask);
+  for (int64_t i = 0; i < (t - 1) * 8; ++i) {
+    EXPECT_NEAR(out1.data()[i], out2.data()[i], 1e-5f);
+  }
+}
+
+TEST(AttentionTest, CapturedWeightsAreDistribution) {
+  Rng rng(4);
+  MultiHeadAttention mha(8, 2, rng);
+  mha.set_capture_weights(true);
+  Tensor q = Tensor::Randn(Shape{1, 3, 8}, rng);
+  Tensor kv = Tensor::Randn(Shape{1, 5, 8}, rng);
+  mha.Forward(q, kv);
+  const auto& w = mha.last_attention();
+  ASSERT_EQ(w.size(), 15u);
+  EXPECT_EQ(mha.last_tq(), 3);
+  EXPECT_EQ(mha.last_tk(), 5);
+  for (int i = 0; i < 3; ++i) {
+    float row = 0.0f;
+    for (int j = 0; j < 5; ++j) row += w[i * 5 + j];
+    EXPECT_NEAR(row, 1.0f, 1e-5f);
+  }
+}
+
+TEST(AttentionTest, GradientsFlowToAllProjections) {
+  Rng rng(5);
+  MultiHeadAttention mha(8, 2, rng);
+  Tensor x = Tensor::Randn(Shape{1, 3, 8}, rng);
+  Tensor out = mha.Forward(x, x);
+  SumAll(Mul(out, out)).Backward();
+  for (const Tensor& p : mha.Parameters()) {
+    ASSERT_NE(p.grad(), nullptr);
+    double mag = 0.0;
+    for (int64_t i = 0; i < p.NumElements(); ++i) {
+      mag += std::fabs(p.grad()[i]);
+    }
+    EXPECT_GT(mag, 0.0);
+  }
+}
+
+TEST(AttentionTest, NumericalGradientThroughAttention) {
+  Rng rng(6);
+  MultiHeadAttention mha(4, 2, rng);
+  Tensor x = Tensor::Randn(Shape{1, 2, 4}, rng, 0.5f);
+  x.set_requires_grad(true);
+  auto f = [&] {
+    Tensor out = mha.Forward(x, x);
+    return SumAll(Mul(out, out));
+  };
+  EXPECT_LT(GradCheck(f, x), 3e-2);
+}
+
+}  // namespace
+}  // namespace cyqr

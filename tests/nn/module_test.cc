@@ -1,0 +1,58 @@
+#include "nn/module.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/layers.h"
+#include "tensor/ops.h"
+
+namespace cyqr {
+namespace {
+
+TEST(ModuleTest, ParametersCollectChildren) {
+  Rng rng(1);
+  FeedForward ff(4, 8, rng);
+  // fc1: W+b, fc2: W+b.
+  EXPECT_EQ(ff.Parameters().size(), 4u);
+  EXPECT_EQ(ff.NumParameters(), 4 * 8 + 8 + 8 * 4 + 4);
+}
+
+TEST(ModuleTest, ParametersRequireGrad) {
+  Rng rng(2);
+  Linear lin(3, 5, rng);
+  for (const Tensor& p : lin.Parameters()) {
+    EXPECT_TRUE(p.requires_grad());
+  }
+}
+
+TEST(ModuleTest, SetTrainingPropagates) {
+  Rng rng(3);
+  FeedForward ff(4, 8, rng);
+  EXPECT_TRUE(ff.training());
+  ff.SetTraining(false);
+  EXPECT_FALSE(ff.training());
+}
+
+TEST(ModuleTest, ClipGradNormScalesDown) {
+  Tensor p = Tensor::FromData(Shape{2}, {0.0f, 0.0f});
+  p.set_requires_grad(true);
+  float* g = p.mutable_grad();
+  g[0] = 3.0f;
+  g[1] = 4.0f;  // Norm 5.
+  const double pre = ClipGradNorm({p}, 1.0);
+  EXPECT_NEAR(pre, 5.0, 1e-6);
+  EXPECT_NEAR(p.grad()[0], 0.6f, 1e-5f);
+  EXPECT_NEAR(p.grad()[1], 0.8f, 1e-5f);
+}
+
+TEST(ModuleTest, ClipGradNormNoopBelowThreshold) {
+  Tensor p = Tensor::FromData(Shape{1}, {0.0f});
+  p.set_requires_grad(true);
+  p.mutable_grad()[0] = 0.5f;
+  ClipGradNorm({p}, 10.0);
+  EXPECT_FLOAT_EQ(p.grad()[0], 0.5f);
+}
+
+}  // namespace
+}  // namespace cyqr

@@ -1,0 +1,75 @@
+#include "nn/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/schedule.h"
+#include "tensor/ops.h"
+
+namespace cyqr {
+namespace {
+
+TEST(AdamTest, MinimizesQuadratic) {
+  Tensor x = Tensor::FromData(Shape{2}, {5.0f, -3.0f});
+  x.set_requires_grad(true);
+  Adam::Options opt;
+  opt.learning_rate = 0.1f;
+  Adam adam({x}, opt);
+  for (int i = 0; i < 300; ++i) {
+    adam.ZeroGrad();
+    Tensor loss = SumAll(Mul(x, x));
+    loss.Backward();
+    adam.Step();
+  }
+  EXPECT_NEAR(x.data()[0], 0.0f, 1e-2f);
+  EXPECT_NEAR(x.data()[1], 0.0f, 1e-2f);
+}
+
+TEST(AdamTest, SkipsParametersWithoutGradients) {
+  Tensor a = Tensor::FromData(Shape{1}, {1.0f});
+  a.set_requires_grad(true);
+  Tensor b = Tensor::FromData(Shape{1}, {2.0f});
+  b.set_requires_grad(true);
+  Adam adam({a, b}, {});
+  // Only a receives a gradient.
+  SumAll(Mul(a, a)).Backward();
+  adam.Step();
+  EXPECT_NE(a.data()[0], 1.0f);
+  EXPECT_FLOAT_EQ(b.data()[0], 2.0f);
+}
+
+TEST(AdamTest, FirstStepSizeIsLearningRate) {
+  // Adam's bias correction makes the first update ~= lr * sign(grad).
+  Tensor x = Tensor::FromData(Shape{1}, {10.0f});
+  x.set_requires_grad(true);
+  Adam::Options opt;
+  opt.learning_rate = 0.5f;
+  Adam adam({x}, opt);
+  SumAll(x).Backward();  // grad = 1.
+  adam.Step();
+  EXPECT_NEAR(x.data()[0], 9.5f, 1e-3f);
+}
+
+TEST(NoamScheduleTest, WarmupRampsUpThenDecays) {
+  NoamSchedule sched(64, 100, 1.0f);
+  EXPECT_LT(sched.LearningRate(1), sched.LearningRate(50));
+  EXPECT_LT(sched.LearningRate(50), sched.LearningRate(100));
+  EXPECT_GT(sched.LearningRate(100), sched.LearningRate(400));
+}
+
+TEST(NoamScheduleTest, PeakAtWarmup) {
+  NoamSchedule sched(64, 200, 1.0f);
+  const float peak = sched.LearningRate(200);
+  EXPECT_GE(peak, sched.LearningRate(199));
+  EXPECT_GE(peak, sched.LearningRate(201));
+}
+
+TEST(NoamScheduleTest, FactorScalesLinearly) {
+  NoamSchedule a(64, 100, 1.0f);
+  NoamSchedule b(64, 100, 2.0f);
+  EXPECT_NEAR(b.LearningRate(37), 2.0f * a.LearningRate(37), 1e-7f);
+}
+
+}  // namespace
+}  // namespace cyqr

@@ -1,0 +1,73 @@
+#include "nn/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "nn/layers.h"
+
+namespace cyqr {
+namespace {
+
+TEST(SerializeTest, RoundTripPreservesValues) {
+  Rng rng(1);
+  Linear src(4, 6, rng);
+  std::stringstream buf;
+  ASSERT_TRUE(SaveParameters(src.Parameters(), buf).ok());
+
+  Rng rng2(2);
+  Linear dst(4, 6, rng2);
+  ASSERT_TRUE(LoadParameters(dst.Parameters(), buf).ok());
+
+  auto a = src.Parameters();
+  auto b = dst.Parameters();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (int64_t j = 0; j < a[i].NumElements(); ++j) {
+      EXPECT_FLOAT_EQ(a[i].data()[j], b[i].data()[j]);
+    }
+  }
+}
+
+TEST(SerializeTest, CountMismatchFails) {
+  Rng rng(3);
+  Linear src(4, 6, rng);
+  std::stringstream buf;
+  ASSERT_TRUE(SaveParameters(src.Parameters(), buf).ok());
+  Linear dst(4, 6, rng, /*bias=*/false);  // One fewer parameter.
+  Status s = LoadParameters(dst.Parameters(), buf);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SerializeTest, ShapeMismatchFails) {
+  Rng rng(4);
+  Linear src(4, 6, rng);
+  std::stringstream buf;
+  ASSERT_TRUE(SaveParameters(src.Parameters(), buf).ok());
+  Linear dst(6, 4, rng);
+  Status s = LoadParameters(dst.Parameters(), buf);
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(SerializeTest, BadMagicFails) {
+  std::stringstream buf;
+  buf << "garbage data here";
+  Rng rng(5);
+  Linear dst(2, 2, rng);
+  Status s = LoadParameters(dst.Parameters(), buf);
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+  Rng rng(6);
+  Embedding src(8, 4, rng);
+  const std::string path = testing::TempDir() + "/cyqr_params.bin";
+  ASSERT_TRUE(SaveParametersToFile(src.Parameters(), path).ok());
+  Rng rng2(7);
+  Embedding dst(8, 4, rng2);
+  ASSERT_TRUE(LoadParametersFromFile(dst.Parameters(), path).ok());
+  EXPECT_FLOAT_EQ(src.table().data()[5], dst.table().data()[5]);
+}
+
+}  // namespace
+}  // namespace cyqr

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "rewrite/trainer.h"
+#include "serving/rewrite_service.h"
+
+namespace cyqr {
+namespace {
+
+TEST(KvStoreTest, PutGetRoundTrip) {
+  RewriteKvStore store;
+  store.Put("cheap phone", {{"budget", "smartphone"}});
+  const auto* hit = store.Get("cheap phone");
+  ASSERT_NE(hit, nullptr);
+  ASSERT_EQ(hit->size(), 1u);
+  EXPECT_EQ((*hit)[0], (std::vector<std::string>{"budget", "smartphone"}));
+  EXPECT_EQ(store.Get("missing"), nullptr);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(KvStoreTest, OverwriteReplaces) {
+  RewriteKvStore store;
+  store.Put("q", {{"a"}});
+  store.Put("q", {{"b"}, {"c"}});
+  ASSERT_EQ(store.Get("q")->size(), 2u);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(KvStoreTest, SaveLoadRoundTrip) {
+  RewriteKvStore store;
+  store.Put("cheap phone", {{"budget", "smartphone"}, {"senior", "phone"}});
+  store.Put("coin", {});
+  const std::string path = testing::TempDir() + "/kv_store.tsv";
+  ASSERT_TRUE(store.Save(path).ok());
+  RewriteKvStore loaded;
+  ASSERT_TRUE(loaded.Load(path).ok());
+  EXPECT_EQ(loaded.size(), 2u);
+  const auto* hit = loaded.Get("cheap phone");
+  ASSERT_NE(hit, nullptr);
+  ASSERT_EQ(hit->size(), 2u);
+  EXPECT_EQ((*hit)[1], (std::vector<std::string>{"senior", "phone"}));
+  ASSERT_NE(loaded.Get("coin"), nullptr);
+  EXPECT_TRUE(loaded.Get("coin")->empty());
+}
+
+TEST(KvStoreTest, LoadMissingFileFails) {
+  RewriteKvStore store;
+  EXPECT_FALSE(store.Load("/nonexistent/path.tsv").ok());
+}
+
+TEST(LatencyRecorderTest, Percentiles) {
+  LatencyRecorder recorder;
+  for (int i = 1; i <= 100; ++i) recorder.Record(static_cast<double>(i));
+  EXPECT_EQ(recorder.count(), 100);
+  EXPECT_NEAR(recorder.MeanMillis(), 50.5, 1e-9);
+  EXPECT_NEAR(recorder.PercentileMillis(0.5), 50.0, 1.5);
+  EXPECT_NEAR(recorder.PercentileMillis(0.99), 99.0, 1.5);
+  EXPECT_DOUBLE_EQ(recorder.MaxMillis(), 100.0);
+}
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const std::vector<std::vector<std::string>> corpus = {
+        {"cheap", "phone"}, {"budget", "phone"}, {"senior", "phone"}};
+    vocab_ = Vocabulary::Build(corpus);
+    Seq2SeqConfig config;
+    config.vocab_size = vocab_.size();
+    config.d_model = 16;
+    config.num_heads = 2;
+    config.ff_hidden = 32;
+    config.num_layers = 1;
+    Rng rng(4);
+    fallback_ = std::make_unique<DirectRewriter>(DirectArch::kHybrid,
+                                                 config, &vocab_, rng);
+    std::vector<SeqPair> pairs = {
+        {vocab_.Encode({"cheap", "phone"}),
+         vocab_.Encode({"budget", "phone"})},
+    };
+    SupervisedTrainOptions options;
+    options.max_steps = 120;
+    options.batch_size = 1;
+    TrainSupervised(fallback_->model(), pairs, options);
+    fallback_->model().SetTraining(false);
+    store_.Put("senior phone", {{"elderly", "phone"}});
+  }
+
+  Vocabulary vocab_;
+  RewriteKvStore store_;
+  std::unique_ptr<DirectRewriter> fallback_;
+};
+
+TEST_F(ServiceTest, CacheHitServesFromStore) {
+  RewriteService service(&store_, fallback_.get(), {});
+  const auto response = service.Serve({"senior", "phone"});
+  EXPECT_EQ(response.source, RewriteService::Source::kCache);
+  ASSERT_EQ(response.rewrites.size(), 1u);
+  EXPECT_EQ(response.rewrites[0],
+            (std::vector<std::string>{"elderly", "phone"}));
+  EXPECT_EQ(service.cache_hits(), 1);
+  EXPECT_EQ(service.model_calls(), 0);
+}
+
+TEST_F(ServiceTest, CacheMissFallsBackToModel) {
+  RewriteService service(&store_, fallback_.get(), {});
+  const auto response = service.Serve({"cheap", "phone"});
+  EXPECT_EQ(response.source, RewriteService::Source::kDirectModel);
+  EXPECT_EQ(service.model_calls(), 1);
+  ASSERT_FALSE(response.rewrites.empty());
+  EXPECT_EQ(response.rewrites[0],
+            (std::vector<std::string>{"budget", "phone"}));
+}
+
+TEST_F(ServiceTest, CacheIsFasterThanModel) {
+  RewriteService service(&store_, fallback_.get(), {});
+  for (int i = 0; i < 20; ++i) {
+    service.Serve({"senior", "phone"});
+    service.Serve({"cheap", "phone"});
+  }
+  EXPECT_LT(service.cache_latency().MeanMillis(),
+            service.model_latency().MeanMillis());
+}
+
+TEST_F(ServiceTest, MaxRewritesCapApplies) {
+  store_.Put("many", {{"a"}, {"b"}, {"c"}, {"d"}, {"e"}});
+  RewriteService::Options options;
+  options.max_rewrites = 2;
+  RewriteService service(&store_, nullptr, options);
+  EXPECT_EQ(service.Serve({"many"}).rewrites.size(), 2u);
+}
+
+TEST_F(ServiceTest, NullFallbackGivesEmptyRewrites) {
+  RewriteService service(&store_, nullptr, {});
+  const auto response = service.Serve({"unknown", "query"});
+  EXPECT_TRUE(response.rewrites.empty());
+  EXPECT_EQ(response.source, RewriteService::Source::kDirectModel);
+}
+
+}  // namespace
+}  // namespace cyqr

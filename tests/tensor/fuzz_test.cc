@@ -1,0 +1,86 @@
+// Randomized autograd verification: builds random op graphs over a fixed
+// set of leaf tensors and checks analytic gradients against central
+// differences. Complements the per-op gradchecks by exercising op
+// COMPOSITIONS (shared subexpressions, diamonds, mixed shapes).
+
+#include <gtest/gtest.h>
+
+#include "tensor/autograd.h"
+#include "tensor/ops.h"
+
+namespace cyqr {
+namespace {
+
+/// Builds a random scalar program from `leaves` using `rng`-chosen ops.
+/// All leaves share the shape [2, 3] so every binary op is applicable.
+Tensor RandomProgram(const std::vector<Tensor>& leaves, Rng& rng) {
+  std::vector<Tensor> pool = leaves;
+  const int ops = 6;
+  for (int i = 0; i < ops; ++i) {
+    const Tensor& a = pool[rng.NextBelow(pool.size())];
+    const Tensor& b = pool[rng.NextBelow(pool.size())];
+    Tensor out;
+    switch (rng.NextBelow(8)) {
+      case 0:
+        out = Add(a, b);
+        break;
+      case 1:
+        out = Sub(a, b);
+        break;
+      case 2:
+        out = Mul(a, b);
+        break;
+      case 3:
+        out = TanhOp(a);
+        break;
+      case 4:
+        out = SigmoidOp(a);
+        break;
+      case 5:
+        out = Scale(a, 0.7f);
+        break;
+      case 6:
+        out = Softmax(a);
+        break;
+      case 7:
+        out = MatMul(a, b, false, true);  // [2,3] x [2,3]^T = [2,2].
+        out = MatMul(out, a);             // [2,2] x [2,3] = [2,3].
+        break;
+    }
+    pool.push_back(out);
+  }
+  // Every leaf participates (a leaf skipped by the random draws would have
+  // no gradient at all): add a small term touching all of them.
+  Tensor all_leaves = leaves[0];
+  for (size_t i = 1; i < leaves.size(); ++i) {
+    all_leaves = Add(all_leaves, leaves[i]);
+  }
+  return Add(MeanAll(Mul(pool.back(), pool.back())),
+             Scale(MeanAll(Mul(all_leaves, all_leaves)), 0.1f));
+}
+
+class AutogradFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AutogradFuzzTest, RandomGraphGradientsMatchNumeric) {
+  const uint64_t seed = 9000 + GetParam();
+  Rng init_rng(seed);
+  std::vector<Tensor> leaves;
+  for (int i = 0; i < 3; ++i) {
+    Tensor t = Tensor::Randn(Shape{2, 3}, init_rng, 0.5f);
+    t.set_requires_grad(true);
+    leaves.push_back(t);
+  }
+  for (const Tensor& leaf : leaves) {
+    // The graph must be rebuilt identically on every evaluation.
+    auto f = [&leaves, seed] {
+      Rng graph_rng(seed * 31 + 7);
+      return RandomProgram(leaves, graph_rng);
+    };
+    EXPECT_LT(GradCheck(f, leaf), 3e-2) << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AutogradFuzzTest, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace cyqr

@@ -1,0 +1,353 @@
+// Numerical gradient verification for every differentiable op. Each test
+// builds a small scalar program around the op and compares autograd against
+// central differences. These checks are the foundation the NMT models rest
+// on: if they pass, training gradients are trustworthy.
+
+#include <gtest/gtest.h>
+
+#include "tensor/autograd.h"
+#include "tensor/ops.h"
+
+namespace cyqr {
+namespace {
+
+constexpr double kTol = 2e-2;  // float32 central differences are noisy.
+
+Tensor MakeInput(const Shape& shape, uint64_t seed, float scale = 1.0f) {
+  Rng rng(seed);
+  Tensor t = Tensor::Randn(shape, rng, scale);
+  t.set_requires_grad(true);
+  return t;
+}
+
+TEST(GradCheckTest, Add) {
+  Tensor a = MakeInput(Shape{2, 3}, 1);
+  Tensor b = MakeInput(Shape{2, 3}, 2);
+  EXPECT_LT(GradCheck([&] { return SumAll(Mul(Add(a, b), Add(a, b))); }, a),
+            kTol);
+  EXPECT_LT(GradCheck([&] { return SumAll(Mul(Add(a, b), Add(a, b))); }, b),
+            kTol);
+}
+
+TEST(GradCheckTest, AddBiasBroadcast) {
+  Tensor a = MakeInput(Shape{2, 2, 3}, 3);
+  Tensor bias = MakeInput(Shape{3}, 4);
+  EXPECT_LT(
+      GradCheck([&] { return SumAll(Mul(Add(a, bias), Add(a, bias))); }, bias),
+      kTol);
+  EXPECT_LT(
+      GradCheck([&] { return SumAll(Mul(Add(a, bias), Add(a, bias))); }, a),
+      kTol);
+}
+
+TEST(GradCheckTest, SubAndMul) {
+  Tensor a = MakeInput(Shape{4}, 5);
+  Tensor b = MakeInput(Shape{4}, 6);
+  EXPECT_LT(GradCheck([&] { return SumAll(Mul(Sub(a, b), Sub(a, b))); }, a),
+            kTol);
+  EXPECT_LT(GradCheck([&] { return SumAll(Mul(Sub(a, b), Sub(a, b))); }, b),
+            kTol);
+}
+
+TEST(GradCheckTest, ScaleAddScalar) {
+  Tensor a = MakeInput(Shape{5}, 7);
+  EXPECT_LT(
+      GradCheck([&] { return SumAll(Mul(AddScalar(Scale(a, 1.7f), 0.3f),
+                                        AddScalar(Scale(a, 1.7f), 0.3f))); },
+                a),
+      kTol);
+}
+
+TEST(GradCheckTest, MatMul2D) {
+  Tensor a = MakeInput(Shape{2, 3}, 8);
+  Tensor b = MakeInput(Shape{3, 4}, 9);
+  EXPECT_LT(GradCheck([&] { return SumAll(Mul(MatMul(a, b), MatMul(a, b))); },
+                      a),
+            kTol);
+  EXPECT_LT(GradCheck([&] { return SumAll(Mul(MatMul(a, b), MatMul(a, b))); },
+                      b),
+            kTol);
+}
+
+TEST(GradCheckTest, MatMulTransA) {
+  Tensor a = MakeInput(Shape{3, 2}, 10);  // op(A) is 2x3.
+  Tensor b = MakeInput(Shape{3, 4}, 11);
+  auto f = [&] {
+    Tensor c = MatMul(a, b, /*trans_a=*/true);
+    return SumAll(Mul(c, c));
+  };
+  EXPECT_LT(GradCheck(f, a), kTol);
+  EXPECT_LT(GradCheck(f, b), kTol);
+}
+
+TEST(GradCheckTest, MatMulTransB) {
+  Tensor a = MakeInput(Shape{2, 3}, 12);
+  Tensor b = MakeInput(Shape{4, 3}, 13);  // op(B) is 3x4.
+  auto f = [&] {
+    Tensor c = MatMul(a, b, false, /*trans_b=*/true);
+    return SumAll(Mul(c, c));
+  };
+  EXPECT_LT(GradCheck(f, a), kTol);
+  EXPECT_LT(GradCheck(f, b), kTol);
+}
+
+TEST(GradCheckTest, MatMulBothTrans) {
+  Tensor a = MakeInput(Shape{3, 2}, 14);
+  Tensor b = MakeInput(Shape{4, 3}, 15);
+  auto f = [&] {
+    Tensor c = MatMul(a, b, true, true);
+    return SumAll(Mul(c, c));
+  };
+  EXPECT_LT(GradCheck(f, a), kTol);
+  EXPECT_LT(GradCheck(f, b), kTol);
+}
+
+TEST(GradCheckTest, MatMulBatchedSharedRhs) {
+  Tensor a = MakeInput(Shape{2, 3, 4}, 16);
+  Tensor b = MakeInput(Shape{4, 5}, 17);
+  auto f = [&] {
+    Tensor c = MatMul(a, b);
+    return SumAll(Mul(c, c));
+  };
+  EXPECT_LT(GradCheck(f, a), kTol);
+  EXPECT_LT(GradCheck(f, b), kTol);
+}
+
+TEST(GradCheckTest, MatMulBatchedBatched) {
+  Tensor a = MakeInput(Shape{2, 3, 4}, 18);
+  Tensor b = MakeInput(Shape{2, 4, 5}, 19);
+  auto f = [&] {
+    Tensor c = MatMul(a, b);
+    return SumAll(Mul(c, c));
+  };
+  EXPECT_LT(GradCheck(f, a), kTol);
+  EXPECT_LT(GradCheck(f, b), kTol);
+}
+
+TEST(GradCheckTest, MatMulBatchedTransB) {
+  // The attention-score pattern: Q [B,Tq,dh] x K^T [B,dh,Tk].
+  Tensor q = MakeInput(Shape{2, 3, 4}, 20);
+  Tensor k = MakeInput(Shape{2, 5, 4}, 21);
+  auto f = [&] {
+    Tensor c = MatMul(q, k, false, true);
+    return SumAll(Mul(c, c));
+  };
+  EXPECT_LT(GradCheck(f, q), kTol);
+  EXPECT_LT(GradCheck(f, k), kTol);
+}
+
+TEST(GradCheckTest, TransposeLast2) {
+  Tensor a = MakeInput(Shape{2, 3, 4}, 22);
+  auto f = [&] {
+    Tensor t = TransposeLast2(a);
+    return SumAll(Mul(t, t));
+  };
+  EXPECT_LT(GradCheck(f, a), kTol);
+}
+
+TEST(GradCheckTest, Activations) {
+  Tensor a = MakeInput(Shape{6}, 23);
+  EXPECT_LT(GradCheck([&] { return SumAll(Mul(TanhOp(a), TanhOp(a))); }, a),
+            kTol);
+  EXPECT_LT(
+      GradCheck([&] { return SumAll(Mul(SigmoidOp(a), SigmoidOp(a))); }, a),
+      kTol);
+  // ReLU is checked away from the kink.
+  Tensor b = Tensor::FromData(Shape{4}, {1.0f, -2.0f, 0.5f, -0.3f});
+  b.set_requires_grad(true);
+  EXPECT_LT(GradCheck([&] { return SumAll(Mul(Relu(b), Relu(b))); }, b),
+            kTol);
+}
+
+TEST(GradCheckTest, SoftmaxAndLogSoftmax) {
+  Tensor a = MakeInput(Shape{2, 5}, 24);
+  Tensor w = Tensor::FromData(Shape{2, 5}, {0.1f, 0.9f, -0.2f, 0.4f, 0.3f,
+                                            -0.5f, 0.2f, 0.6f, -0.1f, 0.8f});
+  EXPECT_LT(GradCheck([&] { return SumAll(Mul(Softmax(a), w)); }, a), kTol);
+  EXPECT_LT(GradCheck([&] { return SumAll(Mul(LogSoftmaxOp(a), w)); }, a),
+            kTol);
+}
+
+TEST(GradCheckTest, LayerNorm) {
+  Tensor x = MakeInput(Shape{3, 4}, 25);
+  Tensor gamma = MakeInput(Shape{4}, 26, 0.5f);
+  Tensor beta = MakeInput(Shape{4}, 27, 0.5f);
+  auto f = [&] {
+    Tensor y = LayerNormOp(x, gamma, beta);
+    return SumAll(Mul(y, y));
+  };
+  EXPECT_LT(GradCheck(f, x, 3e-3f), 5e-2);
+  EXPECT_LT(GradCheck(f, gamma), kTol);
+  EXPECT_LT(GradCheck(f, beta), kTol);
+}
+
+TEST(GradCheckTest, Dropout) {
+  Tensor x = MakeInput(Shape{8}, 28);
+  // Fresh same-seeded Rng per evaluation keeps the mask fixed, making the
+  // op deterministic for the finite-difference probe.
+  auto f = [&] {
+    Rng rng(99);
+    Tensor y = DropoutOp(x, 0.5f, rng, /*training=*/true);
+    return SumAll(Mul(y, y));
+  };
+  EXPECT_LT(GradCheck(f, x), kTol);
+}
+
+TEST(GradCheckTest, ReshapeSplitMergeHeads) {
+  Tensor x = MakeInput(Shape{2, 3, 8}, 29);
+  EXPECT_LT(GradCheck(
+                [&] {
+                  Tensor y = Reshape(x, Shape{6, 8});
+                  return SumAll(Mul(y, y));
+                },
+                x),
+            kTol);
+  EXPECT_LT(GradCheck(
+                [&] {
+                  Tensor y = SplitHeads(x, 2);
+                  return SumAll(Mul(y, y));
+                },
+                x),
+            kTol);
+  EXPECT_LT(GradCheck(
+                [&] {
+                  Tensor y = MergeHeads(SplitHeads(x, 4), 4);
+                  return SumAll(Mul(y, y));
+                },
+                x),
+            kTol);
+}
+
+TEST(GradCheckTest, ConcatAndSlice) {
+  Tensor a = MakeInput(Shape{2, 3}, 30);
+  Tensor b = MakeInput(Shape{2, 2}, 31);
+  auto f = [&] {
+    Tensor c = ConcatLastDim(a, b);
+    return SumAll(Mul(c, c));
+  };
+  EXPECT_LT(GradCheck(f, a), kTol);
+  EXPECT_LT(GradCheck(f, b), kTol);
+  EXPECT_LT(GradCheck(
+                [&] {
+                  Tensor s = SliceLastDim(a, 1, 3);
+                  return SumAll(Mul(s, s));
+                },
+                a),
+            kTol);
+}
+
+TEST(GradCheckTest, EmbeddingGather) {
+  Tensor table = MakeInput(Shape{5, 3}, 32);
+  std::vector<int32_t> ids = {0, 2, 2, 4};
+  auto f = [&] {
+    Tensor e = EmbeddingGather(table, ids, 2, 2);
+    return SumAll(Mul(e, e));
+  };
+  EXPECT_LT(GradCheck(f, table), kTol);
+}
+
+TEST(GradCheckTest, AddMask) {
+  Tensor s = MakeInput(Shape{2, 2}, 33);
+  std::vector<float> mask = {0.0f, -5.0f, 0.0f, -5.0f};
+  auto f = [&] {
+    Tensor y = Softmax(AddMask(s, mask));
+    Tensor w = Tensor::FromData(Shape{2, 2}, {1.0f, 2.0f, -1.0f, 0.5f});
+    return SumAll(Mul(y, w));
+  };
+  EXPECT_LT(GradCheck(f, s), kTol);
+}
+
+TEST(GradCheckTest, MaskedCrossEntropy) {
+  Tensor logits = MakeInput(Shape{2, 3, 4}, 34);
+  std::vector<int32_t> targets = {0, 1, 2, 3, 0, 1};
+  std::vector<float> mask = {1, 1, 0, 1, 1, 1};
+  auto f = [&] { return MaskedCrossEntropy(logits, targets, mask); };
+  EXPECT_LT(GradCheck(f, logits), kTol);
+}
+
+TEST(GradCheckTest, MaskedCrossEntropyLabelSmoothing) {
+  Tensor logits = MakeInput(Shape{2, 2, 5}, 46);
+  std::vector<int32_t> targets = {0, 1, 2, 3};
+  std::vector<float> mask = {1, 1, 1, 0};
+  auto f = [&] {
+    return MaskedCrossEntropy(logits, targets, mask,
+                              /*label_smoothing=*/0.2f);
+  };
+  EXPECT_LT(GradCheck(f, logits), kTol);
+}
+
+TEST(GradCheckTest, SequenceLogProb) {
+  Tensor logits = MakeInput(Shape{2, 3, 4}, 35);
+  std::vector<int32_t> targets = {0, 1, 2, 3, 0, 1};
+  std::vector<float> mask = {1, 1, 0, 1, 1, 1};
+  auto f = [&] {
+    Tensor lp = SequenceLogProb(logits, targets, mask);
+    return SumAll(Mul(lp, lp));
+  };
+  EXPECT_LT(GradCheck(f, logits), kTol);
+}
+
+TEST(GradCheckTest, GroupLogSumExp) {
+  Tensor x = MakeInput(Shape{6}, 36);
+  auto f = [&] {
+    Tensor g = GroupLogSumExp(x, 3);
+    return SumAll(Mul(g, g));
+  };
+  EXPECT_LT(GradCheck(f, x), kTol);
+}
+
+TEST(GradCheckTest, AddRowBroadcast) {
+  Tensor a = MakeInput(Shape{2, 3, 4}, 40);
+  Tensor b = MakeInput(Shape{2, 4}, 41);
+  auto f = [&] {
+    Tensor y = AddRowBroadcast(a, b);
+    return SumAll(Mul(y, y));
+  };
+  EXPECT_LT(GradCheck(f, a), kTol);
+  EXPECT_LT(GradCheck(f, b), kTol);
+}
+
+TEST(GradCheckTest, StackRows) {
+  Tensor a = MakeInput(Shape{2, 3}, 42);
+  Tensor b = MakeInput(Shape{2, 3}, 43);
+  Tensor c = MakeInput(Shape{2, 3}, 44);
+  auto f = [&] {
+    Tensor y = StackRows({a, b, c});
+    return SumAll(Mul(y, y));
+  };
+  EXPECT_LT(GradCheck(f, a), kTol);
+  EXPECT_LT(GradCheck(f, b), kTol);
+  EXPECT_LT(GradCheck(f, c), kTol);
+}
+
+TEST(GradCheckTest, StackRowsSharedInput) {
+  // The same tensor stacked twice must receive both gradient contributions.
+  Tensor a = MakeInput(Shape{1, 2}, 45);
+  auto f = [&] {
+    Tensor y = StackRows({a, a});
+    return SumAll(Mul(y, y));
+  };
+  EXPECT_LT(GradCheck(f, a), kTol);
+}
+
+TEST(GradCheckTest, CycleLossShape) {
+  // The exact composition used by the cyclic-consistency loss:
+  // logsumexp over per-title (logPf + logPb) then mean over queries.
+  Tensor fwd_logits = MakeInput(Shape{4, 3, 5}, 37);
+  Tensor bwd_logits = MakeInput(Shape{4, 2, 5}, 38);
+  std::vector<int32_t> fwd_targets = {0, 1, 2, 3, 4, 0, 1, 2, 3, 4, 0, 1};
+  std::vector<float> fwd_mask = {1, 1, 1, 1, 1, 0, 1, 1, 1, 1, 1, 1};
+  std::vector<int32_t> bwd_targets = {1, 2, 3, 4, 0, 1, 2, 3};
+  std::vector<float> bwd_mask = {1, 1, 1, 1, 1, 1, 1, 0};
+  auto f = [&] {
+    Tensor lpf = SequenceLogProb(fwd_logits, fwd_targets, fwd_mask);
+    Tensor lpb = SequenceLogProb(bwd_logits, bwd_targets, bwd_mask);
+    Tensor lc = GroupLogSumExp(Add(lpf, lpb), 2);  // 2 titles per query.
+    return Scale(MeanAll(lc), -1.0f);
+  };
+  EXPECT_LT(GradCheck(f, fwd_logits), kTol);
+  EXPECT_LT(GradCheck(f, bwd_logits), kTol);
+}
+
+}  // namespace
+}  // namespace cyqr

@@ -1,0 +1,123 @@
+// Edge-case battery for tensor ops: degenerate shapes, single elements,
+// and identity configurations that production code paths can hit.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace cyqr {
+namespace {
+
+TEST(OpsEdgeTest, SoftmaxSingleElementIsOne) {
+  Tensor x = Tensor::FromData(Shape{1, 1}, {3.7f});
+  EXPECT_FLOAT_EQ(Softmax(x).data()[0], 1.0f);
+  EXPECT_NEAR(LogSoftmaxOp(x).data()[0], 0.0f, 1e-6f);
+}
+
+TEST(OpsEdgeTest, GroupLogSumExpGroupOfOneIsIdentity) {
+  Tensor x = Tensor::FromData(Shape{3}, {0.5f, -1.0f, 2.0f});
+  Tensor y = GroupLogSumExp(x, 1);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NEAR(y.data()[i], x.data()[i], 1e-6f);
+  }
+}
+
+TEST(OpsEdgeTest, MatMulWithIdentityPreservesInput) {
+  Rng rng(1);
+  Tensor a = Tensor::Randn(Shape{3, 3}, rng);
+  Tensor eye = Tensor::Zeros(Shape{3, 3});
+  for (int i = 0; i < 3; ++i) eye.data()[i * 3 + i] = 1.0f;
+  Tensor out = MatMul(a, eye);
+  for (int64_t i = 0; i < 9; ++i) {
+    EXPECT_NEAR(out.data()[i], a.data()[i], 1e-6f);
+  }
+}
+
+TEST(OpsEdgeTest, ReshapeScalarToVector) {
+  Tensor s = Tensor::Scalar(2.5f);
+  Tensor v = Reshape(s, Shape{1});
+  EXPECT_EQ(v.shape(), Shape({1}));
+  EXPECT_FLOAT_EQ(v.data()[0], 2.5f);
+}
+
+TEST(OpsEdgeTest, TransposeLast2TwiceIsIdentity) {
+  Rng rng(2);
+  Tensor x = Tensor::Randn(Shape{2, 3, 4}, rng);
+  Tensor y = TransposeLast2(TransposeLast2(x));
+  ASSERT_EQ(y.shape(), x.shape());
+  for (int64_t i = 0; i < x.NumElements(); ++i) {
+    EXPECT_FLOAT_EQ(y.data()[i], x.data()[i]);
+  }
+}
+
+TEST(OpsEdgeTest, SliceWholeRangeIsCopy) {
+  Tensor x = Tensor::FromData(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor y = SliceLastDim(x, 0, 3);
+  ASSERT_EQ(y.shape(), x.shape());
+  for (int64_t i = 0; i < 6; ++i) EXPECT_FLOAT_EQ(y.data()[i], x.data()[i]);
+}
+
+TEST(OpsEdgeTest, MaskedCrossEntropyAllMaskedIsZero) {
+  Tensor logits = Tensor::Zeros(Shape{1, 2, 4});
+  std::vector<int32_t> targets = {0, 1};
+  std::vector<float> mask = {0, 0};
+  Tensor loss = MaskedCrossEntropy(logits, targets, mask);
+  EXPECT_FLOAT_EQ(loss.item(), 0.0f);
+  // Backward on the zero-count loss must be a no-op, not a crash.
+  logits.set_requires_grad(true);
+  Tensor loss2 = MaskedCrossEntropy(logits, targets, mask);
+  loss2.Backward();
+}
+
+TEST(OpsEdgeTest, SequenceLogProbEmptyMaskGivesZero) {
+  Tensor logits = Tensor::Zeros(Shape{1, 2, 4});
+  std::vector<int32_t> targets = {0, 1};
+  std::vector<float> mask = {0, 0};
+  Tensor lp = SequenceLogProb(logits, targets, mask);
+  EXPECT_FLOAT_EQ(lp.data()[0], 0.0f);
+}
+
+TEST(OpsEdgeTest, DropoutProbabilityZeroIsIdentityEvenWhenTraining) {
+  Rng rng(3);
+  Tensor x = Tensor::Randn(Shape{8}, rng);
+  Tensor y = DropoutOp(x, 0.0f, rng, /*training=*/true);
+  for (int64_t i = 0; i < 8; ++i) EXPECT_FLOAT_EQ(y.data()[i], x.data()[i]);
+}
+
+TEST(OpsEdgeTest, ScaleByZeroKillsGradientToo) {
+  Tensor x = Tensor::FromData(Shape{2}, {1.0f, 2.0f});
+  x.set_requires_grad(true);
+  SumAll(Scale(x, 0.0f)).Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 0.0f);
+  EXPECT_FLOAT_EQ(x.grad()[1], 0.0f);
+}
+
+TEST(OpsEdgeTest, AddMaskWithLargeNegativeZeroesSoftmax) {
+  Tensor s = Tensor::Zeros(Shape{1, 3});
+  std::vector<float> mask = {0.0f, -1e9f, 0.0f};
+  Tensor p = Softmax(AddMask(s, mask));
+  EXPECT_NEAR(p.data()[1], 0.0f, 1e-9f);
+  EXPECT_NEAR(p.data()[0], 0.5f, 1e-5f);
+}
+
+TEST(OpsEdgeTest, EmbeddingGatherSingleToken) {
+  Tensor table = Tensor::FromData(Shape{2, 3}, {0, 1, 2, 10, 11, 12});
+  Tensor e = EmbeddingGather(table, {1}, 1, 1);
+  EXPECT_EQ(e.shape(), Shape({1, 1, 3}));
+  EXPECT_FLOAT_EQ(e.data()[2], 12.0f);
+}
+
+TEST(OpsEdgeTest, BackwardTwiceOnSeparateGraphsAccumulates) {
+  // Two separate graphs over the same leaf accumulate into one grad buffer
+  // until ZeroGrad — the optimizer contract.
+  Tensor x = Tensor::FromData(Shape{1}, {2.0f});
+  x.set_requires_grad(true);
+  SumAll(Mul(x, x)).Backward();        // d/dx = 4.
+  SumAll(Scale(x, 3.0f)).Backward();   // d/dx = 3.
+  EXPECT_FLOAT_EQ(x.grad()[0], 7.0f);
+}
+
+}  // namespace
+}  // namespace cyqr

@@ -1,0 +1,250 @@
+#include "tensor/ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cyqr {
+namespace {
+
+TEST(OpsTest, AddSameShape) {
+  Tensor a = Tensor::FromData(Shape{2}, {1.0f, 2.0f});
+  Tensor b = Tensor::FromData(Shape{2}, {10.0f, 20.0f});
+  Tensor c = Add(a, b);
+  EXPECT_FLOAT_EQ(c.data()[0], 11.0f);
+  EXPECT_FLOAT_EQ(c.data()[1], 22.0f);
+}
+
+TEST(OpsTest, AddBiasBroadcast) {
+  Tensor a = Tensor::FromData(Shape{2, 2}, {1, 2, 3, 4});
+  Tensor bias = Tensor::FromData(Shape{2}, {10, 20});
+  Tensor c = Add(a, bias);
+  EXPECT_FLOAT_EQ(c.data()[0], 11.0f);
+  EXPECT_FLOAT_EQ(c.data()[1], 22.0f);
+  EXPECT_FLOAT_EQ(c.data()[2], 13.0f);
+  EXPECT_FLOAT_EQ(c.data()[3], 24.0f);
+}
+
+TEST(OpsTest, MatMul2DKnownResult) {
+  Tensor a = Tensor::FromData(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromData(Shape{3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = MatMul(a, b);
+  ASSERT_EQ(c.shape(), Shape({2, 2}));
+  EXPECT_FLOAT_EQ(c.data()[0], 58.0f);
+  EXPECT_FLOAT_EQ(c.data()[1], 64.0f);
+  EXPECT_FLOAT_EQ(c.data()[2], 139.0f);
+  EXPECT_FLOAT_EQ(c.data()[3], 154.0f);
+}
+
+TEST(OpsTest, MatMulTransBEqualsExplicitTranspose) {
+  Rng rng(3);
+  Tensor a = Tensor::Randn(Shape{3, 4}, rng);
+  Tensor b = Tensor::Randn(Shape{5, 4}, rng);
+  Tensor c1 = MatMul(a, b, false, true);
+  Tensor c2 = MatMul(a, TransposeLast2(b));
+  ASSERT_EQ(c1.shape(), c2.shape());
+  for (int64_t i = 0; i < c1.NumElements(); ++i) {
+    EXPECT_NEAR(c1.data()[i], c2.data()[i], 1e-5f);
+  }
+}
+
+TEST(OpsTest, MatMulBatchedMatchesPerBatch) {
+  Rng rng(4);
+  Tensor a = Tensor::Randn(Shape{2, 3, 4}, rng);
+  Tensor b = Tensor::Randn(Shape{2, 4, 5}, rng);
+  Tensor c = MatMul(a, b);
+  ASSERT_EQ(c.shape(), Shape({2, 3, 5}));
+  for (int batch = 0; batch < 2; ++batch) {
+    Tensor a2 = Tensor::FromData(
+        Shape{3, 4}, std::vector<float>(a.data() + batch * 12,
+                                        a.data() + (batch + 1) * 12));
+    Tensor b2 = Tensor::FromData(
+        Shape{4, 5}, std::vector<float>(b.data() + batch * 20,
+                                        b.data() + (batch + 1) * 20));
+    Tensor c2 = MatMul(a2, b2);
+    for (int64_t i = 0; i < 15; ++i) {
+      EXPECT_NEAR(c.data()[batch * 15 + i], c2.data()[i], 1e-5f);
+    }
+  }
+}
+
+TEST(OpsTest, SoftmaxRowsSumToOne) {
+  Rng rng(5);
+  Tensor a = Tensor::Randn(Shape{3, 7}, rng);
+  Tensor s = Softmax(a);
+  for (int r = 0; r < 3; ++r) {
+    float sum = 0.0f;
+    for (int j = 0; j < 7; ++j) sum += s.data()[r * 7 + j];
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(OpsTest, LogSoftmaxMatchesLogOfSoftmax) {
+  Rng rng(6);
+  Tensor a = Tensor::Randn(Shape{2, 5}, rng);
+  Tensor s = Softmax(a);
+  Tensor ls = LogSoftmaxOp(a);
+  for (int64_t i = 0; i < a.NumElements(); ++i) {
+    EXPECT_NEAR(ls.data()[i], std::log(s.data()[i]), 1e-5f);
+  }
+}
+
+TEST(OpsTest, LayerNormNormalizesRows) {
+  Rng rng(7);
+  Tensor x = Tensor::Randn(Shape{4, 8}, rng, 3.0f);
+  Tensor gamma = Tensor::Full(Shape{8}, 1.0f);
+  Tensor beta = Tensor::Zeros(Shape{8});
+  Tensor y = LayerNormOp(x, gamma, beta);
+  for (int r = 0; r < 4; ++r) {
+    double mu = 0.0;
+    double var = 0.0;
+    for (int j = 0; j < 8; ++j) mu += y.data()[r * 8 + j];
+    mu /= 8;
+    for (int j = 0; j < 8; ++j) {
+      const double c = y.data()[r * 8 + j] - mu;
+      var += c * c;
+    }
+    var /= 8;
+    EXPECT_NEAR(mu, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(OpsTest, DropoutInferenceIsIdentity) {
+  Rng rng(8);
+  Tensor x = Tensor::Randn(Shape{10}, rng);
+  Tensor y = DropoutOp(x, 0.5f, rng, /*training=*/false);
+  for (int64_t i = 0; i < 10; ++i) {
+    EXPECT_FLOAT_EQ(y.data()[i], x.data()[i]);
+  }
+}
+
+TEST(OpsTest, DropoutTrainingZeroesAndRescales) {
+  Rng rng(9);
+  Tensor x = Tensor::Full(Shape{10000}, 1.0f);
+  Tensor y = DropoutOp(x, 0.25f, rng, /*training=*/true);
+  int zeros = 0;
+  double sum = 0.0;
+  for (int64_t i = 0; i < y.NumElements(); ++i) {
+    if (y.data()[i] == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_NEAR(y.data()[i], 1.0f / 0.75f, 1e-5f);
+    }
+    sum += y.data()[i];
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / y.NumElements(), 0.25, 0.02);
+  EXPECT_NEAR(sum / y.NumElements(), 1.0, 0.03);  // Expectation preserved.
+}
+
+TEST(OpsTest, SplitMergeHeadsRoundTrip) {
+  Rng rng(10);
+  Tensor x = Tensor::Randn(Shape{2, 3, 8}, rng);
+  Tensor y = MergeHeads(SplitHeads(x, 4), 4);
+  ASSERT_EQ(y.shape(), x.shape());
+  for (int64_t i = 0; i < x.NumElements(); ++i) {
+    EXPECT_FLOAT_EQ(y.data()[i], x.data()[i]);
+  }
+}
+
+TEST(OpsTest, SplitHeadsLayout) {
+  // x[b=0, t, d] with d = h*2 + j; head h must receive columns 2h..2h+1.
+  std::vector<float> data(1 * 2 * 4);
+  for (int t = 0; t < 2; ++t) {
+    for (int d = 0; d < 4; ++d) data[t * 4 + d] = t * 10.0f + d;
+  }
+  Tensor x = Tensor::FromData(Shape{1, 2, 4}, data);
+  Tensor y = SplitHeads(x, 2);  // [2, 2, 2]
+  ASSERT_EQ(y.shape(), Shape({2, 2, 2}));
+  // Head 0, t=1 -> values 10, 11.
+  EXPECT_FLOAT_EQ(y.data()[(0 * 2 + 1) * 2 + 0], 10.0f);
+  EXPECT_FLOAT_EQ(y.data()[(0 * 2 + 1) * 2 + 1], 11.0f);
+  // Head 1, t=0 -> values 2, 3.
+  EXPECT_FLOAT_EQ(y.data()[(1 * 2 + 0) * 2 + 0], 2.0f);
+  EXPECT_FLOAT_EQ(y.data()[(1 * 2 + 0) * 2 + 1], 3.0f);
+}
+
+TEST(OpsTest, ConcatSliceRoundTrip) {
+  Tensor a = Tensor::FromData(Shape{2, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::FromData(Shape{2, 3}, {5, 6, 7, 8, 9, 10});
+  Tensor c = ConcatLastDim(a, b);
+  ASSERT_EQ(c.shape(), Shape({2, 5}));
+  Tensor a2 = SliceLastDim(c, 0, 2);
+  Tensor b2 = SliceLastDim(c, 2, 5);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(a2.data()[i], a.data()[i]);
+  for (int64_t i = 0; i < 6; ++i) EXPECT_FLOAT_EQ(b2.data()[i], b.data()[i]);
+}
+
+TEST(OpsTest, EmbeddingGatherPicksRows) {
+  Tensor table = Tensor::FromData(Shape{3, 2}, {0, 1, 10, 11, 20, 21});
+  std::vector<int32_t> ids = {2, 0, 1, 1};
+  Tensor e = EmbeddingGather(table, ids, 2, 2);
+  ASSERT_EQ(e.shape(), Shape({2, 2, 2}));
+  EXPECT_FLOAT_EQ(e.data()[0], 20.0f);
+  EXPECT_FLOAT_EQ(e.data()[2], 0.0f);
+  EXPECT_FLOAT_EQ(e.data()[4], 10.0f);
+  EXPECT_FLOAT_EQ(e.data()[6], 10.0f);
+}
+
+TEST(OpsTest, MaskedCrossEntropyIgnoresMaskedPositions) {
+  // Uniform logits -> NLL = log(V) at every unmasked position.
+  Tensor logits = Tensor::Zeros(Shape{1, 3, 4});
+  std::vector<int32_t> targets = {0, 1, 2};
+  std::vector<float> mask_all = {1, 1, 1};
+  std::vector<float> mask_partial = {1, 0, 1};
+  EXPECT_NEAR(MaskedCrossEntropy(logits, targets, mask_all).item(),
+              std::log(4.0f), 1e-5f);
+  EXPECT_NEAR(MaskedCrossEntropy(logits, targets, mask_partial).item(),
+              std::log(4.0f), 1e-5f);
+}
+
+TEST(OpsTest, LabelSmoothingUniformLogitsInvariant) {
+  // For uniform logits, every distribution gives NLL = log V regardless of
+  // smoothing.
+  Tensor logits = Tensor::Zeros(Shape{1, 2, 5});
+  std::vector<int32_t> targets = {0, 3};
+  std::vector<float> mask = {1, 1};
+  EXPECT_NEAR(MaskedCrossEntropy(logits, targets, mask, 0.0f).item(),
+              std::log(5.0f), 1e-5f);
+  EXPECT_NEAR(MaskedCrossEntropy(logits, targets, mask, 0.3f).item(),
+              std::log(5.0f), 1e-5f);
+}
+
+TEST(OpsTest, LabelSmoothingPenalizesOverconfidence) {
+  // A model putting all mass on the target: zero plain NLL, positive
+  // smoothed NLL.
+  Tensor logits = Tensor::Zeros(Shape{1, 1, 4});
+  logits.data()[2] = 30.0f;
+  std::vector<int32_t> targets = {2};
+  std::vector<float> mask = {1};
+  EXPECT_NEAR(MaskedCrossEntropy(logits, targets, mask, 0.0f).item(), 0.0f,
+              1e-4f);
+  EXPECT_GT(MaskedCrossEntropy(logits, targets, mask, 0.1f).item(), 0.5f);
+}
+
+TEST(OpsTest, SequenceLogProbSumsChosenTokens) {
+  Tensor logits = Tensor::Zeros(Shape{2, 2, 4});
+  std::vector<int32_t> targets = {0, 1, 2, 3};
+  std::vector<float> mask = {1, 1, 1, 0};
+  Tensor lp = SequenceLogProb(logits, targets, mask);
+  ASSERT_EQ(lp.shape(), Shape({2}));
+  EXPECT_NEAR(lp.data()[0], -2.0f * std::log(4.0f), 1e-5f);
+  EXPECT_NEAR(lp.data()[1], -1.0f * std::log(4.0f), 1e-5f);
+}
+
+TEST(OpsTest, GroupLogSumExpValues) {
+  Tensor x = Tensor::FromData(Shape{4}, {0.0f, 0.0f, 1.0f, 3.0f});
+  Tensor g = GroupLogSumExp(x, 2);
+  ASSERT_EQ(g.shape(), Shape({2}));
+  EXPECT_NEAR(g.data()[0], std::log(2.0f), 1e-5f);
+  EXPECT_NEAR(g.data()[1], std::log(std::exp(1.0f) + std::exp(3.0f)), 1e-5f);
+}
+
+TEST(OpsTest, SumAllMeanAll) {
+  Tensor x = Tensor::FromData(Shape{2, 2}, {1, 2, 3, 4});
+  EXPECT_FLOAT_EQ(SumAll(x).item(), 10.0f);
+  EXPECT_FLOAT_EQ(MeanAll(x).item(), 2.5f);
+}
+
+}  // namespace
+}  // namespace cyqr

@@ -1,0 +1,44 @@
+#include "tensor/shape.h"
+
+#include <gtest/gtest.h>
+
+namespace cyqr {
+namespace {
+
+TEST(ShapeTest, ScalarShape) {
+  Shape s;
+  EXPECT_EQ(s.rank(), 0);
+  EXPECT_EQ(s.NumElements(), 1);
+  EXPECT_EQ(s.back(), 1);
+  EXPECT_EQ(s.ToString(), "[]");
+}
+
+TEST(ShapeTest, RankAndDims) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s.rank(), 3);
+  EXPECT_EQ(s.dim(0), 2);
+  EXPECT_EQ(s.dim(1), 3);
+  EXPECT_EQ(s.dim(2), 4);
+  EXPECT_EQ(s.back(), 4);
+  EXPECT_EQ(s.NumElements(), 24);
+  EXPECT_EQ(s.ToString(), "[2, 3, 4]");
+}
+
+TEST(ShapeTest, Equality) {
+  EXPECT_EQ(Shape({2, 3}), Shape({2, 3}));
+  EXPECT_NE(Shape({2, 3}), Shape({3, 2}));
+  EXPECT_NE(Shape({2, 3}), Shape({2, 3, 1}));
+}
+
+TEST(ShapeTest, FromVector) {
+  Shape s(std::vector<int64_t>{5, 7});
+  EXPECT_EQ(s.NumElements(), 35);
+}
+
+TEST(ShapeTest, ZeroDimGivesZeroElements) {
+  Shape s{0, 4};
+  EXPECT_EQ(s.NumElements(), 0);
+}
+
+}  // namespace
+}  // namespace cyqr

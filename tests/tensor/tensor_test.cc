@@ -1,0 +1,107 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+
+namespace cyqr {
+namespace {
+
+TEST(TensorTest, ZerosAndFull) {
+  Tensor z = Tensor::Zeros(Shape{2, 3});
+  EXPECT_EQ(z.NumElements(), 6);
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(z.data()[i], 0.0f);
+  Tensor f = Tensor::Full(Shape{2}, 1.5f);
+  EXPECT_EQ(f.data()[0], 1.5f);
+  EXPECT_EQ(f.data()[1], 1.5f);
+}
+
+TEST(TensorTest, FromDataAndItem) {
+  Tensor t = Tensor::FromData(Shape{2}, {1.0f, 2.0f});
+  EXPECT_EQ(t.data()[1], 2.0f);
+  Tensor s = Tensor::Scalar(3.5f);
+  EXPECT_FLOAT_EQ(s.item(), 3.5f);
+}
+
+TEST(TensorTest, HandlesShareStorage) {
+  Tensor a = Tensor::Zeros(Shape{2});
+  Tensor b = a;
+  b.data()[0] = 9.0f;
+  EXPECT_EQ(a.data()[0], 9.0f);
+}
+
+TEST(TensorTest, RandnUsesStddev) {
+  Rng rng(5);
+  Tensor t = Tensor::Randn(Shape{10000}, rng, 0.1f);
+  double sq = 0.0;
+  for (int64_t i = 0; i < t.NumElements(); ++i) {
+    sq += static_cast<double>(t.data()[i]) * t.data()[i];
+  }
+  EXPECT_NEAR(sq / t.NumElements(), 0.01, 0.001);
+}
+
+TEST(TensorTest, BackwardThroughSimpleChain) {
+  Tensor x = Tensor::FromData(Shape{3}, {1.0f, 2.0f, 3.0f});
+  x.set_requires_grad(true);
+  // loss = sum(2 * x) -> d loss / dx = 2.
+  Tensor loss = SumAll(Scale(x, 2.0f));
+  loss.Backward();
+  ASSERT_NE(x.grad(), nullptr);
+  for (int i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(x.grad()[i], 2.0f);
+}
+
+TEST(TensorTest, GradAccumulatesAcrossBackwards) {
+  Tensor x = Tensor::FromData(Shape{1}, {1.0f});
+  x.set_requires_grad(true);
+  SumAll(Scale(x, 3.0f)).Backward();
+  SumAll(Scale(x, 3.0f)).Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 6.0f);
+  x.ZeroGrad();
+  EXPECT_FLOAT_EQ(x.grad()[0], 0.0f);
+}
+
+TEST(TensorTest, DiamondGraphGradientsAddUp) {
+  // loss = sum(x*x + x) -> dx = 2x + 1.
+  Tensor x = Tensor::FromData(Shape{2}, {1.0f, -2.0f});
+  x.set_requires_grad(true);
+  Tensor loss = SumAll(Add(Mul(x, x), x));
+  loss.Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 3.0f);
+  EXPECT_FLOAT_EQ(x.grad()[1], -3.0f);
+}
+
+TEST(TensorTest, NoGradGuardSuppressesTape) {
+  Tensor x = Tensor::FromData(Shape{2}, {1.0f, 2.0f});
+  x.set_requires_grad(true);
+  {
+    NoGradGuard guard;
+    EXPECT_FALSE(NoGradGuard::GradEnabled());
+    Tensor y = Scale(x, 2.0f);
+    EXPECT_FALSE(y.requires_grad());
+  }
+  EXPECT_TRUE(NoGradGuard::GradEnabled());
+  Tensor y = Scale(x, 2.0f);
+  EXPECT_TRUE(y.requires_grad());
+}
+
+TEST(TensorTest, NoGradGuardNests) {
+  NoGradGuard outer;
+  {
+    NoGradGuard inner;
+    EXPECT_FALSE(NoGradGuard::GradEnabled());
+  }
+  EXPECT_FALSE(NoGradGuard::GradEnabled());
+}
+
+TEST(TensorTest, ConstantInputsGetNoGradient) {
+  Tensor x = Tensor::FromData(Shape{2}, {1.0f, 2.0f});
+  x.set_requires_grad(true);
+  Tensor c = Tensor::FromData(Shape{2}, {5.0f, 5.0f});  // Constant.
+  Tensor loss = SumAll(Mul(x, c));
+  loss.Backward();
+  EXPECT_NE(x.grad(), nullptr);
+  EXPECT_EQ(c.grad(), nullptr);
+}
+
+}  // namespace
+}  // namespace cyqr

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "text/ngram.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace cyqr {
+namespace {
+
+TEST(TokenizerTest, LowercasesAndStripsPunctuation) {
+  Tokenizer tok;
+  auto out = tok.Tokenize("Red Mens Sandals! (Size-42)");
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(out[0], "red");
+  EXPECT_EQ(out[3], "size");
+  EXPECT_EQ(out[4], "42");
+}
+
+TEST(TokenizerTest, EmptyAndWhitespaceOnly) {
+  Tokenizer tok;
+  EXPECT_TRUE(tok.Tokenize("").empty());
+  EXPECT_TRUE(tok.Tokenize("  \t . , !").empty());
+}
+
+TEST(TokenizerTest, DetokenizeJoins) {
+  Tokenizer tok;
+  EXPECT_EQ(tok.Detokenize({"senior", "phone"}), "senior phone");
+}
+
+TEST(VocabularyTest, SpecialsAreReserved) {
+  Vocabulary vocab;
+  EXPECT_EQ(vocab.size(), 4);
+  EXPECT_EQ(vocab.Token(kPadId), "<pad>");
+  EXPECT_EQ(vocab.Token(kBosId), "<bos>");
+  EXPECT_EQ(vocab.Token(kEosId), "<eos>");
+  EXPECT_EQ(vocab.Token(kUnkId), "<unk>");
+}
+
+TEST(VocabularyTest, BuildOrdersByFrequency) {
+  Vocabulary vocab = Vocabulary::Build({{"b", "a", "b"}, {"b", "a", "c"}});
+  // b (3) before a (2) before c (1).
+  EXPECT_EQ(vocab.Id("b"), kNumSpecialTokens);
+  EXPECT_EQ(vocab.Id("a"), kNumSpecialTokens + 1);
+  EXPECT_EQ(vocab.Id("c"), kNumSpecialTokens + 2);
+}
+
+TEST(VocabularyTest, MinCountFiltersRareTokens) {
+  Vocabulary vocab = Vocabulary::Build({{"common", "common", "rare"}}, 2);
+  EXPECT_NE(vocab.Id("common"), kUnkId);
+  EXPECT_EQ(vocab.Id("rare"), kUnkId);
+}
+
+TEST(VocabularyTest, MaxSizeCaps) {
+  Vocabulary vocab =
+      Vocabulary::Build({{"a", "a", "b", "b", "c"}}, 1, /*max_size=*/6);
+  EXPECT_EQ(vocab.size(), 6);  // 4 specials + 2 most frequent.
+  EXPECT_NE(vocab.Id("a"), kUnkId);
+  EXPECT_EQ(vocab.Id("c"), kUnkId);
+}
+
+TEST(VocabularyTest, EncodeDecodeRoundTrip) {
+  Vocabulary vocab = Vocabulary::Build({{"senior", "phone"}});
+  auto ids = vocab.Encode({"senior", "phone", "nonexistent"});
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(ids[2], kUnkId);
+  auto tokens = vocab.Decode(ids);
+  ASSERT_EQ(tokens.size(), 2u);  // <unk> dropped.
+  EXPECT_EQ(tokens[0], "senior");
+  EXPECT_EQ(vocab.DecodeToString(ids), "senior phone");
+}
+
+TEST(VocabularyTest, SaveLoadRoundTrip) {
+  Vocabulary vocab = Vocabulary::Build({{"senior", "phone", "senior"}});
+  const std::string path = testing::TempDir() + "/vocab.txt";
+  ASSERT_TRUE(vocab.Save(path).ok());
+  Result<Vocabulary> loaded = Vocabulary::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().size(), vocab.size());
+  EXPECT_EQ(loaded.value().Id("senior"), vocab.Id("senior"));
+  EXPECT_EQ(loaded.value().Id("phone"), vocab.Id("phone"));
+  EXPECT_EQ(loaded.value().Token(kEosId), "<eos>");
+}
+
+TEST(VocabularyTest, LoadMissingFileFails) {
+  EXPECT_FALSE(Vocabulary::Load("/nonexistent/vocab.txt").ok());
+}
+
+TEST(NGramTest, UniAndBigramSet) {
+  auto set = UniAndBigramSet({"a", "b", "c"});
+  // 3 unigrams + 2 bigrams.
+  EXPECT_EQ(set.size(), 5u);
+  EXPECT_TRUE(set.count("a"));
+  EXPECT_TRUE(set.count(std::string("a") + '\x01' + "b"));
+}
+
+TEST(NGramTest, NGramsOrders) {
+  EXPECT_EQ(NGrams({"a", "b", "c"}, 1).size(), 3u);
+  EXPECT_EQ(NGrams({"a", "b", "c"}, 2).size(), 2u);
+  EXPECT_EQ(NGrams({"a", "b", "c"}, 3).size(), 1u);
+  EXPECT_TRUE(NGrams({"a", "b", "c"}, 4).empty());
+  EXPECT_TRUE(NGrams({"a"}, 0).empty());
+}
+
+TEST(NGramTest, DistinctNGramsAcrossSequences) {
+  // "a b" and "a c": unigrams {a,b,c}, bigrams {ab, ac} -> 5 distinct.
+  EXPECT_EQ(DistinctNGrams({{"a", "b"}, {"a", "c"}}, 2), 5u);
+  // Identical sequences add nothing.
+  EXPECT_EQ(DistinctNGrams({{"a", "b"}, {"a", "b"}}, 2), 3u);
+}
+
+}  // namespace
+}  // namespace cyqr

@@ -1,0 +1,262 @@
+// cyqr — command-line interface for the cycle-consistent query rewriter.
+//
+//   cyqr generate-data --out DIR [--queries N] [--sessions N] [--seed S]
+//       Writes a synthetic click log (pairs.tsv) plus the distinct queries.
+//
+//   cyqr train --data pairs.tsv --out MODEL_DIR
+//              [--steps N] [--warmup N] [--layers N] [--separate]
+//       Builds a vocabulary, trains the cycle model (Algorithm 1), and
+//       stores config + vocabulary + parameters in MODEL_DIR.
+//
+//   cyqr rewrite --model MODEL_DIR --query "phone for grandpa" [--k 3]
+//       Runs the Figure 3 inference pipeline on one query.
+//
+//   cyqr eval --model MODEL_DIR --data pairs.tsv [--limit N]
+//       Teacher-forced perplexity/accuracy plus translate-back metrics.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "core/flags.h"
+#include "core/stopwatch.h"
+#include "core/string_util.h"
+#include "datagen/io.h"
+#include "rewrite/inference.h"
+#include "rewrite/trainer.h"
+#include "nn/serialize.h"
+#include "text/tokenizer.h"
+
+namespace cyqr {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: cyqr <generate-data|train|rewrite|eval> [--flags]\n"
+               "run with a subcommand and no flags for its options\n");
+  return 2;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int GenerateData(const FlagParser& flags) {
+  const std::string out_dir = flags.GetString("out");
+  if (out_dir.empty()) {
+    std::fprintf(stderr,
+                 "generate-data flags: --out DIR [--queries N] "
+                 "[--sessions N] [--seed S]\n");
+    return 2;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+
+  Catalog catalog = Catalog::Generate({});
+  ClickLogConfig config;
+  config.num_distinct_queries = flags.GetInt("queries", 800);
+  config.num_sessions = flags.GetInt("sessions", 40000);
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 11));
+  ClickLog log = ClickLog::Generate(catalog, config);
+
+  const std::vector<TokenPair> pairs = log.TokenPairs(catalog);
+  Status s = SaveTokenPairs(pairs, out_dir + "/pairs.tsv");
+  if (!s.ok()) return Fail(s);
+
+  std::ofstream queries(out_dir + "/queries.tsv");
+  for (const QuerySpec& q : log.queries()) {
+    queries << JoinStrings(q.tokens) << '\t'
+            << (q.is_colloquial ? "colloquial" : "canonical") << '\n';
+  }
+  const DatasetStats stats = log.Stats(catalog);
+  std::printf("wrote %lld pairs (%lld distinct queries, vocab %lld) to %s\n",
+              static_cast<long long>(stats.num_pairs),
+              static_cast<long long>(stats.num_distinct_queries),
+              static_cast<long long>(stats.vocab_size), out_dir.c_str());
+  return 0;
+}
+
+Result<Vocabulary> BuildVocabFromPairs(const std::vector<TokenPair>& pairs) {
+  std::vector<std::vector<std::string>> corpus;
+  for (const TokenPair& p : pairs) {
+    corpus.push_back(p.query);
+    corpus.push_back(p.title);
+  }
+  return Vocabulary::Build(corpus);
+}
+
+int Train(const FlagParser& flags) {
+  const std::string data_path = flags.GetString("data");
+  const std::string out_dir = flags.GetString("out");
+  if (data_path.empty() || out_dir.empty()) {
+    std::fprintf(stderr,
+                 "train flags: --data pairs.tsv --out MODEL_DIR "
+                 "[--steps N] [--warmup N] [--layers N] [--batch N] "
+                 "[--lambda F] [--separate] [--seed S]\n");
+    return 2;
+  }
+  Result<std::vector<TokenPair>> pairs = LoadTokenPairs(data_path);
+  if (!pairs.ok()) return Fail(pairs.status());
+  Result<Vocabulary> vocab = BuildVocabFromPairs(pairs.value());
+  if (!vocab.ok()) return Fail(vocab.status());
+  std::printf("data: %zu pairs, vocabulary %lld tokens\n",
+              pairs.value().size(),
+              static_cast<long long>(vocab.value().size()));
+
+  CycleConfig config = PaperScaledConfig(vocab.value().size());
+  config.forward.num_layers = flags.GetInt("layers", 2);
+  config.lambda = static_cast<float>(flags.GetDouble("lambda", 0.1));
+  Rng rng(static_cast<uint64_t>(flags.GetInt("seed", 1234)));
+  CycleModel model(config, rng);
+
+  CycleTrainerOptions options;
+  options.max_steps = flags.GetInt("steps", 560);
+  options.warmup_steps = flags.GetInt("warmup", 420);
+  options.batch_size = flags.GetInt("batch", 8);
+  options.joint = !flags.GetBool("separate", false);
+  options.eval_every = 0;
+  const std::vector<SeqPair> train = EncodePairs(pairs.value(),
+                                                 vocab.value());
+  std::printf("training %s model: %lld steps (warmup %lld)...\n",
+              options.joint ? "joint" : "separate",
+              static_cast<long long>(options.max_steps),
+              static_cast<long long>(options.warmup_steps));
+  Stopwatch watch;
+  CycleTrainer trainer(&model, train, options);
+  trainer.Train({});
+  std::printf("trained in %.1fs\n", watch.ElapsedSeconds());
+
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  Status s = SaveCycleConfig(config, out_dir + "/config.txt");
+  if (!s.ok()) return Fail(s);
+  s = vocab.value().Save(out_dir + "/vocab.txt");
+  if (!s.ok()) return Fail(s);
+  s = SaveParametersToFile(model.Parameters(), out_dir + "/model.params");
+  if (!s.ok()) return Fail(s);
+  std::printf("model saved to %s\n", out_dir.c_str());
+  return 0;
+}
+
+struct LoadedModel {
+  CycleConfig config;
+  Vocabulary vocab;
+  std::unique_ptr<CycleModel> model;
+};
+
+Result<LoadedModel> LoadModel(const std::string& model_dir) {
+  Result<CycleConfig> config = LoadCycleConfig(model_dir + "/config.txt");
+  if (!config.ok()) return config.status();
+  Result<Vocabulary> vocab = Vocabulary::Load(model_dir + "/vocab.txt");
+  if (!vocab.ok()) return vocab.status();
+  LoadedModel loaded;
+  loaded.config = config.value();
+  loaded.vocab = std::move(vocab).value();
+  Rng rng(0);
+  loaded.model = std::make_unique<CycleModel>(loaded.config, rng);
+  Status s = LoadParametersFromFile(loaded.model->Parameters(),
+                                    model_dir + "/model.params");
+  if (!s.ok()) return s;
+  loaded.model->SetTraining(false);
+  return loaded;
+}
+
+int Rewrite(const FlagParser& flags) {
+  const std::string model_dir = flags.GetString("model");
+  const std::string query = flags.GetString("query");
+  if (model_dir.empty() || query.empty()) {
+    std::fprintf(stderr,
+                 "rewrite flags: --model MODEL_DIR --query \"...\" "
+                 "[--k 3] [--titles]\n");
+    return 2;
+  }
+  Result<LoadedModel> loaded = LoadModel(model_dir);
+  if (!loaded.ok()) return Fail(loaded.status());
+
+  Tokenizer tokenizer;
+  CycleRewriter rewriter(loaded.value().model.get(),
+                         &loaded.value().vocab);
+  RewriteOptions options;
+  options.k = flags.GetInt("k", 3);
+  Stopwatch watch;
+  const CycleRewriter::Result result =
+      rewriter.Rewrite(tokenizer.Tokenize(query), options);
+  const double millis = watch.ElapsedMillis();
+
+  if (flags.GetBool("titles", false)) {
+    for (const DecodedSequence& t : result.synthetic_titles) {
+      std::printf("title (%7.2f): %s\n", t.log_prob,
+                  loaded.value().vocab.DecodeToString(t.ids).c_str());
+    }
+  }
+  for (const RewriteCandidate& c : result.rewrites) {
+    std::printf("rewrite (%7.2f): %s\n", c.log_prob,
+                JoinStrings(c.tokens).c_str());
+  }
+  std::printf("(%.0f ms)\n", millis);
+  return 0;
+}
+
+int Eval(const FlagParser& flags) {
+  const std::string model_dir = flags.GetString("model");
+  const std::string data_path = flags.GetString("data");
+  if (model_dir.empty() || data_path.empty()) {
+    std::fprintf(stderr,
+                 "eval flags: --model MODEL_DIR --data pairs.tsv "
+                 "[--limit N]\n");
+    return 2;
+  }
+  Result<LoadedModel> loaded = LoadModel(model_dir);
+  if (!loaded.ok()) return Fail(loaded.status());
+  Result<std::vector<TokenPair>> pairs = LoadTokenPairs(data_path);
+  if (!pairs.ok()) return Fail(pairs.status());
+
+  std::vector<SeqPair> encoded =
+      EncodePairs(pairs.value(), loaded.value().vocab);
+  const int64_t limit = flags.GetInt("limit", 200);
+  if (static_cast<int64_t>(encoded.size()) > limit) encoded.resize(limit);
+
+  CycleTrainerOptions options;
+  options.eval_queries = 32;
+  CycleTrainer evaluator(loaded.value().model.get(), encoded, options);
+  const TrainMetricsPoint point = evaluator.Evaluate(encoded);
+  std::printf("pairs evaluated:            %zu\n", encoded.size());
+  std::printf("query-to-title perplexity:  %.3f\n", point.q2t_perplexity);
+  std::printf("title-to-query perplexity:  %.3f\n", point.t2q_perplexity);
+  std::printf("query-to-title accuracy:    %.3f\n", point.q2t_accuracy);
+  std::printf("title-to-query accuracy:    %.3f\n", point.t2q_accuracy);
+  std::printf("translate-back log P(x|x):  %.3f\n",
+              point.translate_back_log_prob);
+  std::printf("translate-back accuracy:    %.3f\n",
+              point.translate_back_accuracy);
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  FlagParser flags(argc - 1, argv + 1);
+  int code;
+  if (command == "generate-data") {
+    code = GenerateData(flags);
+  } else if (command == "train") {
+    code = Train(flags);
+  } else if (command == "rewrite") {
+    code = Rewrite(flags);
+  } else if (command == "eval") {
+    code = Eval(flags);
+  } else {
+    return Usage();
+  }
+  for (const std::string& unused : flags.UnusedFlags()) {
+    std::fprintf(stderr, "warning: unknown flag --%s ignored\n",
+                 unused.c_str());
+  }
+  return code;
+}
+
+}  // namespace
+}  // namespace cyqr
+
+int main(int argc, char** argv) { return cyqr::Main(argc, argv); }
