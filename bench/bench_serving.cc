@@ -3,6 +3,12 @@
 // query-to-query model (paper: ~30 ms on a 32-core CPU), and the full
 // two-hop cyclic pipeline (paper: >100 ms even on GPU, too slow to serve).
 // Shape to reproduce: cache << direct model << full pipeline.
+//
+// The fault-injection benches measure the degradation ladder under outage:
+// a dead cache falls back to the model, and a dead model is absorbed by the
+// circuit breaker (after the first few timeouts, requests short-circuit to
+// the passthrough rung — the steady-state cost of an outage should be
+// microseconds, not model-decode milliseconds).
 
 #include <benchmark/benchmark.h>
 
@@ -12,6 +18,7 @@
 #include "core/string_util.h"
 #include "datagen/traffic.h"
 #include "rewrite/direct_model.h"
+#include "serving/fault_injection.h"
 #include "serving/rewrite_service.h"
 
 namespace {
@@ -99,6 +106,50 @@ void BM_DirectModelFallback(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DirectModelFallback)->Unit(benchmark::kMillisecond);
+
+// Cache outage (100% injected IoError): every request, including head
+// queries, is absorbed by the direct-model rung.
+void BM_CacheOutageFallsToModel(benchmark::State& state) {
+  ServingFixture& f = GetFixture();
+  KvStoreBackend cache(&f.store);
+  FaultSpec outage;
+  outage.error_probability = 1.0;
+  outage.error_code = StatusCode::kIoError;
+  FaultyKvBackend faulty_cache(&cache, outage, /*seed=*/17);
+  DirectModelBackend model(f.direct.get());
+  RewriteService service(&faulty_cache, &model, nullptr, {});
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto response =
+        service.Serve(f.head_queries[i++ % f.head_queries.size()]);
+    benchmark::DoNotOptimize(&response);
+  }
+}
+BENCHMARK(BM_CacheOutageFallsToModel)->Unit(benchmark::kMillisecond);
+
+// Model outage (100% injected errors) on tail queries: after the breaker
+// opens, requests short-circuit to passthrough — steady-state cost of a
+// wedged model should be near the cache-hit floor, not model latency.
+void BM_ModelOutageSteadyState(benchmark::State& state) {
+  ServingFixture& f = GetFixture();
+  KvStoreBackend cache(&f.store);
+  DirectModelBackend model(f.direct.get());
+  FaultSpec wedged;
+  wedged.error_probability = 1.0;
+  FaultyModelBackend faulty_model(&model, wedged, /*seed=*/18);
+  RewriteService service(&cache, &faulty_model, nullptr, {});
+  // Trip the breaker before timing starts.
+  for (int i = 0; i < 8; ++i) {
+    service.Serve(f.tail_queries[i % f.tail_queries.size()]);
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto response =
+        service.Serve(f.tail_queries[i++ % f.tail_queries.size()]);
+    benchmark::DoNotOptimize(&response);
+  }
+}
+BENCHMARK(BM_ModelOutageSteadyState)->Unit(benchmark::kMicrosecond);
 
 void BM_FullCyclicPipeline(benchmark::State& state) {
   ServingFixture& f = GetFixture();

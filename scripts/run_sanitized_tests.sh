@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Runs the tier-1 test suite under AddressSanitizer + UBSan so memory and
+# UB bugs surfaced by the fault-injection tests (truncated files, corrupt
+# streams, degradation-ladder edge cases) fail loudly.
+#
+# Usage: scripts/run_sanitized_tests.sh [ctest-args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build-asan
+cmake -B "$BUILD_DIR" -S . \
+  -DCYCLEQR_SANITIZE=ON \
+  -DCYCLEQR_BUILD_BENCHMARKS=OFF \
+  -DCYCLEQR_BUILD_EXAMPLES=OFF
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+cd "$BUILD_DIR"
+ASAN_OPTIONS=detect_leaks=0 UBSAN_OPTIONS=print_stacktrace=1 \
+  ctest --output-on-failure -j"$(nproc)" "$@"

@@ -1,0 +1,13 @@
+#include "core/checksum.h"
+
+namespace cyqr {
+
+uint64_t Fnv1a64(const void* data, size_t n) {
+  Fnv1aHasher hasher;
+  hasher.Update(data, n);
+  return hasher.Digest();
+}
+
+uint64_t Fnv1a64(std::string_view s) { return Fnv1a64(s.data(), s.size()); }
+
+}  // namespace cyqr

@@ -1,0 +1,35 @@
+#ifndef CYCLEQR_CORE_CHECKSUM_H_
+#define CYCLEQR_CORE_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace cyqr {
+
+/// Incremental FNV-1a 64-bit hash. Used as the integrity checksum in the
+/// persistence footers (KV-store snapshots, parameter files) so truncated or
+/// bit-flipped files are rejected at load time instead of half-loading.
+class Fnv1aHasher {
+ public:
+  void Update(const void* data, size_t n) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < n; ++i) {
+      state_ ^= bytes[i];
+      state_ *= 0x100000001b3ull;
+    }
+  }
+
+  uint64_t Digest() const { return state_; }
+
+ private:
+  uint64_t state_ = 0xcbf29ce484222325ull;
+};
+
+/// One-shot convenience over a byte range.
+uint64_t Fnv1a64(const void* data, size_t n);
+uint64_t Fnv1a64(std::string_view s);
+
+}  // namespace cyqr
+
+#endif  // CYCLEQR_CORE_CHECKSUM_H_

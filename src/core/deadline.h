@@ -1,0 +1,67 @@
+#ifndef CYCLEQR_CORE_DEADLINE_H_
+#define CYCLEQR_CORE_DEADLINE_H_
+
+#include "core/stopwatch.h"
+
+namespace cyqr {
+
+/// A per-request time budget (the paper's serving budget is 50 ms end to
+/// end). A Deadline starts counting wall-clock time when constructed and is
+/// threaded through the serving pipeline so every stage can ask "is there
+/// budget left for me?" before doing work.
+///
+/// Elapsed time is wall-clock time plus any *charged* virtual time. Charging
+/// lets the fault-injection framework model latency spikes deterministically
+/// (no sleeping in tests): an injected 100 ms spike is charged to the
+/// deadline and the pipeline reacts exactly as it would to a real stall.
+class Deadline {
+ public:
+  /// Default-constructed deadlines never expire.
+  Deadline() = default;
+
+  static Deadline Infinite() { return Deadline(); }
+  static Deadline AfterMillis(double budget_millis) {
+    Deadline d;
+    d.budget_millis_ = budget_millis;
+    return d;
+  }
+
+  bool infinite() const { return budget_millis_ < 0; }
+  double budget_millis() const { return budget_millis_; }
+
+  /// Wall-clock time since construction plus charged virtual time.
+  double ElapsedMillis() const {
+    return watch_.ElapsedMillis() + charged_millis_;
+  }
+
+  /// Remaining budget; never negative. Meaningless (huge) when infinite.
+  double RemainingMillis() const {
+    if (infinite()) return kNoBudgetLimit;
+    const double left = budget_millis_ - ElapsedMillis();
+    return left > 0 ? left : 0;
+  }
+
+  bool Expired() const { return !infinite() && RemainingMillis() <= 0; }
+
+  /// True when at least `millis` of budget remains (always true when
+  /// infinite). Stages use this to decide whether to attempt work.
+  bool HasBudget(double millis) const {
+    return infinite() || RemainingMillis() >= millis;
+  }
+
+  /// Consumes `millis` of virtual time (deterministic latency injection).
+  void Charge(double millis) { charged_millis_ += millis; }
+
+  double charged_millis() const { return charged_millis_; }
+
+ private:
+  static constexpr double kNoBudgetLimit = 1e18;
+
+  double budget_millis_ = -1;  // < 0 means no deadline.
+  double charged_millis_ = 0;
+  Stopwatch watch_;
+};
+
+}  // namespace cyqr
+
+#endif  // CYCLEQR_CORE_DEADLINE_H_

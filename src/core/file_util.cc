@@ -1,0 +1,49 @@
+#include "core/file_util.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace cyqr {
+
+std::string TempPathFor(const std::string& path) { return path + ".tmp"; }
+
+Status WriteStringToFileAtomic(const std::string& path,
+                               const std::string& contents) {
+  const std::string tmp = TempPathFor(path);
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) return Status::IoError("cannot open " + tmp);
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size()));
+    out.flush();
+    if (!out.good()) {
+      out.close();
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      return Status::IoError("failed writing " + tmp);
+    }
+  }
+  return RenameFile(tmp, path);
+}
+
+Status RenameFile(const std::string& from, const std::string& to) {
+  std::error_code ec;
+  std::filesystem::rename(from, to, ec);
+  if (ec) {
+    std::filesystem::remove(from, ec);
+    return Status::IoError("cannot rename " + from + " to " + to);
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::IoError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) return Status::IoError("failed reading " + path);
+  return buf.str();
+}
+
+}  // namespace cyqr

@@ -1,0 +1,28 @@
+#ifndef CYCLEQR_CORE_FILE_UTIL_H_
+#define CYCLEQR_CORE_FILE_UTIL_H_
+
+#include <string>
+
+#include "core/status.h"
+
+namespace cyqr {
+
+/// The temp-file path used by atomic writers: `path` + ".tmp".
+std::string TempPathFor(const std::string& path);
+
+/// Atomically replaces `path` with `contents`: writes `path`.tmp in full,
+/// then renames it over `path`. A crash mid-write leaves the old file
+/// untouched; readers never observe a partially written file.
+Status WriteStringToFileAtomic(const std::string& path,
+                               const std::string& contents);
+
+/// Renames `from` over `to` (the commit step for writers that stream into
+/// the temp file themselves).
+Status RenameFile(const std::string& from, const std::string& to);
+
+/// Reads an entire file (binary) into a string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+}  // namespace cyqr
+
+#endif  // CYCLEQR_CORE_FILE_UTIL_H_

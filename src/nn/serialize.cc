@@ -1,72 +1,190 @@
 #include "nn/serialize.h"
 
 #include <cstdint>
+#include <cstring>
 #include <fstream>
+#include <istream>
 #include <ostream>
+
+#include "core/checksum.h"
+#include "core/file_util.h"
 
 namespace cyqr {
 
 namespace {
-constexpr uint32_t kMagic = 0x43595152;  // "CYQR"
+
+constexpr uint32_t kMagic = 0x43595152;        // "CYQR"
+constexpr uint32_t kFooterMagic = 0x46515943;  // "CYQF"
+// Tensors in this library are rank <= 3; anything bigger in a stream is
+// garbage, and bounding it keeps a corrupt rank from driving the dim loop.
+constexpr uint32_t kMaxRank = 8;
+
+/// Writes raw bytes and feeds them to the payload hasher.
+class HashingWriter {
+ public:
+  explicit HashingWriter(std::ostream& out) : out_(out) {}
+
+  template <typename T>
+  void Write(const T& value) {
+    WriteBytes(&value, sizeof(T));
+  }
+
+  void WriteBytes(const void* data, size_t n) {
+    out_.write(static_cast<const char*>(data),
+               static_cast<std::streamsize>(n));
+    hasher_.Update(data, n);
+    bytes_ += n;
+  }
+
+  uint64_t bytes() const { return bytes_; }
+  uint64_t checksum() const { return hasher_.Digest(); }
+
+ private:
+  std::ostream& out_;
+  Fnv1aHasher hasher_;
+  uint64_t bytes_ = 0;
+};
+
+/// Reads raw bytes, feeding them to the payload hasher, and reports
+/// truncation through a Status instead of trusting the caller to check.
+class HashingReader {
+ public:
+  explicit HashingReader(std::istream& in) : in_(in) {}
+
+  template <typename T>
+  Status Read(T* value, const char* what) {
+    return ReadBytes(value, sizeof(T), what);
+  }
+
+  Status ReadBytes(void* data, size_t n, const char* what) {
+    in_.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
+    if (!in_.good() ||
+        in_.gcount() != static_cast<std::streamsize>(n)) {
+      return Status::IoError(std::string("truncated parameter stream: ") +
+                             what);
+    }
+    hasher_.Update(data, n);
+    bytes_ += n;
+    return Status::OK();
+  }
+
+  uint64_t bytes() const { return bytes_; }
+  uint64_t checksum() const { return hasher_.Digest(); }
+
+ private:
+  std::istream& in_;
+  Fnv1aHasher hasher_;
+  uint64_t bytes_ = 0;
+};
+
 }  // namespace
 
 Status SaveParameters(const std::vector<Tensor>& params, std::ostream& out) {
-  const uint32_t magic = kMagic;
-  out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  HashingWriter writer(out);
+  writer.Write(kMagic);
   const uint64_t count = params.size();
-  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  writer.Write(count);
   for (const Tensor& p : params) {
     const uint32_t rank = static_cast<uint32_t>(p.shape().rank());
-    out.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
+    writer.Write(rank);
     for (int i = 0; i < p.shape().rank(); ++i) {
       const int64_t d = p.shape().dim(i);
-      out.write(reinterpret_cast<const char*>(&d), sizeof(d));
+      writer.Write(d);
     }
-    out.write(reinterpret_cast<const char*>(p.data()),
-              sizeof(float) * p.NumElements());
+    writer.WriteBytes(p.data(), sizeof(float) * p.NumElements());
   }
+  // Footer: not part of the hashed payload.
+  const uint64_t payload_bytes = writer.bytes();
+  const uint64_t checksum = writer.checksum();
+  out.write(reinterpret_cast<const char*>(&kFooterMagic),
+            sizeof(kFooterMagic));
+  out.write(reinterpret_cast<const char*>(&payload_bytes),
+            sizeof(payload_bytes));
+  out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
   if (!out.good()) return Status::IoError("failed writing parameters");
   return Status::OK();
 }
 
 Status LoadParameters(std::vector<Tensor> params, std::istream& in) {
+  HashingReader reader(in);
   uint32_t magic = 0;
-  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-  if (!in.good() || magic != kMagic) {
+  CYQR_RETURN_IF_ERROR(reader.Read(&magic, "magic"));
+  if (magic != kMagic) {
     return Status::IoError("bad magic in parameter stream");
   }
   uint64_t count = 0;
-  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  CYQR_RETURN_IF_ERROR(reader.Read(&count, "parameter count"));
   if (count != params.size()) {
     return Status::InvalidArgument(
         "parameter count mismatch: stream has " + std::to_string(count) +
         ", model has " + std::to_string(params.size()));
   }
-  for (Tensor& p : params) {
+  // Stage every tensor's data into scratch buffers; the destination
+  // tensors are only written after the footer checksum validates, so a
+  // corrupt stream can never half-load a model.
+  std::vector<std::vector<float>> staged(params.size());
+  for (size_t t = 0; t < params.size(); ++t) {
+    Tensor& p = params[t];
     uint32_t rank = 0;
-    in.read(reinterpret_cast<char*>(&rank), sizeof(rank));
+    CYQR_RETURN_IF_ERROR(reader.Read(&rank, "tensor rank"));
+    if (rank > kMaxRank) {
+      return Status::InvalidArgument(
+          "parameter rank out of range: " + std::to_string(rank));
+    }
     if (rank != static_cast<uint32_t>(p.shape().rank())) {
       return Status::InvalidArgument("parameter rank mismatch");
     }
     for (int i = 0; i < p.shape().rank(); ++i) {
       int64_t d = 0;
-      in.read(reinterpret_cast<char*>(&d), sizeof(d));
+      CYQR_RETURN_IF_ERROR(reader.Read(&d, "tensor dim"));
       if (d != p.shape().dim(i)) {
         return Status::InvalidArgument("parameter shape mismatch");
       }
     }
-    in.read(reinterpret_cast<char*>(p.data()),
-            sizeof(float) * p.NumElements());
-    if (!in.good()) return Status::IoError("truncated parameter stream");
+    staged[t].resize(static_cast<size_t>(p.NumElements()));
+    CYQR_RETURN_IF_ERROR(reader.ReadBytes(
+        staged[t].data(), sizeof(float) * p.NumElements(), "tensor data"));
+  }
+  // Footer (read outside the hashing reader: it is not part of the
+  // payload).
+  uint32_t footer_magic = 0;
+  uint64_t payload_bytes = 0;
+  uint64_t checksum = 0;
+  in.read(reinterpret_cast<char*>(&footer_magic), sizeof(footer_magic));
+  in.read(reinterpret_cast<char*>(&payload_bytes), sizeof(payload_bytes));
+  in.read(reinterpret_cast<char*>(&checksum), sizeof(checksum));
+  if (!in.good()) {
+    return Status::IoError("truncated parameter stream: footer");
+  }
+  if (footer_magic != kFooterMagic) {
+    return Status::IoError("bad footer magic in parameter stream");
+  }
+  if (payload_bytes != reader.bytes()) {
+    return Status::IoError("parameter payload length mismatch");
+  }
+  if (checksum != reader.checksum()) {
+    return Status::IoError("parameter checksum mismatch (corrupt stream)");
+  }
+  // Everything validated: commit.
+  for (size_t t = 0; t < params.size(); ++t) {
+    std::memcpy(params[t].data(), staged[t].data(),
+                sizeof(float) * staged[t].size());
   }
   return Status::OK();
 }
 
 Status SaveParametersToFile(const std::vector<Tensor>& params,
                             const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out.is_open()) return Status::IoError("cannot open " + path);
-  return SaveParameters(params, out);
+  const std::string tmp = TempPathFor(path);
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) return Status::IoError("cannot open " + tmp);
+    const Status status = SaveParameters(params, out);
+    if (!status.ok()) return status;
+    out.flush();
+    if (!out.good()) return Status::IoError("failed writing " + tmp);
+  }
+  return RenameFile(tmp, path);
 }
 
 Status LoadParametersFromFile(std::vector<Tensor> params,

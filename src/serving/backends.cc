@@ -1,0 +1,22 @@
+#include "serving/backends.h"
+
+namespace cyqr {
+
+Status KvStoreBackend::Lookup(const std::string& key, Deadline& deadline,
+                              RewriteKvStore::Rewrites* out) {
+  (void)deadline;  // In-process lookups spend real wall-clock time only.
+  const RewriteKvStore::Rewrites* hit = store_->Get(key);
+  if (hit == nullptr) return Status::NotFound("no cached rewrites: " + key);
+  *out = *hit;
+  return Status::OK();
+}
+
+Status DirectModelBackend::Rewrite(
+    const std::vector<std::string>& query_tokens, int64_t k, int64_t max_len,
+    Deadline& deadline, std::vector<RewriteCandidate>* out) {
+  (void)deadline;  // Decode cost shows up on the wall clock.
+  *out = model_->Rewrite(query_tokens, k, max_len);
+  return Status::OK();
+}
+
+}  // namespace cyqr

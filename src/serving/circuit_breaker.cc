@@ -1,0 +1,72 @@
+#include "serving/circuit_breaker.h"
+
+#include "core/check.h"
+
+namespace cyqr {
+
+const char* CircuitBreaker::StateName(State state) {
+  switch (state) {
+    case State::kClosed:
+      return "closed";
+    case State::kOpen:
+      return "open";
+    case State::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+CircuitBreaker::CircuitBreaker() : CircuitBreaker(Options()) {}
+
+CircuitBreaker::CircuitBreaker(const Options& options) : options_(options) {
+  CYQR_CHECK(options.failure_threshold > 0);
+  CYQR_CHECK(options.cooldown_requests > 0);
+}
+
+bool CircuitBreaker::AllowRequest() {
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (++open_requests_seen_ >= options_.cooldown_requests) {
+        // Cooldown served: this request becomes the half-open probe.
+        state_ = State::kHalfOpen;
+        return true;
+      }
+      ++rejected_requests_;
+      return false;
+    case State::kHalfOpen:
+      // A previous probe is still unresolved (its outcome was never
+      // recorded); only one probe flies at a time.
+      ++rejected_requests_;
+      return false;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  consecutive_failures_ = 0;
+  if (state_ == State::kHalfOpen) state_ = State::kClosed;
+}
+
+void CircuitBreaker::RecordFailure() {
+  if (state_ == State::kHalfOpen) {
+    // Failed probe: straight back to open for another full cooldown.
+    Open();
+    return;
+  }
+  ++consecutive_failures_;
+  if (state_ == State::kClosed &&
+      consecutive_failures_ >= options_.failure_threshold) {
+    Open();
+  }
+}
+
+void CircuitBreaker::Open() {
+  state_ = State::kOpen;
+  open_requests_seen_ = 0;
+  consecutive_failures_ = 0;
+  ++times_opened_;
+}
+
+}  // namespace cyqr

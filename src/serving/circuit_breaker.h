@@ -1,0 +1,64 @@
+#ifndef CYCLEQR_SERVING_CIRCUIT_BREAKER_H_
+#define CYCLEQR_SERVING_CIRCUIT_BREAKER_H_
+
+#include <cstdint>
+
+namespace cyqr {
+
+/// Consecutive-failure circuit breaker around the direct-model fallback.
+///
+/// A wedged model must be *skipped*, not re-timed-out on every request —
+/// otherwise every tail query burns its whole deadline discovering the same
+/// outage. States:
+///
+///   kClosed    normal operation; consecutive failures are counted and
+///              `failure_threshold` of them trip the breaker open.
+///   kOpen      the protected call is skipped. Cooldown is measured in
+///              *request counts* (not wall time) so behaviour is
+///              deterministic under test: after `cooldown_requests` skipped
+///              requests the breaker moves to half-open.
+///   kHalfOpen  exactly one probe request is let through. Success closes
+///              the breaker; failure re-opens it and restarts the cooldown.
+class CircuitBreaker {
+ public:
+  struct Options {
+    int64_t failure_threshold = 3;
+    int64_t cooldown_requests = 8;
+  };
+
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  static const char* StateName(State state);
+
+  CircuitBreaker();
+  explicit CircuitBreaker(const Options& options);
+
+  /// Asks permission for one request. Advances the open-state cooldown and
+  /// performs the open -> half-open transition; when it returns true the
+  /// caller must report the outcome via RecordSuccess/RecordFailure.
+  bool AllowRequest();
+
+  void RecordSuccess();
+  void RecordFailure();
+
+  State state() const { return state_; }
+  int64_t consecutive_failures() const { return consecutive_failures_; }
+  /// Times the breaker tripped (closed/half-open -> open).
+  int64_t times_opened() const { return times_opened_; }
+  /// Requests skipped while open.
+  int64_t rejected_requests() const { return rejected_requests_; }
+
+ private:
+  void Open();
+
+  Options options_;
+  State state_ = State::kClosed;
+  int64_t consecutive_failures_ = 0;
+  int64_t open_requests_seen_ = 0;
+  int64_t times_opened_ = 0;
+  int64_t rejected_requests_ = 0;
+};
+
+}  // namespace cyqr
+
+#endif  // CYCLEQR_SERVING_CIRCUIT_BREAKER_H_

@@ -1,0 +1,143 @@
+#ifndef CYCLEQR_SERVING_FAULT_INJECTION_H_
+#define CYCLEQR_SERVING_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/status.h"
+#include "serving/backends.h"
+
+namespace cyqr {
+
+/// What to inject on calls to one backend. Faults compose: a call can take
+/// a latency hit *and* fail. Two triggering mechanisms:
+///
+///  * probabilistic — `error_probability` / `latency_probability` /
+///    `corrupt_probability`, drawn from the plan's seeded `cyqr::Rng`, so a
+///    "5% flaky cache" scenario is reproducible bit-for-bit;
+///  * deterministic window — calls with zero-based index in
+///    [`fail_calls_begin`, `fail_calls_end`) fail unconditionally, which is
+///    how tests script exact outage/recovery timelines (flapping model).
+struct FaultSpec {
+  double error_probability = 0.0;
+  StatusCode error_code = StatusCode::kInternal;
+  std::string error_message = "injected fault";
+
+  /// Latency spikes are charged to the request Deadline as virtual time —
+  /// deterministic and instant, yet the pipeline reacts as to a real stall.
+  double latency_probability = 0.0;
+  double latency_millis = 0.0;
+
+  /// Model backend only: the call "succeeds" but the output is mangled
+  /// (empty tokens, over-length rewrites) to exercise output validation.
+  double corrupt_probability = 0.0;
+
+  /// Deterministic failure window; disabled when begin < 0.
+  int64_t fail_calls_begin = -1;
+  int64_t fail_calls_end = -1;
+};
+
+/// A full scenario: per-backend specs plus the seed for the fault Rng.
+struct FaultPlan {
+  FaultSpec cache;
+  FaultSpec model;
+  uint64_t seed = 42;
+};
+
+/// Applies one FaultSpec to a stream of calls. Mutable spec so tests can
+/// flip faults on and off mid-run (outage begins / clears).
+class FaultInjector {
+ public:
+  FaultInjector(const FaultSpec& spec, uint64_t seed);
+
+  /// Called once per backend call. Charges any injected latency to the
+  /// deadline, then returns the injected error, or OK to let the real call
+  /// proceed. Increments the call counter either way.
+  Status OnCall(Deadline& deadline);
+
+  /// Model backends ask this after a successful call; true means "mangle
+  /// the output". Draws from the same seeded Rng.
+  bool ShouldCorrupt();
+
+  void set_spec(const FaultSpec& spec) { spec_ = spec; }
+  const FaultSpec& spec() const { return spec_; }
+  int64_t calls() const { return calls_; }
+  int64_t injected_errors() const { return injected_errors_; }
+  int64_t injected_latency_spikes() const { return injected_latency_spikes_; }
+
+ private:
+  FaultSpec spec_;
+  Rng rng_;
+  int64_t calls_ = 0;
+  int64_t injected_errors_ = 0;
+  int64_t injected_latency_spikes_ = 0;
+};
+
+/// KvBackend decorator that injects faults in front of a real backend.
+class FaultyKvBackend : public KvBackend {
+ public:
+  /// `base` must outlive this backend.
+  FaultyKvBackend(KvBackend* base, const FaultSpec& spec, uint64_t seed)
+      : base_(base), injector_(spec, seed) {}
+
+  Status Lookup(const std::string& key, Deadline& deadline,
+                RewriteKvStore::Rewrites* out) override;
+
+  FaultInjector& injector() { return injector_; }
+
+ private:
+  KvBackend* base_;
+  FaultInjector injector_;
+};
+
+/// ModelBackend decorator that injects faults (including corrupt output)
+/// in front of a real backend.
+class FaultyModelBackend : public ModelBackend {
+ public:
+  /// `base` must outlive this backend.
+  FaultyModelBackend(ModelBackend* base, const FaultSpec& spec, uint64_t seed)
+      : base_(base), injector_(spec, seed) {}
+
+  Status Rewrite(const std::vector<std::string>& query_tokens, int64_t k,
+                 int64_t max_len, Deadline& deadline,
+                 std::vector<RewriteCandidate>* out) override;
+
+  FaultInjector& injector() { return injector_; }
+
+ private:
+  ModelBackend* base_;
+  FaultInjector injector_;
+};
+
+/// Instantiates both decorators from one FaultPlan, so a test states a
+/// whole scenario in one place:
+///
+///   FaultPlan plan;
+///   plan.cache.error_probability = 1.0;        // cache outage
+///   plan.model.latency_millis = 40.0;          // and the model is slow
+///   plan.model.latency_probability = 1.0;
+///   FaultHarness faults(&real_cache, &real_model, plan);
+///   RewriteService service(&faults.cache, &faults.model, &rules, options);
+///
+/// The two injectors get distinct Rng streams derived from `plan.seed`.
+struct FaultHarness {
+  /// `base_cache` / `base_model` must outlive the harness.
+  FaultHarness(KvBackend* base_cache, ModelBackend* base_model,
+               const FaultPlan& plan)
+      : cache(base_cache, plan.cache, plan.seed),
+        model(base_model, plan.model, plan.seed + 1) {}
+
+  FaultyKvBackend cache;
+  FaultyModelBackend model;
+};
+
+/// Mangles a model result the way a corrupted decode would: an over-length
+/// rewrite full of empty tokens. Exposed so tests can assert the service's
+/// output validation rejects exactly this shape.
+void CorruptRewrites(int64_t max_len, std::vector<RewriteCandidate>* out);
+
+}  // namespace cyqr
+
+#endif  // CYCLEQR_SERVING_FAULT_INJECTION_H_

@@ -1,10 +1,37 @@
 #include "serving/kv_store.h"
 
-#include <fstream>
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
 
+#include "core/checksum.h"
+#include "core/file_util.h"
 #include "core/string_util.h"
 
 namespace cyqr {
+
+namespace {
+
+// Footer line: "#cyqr-kv-footer records=<N> fnv1a=<16 hex digits>".
+// Queries never start with '#' in practice, but detection does not rely on
+// that: the footer must be the *last* line of the file.
+constexpr char kFooterTag[] = "#cyqr-kv-footer";
+
+std::string MakeFooter(uint64_t records, uint64_t checksum) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%s records=%" PRIu64 " fnv1a=%016" PRIx64,
+                kFooterTag, records, checksum);
+  return buf;
+}
+
+bool ParseFooter(const std::string& line, uint64_t* records,
+                 uint64_t* checksum) {
+  return std::sscanf(line.c_str(),
+                     "#cyqr-kv-footer records=%" SCNu64 " fnv1a=%" SCNx64,
+                     records, checksum) == 2;
+}
+
+}  // namespace
 
 void RewriteKvStore::Put(const std::string& query, Rewrites rewrites) {
   store_[query] = std::move(rewrites);
@@ -17,26 +44,58 @@ const RewriteKvStore::Rewrites* RewriteKvStore::Get(
 }
 
 Status RewriteKvStore::Save(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out.is_open()) return Status::IoError("cannot open " + path);
+  std::ostringstream payload;
   for (const auto& [query, rewrites] : store_) {
-    out << query;
+    payload << query;
     for (const auto& r : rewrites) {
-      out << '\t' << JoinStrings(r);
+      payload << '\t' << JoinStrings(r);
     }
-    out << '\n';
+    payload << '\n';
   }
-  if (!out.good()) return Status::IoError("failed writing " + path);
-  return Status::OK();
+  std::string data = payload.str();
+  const uint64_t checksum = Fnv1a64(data);
+  data += MakeFooter(store_.size(), checksum);
+  data += '\n';
+  return WriteStringToFileAtomic(path, data);
 }
 
 Status RewriteKvStore::Load(const std::string& path) {
-  std::ifstream in(path);
-  if (!in.is_open()) return Status::IoError("cannot open " + path);
-  store_.clear();
+  Result<std::string> file = ReadFileToString(path);
+  if (!file.ok()) return file.status();
+  const std::string& content = file.value();
+  if (content.empty()) return Status::IoError("zero-length file: " + path);
+  if (content.back() != '\n') {
+    return Status::IoError("truncated file (no trailing newline): " + path);
+  }
+
+  // The footer is the last line; everything before it is the payload.
+  const std::string body = content.substr(0, content.size() - 1);
+  const size_t last_newline = body.rfind('\n');
+  const size_t footer_begin =
+      last_newline == std::string::npos ? 0 : last_newline + 1;
+  const std::string footer_line = body.substr(footer_begin);
+  uint64_t expected_records = 0;
+  uint64_t expected_checksum = 0;
+  if (!ParseFooter(footer_line, &expected_records, &expected_checksum)) {
+    return Status::IoError("missing integrity footer: " + path);
+  }
+  const std::string payload = content.substr(0, footer_begin);
+  if (Fnv1a64(payload) != expected_checksum) {
+    return Status::IoError("checksum mismatch (corrupt file): " + path);
+  }
+
+  // Parse into a scratch map so a malformed record leaves the live store
+  // untouched (all-or-nothing load).
+  std::unordered_map<std::string, Rewrites> loaded;
+  std::istringstream in(payload);
   std::string line;
+  int64_t line_number = 0;
   while (std::getline(in, line)) {
-    if (line.empty()) continue;
+    ++line_number;
+    if (line.empty()) {
+      return Status::IoError("empty record at line " +
+                             std::to_string(line_number) + ": " + path);
+    }
     // Split on tabs: first field is the query, the rest are rewrites.
     std::vector<std::string> fields;
     size_t start = 0;
@@ -49,13 +108,23 @@ Status RewriteKvStore::Load(const std::string& path) {
       fields.push_back(line.substr(start, tab - start));
       start = tab + 1;
     }
-    if (fields.empty()) continue;
+    if (fields[0].empty()) {
+      return Status::IoError("empty query at line " +
+                             std::to_string(line_number) + ": " + path);
+    }
     Rewrites rewrites;
     for (size_t i = 1; i < fields.size(); ++i) {
       rewrites.push_back(SplitString(fields[i]));
     }
-    store_[fields[0]] = std::move(rewrites);
+    loaded[fields[0]] = std::move(rewrites);
   }
+  if (loaded.size() != expected_records) {
+    return Status::IoError(
+        "record count mismatch: footer says " +
+        std::to_string(expected_records) + ", file has " +
+        std::to_string(loaded.size()) + ": " + path);
+  }
+  store_ = std::move(loaded);
   return Status::OK();
 }
 

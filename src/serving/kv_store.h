@@ -25,8 +25,16 @@ class RewriteKvStore {
 
   size_t size() const { return store_.size(); }
 
-  /// Simple line-based persistence: one record per line,
-  /// "query\trewrite1\trewrite2...".
+  /// Line-based persistence, one record per line
+  /// ("query\trewrite1\trewrite2..."), terminated by an integrity footer
+  /// recording the record count and an FNV-1a checksum of the payload.
+  ///
+  /// Save is atomic: the snapshot is written to `path`.tmp in full and
+  /// renamed over `path`, so a crash mid-save never clobbers the previous
+  /// snapshot. Load is all-or-nothing: a missing/mismatched footer, a
+  /// malformed record, or a record-count mismatch returns IoError (with
+  /// the offending line number where applicable) and leaves the in-memory
+  /// store untouched.
   Status Save(const std::string& path) const;
   Status Load(const std::string& path);
 

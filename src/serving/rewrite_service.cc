@@ -1,48 +1,205 @@
 #include "serving/rewrite_service.h"
 
+#include <utility>
+
 #include "core/check.h"
 #include "core/stopwatch.h"
 #include "core/string_util.h"
 
 namespace cyqr {
 
+const char* RewriteService::SourceName(Source source) {
+  switch (source) {
+    case Source::kCache:
+      return "cache";
+    case Source::kDirectModel:
+      return "direct-model";
+    case Source::kRuleBased:
+      return "rule-based";
+    case Source::kPassthrough:
+      return "passthrough";
+  }
+  return "unknown";
+}
+
+RewriteService::RewriteService(KvBackend* cache, ModelBackend* model,
+                               const RuleBasedRewriter* rule_based,
+                               const Options& options)
+    : cache_(cache),
+      model_(model),
+      rule_based_(rule_based),
+      options_(options),
+      breaker_(options.breaker) {
+  CYQR_CHECK(cache != nullptr);
+}
+
 RewriteService::RewriteService(const RewriteKvStore* store,
                                const DirectRewriter* fallback,
-                               const Options& options)
-    : store_(store), fallback_(fallback), options_(options) {
+                               const Options& options,
+                               const RuleBasedRewriter* rule_based)
+    : owned_cache_(std::make_unique<KvStoreBackend>(store)),
+      owned_model_(fallback == nullptr
+                       ? nullptr
+                       : std::make_unique<DirectModelBackend>(fallback)),
+      cache_(owned_cache_.get()),
+      model_(owned_model_.get()),
+      rule_based_(rule_based),
+      options_(options),
+      breaker_(options.breaker) {
   CYQR_CHECK(store != nullptr);
 }
 
 RewriteService::Response RewriteService::Serve(
     const std::vector<std::string>& query_tokens) {
+  return Serve(query_tokens,
+               options_.default_budget_millis > 0
+                   ? Deadline::AfterMillis(options_.default_budget_millis)
+                   : Deadline::Infinite());
+}
+
+RewriteService::Response RewriteService::Serve(
+    const std::vector<std::string>& query_tokens, Deadline deadline) {
   Response response;
   Stopwatch watch;
-  const std::string key = JoinStrings(query_tokens);
-  const RewriteKvStore::Rewrites* cached = store_->Get(key);
-  if (cached != nullptr) {
-    response.rewrites = *cached;
+  const double charged_at_entry = deadline.charged_millis();
+  // Wall clock plus virtual (fault-injected) time spent inside this call.
+  const auto elapsed = [&] {
+    return watch.ElapsedMillis() +
+           (deadline.charged_millis() - charged_at_entry);
+  };
+  const auto note_failure = [&](const Status& status) {
+    if (response.degraded_status.ok()) response.degraded_status = status;
+  };
+  const auto answer = [&](Source source,
+                          std::vector<std::vector<std::string>> rewrites) {
+    response.source = source;
+    response.rewrites = std::move(rewrites);
     if (static_cast<int64_t>(response.rewrites.size()) >
         options_.max_rewrites) {
       response.rewrites.resize(options_.max_rewrites);
     }
-    response.source = Source::kCache;
-    response.latency_millis = watch.ElapsedMillis();
-    cache_latency_.Record(response.latency_millis);
-    ++cache_hits_;
-    return response;
+    response.attempts.push_back({source, Status::OK(), /*skipped=*/false});
+    response.latency_millis = elapsed();
+  };
+
+  const std::string key = JoinStrings(query_tokens);
+
+  // Rung 1: precomputed KV cache.
+  {
+    RewriteKvStore::Rewrites cached;
+    const Status status = cache_->Lookup(key, deadline, &cached);
+    if (status.ok()) {
+      answer(Source::kCache, std::move(cached));
+      cache_latency_.Record(response.latency_millis);
+      ++cache_hits_;
+      return response;
+    }
+    if (status.code() != StatusCode::kNotFound) note_failure(status);
+    response.attempts.push_back({Source::kCache, status, /*skipped=*/false});
   }
-  if (fallback_ != nullptr) {
-    for (const RewriteCandidate& c :
-         fallback_->Rewrite(query_tokens, options_.max_rewrites,
-                            options_.max_rewrite_len)) {
-      response.rewrites.push_back(c.tokens);
+
+  // Rung 2: fast direct q2q model — deadline- and breaker-gated.
+  if (model_ == nullptr) {
+    response.attempts.push_back(
+        {Source::kDirectModel,
+         Status::FailedPrecondition("no direct model configured"),
+         /*skipped=*/true});
+  } else if (!deadline.HasBudget(options_.model_min_budget_millis)) {
+    const Status status = Status::FailedPrecondition(
+        "deadline budget exhausted before model rung");
+    note_failure(status);
+    response.attempts.push_back(
+        {Source::kDirectModel, status, /*skipped=*/true});
+  } else if (!breaker_.AllowRequest()) {
+    const Status status =
+        Status::FailedPrecondition("direct-model circuit breaker open");
+    note_failure(status);
+    response.attempts.push_back(
+        {Source::kDirectModel, status, /*skipped=*/true});
+  } else {
+    const double model_start = elapsed();
+    std::vector<RewriteCandidate> candidates;
+    Status status =
+        model_->Rewrite(query_tokens, options_.max_rewrites,
+                        options_.max_rewrite_len, deadline, &candidates);
+    std::vector<std::vector<std::string>> rewrites;
+    for (RewriteCandidate& c : candidates) {
+      rewrites.push_back(std::move(c.tokens));
+    }
+    if (status.ok() && deadline.Expired()) {
+      status = Status::FailedPrecondition(
+          "deadline expired during model decode");
+    } else if (status.ok() && !rewrites.empty() && !ValidRewrites(rewrites)) {
+      status = Status::Internal("direct model returned invalid output");
+    }
+    if (status.ok() && !rewrites.empty()) {
+      breaker_.RecordSuccess();
+      ++model_calls_;
+      answer(Source::kDirectModel, std::move(rewrites));
+      model_latency_.Record(elapsed() - model_start);
+      // Degraded only if an upstream rung failed (e.g. cache outage).
+      response.degraded = !response.degraded_status.ok();
+      degraded_requests_ += response.degraded ? 1 : 0;
+      return response;
+    }
+    if (status.ok()) {
+      // Healthy model, nothing to say: a miss, not a failure.
+      breaker_.RecordSuccess();
+      ++model_calls_;
+      response.attempts.push_back(
+          {Source::kDirectModel,
+           Status::NotFound("model produced no rewrites"),
+           /*skipped=*/false});
+    } else {
+      breaker_.RecordFailure();
+      ++model_failures_;
+      note_failure(status);
+      response.attempts.push_back(
+          {Source::kDirectModel, status, /*skipped=*/false});
     }
   }
-  response.source = Source::kDirectModel;
-  response.latency_millis = watch.ElapsedMillis();
-  model_latency_.Record(response.latency_millis);
-  ++model_calls_;
+
+  // Rung 3: rule-based synonym baseline.
+  if (rule_based_ == nullptr) {
+    response.attempts.push_back(
+        {Source::kRuleBased,
+         Status::FailedPrecondition("no rule-based rewriter configured"),
+         /*skipped=*/true});
+  } else {
+    std::vector<std::vector<std::string>> rewrites =
+        rule_based_->Rewrite(query_tokens, options_.max_rewrites);
+    if (!rewrites.empty()) {
+      ++rule_based_answers_;
+      answer(Source::kRuleBased, std::move(rewrites));
+      response.degraded = true;
+      ++degraded_requests_;
+      return response;
+    }
+    response.attempts.push_back(
+        {Source::kRuleBased, Status::NotFound("no synonym phrase matched"),
+         /*skipped=*/false});
+  }
+
+  // Rung 4: identity passthrough — cannot fail, always answers.
+  ++passthrough_answers_;
+  answer(Source::kPassthrough, {query_tokens});
+  response.degraded = true;
+  ++degraded_requests_;
   return response;
+}
+
+bool RewriteService::ValidRewrites(
+    const std::vector<std::vector<std::string>>& rewrites) const {
+  for (const std::vector<std::string>& r : rewrites) {
+    if (r.empty()) return false;
+    if (static_cast<int64_t>(r.size()) > options_.max_rewrite_len) {
+      return false;
+    }
+    for (const std::string& token : r) {
+      if (token.empty()) return false;
+    }
+  }
+  return true;
 }
 
 void RewriteService::PrecomputeHead(

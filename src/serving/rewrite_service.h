@@ -1,41 +1,97 @@
 #ifndef CYCLEQR_SERVING_REWRITE_SERVICE_H_
 #define CYCLEQR_SERVING_REWRITE_SERVICE_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "baseline/rule_based.h"
+#include "core/deadline.h"
+#include "core/status.h"
 #include "rewrite/direct_model.h"
 #include "rewrite/inference.h"
+#include "serving/backends.h"
+#include "serving/circuit_breaker.h"
 #include "serving/kv_store.h"
 #include "serving/latency.h"
 
 namespace cyqr {
 
-/// The two-tier serving architecture of Section III-G:
-///  * head queries are answered from the precomputed KV store (<5 ms);
-///  * the long tail falls back to the fast direct query-to-query model
-///    (transformer encoder + RNN decoder).
+/// The two-tier serving architecture of Section III-G, hardened into a
+/// degradation ladder so a slow or broken tier degrades the answer instead
+/// of taking the request down:
+///
+///   1. kCache        precomputed KV store (head queries, <5 ms);
+///   2. kDirectModel  fast direct q2q model — only if deadline budget
+///                    remains and the circuit breaker admits the call;
+///   3. kRuleBased    synonym-dictionary baseline (microseconds);
+///   4. kPassthrough  identity: the original query is returned unchanged.
+///
+/// Every rung is tried in order; rung 4 cannot fail, so Serve() always
+/// answers. The Response records which rung answered, every rung attempt
+/// with its Status, and whether the request was degraded.
 class RewriteService {
  public:
   struct Options {
     int64_t max_rewrites = 3;
     int64_t max_rewrite_len = 10;
+    /// Per-request budget when the caller does not pass a Deadline
+    /// (the paper's end-to-end serving budget). <= 0 means no deadline.
+    double default_budget_millis = 50.0;
+    /// The model rung is skipped when less than this much budget remains.
+    double model_min_budget_millis = 1.0;
+    CircuitBreaker::Options breaker;
   };
 
-  enum class Source { kCache, kDirectModel };
+  /// The ladder rung that produced the answer (also used to label rung
+  /// attempts). Order matters: lower enum value = higher rung.
+  enum class Source { kCache, kDirectModel, kRuleBased, kPassthrough };
+
+  static const char* SourceName(Source source);
+
+  /// One rung's outcome for this request. `skipped` means the rung never
+  /// ran (absent backend, exhausted budget, open circuit breaker); its
+  /// Status then says why. For rungs that ran, NotFound is a clean miss
+  /// and any other non-OK Status is a failure.
+  struct RungAttempt {
+    Source rung = Source::kCache;
+    Status status;
+    bool skipped = false;
+  };
 
   struct Response {
     std::vector<std::vector<std::string>> rewrites;
-    Source source = Source::kCache;
+    Source source = Source::kPassthrough;
+    /// True when the answer did not come from the cache or a healthy
+    /// direct-model call — i.e. some rung failed, was skipped for budget
+    /// or breaker reasons, or the ladder fell through to rules/identity.
+    bool degraded = false;
+    /// First real failure on the ladder (never NotFound); OK when the
+    /// request merely fell through clean misses.
+    Status degraded_status;
+    /// Wall-clock time plus any fault-injected virtual latency.
     double latency_millis = 0.0;
+    std::vector<RungAttempt> attempts;
   };
 
-  /// `store` and `fallback` must outlive the service; `fallback` may be
-  /// null (cache-only service).
-  RewriteService(const RewriteKvStore* store, const DirectRewriter* fallback,
-                 const Options& options);
+  /// Backend-seam constructor (tests, benches, fault injection). `cache`
+  /// must be non-null; `model` and `rule_based` may be null (their rungs
+  /// are then reported as skipped). All pointers must outlive the service.
+  RewriteService(KvBackend* cache, ModelBackend* model,
+                 const RuleBasedRewriter* rule_based, const Options& options);
 
+  /// Production convenience: wraps the store and direct model in the
+  /// default in-process backends. `fallback` and `rule_based` may be null.
+  RewriteService(const RewriteKvStore* store, const DirectRewriter* fallback,
+                 const Options& options,
+                 const RuleBasedRewriter* rule_based = nullptr);
+
+  /// Serves under the default deadline from Options.
   Response Serve(const std::vector<std::string>& query_tokens);
+
+  /// Serves under an explicit deadline (threaded through every rung).
+  Response Serve(const std::vector<std::string>& query_tokens,
+                 Deadline deadline);
 
   /// Offline precompute: runs the full cyclic pipeline over head queries
   /// and fills the store (the paper's nightly batch job).
@@ -49,15 +105,37 @@ class RewriteService {
   const LatencyRecorder& model_latency() const { return model_latency_; }
   int64_t cache_hits() const { return cache_hits_; }
   int64_t model_calls() const { return model_calls_; }
+  int64_t model_failures() const { return model_failures_; }
+  int64_t rule_based_answers() const { return rule_based_answers_; }
+  int64_t passthrough_answers() const { return passthrough_answers_; }
+  int64_t degraded_requests() const { return degraded_requests_; }
+  const CircuitBreaker& breaker() const { return breaker_; }
 
  private:
-  const RewriteKvStore* store_;
-  const DirectRewriter* fallback_;
+  /// True when `rewrites` looks like sane model output (non-empty, no
+  /// empty tokens, within the length limit) — the guard that catches
+  /// corrupt-output faults.
+  bool ValidRewrites(
+      const std::vector<std::vector<std::string>>& rewrites) const;
+
+  // Owned adapters for the convenience constructor; null when the caller
+  // provided backends directly.
+  std::unique_ptr<KvStoreBackend> owned_cache_;
+  std::unique_ptr<DirectModelBackend> owned_model_;
+
+  KvBackend* cache_;
+  ModelBackend* model_;
+  const RuleBasedRewriter* rule_based_;
   Options options_;
+  CircuitBreaker breaker_;
   LatencyRecorder cache_latency_;
   LatencyRecorder model_latency_;
   int64_t cache_hits_ = 0;
   int64_t model_calls_ = 0;
+  int64_t model_failures_ = 0;
+  int64_t rule_based_answers_ = 0;
+  int64_t passthrough_answers_ = 0;
+  int64_t degraded_requests_ = 0;
 };
 
 }  // namespace cyqr

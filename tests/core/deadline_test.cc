@@ -1,0 +1,55 @@
+#include "core/deadline.h"
+
+#include <gtest/gtest.h>
+
+namespace cyqr {
+namespace {
+
+TEST(DeadlineTest, InfiniteNeverExpires) {
+  Deadline d = Deadline::Infinite();
+  EXPECT_TRUE(d.infinite());
+  EXPECT_FALSE(d.Expired());
+  EXPECT_TRUE(d.HasBudget(1e12));
+  d.Charge(1e12);
+  EXPECT_FALSE(d.Expired());
+}
+
+TEST(DeadlineTest, DefaultConstructedIsInfinite) {
+  Deadline d;
+  EXPECT_TRUE(d.infinite());
+}
+
+TEST(DeadlineTest, ChargeConsumesBudgetDeterministically) {
+  // Budgets are huge relative to wall-clock noise so only the charged
+  // virtual time decides the outcome.
+  Deadline d = Deadline::AfterMillis(1e6);
+  EXPECT_FALSE(d.infinite());
+  EXPECT_FALSE(d.Expired());
+  EXPECT_TRUE(d.HasBudget(1e5));
+
+  d.Charge(1e6 - 100.0);
+  EXPECT_FALSE(d.Expired());
+  EXPECT_FALSE(d.HasBudget(1e5));
+  EXPECT_LE(d.RemainingMillis(), 100.0);
+
+  d.Charge(200.0);
+  EXPECT_TRUE(d.Expired());
+  EXPECT_EQ(d.RemainingMillis(), 0.0);
+  EXPECT_FALSE(d.HasBudget(1.0));
+}
+
+TEST(DeadlineTest, ElapsedIncludesChargedTime) {
+  Deadline d = Deadline::AfterMillis(1000.0);
+  d.Charge(250.0);
+  EXPECT_GE(d.ElapsedMillis(), 250.0);
+  EXPECT_EQ(d.charged_millis(), 250.0);
+}
+
+TEST(DeadlineTest, RemainingNeverNegative) {
+  Deadline d = Deadline::AfterMillis(10.0);
+  d.Charge(1e9);
+  EXPECT_EQ(d.RemainingMillis(), 0.0);
+}
+
+}  // namespace
+}  // namespace cyqr

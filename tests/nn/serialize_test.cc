@@ -2,12 +2,37 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
+#include <vector>
 
+#include "core/file_util.h"
 #include "nn/layers.h"
 
 namespace cyqr {
 namespace {
+
+std::vector<float> SnapshotValues(const std::vector<Tensor>& params) {
+  std::vector<float> values;
+  for (const Tensor& p : params) {
+    values.insert(values.end(), p.data(), p.data() + p.NumElements());
+  }
+  return values;
+}
+
+void ExpectValuesEqual(const std::vector<Tensor>& params,
+                       const std::vector<float>& snapshot) {
+  size_t i = 0;
+  for (const Tensor& p : params) {
+    for (int64_t j = 0; j < p.NumElements(); ++j) {
+      ASSERT_FLOAT_EQ(p.data()[j], snapshot[i++]);
+    }
+  }
+  EXPECT_EQ(i, snapshot.size());
+}
 
 TEST(SerializeTest, RoundTripPreservesValues) {
   Rng rng(1);
@@ -67,6 +92,91 @@ TEST(SerializeTest, FileRoundTrip) {
   Embedding dst(8, 4, rng2);
   ASSERT_TRUE(LoadParametersFromFile(dst.Parameters(), path).ok());
   EXPECT_FLOAT_EQ(src.table().data()[5], dst.table().data()[5]);
+}
+
+TEST(SerializeTest, FileSaveIsAtomicNoTempLeftBehind) {
+  Rng rng(20);
+  Linear src(3, 3, rng);
+  const std::string path = testing::TempDir() + "/cyqr_params_atomic.bin";
+  ASSERT_TRUE(SaveParametersToFile(src.Parameters(), path).ok());
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(TempPathFor(path)));
+}
+
+TEST(SerializeTest, ZeroLengthStreamFails) {
+  std::stringstream buf;
+  Rng rng(21);
+  Linear dst(2, 2, rng);
+  const Status status = LoadParameters(dst.Parameters(), buf);
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+}
+
+TEST(SerializeTest, TruncatedStreamFailsAndLeavesTensorsUntouched) {
+  Rng rng(22);
+  Linear src(4, 6, rng);
+  std::stringstream full;
+  ASSERT_TRUE(SaveParameters(src.Parameters(), full).ok());
+  const std::string bytes = full.str();
+
+  Rng rng2(23);
+  Linear dst(4, 6, rng2);
+  // Truncate at several depths: inside the header, inside tensor data,
+  // and inside the footer. Every one must fail cleanly and leave the
+  // destination bit-identical (all-or-nothing).
+  for (const size_t keep :
+       {size_t{0}, size_t{3}, size_t{10}, bytes.size() / 2,
+        bytes.size() - 21, bytes.size() - 1}) {
+    const std::vector<float> before = SnapshotValues(dst.Parameters());
+    std::stringstream truncated(bytes.substr(0, keep));
+    const Status status = LoadParameters(dst.Parameters(), truncated);
+    EXPECT_FALSE(status.ok()) << "keep=" << keep;
+    ExpectValuesEqual(dst.Parameters(), before);
+  }
+}
+
+TEST(SerializeTest, BitFlippedDataFailsChecksum) {
+  Rng rng(24);
+  Linear src(4, 6, rng);
+  std::stringstream full;
+  ASSERT_TRUE(SaveParameters(src.Parameters(), full).ok());
+  std::string bytes = full.str();
+  // Flip one bit in the middle of the float payload: shapes still parse,
+  // so only the footer checksum can catch it.
+  bytes[bytes.size() / 2] ^= 0x01;
+
+  Rng rng2(25);
+  Linear dst(4, 6, rng2);
+  const std::vector<float> before = SnapshotValues(dst.Parameters());
+  std::stringstream corrupt(bytes);
+  const Status status = LoadParameters(dst.Parameters(), corrupt);
+  EXPECT_FALSE(status.ok());
+  ExpectValuesEqual(dst.Parameters(), before);
+}
+
+TEST(SerializeTest, OutOfRangeRankRejected) {
+  // Hand-craft a stream: valid magic, count=1, then an absurd rank that a
+  // corrupt or hostile file could carry.
+  std::stringstream buf;
+  const uint32_t magic = 0x43595152;
+  const uint64_t count = 1;
+  const uint32_t rank = 1u << 30;
+  buf.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  buf.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  buf.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
+
+  Rng rng(26);
+  Linear dst(2, 2, rng, /*bias=*/false);  // Exactly one parameter tensor.
+  const Status status = LoadParameters(dst.Parameters(), buf);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("rank out of range"), std::string::npos);
+}
+
+TEST(SerializeTest, ZeroLengthFileFails) {
+  const std::string path = testing::TempDir() + "/cyqr_params_empty.bin";
+  { std::ofstream out(path, std::ios::binary | std::ios::trunc); }
+  Rng rng(27);
+  Linear dst(2, 2, rng);
+  EXPECT_FALSE(LoadParametersFromFile(dst.Parameters(), path).ok());
 }
 
 }  // namespace

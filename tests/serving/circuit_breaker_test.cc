@@ -1,0 +1,94 @@
+#include "serving/circuit_breaker.h"
+
+#include <gtest/gtest.h>
+
+namespace cyqr {
+namespace {
+
+CircuitBreaker::Options SmallOptions() {
+  CircuitBreaker::Options options;
+  options.failure_threshold = 2;
+  options.cooldown_requests = 3;
+  return options;
+}
+
+TEST(CircuitBreakerTest, StartsClosedAndAllows) {
+  CircuitBreaker breaker(SmallOptions());
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.AllowRequest());
+}
+
+TEST(CircuitBreakerTest, OpensAfterConsecutiveFailures) {
+  CircuitBreaker breaker(SmallOptions());
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.times_opened(), 1);
+}
+
+TEST(CircuitBreakerTest, SuccessResetsFailureStreak) {
+  CircuitBreaker breaker(SmallOptions());
+  breaker.RecordFailure();
+  breaker.RecordSuccess();
+  breaker.RecordFailure();
+  // Never two in a row: stays closed.
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, OpenRejectsUntilCooldownThenProbes) {
+  CircuitBreaker breaker(SmallOptions());
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+
+  // Cooldown is 3 requests: the first two are rejected, the third becomes
+  // the half-open probe.
+  EXPECT_FALSE(breaker.AllowRequest());
+  EXPECT_FALSE(breaker.AllowRequest());
+  EXPECT_EQ(breaker.rejected_requests(), 2);
+  EXPECT_TRUE(breaker.AllowRequest());
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+}
+
+TEST(CircuitBreakerTest, ProbeSuccessCloses) {
+  CircuitBreaker breaker(SmallOptions());
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  breaker.AllowRequest();
+  breaker.AllowRequest();
+  ASSERT_TRUE(breaker.AllowRequest());  // Probe.
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.AllowRequest());
+}
+
+TEST(CircuitBreakerTest, ProbeFailureReopensForFullCooldown) {
+  CircuitBreaker breaker(SmallOptions());
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  breaker.AllowRequest();
+  breaker.AllowRequest();
+  ASSERT_TRUE(breaker.AllowRequest());  // Probe.
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.times_opened(), 2);
+  // A fresh full cooldown applies.
+  EXPECT_FALSE(breaker.AllowRequest());
+  EXPECT_FALSE(breaker.AllowRequest());
+  EXPECT_TRUE(breaker.AllowRequest());
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+}
+
+TEST(CircuitBreakerTest, UnresolvedProbeBlocksFurtherRequests) {
+  CircuitBreaker breaker(SmallOptions());
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  breaker.AllowRequest();
+  breaker.AllowRequest();
+  ASSERT_TRUE(breaker.AllowRequest());  // Probe in flight.
+  EXPECT_FALSE(breaker.AllowRequest());
+}
+
+}  // namespace
+}  // namespace cyqr

@@ -1,0 +1,114 @@
+#include "serving/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+namespace cyqr {
+namespace {
+
+TEST(FaultInjectorTest, NoFaultsPassThrough) {
+  FaultInjector injector(FaultSpec{}, /*seed=*/1);
+  Deadline deadline = Deadline::AfterMillis(1000.0);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(injector.OnCall(deadline).ok());
+  }
+  EXPECT_EQ(injector.calls(), 10);
+  EXPECT_EQ(injector.injected_errors(), 0);
+  EXPECT_EQ(deadline.charged_millis(), 0.0);
+}
+
+TEST(FaultInjectorTest, CertainErrorAlwaysFires) {
+  FaultSpec spec;
+  spec.error_probability = 1.0;
+  spec.error_code = StatusCode::kIoError;
+  spec.error_message = "cache outage";
+  FaultInjector injector(spec, /*seed=*/2);
+  Deadline deadline;
+  const Status status = injector.OnCall(deadline);
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_EQ(status.message(), "cache outage");
+  EXPECT_EQ(injector.injected_errors(), 1);
+}
+
+TEST(FaultInjectorTest, LatencySpikeChargesDeadline) {
+  FaultSpec spec;
+  spec.latency_probability = 1.0;
+  spec.latency_millis = 40.0;
+  FaultInjector injector(spec, /*seed=*/3);
+  Deadline deadline = Deadline::AfterMillis(100.0);
+  EXPECT_TRUE(injector.OnCall(deadline).ok());
+  EXPECT_EQ(deadline.charged_millis(), 40.0);
+  EXPECT_TRUE(injector.OnCall(deadline).ok());
+  EXPECT_TRUE(injector.OnCall(deadline).ok());
+  // Three spikes blow the 100 ms budget.
+  EXPECT_TRUE(deadline.Expired());
+  EXPECT_EQ(injector.injected_latency_spikes(), 3);
+}
+
+TEST(FaultInjectorTest, DeterministicFailureWindow) {
+  FaultSpec spec;
+  spec.fail_calls_begin = 2;
+  spec.fail_calls_end = 4;
+  FaultInjector injector(spec, /*seed=*/4);
+  Deadline deadline;
+  EXPECT_TRUE(injector.OnCall(deadline).ok());   // Call 0.
+  EXPECT_TRUE(injector.OnCall(deadline).ok());   // Call 1.
+  EXPECT_FALSE(injector.OnCall(deadline).ok());  // Call 2: in window.
+  EXPECT_FALSE(injector.OnCall(deadline).ok());  // Call 3: in window.
+  EXPECT_TRUE(injector.OnCall(deadline).ok());   // Call 4: cleared.
+}
+
+TEST(FaultInjectorTest, SeededProbabilityIsReproducible) {
+  FaultSpec spec;
+  spec.error_probability = 0.5;
+  FaultInjector a(spec, /*seed=*/99);
+  FaultInjector b(spec, /*seed=*/99);
+  Deadline deadline;
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.OnCall(deadline).ok(), b.OnCall(deadline).ok());
+  }
+  EXPECT_GT(a.injected_errors(), 0);
+  EXPECT_LT(a.injected_errors(), 50);
+}
+
+TEST(FaultInjectorTest, SpecCanBeSwappedMidRun) {
+  FaultSpec broken;
+  broken.error_probability = 1.0;
+  FaultInjector injector(broken, /*seed=*/5);
+  Deadline deadline;
+  EXPECT_FALSE(injector.OnCall(deadline).ok());
+  injector.set_spec(FaultSpec{});  // Outage clears.
+  EXPECT_TRUE(injector.OnCall(deadline).ok());
+}
+
+TEST(FaultyKvBackendTest, InjectsInFrontOfRealStore) {
+  RewriteKvStore store;
+  store.Put("cheap phone", {{"budget", "phone"}});
+  KvStoreBackend base(&store);
+  FaultSpec spec;
+  spec.fail_calls_begin = 0;
+  spec.fail_calls_end = 1;
+  FaultyKvBackend faulty(&base, spec, /*seed=*/6);
+
+  Deadline deadline;
+  RewriteKvStore::Rewrites out;
+  EXPECT_FALSE(faulty.Lookup("cheap phone", deadline, &out).ok());
+  // Window over: the real hit comes through.
+  ASSERT_TRUE(faulty.Lookup("cheap phone", deadline, &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], (std::vector<std::string>{"budget", "phone"}));
+  // Clean miss is NotFound, not an injected failure.
+  EXPECT_EQ(faulty.Lookup("missing", deadline, &out).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(CorruptRewritesTest, ProducesInvalidOutput) {
+  std::vector<RewriteCandidate> out(1);
+  out[0].tokens = {"good", "tokens"};
+  CorruptRewrites(/*max_len=*/10, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].tokens.size(), 11u);
+  EXPECT_TRUE(out[0].tokens[0].empty());
+}
+
+}  // namespace
+}  // namespace cyqr

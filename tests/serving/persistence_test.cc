@@ -1,0 +1,173 @@
+// Corrupt-file tests for the hardened KV-store persistence: truncated,
+// bit-flipped, and zero-length snapshots must fail with a non-OK Status —
+// never crash, and never leave a half-loaded store.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "core/checksum.h"
+#include "core/file_util.h"
+#include "serving/kv_store.h"
+
+namespace cyqr {
+namespace {
+
+std::string TestPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+RewriteKvStore MakeStore() {
+  RewriteKvStore store;
+  store.Put("cheap phone", {{"budget", "smartphone"}, {"senior", "phone"}});
+  store.Put("gaming laptop", {{"gamer", "notebook"}});
+  store.Put("coin", {});
+  return store;
+}
+
+std::string ReadAll(const std::string& path) {
+  Result<std::string> content = ReadFileToString(path);
+  EXPECT_TRUE(content.ok());
+  return content.value();
+}
+
+void WriteAll(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+}
+
+// A store pre-populated with a sentinel; any failed load must leave it
+// exactly as it was (all-or-nothing).
+RewriteKvStore StoreWithSentinel() {
+  RewriteKvStore store;
+  store.Put("sentinel", {{"intact"}});
+  return store;
+}
+
+void ExpectSentinelIntact(const RewriteKvStore& store) {
+  EXPECT_EQ(store.size(), 1u);
+  const auto* hit = store.Get("sentinel");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ((*hit)[0], (std::vector<std::string>{"intact"}));
+}
+
+TEST(KvPersistenceTest, RoundTripWithFooter) {
+  const std::string path = TestPath("kv_roundtrip.tsv");
+  RewriteKvStore store = MakeStore();
+  ASSERT_TRUE(store.Save(path).ok());
+
+  RewriteKvStore loaded;
+  ASSERT_TRUE(loaded.Load(path).ok());
+  EXPECT_EQ(loaded.size(), 3u);
+  const auto* hit = loaded.Get("cheap phone");
+  ASSERT_NE(hit, nullptr);
+  ASSERT_EQ(hit->size(), 2u);
+  EXPECT_EQ((*hit)[1], (std::vector<std::string>{"senior", "phone"}));
+  ASSERT_NE(loaded.Get("coin"), nullptr);
+  EXPECT_TRUE(loaded.Get("coin")->empty());
+}
+
+TEST(KvPersistenceTest, SaveIsAtomicNoTempLeftBehind) {
+  const std::string path = TestPath("kv_atomic.tsv");
+  ASSERT_TRUE(MakeStore().Save(path).ok());
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(TempPathFor(path)));
+}
+
+TEST(KvPersistenceTest, ZeroLengthFileFails) {
+  const std::string path = TestPath("kv_zero.tsv");
+  WriteAll(path, "");
+  RewriteKvStore store = StoreWithSentinel();
+  const Status status = store.Load(path);
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  ExpectSentinelIntact(store);
+}
+
+TEST(KvPersistenceTest, TruncatedFileFails) {
+  const std::string path = TestPath("kv_truncated.tsv");
+  ASSERT_TRUE(MakeStore().Save(path).ok());
+  const std::string content = ReadAll(path);
+  // Chop off the tail (footer and part of the last record).
+  WriteAll(path, content.substr(0, content.size() - 30));
+  RewriteKvStore store = StoreWithSentinel();
+  const Status status = store.Load(path);
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  ExpectSentinelIntact(store);
+}
+
+TEST(KvPersistenceTest, BitFlippedPayloadFails) {
+  const std::string path = TestPath("kv_bitflip.tsv");
+  ASSERT_TRUE(MakeStore().Save(path).ok());
+  std::string content = ReadAll(path);
+  // Flip a bit in the middle of the payload; the footer stays valid so
+  // only the checksum can catch this.
+  content[content.size() / 4] ^= 0x20;
+  WriteAll(path, content);
+  RewriteKvStore store = StoreWithSentinel();
+  const Status status = store.Load(path);
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  ExpectSentinelIntact(store);
+}
+
+TEST(KvPersistenceTest, MissingFooterFails) {
+  const std::string path = TestPath("kv_nofooter.tsv");
+  WriteAll(path, "cheap phone\tbudget smartphone\ncoin\n");
+  RewriteKvStore store = StoreWithSentinel();
+  const Status status = store.Load(path);
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  ExpectSentinelIntact(store);
+}
+
+TEST(KvPersistenceTest, MidFileGarbageReportsLineNumber) {
+  const std::string path = TestPath("kv_garbage.tsv");
+  ASSERT_TRUE(MakeStore().Save(path).ok());
+  std::string content = ReadAll(path);
+  // Inject an empty record (bare newline) as the new line 1, then repair
+  // the footer checksum so line parsing — not the checksum — must reject
+  // the file. Build the corrupted payload first, recompute its footer.
+  const size_t footer_begin = content.rfind("#cyqr-kv-footer");
+  const std::string payload = "\n" + content.substr(0, footer_begin);
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                "#cyqr-kv-footer records=%llu fnv1a=%016llx",
+                static_cast<unsigned long long>(3),
+                static_cast<unsigned long long>(Fnv1a64(payload)));
+  WriteAll(path, payload + buf + "\n");
+  RewriteKvStore store = StoreWithSentinel();
+  const Status status = store.Load(path);
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_NE(status.message().find("line 1"), std::string::npos)
+      << status.ToString();
+  ExpectSentinelIntact(store);
+}
+
+TEST(KvPersistenceTest, RecordCountMismatchFails) {
+  const std::string path = TestPath("kv_count.tsv");
+  // One record but footer claims two; checksum is made consistent so only
+  // the record count check can reject.
+  const std::string payload = "cheap phone\tbudget smartphone\n";
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                "#cyqr-kv-footer records=%llu fnv1a=%016llx",
+                static_cast<unsigned long long>(2),
+                static_cast<unsigned long long>(Fnv1a64(payload)));
+  WriteAll(path, payload + buf + "\n");
+  RewriteKvStore store = StoreWithSentinel();
+  const Status status = store.Load(path);
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  ExpectSentinelIntact(store);
+}
+
+TEST(KvPersistenceTest, EmptyStoreRoundTrips) {
+  const std::string path = TestPath("kv_empty_store.tsv");
+  RewriteKvStore empty;
+  ASSERT_TRUE(empty.Save(path).ok());
+  RewriteKvStore loaded = StoreWithSentinel();
+  ASSERT_TRUE(loaded.Load(path).ok());
+  EXPECT_EQ(loaded.size(), 0u);
+}
+
+}  // namespace
+}  // namespace cyqr

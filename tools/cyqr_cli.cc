@@ -13,6 +13,18 @@
 //
 //   cyqr eval --model MODEL_DIR --data pairs.tsv [--limit N]
 //       Teacher-forced perplexity/accuracy plus translate-back metrics.
+//
+//   cyqr precompute --model MODEL_DIR --queries queries.tsv --out kv.tsv
+//                   [--limit N] [--k 3]
+//       The nightly batch job: runs the cyclic pipeline over head queries
+//       and writes the KV rewrite snapshot (atomic, checksummed).
+//
+//   cyqr serve --kv kv.tsv --queries queries.tsv [--requests N]
+//              [--budget-ms 50] [--cache-error-p F] [--cache-latency-p F]
+//              [--cache-latency-ms F] [--fault-seed S]
+//       Replays traffic through the fault-tolerant serving ladder
+//       (cache -> ... -> identity passthrough) with optional cache fault
+//       injection, and reports rung mix, degradation, and latency.
 
 #include <cstdio>
 #include <filesystem>
@@ -25,6 +37,8 @@
 #include "rewrite/inference.h"
 #include "rewrite/trainer.h"
 #include "nn/serialize.h"
+#include "serving/fault_injection.h"
+#include "serving/rewrite_service.h"
 #include "text/tokenizer.h"
 
 namespace cyqr {
@@ -32,7 +46,8 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: cyqr <generate-data|train|rewrite|eval> [--flags]\n"
+               "usage: cyqr <generate-data|train|rewrite|eval|precompute|"
+               "serve> [--flags]\n"
                "run with a subcommand and no flags for its options\n");
   return 2;
 }
@@ -233,6 +248,126 @@ int Eval(const FlagParser& flags) {
   return 0;
 }
 
+/// Loads queries.tsv (as written by generate-data: "query\tkind"); only the
+/// first tab field is used.
+Result<std::vector<std::vector<std::string>>> LoadQueries(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::IoError("cannot open " + path);
+  std::vector<std::vector<std::string>> queries;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const size_t tab = line.find('\t');
+    const std::string query =
+        tab == std::string::npos ? line : line.substr(0, tab);
+    std::vector<std::string> tokens = SplitString(query);
+    if (!tokens.empty()) queries.push_back(std::move(tokens));
+  }
+  return queries;
+}
+
+int Precompute(const FlagParser& flags) {
+  const std::string model_dir = flags.GetString("model");
+  const std::string queries_path = flags.GetString("queries");
+  const std::string out_path = flags.GetString("out");
+  if (model_dir.empty() || queries_path.empty() || out_path.empty()) {
+    std::fprintf(stderr,
+                 "precompute flags: --model MODEL_DIR --queries queries.tsv "
+                 "--out kv.tsv [--limit N] [--k 3]\n");
+    return 2;
+  }
+  Result<LoadedModel> loaded = LoadModel(model_dir);
+  if (!loaded.ok()) return Fail(loaded.status());
+  Result<std::vector<std::vector<std::string>>> queries =
+      LoadQueries(queries_path);
+  if (!queries.ok()) return Fail(queries.status());
+  std::vector<std::vector<std::string>> head = std::move(queries).value();
+  const int64_t limit = flags.GetInt("limit", 200);
+  if (static_cast<int64_t>(head.size()) > limit) head.resize(limit);
+
+  CycleRewriter rewriter(loaded.value().model.get(), &loaded.value().vocab);
+  RewriteOptions options;
+  options.k = flags.GetInt("k", 3);
+  RewriteKvStore store;
+  Stopwatch watch;
+  RewriteService::PrecomputeHead(rewriter, head, options, &store);
+  Status s = store.Save(out_path);
+  if (!s.ok()) return Fail(s);
+  std::printf("precomputed %zu head queries into %s in %.1fs\n",
+              head.size(), out_path.c_str(), watch.ElapsedSeconds());
+  return 0;
+}
+
+int ServeTraffic(const FlagParser& flags) {
+  const std::string kv_path = flags.GetString("kv");
+  const std::string queries_path = flags.GetString("queries");
+  if (kv_path.empty() || queries_path.empty()) {
+    std::fprintf(stderr,
+                 "serve flags: --kv kv.tsv --queries queries.tsv "
+                 "[--requests N] [--budget-ms 50] [--cache-error-p F] "
+                 "[--cache-latency-p F] [--cache-latency-ms F] "
+                 "[--fault-seed S]\n");
+    return 2;
+  }
+  // Read every flag before any I/O, so an early load failure doesn't make
+  // the unused-flag warning misreport flags that were never reached.
+  FaultSpec cache_faults;
+  cache_faults.error_probability = flags.GetDouble("cache-error-p", 0.0);
+  cache_faults.error_code = StatusCode::kIoError;
+  cache_faults.error_message = "injected cache outage";
+  cache_faults.latency_probability =
+      flags.GetDouble("cache-latency-p", 0.0);
+  cache_faults.latency_millis = flags.GetDouble("cache-latency-ms", 20.0);
+  const uint64_t fault_seed =
+      static_cast<uint64_t>(flags.GetInt("fault-seed", 42));
+  RewriteService::Options options;
+  options.default_budget_millis = flags.GetDouble("budget-ms", 50.0);
+  const int64_t requests = flags.GetInt("requests", 1000);
+
+  RewriteKvStore store;
+  Status s = store.Load(kv_path);
+  if (!s.ok()) return Fail(s);
+  Result<std::vector<std::vector<std::string>>> queries =
+      LoadQueries(queries_path);
+  if (!queries.ok()) return Fail(queries.status());
+  if (queries.value().empty()) {
+    return Fail(Status::InvalidArgument("no queries in " + queries_path));
+  }
+  std::printf("kv snapshot: %zu records (checksum ok)\n", store.size());
+
+  KvStoreBackend cache(&store);
+  FaultyKvBackend faulty_cache(&cache, cache_faults, fault_seed);
+  RewriteService service(&faulty_cache, nullptr, nullptr, options);
+
+  LatencyRecorder latency;
+  int64_t by_source[4] = {0, 0, 0, 0};
+  for (int64_t i = 0; i < requests; ++i) {
+    const auto& query =
+        queries.value()[static_cast<size_t>(i) % queries.value().size()];
+    const auto response = service.Serve(query);
+    latency.Record(response.latency_millis);
+    ++by_source[static_cast<int>(response.source)];
+  }
+  std::printf("served %lld requests under a %.0f ms budget\n",
+              static_cast<long long>(requests),
+              options.default_budget_millis);
+  for (int i = 0; i < 4; ++i) {
+    if (by_source[i] == 0) continue;
+    std::printf("  %-12s %lld\n",
+                RewriteService::SourceName(
+                    static_cast<RewriteService::Source>(i)),
+                static_cast<long long>(by_source[i]));
+  }
+  std::printf("degraded:      %lld (%.1f%%)\n",
+              static_cast<long long>(service.degraded_requests()),
+              100.0 * service.degraded_requests() / requests);
+  std::printf("latency:       p50 %.3f ms, p99 %.3f ms, max %.3f ms\n",
+              latency.PercentileMillis(0.5), latency.PercentileMillis(0.99),
+              latency.MaxMillis());
+  return 0;
+}
+
 int Main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
@@ -246,6 +381,10 @@ int Main(int argc, char** argv) {
     code = Rewrite(flags);
   } else if (command == "eval") {
     code = Eval(flags);
+  } else if (command == "precompute") {
+    code = Precompute(flags);
+  } else if (command == "serve") {
+    code = ServeTraffic(flags);
   } else {
     return Usage();
   }
