@@ -79,7 +79,10 @@ struct ServingFixture {
 };
 
 ServingFixture& GetFixture() {
-  static ServingFixture* fixture = new ServingFixture();
+  // Intentionally leaked Meyers singleton: benchmark fixtures must outlive
+  // static-destruction order at process exit.
+  static ServingFixture* fixture =
+      new ServingFixture();  // NOLINT(cyqr-raw-owning-new)
   return *fixture;
 }
 

@@ -47,7 +47,9 @@ struct Fixture {
 };
 
 Fixture& GetFixture() {
-  static Fixture* fixture = new Fixture();
+  // Intentionally leaked Meyers singleton: benchmark fixtures must outlive
+  // static-destruction order at process exit.
+  static Fixture* fixture = new Fixture();  // NOLINT(cyqr-raw-owning-new)
   return *fixture;
 }
 

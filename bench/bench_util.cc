@@ -81,7 +81,11 @@ std::unique_ptr<CycleModel> GetTrainedCycleModel(
   std::error_code ec;
   std::filesystem::create_directories(kCacheDir, ec);
   if (!ec) {
-    SaveParametersToFile(model->Parameters(), path);
+    const Status saved = SaveParametersToFile(model->Parameters(), path);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "[bench] model cache write failed: %s\n",
+                   saved.ToString().c_str());
+    }
   }
   return model;
 }

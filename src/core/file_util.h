@@ -13,15 +13,16 @@ std::string TempPathFor(const std::string& path);
 /// Atomically replaces `path` with `contents`: writes `path`.tmp in full,
 /// then renames it over `path`. A crash mid-write leaves the old file
 /// untouched; readers never observe a partially written file.
-Status WriteStringToFileAtomic(const std::string& path,
+[[nodiscard]] Status WriteStringToFileAtomic(const std::string& path,
                                const std::string& contents);
 
 /// Renames `from` over `to` (the commit step for writers that stream into
 /// the temp file themselves).
-Status RenameFile(const std::string& from, const std::string& to);
+[[nodiscard]] Status RenameFile(const std::string& from,
+                                const std::string& to);
 
 /// Reads an entire file (binary) into a string.
-Result<std::string> ReadFileToString(const std::string& path);
+[[nodiscard]] Result<std::string> ReadFileToString(const std::string& path);
 
 }  // namespace cyqr
 

@@ -1,5 +1,6 @@
 #include "datagen/io.h"
 
+#include <cstdlib>
 #include <fstream>
 
 #include "core/string_util.h"
@@ -42,7 +43,18 @@ Result<std::vector<TokenPair>> LoadTokenPairs(const std::string& path) {
       p.clicks = 1;
     } else {
       p.title = SplitString(line.substr(tab1 + 1, tab2 - tab1 - 1));
-      p.clicks = std::strtoll(line.c_str() + tab2 + 1, nullptr, 10);
+      // A garbage click field must not silently load as 0 (strtoll's
+      // error value): the field has to be a complete non-negative
+      // integer.
+      const char* begin = line.c_str() + tab2 + 1;
+      char* end = nullptr;
+      p.clicks = std::strtoll(begin, &end, 10);
+      if (end == begin || *end != '\0' || p.clicks < 0) {
+        return Status::InvalidArgument(
+            "malformed click count on line " +
+            std::to_string(line_number) + ": '" + std::string(begin) +
+            "'");
+      }
     }
     if (p.query.empty() || p.title.empty()) {
       return Status::InvalidArgument(
@@ -50,6 +62,10 @@ Result<std::vector<TokenPair>> LoadTokenPairs(const std::string& path) {
     }
     pairs.push_back(std::move(p));
   }
+  // getline stops on both EOF and read errors; only the former is a
+  // complete load. Without this check a mid-file I/O failure would
+  // silently return a truncated pair list (the PR-1 bug class).
+  if (in.bad()) return Status::IoError("read error in " + path);
   return pairs;
 }
 

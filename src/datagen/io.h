@@ -12,10 +12,11 @@ namespace cyqr {
 /// TSV persistence of click-log token pairs: each line is
 /// "query tokens<TAB>title tokens<TAB>clicks". The interchange format of
 /// the CLI tools — bring-your-own click logs use the same layout.
-Status SaveTokenPairs(const std::vector<TokenPair>& pairs,
+[[nodiscard]] Status SaveTokenPairs(const std::vector<TokenPair>& pairs,
                       const std::string& path);
 
-Result<std::vector<TokenPair>> LoadTokenPairs(const std::string& path);
+[[nodiscard]] Result<std::vector<TokenPair>> LoadTokenPairs(
+    const std::string& path);
 
 }  // namespace cyqr
 

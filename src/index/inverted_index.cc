@@ -25,4 +25,37 @@ const PostingList& InvertedIndex::Lookup(const std::string& term) const {
   return it == postings_.end() ? kEmpty : it->second;
 }
 
+Result<InvertedIndex> InvertedIndex::FromPostings(
+    std::unordered_map<std::string, PostingList> postings,
+    int64_t num_documents) {
+  if (num_documents < 0) {
+    return Status::InvalidArgument("negative document count");
+  }
+  int64_t total = 0;
+  for (const auto& [term, list] : postings) {
+    if (term.empty()) return Status::InvalidArgument("empty term");
+    if (list.empty()) {
+      return Status::InvalidArgument("empty posting list for term '" +
+                                     term + "'");
+    }
+    for (size_t i = 0; i < list.size(); ++i) {
+      if (list[i] < 0 || list[i] >= num_documents) {
+        return Status::OutOfRange("posting id out of range for term '" +
+                                  term + "'");
+      }
+      if (i > 0 && list[i] <= list[i - 1]) {
+        return Status::InvalidArgument(
+            "posting list not strictly increasing for term '" + term +
+            "'");
+      }
+    }
+    total += static_cast<int64_t>(list.size());
+  }
+  InvertedIndex index;
+  index.postings_ = std::move(postings);
+  index.num_documents_ = num_documents;
+  index.total_postings_ = total;
+  return index;
+}
+
 }  // namespace cyqr

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/status.h"
 #include "index/posting.h"
 
 namespace cyqr {
@@ -20,6 +21,19 @@ class InvertedIndex {
 
   /// Posting list of a term; empty list for unknown terms.
   const PostingList& Lookup(const std::string& term) const;
+
+  /// Rebuilds an index from raw postings — the persistence restore path.
+  /// Every list must be sorted, duplicate-free, and reference only ids in
+  /// [0, num_documents); a snapshot that violates this is rejected rather
+  /// than half-loaded.
+  [[nodiscard]] static Result<InvertedIndex> FromPostings(
+      std::unordered_map<std::string, PostingList> postings,
+      int64_t num_documents);
+
+  /// Full term -> postings map (iteration for persistence/stats).
+  const std::unordered_map<std::string, PostingList>& postings() const {
+    return postings_;
+  }
 
   int64_t num_documents() const { return num_documents_; }
   int64_t num_terms() const {

@@ -1,0 +1,159 @@
+#include "index/persist.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "core/checksum.h"
+#include "core/file_util.h"
+
+namespace cyqr {
+
+namespace {
+
+// Footer line:
+// "#cyqr-index-footer docs=<D> terms=<T> postings=<P> fnv1a=<16 hex>".
+// Detection does not rely on the '#': the footer must be the last line.
+constexpr char kFooterTag[] = "#cyqr-index-footer";
+
+std::string MakeFooter(uint64_t docs, uint64_t terms, uint64_t postings,
+                       uint64_t checksum) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%s docs=%" PRIu64 " terms=%" PRIu64 " postings=%" PRIu64
+                " fnv1a=%016" PRIx64,
+                kFooterTag, docs, terms, postings, checksum);
+  return buf;
+}
+
+bool ParseFooter(const std::string& line, uint64_t* docs, uint64_t* terms,
+                 uint64_t* postings, uint64_t* checksum) {
+  return std::sscanf(line.c_str(),
+                     "#cyqr-index-footer docs=%" SCNu64 " terms=%" SCNu64
+                     " postings=%" SCNu64 " fnv1a=%" SCNx64,
+                     docs, terms, postings, checksum) == 4;
+}
+
+/// Parses a complete base-10 DocId out of [begin, end); false on any
+/// trailing garbage so "12x" cannot load as 12.
+bool ParseDocId(const char* begin, const char* end, DocId* out) {
+  if (begin == end) return false;
+  char* parsed_end = nullptr;
+  const long long value = std::strtoll(begin, &parsed_end, 10);
+  if (parsed_end != end) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+Status SaveInvertedIndex(const InvertedIndex& index,
+                         const std::string& path) {
+  std::vector<const std::string*> terms;
+  terms.reserve(index.postings().size());
+  for (const auto& [term, list] : index.postings()) {
+    terms.push_back(&term);
+  }
+  std::sort(terms.begin(), terms.end(),
+            [](const std::string* a, const std::string* b) {
+              return *a < *b;
+            });
+
+  std::ostringstream payload;
+  for (const std::string* term : terms) {
+    payload << *term;
+    char sep = '\t';
+    for (DocId id : index.postings().at(*term)) {
+      payload << sep << id;
+      sep = ' ';
+    }
+    payload << '\n';
+  }
+  std::string data = payload.str();
+  const uint64_t checksum = Fnv1a64(data);
+  data += MakeFooter(static_cast<uint64_t>(index.num_documents()),
+                     terms.size(),
+                     static_cast<uint64_t>(index.total_postings()),
+                     checksum);
+  data += '\n';
+  return WriteStringToFileAtomic(path, data);
+}
+
+Result<InvertedIndex> LoadInvertedIndex(const std::string& path) {
+  Result<std::string> file = ReadFileToString(path);
+  if (!file.ok()) return file.status();
+  const std::string& content = file.value();
+  if (content.empty()) return Status::IoError("zero-length file: " + path);
+  if (content.back() != '\n') {
+    return Status::IoError("truncated file (no trailing newline): " + path);
+  }
+
+  const std::string body = content.substr(0, content.size() - 1);
+  const size_t last_newline = body.rfind('\n');
+  const size_t footer_begin =
+      last_newline == std::string::npos ? 0 : last_newline + 1;
+  uint64_t expected_docs = 0;
+  uint64_t expected_terms = 0;
+  uint64_t expected_postings = 0;
+  uint64_t expected_checksum = 0;
+  if (!ParseFooter(body.substr(footer_begin), &expected_docs,
+                   &expected_terms, &expected_postings,
+                   &expected_checksum)) {
+    return Status::IoError("missing integrity footer: " + path);
+  }
+  const std::string payload = content.substr(0, footer_begin);
+  if (Fnv1a64(payload) != expected_checksum) {
+    return Status::IoError("checksum mismatch (corrupt file): " + path);
+  }
+
+  std::unordered_map<std::string, PostingList> postings;
+  uint64_t total_postings = 0;
+  std::istringstream in(payload);
+  std::string line;
+  int64_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::string where =
+        " at line " + std::to_string(line_number) + ": " + path;
+    const size_t tab = line.find('\t');
+    if (tab == std::string::npos || tab == 0) {
+      return Status::IoError("malformed record" + where);
+    }
+    const std::string term = line.substr(0, tab);
+    if (postings.count(term) > 0) {
+      return Status::IoError("duplicate term '" + term + "'" + where);
+    }
+    PostingList list;
+    size_t start = tab + 1;
+    while (start <= line.size()) {
+      size_t space = line.find(' ', start);
+      if (space == std::string::npos) space = line.size();
+      DocId id = 0;
+      if (!ParseDocId(line.c_str() + start, line.c_str() + space, &id)) {
+        return Status::IoError("malformed posting id" + where);
+      }
+      list.push_back(id);
+      start = space + 1;
+    }
+    total_postings += list.size();
+    postings[term] = std::move(list);
+  }
+  if (postings.size() != expected_terms) {
+    return Status::IoError(
+        "term count mismatch: footer says " +
+        std::to_string(expected_terms) + ", file has " +
+        std::to_string(postings.size()) + ": " + path);
+  }
+  if (total_postings != expected_postings) {
+    return Status::IoError(
+        "posting count mismatch: footer says " +
+        std::to_string(expected_postings) + ", file has " +
+        std::to_string(total_postings) + ": " + path);
+  }
+  return InvertedIndex::FromPostings(std::move(postings),
+                                     static_cast<int64_t>(expected_docs));
+}
+
+}  // namespace cyqr

@@ -1,0 +1,27 @@
+#ifndef CYCLEQR_INDEX_PERSIST_H_
+#define CYCLEQR_INDEX_PERSIST_H_
+
+#include <string>
+
+#include "core/status.h"
+#include "index/inverted_index.h"
+
+namespace cyqr {
+
+/// Line-based index snapshots, mirroring the KV-store idiom: one
+/// "term\tid id id..." record per line (terms sorted for determinism),
+/// terminated by an integrity footer recording the document count, record
+/// count, posting count, and an FNV-1a checksum of the payload.
+///
+/// Save is atomic (temp file + rename): a crash mid-save never clobbers
+/// the previous snapshot. Load is all-or-nothing: a missing or mismatched
+/// footer, a malformed record, unsorted/out-of-range postings, or a count
+/// mismatch returns an error and yields no index.
+[[nodiscard]] Status SaveInvertedIndex(const InvertedIndex& index,
+                                       const std::string& path);
+[[nodiscard]] Result<InvertedIndex> LoadInvertedIndex(
+    const std::string& path);
+
+}  // namespace cyqr
+
+#endif  // CYCLEQR_INDEX_PERSIST_H_

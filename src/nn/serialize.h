@@ -15,20 +15,22 @@ namespace cyqr {
 /// integrity footer (footer magic, payload byte length, FNV-1a checksum of
 /// the payload). Parameter order is the Module registration order, so
 /// save/load pairs must use structurally identical modules.
-Status SaveParameters(const std::vector<Tensor>& params, std::ostream& out);
+[[nodiscard]] Status SaveParameters(const std::vector<Tensor>& params,
+                                    std::ostream& out);
 
 /// Reads parameters back into the given (already constructed) tensors.
 /// Fails if the count or any shape mismatches, the stream is truncated, or
 /// the footer checksum does not match. The load is all-or-nothing: on any
 /// failure the destination tensors are left exactly as they were.
-Status LoadParameters(std::vector<Tensor> params, std::istream& in);
+[[nodiscard]] Status LoadParameters(std::vector<Tensor> params,
+                                    std::istream& in);
 
 /// File-path conveniences. Save is atomic (temp file + rename), so a crash
 /// mid-save never corrupts an existing parameter file.
-Status SaveParametersToFile(const std::vector<Tensor>& params,
-                            const std::string& path);
-Status LoadParametersFromFile(std::vector<Tensor> params,
-                              const std::string& path);
+[[nodiscard]] Status SaveParametersToFile(
+    const std::vector<Tensor>& params, const std::string& path);
+[[nodiscard]] Status LoadParametersFromFile(std::vector<Tensor> params,
+                                            const std::string& path);
 
 }  // namespace cyqr
 

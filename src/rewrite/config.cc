@@ -112,6 +112,9 @@ Result<CycleConfig> LoadCycleConfig(const std::string& path) {
     if (eq == std::string::npos) continue;
     kv[line.substr(0, eq)] = line.substr(eq + 1);
   }
+  // A mid-file read error must not be mistaken for EOF: a half-read
+  // config would quietly fall back to defaults for the missing keys.
+  if (in.bad()) return Status::IoError("read error in " + path);
   CycleConfig config;
   ReadSeq2SeqConfig(kv, "forward", &config.forward);
   ReadSeq2SeqConfig(kv, "backward", &config.backward);

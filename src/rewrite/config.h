@@ -38,8 +38,9 @@ std::string ConfigTable(const CycleConfig& config);
 
 /// Key=value text persistence of a cycle configuration (the CLI's model
 /// directories store config + vocabulary + parameters side by side).
-Status SaveCycleConfig(const CycleConfig& config, const std::string& path);
-Result<CycleConfig> LoadCycleConfig(const std::string& path);
+[[nodiscard]] Status SaveCycleConfig(const CycleConfig& config,
+                                     const std::string& path);
+[[nodiscard]] Result<CycleConfig> LoadCycleConfig(const std::string& path);
 
 }  // namespace cyqr
 

@@ -21,8 +21,9 @@ class KvBackend {
 
   /// OK + fills `out` on a hit; NotFound on a clean miss; any other code is
   /// a backend failure (outage, timeout) and is reported as degradation.
-  virtual Status Lookup(const std::string& key, Deadline& deadline,
-                        RewriteKvStore::Rewrites* out) = 0;
+  [[nodiscard]] virtual Status Lookup(
+      const std::string& key, Deadline& deadline,
+      RewriteKvStore::Rewrites* out) = 0;
 };
 
 /// Narrow seam in front of the direct query-to-query fallback model.
@@ -32,9 +33,10 @@ class ModelBackend {
 
   /// OK + fills `out` (possibly empty when the model has nothing to say);
   /// non-OK on model failure.
-  virtual Status Rewrite(const std::vector<std::string>& query_tokens,
-                         int64_t k, int64_t max_len, Deadline& deadline,
-                         std::vector<RewriteCandidate>* out) = 0;
+  [[nodiscard]] virtual Status Rewrite(
+      const std::vector<std::string>& query_tokens, int64_t k,
+      int64_t max_len, Deadline& deadline,
+      std::vector<RewriteCandidate>* out) = 0;
 };
 
 /// Production adapter: in-process RewriteKvStore lookups.
@@ -43,8 +45,8 @@ class KvStoreBackend : public KvBackend {
   /// `store` must outlive the backend.
   explicit KvStoreBackend(const RewriteKvStore* store) : store_(store) {}
 
-  Status Lookup(const std::string& key, Deadline& deadline,
-                RewriteKvStore::Rewrites* out) override;
+  [[nodiscard]] Status Lookup(const std::string& key, Deadline& deadline,
+                              RewriteKvStore::Rewrites* out) override;
 
  private:
   const RewriteKvStore* store_;
@@ -56,9 +58,10 @@ class DirectModelBackend : public ModelBackend {
   /// `model` must outlive the backend.
   explicit DirectModelBackend(const DirectRewriter* model) : model_(model) {}
 
-  Status Rewrite(const std::vector<std::string>& query_tokens, int64_t k,
-                 int64_t max_len, Deadline& deadline,
-                 std::vector<RewriteCandidate>* out) override;
+  [[nodiscard]] Status Rewrite(
+      const std::vector<std::string>& query_tokens, int64_t k,
+      int64_t max_len, Deadline& deadline,
+      std::vector<RewriteCandidate>* out) override;
 
  private:
   const DirectRewriter* model_;

@@ -55,7 +55,7 @@ class FaultInjector {
   /// Called once per backend call. Charges any injected latency to the
   /// deadline, then returns the injected error, or OK to let the real call
   /// proceed. Increments the call counter either way.
-  Status OnCall(Deadline& deadline);
+  [[nodiscard]] Status OnCall(Deadline& deadline);
 
   /// Model backends ask this after a successful call; true means "mangle
   /// the output". Draws from the same seeded Rng.
@@ -82,7 +82,7 @@ class FaultyKvBackend : public KvBackend {
   FaultyKvBackend(KvBackend* base, const FaultSpec& spec, uint64_t seed)
       : base_(base), injector_(spec, seed) {}
 
-  Status Lookup(const std::string& key, Deadline& deadline,
+  [[nodiscard]] Status Lookup(const std::string& key, Deadline& deadline,
                 RewriteKvStore::Rewrites* out) override;
 
   FaultInjector& injector() { return injector_; }
@@ -100,9 +100,10 @@ class FaultyModelBackend : public ModelBackend {
   FaultyModelBackend(ModelBackend* base, const FaultSpec& spec, uint64_t seed)
       : base_(base), injector_(spec, seed) {}
 
-  Status Rewrite(const std::vector<std::string>& query_tokens, int64_t k,
-                 int64_t max_len, Deadline& deadline,
-                 std::vector<RewriteCandidate>* out) override;
+  [[nodiscard]] Status Rewrite(
+      const std::vector<std::string>& query_tokens, int64_t k,
+      int64_t max_len, Deadline& deadline,
+      std::vector<RewriteCandidate>* out) override;
 
   FaultInjector& injector() { return injector_; }
 

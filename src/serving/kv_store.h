@@ -35,8 +35,8 @@ class RewriteKvStore {
   /// malformed record, or a record-count mismatch returns IoError (with
   /// the offending line number where applicable) and leaves the in-memory
   /// store untouched.
-  Status Save(const std::string& path) const;
-  Status Load(const std::string& path);
+  [[nodiscard]] Status Save(const std::string& path) const;
+  [[nodiscard]] Status Load(const std::string& path);
 
  private:
   std::unordered_map<std::string, Rewrites> store_;

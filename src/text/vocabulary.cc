@@ -104,6 +104,9 @@ Result<Vocabulary> Vocabulary::Load(const std::string& path) {
     vocab.index_[line] = static_cast<int32_t>(vocab.tokens_.size());
     vocab.tokens_.push_back(line);
   }
+  // Distinguish EOF from a mid-file read error: the latter would
+  // otherwise silently yield a truncated vocabulary.
+  if (in.bad()) return Status::IoError("read error in " + path);
   return vocab;
 }
 

@@ -53,6 +53,30 @@ TEST(DataIoTest, MissingFileFails) {
   EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
 }
 
+TEST(DataIoTest, MalformedClickCountFails) {
+  // Regression: strtoll with no end-pointer check used to load garbage
+  // click fields as 0 (or a truncated prefix) instead of failing.
+  const std::string path = testing::TempDir() + "/bad_clicks.tsv";
+  for (const char* field : {"abc", "12x", "", "-3"}) {
+    std::ofstream(path) << "red shoes\trunning shoes\t" << field << "\n";
+    Result<std::vector<TokenPair>> loaded = LoadTokenPairs(path);
+    ASSERT_FALSE(loaded.ok()) << "click field '" << field << "'";
+    EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument)
+        << "click field '" << field << "'";
+  }
+}
+
+TEST(DataIoTest, ValidClickCountsStillParse) {
+  const std::string path = testing::TempDir() + "/ok_clicks.tsv";
+  std::ofstream(path) << "red shoes\trunning shoes\t0\n"
+                      << "blue hat\twool hat\t42\n";
+  Result<std::vector<TokenPair>> loaded = LoadTokenPairs(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().size(), 2u);
+  EXPECT_EQ(loaded.value()[0].clicks, 0);
+  EXPECT_EQ(loaded.value()[1].clicks, 42);
+}
+
 TEST(DataIoTest, BlankLinesSkipped) {
   const std::string path = testing::TempDir() + "/blanks.tsv";
   std::ofstream(path) << "a b\tc d\t2\n\n\ne f\tg h\t3\n";

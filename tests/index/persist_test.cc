@@ -1,0 +1,174 @@
+#include "index/persist.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "core/checksum.h"
+#include "core/file_util.h"
+
+namespace cyqr {
+namespace {
+
+InvertedIndex SampleIndex() {
+  InvertedIndex index;
+  index.AddDocument(0, {"red", "shoes"});
+  index.AddDocument(1, {"red", "running", "shoes"});
+  index.AddDocument(2, {"wool", "hat"});
+  return index;
+}
+
+std::string TempPath(const char* name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(IndexPersistTest, SaveLoadRoundTrip) {
+  const InvertedIndex index = SampleIndex();
+  const std::string path = TempPath("index.snap");
+  ASSERT_TRUE(SaveInvertedIndex(index, path).ok());
+
+  Result<InvertedIndex> loaded = LoadInvertedIndex(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().num_documents(), 3);
+  EXPECT_EQ(loaded.value().num_terms(), index.num_terms());
+  EXPECT_EQ(loaded.value().total_postings(), index.total_postings());
+  EXPECT_EQ(loaded.value().Lookup("red"), PostingList({0, 1}));
+  EXPECT_EQ(loaded.value().Lookup("shoes"), PostingList({0, 1}));
+  EXPECT_EQ(loaded.value().Lookup("hat"), PostingList({2}));
+  EXPECT_TRUE(loaded.value().Lookup("absent").empty());
+}
+
+TEST(IndexPersistTest, SaveIsDeterministic) {
+  const std::string a = TempPath("index_a.snap");
+  const std::string b = TempPath("index_b.snap");
+  ASSERT_TRUE(SaveInvertedIndex(SampleIndex(), a).ok());
+  ASSERT_TRUE(SaveInvertedIndex(SampleIndex(), b).ok());
+  Result<std::string> ca = ReadFileToString(a);
+  Result<std::string> cb = ReadFileToString(b);
+  ASSERT_TRUE(ca.ok());
+  ASSERT_TRUE(cb.ok());
+  EXPECT_EQ(ca.value(), cb.value());
+}
+
+TEST(IndexPersistTest, MissingFileFails) {
+  Result<InvertedIndex> loaded =
+      LoadInvertedIndex("/nonexistent/index.snap");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(IndexPersistTest, TruncatedFileFails) {
+  const std::string path = TempPath("index_trunc.snap");
+  ASSERT_TRUE(SaveInvertedIndex(SampleIndex(), path).ok());
+  Result<std::string> content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  // Chop mid-footer: the missing trailing newline must be detected.
+  const std::string cut =
+      content.value().substr(0, content.value().size() - 5);
+  std::ofstream(path, std::ios::trunc) << cut;
+  Result<InvertedIndex> loaded = LoadInvertedIndex(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(IndexPersistTest, CorruptPayloadFailsChecksum) {
+  const std::string path = TempPath("index_corrupt.snap");
+  ASSERT_TRUE(SaveInvertedIndex(SampleIndex(), path).ok());
+  Result<std::string> content = ReadFileToString(path);
+  ASSERT_TRUE(content.ok());
+  std::string damaged = content.value();
+  damaged[0] = damaged[0] == 'z' ? 'y' : 'z';  // Flip a payload byte.
+  std::ofstream(path, std::ios::trunc) << damaged;
+  Result<InvertedIndex> loaded = LoadInvertedIndex(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("checksum"), std::string::npos);
+}
+
+TEST(IndexPersistTest, MissingFooterFails) {
+  const std::string path = TempPath("index_nofooter.snap");
+  std::ofstream(path) << "red\t0 1\n";
+  Result<InvertedIndex> loaded = LoadInvertedIndex(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("footer"), std::string::npos);
+}
+
+TEST(IndexPersistTest, MalformedPostingIdFails) {
+  // Hand-build a snapshot whose checksum is valid but whose id field is
+  // garbage: "12x" must not quietly load as 12.
+  const std::string payload = "red\t0 12x\n";
+  const std::string path = TempPath("index_badid.snap");
+  {
+    char footer[160];
+    std::snprintf(footer, sizeof(footer),
+                  "#cyqr-index-footer docs=13 terms=1 postings=2 "
+                  "fnv1a=%016llx",
+                  static_cast<unsigned long long>(Fnv1a64(payload)));
+    std::ofstream(path) << payload << footer << "\n";
+  }
+  Result<InvertedIndex> loaded = LoadInvertedIndex(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("malformed posting id"),
+            std::string::npos);
+}
+
+TEST(IndexPersistTest, UnsortedPostingsRejected) {
+  const std::string payload = "red\t1 0\n";
+  const std::string path = TempPath("index_unsorted.snap");
+  {
+    char footer[160];
+    std::snprintf(footer, sizeof(footer),
+                  "#cyqr-index-footer docs=2 terms=1 postings=2 "
+                  "fnv1a=%016llx",
+                  static_cast<unsigned long long>(Fnv1a64(payload)));
+    std::ofstream(path) << payload << footer << "\n";
+  }
+  Result<InvertedIndex> loaded = LoadInvertedIndex(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("strictly increasing"),
+            std::string::npos);
+}
+
+TEST(IndexPersistTest, CountMismatchFails) {
+  const std::string payload = "red\t0 1\n";
+  const std::string path = TempPath("index_count.snap");
+  {
+    char footer[160];
+    std::snprintf(footer, sizeof(footer),
+                  "#cyqr-index-footer docs=2 terms=2 postings=2 "
+                  "fnv1a=%016llx",
+                  static_cast<unsigned long long>(Fnv1a64(payload)));
+    std::ofstream(path) << payload << footer << "\n";
+  }
+  Result<InvertedIndex> loaded = LoadInvertedIndex(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("term count mismatch"),
+            std::string::npos);
+}
+
+TEST(IndexPersistTest, OutOfRangePostingRejected) {
+  const std::string payload = "red\t0 7\n";
+  const std::string path = TempPath("index_range.snap");
+  {
+    char footer[160];
+    std::snprintf(footer, sizeof(footer),
+                  "#cyqr-index-footer docs=2 terms=1 postings=2 "
+                  "fnv1a=%016llx",
+                  static_cast<unsigned long long>(Fnv1a64(payload)));
+    std::ofstream(path) << payload << footer << "\n";
+  }
+  Result<InvertedIndex> loaded = LoadInvertedIndex(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(IndexPersistTest, SaveIsAtomicNoTempLeftBehind) {
+  const std::string path = TempPath("index_atomic.snap");
+  ASSERT_TRUE(SaveInvertedIndex(SampleIndex(), path).ok());
+  std::ifstream tmp(TempPathFor(path));
+  EXPECT_FALSE(tmp.is_open());
+}
+
+}  // namespace
+}  // namespace cyqr

@@ -1,0 +1,28 @@
+// Fixture: seeded RNG, checked parsing, bounded formatting — clean.
+#include "banned_functions_clean.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+#include <string>
+
+std::mt19937 MakeEngine(unsigned seed) {
+  std::mt19937 engine(seed);  // explicit seed: fine
+  return engine;
+}
+
+long Parse(const std::string& s, bool* ok) {
+  char* end = nullptr;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  *ok = end != s.c_str() && *end == '\0';
+  return v;
+}
+
+void Format(char* buf, size_t n, int v) {
+  std::snprintf(buf, n, "%d", v);  // bounded: fine
+}
+
+// Words that merely contain banned names are not calls:
+int random_value = 0;
+void operand(int) {}  // "rand" substring inside identifiers is fine.
+const char* kDoc = "call std::rand() or atoi() and sprintf()";  // string

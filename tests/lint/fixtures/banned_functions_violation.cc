@@ -1,0 +1,28 @@
+// Fixture: determinism killers and unbounded-buffer C functions.
+#include "banned_functions_violation.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int Roll() {
+  return std::rand() % 6;  // violation: global C RNG
+}
+
+void Seed() {
+  srand(static_cast<unsigned>(time(nullptr)));  // violations: srand + time
+}
+
+int Parse(const char* s) {
+  return atoi(s);  // violation: no error reporting
+}
+
+void Format(char* buf, int v) {
+  sprintf(buf, "%d", v);  // violation: unbounded write
+}
+
+std::mt19937 MakeEngine() {
+  std::mt19937 engine;  // violation: seedless engine
+  return engine;
+}

@@ -1,0 +1,27 @@
+// Fixture: every Status/Result use is consumed — no diagnostics.
+#include "discarded_status_clean.h"
+
+struct Status {
+  static Status OK();
+  bool ok() const;
+};
+
+Status SaveThing(int x);
+
+template <typename T>
+struct Result {
+  bool ok() const;
+  Status status() const;
+};
+
+Result<int> LoadThing(int x);
+
+Status Run() {
+  Status saved = SaveThing(1);           // assigned
+  if (!saved.ok()) return saved;         // checked
+  if (!SaveThing(2).ok()) return saved;  // used in condition
+  (void)SaveThing(3);                    // explicit void cast
+  Result<int> r = LoadThing(4);          // Result assigned
+  if (!r.ok()) return r.status();        // status() in return
+  return SaveThing(5);                   // returned
+}

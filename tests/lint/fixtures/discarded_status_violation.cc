@@ -1,0 +1,20 @@
+// Fixture: statement-level discards of Status/Result-returning calls.
+#include "discarded_status_violation.h"
+
+struct Status {
+  static Status OK();
+  bool ok() const;
+};
+
+Status SaveThing(int x);
+
+struct Store {
+  Status Load(int x);
+};
+
+void Run(Store* store) {
+  SaveThing(1);      // violation: bare call, result dropped
+  store->Load(2);    // violation: member call, result dropped
+  Status::OK();      // violation: factory result dropped
+  if (true) SaveThing(3);  // violation: braceless if body
+}

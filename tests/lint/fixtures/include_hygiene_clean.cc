@@ -1,0 +1,6 @@
+// Fixture: own header first, guard present — clean.
+#include "include_hygiene_clean.h"
+
+#include <string>
+
+std::string CleanName() { return "clean"; }

@@ -1,0 +1,8 @@
+#ifndef FIXTURE_INCLUDE_HYGIENE_CLEAN_H_
+#define FIXTURE_INCLUDE_HYGIENE_CLEAN_H_
+
+#include <string>
+
+std::string CleanName();
+
+#endif  // FIXTURE_INCLUDE_HYGIENE_CLEAN_H_

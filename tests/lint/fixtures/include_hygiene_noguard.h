@@ -1,0 +1,4 @@
+// Fixture: header with no include guard and no #pragma once — violation.
+#include <string>
+
+inline std::string Greeting() { return "hi"; }

@@ -1,0 +1,6 @@
+// Fixture: own header is included, but not first — violation.
+#include <string>
+
+#include "include_hygiene_order.h"
+
+std::string OrderName() { return "wrong order"; }

@@ -1,0 +1,8 @@
+#ifndef FIXTURE_INCLUDE_HYGIENE_ORDER_H_
+#define FIXTURE_INCLUDE_HYGIENE_ORDER_H_
+
+#include <string>
+
+std::string OrderName();
+
+#endif  // FIXTURE_INCLUDE_HYGIENE_ORDER_H_

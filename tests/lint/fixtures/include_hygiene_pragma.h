@@ -1,0 +1,6 @@
+#pragma once
+// Fixture: #pragma once is an accepted guard — clean.
+
+#include <string>
+
+inline std::string PragmaName() { return "pragma"; }

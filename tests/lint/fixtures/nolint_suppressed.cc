@@ -1,0 +1,20 @@
+// Fixture: violations silenced by documented NOLINT suppressions.
+#include "nolint_suppressed.h"
+
+struct Widget {
+  int v = 0;
+};
+
+Widget* Make() {
+  // Intentionally leaked registry entry; freed by the OS at exit.
+  return new Widget();  // NOLINT(cyqr-raw-owning-new)
+}
+
+Widget* MakeToo() {
+  // NOLINTNEXTLINE(cyqr-raw-owning-new): ownership handed to C API.
+  return new Widget();
+}
+
+void Destroy(Widget* w) {
+  delete w;  // NOLINT: fixture exercises the suppress-everything form.
+}

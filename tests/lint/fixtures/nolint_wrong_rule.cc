@@ -1,0 +1,10 @@
+// Fixture: a NOLINT for a different rule must NOT silence this one.
+#include "nolint_wrong_rule.h"
+
+struct Widget {
+  int v = 0;
+};
+
+Widget* Make() {
+  return new Widget();  // NOLINT(cyqr-banned-functions)
+}

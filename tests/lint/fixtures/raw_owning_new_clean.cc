@@ -1,0 +1,17 @@
+// Fixture: smart pointers, deleted functions, "new" in comments/strings.
+#include "raw_owning_new_clean.h"
+
+#include <memory>
+
+struct Widget {
+  int v = 0;
+  Widget(const Widget&) = delete;  // `= delete` is not a deallocation
+  Widget() = default;
+};
+
+std::unique_ptr<Widget> Make() {
+  // Build a new widget (the word "new" in a comment is fine).
+  return std::make_unique<Widget>();
+}
+
+const char* kDoc = "operator new and delete are words in this string";

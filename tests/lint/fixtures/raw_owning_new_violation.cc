@@ -1,0 +1,14 @@
+// Fixture: raw owning allocation outside the allowlist.
+#include "raw_owning_new_violation.h"
+
+struct Widget {
+  int v = 0;
+};
+
+Widget* Make() {
+  return new Widget();  // violation: raw new
+}
+
+void Destroy(Widget* w) {
+  delete w;  // violation: raw delete
+}

@@ -1,0 +1,26 @@
+// Fixture: every file stream is error-checked — no diagnostics.
+#include "unchecked_stream_clean.h"
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+bool ReadLines(const std::string& path, std::vector<std::string>* out) {
+  std::ifstream in(path);
+  if (!in.is_open()) return false;  // probe via is_open
+  std::string line;
+  while (std::getline(in, line)) {  // stream used as loop condition
+    out->push_back(line);
+  }
+  return !in.bad();  // EOF-vs-error probe
+}
+
+bool WriteLines(const std::string& path,
+                const std::vector<std::string>& lines) {
+  std::ofstream out(path);
+  for (const std::string& line : lines) {
+    out << line << '\n';
+  }
+  out.flush();
+  return out.good();  // probe via good
+}

@@ -1,0 +1,17 @@
+// Fixture: file streams used without any error check.
+#include "unchecked_stream_violation.h"
+
+#include <fstream>
+#include <string>
+
+std::string ReadFirstLine(const std::string& path) {
+  std::ifstream in(path);  // violation: never checked
+  std::string line;
+  std::getline(in, line);
+  return line;
+}
+
+void WriteGreeting(const std::string& path) {
+  std::ofstream out(path);  // violation: never checked
+  out << "hello\n";
+}

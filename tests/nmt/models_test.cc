@@ -198,7 +198,9 @@ TEST(RnnTest, LstmStateRoundTrip) {
   }
   // Cell memory component starts at zero.
   for (int64_t i = 0; i < 12; ++i) {
-    if (i % 12 >= 6) EXPECT_FLOAT_EQ(state.data()[i], 0.0f);
+    if (i % 12 >= 6) {
+      EXPECT_FLOAT_EQ(state.data()[i], 0.0f);
+    }
   }
 }
 

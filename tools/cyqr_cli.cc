@@ -80,9 +80,17 @@ int GenerateData(const FlagParser& flags) {
   if (!s.ok()) return Fail(s);
 
   std::ofstream queries(out_dir + "/queries.tsv");
+  if (!queries.is_open()) {
+    return Fail(Status::IoError("cannot open " + out_dir + "/queries.tsv"));
+  }
   for (const QuerySpec& q : log.queries()) {
     queries << JoinStrings(q.tokens) << '\t'
             << (q.is_colloquial ? "colloquial" : "canonical") << '\n';
+  }
+  queries.flush();
+  if (!queries.good()) {
+    return Fail(Status::IoError("failed writing " + out_dir +
+                                "/queries.tsv"));
   }
   const DatasetStats stats = log.Stats(catalog);
   std::printf("wrote %lld pairs (%lld distinct queries, vocab %lld) to %s\n",
@@ -264,6 +272,7 @@ Result<std::vector<std::vector<std::string>>> LoadQueries(
     std::vector<std::string> tokens = SplitString(query);
     if (!tokens.empty()) queries.push_back(std::move(tokens));
   }
+  if (in.bad()) return Status::IoError("read error in " + path);
   return queries;
 }
 

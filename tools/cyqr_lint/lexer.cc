@@ -1,0 +1,254 @@
+#include "lexer.h"
+
+#include <cctype>
+
+namespace cyqr_lint {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Multi-char operators kept as single tokens. ">>" is intentionally
+/// absent (see TokKind doc); "<<" is kept so stream inserts lex cleanly.
+const char* const kTwoCharOps[] = {
+    "::", "->", "<<", "==", "!=", "<=", ">=", "&&",
+    "||", "++", "--", "+=", "-=", "*=", "/=",
+};
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+/// Parses NOLINT / NOLINTNEXTLINE markers out of a comment's text and
+/// records them in the suppression map.
+void HarvestNolint(const std::string& comment, int line,
+                   std::unordered_map<int, std::set<std::string>>* nolint) {
+  size_t pos = 0;
+  while ((pos = comment.find("NOLINT", pos)) != std::string::npos) {
+    size_t after = pos + 6;
+    int target = line;
+    if (comment.compare(pos, 14, "NOLINTNEXTLINE") == 0) {
+      after = pos + 14;
+      target = line + 1;
+    }
+    std::set<std::string>& rules = (*nolint)[target];
+    if (after < comment.size() && comment[after] == '(') {
+      const size_t close = comment.find(')', after);
+      const std::string list =
+          close == std::string::npos
+              ? comment.substr(after + 1)
+              : comment.substr(after + 1, close - after - 1);
+      size_t start = 0;
+      while (start <= list.size()) {
+        const size_t comma = list.find(',', start);
+        std::string item = Trim(
+            comma == std::string::npos ? list.substr(start)
+                                       : list.substr(start, comma - start));
+        if (!item.empty()) {
+          if (item.rfind("cyqr-", 0) == 0) item = item.substr(5);
+          rules.insert(item == "*" ? "*" : item);
+        }
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+    } else {
+      rules.insert("*");  // Bare NOLINT: everything on this line.
+    }
+    pos = after;
+  }
+}
+
+}  // namespace
+
+LexedFile LexFile(std::string path, const std::string& source) {
+  LexedFile out;
+  out.path = std::move(path);
+
+  const size_t n = source.size();
+  size_t i = 0;
+  int line = 1;
+  bool at_line_start = true;  // Only whitespace seen since the newline.
+
+  auto push = [&out](TokKind kind, std::string text, int tok_line) {
+    out.tokens.push_back(Token{kind, std::move(text), "", tok_line});
+  };
+
+  while (i < n) {
+    const char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+
+    // Line comment.
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      const size_t eol = source.find('\n', i);
+      const std::string text =
+          source.substr(i, (eol == std::string::npos ? n : eol) - i);
+      HarvestNolint(text, line, &out.nolint);
+      i = eol == std::string::npos ? n : eol;
+      continue;
+    }
+    // Block comment. NOLINT markers apply to the comment's first line.
+    if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+      const size_t close = source.find("*/", i + 2);
+      const size_t end = close == std::string::npos ? n : close + 2;
+      const std::string text = source.substr(i, end - i);
+      HarvestNolint(text, line, &out.nolint);
+      for (size_t j = i; j < end; ++j) {
+        if (source[j] == '\n') ++line;
+      }
+      i = end;
+      continue;
+    }
+
+    // Preprocessor directive: '#' with only whitespace before it. The
+    // whole logical line (including '\' continuations) becomes one token.
+    if (c == '#' && at_line_start) {
+      const int tok_line = line;
+      size_t j = i + 1;
+      while (j < n && (source[j] == ' ' || source[j] == '\t')) ++j;
+      std::string name;
+      while (j < n && IsIdentChar(source[j])) name += source[j++];
+      std::string payload;
+      while (j < n) {
+        if (source[j] == '\\' && j + 1 < n && source[j + 1] == '\n') {
+          ++line;
+          j += 2;
+          payload += ' ';
+          continue;
+        }
+        if (source[j] == '\n') break;
+        payload += source[j++];
+      }
+      // Strip a trailing line comment from the payload.
+      const size_t slashes = payload.find("//");
+      if (slashes != std::string::npos) {
+        HarvestNolint(payload.substr(slashes), tok_line, &out.nolint);
+        payload = payload.substr(0, slashes);
+      }
+      Token tok{TokKind::kDirective, std::move(name), "", tok_line};
+      tok.aux = Trim(payload);
+      out.tokens.push_back(std::move(tok));
+      i = j;
+      at_line_start = false;
+      continue;
+    }
+    at_line_start = false;
+
+    // String literal (handles raw strings via the preceding identifier
+    // check below, since R"..." lexes the R as part of the prefix here).
+    if (IsIdentStart(c)) {
+      const int tok_line = line;
+      std::string ident;
+      while (i < n && IsIdentChar(source[i])) ident += source[i++];
+      // Raw string literal: prefix ends in R immediately before a quote.
+      if (i < n && source[i] == '"' && !ident.empty() &&
+          ident.back() == 'R') {
+        size_t j = i + 1;
+        std::string delim;
+        while (j < n && source[j] != '(') delim += source[j++];
+        const std::string terminator = ")" + delim + "\"";
+        const size_t close = source.find(terminator, j);
+        const size_t end =
+            close == std::string::npos ? n : close + terminator.size();
+        for (size_t k = i; k < end; ++k) {
+          if (source[k] == '\n') ++line;
+        }
+        i = end;
+        push(TokKind::kString, "", tok_line);
+        continue;
+      }
+      // Encoding-prefixed ordinary literal (u8"x", L'c', ...): treat the
+      // short prefix as part of the literal, not an identifier.
+      if (i < n && (source[i] == '"' || source[i] == '\'') &&
+          ident.size() <= 3 &&
+          (ident == "u" || ident == "U" || ident == "L" || ident == "u8")) {
+        // Fall through to the literal scanner with the prefix consumed.
+      } else {
+        push(TokKind::kIdent, ident, tok_line);
+        continue;
+      }
+    }
+
+    if (c == '"' || source[i] == '"' || c == '\'' || source[i] == '\'') {
+      const char quote = source[i];
+      const int tok_line = line;
+      size_t j = i + 1;
+      while (j < n && source[j] != quote) {
+        if (source[j] == '\\' && j + 1 < n) ++j;
+        if (source[j] == '\n') ++line;  // Unterminated; keep counting.
+        ++j;
+      }
+      i = j < n ? j + 1 : n;
+      push(quote == '"' ? TokKind::kString : TokKind::kChar, "", tok_line);
+      continue;
+    }
+
+    // pp-number: digits, idents, dots, exponent signs, digit separators.
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+      const int tok_line = line;
+      std::string num;
+      while (i < n) {
+        const char d = source[i];
+        if (IsIdentChar(d) || d == '.' || d == '\'') {
+          num += d;
+          ++i;
+          continue;
+        }
+        if ((d == '+' || d == '-') && !num.empty() &&
+            (num.back() == 'e' || num.back() == 'E' || num.back() == 'p' ||
+             num.back() == 'P')) {
+          num += d;
+          ++i;
+          continue;
+        }
+        break;
+      }
+      push(TokKind::kNumber, num, tok_line);
+      continue;
+    }
+
+    // Operators and punctuation.
+    bool matched = false;
+    for (const char* op : kTwoCharOps) {
+      if (source.compare(i, 2, op) == 0) {
+        push(TokKind::kPunct, op, line);
+        i += 2;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    push(TokKind::kPunct, std::string(1, c), line);
+    ++i;
+  }
+
+  out.num_lines = line;
+  return out;
+}
+
+bool IsSuppressed(const LexedFile& file, int line, const std::string& rule) {
+  auto it = file.nolint.find(line);
+  if (it == file.nolint.end()) return false;
+  return it->second.count("*") > 0 || it->second.count(rule) > 0;
+}
+
+}  // namespace cyqr_lint

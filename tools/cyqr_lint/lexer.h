@@ -1,0 +1,54 @@
+#ifndef CYQR_LINT_LEXER_H_
+#define CYQR_LINT_LEXER_H_
+
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace cyqr_lint {
+
+/// Token kinds produced by the lightweight C++ lexer. The lexer is not a
+/// full C++ front end: it strips comments and string/char literals (so
+/// rule matching never fires inside them), folds preprocessor directives
+/// into single tokens, and keeps just enough operator structure for the
+/// rules (":: -> . ! == != <= >=" stay combined; ">" is never combined
+/// into ">>" so template argument lists can be matched by bracket
+/// counting).
+enum class TokKind {
+  kIdent,
+  kNumber,
+  kString,     // Any string literal, including raw strings; text is "".
+  kChar,       // Character literal; text is "".
+  kPunct,      // Operator / punctuation, possibly multi-char.
+  kDirective,  // Whole preprocessor directive; text = name, aux = payload.
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  std::string aux;  // Directive payload (e.g. the "x.h" of an #include).
+  int line = 0;
+};
+
+/// A lexed source file plus the suppression map harvested from comments.
+struct LexedFile {
+  std::string path;
+  std::vector<Token> tokens;
+  /// line -> rules suppressed on that line via NOLINT / NOLINTNEXTLINE
+  /// comments. The special entry "*" suppresses every rule.
+  std::unordered_map<int, std::set<std::string>> nolint;
+  int num_lines = 0;
+};
+
+/// Lexes `source` (the file contents) into tokens. Never fails: bytes the
+/// lexer does not understand become single-character punct tokens.
+LexedFile LexFile(std::string path, const std::string& source);
+
+/// True when `file` suppresses `rule` on `line` (exact rule name, with or
+/// without the "cyqr-" prefix at the suppression site, or a bare NOLINT).
+bool IsSuppressed(const LexedFile& file, int line, const std::string& rule);
+
+}  // namespace cyqr_lint
+
+#endif  // CYQR_LINT_LEXER_H_

@@ -1,0 +1,78 @@
+#ifndef CYQR_LINT_LINT_H_
+#define CYQR_LINT_LINT_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace cyqr_lint {
+
+/// One finding. Formats as "file:line: [rule] message".
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// Cross-file facts shared by every rule. Populated by a pre-pass over
+/// all lexed files before any rule runs.
+struct LintContext {
+  /// Unqualified names of functions/methods declared to return Status or
+  /// Result<T> anywhere in the scanned tree. Seeded with the core factory
+  /// names so a call like Status::OK() is flagged even when status.h is
+  /// outside the scan set.
+  std::set<std::string> status_functions;
+};
+
+/// A named invariant check. Rules are pure: they read the lexed file and
+/// the shared context and emit diagnostics; suppression and allowlists
+/// are applied by the driver.
+class Rule {
+ public:
+  virtual ~Rule() = default;
+  virtual const char* name() const = 0;
+  virtual void Check(const LexedFile& file, const LintContext& ctx,
+                     std::vector<Diagnostic>* out) const = 0;
+};
+
+/// All built-in rules: discarded-status, unchecked-stream,
+/// banned-functions, raw-owning-new, include-hygiene.
+std::vector<std::unique_ptr<Rule>> BuildAllRules();
+
+/// Scans one lexed file for Status/Result-returning declarations
+/// (the pre-pass behind LintContext::status_functions).
+void CollectStatusFunctions(const LexedFile& file,
+                            std::set<std::string>* names);
+
+struct LintOptions {
+  /// When non-empty, only rules named here run.
+  std::set<std::string> enabled_rules;
+  /// rule name -> path substrings exempt from that rule.
+  std::map<std::string, std::vector<std::string>> allow;
+};
+
+struct LintResult {
+  std::vector<Diagnostic> diagnostics;  // Sorted by (file, line, rule).
+  int files_scanned = 0;
+  std::vector<std::string> errors;  // Unreadable paths etc.
+};
+
+/// Lints every C++ source file under `paths` (files or directories,
+/// recursively; .h/.hpp/.cc/.cpp). Two passes: collect cross-file facts,
+/// then run rules, dropping NOLINT-suppressed and allowlisted findings.
+LintResult RunLint(const std::vector<std::string>& paths,
+                   const LintOptions& options);
+
+/// Renders diagnostics as "file:line: [rule] message" lines, or as a JSON
+/// array of {file, line, rule, message} objects.
+std::string FormatText(const LintResult& result);
+std::string FormatJson(const LintResult& result);
+
+}  // namespace cyqr_lint
+
+#endif  // CYQR_LINT_LINT_H_

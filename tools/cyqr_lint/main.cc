@@ -1,0 +1,99 @@
+// cyqr_lint — project-native static analyzer for the cycleqr tree.
+//
+//   cyqr_lint [--json] [--rule=NAME ...] [--allow=RULE:PATH_FRAGMENT ...]
+//             [--list-rules] PATH [PATH ...]
+//
+// Walks the given files/directories (.h .hpp .cc .cpp) and enforces the
+// project invariants as named rules:
+//
+//   discarded-status   a Status/Result-returning call whose value is
+//                      ignored at statement level
+//   unchecked-stream   a file stream that is never error-checked after
+//                      use (the PR-1 LoadParameters bug class)
+//   banned-functions   std::rand / atoi / sprintf / time(nullptr) /
+//                      seedless std::mt19937 — determinism and safety
+//                      killers for replay debugging
+//   raw-owning-new     raw new/delete outside an allowlist
+//   include-hygiene    headers without guards; .cc files whose own
+//                      header is not the first include
+//
+// Suppression: `// NOLINT(cyqr-<rule>)` on the offending line, or
+// `// NOLINTNEXTLINE(cyqr-<rule>)` on the line above; a justification
+// after the closing paren is expected by review convention. Allowlists
+// exempt whole paths: `--allow=raw-owning-new:bench/`.
+//
+// Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace cyqr_lint {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: cyqr_lint [--json] [--rule=NAME ...] "
+               "[--allow=RULE:PATH_FRAGMENT ...] [--list-rules] "
+               "PATH [PATH ...]\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  LintOptions options;
+  std::vector<std::string> paths;
+  bool json = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--list-rules") {
+      for (const auto& rule : BuildAllRules()) {
+        std::printf("%s\n", rule->name());
+      }
+      return 0;
+    } else if (arg.rfind("--rule=", 0) == 0) {
+      options.enabled_rules.insert(arg.substr(7));
+    } else if (arg.rfind("--allow=", 0) == 0) {
+      const std::string spec = arg.substr(8);
+      const size_t colon = spec.find(':');
+      if (colon == std::string::npos || colon == 0 ||
+          colon + 1 >= spec.size()) {
+        std::fprintf(stderr, "bad --allow spec: %s\n", spec.c_str());
+        return Usage();
+      }
+      options.allow[spec.substr(0, colon)].push_back(
+          spec.substr(colon + 1));
+    } else if (arg == "--help" || arg == "-h") {
+      return Usage();
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return Usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) return Usage();
+
+  const LintResult result = RunLint(paths, options);
+  for (const std::string& error : result.errors) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+  }
+  if (json) {
+    std::fputs(FormatJson(result).c_str(), stdout);
+  } else {
+    std::fputs(FormatText(result).c_str(), stdout);
+    std::fprintf(stderr, "cyqr_lint: %d file(s), %zu violation(s)\n",
+                 result.files_scanned, result.diagnostics.size());
+  }
+  if (!result.errors.empty()) return 2;
+  return result.diagnostics.empty() ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace cyqr_lint
+
+int main(int argc, char** argv) { return cyqr_lint::Main(argc, argv); }

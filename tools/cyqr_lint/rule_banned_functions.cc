@@ -1,0 +1,99 @@
+#include "rules.h"
+
+namespace cyqr_lint {
+
+namespace {
+
+struct BannedEntry {
+  const char* ident;       // The called identifier.
+  bool require_call;       // Only flag when followed by '('.
+  const char* why;
+};
+
+/// Determinism killers and unbounded-buffer C functions. The replay
+/// debugger and the fault harness both assume a run can be reproduced
+/// from its seed; wall-clock seeding and global C RNG state break that.
+const BannedEntry kBanned[] = {
+    {"rand", true, "use cyqr::Rng with an explicit seed"},
+    {"srand", true, "use cyqr::Rng with an explicit seed"},
+    {"random_shuffle", true, "use std::shuffle with a seeded cyqr::Rng"},
+    {"atoi", true, "no error reporting; use std::strtol and check endptr"},
+    {"atol", true, "no error reporting; use std::strtol and check endptr"},
+    {"atof", true, "no error reporting; use std::strtod and check endptr"},
+    {"sprintf", true, "unbounded buffer write; use std::snprintf"},
+    {"vsprintf", true, "unbounded buffer write; use std::vsnprintf"},
+    {"gets", true, "unbounded buffer read"},
+};
+
+bool IsMemberAccess(const std::vector<Token>& toks, size_t i) {
+  return i > 0 && (IsPunct(toks, i - 1, ".") || IsPunct(toks, i - 1, "->"));
+}
+
+class BannedFunctionsRule : public Rule {
+ public:
+  const char* name() const override { return "banned-functions"; }
+
+  void Check(const LexedFile& file, const LintContext& /*ctx*/,
+             std::vector<Diagnostic>* out) const override {
+    const std::vector<Token>& toks = file.tokens;
+    for (size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i].kind != TokKind::kIdent) continue;
+      const std::string& t = toks[i].text;
+
+      for (const BannedEntry& entry : kBanned) {
+        if (t != entry.ident) continue;
+        if (entry.require_call && !IsPunct(toks, i + 1, "(")) continue;
+        // Member calls like parser.atoi(...) are a different function.
+        if (IsMemberAccess(toks, i)) continue;
+        Report(file, toks[i].line, "'" + t + "' is banned: " + entry.why,
+               out);
+        break;
+      }
+
+      // time(nullptr)/time(NULL)/time(0): wall-clock seeding.
+      if (t == "time" && IsPunct(toks, i + 1, "(") &&
+          !IsMemberAccess(toks, i) && i + 3 < toks.size() &&
+          IsPunct(toks, i + 3, ")") &&
+          (IsIdent(toks, i + 2, "nullptr") || IsIdent(toks, i + 2, "NULL") ||
+           (toks[i + 2].kind == TokKind::kNumber &&
+            toks[i + 2].text == "0"))) {
+        Report(file, toks[i].line,
+               "wall-clock seeding via 'time(...)' is banned: pass an "
+               "explicit seed so runs can be replayed",
+               out);
+      }
+
+      // Seedless std::mt19937 / mt19937_64: `std::mt19937 gen;` takes
+      // the implicit default seed, silently correlating every such
+      // generator in the process.
+      if ((t == "mt19937" || t == "mt19937_64") && i >= 2 &&
+          IsIdent(toks, i - 2, "std") && IsPunct(toks, i - 1, "::") &&
+          i + 2 < toks.size() && toks[i + 1].kind == TokKind::kIdent &&
+          IsPunct(toks, i + 2, ";")) {
+        Report(file, toks[i].line,
+               "seedless 'std::" + t + " " + toks[i + 1].text +
+                   ";' is banned: construct it with an explicit seed",
+               out);
+      }
+    }
+  }
+
+ private:
+  void Report(const LexedFile& file, int line, std::string message,
+              std::vector<Diagnostic>* out) const {
+    Diagnostic d;
+    d.file = file.path;
+    d.line = line;
+    d.rule = name();
+    d.message = std::move(message);
+    out->push_back(std::move(d));
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> MakeBannedFunctionsRule() {
+  return std::make_unique<BannedFunctionsRule>();
+}
+
+}  // namespace cyqr_lint

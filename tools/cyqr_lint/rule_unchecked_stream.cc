@@ -1,0 +1,112 @@
+#include "rules.h"
+
+namespace cyqr_lint {
+
+namespace {
+
+/// File-stream types whose every use must be followed by an error check.
+/// String streams are deliberately excluded: they fail only on malformed
+/// extraction, which the project handles through parsing Status paths.
+bool IsFileStreamType(const std::string& ident) {
+  return ident == "ifstream" || ident == "ofstream" || ident == "fstream";
+}
+
+bool IsStateProbe(const std::string& ident) {
+  return ident == "fail" || ident == "good" || ident == "bad" ||
+         ident == "eof" || ident == "is_open" || ident == "rdstate";
+}
+
+class UncheckedStreamRule : public Rule {
+ public:
+  const char* name() const override { return "unchecked-stream"; }
+
+  void Check(const LexedFile& file, const LintContext& /*ctx*/,
+             std::vector<Diagnostic>* out) const override {
+    const std::vector<Token>& toks = file.tokens;
+    std::vector<bool> in_condition;
+    MarkValueUseContexts(toks, &in_condition);
+
+    // Track brace depth so a stream's "scope region" runs from its
+    // declaration to the close of the enclosing block.
+    std::vector<int> depth_at(toks.size(), 0);
+    int depth = 0;
+    for (size_t i = 0; i < toks.size(); ++i) {
+      if (IsPunct(toks, i, "{")) ++depth;
+      if (IsPunct(toks, i, "}")) depth = depth > 0 ? depth - 1 : 0;
+      depth_at[i] = depth;
+    }
+
+    for (size_t i = 0; i + 3 < toks.size(); ++i) {
+      // Declaration shape: std :: (i|o)fstream NAME ...
+      if (!IsIdent(toks, i, "std") || !IsPunct(toks, i + 1, "::")) continue;
+      if (toks[i + 2].kind != TokKind::kIdent ||
+          !IsFileStreamType(toks[i + 2].text)) {
+        continue;
+      }
+      size_t name_idx = i + 3;
+      // Skip reference/pointer declarators (parameters like
+      // `std::ifstream& in` are the caller's responsibility).
+      if (IsPunct(toks, name_idx, "&") || IsPunct(toks, name_idx, "*")) {
+        continue;
+      }
+      if (name_idx >= toks.size() ||
+          toks[name_idx].kind != TokKind::kIdent) {
+        continue;  // e.g. a cast or template argument, not a declaration.
+      }
+      const std::string& var = toks[name_idx].text;
+      // Region: until the enclosing block closes.
+      const int decl_depth = depth_at[name_idx];
+      size_t region_end = toks.size();
+      for (size_t j = name_idx + 1; j < toks.size(); ++j) {
+        if (depth_at[j] < decl_depth) {
+          region_end = j;
+          break;
+        }
+      }
+      if (HasCheck(toks, in_condition, name_idx + 1, region_end, var)) {
+        continue;
+      }
+      Diagnostic d;
+      d.file = file.path;
+      d.line = toks[name_idx].line;
+      d.rule = name();
+      d.message = "stream '" + var +
+                  "' is never checked after use; test .fail()/.good()/"
+                  ".bad()/.is_open() or use it as a condition";
+      out->push_back(std::move(d));
+    }
+  }
+
+ private:
+  /// A check is any state probe on the variable, a negation, or the
+  /// variable appearing inside an if/while/for condition (stream-to-bool
+  /// or `while (std::getline(var, ...))`).
+  static bool HasCheck(const std::vector<Token>& toks,
+                       const std::vector<bool>& in_condition, size_t begin,
+                       size_t end, const std::string& var) {
+    for (size_t j = begin; j < end; ++j) {
+      if (toks[j].kind != TokKind::kIdent || toks[j].text != var) continue;
+      // `obj.var` / `obj->var()` is a member of something else, not this
+      // stream variable.
+      if (j > 0 && (IsPunct(toks, j - 1, ".") || IsPunct(toks, j - 1, "->"))) {
+        continue;
+      }
+      if (in_condition[j]) return true;
+      if (IsPunct(toks, j + 1, ".") && j + 2 < toks.size() &&
+          toks[j + 2].kind == TokKind::kIdent &&
+          IsStateProbe(toks[j + 2].text)) {
+        return true;
+      }
+      if (j > 0 && IsPunct(toks, j - 1, "!")) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> MakeUncheckedStreamRule() {
+  return std::make_unique<UncheckedStreamRule>();
+}
+
+}  // namespace cyqr_lint

@@ -1,0 +1,41 @@
+#ifndef CYQR_LINT_RULES_H_
+#define CYQR_LINT_RULES_H_
+
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+#include "lint.h"
+
+namespace cyqr_lint {
+
+/// Shared token-walking helpers for the rule implementations. All indices
+/// are positions into LexedFile::tokens.
+
+/// True for an identifier token with exactly this text.
+bool IsIdent(const std::vector<Token>& toks, size_t i, const char* text);
+
+/// True for a punct token with exactly this text.
+bool IsPunct(const std::vector<Token>& toks, size_t i, const char* text);
+
+/// Index of the ')' matching the '(' at `open`, or toks.size() when
+/// unbalanced. Also used for '{'/'}' and '<'/'>' via the bracket pair.
+size_t MatchForward(const std::vector<Token>& toks, size_t open,
+                    const char* open_text, const char* close_text);
+
+/// Marks every token index that sits inside an if/while/for/switch
+/// condition or a return expression — positions where using a value means
+/// the value is NOT discarded. `flags` is resized to toks.size().
+void MarkValueUseContexts(const std::vector<Token>& toks,
+                          std::vector<bool>* flags);
+
+/// Rule factories (one translation unit per rule).
+std::unique_ptr<Rule> MakeDiscardedStatusRule();
+std::unique_ptr<Rule> MakeUncheckedStreamRule();
+std::unique_ptr<Rule> MakeBannedFunctionsRule();
+std::unique_ptr<Rule> MakeRawOwningNewRule();
+std::unique_ptr<Rule> MakeIncludeHygieneRule();
+
+}  // namespace cyqr_lint
+
+#endif  // CYQR_LINT_RULES_H_
