@@ -24,7 +24,7 @@ int main() {
   warmup_options.max_steps = 320;
   warmup_options.warmup_steps = 320;
   CycleTrainer warmup_trainer(&warm, world.train, warmup_options);
-  warmup_trainer.Train({});
+  if (!warmup_trainer.Train({}).ok()) return 1;
   std::stringstream checkpoint;
   if (!SaveParameters(warm.Parameters(), checkpoint).ok()) return 1;
 
@@ -46,7 +46,7 @@ int main() {
     options.seed = 999;        // Same batches for every lambda.
     options.joint = lambda > 0.0f;
     CycleTrainer trainer(&model, world.train, options);
-    trainer.Train({});
+    if (!trainer.Train({}).ok()) return 1;
     model.SetTraining(false);
     const TrainMetricsPoint point = trainer.Evaluate(world.eval);
 

@@ -6,6 +6,7 @@
 // is only slightly affected.
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench/bench_util.h"
 
@@ -31,7 +32,12 @@ int main() {
     options.eval_every = 40;
     options.eval_queries = 64;
     CycleTrainer trainer(&model, world.train, options);
-    trainer.Train(eval_subset);
+    const Status trained = trainer.Train(eval_subset);
+    if (!trained.ok()) {
+      std::fprintf(stderr, "training failed: %s\n",
+                   trained.ToString().c_str());
+      std::exit(1);
+    }
     return trainer.curve();
   };
 

@@ -4,6 +4,7 @@
 // than the attention-based model on all three metrics".
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench/bench_util.h"
 
@@ -26,7 +27,12 @@ int main() {
     const std::vector<SeqPair> eval_subset(
         world.eval.begin(),
         world.eval.begin() + std::min<size_t>(64, world.eval.size()));
-    trainer.Train(eval_subset);
+    const Status trained = trainer.Train(eval_subset);
+    if (!trained.ok()) {
+      std::fprintf(stderr, "training failed: %s\n",
+                   trained.ToString().c_str());
+      std::exit(1);
+    }
     return trainer.curve();
   };
 

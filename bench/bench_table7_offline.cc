@@ -72,7 +72,8 @@ int main() {
   TwoTowerModel embedder(world.vocab.size(), 32, tower_rng);
   TwoTowerModel::TrainOptions tower_options;
   tower_options.steps = 400;
-  embedder.Train(world.train, tower_options);
+  const double tower_loss = embedder.Train(world.train, tower_options);
+  std::printf("two-tower final loss: %.4f\n", tower_loss);
 
   // Evaluation queries: those with rule synonyms (so all systems produce
   // rewrites), as in the paper's 1,000-query protocol.

@@ -1,6 +1,7 @@
 #include "bench/bench_util.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 
 #include "nn/serialize.h"
@@ -76,7 +77,12 @@ std::unique_ptr<CycleModel> GetTrainedCycleModel(
   std::printf("[bench] training model '%s' (this runs once; cached in %s)\n",
               cache_key.c_str(), kCacheDir);
   CycleTrainer trainer(model.get(), world.train, BenchTrainerOptions(joint));
-  trainer.Train({});
+  const Status trained = trainer.Train({});
+  if (!trained.ok()) {
+    std::fprintf(stderr, "[bench] training '%s' failed: %s\n",
+                 cache_key.c_str(), trained.ToString().c_str());
+    std::exit(1);
+  }
   model->SetTraining(false);
   std::error_code ec;
   std::filesystem::create_directories(kCacheDir, ec);

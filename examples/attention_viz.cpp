@@ -67,7 +67,7 @@ int main() {
   options.eval_every = 0;
   std::printf("training cycle model...\n");
   CycleTrainer trainer(&model, EncodePairs(token_pairs, vocab), options);
-  trainer.Train({});
+  if (!trainer.Train({}).ok()) return 1;
   model.SetTraining(false);
   CycleRewriter rewriter(&model, &vocab);
 

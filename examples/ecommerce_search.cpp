@@ -46,7 +46,7 @@ int main() {
               static_cast<long long>(train_options.max_steps));
   CycleTrainer trainer(&model, EncodePairs(token_pairs, vocab),
                        train_options);
-  trainer.Train({});
+  if (!trainer.Train({}).ok()) return 1;
   model.SetTraining(false);
   CycleRewriter rewriter(&model, &vocab);
 

@@ -44,7 +44,7 @@ int main() {
   std::printf("training offline cycle model...\n");
   CycleTrainer trainer(&cycle, EncodePairs(token_pairs, vocab),
                        cycle_options);
-  trainer.Train({});
+  if (!trainer.Train({}).ok()) return 1;
   cycle.SetTraining(false);
   CycleRewriter pipeline(&cycle, &vocab);
 

@@ -57,7 +57,7 @@ int main() {
   train_options.eval_every = 0;
   CycleTrainer trainer(&model, train, train_options);
   Stopwatch train_watch;
-  trainer.Train({});
+  if (!trainer.Train({}).ok()) return 1;
   model.SetTraining(false);
   std::printf("trained %lld steps in %.1fs\n",
               static_cast<long long>(trainer.step()),

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# End-to-end crash-resume drill through the real CLI: train a model with
+# checkpointing, train the same model again but die mid-run with a hard
+# exit (the drill's stand-in for SIGKILL), resume from the surviving
+# checkpoint, and require the resumed run's saved parameters to be
+# byte-identical to the uninterrupted baseline's.
+#
+# Usage: scripts/crash_resume_drill.sh /path/to/cyqr_cli [workdir]
+set -euo pipefail
+
+CLI="${1:?usage: crash_resume_drill.sh /path/to/cyqr_cli [workdir]}"
+WORK="${2:-$(mktemp -d)}"
+mkdir -p "$WORK"
+rm -rf "$WORK/data" "$WORK/baseline" "$WORK/crashed"
+
+STEPS=30
+CRASH_AT=23
+TRAIN_FLAGS=(--steps "$STEPS" --warmup 24 --batch 4 --layers 1
+             --seed 99 --checkpoint-every 5)
+
+echo "== drill workdir: $WORK"
+"$CLI" generate-data --out "$WORK/data" --queries 40 --sessions 120 \
+  --seed 7
+
+echo "== baseline: uninterrupted run"
+"$CLI" train --data "$WORK/data/pairs.tsv" --out "$WORK/baseline" \
+  "${TRAIN_FLAGS[@]}"
+
+echo "== crashed run: injecting hard crash at step $CRASH_AT"
+set +e
+"$CLI" train --data "$WORK/data/pairs.tsv" --out "$WORK/crashed" \
+  "${TRAIN_FLAGS[@]}" --crash-at-step "$CRASH_AT"
+crash_code=$?
+set -e
+if [[ "$crash_code" -ne 137 ]]; then
+  echo "FAIL: crashed run exited $crash_code, expected 137" >&2
+  exit 1
+fi
+if [[ -e "$WORK/crashed/model.params" ]]; then
+  echo "FAIL: crashed run left a model.params behind" >&2
+  exit 1
+fi
+ls "$WORK/crashed/checkpoints"/ckpt-*.cyqc > /dev/null
+
+echo "== resumed run: picking up from the newest checkpoint"
+"$CLI" train --data "$WORK/data/pairs.tsv" --out "$WORK/crashed" \
+  "${TRAIN_FLAGS[@]}" --resume
+
+echo "== comparing resumed parameters against the baseline"
+cmp "$WORK/baseline/model.params" "$WORK/crashed/model.params"
+echo "PASS: resumed model is byte-identical to the uninterrupted baseline"

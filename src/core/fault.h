@@ -1,0 +1,107 @@
+#ifndef CYCLEQR_CORE_FAULT_H_
+#define CYCLEQR_CORE_FAULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/deadline.h"
+#include "core/rng.h"
+#include "core/status.h"
+
+namespace cyqr {
+
+/// What to inject on calls to one dependency. Faults compose: a call can
+/// take a latency hit *and* fail. Two triggering mechanisms:
+///
+///  * probabilistic — `error_probability` / `latency_probability` /
+///    `corrupt_probability`, drawn from a seeded `cyqr::Rng`, so a
+///    "5% flaky cache" scenario is reproducible bit-for-bit;
+///  * deterministic window — calls with zero-based index in
+///    [`fail_calls_begin`, `fail_calls_end`) fail unconditionally, which is
+///    how tests script exact outage/recovery timelines (flapping model).
+///
+/// Lives in core (not serving) so both the serving harness and the
+/// training crash drills share one seam.
+struct FaultSpec {
+  double error_probability = 0.0;
+  StatusCode error_code = StatusCode::kInternal;
+  std::string error_message = "injected fault";
+
+  /// Latency spikes are charged to the request Deadline as virtual time —
+  /// deterministic and instant, yet the pipeline reacts as to a real stall.
+  double latency_probability = 0.0;
+  double latency_millis = 0.0;
+
+  /// Model backend only: the call "succeeds" but the output is mangled
+  /// (empty tokens, over-length rewrites) to exercise output validation.
+  double corrupt_probability = 0.0;
+
+  /// Deterministic failure window; disabled when begin < 0.
+  int64_t fail_calls_begin = -1;
+  int64_t fail_calls_end = -1;
+};
+
+/// A full serving scenario: per-backend specs plus the seed for the fault
+/// Rng. The members are named for the serving pipeline's two backends.
+struct FaultPlan {
+  FaultSpec cache;
+  FaultSpec model;
+  uint64_t seed = 42;
+};
+
+/// Builds the Status an injected failure reports (honors spec.error_code).
+[[nodiscard]] Status MakeInjectedError(const FaultSpec& spec);
+
+/// Applies one FaultSpec to a stream of calls. Mutable spec so tests can
+/// flip faults on and off mid-run (outage begins / clears).
+class FaultInjector {
+ public:
+  FaultInjector(const FaultSpec& spec, uint64_t seed);
+
+  /// Called once per backend call. Charges any injected latency to the
+  /// deadline, then returns the injected error, or OK to let the real call
+  /// proceed. Increments the call counter either way.
+  [[nodiscard]] Status OnCall(Deadline& deadline);
+
+  /// Model backends ask this after a successful call; true means "mangle
+  /// the output". Draws from the same seeded Rng.
+  bool ShouldCorrupt();
+
+  void set_spec(const FaultSpec& spec) { spec_ = spec; }
+  const FaultSpec& spec() const { return spec_; }
+  int64_t calls() const { return calls_; }
+  int64_t injected_errors() const { return injected_errors_; }
+  int64_t injected_latency_spikes() const { return injected_latency_spikes_; }
+
+ private:
+  FaultSpec spec_;
+  Rng rng_;
+  int64_t calls_ = 0;
+  int64_t injected_errors_ = 0;
+  int64_t injected_latency_spikes_ = 0;
+};
+
+/// Training-side fault plan, consumed by CycleTrainer: poisons chosen
+/// steps with a NaN loss (exercising the numerical guardrails) and/or
+/// kills the process at a chosen step (exercising crash-safe resume).
+struct TrainFaultPlan {
+  /// 1-based steps whose batch loss is overwritten with NaN before
+  /// backward, the way a degenerate batch or an fp overflow would.
+  std::vector<int64_t> nan_loss_steps;
+
+  /// Process dies (as if SIGKILLed) at the start of this step, before any
+  /// state is mutated; disabled when < 0.
+  int64_t crash_at_step = -1;
+
+  bool StepHasNanLoss(int64_t step) const;
+};
+
+/// Terminates the process immediately with exit code 137 (the shell's
+/// code for SIGKILL): no destructors, no atexit handlers, no stream
+/// flushes — the closest in-process stand-in for `kill -9`.
+[[noreturn]] void SimulateCrash();
+
+}  // namespace cyqr
+
+#endif  // CYCLEQR_CORE_FAULT_H_

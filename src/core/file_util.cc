@@ -1,5 +1,8 @@
 #include "core/file_util.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -7,6 +10,15 @@
 namespace cyqr {
 
 std::string TempPathFor(const std::string& path) { return path + ".tmp"; }
+
+Status SyncFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IoError("cannot open for fsync: " + path);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Status::IoError("fsync failed: " + path);
+  return Status::OK();
+}
 
 Status WriteStringToFileAtomic(const std::string& path,
                                const std::string& contents) {
@@ -23,6 +35,14 @@ Status WriteStringToFileAtomic(const std::string& path,
       std::filesystem::remove(tmp, ec);
       return Status::IoError("failed writing " + tmp);
     }
+  }
+  // Order the data before the rename commit: after a crash, the renamed
+  // file is either absent or complete, never empty-but-named.
+  const Status synced = SyncFile(tmp);
+  if (!synced.ok()) {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    return synced;
   }
   return RenameFile(tmp, path);
 }

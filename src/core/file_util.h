@@ -11,10 +11,15 @@ namespace cyqr {
 std::string TempPathFor(const std::string& path);
 
 /// Atomically replaces `path` with `contents`: writes `path`.tmp in full,
-/// then renames it over `path`. A crash mid-write leaves the old file
-/// untouched; readers never observe a partially written file.
+/// fsyncs it, then renames it over `path`. A crash mid-write (or a power
+/// cut: the fsync orders the data before the rename commit) leaves the old
+/// file untouched; readers never observe a partially written file.
 [[nodiscard]] Status WriteStringToFileAtomic(const std::string& path,
                                const std::string& contents);
+
+/// Flushes a file's data to stable storage (fsync). Used by atomic writers
+/// that stream into the temp file themselves, before RenameFile commits.
+[[nodiscard]] Status SyncFile(const std::string& path);
 
 /// Renames `from` over `to` (the commit step for writers that stream into
 /// the temp file themselves).

@@ -113,4 +113,18 @@ std::vector<size_t> Rng::Permutation(size_t n) {
 
 Rng Rng::Split() { return Rng(NextUint64()); }
 
+RngState Rng::state() const {
+  RngState state;
+  for (int i = 0; i < 4; ++i) state.s[i] = s_[i];
+  state.has_cached_gaussian = has_cached_gaussian_;
+  state.cached_gaussian = cached_gaussian_;
+  return state;
+}
+
+void Rng::set_state(const RngState& state) {
+  for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
+  has_cached_gaussian_ = state.has_cached_gaussian;
+  cached_gaussian_ = state.cached_gaussian;
+}
+
 }  // namespace cyqr

@@ -7,6 +7,16 @@
 
 namespace cyqr {
 
+/// Complete serializable state of an Rng: the xoshiro256** words plus the
+/// Box-Muller cache. Capturing and restoring it mid-stream reproduces the
+/// remaining sequence bit-for-bit — the seam crash-safe training resume
+/// relies on.
+struct RngState {
+  uint64_t s[4] = {0, 0, 0, 0};
+  bool has_cached_gaussian = false;
+  double cached_gaussian = 0.0;
+};
+
 /// Deterministic pseudo-random number generator (xoshiro256** seeded through
 /// splitmix64). Every stochastic component in the library takes an Rng so
 /// experiments are reproducible bit-for-bit across runs.
@@ -48,6 +58,10 @@ class Rng {
 
   /// Splits off an independent generator (for deterministic sub-streams).
   Rng Split();
+
+  /// Snapshots / restores the full generator state (checkpoint support).
+  RngState state() const;
+  void set_state(const RngState& state);
 
  private:
   uint64_t s_[4];

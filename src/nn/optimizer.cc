@@ -45,4 +45,38 @@ void Adam::ZeroGrad() {
   for (Tensor& p : params_) p.ZeroGrad();
 }
 
+AdamState Adam::ExportState() const {
+  AdamState state;
+  state.step = step_;
+  state.m = m_;
+  state.v = v_;
+  return state;
+}
+
+Status Adam::ImportState(const AdamState& state) {
+  if (state.step < 0) {
+    return Status::InvalidArgument("optimizer state: negative step");
+  }
+  if (state.m.size() != params_.size() ||
+      state.v.size() != params_.size()) {
+    return Status::InvalidArgument(
+        "optimizer state: moment count mismatch (state has " +
+        std::to_string(state.m.size()) + "/" +
+        std::to_string(state.v.size()) + " vectors, optimizer has " +
+        std::to_string(params_.size()) + " parameters)");
+  }
+  for (size_t i = 0; i < params_.size(); ++i) {
+    const size_t n = static_cast<size_t>(params_[i].NumElements());
+    if (state.m[i].size() != n || state.v[i].size() != n) {
+      return Status::InvalidArgument(
+          "optimizer state: moment size mismatch at parameter " +
+          std::to_string(i));
+    }
+  }
+  step_ = state.step;
+  m_ = state.m;
+  v_ = state.v;
+  return Status::OK();
+}
+
 }  // namespace cyqr

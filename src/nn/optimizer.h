@@ -3,9 +3,21 @@
 
 #include <vector>
 
+#include "core/status.h"
 #include "tensor/tensor.h"
 
 namespace cyqr {
+
+/// Complete resumable state of an Adam optimizer: the bias-correction step
+/// counter and the first/second moment vectors, one per parameter in
+/// registration order. Exporting, persisting (see nn/serialize.h), and
+/// importing this state reproduces the exact same next update — the
+/// contract crash-safe training resume depends on.
+struct AdamState {
+  int64_t step = 0;
+  std::vector<std::vector<float>> m;
+  std::vector<std::vector<float>> v;
+};
 
 /// Adam optimizer (Kingma & Ba) over a fixed parameter list — the optimizer
 /// the paper uses (lr 0.05 with Noam schedule, beta1 0.9, beta2 0.999,
@@ -27,6 +39,14 @@ class Adam {
 
   /// Zeroes all parameter gradients.
   void ZeroGrad();
+
+  /// Deep-copies the moment vectors and step counter.
+  AdamState ExportState() const;
+
+  /// Restores a previously exported state. Fails (leaving this optimizer
+  /// untouched) unless the state's shape matches this optimizer's
+  /// parameter list exactly.
+  [[nodiscard]] Status ImportState(const AdamState& state);
 
   void set_learning_rate(float lr) { options_.learning_rate = lr; }
   float learning_rate() const { return options_.learning_rate; }

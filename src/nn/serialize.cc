@@ -15,6 +15,12 @@ namespace {
 
 constexpr uint32_t kMagic = 0x43595152;        // "CYQR"
 constexpr uint32_t kFooterMagic = 0x46515943;  // "CYQF"
+constexpr uint32_t kAdamMagic = 0x43594141;    // "CYAA" — Adam state.
+// Rejects absurd counts from corrupt streams before they drive
+// allocations: no model in this library has more than a few hundred
+// parameter tensors, and no tensor exceeds a few million elements.
+constexpr uint64_t kMaxStateVectors = 1u << 20;
+constexpr uint64_t kMaxVectorElements = 1u << 28;
 // Tensors in this library are rank <= 3; anything bigger in a stream is
 // garbage, and bounding it keeps a corrupt rank from driving the dim loop.
 constexpr uint32_t kMaxRank = 8;
@@ -170,6 +176,99 @@ Status LoadParameters(std::vector<Tensor> params, std::istream& in) {
     std::memcpy(params[t].data(), staged[t].data(),
                 sizeof(float) * staged[t].size());
   }
+  return Status::OK();
+}
+
+namespace {
+
+void WriteFloatVectors(HashingWriter& writer,
+                       const std::vector<std::vector<float>>& vectors) {
+  const uint64_t count = vectors.size();
+  writer.Write(count);
+  for (const std::vector<float>& vec : vectors) {
+    const uint64_t n = vec.size();
+    writer.Write(n);
+    writer.WriteBytes(vec.data(), sizeof(float) * vec.size());
+  }
+}
+
+Status ReadFloatVectors(HashingReader& reader,
+                        std::vector<std::vector<float>>* out,
+                        const char* what) {
+  uint64_t count = 0;
+  CYQR_RETURN_IF_ERROR(reader.Read(&count, what));
+  if (count > kMaxStateVectors) {
+    return Status::InvalidArgument(std::string(what) +
+                                   ": vector count out of range");
+  }
+  out->resize(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t n = 0;
+    CYQR_RETURN_IF_ERROR(reader.Read(&n, what));
+    if (n > kMaxVectorElements) {
+      return Status::InvalidArgument(std::string(what) +
+                                     ": vector length out of range");
+    }
+    (*out)[i].resize(n);
+    CYQR_RETURN_IF_ERROR(
+        reader.ReadBytes((*out)[i].data(), sizeof(float) * n, what));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveAdamState(const AdamState& state, std::ostream& out) {
+  HashingWriter writer(out);
+  writer.Write(kAdamMagic);
+  writer.Write(state.step);
+  WriteFloatVectors(writer, state.m);
+  WriteFloatVectors(writer, state.v);
+  const uint64_t payload_bytes = writer.bytes();
+  const uint64_t checksum = writer.checksum();
+  out.write(reinterpret_cast<const char*>(&kFooterMagic),
+            sizeof(kFooterMagic));
+  out.write(reinterpret_cast<const char*>(&payload_bytes),
+            sizeof(payload_bytes));
+  out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  if (!out.good()) return Status::IoError("failed writing optimizer state");
+  return Status::OK();
+}
+
+Status LoadAdamState(std::istream& in, AdamState* out) {
+  HashingReader reader(in);
+  uint32_t magic = 0;
+  CYQR_RETURN_IF_ERROR(reader.Read(&magic, "optimizer magic"));
+  if (magic != kAdamMagic) {
+    return Status::IoError("bad magic in optimizer state stream");
+  }
+  // Stage into a local; `out` is only assigned after the footer validates.
+  AdamState staged;
+  CYQR_RETURN_IF_ERROR(reader.Read(&staged.step, "optimizer step"));
+  CYQR_RETURN_IF_ERROR(
+      ReadFloatVectors(reader, &staged.m, "optimizer first moments"));
+  CYQR_RETURN_IF_ERROR(
+      ReadFloatVectors(reader, &staged.v, "optimizer second moments"));
+  uint32_t footer_magic = 0;
+  uint64_t payload_bytes = 0;
+  uint64_t checksum = 0;
+  in.read(reinterpret_cast<char*>(&footer_magic), sizeof(footer_magic));
+  in.read(reinterpret_cast<char*>(&payload_bytes), sizeof(payload_bytes));
+  in.read(reinterpret_cast<char*>(&checksum), sizeof(checksum));
+  if (!in.good()) {
+    return Status::IoError("truncated optimizer state stream: footer");
+  }
+  if (footer_magic != kFooterMagic) {
+    return Status::IoError("bad footer magic in optimizer state stream");
+  }
+  if (payload_bytes != reader.bytes()) {
+    return Status::IoError("optimizer state payload length mismatch");
+  }
+  if (checksum != reader.checksum()) {
+    return Status::IoError(
+        "optimizer state checksum mismatch (corrupt stream)");
+  }
+  *out = std::move(staged);
   return Status::OK();
 }
 

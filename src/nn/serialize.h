@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/status.h"
+#include "nn/optimizer.h"
 #include "tensor/tensor.h"
 
 namespace cyqr {
@@ -31,6 +32,20 @@ namespace cyqr {
     const std::vector<Tensor>& params, const std::string& path);
 [[nodiscard]] Status LoadParametersFromFile(std::vector<Tensor> params,
                                             const std::string& path);
+
+/// Writes a full Adam optimizer state (step counter + first/second moment
+/// vectors) in the same framed binary format as SaveParameters: magic,
+/// payload, integrity footer (payload length + FNV-1a checksum). Restoring
+/// the state into a structurally identical optimizer reproduces the exact
+/// same next update.
+[[nodiscard]] Status SaveAdamState(const AdamState& state,
+                                   std::ostream& out);
+
+/// Reads an Adam state back. All-or-nothing: a truncated stream, a bad
+/// magic, or a checksum mismatch returns an error and leaves `out`
+/// untouched. Structural validation against the consuming optimizer
+/// happens in Adam::ImportState.
+[[nodiscard]] Status LoadAdamState(std::istream& in, AdamState* out);
 
 }  // namespace cyqr
 

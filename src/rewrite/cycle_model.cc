@@ -25,6 +25,7 @@ std::unique_ptr<Seq2SeqModel> MakeModel(ArchType arch,
 
 CycleModel::CycleModel(const CycleConfig& config, Rng& rng)
     : config_(config),
+      rng_(&rng),
       forward_(MakeModel(config.arch, config.forward, rng)),
       backward_(MakeModel(config.arch, config.backward, rng)) {}
 

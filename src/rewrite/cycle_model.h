@@ -14,6 +14,8 @@ namespace cyqr {
 /// with the cycle-consistency likelihood (Eq. 3); see CycleTrainer.
 class CycleModel {
  public:
+  /// `rng` seeds parameter init and stays wired into the dropout layers,
+  /// so it must outlive the model.
   CycleModel(const CycleConfig& config, Rng& rng);
 
   Seq2SeqModel& forward() { return *forward_; }
@@ -23,6 +25,11 @@ class CycleModel {
 
   const CycleConfig& config() const { return config_; }
 
+  /// The Rng the model was built with — the dropout layers keep drawing
+  /// from it during training, so resumable training must checkpoint its
+  /// state alongside the parameters.
+  Rng& rng() { return *rng_; }
+
   /// Trainable parameters of both models (forward first).
   std::vector<Tensor> Parameters() const;
 
@@ -30,6 +37,7 @@ class CycleModel {
 
  private:
   CycleConfig config_;
+  Rng* rng_;
   std::unique_ptr<Seq2SeqModel> forward_;
   std::unique_ptr<Seq2SeqModel> backward_;
 };

@@ -2,11 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <filesystem>
+#include <limits>
 #include <set>
 
 #include "core/check.h"
 #include "core/math.h"
 #include "decode/topn_sampling.h"
+#include "rewrite/checkpoint.h"
 #include "tensor/ops.h"
 
 namespace cyqr {
@@ -145,9 +148,28 @@ double CycleTrainer::StepOnce() {
 
   optimizer_.ZeroGrad();
   loss.Backward();
-  ClipGradNorm(model_->Parameters(), options_.grad_clip);
-  optimizer_.Step();
-  return loss.item();
+  double loss_value = loss.item();
+  if (options_.fault_plan.StepHasNanLoss(step_)) {
+    // Drill hook: pretend this batch produced a NaN loss so the guardrail
+    // path below is exercised end to end.
+    loss_value = std::numeric_limits<double>::quiet_NaN();
+  }
+  const double grad_norm =
+      ClipGradNorm(model_->Parameters(), options_.grad_clip);
+  grad_norms_.push_back(grad_norm);
+  const bool anomaly = !std::isfinite(loss_value) ||
+                       !std::isfinite(grad_norm) ||
+                       grad_norm > options_.anomaly_grad_norm;
+  if (anomaly) {
+    // Skip the update: the parameters stay untouched by a poisoned batch,
+    // and the streak counter drives the rollback decision in Train().
+    ++consecutive_anomalies_;
+    ++skipped_batches_;
+  } else {
+    consecutive_anomalies_ = 0;
+    optimizer_.Step();
+  }
+  return loss_value;
 }
 
 TrainMetricsPoint CycleTrainer::Evaluate(
@@ -230,8 +252,72 @@ TrainMetricsPoint CycleTrainer::Evaluate(
   return point;
 }
 
-void CycleTrainer::Train(const std::vector<SeqPair>& eval_pairs) {
-  for (int64_t t = step_; t < options_.max_steps; ++t) {
+Status CycleTrainer::SaveCheckpoint() {
+  if (options_.checkpoint_dir.empty()) {
+    return Status::InvalidArgument(
+        "SaveCheckpoint requires options.checkpoint_dir");
+  }
+  TrainerCheckpoint ckpt;
+  ckpt.step = step_;
+  ckpt.trainer_rng = rng_.state();
+  ckpt.model_rng = model_->rng().state();
+  ckpt.consecutive_anomalies = consecutive_anomalies_;
+  ckpt.skipped_batches = skipped_batches_;
+  ckpt.optimizer = optimizer_.ExportState();
+  ckpt.curve = curve_;
+  ckpt.grad_norms = grad_norms_;
+  const std::string path =
+      options_.checkpoint_dir + "/" + CheckpointFileName(step_);
+  CYQR_RETURN_IF_ERROR(
+      SaveTrainerCheckpoint(model_->Parameters(), ckpt, path));
+  CYQR_RETURN_IF_ERROR(
+      PruneCheckpoints(options_.checkpoint_dir, options_.checkpoint_keep));
+  if (consecutive_anomalies_ == 0) last_good_checkpoint_ = path;
+  return Status::OK();
+}
+
+Status CycleTrainer::Resume(const std::string& path) {
+  TrainerCheckpoint ckpt;
+  CYQR_RETURN_IF_ERROR(
+      LoadTrainerCheckpoint(model_->Parameters(), &ckpt, path));
+  CYQR_RETURN_IF_ERROR(optimizer_.ImportState(ckpt.optimizer));
+  rng_.set_state(ckpt.trainer_rng);
+  model_->rng().set_state(ckpt.model_rng);
+  step_ = ckpt.step;
+  consecutive_anomalies_ = ckpt.consecutive_anomalies;
+  skipped_batches_ = ckpt.skipped_batches;
+  curve_ = std::move(ckpt.curve);
+  grad_norms_ = std::move(ckpt.grad_norms);
+  return Status::OK();
+}
+
+Status CycleTrainer::ResumeLatest() {
+  if (options_.checkpoint_dir.empty()) {
+    return Status::InvalidArgument(
+        "ResumeLatest requires options.checkpoint_dir");
+  }
+  Result<std::string> latest = LatestCheckpointFile(options_.checkpoint_dir);
+  if (!latest.ok()) return latest.status();
+  return Resume(latest.value());
+}
+
+Status CycleTrainer::Train(const std::vector<SeqPair>& eval_pairs) {
+  if (options_.checkpoint_every > 0) {
+    if (options_.checkpoint_dir.empty()) {
+      return Status::InvalidArgument(
+          "options.checkpoint_every requires options.checkpoint_dir");
+    }
+    std::error_code ec;
+    std::filesystem::create_directories(options_.checkpoint_dir, ec);
+    if (ec) {
+      return Status::IoError("cannot create checkpoint directory " +
+                             options_.checkpoint_dir);
+    }
+  }
+  while (step_ < options_.max_steps) {
+    if (options_.fault_plan.crash_at_step == step_ + 1) {
+      SimulateCrash();  // Drill hook: die as if SIGKILLed mid-run.
+    }
     StepOnce();
     if (options_.eval_every > 0 &&
         (step_ % options_.eval_every == 0 || step_ == options_.max_steps)) {
@@ -239,7 +325,29 @@ void CycleTrainer::Train(const std::vector<SeqPair>& eval_pairs) {
       curve_.push_back(Evaluate(eval_pairs));
       model_->SetTraining(true);
     }
+    if (options_.checkpoint_every > 0 &&
+        step_ % options_.checkpoint_every == 0) {
+      CYQR_RETURN_IF_ERROR(SaveCheckpoint());
+    }
+    if (consecutive_anomalies_ >= options_.max_consecutive_anomalies) {
+      if (last_good_checkpoint_.empty()) {
+        return Status::Internal(
+            "training diverged (" +
+            std::to_string(consecutive_anomalies_) +
+            " consecutive anomalous batches) with no checkpoint to roll "
+            "back to");
+      }
+      ++rollbacks_;
+      if (rollbacks_ > options_.max_rollbacks) {
+        return Status::Internal(
+            "training diverged: rollback budget exhausted after " +
+            std::to_string(rollbacks_ - 1) + " rollbacks");
+      }
+      CYQR_RETURN_IF_ERROR(Resume(last_good_checkpoint_));
+      consecutive_anomalies_ = 0;
+    }
   }
+  return Status::OK();
 }
 
 double TrainSupervised(Seq2SeqModel& model,

@@ -2,8 +2,11 @@
 #define CYCLEQR_REWRITE_TRAINER_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "core/fault.h"
+#include "core/status.h"
 #include "datagen/click_log.h"
 #include "datagen/query_pairs.h"
 #include "nmt/scorer.h"
@@ -52,6 +55,25 @@ struct CycleTrainerOptions {
   int64_t eval_queries = 32;    // Queries used for translate-back metrics.
   float label_smoothing = 0.0f; // Uniform label smoothing for L_f / L_b.
   uint64_t seed = 123;
+
+  // --- Crash-safe training ---------------------------------------------
+  // Checkpoint period in steps (0 = never checkpoint). When enabled,
+  // `checkpoint_dir` must be set; the newest `checkpoint_keep` files are
+  // retained and older ones rotated away.
+  int64_t checkpoint_every = 0;
+  std::string checkpoint_dir;
+  int64_t checkpoint_keep = 3;
+  // Guardrails: a step whose loss is non-finite, or whose pre-clip
+  // gradient norm is non-finite or above `anomaly_grad_norm`, is skipped
+  // (no optimizer update). After `max_consecutive_anomalies` skipped
+  // steps in a row the trainer rolls back to the last checkpoint written
+  // on a healthy step; after `max_rollbacks` rollbacks Train() gives up
+  // and returns an error instead of looping forever.
+  double anomaly_grad_norm = 1e6;
+  int64_t max_consecutive_anomalies = 5;
+  int64_t max_rollbacks = 2;
+  // Fault drill hooks: inject NaN losses / a hard crash at chosen steps.
+  TrainFaultPlan fault_plan;
 };
 
 /// Algorithm 1: cyclic-consistent training. Warmup phase maximizes the two
@@ -66,16 +88,43 @@ class CycleTrainer {
   CycleTrainer(CycleModel* model, std::vector<SeqPair> train_pairs,
                const CycleTrainerOptions& options);
 
-  /// Runs the full schedule; records the metric curve on `eval_pairs` every
-  /// options.eval_every steps.
-  void Train(const std::vector<SeqPair>& eval_pairs);
+  /// Runs the full schedule (or the remainder after Resume); records the
+  /// metric curve on `eval_pairs` every options.eval_every steps, writes
+  /// checkpoints per options.checkpoint_every, and applies the anomaly
+  /// guardrails. Fails if checkpointing is misconfigured, a checkpoint
+  /// cannot be written, or the rollback budget is exhausted.
+  [[nodiscard]] Status Train(const std::vector<SeqPair>& eval_pairs);
 
   /// Executes a single optimization step; returns the batch loss.
+  /// Anomalous batches (see CycleTrainerOptions) are skipped: gradients
+  /// are computed and recorded but the optimizer is not stepped.
   /// Exposed for tests.
   double StepOnce();
 
+  /// Restores parameters, optimizer state, both RNG streams, the step
+  /// counter, and the metric/grad-norm traces from a checkpoint written by
+  /// a trainer with identical configuration. After Resume, Train()
+  /// replays the remaining steps bit-identically to a run that was never
+  /// interrupted.
+  [[nodiscard]] Status Resume(const std::string& path);
+
+  /// Resume from the newest checkpoint in options.checkpoint_dir;
+  /// NotFound when the directory holds none.
+  [[nodiscard]] Status ResumeLatest();
+
+  /// Writes a checkpoint for the current step into options.checkpoint_dir
+  /// and rotates old files. Train() calls this on schedule; exposed for
+  /// tests and the CLI.
+  [[nodiscard]] Status SaveCheckpoint();
+
   const std::vector<TrainMetricsPoint>& curve() const { return curve_; }
   int64_t step() const { return step_; }
+  /// Pre-clip global gradient L2 norm of every executed step, in order —
+  /// the observability trace behind the anomaly guardrail.
+  const std::vector<double>& grad_norms() const { return grad_norms_; }
+  int64_t skipped_batches() const { return skipped_batches_; }
+  int64_t consecutive_anomalies() const { return consecutive_anomalies_; }
+  int64_t rollbacks() const { return rollbacks_; }
 
   /// Evaluates the Figure 7 metrics at the current parameters.
   TrainMetricsPoint Evaluate(const std::vector<SeqPair>& eval_pairs);
@@ -91,6 +140,14 @@ class CycleTrainer {
   Rng rng_;
   int64_t step_ = 0;
   std::vector<TrainMetricsPoint> curve_;
+  std::vector<double> grad_norms_;
+  int64_t consecutive_anomalies_ = 0;
+  int64_t skipped_batches_ = 0;
+  int64_t rollbacks_ = 0;
+  // Newest checkpoint written while the anomaly streak was zero — the
+  // rollback target. Rotation keeps it alive as long as healthy
+  // checkpoints are more recent than `checkpoint_keep` unhealthy ones.
+  std::string last_good_checkpoint_;
 };
 
 /// Plain supervised seq2seq training (used for the direct query-to-query

@@ -2,58 +2,6 @@
 
 namespace cyqr {
 
-namespace {
-
-Status MakeInjectedError(const FaultSpec& spec) {
-  switch (spec.error_code) {
-    case StatusCode::kInvalidArgument:
-      return Status::InvalidArgument(spec.error_message);
-    case StatusCode::kNotFound:
-      return Status::NotFound(spec.error_message);
-    case StatusCode::kOutOfRange:
-      return Status::OutOfRange(spec.error_message);
-    case StatusCode::kFailedPrecondition:
-      return Status::FailedPrecondition(spec.error_message);
-    case StatusCode::kIoError:
-      return Status::IoError(spec.error_message);
-    case StatusCode::kUnimplemented:
-      return Status::Unimplemented(spec.error_message);
-    case StatusCode::kInternal:
-    case StatusCode::kOk:
-    default:
-      return Status::Internal(spec.error_message);
-  }
-}
-
-}  // namespace
-
-FaultInjector::FaultInjector(const FaultSpec& spec, uint64_t seed)
-    : spec_(spec), rng_(seed) {}
-
-Status FaultInjector::OnCall(Deadline& deadline) {
-  const int64_t call = calls_++;
-  if (spec_.latency_probability > 0 &&
-      rng_.NextBernoulli(spec_.latency_probability)) {
-    deadline.Charge(spec_.latency_millis);
-    ++injected_latency_spikes_;
-  }
-  const bool in_window = spec_.fail_calls_begin >= 0 &&
-                         call >= spec_.fail_calls_begin &&
-                         call < spec_.fail_calls_end;
-  const bool coin = spec_.error_probability > 0 &&
-                    rng_.NextBernoulli(spec_.error_probability);
-  if (in_window || coin) {
-    ++injected_errors_;
-    return MakeInjectedError(spec_);
-  }
-  return Status::OK();
-}
-
-bool FaultInjector::ShouldCorrupt() {
-  return spec_.corrupt_probability > 0 &&
-         rng_.NextBernoulli(spec_.corrupt_probability);
-}
-
 Status FaultyKvBackend::Lookup(const std::string& key, Deadline& deadline,
                                RewriteKvStore::Rewrites* out) {
   CYQR_RETURN_IF_ERROR(injector_.OnCall(deadline));

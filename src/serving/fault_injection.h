@@ -5,75 +5,15 @@
 #include <string>
 #include <vector>
 
-#include "core/rng.h"
+#include "core/fault.h"
 #include "core/status.h"
 #include "serving/backends.h"
 
 namespace cyqr {
 
-/// What to inject on calls to one backend. Faults compose: a call can take
-/// a latency hit *and* fail. Two triggering mechanisms:
-///
-///  * probabilistic — `error_probability` / `latency_probability` /
-///    `corrupt_probability`, drawn from the plan's seeded `cyqr::Rng`, so a
-///    "5% flaky cache" scenario is reproducible bit-for-bit;
-///  * deterministic window — calls with zero-based index in
-///    [`fail_calls_begin`, `fail_calls_end`) fail unconditionally, which is
-///    how tests script exact outage/recovery timelines (flapping model).
-struct FaultSpec {
-  double error_probability = 0.0;
-  StatusCode error_code = StatusCode::kInternal;
-  std::string error_message = "injected fault";
-
-  /// Latency spikes are charged to the request Deadline as virtual time —
-  /// deterministic and instant, yet the pipeline reacts as to a real stall.
-  double latency_probability = 0.0;
-  double latency_millis = 0.0;
-
-  /// Model backend only: the call "succeeds" but the output is mangled
-  /// (empty tokens, over-length rewrites) to exercise output validation.
-  double corrupt_probability = 0.0;
-
-  /// Deterministic failure window; disabled when begin < 0.
-  int64_t fail_calls_begin = -1;
-  int64_t fail_calls_end = -1;
-};
-
-/// A full scenario: per-backend specs plus the seed for the fault Rng.
-struct FaultPlan {
-  FaultSpec cache;
-  FaultSpec model;
-  uint64_t seed = 42;
-};
-
-/// Applies one FaultSpec to a stream of calls. Mutable spec so tests can
-/// flip faults on and off mid-run (outage begins / clears).
-class FaultInjector {
- public:
-  FaultInjector(const FaultSpec& spec, uint64_t seed);
-
-  /// Called once per backend call. Charges any injected latency to the
-  /// deadline, then returns the injected error, or OK to let the real call
-  /// proceed. Increments the call counter either way.
-  [[nodiscard]] Status OnCall(Deadline& deadline);
-
-  /// Model backends ask this after a successful call; true means "mangle
-  /// the output". Draws from the same seeded Rng.
-  bool ShouldCorrupt();
-
-  void set_spec(const FaultSpec& spec) { spec_ = spec; }
-  const FaultSpec& spec() const { return spec_; }
-  int64_t calls() const { return calls_; }
-  int64_t injected_errors() const { return injected_errors_; }
-  int64_t injected_latency_spikes() const { return injected_latency_spikes_; }
-
- private:
-  FaultSpec spec_;
-  Rng rng_;
-  int64_t calls_ = 0;
-  int64_t injected_errors_ = 0;
-  int64_t injected_latency_spikes_ = 0;
-};
+// The generic fault seams (FaultSpec, FaultPlan, FaultInjector) live in
+// core/fault.h so the training crash drills can share them; this header
+// keeps the serving-side decorators that apply them to real backends.
 
 /// KvBackend decorator that injects faults in front of a real backend.
 class FaultyKvBackend : public KvBackend {

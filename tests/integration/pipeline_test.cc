@@ -49,7 +49,7 @@ class PipelineTest : public ::testing::Test {
     options.eval_every = 0;
     CycleTrainer trainer(world_->model.get(),
                          EncodePairs(token_pairs, world_->vocab), options);
-    trainer.Train({});
+    ASSERT_TRUE(trainer.Train({}).ok());
     world_->model->SetTraining(false);
 
     // 3. Index.

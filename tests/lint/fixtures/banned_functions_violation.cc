@@ -21,8 +21,3 @@ int Parse(const char* s) {
 void Format(char* buf, int v) {
   sprintf(buf, "%d", v);  // violation: unbounded write
 }
-
-std::mt19937 MakeEngine() {
-  std::mt19937 engine;  // violation: seedless engine
-  return engine;
-}

@@ -1,0 +1,34 @@
+// Fixture: explicitly seeded generators and look-alike tokens — clean.
+#include "unseeded_rng_clean.h"
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+std::mt19937 MakeEngine(unsigned seed) {
+  std::mt19937 engine(seed);  // explicit seed: fine
+  return engine;
+}
+
+std::mt19937_64 MakeWideEngine(unsigned long long seed) {
+  std::mt19937_64 engine{seed};  // explicit brace seed: fine
+  return engine;
+}
+
+unsigned DrawOnce(unsigned seed) {
+  return std::mt19937(seed)();  // seeded temporary: fine
+}
+
+void ShuffleInPlace(std::vector<int>* v, unsigned seed) {
+  std::shuffle(v->begin(), v->end(), std::mt19937{seed});  // fine
+}
+
+// A member type merely named mt19937 is not the std one.
+struct my {
+  using mt19937 = int;
+};
+my::mt19937 counter = 0;
+
+// Return types and parameter declarations are not constructions.
+std::mt19937 Reseed(std::mt19937 engine);
+const char* kDoc = "std::mt19937 gen; inside a string is fine";

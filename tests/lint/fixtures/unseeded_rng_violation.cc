@@ -1,0 +1,24 @@
+// Fixture: argless standard-library RNG construction in every spelling.
+#include "unseeded_rng_violation.h"
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+std::mt19937 MakeEngine() {
+  std::mt19937 engine;  // violation: default-seeded declaration
+  return engine;
+}
+
+std::mt19937_64 MakeWideEngine() {
+  std::mt19937_64 engine{};  // violation: empty-brace construction
+  return engine;
+}
+
+unsigned DrawOnce() {
+  return std::mt19937()();  // violation: seedless temporary
+}
+
+void ShuffleInPlace(std::vector<int>* v) {
+  std::shuffle(v->begin(), v->end(), std::mt19937{});  // violation: temporary
+}

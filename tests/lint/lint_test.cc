@@ -61,13 +61,28 @@ TEST(LintTest, UncheckedStreamClean) {
 TEST(LintTest, BannedFunctionsViolations) {
   const auto diags =
       RunRule("banned-functions", "banned_functions_violation.cc");
-  // rand, srand + time (same line), atoi, sprintf, seedless mt19937.
-  EXPECT_EQ(Lines(diags), std::vector<int>({10, 14, 14, 18, 22, 26}));
+  // rand, srand + time (same line), atoi, sprintf.
+  EXPECT_EQ(Lines(diags), std::vector<int>({10, 14, 14, 18, 22}));
 }
 
 TEST(LintTest, BannedFunctionsClean) {
   EXPECT_TRUE(
       RunRule("banned-functions", "banned_functions_clean.cc").empty());
+}
+
+TEST(LintTest, UnseededRngViolations) {
+  const auto diags =
+      RunRule("banned-unseeded-rng", "unseeded_rng_violation.cc");
+  // Declaration, empty-brace declaration, () temporary, {} temporary.
+  EXPECT_EQ(Lines(diags), std::vector<int>({9, 14, 19, 23}));
+  for (const Diagnostic& d : diags) {
+    EXPECT_EQ(d.rule, "banned-unseeded-rng");
+  }
+}
+
+TEST(LintTest, UnseededRngClean) {
+  EXPECT_TRUE(
+      RunRule("banned-unseeded-rng", "unseeded_rng_clean.cc").empty());
 }
 
 TEST(LintTest, RawOwningNewViolations) {
@@ -124,7 +139,7 @@ TEST(LintTest, AllowlistExemptsMatchingPaths) {
 }
 
 TEST(LintTest, AllRulesRunTogether) {
-  // The whole fixture directory under every rule: all five rules fire
+  // The whole fixture directory under every rule: all six rules fire
   // somewhere, proving the multi-rule driver and cross-file
   // status-function collection work end to end.
   const LintResult result = RunLint({CYQR_LINT_FIXTURE_DIR}, {});
@@ -132,7 +147,7 @@ TEST(LintTest, AllRulesRunTogether) {
   for (const Diagnostic& d : result.diagnostics) fired.push_back(d.rule);
   for (const char* rule :
        {"discarded-status", "unchecked-stream", "banned-functions",
-        "raw-owning-new", "include-hygiene"}) {
+        "banned-unseeded-rng", "raw-owning-new", "include-hygiene"}) {
     EXPECT_NE(std::find(fired.begin(), fired.end(), rule), fired.end())
         << "rule never fired over fixtures: " << rule;
   }

@@ -126,7 +126,7 @@ TEST(CycleTrainerTest, CyclicPhaseRunsAndStaysFinite) {
   options.batch_size = 3;
   options.eval_every = 0;
   CycleTrainer trainer(&model, world.pairs, options);
-  trainer.Train({});
+  ASSERT_TRUE(trainer.Train({}).ok());
   // One more joint step directly; it must produce a finite loss.
   const double loss = trainer.StepOnce();
   EXPECT_TRUE(std::isfinite(loss));
@@ -168,7 +168,7 @@ TEST(CycleTrainerTest, JointTrainingBeatsSeparateOnTranslateBack) {
   warmup_options.eval_every = 0;
   warmup_options.eval_queries = 6;
   CycleTrainer warmup_trainer(&warm, world.pairs, warmup_options);
-  warmup_trainer.Train({});
+  ASSERT_TRUE(warmup_trainer.Train({}).ok());
 
   // Fork the checkpoint into two identical models.
   std::stringstream checkpoint;
@@ -190,12 +190,12 @@ TEST(CycleTrainerTest, JointTrainingBeatsSeparateOnTranslateBack) {
   continue_options.warmup_steps = 80;  // Separate arm: never cyclic.
   continue_options.joint = false;
   CycleTrainer separate_trainer(&separate, world.pairs, continue_options);
-  separate_trainer.Train({});
+  ASSERT_TRUE(separate_trainer.Train({}).ok());
 
   continue_options.joint = true;
   continue_options.warmup_steps = 0;  // Joint arm: cyclic from step 1.
   CycleTrainer joint_trainer(&joint, world.pairs, continue_options);
-  joint_trainer.Train({});
+  ASSERT_TRUE(joint_trainer.Train({}).ok());
 
   separate.SetTraining(false);
   joint.SetTraining(false);
@@ -219,7 +219,7 @@ TEST(CycleTrainerTest, CurveIsRecordedAtEvalInterval) {
   options.eval_every = 20;
   options.eval_queries = 2;
   CycleTrainer trainer(&model, world.pairs, options);
-  trainer.Train(world.pairs);
+  ASSERT_TRUE(trainer.Train(world.pairs).ok());
   ASSERT_EQ(trainer.curve().size(), 2u);
   EXPECT_EQ(trainer.curve()[0].step, 20);
   EXPECT_EQ(trainer.curve()[1].step, 40);
@@ -259,7 +259,7 @@ class TrainedCycleTest : public ::testing::Test {
     options.batch_size = 3;
     options.eval_every = 0;
     CycleTrainer trainer(model_, world_->pairs, options);
-    trainer.Train({});
+    ASSERT_TRUE(trainer.Train({}).ok());
     model_->SetTraining(false);
   }
   static void TearDownTestSuite() {

@@ -5,8 +5,16 @@
 //
 //   cyqr train --data pairs.tsv --out MODEL_DIR
 //              [--steps N] [--warmup N] [--layers N] [--separate]
+//              [--checkpoint-every N] [--checkpoint-dir DIR]
+//              [--checkpoint-keep K] [--resume]
+//              [--crash-at-step N] [--nan-at-step N]
 //       Builds a vocabulary, trains the cycle model (Algorithm 1), and
-//       stores config + vocabulary + parameters in MODEL_DIR.
+//       stores config + vocabulary + parameters in MODEL_DIR. With
+//       --checkpoint-every the run is crash-safe: atomic checksummed
+//       checkpoints rotate in --checkpoint-dir (default
+//       MODEL_DIR/checkpoints) and --resume continues bit-identically
+//       from the newest one. --crash-at-step / --nan-at-step are the
+//       fault-drill hooks (die as if SIGKILLed / poison one batch).
 //
 //   cyqr rewrite --model MODEL_DIR --query "phone for grandpa" [--k 3]
 //       Runs the Figure 3 inference pipeline on one query.
@@ -116,7 +124,10 @@ int Train(const FlagParser& flags) {
     std::fprintf(stderr,
                  "train flags: --data pairs.tsv --out MODEL_DIR "
                  "[--steps N] [--warmup N] [--layers N] [--batch N] "
-                 "[--lambda F] [--separate] [--seed S]\n");
+                 "[--lambda F] [--separate] [--seed S] "
+                 "[--checkpoint-every N] [--checkpoint-dir DIR] "
+                 "[--checkpoint-keep K] [--resume] "
+                 "[--crash-at-step N] [--nan-at-step N]\n");
     return 2;
   }
   Result<std::vector<TokenPair>> pairs = LoadTokenPairs(data_path);
@@ -139,6 +150,20 @@ int Train(const FlagParser& flags) {
   options.batch_size = flags.GetInt("batch", 8);
   options.joint = !flags.GetBool("separate", false);
   options.eval_every = 0;
+  options.checkpoint_every = flags.GetInt("checkpoint-every", 0);
+  options.checkpoint_keep = flags.GetInt("checkpoint-keep", 3);
+  options.checkpoint_dir = flags.GetString("checkpoint-dir");
+  const bool resume = flags.GetBool("resume", false);
+  if (options.checkpoint_dir.empty() &&
+      (options.checkpoint_every > 0 || resume)) {
+    options.checkpoint_dir = out_dir + "/checkpoints";
+  }
+  // Fault-drill hooks.
+  options.fault_plan.crash_at_step = flags.GetInt("crash-at-step", -1);
+  const int64_t nan_at_step = flags.GetInt("nan-at-step", -1);
+  if (nan_at_step >= 0) {
+    options.fault_plan.nan_loss_steps.push_back(nan_at_step);
+  }
   const std::vector<SeqPair> train = EncodePairs(pairs.value(),
                                                  vocab.value());
   std::printf("training %s model: %lld steps (warmup %lld)...\n",
@@ -147,8 +172,26 @@ int Train(const FlagParser& flags) {
               static_cast<long long>(options.warmup_steps));
   Stopwatch watch;
   CycleTrainer trainer(&model, train, options);
-  trainer.Train({});
+  if (resume) {
+    const Status resumed = trainer.ResumeLatest();
+    if (resumed.ok()) {
+      std::printf("resumed from checkpoint at step %lld\n",
+                  static_cast<long long>(trainer.step()));
+    } else if (resumed.code() == StatusCode::kNotFound) {
+      std::printf("no checkpoint to resume from; starting fresh\n");
+    } else {
+      return Fail(resumed);
+    }
+  }
+  const Status trained = trainer.Train({});
+  if (!trained.ok()) return Fail(trained);
   std::printf("trained in %.1fs\n", watch.ElapsedSeconds());
+  if (trainer.skipped_batches() > 0) {
+    std::printf("guardrails: skipped %lld anomalous batches, "
+                "%lld rollbacks\n",
+                static_cast<long long>(trainer.skipped_batches()),
+                static_cast<long long>(trainer.rollbacks()));
+  }
 
   std::error_code ec;
   std::filesystem::create_directories(out_dir, ec);

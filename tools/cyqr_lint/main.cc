@@ -10,9 +10,13 @@
 //                      ignored at statement level
 //   unchecked-stream   a file stream that is never error-checked after
 //                      use (the PR-1 LoadParameters bug class)
-//   banned-functions   std::rand / atoi / sprintf / time(nullptr) /
-//                      seedless std::mt19937 — determinism and safety
-//                      killers for replay debugging
+//   banned-functions   std::rand / atoi / sprintf / time(nullptr) —
+//                      determinism and safety killers for replay
+//                      debugging
+//   banned-unseeded-rng  argless std::mt19937 / mt19937_64 /
+//                      default_random_engine construction (declaration
+//                      or temporary): the implicit default seed breaks
+//                      replay-from-seed
 //   raw-owning-new     raw new/delete outside an allowlist
 //   include-hygiene    headers without guards; .cc files whose own
 //                      header is not the first include

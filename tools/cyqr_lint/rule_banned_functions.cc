@@ -62,19 +62,8 @@ class BannedFunctionsRule : public Rule {
                "explicit seed so runs can be replayed",
                out);
       }
-
-      // Seedless std::mt19937 / mt19937_64: `std::mt19937 gen;` takes
-      // the implicit default seed, silently correlating every such
-      // generator in the process.
-      if ((t == "mt19937" || t == "mt19937_64") && i >= 2 &&
-          IsIdent(toks, i - 2, "std") && IsPunct(toks, i - 1, "::") &&
-          i + 2 < toks.size() && toks[i + 1].kind == TokKind::kIdent &&
-          IsPunct(toks, i + 2, ";")) {
-        Report(file, toks[i].line,
-               "seedless 'std::" + t + " " + toks[i + 1].text +
-                   ";' is banned: construct it with an explicit seed",
-               out);
-      }
+      // Seedless std:: RNG construction lives in its own rule:
+      // banned-unseeded-rng (rule_unseeded_rng.cc).
     }
   }
 

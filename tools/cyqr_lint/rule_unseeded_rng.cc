@@ -1,0 +1,72 @@
+#include "rules.h"
+
+namespace cyqr_lint {
+
+namespace {
+
+/// Seedless standard-library RNG construction. `std::mt19937 gen;` (and
+/// the `{}` / `()` spellings) takes the implicit default seed, silently
+/// correlating every such generator in the process and breaking the
+/// replay-from-seed invariant the crash-resume machinery depends on.
+/// cyqr::Rng already requires a seed by construction; this rule keeps
+/// std:: generators to the same standard.
+class UnseededRngRule : public Rule {
+ public:
+  const char* name() const override { return "banned-unseeded-rng"; }
+
+  void Check(const LexedFile& file, const LintContext& /*ctx*/,
+             std::vector<Diagnostic>* out) const override {
+    const std::vector<Token>& toks = file.tokens;
+    for (size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i].kind != TokKind::kIdent) continue;
+      const std::string& t = toks[i].text;
+      if (t != "mt19937" && t != "mt19937_64" && t != "default_random_engine") {
+        continue;
+      }
+      if (!(i >= 2 && IsIdent(toks, i - 2, "std") &&
+            IsPunct(toks, i - 1, "::"))) {
+        continue;
+      }
+      // `std::mt19937 gen;` or `std::mt19937 gen{};` — seedless named
+      // declaration (default or empty-brace construction).
+      if (i + 1 < toks.size() && toks[i + 1].kind == TokKind::kIdent) {
+        if (IsPunct(toks, i + 2, ";") ||
+            (IsPunct(toks, i + 2, "{") && IsPunct(toks, i + 3, "}"))) {
+          Report(file, toks[i].line,
+                 "seedless 'std::" + t + " " + toks[i + 1].text +
+                     "' is banned: construct it with an explicit seed",
+                 out);
+        }
+        continue;
+      }
+      // `std::mt19937()` / `std::mt19937{}` — seedless temporary.
+      if ((IsPunct(toks, i + 1, "(") && IsPunct(toks, i + 2, ")")) ||
+          (IsPunct(toks, i + 1, "{") && IsPunct(toks, i + 2, "}"))) {
+        Report(file, toks[i].line,
+               "seedless 'std::" + t +
+                   "' temporary is banned: construct it with an explicit "
+                   "seed",
+               out);
+      }
+    }
+  }
+
+ private:
+  void Report(const LexedFile& file, int line, std::string message,
+              std::vector<Diagnostic>* out) const {
+    Diagnostic d;
+    d.file = file.path;
+    d.line = line;
+    d.rule = name();
+    d.message = std::move(message);
+    out->push_back(std::move(d));
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> MakeUnseededRngRule() {
+  return std::make_unique<UnseededRngRule>();
+}
+
+}  // namespace cyqr_lint

@@ -33,6 +33,7 @@ void MarkValueUseContexts(const std::vector<Token>& toks,
 std::unique_ptr<Rule> MakeDiscardedStatusRule();
 std::unique_ptr<Rule> MakeUncheckedStreamRule();
 std::unique_ptr<Rule> MakeBannedFunctionsRule();
+std::unique_ptr<Rule> MakeUnseededRngRule();
 std::unique_ptr<Rule> MakeRawOwningNewRule();
 std::unique_ptr<Rule> MakeIncludeHygieneRule();
 

@@ -7,6 +7,7 @@ std::vector<std::unique_ptr<Rule>> BuildAllRules() {
   rules.push_back(MakeDiscardedStatusRule());
   rules.push_back(MakeUncheckedStreamRule());
   rules.push_back(MakeBannedFunctionsRule());
+  rules.push_back(MakeUnseededRngRule());
   rules.push_back(MakeRawOwningNewRule());
   rules.push_back(MakeIncludeHygieneRule());
   return rules;
