@@ -5,6 +5,7 @@
 #include <filesystem>
 
 #include "nn/serialize.h"
+#include "obs/metrics.h"
 
 namespace cyqr::bench {
 
@@ -133,6 +134,10 @@ std::string Row(const std::vector<std::string>& cells, int width) {
     out += ' ';
   }
   return out;
+}
+
+Status DumpMetrics(const std::string& path) {
+  return MetricsRegistry::Global().WriteJsonSnapshot(path);
 }
 
 }  // namespace cyqr::bench

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/status.h"
 #include "datagen/click_log.h"
 #include "datagen/query_pairs.h"
 #include "datagen/synonyms.h"
@@ -56,6 +57,11 @@ std::vector<QuerySpec> HardQueries(const BenchWorld& world, size_t n,
 
 /// Renders a row of fixed-width columns.
 std::string Row(const std::vector<std::string>& cells, int width = 14);
+
+/// Writes the global metrics registry as a JSON snapshot to `path` (the
+/// `BENCH_*.json` artifact emitter; CI validates the file with
+/// scripts/check_metrics_json.sh).
+[[nodiscard]] Status DumpMetrics(const std::string& path);
 
 }  // namespace cyqr::bench
 

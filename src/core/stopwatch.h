@@ -5,7 +5,9 @@
 
 namespace cyqr {
 
-/// Wall-clock stopwatch for latency measurement (Table V, serving benches).
+/// Monotonic stopwatch for latency measurement (Table V, serving benches,
+/// obs trace spans). Backed by std::chrono::steady_clock so elapsed
+/// readings never jump backwards under NTP slew or wall-clock changes.
 class Stopwatch {
  public:
   Stopwatch() { Restart(); }
@@ -22,6 +24,9 @@ class Stopwatch {
 
  private:
   using Clock = std::chrono::steady_clock;
+  static_assert(Clock::is_steady,
+                "Stopwatch must use a monotonic clock; span timings and "
+                "deadline budgets break if time can move backwards");
   Clock::time_point start_;
 };
 

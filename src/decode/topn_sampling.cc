@@ -6,11 +6,37 @@
 
 #include "core/check.h"
 #include "core/math.h"
+#include "core/stopwatch.h"
+#include "obs/metrics.h"
 #include "text/vocabulary.h"
 
 namespace cyqr {
 
 namespace {
+
+// Process-wide decode telemetry (function-local statics resolve the
+// instruments once; recording is lock-free). The cyclic trainer calls
+// this decoder in its inner loop, so these series show where a slow
+// training step spends its time.
+struct DecodeInstruments {
+  Counter* calls;
+  Counter* sampled_tokens;
+  Histogram* time_micros;
+};
+
+const DecodeInstruments& TopNInstruments() {
+  static const DecodeInstruments instruments = [] {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    DecodeInstruments in;
+    in.calls = registry.GetCounter("cyqr_decode_topn_calls_total");
+    in.sampled_tokens =
+        registry.GetCounter("cyqr_decode_topn_sampled_tokens_total");
+    in.time_micros = registry.GetHistogram(
+        "cyqr_decode_topn_time_micros", Histogram::DefaultTimeBoundsMicros());
+    return in;
+  }();
+  return instruments;
+}
 
 struct Candidate {
   std::unique_ptr<DecodeState> state;
@@ -35,6 +61,8 @@ std::vector<DecodedSequence> TopNSamplingDecode(
   NoGradGuard no_grad;
   CYQR_CHECK_GT(options.beam_size, 0);
   CYQR_CHECK_GT(options.top_n, 0);
+  const DecodeInstruments& instruments = TopNInstruments();
+  Stopwatch watch;
   const size_t k = static_cast<size_t>(options.beam_size);
 
   // First step: expand the root once and claim the k most likely distinct
@@ -88,10 +116,15 @@ std::vector<DecodedSequence> TopNSamplingDecode(
 
   std::vector<DecodedSequence> out;
   out.reserve(candidates.size());
+  int64_t sampled_tokens = 0;
   for (Candidate& c : candidates) {
+    sampled_tokens += static_cast<int64_t>(c.ids.size());
     out.push_back({std::move(c.ids), c.log_prob});
   }
   decode_internal::SortAndTrim(&out, k);
+  instruments.calls->Increment();
+  instruments.sampled_tokens->Increment(sampled_tokens);
+  instruments.time_micros->Observe(watch.ElapsedMicros());
   return out;
 }
 

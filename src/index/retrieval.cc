@@ -1,8 +1,52 @@
 #include "index/retrieval.h"
 
 #include "core/check.h"
+#include "obs/metrics.h"
 
 namespace cyqr {
+
+namespace {
+
+// Process-wide retrieval telemetry: postings touched and tree nodes
+// executed per strategy (the separate-vs-merged efficiency comparison of
+// Section III-H, as live counters instead of a one-off experiment).
+struct RetrievalInstruments {
+  Counter* calls;
+  Counter* postings_scanned;
+  Counter* nodes_evaluated;
+};
+
+RetrievalInstruments MakeInstruments(const char* strategy) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  const MetricLabels labels = {{"strategy", strategy}};
+  RetrievalInstruments in;
+  in.calls = registry.GetCounter("cyqr_index_retrieval_calls_total", labels);
+  in.postings_scanned = registry.GetCounter(
+      "cyqr_index_retrieval_postings_scanned_total", labels);
+  in.nodes_evaluated = registry.GetCounter(
+      "cyqr_index_retrieval_nodes_evaluated_total", labels);
+  return in;
+}
+
+// One instrument set per strategy label, resolved on first use.
+const RetrievalInstruments& InstrumentsFor(const char* strategy) {
+  static const RetrievalInstruments one = MakeInstruments("one");
+  static const RetrievalInstruments separate = MakeInstruments("separate");
+  static const RetrievalInstruments merged = MakeInstruments("merged");
+  if (strategy[0] == 'o') return one;
+  if (strategy[0] == 's') return separate;
+  return merged;
+}
+
+void BookRetrieval(const char* strategy,
+                   const RetrievalEngine::Result& result) {
+  const RetrievalInstruments& in = InstrumentsFor(strategy);
+  in.calls->Increment();
+  in.postings_scanned->Increment(result.cost.postings_scanned);
+  in.nodes_evaluated->Increment(result.cost.nodes_evaluated);
+}
+
+}  // namespace
 
 RetrievalEngine::RetrievalEngine(const InvertedIndex* index)
     : index_(index) {
@@ -19,6 +63,7 @@ RetrievalEngine::Result RetrievalEngine::RetrieveOne(
       static_cast<int64_t>(result.docs.size()) > max_docs) {
     result.docs.resize(max_docs);
   }
+  BookRetrieval("one", result);
   return result;
 }
 
@@ -32,6 +77,7 @@ RetrievalEngine::Result RetrievalEngine::RetrieveSeparate(
     result.cost += one.cost;
     result.docs = UnionLists(result.docs, one.docs, &result.cost);
   }
+  BookRetrieval("separate", result);
   return result;
 }
 
@@ -41,6 +87,7 @@ RetrievalEngine::Result RetrievalEngine::RetrieveMerged(
   TreeMerger::Result merged = TreeMerger::Merge(queries);
   result.tree_nodes = merged.tree.NodeCount();
   result.docs = merged.tree.Evaluate(*index_, &result.cost);
+  BookRetrieval("merged", result);
   return result;
 }
 

@@ -3,10 +3,33 @@
 #include <algorithm>
 
 #include "core/check.h"
+#include "obs/metrics.h"
 
 namespace cyqr {
 
 namespace {
+
+// Process-wide merge telemetry: how often queries are merged and how
+// relaxed the resulting trees are (required vs total groups is the
+// recall-precision dial of Figure 5).
+struct MergeInstruments {
+  Counter* calls;
+  Counter* groups;
+  Counter* required_groups;
+};
+
+const MergeInstruments& TreeMergeInstruments() {
+  static const MergeInstruments instruments = [] {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    MergeInstruments in;
+    in.calls = registry.GetCounter("cyqr_index_tree_merge_calls_total");
+    in.groups = registry.GetCounter("cyqr_index_tree_merge_groups_total");
+    in.required_groups =
+        registry.GetCounter("cyqr_index_tree_merge_required_groups_total");
+    return in;
+  }();
+  return instruments;
+}
 
 /// Aligns `tokens` against the running `groups` sequence: LCS on exact
 /// token-in-group matches anchors the shared tokens; the gap runs between
@@ -88,6 +111,8 @@ void AlignQuery(std::vector<MergedGroup>* groups,
 TreeMerger::Result TreeMerger::Merge(
     const std::vector<std::vector<std::string>>& queries) {
   Result result;
+  const MergeInstruments& instruments = TreeMergeInstruments();
+  instruments.calls->Increment();
   if (queries.empty()) return result;
 
   std::vector<MergedGroup> groups;
@@ -133,6 +158,7 @@ TreeMerger::Result TreeMerger::Merge(
     } else if (!or_node->children.empty()) {
       result.tree = SyntaxTree(std::move(or_node));
     }
+    instruments.groups->Increment(result.groups_total);
     return result;
   }
   if (root->children.size() == 1) {
@@ -140,6 +166,8 @@ TreeMerger::Result TreeMerger::Merge(
   } else {
     result.tree = SyntaxTree(std::move(root));
   }
+  instruments.groups->Increment(result.groups_total);
+  instruments.required_groups->Increment(result.groups_required);
   return result;
 }
 

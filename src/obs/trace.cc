@@ -1,0 +1,78 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace cyqr {
+
+void Trace::Annotate(std::string name, std::string detail) {
+  TraceEvent event;
+  event.name = std::move(name);
+  event.detail = std::move(detail);
+  event.start_millis = ElapsedMillis();
+  events_.push_back(std::move(event));
+}
+
+std::string Trace::PathString() const {
+  std::string out;
+  for (const TraceEvent& e : events_) {
+    if (!out.empty()) out += " -> ";
+    out += e.name;
+    if (!e.detail.empty()) {
+      out += ':';
+      out += e.detail;
+    }
+  }
+  return out;
+}
+
+std::string Trace::ToString() const {
+  std::string out;
+  for (const TraceEvent& e : events_) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%9.3f ms %s%7.3f ms  ",
+                  e.start_millis, e.duration_millis > 0 ? "+" : " ",
+                  e.duration_millis);
+    out += buf;
+    out += e.ok ? "ok   " : "FAIL ";
+    out += e.name;
+    if (!e.detail.empty()) {
+      out += ": ";
+      out += e.detail;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+TraceSpan::TraceSpan(Trace* trace, std::string name)
+    : trace_(trace), name_(std::move(name)) {
+  if (trace_ != nullptr) start_millis_ = trace_->ElapsedMillis();
+}
+
+void TraceSpan::SetStatus(const Status& status) {
+  if (status.ok()) return;
+  ok_ = false;
+  detail_ = status.ToString();
+}
+
+void TraceSpan::SetDetail(std::string detail) {
+  detail_ = std::move(detail);
+}
+
+void TraceSpan::End() {
+  if (ended_ || trace_ == nullptr) {
+    ended_ = true;
+    return;
+  }
+  ended_ = true;
+  TraceEvent event;
+  event.name = std::move(name_);
+  event.detail = std::move(detail_);
+  event.start_millis = start_millis_;
+  event.duration_millis = watch_.ElapsedMicros() / 1000.0;
+  event.ok = ok_;
+  trace_->AddEvent(std::move(event));
+}
+
+}  // namespace cyqr

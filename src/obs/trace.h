@@ -1,0 +1,96 @@
+#ifndef CYCLEQR_OBS_TRACE_H_
+#define CYCLEQR_OBS_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "core/stopwatch.h"
+
+namespace cyqr {
+
+/// One recorded step of a request's journey: a timed span (rung attempt,
+/// backend call) or an instantaneous annotation (breaker decision,
+/// deadline check). Times are relative to the owning Trace's birth.
+struct TraceEvent {
+  std::string name;    // e.g. "rung:cache", "breaker", "deadline".
+  std::string detail;  // e.g. "hit", "miss", "skipped(breaker open)".
+  double start_millis = 0.0;
+  double duration_millis = 0.0;  // 0 for annotations.
+  bool ok = true;
+};
+
+/// Per-request trace: an ordered record of the path a request took through
+/// the serving ladder (cache -> model -> rules -> passthrough) and through
+/// the circuit-breaker/deadline decisions along the way. Single-request,
+/// single-thread by design — requests are served on one thread, so the
+/// trace needs no locking; aggregate truth lives in the MetricsRegistry.
+///
+///   Trace trace;
+///   service.Serve(query, deadline, &trace);
+///   LOG(trace.PathString());
+///   // "rung:cache:error(IoError: ...) -> rung:direct-model:hit"
+class Trace {
+ public:
+  Trace() = default;
+  Trace(const Trace&) = delete;
+  Trace& operator=(const Trace&) = delete;
+
+  void AddEvent(TraceEvent event) { events_.push_back(std::move(event)); }
+
+  /// Records an instantaneous annotation at the current elapsed time.
+  void Annotate(std::string name, std::string detail);
+
+  /// Milliseconds since this trace was constructed (steady clock).
+  double ElapsedMillis() const { return watch_.ElapsedMillis(); }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  /// Compact one-line path: "name:detail -> name:detail -> ...".
+  std::string PathString() const;
+
+  /// Multi-line rendering with start/duration/status per event.
+  std::string ToString() const;
+
+ private:
+  Stopwatch watch_;
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII span: times a scope with Stopwatch::ElapsedMicros and appends one
+/// TraceEvent to the trace on destruction (or explicit End). A null trace
+/// makes every operation a no-op — instrumented code paths pass the
+/// caller's trace pointer straight through without null checks.
+class TraceSpan {
+ public:
+  TraceSpan(Trace* trace, std::string name);
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan() { End(); }
+
+  /// Marks the span's outcome from a Status: OK keeps ok=true with the
+  /// current detail; non-OK sets ok=false and detail to the status string.
+  void SetStatus(const Status& status);
+
+  /// Free-form outcome label ("hit", "miss", "skipped(no budget)").
+  void SetDetail(std::string detail);
+
+  /// Flags the span as failed without overwriting the detail.
+  void MarkFailed() { ok_ = false; }
+
+  /// Ends the span early; the destructor then does nothing.
+  void End();
+
+ private:
+  Trace* trace_;  // Null => no-op span.
+  std::string name_;
+  std::string detail_;
+  double start_millis_ = 0.0;
+  Stopwatch watch_;
+  bool ok_ = true;
+  bool ended_ = false;
+};
+
+}  // namespace cyqr
+
+#endif  // CYCLEQR_OBS_TRACE_H_

@@ -8,6 +8,7 @@
 
 #include "core/check.h"
 #include "core/math.h"
+#include "core/stopwatch.h"
 #include "decode/topn_sampling.h"
 #include "rewrite/checkpoint.h"
 #include "tensor/ops.h"
@@ -56,6 +57,24 @@ CycleTrainer::CycleTrainer(CycleModel* model,
       rng_(options.seed) {
   CYQR_CHECK(model != nullptr);
   CYQR_CHECK(!train_.empty());
+  InitInstruments(options.metrics);
+}
+
+void CycleTrainer::InitInstruments(MetricsRegistry* metrics) {
+  if (metrics == nullptr) return;
+  obs_ = std::make_unique<Instruments>();
+  obs_->steps = metrics->GetCounter("cyqr_train_steps_total");
+  obs_->skipped_batches =
+      metrics->GetCounter("cyqr_train_skipped_batches_total");
+  obs_->rollbacks = metrics->GetCounter("cyqr_train_rollbacks_total");
+  obs_->step_time = metrics->GetHistogram(
+      "cyqr_train_step_time_millis", Histogram::DefaultLatencyBoundsMillis());
+  obs_->checkpoint_write =
+      metrics->GetHistogram("cyqr_train_checkpoint_write_millis",
+                            Histogram::DefaultLatencyBoundsMillis());
+  obs_->tokens_per_sec = metrics->GetGauge("cyqr_train_tokens_per_sec");
+  obs_->loss = metrics->GetGauge("cyqr_train_loss_value");
+  obs_->grad_norm = metrics->GetGauge("cyqr_train_grad_norm");
 }
 
 std::vector<SeqPair> CycleTrainer::SampleBatch() {
@@ -69,8 +88,13 @@ std::vector<SeqPair> CycleTrainer::SampleBatch() {
 
 double CycleTrainer::StepOnce() {
   ++step_;
+  Stopwatch step_watch;
   optimizer_.set_learning_rate(schedule_.LearningRate(step_));
   const std::vector<SeqPair> batch = SampleBatch();
+  int64_t batch_tokens = 0;
+  for (const SeqPair& p : batch) {
+    batch_tokens += static_cast<int64_t>(p.src.size() + p.tgt.size());
+  }
   const CycleConfig& config = model_->config();
 
   // L_f: query -> title.
@@ -168,6 +192,17 @@ double CycleTrainer::StepOnce() {
   } else {
     consecutive_anomalies_ = 0;
     optimizer_.Step();
+  }
+  if (obs_ != nullptr) {
+    const double step_seconds = step_watch.ElapsedSeconds();
+    obs_->steps->Increment();
+    obs_->step_time->Observe(step_seconds * 1e3);
+    if (step_seconds > 0) {
+      obs_->tokens_per_sec->Set(batch_tokens / step_seconds);
+    }
+    if (std::isfinite(loss_value)) obs_->loss->Set(loss_value);
+    if (std::isfinite(grad_norm)) obs_->grad_norm->Set(grad_norm);
+    if (anomaly) obs_->skipped_batches->Increment();
   }
   return loss_value;
 }
@@ -268,10 +303,14 @@ Status CycleTrainer::SaveCheckpoint() {
   ckpt.grad_norms = grad_norms_;
   const std::string path =
       options_.checkpoint_dir + "/" + CheckpointFileName(step_);
+  Stopwatch write_watch;
   CYQR_RETURN_IF_ERROR(
       SaveTrainerCheckpoint(model_->Parameters(), ckpt, path));
   CYQR_RETURN_IF_ERROR(
       PruneCheckpoints(options_.checkpoint_dir, options_.checkpoint_keep));
+  if (obs_ != nullptr) {
+    obs_->checkpoint_write->Observe(write_watch.ElapsedMillis());
+  }
   if (consecutive_anomalies_ == 0) last_good_checkpoint_ = path;
   return Status::OK();
 }
@@ -338,6 +377,7 @@ Status CycleTrainer::Train(const std::vector<SeqPair>& eval_pairs) {
             "back to");
       }
       ++rollbacks_;
+      if (obs_ != nullptr) obs_->rollbacks->Increment();
       if (rollbacks_ > options_.max_rollbacks) {
         return Status::Internal(
             "training diverged: rollback budget exhausted after " +

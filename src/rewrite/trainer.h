@@ -2,11 +2,13 @@
 #define CYCLEQR_REWRITE_TRAINER_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/fault.h"
 #include "core/status.h"
+#include "obs/metrics.h"
 #include "datagen/click_log.h"
 #include "datagen/query_pairs.h"
 #include "nmt/scorer.h"
@@ -74,6 +76,13 @@ struct CycleTrainerOptions {
   int64_t max_rollbacks = 2;
   // Fault drill hooks: inject NaN losses / a hard crash at chosen steps.
   TrainFaultPlan fault_plan;
+
+  // --- Telemetry -------------------------------------------------------
+  // When set, the trainer records step time, tokens/sec, loss, gradient
+  // norm, checkpoint write time, and skip/rollback counters here
+  // (`cyqr_train_*` instruments; DESIGN.md "Observability"). Null
+  // disables telemetry; training math is identical either way.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Algorithm 1: cyclic-consistent training. Warmup phase maximizes the two
@@ -130,7 +139,21 @@ class CycleTrainer {
   TrainMetricsPoint Evaluate(const std::vector<SeqPair>& eval_pairs);
 
  private:
+  /// Pre-resolved telemetry instruments; null members when metrics are
+  /// disabled (see CycleTrainerOptions::metrics).
+  struct Instruments {
+    Counter* steps = nullptr;
+    Counter* skipped_batches = nullptr;
+    Counter* rollbacks = nullptr;
+    Histogram* step_time = nullptr;
+    Histogram* checkpoint_write = nullptr;
+    Gauge* tokens_per_sec = nullptr;
+    Gauge* loss = nullptr;
+    Gauge* grad_norm = nullptr;
+  };
+
   std::vector<SeqPair> SampleBatch();
+  void InitInstruments(MetricsRegistry* metrics);
 
   CycleModel* model_;
   std::vector<SeqPair> train_;
@@ -148,6 +171,7 @@ class CycleTrainer {
   // rollback target. Rotation keeps it alive as long as healthy
   // checkpoints are more recent than `checkpoint_keep` unhealthy ones.
   std::string last_good_checkpoint_;
+  std::unique_ptr<Instruments> obs_;  // Null when telemetry is disabled.
 };
 
 /// Plain supervised seq2seq training (used for the direct query-to-query

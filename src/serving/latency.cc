@@ -1,20 +1,3 @@
 #include "serving/latency.h"
 
-#include <algorithm>
-
-#include "core/math.h"
-
-namespace cyqr {
-
-double LatencyRecorder::MeanMillis() const { return Mean(samples_); }
-
-double LatencyRecorder::PercentileMillis(double q) const {
-  return Quantile(samples_, q);
-}
-
-double LatencyRecorder::MaxMillis() const {
-  if (samples_.empty()) return 0.0;
-  return *std::max_element(samples_.begin(), samples_.end());
-}
-
-}  // namespace cyqr
+// Header-only; this TU anchors the library target.

@@ -2,23 +2,45 @@
 #define CYCLEQR_SERVING_LATENCY_H_
 
 #include <cstdint>
-#include <vector>
+
+#include "obs/metrics.h"
 
 namespace cyqr {
 
 /// Collects latency samples and reports the percentiles that gate
 /// deployment (the paper's serving budget is 50 ms end to end).
+///
+/// Backed by a fixed-bucket obs::Histogram rather than an unbounded
+/// sample vector: memory is constant regardless of traffic volume,
+/// Record is safe under concurrent callers, and two recorders can be
+/// merged (per-thread recording, aggregate reporting). Percentiles are
+/// bucket-interpolated estimates instead of exact order statistics —
+/// within one bucket width, which is far tighter than the serving
+/// budget's tolerance.
 class LatencyRecorder {
  public:
-  void Record(double millis) { samples_.push_back(millis); }
+  LatencyRecorder() : histogram_(Histogram::DefaultLatencyBoundsMillis()) {}
+  LatencyRecorder(const LatencyRecorder&) = delete;
+  LatencyRecorder& operator=(const LatencyRecorder&) = delete;
 
-  int64_t count() const { return static_cast<int64_t>(samples_.size()); }
-  double MeanMillis() const;
-  double PercentileMillis(double q) const;  // q in [0, 1].
-  double MaxMillis() const;
+  void Record(double millis) { histogram_.Observe(millis); }
+
+  int64_t count() const { return histogram_.Count(); }
+  double MeanMillis() const { return histogram_.Mean(); }
+  double PercentileMillis(double q) const {  // q in [0, 1].
+    return histogram_.QuantileEstimate(q);
+  }
+  double MaxMillis() const { return histogram_.Max(); }
+
+  /// Folds `other`'s samples into this recorder.
+  void MergeFrom(const LatencyRecorder& other) {
+    histogram_.MergeFrom(other.histogram_);
+  }
+
+  const Histogram& histogram() const { return histogram_; }
 
  private:
-  std::vector<double> samples_;
+  Histogram histogram_;
 };
 
 }  // namespace cyqr

@@ -1,5 +1,6 @@
 #include "serving/rewrite_service.h"
 
+#include <string>
 #include <utility>
 
 #include "core/check.h"
@@ -7,6 +8,22 @@
 #include "core/string_util.h"
 
 namespace cyqr {
+namespace {
+
+// Label values for the `rung` instrument label; indexed by Source.
+const char* RungLabel(RewriteService::Source source) {
+  return RewriteService::SourceName(source);
+}
+
+// Latency histograms record exactly until a series has this many
+// observations, then sample (SampleObservation in obs/metrics.h). Deadline
+// headroom costs an extra clock read on top of Observe, so it thins out
+// more aggressively.
+constexpr int64_t kExactObservationWindow = 1024;
+constexpr int64_t kLatencySampleStride = 8;
+constexpr int64_t kDeadlineSampleStride = 16;
+
+}  // namespace
 
 const char* RewriteService::SourceName(Source source) {
   switch (source) {
@@ -24,19 +41,22 @@ const char* RewriteService::SourceName(Source source) {
 
 RewriteService::RewriteService(KvBackend* cache, ModelBackend* model,
                                const RuleBasedRewriter* rule_based,
-                               const Options& options)
+                               const Options& options,
+                               MetricsRegistry* metrics)
     : cache_(cache),
       model_(model),
       rule_based_(rule_based),
       options_(options),
       breaker_(options.breaker) {
   CYQR_CHECK(cache != nullptr);
+  InitInstruments(metrics);
 }
 
 RewriteService::RewriteService(const RewriteKvStore* store,
                                const DirectRewriter* fallback,
                                const Options& options,
-                               const RuleBasedRewriter* rule_based)
+                               const RuleBasedRewriter* rule_based,
+                               MetricsRegistry* metrics)
     : owned_cache_(std::make_unique<KvStoreBackend>(store)),
       owned_model_(fallback == nullptr
                        ? nullptr
@@ -47,6 +67,85 @@ RewriteService::RewriteService(const RewriteKvStore* store,
       options_(options),
       breaker_(options.breaker) {
   CYQR_CHECK(store != nullptr);
+  InitInstruments(metrics);
+}
+
+void RewriteService::InitInstruments(MetricsRegistry* metrics) {
+  if (metrics == nullptr) return;
+  obs_ = std::make_unique<Instruments>();
+  obs_->requests = metrics->GetCounter("cyqr_serving_requests_total");
+  obs_->degraded = metrics->GetCounter("cyqr_serving_degraded_total");
+  obs_->request_latency =
+      metrics->GetHistogram("cyqr_serving_request_latency_millis",
+                            Histogram::DefaultLatencyBoundsMillis());
+  obs_->deadline_remaining =
+      metrics->GetHistogram("cyqr_serving_deadline_remaining_millis",
+                            Histogram::DefaultLatencyBoundsMillis());
+  obs_->breaker_state = metrics->GetGauge("cyqr_serving_breaker_state");
+  for (int s = 0; s < 3; ++s) {
+    obs_->breaker_transitions[s] = metrics->GetCounter(
+        "cyqr_serving_breaker_transitions_total",
+        {{"to", CircuitBreaker::StateName(
+                    static_cast<CircuitBreaker::State>(s))}});
+  }
+  for (int r = 0; r < 4; ++r) {
+    const MetricLabels labels = {
+        {"rung", RungLabel(static_cast<Source>(r))}};
+    RungInstruments& rung = obs_->rungs[r];
+    rung.attempts =
+        metrics->GetCounter("cyqr_serving_rung_attempts_total", labels);
+    rung.answers =
+        metrics->GetCounter("cyqr_serving_rung_answers_total", labels);
+    rung.errors =
+        metrics->GetCounter("cyqr_serving_rung_errors_total", labels);
+    rung.misses =
+        metrics->GetCounter("cyqr_serving_rung_misses_total", labels);
+    rung.skipped =
+        metrics->GetCounter("cyqr_serving_rung_skipped_total", labels);
+    rung.latency =
+        metrics->GetHistogram("cyqr_serving_rung_latency_millis",
+                              Histogram::DefaultLatencyBoundsMillis(), labels);
+  }
+  obs_->breaker_state->Set(0.0);  // kClosed.
+}
+
+void RewriteService::RecordRungOutcome(Source rung, const Status& status,
+                                       bool skipped, double latency_millis) {
+  if (obs_ == nullptr) return;
+  RungInstruments& in = obs_->rungs[static_cast<size_t>(rung)];
+  if (skipped) {
+    in.skipped->Increment();
+    return;
+  }
+  // The attempt counter doubles as the per-rung sampling sequence: a hot
+  // rung (cache at full traffic) thins its latency histogram to 1-in-8
+  // while a cold one (rare model calls) keeps recording exactly.
+  const int64_t seq = in.attempts->FetchIncrement();
+  if (SampleObservation(seq, kExactObservationWindow, kLatencySampleStride)) {
+    in.latency->Observe(latency_millis);
+  }
+  if (status.ok()) {
+    in.answers->Increment();
+  } else if (status.code() == StatusCode::kNotFound) {
+    in.misses->Increment();
+  } else {
+    in.errors->Increment();
+  }
+}
+
+void RewriteService::NoteBreakerState(Trace* trace) {
+  const CircuitBreaker::State state = breaker_.state();
+  if (state == last_breaker_state_) return;
+  if (trace != nullptr) {
+    trace->Annotate("breaker",
+                    std::string(CircuitBreaker::StateName(last_breaker_state_)) +
+                        " -> " + CircuitBreaker::StateName(state));
+  }
+  if (obs_ != nullptr) {
+    obs_->breaker_transitions[static_cast<size_t>(state)]->Increment();
+    obs_->breaker_state->Set(static_cast<double>(state));
+  }
+  last_breaker_state_ = state;
 }
 
 RewriteService::Response RewriteService::Serve(
@@ -54,11 +153,18 @@ RewriteService::Response RewriteService::Serve(
   return Serve(query_tokens,
                options_.default_budget_millis > 0
                    ? Deadline::AfterMillis(options_.default_budget_millis)
-                   : Deadline::Infinite());
+                   : Deadline::Infinite(),
+               nullptr);
 }
 
 RewriteService::Response RewriteService::Serve(
     const std::vector<std::string>& query_tokens, Deadline deadline) {
+  return Serve(query_tokens, deadline, nullptr);
+}
+
+RewriteService::Response RewriteService::Serve(
+    const std::vector<std::string>& query_tokens, Deadline deadline,
+    Trace* trace) {
   Response response;
   Stopwatch watch;
   const double charged_at_entry = deadline.charged_millis();
@@ -81,42 +187,86 @@ RewriteService::Response RewriteService::Serve(
     response.attempts.push_back({source, Status::OK(), /*skipped=*/false});
     response.latency_millis = elapsed();
   };
+  // Books the whole request once the answering rung is known. The request
+  // counter doubles as the sampling sequence for the request-level
+  // histograms; every counter stays exact.
+  int64_t request_seq = 0;
+  const auto finish = [&] {
+    if (obs_ == nullptr) return;
+    if (SampleObservation(request_seq, kExactObservationWindow,
+                          kLatencySampleStride)) {
+      obs_->request_latency->Observe(response.latency_millis);
+    }
+    if (response.degraded) obs_->degraded->Increment();
+  };
+
+  if (obs_ != nullptr) {
+    request_seq = obs_->requests->FetchIncrement();
+    if (SampleObservation(request_seq, kExactObservationWindow,
+                          kDeadlineSampleStride) &&
+        !deadline.infinite()) {
+      obs_->deadline_remaining->Observe(deadline.RemainingMillis());
+    }
+  }
 
   const std::string key = JoinStrings(query_tokens);
 
   // Rung 1: precomputed KV cache.
   {
+    TraceSpan span(trace, "rung:cache");
+    const double rung_start = elapsed();
     RewriteKvStore::Rewrites cached;
     const Status status = cache_->Lookup(key, deadline, &cached);
+    RecordRungOutcome(Source::kCache, status, /*skipped=*/false,
+                      elapsed() - rung_start);
     if (status.ok()) {
+      span.SetDetail("hit");
       answer(Source::kCache, std::move(cached));
       cache_latency_.Record(response.latency_millis);
       ++cache_hits_;
+      finish();
       return response;
     }
-    if (status.code() != StatusCode::kNotFound) note_failure(status);
+    if (status.code() == StatusCode::kNotFound) {
+      span.SetDetail("miss");
+    } else {
+      span.SetStatus(status);
+      note_failure(status);
+    }
     response.attempts.push_back({Source::kCache, status, /*skipped=*/false});
   }
 
   // Rung 2: fast direct q2q model — deadline- and breaker-gated.
   if (model_ == nullptr) {
+    const Status status =
+        Status::FailedPrecondition("no direct model configured");
+    TraceSpan span(trace, "rung:direct-model");
+    span.SetDetail("skipped(no model)");
+    RecordRungOutcome(Source::kDirectModel, status, /*skipped=*/true, 0.0);
     response.attempts.push_back(
-        {Source::kDirectModel,
-         Status::FailedPrecondition("no direct model configured"),
-         /*skipped=*/true});
+        {Source::kDirectModel, status, /*skipped=*/true});
   } else if (!deadline.HasBudget(options_.model_min_budget_millis)) {
     const Status status = Status::FailedPrecondition(
         "deadline budget exhausted before model rung");
+    TraceSpan span(trace, "rung:direct-model");
+    span.SetDetail("skipped(no budget)");
+    RecordRungOutcome(Source::kDirectModel, status, /*skipped=*/true, 0.0);
     note_failure(status);
     response.attempts.push_back(
         {Source::kDirectModel, status, /*skipped=*/true});
   } else if (!breaker_.AllowRequest()) {
+    NoteBreakerState(trace);
     const Status status =
         Status::FailedPrecondition("direct-model circuit breaker open");
+    TraceSpan span(trace, "rung:direct-model");
+    span.SetDetail("skipped(breaker open)");
+    RecordRungOutcome(Source::kDirectModel, status, /*skipped=*/true, 0.0);
     note_failure(status);
     response.attempts.push_back(
         {Source::kDirectModel, status, /*skipped=*/true});
   } else {
+    NoteBreakerState(trace);
+    TraceSpan span(trace, "rung:direct-model");
     const double model_start = elapsed();
     std::vector<RewriteCandidate> candidates;
     Status status =
@@ -134,25 +284,38 @@ RewriteService::Response RewriteService::Serve(
     }
     if (status.ok() && !rewrites.empty()) {
       breaker_.RecordSuccess();
+      NoteBreakerState(trace);
       ++model_calls_;
+      span.SetDetail("hit");
       answer(Source::kDirectModel, std::move(rewrites));
-      model_latency_.Record(elapsed() - model_start);
+      const double model_millis = elapsed() - model_start;
+      model_latency_.Record(model_millis);
+      RecordRungOutcome(Source::kDirectModel, Status::OK(),
+                        /*skipped=*/false, model_millis);
       // Degraded only if an upstream rung failed (e.g. cache outage).
       response.degraded = !response.degraded_status.ok();
       degraded_requests_ += response.degraded ? 1 : 0;
+      finish();
       return response;
     }
     if (status.ok()) {
       // Healthy model, nothing to say: a miss, not a failure.
       breaker_.RecordSuccess();
+      NoteBreakerState(trace);
       ++model_calls_;
+      const Status miss = Status::NotFound("model produced no rewrites");
+      span.SetDetail("miss");
+      RecordRungOutcome(Source::kDirectModel, miss, /*skipped=*/false,
+                        elapsed() - model_start);
       response.attempts.push_back(
-          {Source::kDirectModel,
-           Status::NotFound("model produced no rewrites"),
-           /*skipped=*/false});
+          {Source::kDirectModel, miss, /*skipped=*/false});
     } else {
       breaker_.RecordFailure();
+      NoteBreakerState(trace);
       ++model_failures_;
+      span.SetStatus(status);
+      RecordRungOutcome(Source::kDirectModel, status, /*skipped=*/false,
+                        elapsed() - model_start);
       note_failure(status);
       response.attempts.push_back(
           {Source::kDirectModel, status, /*skipped=*/false});
@@ -161,30 +324,47 @@ RewriteService::Response RewriteService::Serve(
 
   // Rung 3: rule-based synonym baseline.
   if (rule_based_ == nullptr) {
-    response.attempts.push_back(
-        {Source::kRuleBased,
-         Status::FailedPrecondition("no rule-based rewriter configured"),
-         /*skipped=*/true});
+    const Status status =
+        Status::FailedPrecondition("no rule-based rewriter configured");
+    TraceSpan span(trace, "rung:rule-based");
+    span.SetDetail("skipped(no rules)");
+    RecordRungOutcome(Source::kRuleBased, status, /*skipped=*/true, 0.0);
+    response.attempts.push_back({Source::kRuleBased, status, /*skipped=*/true});
   } else {
+    TraceSpan span(trace, "rung:rule-based");
+    const double rung_start = elapsed();
     std::vector<std::vector<std::string>> rewrites =
         rule_based_->Rewrite(query_tokens, options_.max_rewrites);
     if (!rewrites.empty()) {
+      span.SetDetail("hit");
+      RecordRungOutcome(Source::kRuleBased, Status::OK(), /*skipped=*/false,
+                        elapsed() - rung_start);
       ++rule_based_answers_;
       answer(Source::kRuleBased, std::move(rewrites));
       response.degraded = true;
       ++degraded_requests_;
+      finish();
       return response;
     }
-    response.attempts.push_back(
-        {Source::kRuleBased, Status::NotFound("no synonym phrase matched"),
-         /*skipped=*/false});
+    const Status miss = Status::NotFound("no synonym phrase matched");
+    span.SetDetail("miss");
+    RecordRungOutcome(Source::kRuleBased, miss, /*skipped=*/false,
+                      elapsed() - rung_start);
+    response.attempts.push_back({Source::kRuleBased, miss, /*skipped=*/false});
   }
 
   // Rung 4: identity passthrough — cannot fail, always answers.
+  {
+    TraceSpan span(trace, "rung:passthrough");
+    span.SetDetail("hit");
+    RecordRungOutcome(Source::kPassthrough, Status::OK(), /*skipped=*/false,
+                      0.0);
+  }
   ++passthrough_answers_;
   answer(Source::kPassthrough, {query_tokens});
   response.degraded = true;
   ++degraded_requests_;
+  finish();
   return response;
 }
 

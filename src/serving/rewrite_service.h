@@ -8,6 +8,8 @@
 #include "baseline/rule_based.h"
 #include "core/deadline.h"
 #include "core/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rewrite/direct_model.h"
 #include "rewrite/inference.h"
 #include "serving/backends.h"
@@ -77,14 +79,19 @@ class RewriteService {
   /// Backend-seam constructor (tests, benches, fault injection). `cache`
   /// must be non-null; `model` and `rule_based` may be null (their rungs
   /// are then reported as skipped). All pointers must outlive the service.
+  /// When `metrics` is non-null the service registers its instruments
+  /// there and records per-rung counters, latencies, deadline headroom
+  /// and breaker transitions on every request (DESIGN.md "Observability").
   RewriteService(KvBackend* cache, ModelBackend* model,
-                 const RuleBasedRewriter* rule_based, const Options& options);
+                 const RuleBasedRewriter* rule_based, const Options& options,
+                 MetricsRegistry* metrics = nullptr);
 
   /// Production convenience: wraps the store and direct model in the
   /// default in-process backends. `fallback` and `rule_based` may be null.
   RewriteService(const RewriteKvStore* store, const DirectRewriter* fallback,
                  const Options& options,
-                 const RuleBasedRewriter* rule_based = nullptr);
+                 const RuleBasedRewriter* rule_based = nullptr,
+                 MetricsRegistry* metrics = nullptr);
 
   /// Serves under the default deadline from Options.
   Response Serve(const std::vector<std::string>& query_tokens);
@@ -92,6 +99,12 @@ class RewriteService {
   /// Serves under an explicit deadline (threaded through every rung).
   Response Serve(const std::vector<std::string>& query_tokens,
                  Deadline deadline);
+
+  /// Full-control overload: an optional per-request Trace records the
+  /// exact path through the ladder (rung outcomes, breaker transitions,
+  /// deadline headroom). `trace` may be null.
+  Response Serve(const std::vector<std::string>& query_tokens,
+                 Deadline deadline, Trace* trace);
 
   /// Offline precompute: runs the full cyclic pipeline over head queries
   /// and fills the store (the paper's nightly batch job).
@@ -112,11 +125,42 @@ class RewriteService {
   const CircuitBreaker& breaker() const { return breaker_; }
 
  private:
+  /// Pre-resolved instrument pointers (resolved once at construction, so
+  /// the hot path records through raw pointers — no registry lookups).
+  struct RungInstruments {
+    Counter* attempts = nullptr;
+    Counter* answers = nullptr;
+    Counter* errors = nullptr;
+    Counter* misses = nullptr;
+    Counter* skipped = nullptr;
+    Histogram* latency = nullptr;
+  };
+  struct Instruments {
+    Counter* requests = nullptr;
+    Counter* degraded = nullptr;
+    Histogram* request_latency = nullptr;
+    Histogram* deadline_remaining = nullptr;
+    Gauge* breaker_state = nullptr;
+    Counter* breaker_transitions[3] = {nullptr, nullptr, nullptr};
+    RungInstruments rungs[4];
+  };
+
   /// True when `rewrites` looks like sane model output (non-empty, no
   /// empty tokens, within the length limit) — the guard that catches
   /// corrupt-output faults.
   bool ValidRewrites(
       const std::vector<std::vector<std::string>>& rewrites) const;
+
+  void InitInstruments(MetricsRegistry* metrics);
+
+  /// Books one rung outcome into counters + latency histogram. OK means
+  /// the rung answered; NotFound is a clean miss; anything else an error.
+  void RecordRungOutcome(Source rung, const Status& status, bool skipped,
+                         double latency_millis);
+
+  /// Detects breaker state transitions (after AllowRequest/Record*) and
+  /// books them into the transition counters, state gauge, and trace.
+  void NoteBreakerState(Trace* trace);
 
   // Owned adapters for the convenience constructor; null when the caller
   // provided backends directly.
@@ -136,6 +180,8 @@ class RewriteService {
   int64_t rule_based_answers_ = 0;
   int64_t passthrough_answers_ = 0;
   int64_t degraded_requests_ = 0;
+  std::unique_ptr<Instruments> obs_;  // Null when metrics are disabled.
+  CircuitBreaker::State last_breaker_state_ = CircuitBreaker::State::kClosed;
 };
 
 }  // namespace cyqr

@@ -1,0 +1,33 @@
+// Fixture: conventional metric names and rule look-alikes — clean.
+#include "metrics_naming_clean.h"
+
+#include <string>
+
+// A free function named like the registry method: not a member call.
+int* GetCounter(const std::string& name);
+
+void RegisterConventionalNames(FakeRegistry& registry) {
+  int* requests = registry.GetCounter("cyqr_serving_requests_total");
+  int* rate = registry.GetGauge("cyqr_train_tokens_per_sec");
+  int* norm = registry.GetGauge("cyqr_train_grad_norm");
+  int* latency =
+      registry.GetHistogram("cyqr_serving_rung_latency_millis", {1.0, 2.0});
+  int* raw = GlobalRegistry()->GetCounter(R"(cyqr_decode_topn_calls_total)");
+  (void)requests;
+  (void)rate;
+  (void)norm;
+  (void)latency;
+  (void)raw;
+}
+
+void RuleLookAlikes(FakeRegistry& registry) {
+  // Free-function call: no receiver, so the rule must not fire even
+  // though the name is junk.
+  int* free_call = GetCounter("not a metric at all");
+  // Runtime-built name: invisible to the lexer, left to the registry's
+  // own validation.
+  const std::string dynamic = std::string("cyqr_") + "serving_x_total";
+  int* built = registry.GetCounter(dynamic);
+  (void)free_call;
+  (void)built;
+}

@@ -1,0 +1,18 @@
+#ifndef FIXTURE_METRICS_NAMING_CLEAN_H_
+#define FIXTURE_METRICS_NAMING_CLEAN_H_
+
+#include <string>
+#include <vector>
+
+/// Stand-in registry: the rule matches member calls by name, so the
+/// fixture never needs the real cyqr_obs library.
+struct FakeRegistry {
+  int* GetCounter(const std::string& name);
+  int* GetGauge(const std::string& name);
+  int* GetHistogram(const std::string& name,
+                    const std::vector<double>& bounds);
+};
+
+FakeRegistry* GlobalRegistry();
+
+#endif  // FIXTURE_METRICS_NAMING_CLEAN_H_

@@ -1,0 +1,18 @@
+// Fixture: every way to break the cyqr_<layer>_<name>_<unit> convention.
+#include "metrics_naming_violation.h"
+
+void RegisterBadNames(FakeBadRegistry& registry) {
+  int* a = registry.GetCounter("serving_requests_total");   // no cyqr_ prefix
+  int* b = registry.GetCounter("cyqr_requests_total");      // missing layer
+  int* c = registry.GetGauge("cyqr_serving_queue_depth");   // unknown unit
+  int* d = registry.GetGauge("cyqr_serving_Breaker_state"); // uppercase
+  int* e =
+      registry.GetHistogram("cyqr_serving_latency_ms", {1.0});  // bad unit
+  int* f = registry.GetCounter("cyqr_serving__requests_total");  // empty seg
+  (void)a;
+  (void)b;
+  (void)c;
+  (void)d;
+  (void)e;
+  (void)f;
+}

@@ -1,0 +1,14 @@
+#ifndef FIXTURE_METRICS_NAMING_VIOLATION_H_
+#define FIXTURE_METRICS_NAMING_VIOLATION_H_
+
+#include <string>
+#include <vector>
+
+struct FakeBadRegistry {
+  int* GetCounter(const std::string& name);
+  int* GetGauge(const std::string& name);
+  int* GetHistogram(const std::string& name,
+                    const std::vector<double>& bounds);
+};
+
+#endif  // FIXTURE_METRICS_NAMING_VIOLATION_H_

@@ -119,6 +119,24 @@ TEST(LintTest, IncludeHygieneClean) {
       RunRule("include-hygiene", "include_hygiene_pragma.h").empty());
 }
 
+TEST(LintTest, MetricsNamingViolations) {
+  const auto diags =
+      RunRule("metrics-naming", "metrics_naming_violation.cc");
+  // Missing prefix, missing layer, unknown unit, uppercase, bad unit
+  // abbreviation, empty segment.
+  EXPECT_EQ(Lines(diags), std::vector<int>({5, 6, 7, 8, 10, 11}));
+  for (const Diagnostic& d : diags) {
+    EXPECT_EQ(d.rule, "metrics-naming");
+    EXPECT_NE(d.message.find("cyqr_<layer>_<name>_<unit>"),
+              std::string::npos);
+  }
+}
+
+TEST(LintTest, MetricsNamingClean) {
+  EXPECT_TRUE(
+      RunRule("metrics-naming", "metrics_naming_clean.cc").empty());
+}
+
 TEST(LintTest, NolintSuppressesSameLineNextLineAndBare) {
   EXPECT_TRUE(RunRule("raw-owning-new", "nolint_suppressed.cc").empty());
 }
@@ -139,7 +157,7 @@ TEST(LintTest, AllowlistExemptsMatchingPaths) {
 }
 
 TEST(LintTest, AllRulesRunTogether) {
-  // The whole fixture directory under every rule: all six rules fire
+  // The whole fixture directory under every rule: all seven rules fire
   // somewhere, proving the multi-rule driver and cross-file
   // status-function collection work end to end.
   const LintResult result = RunLint({CYQR_LINT_FIXTURE_DIR}, {});
@@ -147,7 +165,8 @@ TEST(LintTest, AllRulesRunTogether) {
   for (const Diagnostic& d : result.diagnostics) fired.push_back(d.rule);
   for (const char* rule :
        {"discarded-status", "unchecked-stream", "banned-functions",
-        "banned-unseeded-rng", "raw-owning-new", "include-hygiene"}) {
+        "banned-unseeded-rng", "raw-owning-new", "include-hygiene",
+        "metrics-naming"}) {
     EXPECT_NE(std::find(fired.begin(), fired.end(), rule), fired.end())
         << "rule never fired over fixtures: " << rule;
   }

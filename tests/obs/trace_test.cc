@@ -1,0 +1,269 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/deadline.h"
+#include "core/fault.h"
+#include "core/status.h"
+#include "obs/metrics.h"
+#include "serving/backends.h"
+#include "serving/fault_injection.h"
+#include "serving/kv_store.h"
+#include "serving/rewrite_service.h"
+
+namespace cyqr {
+namespace {
+
+TEST(TraceTest, SpanRecordsNameDetailAndOutcome) {
+  Trace trace;
+  {
+    TraceSpan span(&trace, "rung:cache");
+    span.SetDetail("hit");
+  }
+  {
+    TraceSpan span(&trace, "rung:direct-model");
+    span.SetStatus(Status::Internal("decode blew up"));
+  }
+  ASSERT_EQ(trace.events().size(), 2u);
+  EXPECT_EQ(trace.events()[0].name, "rung:cache");
+  EXPECT_EQ(trace.events()[0].detail, "hit");
+  EXPECT_TRUE(trace.events()[0].ok);
+  EXPECT_EQ(trace.events()[1].name, "rung:direct-model");
+  EXPECT_FALSE(trace.events()[1].ok);
+  EXPECT_EQ(trace.events()[1].detail, "Internal: decode blew up");
+  EXPECT_EQ(trace.PathString(),
+            "rung:cache:hit -> rung:direct-model:Internal: decode blew up");
+}
+
+TEST(TraceTest, OkStatusKeepsDetailAndOkFlag) {
+  Trace trace;
+  {
+    TraceSpan span(&trace, "step");
+    span.SetDetail("hit");
+    span.SetStatus(Status::OK());
+  }
+  ASSERT_EQ(trace.events().size(), 1u);
+  EXPECT_TRUE(trace.events()[0].ok);
+  EXPECT_EQ(trace.events()[0].detail, "hit");
+}
+
+TEST(TraceTest, ExplicitEndMakesDestructorIdempotent) {
+  Trace trace;
+  {
+    TraceSpan span(&trace, "step");
+    span.End();
+    span.End();  // Second End (and the destructor) must not double-record.
+  }
+  EXPECT_EQ(trace.events().size(), 1u);
+}
+
+TEST(TraceTest, NullTraceIsNoOp) {
+  TraceSpan span(nullptr, "rung:cache");
+  span.SetDetail("hit");
+  span.MarkFailed();
+  span.End();  // Must not crash or record anywhere.
+}
+
+TEST(TraceTest, AnnotateRecordsInstantEvent) {
+  Trace trace;
+  trace.Annotate("breaker", "closed -> open");
+  ASSERT_EQ(trace.events().size(), 1u);
+  EXPECT_EQ(trace.events()[0].name, "breaker");
+  EXPECT_EQ(trace.events()[0].detail, "closed -> open");
+  EXPECT_DOUBLE_EQ(trace.events()[0].duration_millis, 0.0);
+  EXPECT_TRUE(trace.events()[0].ok);
+  EXPECT_NE(trace.ToString().find("breaker: closed -> open"),
+            std::string::npos);
+}
+
+// --- Serving-path trace tests: the ladder under injected faults. ---------
+
+/// Model stub with a scriptable response: OK+candidates, OK+empty (miss),
+/// or a fixed error.
+class StubModelBackend : public ModelBackend {
+ public:
+  enum class Mode { kHit, kMiss, kError };
+
+  explicit StubModelBackend(Mode mode) : mode_(mode) {}
+
+  [[nodiscard]] Status Rewrite(const std::vector<std::string>& query_tokens,
+                               int64_t k, int64_t max_len, Deadline& deadline,
+                               std::vector<RewriteCandidate>* out) override {
+    (void)query_tokens;
+    (void)k;
+    (void)max_len;
+    (void)deadline;
+    out->clear();
+    switch (mode_) {
+      case Mode::kHit: {
+        RewriteCandidate c;
+        c.tokens = {"stub", "rewrite"};
+        out->push_back(std::move(c));
+        return Status::OK();
+      }
+      case Mode::kMiss:
+        return Status::OK();
+      case Mode::kError:
+        return Status::Internal("stub model failure");
+    }
+    return Status::OK();
+  }
+
+ private:
+  Mode mode_;
+};
+
+TEST(ServingTraceTest, CacheOutageTraceNamesEveryRungInOrder) {
+  // Cache is 100% down (injected IoError); the model runs but has nothing
+  // to say; no rules configured. The trace must name the full ladder walk:
+  // cache error -> model miss -> rules skipped -> passthrough answer.
+  RewriteKvStore store;
+  KvStoreBackend real_cache(&store);
+  StubModelBackend real_model(StubModelBackend::Mode::kMiss);
+  FaultPlan plan;
+  plan.cache.error_probability = 1.0;
+  plan.cache.error_code = StatusCode::kIoError;
+  FaultHarness faults(&real_cache, &real_model, plan);
+  RewriteService service(&faults.cache, &faults.model, nullptr, {});
+
+  Trace trace;
+  const RewriteService::Response response =
+      service.Serve({"red", "dress"}, Deadline::AfterMillis(50.0), &trace);
+
+  EXPECT_EQ(response.source, RewriteService::Source::kPassthrough);
+  EXPECT_TRUE(response.degraded);
+  ASSERT_EQ(trace.events().size(), 4u);
+  EXPECT_EQ(trace.events()[0].name, "rung:cache");
+  EXPECT_FALSE(trace.events()[0].ok);
+  EXPECT_NE(trace.events()[0].detail.find("injected fault"),
+            std::string::npos);
+  EXPECT_EQ(trace.events()[1].name, "rung:direct-model");
+  EXPECT_EQ(trace.events()[1].detail, "miss");
+  EXPECT_TRUE(trace.events()[1].ok);
+  EXPECT_EQ(trace.events()[2].name, "rung:rule-based");
+  EXPECT_EQ(trace.events()[2].detail, "skipped(no rules)");
+  EXPECT_EQ(trace.events()[3].name, "rung:passthrough");
+  EXPECT_EQ(trace.events()[3].detail, "hit");
+}
+
+TEST(ServingTraceTest, HealthyCacheHitTraceIsOneSpan) {
+  RewriteKvStore store;
+  store.Put("red dress", {{"crimson", "gown"}});
+  RewriteService service(&store, nullptr, {});
+  Trace trace;
+  const RewriteService::Response response =
+      service.Serve({"red", "dress"}, Deadline::AfterMillis(50.0), &trace);
+  EXPECT_EQ(response.source, RewriteService::Source::kCache);
+  ASSERT_EQ(trace.events().size(), 1u);
+  EXPECT_EQ(trace.events()[0].name, "rung:cache");
+  EXPECT_EQ(trace.events()[0].detail, "hit");
+  EXPECT_EQ(trace.PathString(), "rung:cache:hit");
+}
+
+TEST(ServingTraceTest, BreakerTripIsAnnotatedInTrace) {
+  // A wedged model trips the breaker after `failure_threshold` failures;
+  // the transition must show up as a "breaker" annotation, and later
+  // requests must record the model rung as skipped(breaker open).
+  RewriteKvStore store;
+  KvStoreBackend cache(&store);
+  StubModelBackend model(StubModelBackend::Mode::kError);
+  RewriteService::Options options;
+  options.breaker.failure_threshold = 3;
+  RewriteService service(&cache, &model, nullptr, options);
+
+  Trace trip_trace;
+  for (int i = 0; i < 3; ++i) {
+    Trace* trace = (i == 2) ? &trip_trace : nullptr;
+    service.Serve({"query"}, Deadline::AfterMillis(50.0), trace);
+  }
+  EXPECT_NE(trip_trace.PathString().find("breaker:closed -> open"),
+            std::string::npos);
+
+  Trace open_trace;
+  service.Serve({"query"}, Deadline::AfterMillis(50.0), &open_trace);
+  EXPECT_NE(open_trace.PathString().find(
+                "rung:direct-model:skipped(breaker open)"),
+            std::string::npos);
+}
+
+// --- The accounting invariant of ISSUE.md: under a fault drill, the
+// per-rung answer counters must exactly account for every request. -------
+
+int64_t RungAnswers(MetricsRegistry& registry, const char* rung) {
+  return registry
+      .GetCounter("cyqr_serving_rung_answers_total", {{"rung", rung}})
+      ->Value();
+}
+
+TEST(ServingMetricsTest, RungAnswersSumToRequestsUnderMixedFaults) {
+  // Flaky cache and flaky model (30%/40% injected errors) over a store
+  // that answers some queries, a model that answers the rest: whatever
+  // path each request takes, exactly one rung answers it.
+  RewriteKvStore store;
+  store.Put("head query", {{"precomputed", "rewrite"}});
+  KvStoreBackend real_cache(&store);
+  StubModelBackend real_model(StubModelBackend::Mode::kHit);
+  FaultPlan plan;
+  plan.cache.error_probability = 0.3;
+  plan.model.error_probability = 0.4;
+  plan.seed = 7;
+  FaultHarness faults(&real_cache, &real_model, plan);
+
+  MetricsRegistry registry;
+  RewriteService service(&faults.cache, &faults.model, nullptr, {},
+                         &registry);
+
+  constexpr int kRequests = 200;
+  for (int i = 0; i < kRequests; ++i) {
+    const std::vector<std::string> query =
+        (i % 2 == 0) ? std::vector<std::string>{"head", "query"}
+                     : std::vector<std::string>{"tail", "query"};
+    service.Serve(query, Deadline::AfterMillis(50.0), nullptr);
+  }
+
+  const int64_t requests =
+      registry.GetCounter("cyqr_serving_requests_total")->Value();
+  EXPECT_EQ(requests, kRequests);
+  const int64_t answers = RungAnswers(registry, "cache") +
+                          RungAnswers(registry, "direct-model") +
+                          RungAnswers(registry, "rule-based") +
+                          RungAnswers(registry, "passthrough");
+  EXPECT_EQ(answers, requests);
+
+  // Every request's latency was booked exactly once.
+  EXPECT_EQ(registry
+                .GetHistogram("cyqr_serving_request_latency_millis",
+                              Histogram::DefaultLatencyBoundsMillis())
+                ->Count(),
+            kRequests);
+  // The drill injected real faults, so some requests must have degraded —
+  // and degraded can never exceed the request count.
+  const int64_t degraded =
+      registry.GetCounter("cyqr_serving_degraded_total")->Value();
+  EXPECT_GT(degraded, 0);
+  EXPECT_LE(degraded, requests);
+}
+
+TEST(ServingMetricsTest, SkippedRungsAreBookedAsSkippedNotAttempts) {
+  MetricsRegistry registry;
+  RewriteKvStore store;
+  RewriteService service(&store, nullptr, {}, nullptr, &registry);
+  service.Serve({"anything"});
+  EXPECT_EQ(registry
+                .GetCounter("cyqr_serving_rung_skipped_total",
+                            {{"rung", "direct-model"}})
+                ->Value(),
+            1);
+  EXPECT_EQ(registry
+                .GetCounter("cyqr_serving_rung_attempts_total",
+                            {{"rung", "direct-model"}})
+                ->Value(),
+            0);
+  EXPECT_EQ(RungAnswers(registry, "passthrough"), 1);
+}
+
+}  // namespace
+}  // namespace cyqr

@@ -30,17 +30,27 @@
 //   cyqr serve --kv kv.tsv --queries queries.tsv [--requests N]
 //              [--budget-ms 50] [--cache-error-p F] [--cache-latency-p F]
 //              [--cache-latency-ms F] [--fault-seed S]
+//              [--metrics-out metrics.json] [--metrics-prom metrics.prom]
+//              [--print-trace N]
 //       Replays traffic through the fault-tolerant serving ladder
 //       (cache -> ... -> identity passthrough) with optional cache fault
 //       injection, and reports rung mix, degradation, and latency.
+//       --metrics-out / --metrics-prom dump the metrics registry as a
+//       JSON snapshot / Prometheus text exposition after the replay;
+//       --print-trace prints the per-request trace (the exact rung path)
+//       for the first N requests. train accepts the same two metrics
+//       flags for its cyqr_train_* telemetry.
 
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 
+#include "core/deadline.h"
 #include "core/flags.h"
 #include "core/stopwatch.h"
 #include "core/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "datagen/io.h"
 #include "rewrite/inference.h"
 #include "rewrite/trainer.h"
@@ -63,6 +73,27 @@ int Usage() {
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
+}
+
+/// Dumps the global metrics registry to the paths given by --metrics-out
+/// (JSON snapshot) and --metrics-prom (Prometheus text exposition); empty
+/// paths are skipped. Returns 0 or the Fail() exit code.
+int DumpMetricsFiles(const std::string& json_path,
+                     const std::string& prom_path) {
+  if (!json_path.empty()) {
+    const Status s = MetricsRegistry::Global().WriteJsonSnapshot(json_path);
+    if (!s.ok()) return Fail(s);
+    std::printf("metrics snapshot (json) written to %s\n",
+                json_path.c_str());
+  }
+  if (!prom_path.empty()) {
+    const Status s =
+        MetricsRegistry::Global().WriteExpositionText(prom_path);
+    if (!s.ok()) return Fail(s);
+    std::printf("metrics exposition (prom) written to %s\n",
+                prom_path.c_str());
+  }
+  return 0;
 }
 
 int GenerateData(const FlagParser& flags) {
@@ -127,9 +158,13 @@ int Train(const FlagParser& flags) {
                  "[--lambda F] [--separate] [--seed S] "
                  "[--checkpoint-every N] [--checkpoint-dir DIR] "
                  "[--checkpoint-keep K] [--resume] "
-                 "[--crash-at-step N] [--nan-at-step N]\n");
+                 "[--crash-at-step N] [--nan-at-step N] "
+                 "[--metrics-out metrics.json] "
+                 "[--metrics-prom metrics.prom]\n");
     return 2;
   }
+  const std::string metrics_out = flags.GetString("metrics-out");
+  const std::string metrics_prom = flags.GetString("metrics-prom");
   Result<std::vector<TokenPair>> pairs = LoadTokenPairs(data_path);
   if (!pairs.ok()) return Fail(pairs.status());
   Result<Vocabulary> vocab = BuildVocabFromPairs(pairs.value());
@@ -158,6 +193,9 @@ int Train(const FlagParser& flags) {
       (options.checkpoint_every > 0 || resume)) {
     options.checkpoint_dir = out_dir + "/checkpoints";
   }
+  if (!metrics_out.empty() || !metrics_prom.empty()) {
+    options.metrics = &MetricsRegistry::Global();
+  }
   // Fault-drill hooks.
   options.fault_plan.crash_at_step = flags.GetInt("crash-at-step", -1);
   const int64_t nan_at_step = flags.GetInt("nan-at-step", -1);
@@ -184,7 +222,11 @@ int Train(const FlagParser& flags) {
     }
   }
   const Status trained = trainer.Train({});
+  // Dump telemetry even when training fails — the series leading up to a
+  // divergence are exactly what a postmortem needs.
+  const int metrics_code = DumpMetricsFiles(metrics_out, metrics_prom);
   if (!trained.ok()) return Fail(trained);
+  if (metrics_code != 0) return metrics_code;
   std::printf("trained in %.1fs\n", watch.ElapsedSeconds());
   if (trainer.skipped_batches() > 0) {
     std::printf("guardrails: skipped %lld anomalous batches, "
@@ -359,7 +401,8 @@ int ServeTraffic(const FlagParser& flags) {
                  "serve flags: --kv kv.tsv --queries queries.tsv "
                  "[--requests N] [--budget-ms 50] [--cache-error-p F] "
                  "[--cache-latency-p F] [--cache-latency-ms F] "
-                 "[--fault-seed S]\n");
+                 "[--fault-seed S] [--metrics-out metrics.json] "
+                 "[--metrics-prom metrics.prom] [--print-trace N]\n");
     return 2;
   }
   // Read every flag before any I/O, so an early load failure doesn't make
@@ -376,6 +419,9 @@ int ServeTraffic(const FlagParser& flags) {
   RewriteService::Options options;
   options.default_budget_millis = flags.GetDouble("budget-ms", 50.0);
   const int64_t requests = flags.GetInt("requests", 1000);
+  const std::string metrics_out = flags.GetString("metrics-out");
+  const std::string metrics_prom = flags.GetString("metrics-prom");
+  const int64_t print_trace = flags.GetInt("print-trace", 0);
 
   RewriteKvStore store;
   Status s = store.Load(kv_path);
@@ -390,14 +436,28 @@ int ServeTraffic(const FlagParser& flags) {
 
   KvStoreBackend cache(&store);
   FaultyKvBackend faulty_cache(&cache, cache_faults, fault_seed);
-  RewriteService service(&faulty_cache, nullptr, nullptr, options);
+  RewriteService service(&faulty_cache, nullptr, nullptr, options,
+                         &MetricsRegistry::Global());
 
   LatencyRecorder latency;
   int64_t by_source[4] = {0, 0, 0, 0};
   for (int64_t i = 0; i < requests; ++i) {
     const auto& query =
         queries.value()[static_cast<size_t>(i) % queries.value().size()];
-    const auto response = service.Serve(query);
+    const Deadline deadline =
+        options.default_budget_millis > 0
+            ? Deadline::AfterMillis(options.default_budget_millis)
+            : Deadline::Infinite();
+    if (i < print_trace) {
+      Trace trace;
+      const auto response = service.Serve(query, deadline, &trace);
+      latency.Record(response.latency_millis);
+      ++by_source[static_cast<int>(response.source)];
+      std::printf("trace[%lld] %s: %s\n", static_cast<long long>(i),
+                  JoinStrings(query).c_str(), trace.PathString().c_str());
+      continue;
+    }
+    const auto response = service.Serve(query, deadline, nullptr);
     latency.Record(response.latency_millis);
     ++by_source[static_cast<int>(response.source)];
   }
@@ -417,7 +477,7 @@ int ServeTraffic(const FlagParser& flags) {
   std::printf("latency:       p50 %.3f ms, p99 %.3f ms, max %.3f ms\n",
               latency.PercentileMillis(0.5), latency.PercentileMillis(0.99),
               latency.MaxMillis());
-  return 0;
+  return DumpMetricsFiles(metrics_out, metrics_prom);
 }
 
 int Main(int argc, char** argv) {

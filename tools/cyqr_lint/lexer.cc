@@ -170,8 +170,12 @@ LexedFile LexFile(std::string path, const std::string& source) {
         for (size_t k = i; k < end; ++k) {
           if (source[k] == '\n') ++line;
         }
+        Token tok{TokKind::kString, "", "", tok_line};
+        if (close != std::string::npos && j < n) {
+          tok.aux = source.substr(j + 1, close - (j + 1));
+        }
         i = end;
-        push(TokKind::kString, "", tok_line);
+        out.tokens.push_back(std::move(tok));
         continue;
       }
       // Encoding-prefixed ordinary literal (u8"x", L'c', ...): treat the
@@ -195,8 +199,11 @@ LexedFile LexFile(std::string path, const std::string& source) {
         if (source[j] == '\n') ++line;  // Unterminated; keep counting.
         ++j;
       }
+      Token tok{quote == '"' ? TokKind::kString : TokKind::kChar, "", "",
+                tok_line};
+      if (quote == '"') tok.aux = source.substr(i + 1, j - (i + 1));
       i = j < n ? j + 1 : n;
-      push(quote == '"' ? TokKind::kString : TokKind::kChar, "", tok_line);
+      out.tokens.push_back(std::move(tok));
       continue;
     }
 

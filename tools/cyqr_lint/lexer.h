@@ -18,7 +18,7 @@ namespace cyqr_lint {
 enum class TokKind {
   kIdent,
   kNumber,
-  kString,     // Any string literal, including raw strings; text is "".
+  kString,     // String literal (incl. raw); text is "", aux is the body.
   kChar,       // Character literal; text is "".
   kPunct,      // Operator / punctuation, possibly multi-char.
   kDirective,  // Whole preprocessor directive; text = name, aux = payload.
@@ -27,7 +27,11 @@ enum class TokKind {
 struct Token {
   TokKind kind;
   std::string text;
-  std::string aux;  // Directive payload (e.g. the "x.h" of an #include).
+  /// Directive payload (the "x.h" of an #include), or the uninterpreted
+  /// body of a string literal (escape sequences kept verbatim). `text`
+  /// stays "" for literals so token-matching rules never fire inside them;
+  /// rules that need the value (metrics-naming) read `aux` explicitly.
+  std::string aux;
   int line = 0;
 };
 

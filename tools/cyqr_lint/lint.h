@@ -41,7 +41,7 @@ class Rule {
 };
 
 /// All built-in rules: discarded-status, unchecked-stream,
-/// banned-functions, raw-owning-new, include-hygiene.
+/// banned-functions, raw-owning-new, include-hygiene, metrics-naming.
 std::vector<std::unique_ptr<Rule>> BuildAllRules();
 
 /// Scans one lexed file for Status/Result-returning declarations

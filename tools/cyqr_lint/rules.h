@@ -36,6 +36,7 @@ std::unique_ptr<Rule> MakeBannedFunctionsRule();
 std::unique_ptr<Rule> MakeUnseededRngRule();
 std::unique_ptr<Rule> MakeRawOwningNewRule();
 std::unique_ptr<Rule> MakeIncludeHygieneRule();
+std::unique_ptr<Rule> MakeMetricsNamingRule();
 
 }  // namespace cyqr_lint
 

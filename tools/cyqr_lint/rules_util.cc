@@ -10,6 +10,7 @@ std::vector<std::unique_ptr<Rule>> BuildAllRules() {
   rules.push_back(MakeUnseededRngRule());
   rules.push_back(MakeRawOwningNewRule());
   rules.push_back(MakeIncludeHygieneRule());
+  rules.push_back(MakeMetricsNamingRule());
   return rules;
 }
 
