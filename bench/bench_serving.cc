@@ -16,23 +16,39 @@
 // registry contents to BENCH_serving.json (override with --metrics-out=PATH,
 // disable with --metrics-out=).
 
+// The closed-loop overload mode (--overload) measures saturation behaviour
+// of the concurrent RewriteServer front end: Zipfian traffic is offered at
+// 1x / 2x / 4x the calibrated capacity and the resulting curves — achieved
+// QPS, shed rate, p50/p99 of admitted requests, deadline violations — are
+// recorded into the same metrics snapshot. The acceptance shape is
+// shed-not-collapse: past saturation the server refuses load (nonzero shed
+// rate) while the p99 of what it does admit stays inside the deadline
+// budget, instead of every request timing out in a growing queue.
+
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "core/deadline.h"
+#include "core/rng.h"
+#include "core/stopwatch.h"
 #include "core/string_util.h"
 #include "datagen/traffic.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rewrite/direct_model.h"
 #include "serving/fault_injection.h"
+#include "serving/latency.h"
 #include "serving/rewrite_service.h"
+#include "serving/server.h"
 
 namespace {
 
@@ -212,19 +228,168 @@ void BM_FullCyclicPipeline(benchmark::State& state) {
 }
 BENCHMARK(BM_FullCyclicPipeline)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// Overload mode (--overload): closed-loop saturation curves for the
+// concurrent RewriteServer front end.
+// ---------------------------------------------------------------------------
+
+// Stands in for the direct model in the overload drill: burns a fixed slice
+// of wall-clock CPU per call so server capacity is known and reproducible,
+// and the drill does not pay for training a real model.
+class SpinModelBackend : public ModelBackend {
+ public:
+  explicit SpinModelBackend(double spin_millis) : spin_millis_(spin_millis) {}
+
+  [[nodiscard]] Status Rewrite(const std::vector<std::string>& query_tokens,
+                               int64_t /*k*/, int64_t /*max_len*/,
+                               Deadline& /*deadline*/,
+                               std::vector<RewriteCandidate>* out) override {
+    Stopwatch spin;
+    while (spin.ElapsedMillis() < spin_millis_) {
+    }
+    RewriteCandidate candidate;
+    candidate.tokens = query_tokens;
+    out->push_back(std::move(candidate));
+    return Status::OK();
+  }
+
+ private:
+  double spin_millis_;
+};
+
+// Offers paced Zipfian traffic at 1x / 2x / 4x the calibrated capacity and
+// records the resulting curves as labelled gauges in the global registry
+// (they land in BENCH_serving.json next to the per-path latency benches).
+// The shape that matters: past saturation the shed ratio grows while the
+// p99 of *admitted* requests stays inside the 50 ms deadline budget —
+// overload is refused at the door instead of timing out everyone in a
+// growing queue.
+void RunOverloadBench() {
+  std::printf("overload mode: paced Zipfian traffic at 1x/2x/4x capacity\n");
+
+  // World + precomputed head cache, but no model training: overload is
+  // about queueing behaviour, so the deterministic spin backend stands in
+  // for the model and the head queries get canned rewrites.
+  bench::BenchWorld world = bench::BuildWorld();
+  RewriteKvStore store;
+  {
+    TrafficSampler head_traffic(&world.click_log);
+    std::vector<std::pair<std::string, RewriteKvStore::Rewrites>> entries;
+    for (int64_t q : head_traffic.HeadQueries(0.8)) {
+      const auto& tokens = world.click_log.queries()[q].tokens;
+      entries.emplace_back(JoinStrings(tokens),
+                           RewriteKvStore::Rewrites{tokens});
+    }
+    store.PutMany(std::move(entries));
+  }
+
+  KvStoreBackend cache(&store);
+  SpinModelBackend model(/*spin_millis=*/0.3);
+  RewriteService service(&cache, &model, nullptr, {});
+
+  // Pre-sample the traffic so the paced loop below does no sampling work.
+  constexpr int kRequestsPerLevel = 500;
+  TrafficSampler traffic(&world.click_log);
+  Rng rng(2024);
+  std::vector<const std::vector<std::string>*> requests;
+  requests.reserve(kRequestsPerLevel);
+  for (int i = 0; i < kRequestsPerLevel; ++i) {
+    const int64_t q = traffic.SampleQueryIndex(rng);
+    requests.push_back(&world.click_log.queries()[q].tokens);
+  }
+
+  // Calibrate capacity with a closed one-at-a-time loop over the same mix.
+  constexpr int kCalibration = 200;
+  Stopwatch calibration;
+  for (int i = 0; i < kCalibration; ++i) {
+    const auto response = service.Serve(*requests[i % requests.size()],
+                                        Deadline::AfterMillis(50.0));
+    benchmark::DoNotOptimize(&response);
+  }
+  const double capacity_qps =
+      kCalibration / (calibration.ElapsedMillis() / 1000.0);
+  std::printf("  calibrated capacity: %.0f requests/sec\n", capacity_qps);
+
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  constexpr struct {
+    const char* label;
+    double multiplier;
+  } kLevels[] = {{"1x", 1.0}, {"2x", 2.0}, {"4x", 4.0}};
+  for (const auto& level : kLevels) {
+    RewriteServer::Options options;
+    options.num_threads = 2;
+    options.queue_depth = 32;
+    options.retry.max_retries = 1;
+    RewriteServer server(&service, options);
+    LatencyRecorder latency;
+
+    const double offered_qps = capacity_qps * level.multiplier;
+    Stopwatch clock;
+    for (int i = 0; i < kRequestsPerLevel; ++i) {
+      const double send_at_millis = 1000.0 * i / offered_qps;
+      while (clock.ElapsedMillis() < send_at_millis) {
+        std::this_thread::yield();
+      }
+      server.Submit(*requests[i], Deadline::AfterMillis(50.0),
+                    [&latency](RewriteServer::ServerResponse response) {
+                      if (response.status.ok()) {
+                        latency.Record(response.total_millis);
+                      }
+                    });
+    }
+    const double offered_window_millis = clock.ElapsedMillis();
+    server.Drain();
+    const double served_window_millis = clock.ElapsedMillis();
+
+    const int64_t served = server.served_total();
+    const int64_t shed = server.shed_total();
+    const int64_t violations = server.deadline_violations_total();
+    const double shed_ratio =
+        static_cast<double>(shed) / kRequestsPerLevel;
+    const double violation_ratio =
+        served > 0 ? static_cast<double>(violations) / served : 0.0;
+    const double offered_per_sec =
+        kRequestsPerLevel / (offered_window_millis / 1000.0);
+    const double served_per_sec =
+        static_cast<double>(served) / (served_window_millis / 1000.0);
+    const double p50 = latency.PercentileMillis(0.5);
+    const double p99 = latency.PercentileMillis(0.99);
+
+    const MetricLabels labels = {{"load", level.label}};
+    registry.GetGauge("cyqr_bench_overload_offered_qps_value", labels)
+        ->Set(offered_per_sec);
+    registry.GetGauge("cyqr_bench_overload_served_qps_value", labels)
+        ->Set(served_per_sec);
+    registry.GetGauge("cyqr_bench_overload_shed_ratio", labels)
+        ->Set(shed_ratio);
+    registry.GetGauge("cyqr_bench_overload_p50_millis", labels)->Set(p50);
+    registry.GetGauge("cyqr_bench_overload_p99_millis", labels)->Set(p99);
+    registry.GetGauge("cyqr_bench_overload_deadline_violation_ratio", labels)
+        ->Set(violation_ratio);
+    std::printf(
+        "  %s: offered %.0f/s served %.0f/s shed %.1f%% p50 %.2f ms "
+        "p99 %.2f ms deadline-violations %.1f%%\n",
+        level.label, offered_per_sec, served_per_sec, 100.0 * shed_ratio,
+        p50, p99, 100.0 * violation_ratio);
+  }
+}
+
 }  // namespace
 
-// Custom main instead of BENCHMARK_MAIN(): strips --metrics-out=PATH before
-// handing argv to the benchmark library, then dumps the global metrics
-// registry as the BENCH_serving.json artifact after the run.
+// Custom main instead of BENCHMARK_MAIN(): strips --metrics-out=PATH and
+// --overload before handing argv to the benchmark library, then dumps the
+// global metrics registry as the BENCH_serving.json artifact after the run.
 int main(int argc, char** argv) {
   std::string metrics_out = "BENCH_serving.json";
+  bool overload = false;
   std::vector<char*> args;
   args.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
     constexpr char kFlag[] = "--metrics-out=";
     if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
       metrics_out = argv[i] + std::strlen(kFlag);
+    } else if (std::strcmp(argv[i], "--overload") == 0) {
+      overload = true;
     } else {
       args.push_back(argv[i]);
     }
@@ -236,6 +401,9 @@ int main(int argc, char** argv) {
   }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  if (overload) {
+    RunOverloadBench();
+  }
   if (!metrics_out.empty()) {
     const cyqr::Status s = cyqr::bench::DumpMetrics(metrics_out);
     if (!s.ok()) {

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Runs the concurrency-sensitive test binaries under ThreadSanitizer: the
+# thread-pool/bounded-queue primitives, the concurrent serving front end
+# with its multi-threaded fault drill, and the metrics registry. Any data
+# race in the breaker atomics, the KV snapshot swap, or the server's
+# accounting fails the run loudly (halt_on_error).
+#
+# The binaries are invoked directly rather than through ctest: the drill's
+# value under TSan is the interleavings it generates, and one process
+# running every case back to back produces far more cross-thread traffic
+# than ctest's one-process-per-case isolation.
+#
+# Usage: scripts/run_tsan_tests.sh [extra-gtest-args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build-tsan
+cmake -B "$BUILD_DIR" -S . \
+  -DCYCLEQR_TSAN=ON \
+  -DCYCLEQR_BUILD_BENCHMARKS=OFF \
+  -DCYCLEQR_BUILD_EXAMPLES=OFF
+cmake --build "$BUILD_DIR" -j"$(nproc)" \
+  --target core_test serving_test obs_test
+
+export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
+for binary in core_test serving_test obs_test; do
+  echo "=== TSan: ${binary} ==="
+  "$BUILD_DIR/tests/${binary}" "$@"
+done
+echo "TSan run clean."

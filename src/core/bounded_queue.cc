@@ -1,0 +1,27 @@
+#include "core/bounded_queue.h"
+
+namespace cyqr {
+
+const char* ShedPolicyName(ShedPolicy policy) {
+  switch (policy) {
+    case ShedPolicy::kRejectNewest:
+      return "reject";
+    case ShedPolicy::kEvictOldest:
+      return "oldest";
+  }
+  return "unknown";
+}
+
+bool ParseShedPolicy(const std::string& text, ShedPolicy* out) {
+  if (text == "reject") {
+    *out = ShedPolicy::kRejectNewest;
+    return true;
+  }
+  if (text == "oldest") {
+    *out = ShedPolicy::kEvictOldest;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace cyqr

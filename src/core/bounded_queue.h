@@ -1,0 +1,145 @@
+#ifndef CYCLEQR_CORE_BOUNDED_QUEUE_H_
+#define CYCLEQR_CORE_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "core/check.h"
+
+namespace cyqr {
+
+/// What a full BoundedQueue does with the overflow (DESIGN.md "Concurrent
+/// serving & overload protection"). Either way exactly one item is shed per
+/// overflowing push — the queue never grows past its capacity, which is the
+/// property that turns overload into bounded latency instead of collapse.
+enum class ShedPolicy {
+  /// The incoming item is refused (caller sees it rejected). Preserves
+  /// work already queued; arrivals during a burst pay the cost.
+  kRejectNewest,
+  /// The oldest queued item is evicted to make room for the incoming one.
+  /// Freshest work wins; the evicted item is handed back to the caller so
+  /// its owner can be told (a queued request closest to its deadline is
+  /// the one least worth finishing).
+  kEvictOldest,
+};
+
+const char* ShedPolicyName(ShedPolicy policy);
+
+/// Parses "reject" / "oldest" (the `--shed-policy` CLI vocabulary).
+/// Returns false on unknown input.
+bool ParseShedPolicy(const std::string& text, ShedPolicy* out);
+
+/// Fixed-capacity MPMC FIFO queue with explicit shed semantics.
+///
+/// Push never blocks: when the queue is full the shed policy decides which
+/// item loses, and the loser is reported to the pushing thread. Pop blocks
+/// until an item arrives or the queue is closed. Close() stops admission
+/// and wakes every blocked consumer; items already queued are still
+/// drained (Pop keeps returning them until the queue is empty).
+///
+/// Synchronization is one mutex plus a condition variable: at serving
+/// depths (tens to low thousands of queued requests) queue transfer cost
+/// is nanoseconds against a microseconds-to-milliseconds request, so
+/// lock-free machinery would buy nothing the profiles can see.
+template <typename T>
+class BoundedQueue {
+ public:
+  struct PushResult {
+    /// False when the incoming item itself was refused (kRejectNewest on a
+    /// full queue, or the queue was closed); the item is handed back in
+    /// `rejected` so the caller can dispose of it (notify its owner).
+    bool admitted = false;
+    std::optional<T> rejected;
+    /// Set when kEvictOldest displaced a queued item; the caller owns it.
+    std::optional<T> evicted;
+  };
+
+  explicit BoundedQueue(size_t capacity,
+                        ShedPolicy policy = ShedPolicy::kRejectNewest)
+      : capacity_(capacity), policy_(policy) {
+    CYQR_CHECK(capacity > 0);
+  }
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  PushResult Push(T item) {
+    PushResult result;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) {
+        result.rejected = std::move(item);
+        return result;
+      }
+      if (items_.size() >= capacity_) {
+        if (policy_ == ShedPolicy::kRejectNewest) {
+          result.rejected = std::move(item);
+          return result;
+        }
+        result.evicted = std::move(items_.front());
+        items_.pop_front();
+      }
+      items_.push_back(std::move(item));
+      result.admitted = true;
+    }
+    ready_.notify_one();
+    return result;
+  }
+
+  /// Blocks until an item is available or the queue is closed and drained.
+  /// Returns false only on closed-and-empty.
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    ready_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Non-blocking Pop; false when nothing is queued right now.
+  bool TryPop(T* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Stops admission and wakes all blocked consumers. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t capacity() const { return capacity_; }
+  ShedPolicy policy() const { return policy_; }
+
+ private:
+  const size_t capacity_;
+  const ShedPolicy policy_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace cyqr
+
+#endif  // CYCLEQR_CORE_BOUNDED_QUEUE_H_

@@ -19,6 +19,8 @@ Status MakeInjectedError(const FaultSpec& spec) {
       return Status::IoError(spec.error_message);
     case StatusCode::kUnimplemented:
       return Status::Unimplemented(spec.error_message);
+    case StatusCode::kUnavailable:
+      return Status::Unavailable(spec.error_message);
     case StatusCode::kInternal:
     case StatusCode::kOk:
     default:
@@ -30,25 +32,36 @@ FaultInjector::FaultInjector(const FaultSpec& spec, uint64_t seed)
     : spec_(spec), rng_(seed) {}
 
 Status FaultInjector::OnCall(Deadline& deadline) {
-  const int64_t call = calls_++;
-  if (spec_.latency_probability > 0 &&
-      rng_.NextBernoulli(spec_.latency_probability)) {
-    deadline.Charge(spec_.latency_millis);
-    ++injected_latency_spikes_;
+  // One fetch_add claims this call's unique index: the deterministic
+  // window below fires exactly (end - begin) times under any interleaving.
+  const int64_t call = calls_.fetch_add(1, std::memory_order_relaxed);
+  FaultSpec spec;
+  bool latency_hit = false;
+  bool coin = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    spec = spec_;
+    latency_hit = spec.latency_probability > 0 &&
+                  rng_.NextBernoulli(spec.latency_probability);
+    coin = spec.error_probability > 0 &&
+           rng_.NextBernoulli(spec.error_probability);
   }
-  const bool in_window = spec_.fail_calls_begin >= 0 &&
-                         call >= spec_.fail_calls_begin &&
-                         call < spec_.fail_calls_end;
-  const bool coin = spec_.error_probability > 0 &&
-                    rng_.NextBernoulli(spec_.error_probability);
+  if (latency_hit) {
+    deadline.Charge(spec.latency_millis);
+    injected_latency_spikes_.fetch_add(1, std::memory_order_relaxed);
+  }
+  const bool in_window = spec.fail_calls_begin >= 0 &&
+                         call >= spec.fail_calls_begin &&
+                         call < spec.fail_calls_end;
   if (in_window || coin) {
-    ++injected_errors_;
-    return MakeInjectedError(spec_);
+    injected_errors_.fetch_add(1, std::memory_order_relaxed);
+    return MakeInjectedError(spec);
   }
   return Status::OK();
 }
 
 bool FaultInjector::ShouldCorrupt() {
+  std::lock_guard<std::mutex> lock(mu_);
   return spec_.corrupt_probability > 0 &&
          rng_.NextBernoulli(spec_.corrupt_probability);
 }

@@ -1,7 +1,9 @@
 #ifndef CYCLEQR_CORE_FAULT_H_
 #define CYCLEQR_CORE_FAULT_H_
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -55,6 +57,16 @@ struct FaultPlan {
 
 /// Applies one FaultSpec to a stream of calls. Mutable spec so tests can
 /// flip faults on and off mid-run (outage begins / clears).
+///
+/// Thread safety: safe to call from N serving workers concurrently. The
+/// call counter and tally counters are atomics, so the deterministic
+/// failure window `[fail_calls_begin, fail_calls_end)` fires exactly
+/// `end - begin` times no matter how calls interleave — each call claims a
+/// unique index with one fetch_add (relaxed: the counters are tallies and
+/// window arithmetic, not happens-before edges). The shared Rng and the
+/// mutable spec sit behind a mutex; probabilistic draw *order* under
+/// concurrency is scheduling-dependent by nature, but the total draw count
+/// and the per-seed stream stay exact.
 class FaultInjector {
  public:
   FaultInjector(const FaultSpec& spec, uint64_t seed);
@@ -68,18 +80,29 @@ class FaultInjector {
   /// the output". Draws from the same seeded Rng.
   bool ShouldCorrupt();
 
-  void set_spec(const FaultSpec& spec) { spec_ = spec; }
-  const FaultSpec& spec() const { return spec_; }
-  int64_t calls() const { return calls_; }
-  int64_t injected_errors() const { return injected_errors_; }
-  int64_t injected_latency_spikes() const { return injected_latency_spikes_; }
+  void set_spec(const FaultSpec& spec) {
+    std::lock_guard<std::mutex> lock(mu_);
+    spec_ = spec;
+  }
+  FaultSpec spec() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return spec_;
+  }
+  int64_t calls() const { return calls_.load(std::memory_order_relaxed); }
+  int64_t injected_errors() const {
+    return injected_errors_.load(std::memory_order_relaxed);
+  }
+  int64_t injected_latency_spikes() const {
+    return injected_latency_spikes_.load(std::memory_order_relaxed);
+  }
 
  private:
+  mutable std::mutex mu_;  // Guards spec_ and rng_.
   FaultSpec spec_;
   Rng rng_;
-  int64_t calls_ = 0;
-  int64_t injected_errors_ = 0;
-  int64_t injected_latency_spikes_ = 0;
+  std::atomic<int64_t> calls_{0};
+  std::atomic<int64_t> injected_errors_{0};
+  std::atomic<int64_t> injected_latency_spikes_{0};
 };
 
 /// Training-side fault plan, consumed by CycleTrainer: poisons chosen

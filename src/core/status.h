@@ -19,6 +19,9 @@ enum class StatusCode {
   kInternal = 5,
   kIoError = 6,
   kUnimplemented = 7,
+  /// The operation was refused because the service is overloaded or
+  /// shutting down; the caller should back off and retry.
+  kUnavailable = 8,
 };
 
 /// Returns a short human-readable name for a status code ("OK",
@@ -58,6 +61,9 @@ class [[nodiscard]] Status {
   }
   [[nodiscard]] static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  [[nodiscard]] static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,62 @@
+#include "core/thread_pool.h"
+
+#include <utility>
+
+#include "core/check.h"
+
+namespace cyqr {
+
+ThreadPool::ThreadPool(const Options& options)
+    : queue_(options.queue_capacity, options.shed_policy) {
+  CYQR_CHECK(options.num_threads > 0);
+  workers_.reserve(static_cast<size_t>(options.num_threads));
+  for (int i = 0; i < options.num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Drain(); }
+
+bool ThreadPool::Submit(Job job) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  BoundedQueue<Job>::PushResult result = queue_.Push(std::move(job));
+  if (result.evicted.has_value()) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    if (result.evicted->shed) result.evicted->shed();
+  }
+  if (result.rejected.has_value()) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    if (result.rejected->shed) result.rejected->shed();
+  }
+  return result.admitted;
+}
+
+bool ThreadPool::Submit(std::function<void()> run) {
+  Job job;
+  job.run = std::move(run);
+  return Submit(std::move(job));
+}
+
+void ThreadPool::Drain() {
+  if (draining_.exchange(true)) {
+    // A concurrent or repeated Drain: the first caller owns the joins.
+    return;
+  }
+  queue_.Close();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  Job job;
+  while (queue_.Pop(&job)) {
+    in_flight_.fetch_add(1, std::memory_order_relaxed);
+    if (job.run) job.run();
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    job = Job();  // Release captured state before blocking on the queue.
+  }
+}
+
+}  // namespace cyqr

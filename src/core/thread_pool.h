@@ -1,0 +1,92 @@
+#ifndef CYCLEQR_CORE_THREAD_POOL_H_
+#define CYCLEQR_CORE_THREAD_POOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "core/bounded_queue.h"
+
+namespace cyqr {
+
+/// N workers draining a BoundedQueue of jobs — the execution substrate
+/// under RewriteServer (and any other component that wants overload-safe
+/// fan-out). The deliberate difference from a textbook pool is the bounded
+/// admission queue: a pool that queues unboundedly converts overload into
+/// unbounded latency, which for a deadline-bound serving path is
+/// indistinguishable from being down.
+///
+/// Every job carries two closures: `run` (executed by a worker) and an
+/// optional `shed` hook, invoked — on the *submitting* thread — when the
+/// job is refused admission or evicted by ShedPolicy::kEvictOldest. The
+/// shed hook is how a server answers kUnavailable to the request that
+/// lost its queue slot.
+///
+/// Lifecycle: workers start in the constructor; Drain() closes admission,
+/// lets the workers finish every queued job, and joins them. The
+/// destructor drains implicitly. After Drain() the pool stays closed —
+/// submissions are shed.
+class ThreadPool {
+ public:
+  struct Job {
+    std::function<void()> run;
+    /// May be empty. Called at most once, and never after `run` started.
+    std::function<void()> shed;
+  };
+
+  struct Options {
+    int num_threads = 4;
+    size_t queue_capacity = 64;
+    ShedPolicy shed_policy = ShedPolicy::kRejectNewest;
+  };
+
+  explicit ThreadPool(const Options& options);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Hands one job to the pool. Returns true when the job was admitted
+  /// (it will run, even if Drain() is called right after). On false the
+  /// job was shed and its `shed` hook has already run. Under
+  /// kEvictOldest an admitted Submit may shed a *different*, previously
+  /// queued job; that job's hook runs before Submit returns.
+  bool Submit(Job job);
+
+  /// Convenience overload without a shed hook.
+  bool Submit(std::function<void()> run);
+
+  /// Closes admission, runs every already-queued job to completion, and
+  /// joins the workers. Idempotent; safe to call from any thread except a
+  /// worker.
+  void Drain();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+  /// Jobs waiting in the queue right now (excludes running jobs).
+  size_t QueueDepth() const { return queue_.size(); }
+  /// Jobs currently executing on a worker.
+  int64_t InFlight() const { return in_flight_.load(std::memory_order_relaxed); }
+  int64_t submitted_total() const {
+    return submitted_.load(std::memory_order_relaxed);
+  }
+  int64_t shed_total() const { return shed_.load(std::memory_order_relaxed); }
+  int64_t completed_total() const {
+    return completed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void WorkerLoop();
+
+  BoundedQueue<Job> queue_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> draining_{false};
+  std::atomic<int64_t> in_flight_{0};
+  std::atomic<int64_t> submitted_{0};
+  std::atomic<int64_t> shed_{0};
+  std::atomic<int64_t> completed_{0};
+};
+
+}  // namespace cyqr
+
+#endif  // CYCLEQR_CORE_THREAD_POOL_H_

@@ -5,9 +5,12 @@ namespace cyqr {
 Status KvStoreBackend::Lookup(const std::string& key, Deadline& deadline,
                               RewriteKvStore::Rewrites* out) {
   (void)deadline;  // In-process lookups spend real wall-clock time only.
-  const RewriteKvStore::Rewrites* hit = store_->Get(key);
-  if (hit == nullptr) return Status::NotFound("no cached rewrites: " + key);
-  *out = *hit;
+  // Hold a snapshot across the copy: a concurrent copy-swap update cannot
+  // free the table this lookup is reading.
+  const RewriteKvStore::Snapshot snap = store_->snapshot();
+  auto it = snap->find(key);
+  if (it == snap->end()) return Status::NotFound("no cached rewrites: " + key);
+  *out = it->second;
   return Status::OK();
 }
 

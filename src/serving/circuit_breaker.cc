@@ -24,49 +24,74 @@ CircuitBreaker::CircuitBreaker(const Options& options) : options_(options) {
 }
 
 bool CircuitBreaker::AllowRequest() {
-  switch (state_) {
+  switch (state_.load(std::memory_order_acquire)) {
     case State::kClosed:
       return true;
-    case State::kOpen:
-      if (++open_requests_seen_ >= options_.cooldown_requests) {
-        // Cooldown served: this request becomes the half-open probe.
-        state_ = State::kHalfOpen;
-        return true;
+    case State::kOpen: {
+      const int64_t seen =
+          open_requests_seen_.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (seen >= options_.cooldown_requests) {
+        // Cooldown served: exactly one thread wins the open -> half-open
+        // CAS and becomes the probe; the losers fall through to rejection.
+        State expected = State::kOpen;
+        if (state_.compare_exchange_strong(expected, State::kHalfOpen,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+          return true;
+        }
       }
-      ++rejected_requests_;
+      rejected_requests_.fetch_add(1, std::memory_order_relaxed);
       return false;
+    }
     case State::kHalfOpen:
-      // A previous probe is still unresolved (its outcome was never
-      // recorded); only one probe flies at a time.
-      ++rejected_requests_;
+      // A probe is in flight (its outcome was never recorded yet); only
+      // one probe flies at a time.
+      rejected_requests_.fetch_add(1, std::memory_order_relaxed);
       return false;
   }
   return true;
 }
 
 void CircuitBreaker::RecordSuccess() {
-  consecutive_failures_ = 0;
-  if (state_ == State::kHalfOpen) state_ = State::kClosed;
+  consecutive_failures_.store(0, std::memory_order_relaxed);
+  // Only the probe's success closes the breaker; a success reported while
+  // closed leaves the state untouched (CAS simply fails).
+  State expected = State::kHalfOpen;
+  state_.compare_exchange_strong(expected, State::kClosed,
+                                 std::memory_order_acq_rel,
+                                 std::memory_order_acquire);
 }
 
 void CircuitBreaker::RecordFailure() {
-  if (state_ == State::kHalfOpen) {
-    // Failed probe: straight back to open for another full cooldown.
-    Open();
+  if (state_.load(std::memory_order_acquire) == State::kHalfOpen) {
+    // Failed probe: straight back to open for another full cooldown. Only
+    // the single probe can observe half-open here, so the CAS is
+    // uncontended — but still a CAS, in case a racing success closed the
+    // breaker first.
+    OpenFrom(State::kHalfOpen);
     return;
   }
-  ++consecutive_failures_;
-  if (state_ == State::kClosed &&
-      consecutive_failures_ >= options_.failure_threshold) {
-    Open();
+  const int64_t failures =
+      consecutive_failures_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (failures >= options_.failure_threshold) {
+    OpenFrom(State::kClosed);
   }
 }
 
-void CircuitBreaker::Open() {
-  state_ = State::kOpen;
-  open_requests_seen_ = 0;
-  consecutive_failures_ = 0;
-  ++times_opened_;
+bool CircuitBreaker::OpenFrom(State expected) {
+  // Reset the cooldown *before* publishing the open state so a thread that
+  // sees kOpen cannot observe the previous cooldown's exhausted counter
+  // (which would let it probe immediately). See the header for why the
+  // remaining benign races only ever lengthen a cooldown.
+  open_requests_seen_.store(0, std::memory_order_relaxed);
+  if (!state_.compare_exchange_strong(expected, State::kOpen,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+    return false;
+  }
+  consecutive_failures_.store(0, std::memory_order_relaxed);
+  times_opened_.fetch_add(1, std::memory_order_relaxed);
+  return true;
 }
 
 }  // namespace cyqr

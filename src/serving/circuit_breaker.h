@@ -1,6 +1,7 @@
 #ifndef CYCLEQR_SERVING_CIRCUIT_BREAKER_H_
 #define CYCLEQR_SERVING_CIRCUIT_BREAKER_H_
 
+#include <atomic>
 #include <cstdint>
 
 namespace cyqr {
@@ -19,6 +20,29 @@ namespace cyqr {
 ///              requests the breaker moves to half-open.
 ///   kHalfOpen  exactly one probe request is let through. Success closes
 ///              the breaker; failure re-opens it and restarts the cooldown.
+///
+/// Thread safety: all three entry points are safe to call concurrently
+/// from N serving workers; the breaker is atomics throughout, no mutex.
+/// Memory-order choices, and why they are enough:
+///
+///   * `state_` transitions are compare-exchange with acq_rel/acquire.
+///     The CAS is what guarantees *exactly one* winner per transition —
+///     one thread becomes the half-open probe, one thread trips the
+///     breaker, one thread closes it. acq_rel (not seq_cst) suffices
+///     because the breaker publishes no data besides the state word
+///     itself: there is no payload whose visibility must be ordered
+///     behind the transition.
+///   * Statistic counters (`rejected_requests_`, `times_opened_`, ...) and
+///     the failure/cooldown tallies are relaxed fetch_adds. They feed
+///     thresholds and metrics, not happens-before edges; relaxed RMWs are
+///     still atomic (no lost increments), which is all counting needs.
+///
+/// One documented softness: `open_requests_seen_` is zeroed *before* the
+/// closed→open CAS publishes the trip, so a racing AllowRequest can read a
+/// stale (higher) count and a concurrent re-trip can re-zero a count
+/// mid-cooldown. Both races only ever *lengthen* a cooldown by a few
+/// requests or start a probe one request early — they can never admit more
+/// than one probe (that is CAS-guarded) and never lose a rejection count.
 class CircuitBreaker {
  public:
   struct Options {
@@ -41,22 +65,30 @@ class CircuitBreaker {
   void RecordSuccess();
   void RecordFailure();
 
-  State state() const { return state_; }
-  int64_t consecutive_failures() const { return consecutive_failures_; }
+  State state() const { return state_.load(std::memory_order_acquire); }
+  int64_t consecutive_failures() const {
+    return consecutive_failures_.load(std::memory_order_relaxed);
+  }
   /// Times the breaker tripped (closed/half-open -> open).
-  int64_t times_opened() const { return times_opened_; }
+  int64_t times_opened() const {
+    return times_opened_.load(std::memory_order_relaxed);
+  }
   /// Requests skipped while open.
-  int64_t rejected_requests() const { return rejected_requests_; }
+  int64_t rejected_requests() const {
+    return rejected_requests_.load(std::memory_order_relaxed);
+  }
 
  private:
-  void Open();
+  /// Trips the breaker from `expected` (closed or half-open). Returns
+  /// true when this thread won the transition.
+  bool OpenFrom(State expected);
 
   Options options_;
-  State state_ = State::kClosed;
-  int64_t consecutive_failures_ = 0;
-  int64_t open_requests_seen_ = 0;
-  int64_t times_opened_ = 0;
-  int64_t rejected_requests_ = 0;
+  std::atomic<State> state_{State::kClosed};
+  std::atomic<int64_t> consecutive_failures_{0};
+  std::atomic<int64_t> open_requests_seen_{0};
+  std::atomic<int64_t> times_opened_{0};
+  std::atomic<int64_t> rejected_requests_{0};
 };
 
 }  // namespace cyqr

@@ -33,19 +33,39 @@ bool ParseFooter(const std::string& line, uint64_t* records,
 
 }  // namespace
 
+RewriteKvStore::RewriteKvStore() : map_(std::make_shared<const Map>()) {}
+
 void RewriteKvStore::Put(const std::string& query, Rewrites rewrites) {
-  store_[query] = std::move(rewrites);
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  auto next = std::make_shared<Map>(*snapshot());
+  (*next)[query] = std::move(rewrites);
+  Swap(std::move(next));
+}
+
+void RewriteKvStore::PutMany(
+    std::vector<std::pair<std::string, Rewrites>> entries) {
+  std::lock_guard<std::mutex> lock(writer_mu_);
+  auto next = std::make_shared<Map>(*snapshot());
+  for (auto& [query, rewrites] : entries) {
+    (*next)[std::move(query)] = std::move(rewrites);
+  }
+  Swap(std::move(next));
 }
 
 const RewriteKvStore::Rewrites* RewriteKvStore::Get(
     const std::string& query) const {
-  auto it = store_.find(query);
-  return it == store_.end() ? nullptr : &it->second;
+  // The snapshot local keeps the table alive only for the duration of this
+  // call; single-threaded callers (the documented contract for Get) have
+  // the member snapshot keeping it alive afterwards.
+  const Snapshot snap = snapshot();
+  auto it = snap->find(query);
+  return it == snap->end() ? nullptr : &it->second;
 }
 
 Status RewriteKvStore::Save(const std::string& path) const {
+  const Snapshot snap = snapshot();
   std::ostringstream payload;
-  for (const auto& [query, rewrites] : store_) {
+  for (const auto& [query, rewrites] : *snap) {
     payload << query;
     for (const auto& r : rewrites) {
       payload << '\t' << JoinStrings(r);
@@ -54,7 +74,7 @@ Status RewriteKvStore::Save(const std::string& path) const {
   }
   std::string data = payload.str();
   const uint64_t checksum = Fnv1a64(data);
-  data += MakeFooter(store_.size(), checksum);
+  data += MakeFooter(snap->size(), checksum);
   data += '\n';
   return WriteStringToFileAtomic(path, data);
 }
@@ -86,7 +106,7 @@ Status RewriteKvStore::Load(const std::string& path) {
 
   // Parse into a scratch map so a malformed record leaves the live store
   // untouched (all-or-nothing load).
-  std::unordered_map<std::string, Rewrites> loaded;
+  Map loaded;
   std::istringstream in(payload);
   std::string line;
   int64_t line_number = 0;
@@ -124,7 +144,10 @@ Status RewriteKvStore::Load(const std::string& path) {
         std::to_string(expected_records) + ", file has " +
         std::to_string(loaded.size()) + ": " + path);
   }
-  store_ = std::move(loaded);
+  {
+    std::lock_guard<std::mutex> lock(writer_mu_);
+    Swap(std::make_shared<const Map>(std::move(loaded)));
+  }
   return Status::OK();
 }
 

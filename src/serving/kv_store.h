@@ -1,8 +1,11 @@
 #ifndef CYCLEQR_SERVING_KV_STORE_H_
 #define CYCLEQR_SERVING_KV_STORE_H_
 
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/status.h"
@@ -13,17 +16,53 @@ namespace cyqr {
 /// offline over the head queries ("top 8 million popular queries ... more
 /// than 80% of our search engine traffic") and the results are served from
 /// a key-value store with sub-5ms lookups.
+///
+/// Concurrency model — immutable snapshot, copy-swap updates:
+/// the live table is an immutable map published through a shared_ptr.
+/// Readers call snapshot() — a briefly-held lock copies the shared_ptr
+/// (one refcount increment; the table itself is never locked or copied) —
+/// and look keys up in a table that can never change under them. Writers
+/// (Put/PutMany/Load — the nightly precompute path, not the serving path)
+/// take the writer mutex, copy the current table, apply their mutation,
+/// and swap the new table in. A snapshot taken before a swap stays valid
+/// until its holder drops it — the old table is freed when the last
+/// snapshot releases it.
+///
+/// The snapshot pointer is guarded by a plain mutex rather than
+/// std::atomic<std::shared_ptr>: libstdc++'s atomic<shared_ptr> is not
+/// lock-free either (it spins on a lock bit inside the control-block
+/// pointer), and that internal handoff is opaque to ThreadSanitizer. An
+/// explicit mutex held for a single pointer copy costs the same
+/// uncontended and lets TSan verify the protocol end to end.
 class RewriteKvStore {
  public:
   using Rewrites = std::vector<std::vector<std::string>>;
+  using Map = std::unordered_map<std::string, Rewrites>;
+  /// An immutable view of the whole store at one instant.
+  using Snapshot = std::shared_ptr<const Map>;
 
-  /// Key is the space-joined query.
+  RewriteKvStore();
+
+  /// The current table; one locked pointer copy, safe from any thread.
+  /// Hold the returned snapshot for as long as pointers into it are used.
+  Snapshot snapshot() const {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    return map_;
+  }
+
+  /// Key is the space-joined query. Copy-swap: O(store size) per call —
+  /// fine for offline precompute, wrong for bulk loads (use PutMany).
   void Put(const std::string& query, Rewrites rewrites);
 
-  /// Null when the query is not cached.
+  /// Inserts every entry with a single copy-swap.
+  void PutMany(std::vector<std::pair<std::string, Rewrites>> entries);
+
+  /// Null when the query is not cached. The pointer is valid until the
+  /// next mutation *observed by this caller*; concurrent readers must use
+  /// snapshot() and look up in that instead.
   const Rewrites* Get(const std::string& query) const;
 
-  size_t size() const { return store_.size(); }
+  size_t size() const { return snapshot()->size(); }
 
   /// Line-based persistence, one record per line
   /// ("query\trewrite1\trewrite2..."), terminated by an integrity footer
@@ -39,7 +78,16 @@ class RewriteKvStore {
   [[nodiscard]] Status Load(const std::string& path);
 
  private:
-  std::unordered_map<std::string, Rewrites> store_;
+  /// Publishes a new table (writers only, under writer_mu_). Lock order is
+  /// writer_mu_ then snapshot_mu_; snapshot() alone takes only the latter.
+  void Swap(Snapshot next) {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    map_ = std::move(next);
+  }
+
+  std::mutex writer_mu_;
+  mutable std::mutex snapshot_mu_;
+  Snapshot map_;
 };
 
 }  // namespace cyqr

@@ -135,17 +135,22 @@ void RewriteService::RecordRungOutcome(Source rung, const Status& status,
 
 void RewriteService::NoteBreakerState(Trace* trace) {
   const CircuitBreaker::State state = breaker_.state();
-  if (state == last_breaker_state_) return;
+  // One atomic exchange claims the transition: under concurrent callers
+  // exactly one thread observes (prev != state) per state change and books
+  // it. A burst of transitions between two calls can coalesce — transition
+  // *counts* are best-effort observability; the state gauge converges.
+  const CircuitBreaker::State prev =
+      last_breaker_state_.exchange(state, std::memory_order_relaxed);
+  if (state == prev) return;
   if (trace != nullptr) {
     trace->Annotate("breaker",
-                    std::string(CircuitBreaker::StateName(last_breaker_state_)) +
-                        " -> " + CircuitBreaker::StateName(state));
+                    std::string(CircuitBreaker::StateName(prev)) + " -> " +
+                        CircuitBreaker::StateName(state));
   }
   if (obs_ != nullptr) {
     obs_->breaker_transitions[static_cast<size_t>(state)]->Increment();
     obs_->breaker_state->Set(static_cast<double>(state));
   }
-  last_breaker_state_ = state;
 }
 
 RewriteService::Response RewriteService::Serve(
@@ -223,7 +228,7 @@ RewriteService::Response RewriteService::Serve(
       span.SetDetail("hit");
       answer(Source::kCache, std::move(cached));
       cache_latency_.Record(response.latency_millis);
-      ++cache_hits_;
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
       finish();
       return response;
     }
@@ -285,7 +290,7 @@ RewriteService::Response RewriteService::Serve(
     if (status.ok() && !rewrites.empty()) {
       breaker_.RecordSuccess();
       NoteBreakerState(trace);
-      ++model_calls_;
+      model_calls_.fetch_add(1, std::memory_order_relaxed);
       span.SetDetail("hit");
       answer(Source::kDirectModel, std::move(rewrites));
       const double model_millis = elapsed() - model_start;
@@ -294,7 +299,9 @@ RewriteService::Response RewriteService::Serve(
                         /*skipped=*/false, model_millis);
       // Degraded only if an upstream rung failed (e.g. cache outage).
       response.degraded = !response.degraded_status.ok();
-      degraded_requests_ += response.degraded ? 1 : 0;
+      if (response.degraded) {
+        degraded_requests_.fetch_add(1, std::memory_order_relaxed);
+      }
       finish();
       return response;
     }
@@ -302,7 +309,7 @@ RewriteService::Response RewriteService::Serve(
       // Healthy model, nothing to say: a miss, not a failure.
       breaker_.RecordSuccess();
       NoteBreakerState(trace);
-      ++model_calls_;
+      model_calls_.fetch_add(1, std::memory_order_relaxed);
       const Status miss = Status::NotFound("model produced no rewrites");
       span.SetDetail("miss");
       RecordRungOutcome(Source::kDirectModel, miss, /*skipped=*/false,
@@ -312,7 +319,7 @@ RewriteService::Response RewriteService::Serve(
     } else {
       breaker_.RecordFailure();
       NoteBreakerState(trace);
-      ++model_failures_;
+      model_failures_.fetch_add(1, std::memory_order_relaxed);
       span.SetStatus(status);
       RecordRungOutcome(Source::kDirectModel, status, /*skipped=*/false,
                         elapsed() - model_start);
@@ -339,10 +346,10 @@ RewriteService::Response RewriteService::Serve(
       span.SetDetail("hit");
       RecordRungOutcome(Source::kRuleBased, Status::OK(), /*skipped=*/false,
                         elapsed() - rung_start);
-      ++rule_based_answers_;
+      rule_based_answers_.fetch_add(1, std::memory_order_relaxed);
       answer(Source::kRuleBased, std::move(rewrites));
       response.degraded = true;
-      ++degraded_requests_;
+      degraded_requests_.fetch_add(1, std::memory_order_relaxed);
       finish();
       return response;
     }
@@ -360,10 +367,10 @@ RewriteService::Response RewriteService::Serve(
     RecordRungOutcome(Source::kPassthrough, Status::OK(), /*skipped=*/false,
                       0.0);
   }
-  ++passthrough_answers_;
+  passthrough_answers_.fetch_add(1, std::memory_order_relaxed);
   answer(Source::kPassthrough, {query_tokens});
   response.degraded = true;
-  ++degraded_requests_;
+  degraded_requests_.fetch_add(1, std::memory_order_relaxed);
   finish();
   return response;
 }
@@ -387,14 +394,19 @@ void RewriteService::PrecomputeHead(
     const std::vector<std::vector<std::string>>& head_queries,
     const RewriteOptions& rewrite_options, RewriteKvStore* store) {
   CYQR_CHECK(store != nullptr);
+  // Batch the inserts: the store's copy-swap Put would otherwise copy the
+  // growing table once per head query.
+  std::vector<std::pair<std::string, RewriteKvStore::Rewrites>> entries;
+  entries.reserve(head_queries.size());
   for (const auto& query : head_queries) {
     CycleRewriter::Result result = rewriter.Rewrite(query, rewrite_options);
     RewriteKvStore::Rewrites rewrites;
     for (const RewriteCandidate& c : result.rewrites) {
       rewrites.push_back(c.tokens);
     }
-    store->Put(JoinStrings(query), std::move(rewrites));
+    entries.emplace_back(JoinStrings(query), std::move(rewrites));
   }
+  store->PutMany(std::move(entries));
 }
 
 }  // namespace cyqr

@@ -1,6 +1,7 @@
 #ifndef CYCLEQR_SERVING_REWRITE_SERVICE_H_
 #define CYCLEQR_SERVING_REWRITE_SERVICE_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -32,6 +33,13 @@ namespace cyqr {
 /// Every rung is tried in order; rung 4 cannot fail, so Serve() always
 /// answers. The Response records which rung answered, every rung attempt
 /// with its Status, and whether the request was degraded.
+///
+/// Serve() is safe to call from N threads over one shared instance: the
+/// breaker, fault injectors, KV snapshot reads, metrics instruments, and
+/// the service's own tally counters are all atomic or immutable. The one
+/// caveat is the ModelBackend — the in-process DirectModelBackend decode
+/// is read-only over frozen parameters and therefore safe, but a stateful
+/// backend must provide its own synchronization.
 class RewriteService {
  public:
   struct Options {
@@ -116,12 +124,24 @@ class RewriteService {
 
   const LatencyRecorder& cache_latency() const { return cache_latency_; }
   const LatencyRecorder& model_latency() const { return model_latency_; }
-  int64_t cache_hits() const { return cache_hits_; }
-  int64_t model_calls() const { return model_calls_; }
-  int64_t model_failures() const { return model_failures_; }
-  int64_t rule_based_answers() const { return rule_based_answers_; }
-  int64_t passthrough_answers() const { return passthrough_answers_; }
-  int64_t degraded_requests() const { return degraded_requests_; }
+  int64_t cache_hits() const {
+    return cache_hits_.load(std::memory_order_relaxed);
+  }
+  int64_t model_calls() const {
+    return model_calls_.load(std::memory_order_relaxed);
+  }
+  int64_t model_failures() const {
+    return model_failures_.load(std::memory_order_relaxed);
+  }
+  int64_t rule_based_answers() const {
+    return rule_based_answers_.load(std::memory_order_relaxed);
+  }
+  int64_t passthrough_answers() const {
+    return passthrough_answers_.load(std::memory_order_relaxed);
+  }
+  int64_t degraded_requests() const {
+    return degraded_requests_.load(std::memory_order_relaxed);
+  }
   const CircuitBreaker& breaker() const { return breaker_; }
 
  private:
@@ -172,16 +192,19 @@ class RewriteService {
   const RuleBasedRewriter* rule_based_;
   Options options_;
   CircuitBreaker breaker_;
-  LatencyRecorder cache_latency_;
+  LatencyRecorder cache_latency_;   // Histogram-backed: concurrency-safe.
   LatencyRecorder model_latency_;
-  int64_t cache_hits_ = 0;
-  int64_t model_calls_ = 0;
-  int64_t model_failures_ = 0;
-  int64_t rule_based_answers_ = 0;
-  int64_t passthrough_answers_ = 0;
-  int64_t degraded_requests_ = 0;
+  // Tally counters are relaxed atomics: they are statistics, not
+  // synchronization, and relaxed fetch_add never loses an increment.
+  std::atomic<int64_t> cache_hits_{0};
+  std::atomic<int64_t> model_calls_{0};
+  std::atomic<int64_t> model_failures_{0};
+  std::atomic<int64_t> rule_based_answers_{0};
+  std::atomic<int64_t> passthrough_answers_{0};
+  std::atomic<int64_t> degraded_requests_{0};
   std::unique_ptr<Instruments> obs_;  // Null when metrics are disabled.
-  CircuitBreaker::State last_breaker_state_ = CircuitBreaker::State::kClosed;
+  std::atomic<CircuitBreaker::State> last_breaker_state_{
+      CircuitBreaker::State::kClosed};
 };
 
 }  // namespace cyqr

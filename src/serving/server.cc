@@ -1,0 +1,223 @@
+#include "serving/server.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+#include "core/check.h"
+#include "core/rng.h"
+#include "core/stopwatch.h"
+
+namespace cyqr {
+
+RewriteServer::RewriteServer(RewriteService* service, const Options& options,
+                             MetricsRegistry* metrics)
+    : service_(service),
+      options_(options),
+      ewma_service_millis_(options.initial_service_millis) {
+  CYQR_CHECK(service != nullptr);
+  CYQR_CHECK(options.num_threads > 0);
+  CYQR_CHECK(options.queue_depth > 0);
+  ThreadPool::Options pool_options;
+  pool_options.num_threads = options.num_threads;
+  pool_options.queue_capacity = options.queue_depth;
+  pool_options.shed_policy = options.shed_policy;
+  pool_ = std::make_unique<ThreadPool>(pool_options);
+  if (metrics != nullptr) {
+    queue_depth_gauge_ = metrics->GetGauge("cyqr_serving_queue_depth_count");
+    shed_counter_ = metrics->GetCounter("cyqr_serving_shed_total");
+    retries_counter_ = metrics->GetCounter("cyqr_serving_retries_total");
+  }
+}
+
+RewriteServer::~RewriteServer() { Drain(); }
+
+double RewriteServer::EstimatedQueueWaitMillis() const {
+  const double per_request =
+      ewma_service_millis_.load(std::memory_order_relaxed);
+  const double workers = static_cast<double>(
+      std::max(1, options_.num_threads));
+  return static_cast<double>(pool_->QueueDepth()) * per_request / workers;
+}
+
+bool RewriteServer::IsTransient(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kIoError:
+    case StatusCode::kInternal:
+    case StatusCode::kUnavailable:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void RewriteServer::ObserveServiceTime(double millis) {
+  // Lost updates under contention are acceptable: the EWMA feeds an
+  // admission *estimate*, and dropping a sample moves it by < 20%.
+  constexpr double kAlpha = 0.2;
+  const double old_value = ewma_service_millis_.load(std::memory_order_relaxed);
+  ewma_service_millis_.store((1.0 - kAlpha) * old_value + kAlpha * millis,
+                             std::memory_order_relaxed);
+}
+
+void RewriteServer::UpdateQueueDepthGauge() {
+  if (queue_depth_gauge_ != nullptr) {
+    queue_depth_gauge_->Set(static_cast<double>(pool_->QueueDepth()));
+  }
+}
+
+void RewriteServer::ShedRequest(Callback done, double retry_after_millis) {
+  shed_.fetch_add(1, std::memory_order_relaxed);
+  if (shed_counter_ != nullptr) shed_counter_->Increment();
+  ServerResponse out;
+  out.status = Status::Unavailable("overloaded: retry after " +
+                                   std::to_string(retry_after_millis) + " ms");
+  out.retry_after_millis = retry_after_millis;
+  done(std::move(out));
+}
+
+void RewriteServer::RunRequest(std::vector<std::string> query_tokens,
+                               Deadline deadline, uint64_t request_seq,
+                               double submit_elapsed_snapshot, Callback done) {
+  const double queue_wait_millis =
+      deadline.ElapsedMillis() - submit_elapsed_snapshot;
+
+  // Jitter stream: per-request, keyed by submission order, so a drill with
+  // a fixed submission schedule replays the same backoffs.
+  Rng rng(options_.seed + request_seq);
+
+  int retries = 0;
+  RewriteService::Response response;
+  while (true) {
+    // Serve() takes the Deadline by value, so virtual latency charged
+    // inside the call (fault injection) would be invisible to this loop's
+    // budget. Recover it: the response's latency is wall time plus charged
+    // time, so the excess over our own wall clock is the virtual part.
+    Stopwatch call_watch;
+    response = service_->Serve(query_tokens, deadline);
+    const double virtual_millis =
+        std::max(0.0, response.latency_millis - call_watch.ElapsedMillis());
+    deadline.Charge(virtual_millis);
+    ObserveServiceTime(response.latency_millis);
+
+    if (!response.degraded || !IsTransient(response.degraded_status) ||
+        retries >= options_.retry.max_retries) {
+      break;
+    }
+    // Exponential backoff with jitter, charged as virtual time
+    // (deterministic in drills; no worker ever sleeps). Retry only when
+    // the backoff plus one more service attempt still fits the budget.
+    double backoff_millis = options_.retry.base_backoff_millis;
+    for (int i = 0; i < retries; ++i) backoff_millis *= 2.0;
+    backoff_millis =
+        std::min(backoff_millis, options_.retry.max_backoff_millis);
+    backoff_millis *= 0.5 + 0.5 * rng.NextDouble();
+    const double next_attempt_millis =
+        ewma_service_millis_.load(std::memory_order_relaxed);
+    if (!deadline.HasBudget(backoff_millis + next_attempt_millis)) break;
+    deadline.Charge(backoff_millis);
+    ++retries;
+  }
+
+  if (retries > 0) {
+    retries_.fetch_add(retries, std::memory_order_relaxed);
+    if (retries_counter_ != nullptr) retries_counter_->Increment(retries);
+  }
+
+  ServerResponse out;
+  out.status = Status::OK();
+  out.response = std::move(response);
+  out.retries = retries;
+  out.queue_wait_millis = queue_wait_millis;
+  out.total_millis = deadline.ElapsedMillis() - submit_elapsed_snapshot;
+  if (deadline.Expired()) {
+    deadline_violations_.fetch_add(1, std::memory_order_relaxed);
+  }
+  served_.fetch_add(1, std::memory_order_relaxed);
+  UpdateQueueDepthGauge();
+  done(std::move(out));
+}
+
+bool RewriteServer::Submit(std::vector<std::string> query_tokens,
+                           Deadline deadline, Callback done) {
+  CYQR_CHECK(done != nullptr);
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+
+  const double estimated_wait_millis = EstimatedQueueWaitMillis();
+  if (!accepting_.load(std::memory_order_acquire)) {
+    ShedRequest(std::move(done), estimated_wait_millis);
+    return false;
+  }
+  // Admission control: a request that would exhaust its budget just
+  // waiting in line is refused now, while the client can still react,
+  // instead of timing out in the queue.
+  if (!deadline.HasBudget(estimated_wait_millis)) {
+    ShedRequest(std::move(done), estimated_wait_millis);
+    return false;
+  }
+
+  const uint64_t request_seq =
+      next_seq_.fetch_add(1, std::memory_order_relaxed);
+  const double submit_elapsed_snapshot = deadline.ElapsedMillis();
+
+  ThreadPool::Job job;
+  job.run = [this, query_tokens = std::move(query_tokens), deadline,
+             request_seq, submit_elapsed_snapshot, done]() mutable {
+    RunRequest(std::move(query_tokens), deadline, request_seq,
+               submit_elapsed_snapshot, std::move(done));
+  };
+  job.shed = [this, done]() {
+    // Runs when the queue refuses the job or kEvictOldest displaces it.
+    ShedRequest(done, EstimatedQueueWaitMillis());
+  };
+  const bool admitted = pool_->Submit(std::move(job));
+  UpdateQueueDepthGauge();
+  return admitted;
+}
+
+bool RewriteServer::Submit(std::vector<std::string> query_tokens,
+                           Callback done) {
+  Deadline deadline = options_.default_budget_millis > 0
+                          ? Deadline::AfterMillis(options_.default_budget_millis)
+                          : Deadline::Infinite();
+  return Submit(std::move(query_tokens), deadline, std::move(done));
+}
+
+RewriteServer::ServerResponse RewriteServer::ServeBlocking(
+    const std::vector<std::string>& query_tokens, Deadline deadline) {
+  struct Waiter {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    ServerResponse response;
+  };
+  auto waiter = std::make_shared<Waiter>();
+  Submit(query_tokens, deadline, [waiter](ServerResponse response) {
+    {
+      std::lock_guard<std::mutex> lock(waiter->mu);
+      waiter->response = std::move(response);
+      waiter->done = true;
+    }
+    waiter->cv.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(waiter->mu);
+  waiter->cv.wait(lock, [&] { return waiter->done; });
+  return std::move(waiter->response);
+}
+
+RewriteServer::ServerResponse RewriteServer::ServeBlocking(
+    const std::vector<std::string>& query_tokens) {
+  Deadline deadline = options_.default_budget_millis > 0
+                          ? Deadline::AfterMillis(options_.default_budget_millis)
+                          : Deadline::Infinite();
+  return ServeBlocking(query_tokens, deadline);
+}
+
+void RewriteServer::Drain() {
+  accepting_.store(false, std::memory_order_release);
+  pool_->Drain();
+  UpdateQueueDepthGauge();
+}
+
+}  // namespace cyqr

@@ -1,0 +1,178 @@
+#ifndef CYCLEQR_SERVING_SERVER_H_
+#define CYCLEQR_SERVING_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/bounded_queue.h"
+#include "core/deadline.h"
+#include "core/status.h"
+#include "core/thread_pool.h"
+#include "obs/metrics.h"
+#include "serving/rewrite_service.h"
+
+namespace cyqr {
+
+/// The concurrent front end over RewriteService (DESIGN.md "Concurrent
+/// serving & overload protection"): N worker threads drain a bounded
+/// admission queue, and three mechanisms keep the server answering under
+/// overload instead of collapsing:
+///
+///   1. Admission control — before queueing, the server estimates how long
+///      the request would wait (queue depth x EWMA service time / workers)
+///      and sheds it immediately with kUnavailable plus a Retry-After hint
+///      when the estimate does not fit the request's remaining deadline
+///      budget. Work that would time out in the queue is never admitted.
+///   2. Backpressure — the queue itself is bounded; when it is full the
+///      ShedPolicy picks a loser (the arrival, or the oldest queued
+///      request) and that request is answered kUnavailable right away.
+///   3. Retry with backoff — a request whose ladder answer was degraded by
+///      a *transient* fault (kIoError / kUnavailable / kInternal from an
+///      injected or real backend outage) is retried on the worker with
+///      jittered exponential backoff, but only while its own deadline
+///      budget and the per-request retry cap allow. Backoff is charged to
+///      the Deadline as virtual time, so fault drills stay deterministic.
+///
+/// Every submission is answered exactly once: either a served
+/// RewriteService::Response (OK) or a shed ServerResponse (kUnavailable).
+/// The accounting invariant — submitted == served + shed — is what the
+/// multi-threaded fault drill asserts.
+class RewriteServer {
+ public:
+  struct RetryOptions {
+    /// Re-Serve attempts after the first (0 disables retry).
+    int max_retries = 2;
+    /// First backoff; doubles each attempt, capped at max_backoff_millis,
+    /// then scaled by a uniform jitter in [0.5, 1.0] to decorrelate
+    /// retrying requests.
+    double base_backoff_millis = 1.0;
+    double max_backoff_millis = 8.0;
+  };
+
+  struct Options {
+    int num_threads = 4;
+    size_t queue_depth = 64;
+    ShedPolicy shed_policy = ShedPolicy::kRejectNewest;
+    RetryOptions retry;
+    /// Per-request budget when the caller does not pass a Deadline.
+    double default_budget_millis = 50.0;
+    /// Seeds the per-request backoff-jitter streams (request i uses
+    /// Rng(seed + i), so jitter is deterministic per submission order).
+    uint64_t seed = 42;
+    /// Bootstrap service-time estimate before any completion has been
+    /// observed; feeds admission control on a cold server.
+    double initial_service_millis = 5.0;
+  };
+
+  struct ServerResponse {
+    /// OK when served (response is valid); kUnavailable when shed.
+    Status status;
+    RewriteService::Response response;
+    /// Re-Serve attempts this request consumed (0 = first try answered).
+    int retries = 0;
+    /// Time between submission and a worker picking the request up.
+    double queue_wait_millis = 0.0;
+    /// Submission-to-answer time, including queue wait, retries, and any
+    /// fault-injected virtual latency charged to the deadline.
+    double total_millis = 0.0;
+    /// On shed: how long the client should wait before retrying (the
+    /// admission controller's current queue-wait estimate).
+    double retry_after_millis = 0.0;
+  };
+
+  /// Invoked exactly once per submission. Served responses arrive on a
+  /// worker thread; admission-shed responses on the submitting thread; an
+  /// eviction-shed response on the thread whose Submit displaced it.
+  using Callback = std::function<void(ServerResponse)>;
+
+  /// `service` must be non-null and outlive the server. When `metrics` is
+  /// non-null the server registers its queue-depth gauge and shed/retry
+  /// counters there.
+  RewriteServer(RewriteService* service, const Options& options,
+                MetricsRegistry* metrics = nullptr);
+  ~RewriteServer();
+  RewriteServer(const RewriteServer&) = delete;
+  RewriteServer& operator=(const RewriteServer&) = delete;
+
+  /// Asynchronous entry point. Returns true when the request was admitted
+  /// to the queue; on false it was shed and `done` has already run. Either
+  /// way `done` runs exactly once.
+  bool Submit(std::vector<std::string> query_tokens, Deadline deadline,
+              Callback done);
+  bool Submit(std::vector<std::string> query_tokens, Callback done);
+
+  /// Blocking convenience for tests and the CLI driver: submits and waits
+  /// for the answer (served or shed).
+  ServerResponse ServeBlocking(const std::vector<std::string>& query_tokens,
+                               Deadline deadline);
+  ServerResponse ServeBlocking(const std::vector<std::string>& query_tokens);
+
+  /// Graceful shutdown: stops admitting, runs every queued request to
+  /// completion (their callbacks fire), and joins the workers. Idempotent.
+  /// Submissions after Drain() are shed with kUnavailable.
+  void Drain();
+
+  /// Current admission-control estimate of one request's queue wait.
+  double EstimatedQueueWaitMillis() const;
+
+  int64_t submitted_total() const {
+    return submitted_.load(std::memory_order_relaxed);
+  }
+  int64_t served_total() const {
+    return served_.load(std::memory_order_relaxed);
+  }
+  int64_t shed_total() const { return shed_.load(std::memory_order_relaxed); }
+  int64_t retries_total() const {
+    return retries_.load(std::memory_order_relaxed);
+  }
+  /// Served requests whose deadline was already exhausted at answer time.
+  int64_t deadline_violations_total() const {
+    return deadline_violations_.load(std::memory_order_relaxed);
+  }
+  size_t QueueDepth() const { return pool_->QueueDepth(); }
+  const Options& options() const { return options_; }
+
+ private:
+  /// Runs on a worker: the Serve + retry/backoff loop, then the callback.
+  void RunRequest(std::vector<std::string> query_tokens, Deadline deadline,
+                  uint64_t request_seq, double submit_elapsed_snapshot,
+                  Callback done);
+
+  /// Answers a shed request (callback + counters + metrics).
+  void ShedRequest(Callback done, double retry_after_millis);
+
+  /// Folds one observed service time into the EWMA estimate. Relaxed
+  /// read-modify-write; concurrent updates may lose a sample, which only
+  /// nudges an estimate that is already approximate.
+  void ObserveServiceTime(double millis);
+
+  void UpdateQueueDepthGauge();
+
+  static bool IsTransient(const Status& status);
+
+  RewriteService* service_;
+  Options options_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::atomic<bool> accepting_{true};
+  std::atomic<double> ewma_service_millis_;
+  std::atomic<uint64_t> next_seq_{0};
+
+  std::atomic<int64_t> submitted_{0};
+  std::atomic<int64_t> served_{0};
+  std::atomic<int64_t> shed_{0};
+  std::atomic<int64_t> retries_{0};
+  std::atomic<int64_t> deadline_violations_{0};
+
+  // Null when metrics are disabled.
+  Gauge* queue_depth_gauge_ = nullptr;
+  Counter* shed_counter_ = nullptr;
+  Counter* retries_counter_ = nullptr;
+};
+
+}  // namespace cyqr
+
+#endif  // CYCLEQR_SERVING_SERVER_H_

@@ -1,0 +1,170 @@
+// BoundedQueue semantics: FIFO order, never-exceeds-capacity, the two shed
+// policies (who exactly loses a slot, and who is told), and close/drain
+// behaviour — the contracts RewriteServer's overload protection stands on.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/bounded_queue.h"
+
+namespace cyqr {
+namespace {
+
+TEST(BoundedQueueTest, FifoOrderPreserved) {
+  BoundedQueue<int> queue(8);
+  for (int i = 0; i < 5; ++i) {
+    const auto result = queue.Push(i);
+    EXPECT_TRUE(result.admitted);
+    EXPECT_FALSE(result.rejected.has_value());
+    EXPECT_FALSE(result.evicted.has_value());
+  }
+  for (int i = 0; i < 5; ++i) {
+    int out = -1;
+    ASSERT_TRUE(queue.TryPop(&out));
+    EXPECT_EQ(out, i);
+  }
+  int out = -1;
+  EXPECT_FALSE(queue.TryPop(&out));
+}
+
+TEST(BoundedQueueTest, RejectNewestHandsBackTheArrival) {
+  BoundedQueue<int> queue(2, ShedPolicy::kRejectNewest);
+  EXPECT_TRUE(queue.Push(1).admitted);
+  EXPECT_TRUE(queue.Push(2).admitted);
+
+  const auto overflow = queue.Push(3);
+  EXPECT_FALSE(overflow.admitted);
+  ASSERT_TRUE(overflow.rejected.has_value());
+  EXPECT_EQ(*overflow.rejected, 3);  // The arrival itself lost.
+  EXPECT_EQ(queue.size(), 2u);
+
+  // Queued work was preserved, in order.
+  int out = -1;
+  ASSERT_TRUE(queue.TryPop(&out));
+  EXPECT_EQ(out, 1);
+  ASSERT_TRUE(queue.TryPop(&out));
+  EXPECT_EQ(out, 2);
+}
+
+TEST(BoundedQueueTest, EvictOldestAdmitsArrivalAndReturnsVictim) {
+  BoundedQueue<int> queue(2, ShedPolicy::kEvictOldest);
+  EXPECT_TRUE(queue.Push(1).admitted);
+  EXPECT_TRUE(queue.Push(2).admitted);
+
+  const auto overflow = queue.Push(3);
+  EXPECT_TRUE(overflow.admitted);
+  EXPECT_FALSE(overflow.rejected.has_value());
+  ASSERT_TRUE(overflow.evicted.has_value());
+  EXPECT_EQ(*overflow.evicted, 1);  // The oldest queued item lost.
+  EXPECT_EQ(queue.size(), 2u);
+
+  int out = -1;
+  ASSERT_TRUE(queue.TryPop(&out));
+  EXPECT_EQ(out, 2);
+  ASSERT_TRUE(queue.TryPop(&out));
+  EXPECT_EQ(out, 3);
+}
+
+TEST(BoundedQueueTest, NeverGrowsPastCapacityUnderEitherPolicy) {
+  for (const ShedPolicy policy :
+       {ShedPolicy::kRejectNewest, ShedPolicy::kEvictOldest}) {
+    BoundedQueue<int> queue(3, policy);
+    for (int i = 0; i < 50; ++i) {
+      queue.Push(i);
+      EXPECT_LE(queue.size(), 3u) << ShedPolicyName(policy);
+    }
+  }
+}
+
+TEST(BoundedQueueTest, CloseRejectsNewPushesButDrainsQueued) {
+  BoundedQueue<std::string> queue(4);
+  EXPECT_TRUE(queue.Push("a").admitted);
+  EXPECT_TRUE(queue.Push("b").admitted);
+  queue.Close();
+  EXPECT_TRUE(queue.closed());
+
+  const auto late = queue.Push("late");
+  EXPECT_FALSE(late.admitted);
+  ASSERT_TRUE(late.rejected.has_value());
+  EXPECT_EQ(*late.rejected, "late");
+
+  // Already-queued items still come out (drain), then Pop reports closed.
+  std::string out;
+  EXPECT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, "a");
+  EXPECT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, "b");
+  EXPECT_FALSE(queue.Pop(&out));
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedConsumers) {
+  BoundedQueue<int> queue(4);
+  std::atomic<int> finished{0};
+  std::vector<std::thread> consumers;
+  for (int i = 0; i < 3; ++i) {
+    consumers.emplace_back([&] {
+      int out = 0;
+      while (queue.Pop(&out)) {
+      }
+      finished.fetch_add(1);
+    });
+  }
+  queue.Close();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(finished.load(), 3);
+}
+
+TEST(BoundedQueueTest, ConcurrentProducersConsumersLoseNothing) {
+  // Capacity large enough that nothing sheds: every pushed item must come
+  // out exactly once across the consumers.
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 250;
+  BoundedQueue<int> queue(kProducers * kPerProducer);
+  std::atomic<int64_t> popped_sum{0};
+  std::atomic<int64_t> popped_count{0};
+
+  std::vector<std::thread> consumers;
+  for (int i = 0; i < 3; ++i) {
+    consumers.emplace_back([&] {
+      int out = 0;
+      while (queue.Pop(&out)) {
+        popped_sum.fetch_add(out);
+        popped_count.fetch_add(1);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        EXPECT_TRUE(queue.Push(p * kPerProducer + i).admitted);
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  queue.Close();
+  for (auto& t : consumers) t.join();
+
+  const int64_t n = kProducers * kPerProducer;
+  EXPECT_EQ(popped_count.load(), n);
+  EXPECT_EQ(popped_sum.load(), n * (n - 1) / 2);
+}
+
+TEST(ShedPolicyTest, NamesAndParsingRoundTrip) {
+  EXPECT_STREQ(ShedPolicyName(ShedPolicy::kRejectNewest), "reject");
+  EXPECT_STREQ(ShedPolicyName(ShedPolicy::kEvictOldest), "oldest");
+  ShedPolicy policy = ShedPolicy::kRejectNewest;
+  EXPECT_TRUE(ParseShedPolicy("oldest", &policy));
+  EXPECT_EQ(policy, ShedPolicy::kEvictOldest);
+  EXPECT_TRUE(ParseShedPolicy("reject", &policy));
+  EXPECT_EQ(policy, ShedPolicy::kRejectNewest);
+  EXPECT_FALSE(ParseShedPolicy("newest", &policy));
+  EXPECT_FALSE(ParseShedPolicy("", &policy));
+}
+
+}  // namespace
+}  // namespace cyqr

@@ -1,0 +1,180 @@
+// ThreadPool contracts: every admitted job runs exactly once, every shed
+// job's hook runs exactly once, Drain() flushes the queue before joining,
+// and the pool's accounting (submitted == completed + shed) is exact.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "core/thread_pool.h"
+
+namespace cyqr {
+namespace {
+
+/// Lets a test hold the pool's workers hostage until it says otherwise —
+/// the deterministic way to force a full queue.
+class Gate {
+ public:
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return open_; });
+  }
+  void Open() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
+
+TEST(ThreadPoolTest, RunsEveryAdmittedJob) {
+  ThreadPool::Options options;
+  options.num_threads = 3;
+  options.queue_capacity = 128;
+  ThreadPool pool(options);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(pool.Submit([&] { ran.fetch_add(1); }));
+  }
+  pool.Drain();
+  EXPECT_EQ(ran.load(), 100);
+  EXPECT_EQ(pool.completed_total(), 100);
+  EXPECT_EQ(pool.submitted_total(), 100);
+  EXPECT_EQ(pool.shed_total(), 0);
+}
+
+TEST(ThreadPoolTest, ShedHookRunsForRefusedJobs) {
+  ThreadPool::Options options;
+  options.num_threads = 1;
+  options.queue_capacity = 2;
+  options.shed_policy = ShedPolicy::kRejectNewest;
+  ThreadPool pool(options);
+
+  Gate gate;
+  std::atomic<int> ran{0};
+  std::atomic<int> shed{0};
+  // One job wedges the worker; two fill the queue; the rest must shed.
+  ASSERT_TRUE(pool.Submit([&] { gate.Wait(); }));
+  // The wedge job may not have been picked up yet; give the worker a
+  // moment so the queue state is deterministic (queue empty, worker busy).
+  while (pool.InFlight() == 0) std::this_thread::yield();
+
+  constexpr int kExtra = 6;
+  int admitted = 0;
+  for (int i = 0; i < kExtra; ++i) {
+    ThreadPool::Job job;
+    job.run = [&] { ran.fetch_add(1); };
+    job.shed = [&] { shed.fetch_add(1); };
+    if (pool.Submit(std::move(job))) ++admitted;
+  }
+  EXPECT_EQ(admitted, 2);          // queue_capacity
+  EXPECT_EQ(shed.load(), kExtra - 2);  // hooks ran synchronously
+
+  gate.Open();
+  pool.Drain();
+  EXPECT_EQ(ran.load(), admitted);
+  // Accounting invariant: nothing vanished, nothing ran twice.
+  EXPECT_EQ(pool.submitted_total(), 1 + kExtra);
+  EXPECT_EQ(pool.completed_total(), 1 + admitted);
+  EXPECT_EQ(pool.shed_total(), kExtra - admitted);
+}
+
+TEST(ThreadPoolTest, EvictOldestRunsVictimsShedHook) {
+  ThreadPool::Options options;
+  options.num_threads = 1;
+  options.queue_capacity = 1;
+  options.shed_policy = ShedPolicy::kEvictOldest;
+  ThreadPool pool(options);
+
+  Gate gate;
+  ASSERT_TRUE(pool.Submit([&] { gate.Wait(); }));
+  while (pool.InFlight() == 0) std::this_thread::yield();
+
+  std::atomic<int> first_shed{0};
+  std::atomic<int> second_ran{0};
+  ThreadPool::Job first;
+  first.run = [] {};
+  first.shed = [&] { first_shed.fetch_add(1); };
+  ASSERT_TRUE(pool.Submit(std::move(first)));
+
+  ThreadPool::Job second;
+  second.run = [&] { second_ran.fetch_add(1); };
+  ASSERT_TRUE(pool.Submit(std::move(second)));  // Evicts `first`.
+  EXPECT_EQ(first_shed.load(), 1);
+
+  gate.Open();
+  pool.Drain();
+  EXPECT_EQ(second_ran.load(), 1);
+  EXPECT_EQ(pool.shed_total(), 1);
+  EXPECT_EQ(pool.completed_total(), 2);
+}
+
+TEST(ThreadPoolTest, DrainFlushesQueuedJobsThenRefusesNewOnes) {
+  ThreadPool::Options options;
+  options.num_threads = 2;
+  options.queue_capacity = 64;
+  ThreadPool pool(options);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(pool.Submit([&] { ran.fetch_add(1); }));
+  }
+  pool.Drain();
+  EXPECT_EQ(ran.load(), 32);  // Drain ran everything already queued.
+
+  std::atomic<int> late_shed{0};
+  ThreadPool::Job late;
+  late.run = [&] { ran.fetch_add(1); };
+  late.shed = [&] { late_shed.fetch_add(1); };
+  EXPECT_FALSE(pool.Submit(std::move(late)));
+  EXPECT_EQ(late_shed.load(), 1);
+  EXPECT_EQ(ran.load(), 32);
+
+  pool.Drain();  // Idempotent.
+  EXPECT_EQ(pool.completed_total() + pool.shed_total(),
+            pool.submitted_total());
+}
+
+TEST(ThreadPoolTest, AccountingExactUnderConcurrentSubmitters) {
+  ThreadPool::Options options;
+  options.num_threads = 2;
+  options.queue_capacity = 4;  // Small on purpose: force real shedding.
+  ThreadPool pool(options);
+  std::atomic<int> ran{0};
+  std::atomic<int> shed{0};
+
+  constexpr int kSubmitters = 4;
+  constexpr int kPerSubmitter = 200;
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&] {
+      for (int i = 0; i < kPerSubmitter; ++i) {
+        ThreadPool::Job job;
+        job.run = [&] { ran.fetch_add(1); };
+        job.shed = [&] { shed.fetch_add(1); };
+        pool.Submit(std::move(job));
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  pool.Drain();
+
+  const int total = kSubmitters * kPerSubmitter;
+  EXPECT_EQ(pool.submitted_total(), total);
+  // Exactly-once: every job either ran or shed, never both, never neither.
+  EXPECT_EQ(ran.load() + shed.load(), total);
+  EXPECT_EQ(pool.completed_total(), ran.load());
+  EXPECT_EQ(pool.shed_total(), shed.load());
+}
+
+}  // namespace
+}  // namespace cyqr

@@ -1,0 +1,34 @@
+// Fixture: scope-guarded mutexes and lock()-lookalike receivers — clean.
+#include "lock_scope_clean.h"
+
+#include <memory>
+#include <mutex>
+
+class Account {
+ public:
+  void Deposit(int amount) {
+    std::lock_guard<std::mutex> lock(mu_);  // RAII guard: fine
+    balance_ += amount;
+  }
+
+  int Balance() const {
+    std::unique_lock<std::mutex> lock(mu_);  // RAII guard: fine
+    return balance_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  int balance_ = 0;
+};
+
+// weak_ptr::lock() is not lock management; the receiver was never
+// declared as a mutex, so the rule must stay quiet.
+std::shared_ptr<int> Pin(const std::weak_ptr<int>& weak) {
+  return weak.lock();
+}
+
+// A non-std type that happens to be named mutex is not collected either.
+struct my {
+  using mutex = int;
+};
+my::mutex counter = 0;

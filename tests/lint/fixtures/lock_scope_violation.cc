@@ -1,0 +1,33 @@
+// Fixture: manual lock management on declared std mutexes.
+#include "lock_scope_violation.h"
+
+#include <mutex>
+#include <shared_mutex>
+
+class Account {
+ public:
+  void Deposit(int amount) {
+    mu_.lock();  // violation: manual lock
+    balance_ += amount;
+    mu_.unlock();  // violation: manual unlock
+  }
+
+  bool TryWithdraw(int amount) {
+    if (!mu_.try_lock()) return false;  // violation: manual try_lock
+    balance_ -= amount;
+    mu_.unlock();  // violation: manual unlock
+    return true;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  int balance_ = 0;
+};
+
+int ReadShared() {
+  static std::shared_mutex registry_mu;
+  registry_mu.lock();  // violation: manual lock on shared_mutex
+  int value = 42;
+  registry_mu.unlock();  // violation: manual unlock
+  return value;
+}

@@ -156,8 +156,20 @@ TEST(LintTest, AllowlistExemptsMatchingPaths) {
   EXPECT_TRUE(result.diagnostics.empty());
 }
 
+TEST(LintTest, LockScopeViolations) {
+  const auto diags = RunRule("lock-scope", "lock_scope_violation.cc");
+  EXPECT_EQ(Lines(diags), std::vector<int>({10, 12, 16, 18, 29, 31}));
+  for (const Diagnostic& d : diags) {
+    EXPECT_EQ(d.rule, "lock-scope");
+  }
+}
+
+TEST(LintTest, LockScopeClean) {
+  EXPECT_TRUE(RunRule("lock-scope", "lock_scope_clean.cc").empty());
+}
+
 TEST(LintTest, AllRulesRunTogether) {
-  // The whole fixture directory under every rule: all seven rules fire
+  // The whole fixture directory under every rule: all eight rules fire
   // somewhere, proving the multi-rule driver and cross-file
   // status-function collection work end to end.
   const LintResult result = RunLint({CYQR_LINT_FIXTURE_DIR}, {});
@@ -166,7 +178,7 @@ TEST(LintTest, AllRulesRunTogether) {
   for (const char* rule :
        {"discarded-status", "unchecked-stream", "banned-functions",
         "banned-unseeded-rng", "raw-owning-new", "include-hygiene",
-        "metrics-naming"}) {
+        "metrics-naming", "lock-scope"}) {
     EXPECT_NE(std::find(fired.begin(), fired.end(), rule), fired.end())
         << "rule never fired over fixtures: " << rule;
   }

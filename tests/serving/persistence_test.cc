@@ -19,12 +19,12 @@ std::string TestPath(const std::string& name) {
   return testing::TempDir() + "/" + name;
 }
 
-RewriteKvStore MakeStore() {
-  RewriteKvStore store;
-  store.Put("cheap phone", {{"budget", "smartphone"}, {"senior", "phone"}});
-  store.Put("gaming laptop", {{"gamer", "notebook"}});
-  store.Put("coin", {});
-  return store;
+// The store is pinned in place (mutex + atomic members make it
+// immovable), so helpers fill a caller-owned instance.
+void FillStore(RewriteKvStore* store) {
+  store->Put("cheap phone", {{"budget", "smartphone"}, {"senior", "phone"}});
+  store->Put("gaming laptop", {{"gamer", "notebook"}});
+  store->Put("coin", {});
 }
 
 std::string ReadAll(const std::string& path) {
@@ -40,10 +40,8 @@ void WriteAll(const std::string& path, const std::string& content) {
 
 // A store pre-populated with a sentinel; any failed load must leave it
 // exactly as it was (all-or-nothing).
-RewriteKvStore StoreWithSentinel() {
-  RewriteKvStore store;
-  store.Put("sentinel", {{"intact"}});
-  return store;
+void FillSentinel(RewriteKvStore* store) {
+  store->Put("sentinel", {{"intact"}});
 }
 
 void ExpectSentinelIntact(const RewriteKvStore& store) {
@@ -55,7 +53,8 @@ void ExpectSentinelIntact(const RewriteKvStore& store) {
 
 TEST(KvPersistenceTest, RoundTripWithFooter) {
   const std::string path = TestPath("kv_roundtrip.tsv");
-  RewriteKvStore store = MakeStore();
+  RewriteKvStore store;
+  FillStore(&store);
   ASSERT_TRUE(store.Save(path).ok());
 
   RewriteKvStore loaded;
@@ -71,7 +70,9 @@ TEST(KvPersistenceTest, RoundTripWithFooter) {
 
 TEST(KvPersistenceTest, SaveIsAtomicNoTempLeftBehind) {
   const std::string path = TestPath("kv_atomic.tsv");
-  ASSERT_TRUE(MakeStore().Save(path).ok());
+  RewriteKvStore saved;
+  FillStore(&saved);
+  ASSERT_TRUE(saved.Save(path).ok());
   EXPECT_TRUE(std::filesystem::exists(path));
   EXPECT_FALSE(std::filesystem::exists(TempPathFor(path)));
 }
@@ -79,7 +80,8 @@ TEST(KvPersistenceTest, SaveIsAtomicNoTempLeftBehind) {
 TEST(KvPersistenceTest, ZeroLengthFileFails) {
   const std::string path = TestPath("kv_zero.tsv");
   WriteAll(path, "");
-  RewriteKvStore store = StoreWithSentinel();
+  RewriteKvStore store;
+  FillSentinel(&store);
   const Status status = store.Load(path);
   EXPECT_EQ(status.code(), StatusCode::kIoError);
   ExpectSentinelIntact(store);
@@ -87,11 +89,14 @@ TEST(KvPersistenceTest, ZeroLengthFileFails) {
 
 TEST(KvPersistenceTest, TruncatedFileFails) {
   const std::string path = TestPath("kv_truncated.tsv");
-  ASSERT_TRUE(MakeStore().Save(path).ok());
+  RewriteKvStore saved;
+  FillStore(&saved);
+  ASSERT_TRUE(saved.Save(path).ok());
   const std::string content = ReadAll(path);
   // Chop off the tail (footer and part of the last record).
   WriteAll(path, content.substr(0, content.size() - 30));
-  RewriteKvStore store = StoreWithSentinel();
+  RewriteKvStore store;
+  FillSentinel(&store);
   const Status status = store.Load(path);
   EXPECT_EQ(status.code(), StatusCode::kIoError);
   ExpectSentinelIntact(store);
@@ -99,13 +104,16 @@ TEST(KvPersistenceTest, TruncatedFileFails) {
 
 TEST(KvPersistenceTest, BitFlippedPayloadFails) {
   const std::string path = TestPath("kv_bitflip.tsv");
-  ASSERT_TRUE(MakeStore().Save(path).ok());
+  RewriteKvStore saved;
+  FillStore(&saved);
+  ASSERT_TRUE(saved.Save(path).ok());
   std::string content = ReadAll(path);
   // Flip a bit in the middle of the payload; the footer stays valid so
   // only the checksum can catch this.
   content[content.size() / 4] ^= 0x20;
   WriteAll(path, content);
-  RewriteKvStore store = StoreWithSentinel();
+  RewriteKvStore store;
+  FillSentinel(&store);
   const Status status = store.Load(path);
   EXPECT_EQ(status.code(), StatusCode::kIoError);
   ExpectSentinelIntact(store);
@@ -114,7 +122,8 @@ TEST(KvPersistenceTest, BitFlippedPayloadFails) {
 TEST(KvPersistenceTest, MissingFooterFails) {
   const std::string path = TestPath("kv_nofooter.tsv");
   WriteAll(path, "cheap phone\tbudget smartphone\ncoin\n");
-  RewriteKvStore store = StoreWithSentinel();
+  RewriteKvStore store;
+  FillSentinel(&store);
   const Status status = store.Load(path);
   EXPECT_EQ(status.code(), StatusCode::kIoError);
   ExpectSentinelIntact(store);
@@ -122,7 +131,9 @@ TEST(KvPersistenceTest, MissingFooterFails) {
 
 TEST(KvPersistenceTest, MidFileGarbageReportsLineNumber) {
   const std::string path = TestPath("kv_garbage.tsv");
-  ASSERT_TRUE(MakeStore().Save(path).ok());
+  RewriteKvStore saved;
+  FillStore(&saved);
+  ASSERT_TRUE(saved.Save(path).ok());
   std::string content = ReadAll(path);
   // Inject an empty record (bare newline) as the new line 1, then repair
   // the footer checksum so line parsing — not the checksum — must reject
@@ -135,7 +146,8 @@ TEST(KvPersistenceTest, MidFileGarbageReportsLineNumber) {
                 static_cast<unsigned long long>(3),
                 static_cast<unsigned long long>(Fnv1a64(payload)));
   WriteAll(path, payload + buf + "\n");
-  RewriteKvStore store = StoreWithSentinel();
+  RewriteKvStore store;
+  FillSentinel(&store);
   const Status status = store.Load(path);
   EXPECT_EQ(status.code(), StatusCode::kIoError);
   EXPECT_NE(status.message().find("line 1"), std::string::npos)
@@ -154,7 +166,8 @@ TEST(KvPersistenceTest, RecordCountMismatchFails) {
                 static_cast<unsigned long long>(2),
                 static_cast<unsigned long long>(Fnv1a64(payload)));
   WriteAll(path, payload + buf + "\n");
-  RewriteKvStore store = StoreWithSentinel();
+  RewriteKvStore store;
+  FillSentinel(&store);
   const Status status = store.Load(path);
   EXPECT_EQ(status.code(), StatusCode::kIoError);
   ExpectSentinelIntact(store);
@@ -164,7 +177,8 @@ TEST(KvPersistenceTest, EmptyStoreRoundTrips) {
   const std::string path = TestPath("kv_empty_store.tsv");
   RewriteKvStore empty;
   ASSERT_TRUE(empty.Save(path).ok());
-  RewriteKvStore loaded = StoreWithSentinel();
+  RewriteKvStore loaded;
+  FillSentinel(&loaded);
   ASSERT_TRUE(loaded.Load(path).ok());
   EXPECT_EQ(loaded.size(), 0u);
 }

@@ -1,0 +1,315 @@
+// RewriteServer contracts: admission control sheds what cannot meet its
+// deadline, the bounded queue sheds under backpressure (both policies),
+// transient faults are retried with budget-capped backoff, Drain() answers
+// every in-flight request, and submitted == served + shed always.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serving/server.h"
+
+namespace cyqr {
+namespace {
+
+using ServerResponse = RewriteServer::ServerResponse;
+using Source = RewriteService::Source;
+
+/// Thread-safe scriptable model backend: optionally blocks on a gate, and
+/// fails the first `fail_first_calls` invocations with a transient error.
+class ScriptableModelBackend : public ModelBackend {
+ public:
+  Status Rewrite(const std::vector<std::string>& query_tokens, int64_t k,
+                 int64_t max_len, Deadline& deadline,
+                 std::vector<RewriteCandidate>* out) override {
+    (void)query_tokens;
+    (void)k;
+    (void)max_len;
+    (void)deadline;
+    if (gated.load()) {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return !gated.load(); });
+    }
+    const int64_t call = calls.fetch_add(1);
+    if (call < fail_first_calls.load()) {
+      return Status::IoError("injected transient outage");
+    }
+    RewriteCandidate c;
+    c.tokens = {"model", "answer"};
+    *out = {c};
+    return Status::OK();
+  }
+
+  void OpenGate() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      gated.store(false);
+    }
+    cv_.notify_all();
+  }
+
+  std::atomic<bool> gated{false};
+  std::atomic<int64_t> fail_first_calls{0};
+  std::atomic<int64_t> calls{0};
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+class ServerTest : public ::testing::Test {
+ protected:
+  ServerTest() : cache_(&store_) {
+    // Never trip the breaker by accident; breaker behaviour has its own
+    // tests.
+    service_options_.breaker.failure_threshold = 1000000;
+    service_ = std::make_unique<RewriteService>(&cache_, &model_, nullptr,
+                                                service_options_);
+  }
+
+  RewriteServer::Options BaseOptions() {
+    RewriteServer::Options options;
+    options.num_threads = 1;
+    options.queue_depth = 4;
+    options.retry.max_retries = 0;
+    return options;
+  }
+
+  RewriteKvStore store_;  // Empty: every request falls through to the model.
+  KvStoreBackend cache_;
+  ScriptableModelBackend model_;
+  RewriteService::Options service_options_;
+  std::unique_ptr<RewriteService> service_;
+};
+
+TEST_F(ServerTest, ServesThroughTheLadder) {
+  RewriteServer server(service_.get(), BaseOptions());
+  const ServerResponse out = server.ServeBlocking({"cheap", "phone"});
+  ASSERT_TRUE(out.status.ok());
+  EXPECT_EQ(out.response.source, Source::kDirectModel);
+  EXPECT_EQ(out.retries, 0);
+  server.Drain();
+  EXPECT_EQ(server.submitted_total(), 1);
+  EXPECT_EQ(server.served_total(), 1);
+  EXPECT_EQ(server.shed_total(), 0);
+}
+
+TEST_F(ServerTest, AdmissionControlShedsWhenQueueWaitExceedsBudget) {
+  RewriteServer::Options options = BaseOptions();
+  // A cold server estimates 1 s of service time per queued request: any
+  // queued backlog at all exceeds a 50 ms budget.
+  options.initial_service_millis = 1000.0;
+  RewriteServer server(service_.get(), options);
+
+  model_.gated.store(true);
+  std::atomic<int> answered{0};
+  // First request: queue empty -> estimated wait 0 -> admitted; it wedges
+  // the single worker on the gated model.
+  ASSERT_TRUE(server.Submit({"a"}, Deadline::AfterMillis(50),
+                            [&](ServerResponse) { answered.fetch_add(1); }));
+  while (server.QueueDepth() > 0) std::this_thread::yield();
+  // Second: queue still empty (the wedge is in flight) -> admitted.
+  ASSERT_TRUE(server.Submit({"b"}, Deadline::AfterMillis(50),
+                            [&](ServerResponse) { answered.fetch_add(1); }));
+
+  // Third: one queued request x 1000 ms estimate >> 50 ms budget -> shed
+  // now, with a Retry-After hint, without ever touching the queue.
+  ServerResponse shed_response;
+  EXPECT_FALSE(server.Submit({"c"}, Deadline::AfterMillis(50),
+                             [&](ServerResponse r) {
+                               shed_response = std::move(r);
+                               answered.fetch_add(1);
+                             }));
+  EXPECT_EQ(shed_response.status.code(), StatusCode::kUnavailable);
+  EXPECT_GT(shed_response.retry_after_millis, 50.0);
+
+  // An unlimited-budget request is always admitted (it can afford any
+  // wait) — admission control is per-deadline, not a global gate.
+  EXPECT_TRUE(server.Submit({"d"}, Deadline::Infinite(),
+                            [&](ServerResponse) { answered.fetch_add(1); }));
+
+  model_.OpenGate();
+  server.Drain();
+  EXPECT_EQ(answered.load(), 4);  // Every submission was answered.
+  EXPECT_EQ(server.submitted_total(), 4);
+  EXPECT_EQ(server.served_total(), 3);
+  EXPECT_EQ(server.shed_total(), 1);
+}
+
+TEST_F(ServerTest, BackpressureShedsWhenQueueIsFull) {
+  RewriteServer::Options options = BaseOptions();
+  options.queue_depth = 2;
+  RewriteServer server(service_.get(), options);
+
+  model_.gated.store(true);
+  std::atomic<int> served_cb{0};
+  std::atomic<int> shed_cb{0};
+  auto callback = [&](ServerResponse r) {
+    (r.status.ok() ? served_cb : shed_cb).fetch_add(1);
+  };
+  // Infinite deadlines bypass admission control; only the bounded queue
+  // can shed. 1 wedged + 2 queued; everything else must be refused.
+  constexpr int kTotal = 8;
+  int admitted = 0;
+  for (int i = 0; i < kTotal; ++i) {
+    if (server.Submit({"q", std::to_string(i)}, Deadline::Infinite(),
+                      callback)) {
+      ++admitted;
+    }
+    if (i == 0) {
+      while (server.QueueDepth() > 0) std::this_thread::yield();
+    }
+  }
+  EXPECT_EQ(admitted, 3);
+  EXPECT_EQ(shed_cb.load(), kTotal - 3);
+
+  model_.OpenGate();
+  server.Drain();
+  EXPECT_EQ(served_cb.load(), 3);
+  EXPECT_EQ(server.submitted_total(), kTotal);
+  EXPECT_EQ(server.served_total() + server.shed_total(), kTotal);
+}
+
+TEST_F(ServerTest, EvictOldestAnswersTheDisplacedRequest) {
+  RewriteServer::Options options = BaseOptions();
+  options.queue_depth = 1;
+  options.shed_policy = ShedPolicy::kEvictOldest;
+  RewriteServer server(service_.get(), options);
+
+  model_.gated.store(true);
+  std::mutex mu;
+  std::vector<std::pair<std::string, bool>> answers;  // (tag, served?)
+  auto tagged = [&](std::string tag) {
+    return [&, tag](ServerResponse r) {
+      std::lock_guard<std::mutex> lock(mu);
+      answers.emplace_back(tag, r.status.ok());
+    };
+  };
+
+  ASSERT_TRUE(server.Submit({"a"}, Deadline::Infinite(), tagged("a")));
+  while (server.QueueDepth() > 0) std::this_thread::yield();
+  ASSERT_TRUE(server.Submit({"b"}, Deadline::Infinite(), tagged("b")));
+  // Queue is full (holds b); submitting c evicts b — freshest work wins.
+  ASSERT_TRUE(server.Submit({"c"}, Deadline::Infinite(), tagged("c")));
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    ASSERT_EQ(answers.size(), 1u);  // b was answered (shed) synchronously.
+    EXPECT_EQ(answers[0].first, "b");
+    EXPECT_FALSE(answers[0].second);
+  }
+
+  model_.OpenGate();
+  server.Drain();
+  std::lock_guard<std::mutex> lock(mu);
+  EXPECT_EQ(answers.size(), 3u);
+  EXPECT_EQ(server.served_total(), 2);
+  EXPECT_EQ(server.shed_total(), 1);
+}
+
+TEST_F(ServerTest, TransientFaultIsRetriedWithBackoffUntilSuccess) {
+  RewriteServer::Options options = BaseOptions();
+  options.retry.max_retries = 2;
+  options.retry.base_backoff_millis = 1.0;
+  RewriteServer server(service_.get(), options);
+
+  // The model fails its first two calls with a transient error; the third
+  // succeeds. One request should therefore retry twice and come back
+  // healthy (undegraded, answered by the model).
+  model_.fail_first_calls.store(2);
+  const ServerResponse out =
+      server.ServeBlocking({"flaky"}, Deadline::AfterMillis(200));
+  ASSERT_TRUE(out.status.ok());
+  EXPECT_EQ(out.retries, 2);
+  EXPECT_EQ(out.response.source, Source::kDirectModel);
+  EXPECT_FALSE(out.response.degraded);
+  EXPECT_EQ(model_.calls.load(), 3);
+  EXPECT_EQ(server.retries_total(), 2);
+}
+
+TEST_F(ServerTest, RetryStopsWhenBudgetCannotAffordTheBackoff) {
+  RewriteServer::Options options = BaseOptions();
+  options.retry.max_retries = 10;
+  options.retry.base_backoff_millis = 50.0;  // Each backoff eats the budget.
+  options.retry.max_backoff_millis = 50.0;
+  RewriteServer server(service_.get(), options);
+
+  model_.fail_first_calls.store(1000000);  // Never recovers.
+  const ServerResponse out =
+      server.ServeBlocking({"doomed"}, Deadline::AfterMillis(40));
+  ASSERT_TRUE(out.status.ok());  // Still answered — degraded, not dropped.
+  EXPECT_TRUE(out.response.degraded);
+  // At most one backoff (25..50 ms after jitter) fits a 40 ms budget.
+  EXPECT_LE(out.retries, 1);
+}
+
+TEST_F(ServerTest, RetryDisabledForNonTransientOutcomes) {
+  RewriteServer::Options options = BaseOptions();
+  options.retry.max_retries = 5;
+  RewriteServer server(service_.get(), options);
+
+  // A clean model answer after a cache miss is not degraded: no retries.
+  const ServerResponse out = server.ServeBlocking({"ok"});
+  EXPECT_EQ(out.retries, 0);
+  EXPECT_EQ(model_.calls.load(), 1);
+}
+
+TEST_F(ServerTest, DrainAnswersEverythingAndRefusesLateSubmissions) {
+  RewriteServer::Options options = BaseOptions();
+  options.num_threads = 2;
+  options.queue_depth = 64;
+  RewriteServer server(service_.get(), options);
+
+  std::atomic<int> answered{0};
+  for (int i = 0; i < 20; ++i) {
+    server.Submit({"q", std::to_string(i)}, Deadline::Infinite(),
+                  [&](ServerResponse) { answered.fetch_add(1); });
+  }
+  server.Drain();
+  EXPECT_EQ(answered.load(), 20);  // Graceful: nothing dropped on the floor.
+  EXPECT_EQ(server.served_total(), 20);
+
+  // Post-drain submissions are shed with kUnavailable, still answered.
+  ServerResponse late;
+  EXPECT_FALSE(server.Submit({"late"}, Deadline::Infinite(),
+                             [&](ServerResponse r) { late = std::move(r); }));
+  EXPECT_EQ(late.status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(server.submitted_total(),
+            server.served_total() + server.shed_total());
+}
+
+TEST_F(ServerTest, MetricsFollowTheServingNamingConvention) {
+  MetricsRegistry metrics;
+  RewriteServer::Options options = BaseOptions();
+  options.queue_depth = 1;
+  RewriteServer server(service_.get(), options, &metrics);
+
+  model_.gated.store(true);
+  std::atomic<int> answered{0};
+  auto cb = [&](ServerResponse) { answered.fetch_add(1); };
+  server.Submit({"a"}, Deadline::Infinite(), cb);
+  while (server.QueueDepth() > 0) std::this_thread::yield();
+  server.Submit({"b"}, Deadline::Infinite(), cb);
+  server.Submit({"c"}, Deadline::Infinite(), cb);  // Queue full: shed.
+  model_.OpenGate();
+  server.Drain();
+  EXPECT_EQ(answered.load(), 3);
+
+  EXPECT_EQ(metrics.GetCounter("cyqr_serving_shed_total")->Value(),
+            server.shed_total());
+  EXPECT_EQ(metrics.GetGauge("cyqr_serving_queue_depth_count")->Value(), 0.0);
+  const std::string exposition = metrics.ExpositionText();
+  EXPECT_NE(exposition.find("cyqr_serving_shed_total"), std::string::npos);
+  EXPECT_NE(exposition.find("cyqr_serving_queue_depth_count"),
+            std::string::npos);
+  EXPECT_NE(exposition.find("cyqr_serving_retries_total"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cyqr

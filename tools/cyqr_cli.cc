@@ -30,21 +30,29 @@
 //   cyqr serve --kv kv.tsv --queries queries.tsv [--requests N]
 //              [--budget-ms 50] [--cache-error-p F] [--cache-latency-p F]
 //              [--cache-latency-ms F] [--fault-seed S]
+//              [--threads N] [--queue-depth D] [--shed-policy reject|oldest]
 //              [--metrics-out metrics.json] [--metrics-prom metrics.prom]
 //              [--print-trace N]
 //       Replays traffic through the fault-tolerant serving ladder
 //       (cache -> ... -> identity passthrough) with optional cache fault
 //       injection, and reports rung mix, degradation, and latency.
-//       --metrics-out / --metrics-prom dump the metrics registry as a
-//       JSON snapshot / Prometheus text exposition after the replay;
-//       --print-trace prints the per-request trace (the exact rung path)
-//       for the first N requests. train accepts the same two metrics
-//       flags for its cyqr_train_* telemetry.
+//       --threads N > 0 serves through the concurrent RewriteServer front
+//       end (N workers, bounded admission queue of --queue-depth, full
+//       queue handled per --shed-policy) and adds served/shed/retry
+//       accounting to the report. --metrics-out / --metrics-prom dump the
+//       metrics registry as a JSON snapshot / Prometheus text exposition
+//       after the replay; --print-trace prints the per-request trace (the
+//       exact rung path) for the first N requests (single-threaded mode
+//       only). train accepts the same two metrics flags for its
+//       cyqr_train_* telemetry.
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 
+#include "core/bounded_queue.h"
 #include "core/deadline.h"
 #include "core/flags.h"
 #include "core/stopwatch.h"
@@ -57,6 +65,7 @@
 #include "nn/serialize.h"
 #include "serving/fault_injection.h"
 #include "serving/rewrite_service.h"
+#include "serving/server.h"
 #include "text/tokenizer.h"
 
 namespace cyqr {
@@ -401,7 +410,9 @@ int ServeTraffic(const FlagParser& flags) {
                  "serve flags: --kv kv.tsv --queries queries.tsv "
                  "[--requests N] [--budget-ms 50] [--cache-error-p F] "
                  "[--cache-latency-p F] [--cache-latency-ms F] "
-                 "[--fault-seed S] [--metrics-out metrics.json] "
+                 "[--fault-seed S] [--threads N] [--queue-depth D] "
+                 "[--shed-policy reject|oldest] "
+                 "[--metrics-out metrics.json] "
                  "[--metrics-prom metrics.prom] [--print-trace N]\n");
     return 2;
   }
@@ -419,9 +430,19 @@ int ServeTraffic(const FlagParser& flags) {
   RewriteService::Options options;
   options.default_budget_millis = flags.GetDouble("budget-ms", 50.0);
   const int64_t requests = flags.GetInt("requests", 1000);
+  const int64_t threads = flags.GetInt("threads", 0);
+  const int64_t queue_depth = flags.GetInt("queue-depth", 64);
+  const std::string shed_policy_text =
+      flags.GetString("shed-policy", "reject");
   const std::string metrics_out = flags.GetString("metrics-out");
   const std::string metrics_prom = flags.GetString("metrics-prom");
   const int64_t print_trace = flags.GetInt("print-trace", 0);
+  ShedPolicy shed_policy = ShedPolicy::kRejectNewest;
+  if (!ParseShedPolicy(shed_policy_text, &shed_policy)) {
+    return Fail(Status::InvalidArgument("unknown --shed-policy '" +
+                                        shed_policy_text +
+                                        "' (use reject|oldest)"));
+  }
 
   RewriteKvStore store;
   Status s = store.Load(kv_path);
@@ -438,6 +459,73 @@ int ServeTraffic(const FlagParser& flags) {
   FaultyKvBackend faulty_cache(&cache, cache_faults, fault_seed);
   RewriteService service(&faulty_cache, nullptr, nullptr, options,
                          &MetricsRegistry::Global());
+
+  if (threads > 0) {
+    // Concurrent front end: --threads workers drain a bounded admission
+    // queue; the same number of closed-loop client threads drives it.
+    if (print_trace > 0) {
+      std::fprintf(stderr,
+                   "warning: --print-trace is ignored with --threads\n");
+    }
+    RewriteServer::Options server_options;
+    server_options.num_threads = static_cast<int>(threads);
+    server_options.queue_depth = static_cast<size_t>(queue_depth);
+    server_options.shed_policy = shed_policy;
+    server_options.default_budget_millis = options.default_budget_millis;
+    RewriteServer server(&service, server_options,
+                         &MetricsRegistry::Global());
+
+    LatencyRecorder latency;
+    std::atomic<int64_t> by_source[4] = {};
+    std::atomic<int64_t> next_request{0};
+    std::vector<std::thread> clients;
+    for (int64_t c = 0; c < threads; ++c) {
+      clients.emplace_back([&]() {
+        for (int64_t i = next_request.fetch_add(1);
+             i < requests;
+             i = next_request.fetch_add(1)) {
+          const auto& query = queries.value()[static_cast<size_t>(i) %
+                                              queries.value().size()];
+          const Deadline deadline =
+              options.default_budget_millis > 0
+                  ? Deadline::AfterMillis(options.default_budget_millis)
+                  : Deadline::Infinite();
+          const auto out = server.ServeBlocking(query, deadline);
+          if (out.status.ok()) {
+            latency.Record(out.total_millis);
+            ++by_source[static_cast<int>(out.response.source)];
+          }
+        }
+      });
+    }
+    for (std::thread& client : clients) client.join();
+    server.Drain();
+
+    std::printf(
+        "served %lld / shed %lld of %lld requests "
+        "(%lld retries) under a %.0f ms budget\n",
+        static_cast<long long>(server.served_total()),
+        static_cast<long long>(server.shed_total()),
+        static_cast<long long>(server.submitted_total()),
+        static_cast<long long>(server.retries_total()),
+        options.default_budget_millis);
+    std::printf("workers %lld, queue depth %lld, shed policy %s\n",
+                static_cast<long long>(threads),
+                static_cast<long long>(queue_depth),
+                ShedPolicyName(shed_policy));
+    for (int i = 0; i < 4; ++i) {
+      const int64_t answered = by_source[i].load();
+      if (answered == 0) continue;
+      std::printf("  %-12s %lld\n",
+                  RewriteService::SourceName(
+                      static_cast<RewriteService::Source>(i)),
+                  static_cast<long long>(answered));
+    }
+    std::printf("latency:       p50 %.3f ms, p99 %.3f ms, max %.3f ms\n",
+                latency.PercentileMillis(0.5),
+                latency.PercentileMillis(0.99), latency.MaxMillis());
+    return DumpMetricsFiles(metrics_out, metrics_prom);
+  }
 
   LatencyRecorder latency;
   int64_t by_source[4] = {0, 0, 0, 0};

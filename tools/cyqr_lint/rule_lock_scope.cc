@@ -1,0 +1,84 @@
+#include <set>
+
+#include "rules.h"
+
+namespace cyqr_lint {
+
+namespace {
+
+/// Manual lock()/unlock()/try_lock() calls on a declared std mutex.
+/// Manual lock management leaks the lock on any early return or exception
+/// between the lock() and the unlock() — under the multi-threaded serving
+/// front end that is a wedged worker, not a crash, and it hides from every
+/// test that does not hit the exact interleaving. Scope-based guards
+/// (std::lock_guard / std::unique_lock / std::scoped_lock) cannot leak.
+///
+/// The rule is name-driven and file-local to stay lexer-honest: it first
+/// collects every identifier declared in this file with a std mutex type
+/// (`std::mutex mu_;`, including timed/recursive/shared variants), then
+/// flags `name.lock(` / `name.unlock(` / `name.try_lock(` on exactly
+/// those names. Calls on other receivers (for example
+/// `std::weak_ptr::lock()`) never fire, because those names were never
+/// collected as mutexes.
+class LockScopeRule : public Rule {
+ public:
+  const char* name() const override { return "lock-scope"; }
+
+  void Check(const LexedFile& file, const LintContext& /*ctx*/,
+             std::vector<Diagnostic>* out) const override {
+    const std::vector<Token>& toks = file.tokens;
+    static const std::set<std::string> kMutexTypes = {
+        "mutex",            "timed_mutex",
+        "recursive_mutex",  "recursive_timed_mutex",
+        "shared_mutex",     "shared_timed_mutex"};
+
+    // Pass 1: names declared as std mutexes in this file.
+    std::set<std::string> mutex_names;
+    for (size_t i = 0; i + 3 < toks.size(); ++i) {
+      if (!IsIdent(toks, i, "std") || !IsPunct(toks, i + 1, "::")) continue;
+      if (toks[i + 2].kind != TokKind::kIdent ||
+          kMutexTypes.count(toks[i + 2].text) == 0) {
+        continue;
+      }
+      // `std::mutex NAME ;` — a declaration, not a template argument
+      // (`lock_guard<std::mutex>`) or a type in a signature.
+      if (toks[i + 3].kind == TokKind::kIdent &&
+          IsPunct(toks, i + 4, ";")) {
+        mutex_names.insert(toks[i + 3].text);
+      }
+    }
+    if (mutex_names.empty()) return;
+
+    // Pass 2: manual lock-management calls on those names.
+    for (size_t i = 0; i + 3 < toks.size(); ++i) {
+      if (toks[i].kind != TokKind::kIdent ||
+          mutex_names.count(toks[i].text) == 0) {
+        continue;
+      }
+      if (!IsPunct(toks, i + 1, ".")) continue;
+      if (toks[i + 2].kind != TokKind::kIdent) continue;
+      const std::string& method = toks[i + 2].text;
+      if (method != "lock" && method != "unlock" && method != "try_lock") {
+        continue;
+      }
+      if (!IsPunct(toks, i + 3, "(")) continue;
+      Diagnostic d;
+      d.file = file.path;
+      d.line = toks[i].line;
+      d.rule = name();
+      d.message = "manual '" + toks[i].text + "." + method +
+                  "()' on a std::mutex: use std::lock_guard or "
+                  "std::unique_lock so the lock cannot leak on early "
+                  "return or exception";
+      out->push_back(std::move(d));
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> MakeLockScopeRule() {
+  return std::make_unique<LockScopeRule>();
+}
+
+}  // namespace cyqr_lint

@@ -37,6 +37,7 @@ std::unique_ptr<Rule> MakeUnseededRngRule();
 std::unique_ptr<Rule> MakeRawOwningNewRule();
 std::unique_ptr<Rule> MakeIncludeHygieneRule();
 std::unique_ptr<Rule> MakeMetricsNamingRule();
+std::unique_ptr<Rule> MakeLockScopeRule();
 
 }  // namespace cyqr_lint
 

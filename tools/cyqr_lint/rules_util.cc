@@ -11,6 +11,7 @@ std::vector<std::unique_ptr<Rule>> BuildAllRules() {
   rules.push_back(MakeRawOwningNewRule());
   rules.push_back(MakeIncludeHygieneRule());
   rules.push_back(MakeMetricsNamingRule());
+  rules.push_back(MakeLockScopeRule());
   return rules;
 }
 
