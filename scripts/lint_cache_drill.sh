@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Incremental-cache drill through the real cyqr_lint binary: a cold run
+# must analyze every file, a warm run on unchanged sources must serve
+# every verdict from the cache, and touching one file must re-analyze
+# exactly that file while the rest stay cached. Assertions key off the
+# machine-readable --stats line on stderr.
+#
+# Usage: scripts/lint_cache_drill.sh /path/to/cyqr_lint [workdir]
+set -euo pipefail
+
+LINT="${1:?usage: lint_cache_drill.sh /path/to/cyqr_lint [workdir]}"
+WORK="${2:-$(mktemp -d)}"
+rm -rf "$WORK"
+mkdir -p "$WORK/src"
+CACHE="$WORK/drill.cache"
+
+cat > "$WORK/src/alpha.h" <<'EOF'
+#ifndef DRILL_ALPHA_H_
+#define DRILL_ALPHA_H_
+
+int Twice(int x);
+
+#endif  // DRILL_ALPHA_H_
+EOF
+
+cat > "$WORK/src/alpha.cc" <<'EOF'
+#include "alpha.h"
+
+int Twice(int x) { return x * 2; }
+EOF
+
+cat > "$WORK/src/beta.cc" <<'EOF'
+#include "alpha.h"
+
+int Quadruple(int x) { return Twice(Twice(x)); }
+EOF
+
+run_lint() {
+  # Violations would exit 1 and fail the drill via errexit; the stats
+  # line is the assertion surface.
+  "$LINT" --stats --cache="$CACHE" "$WORK/src" 2> "$WORK/stats.txt"
+  cat "$WORK/stats.txt"
+}
+
+expect_stats() {
+  local label="$1"; shift
+  for want in "$@"; do
+    if ! grep -q "$want" "$WORK/stats.txt"; then
+      echo "FAIL[$label]: expected '$want' in stats:" >&2
+      cat "$WORK/stats.txt" >&2
+      exit 1
+    fi
+  done
+  echo "ok[$label]"
+}
+
+echo "== cold run: everything analyzed"
+run_lint
+expect_stats cold "files=3" "analyzed=3" "from_cache=0" "cache=cold"
+
+echo "== warm run: everything served from cache"
+run_lint
+expect_stats warm "files=3" "analyzed=0" "from_cache=3" "cache=warm"
+
+echo "== touch one file: only it is re-analyzed"
+printf '\n// touched by the cache drill\n' >> "$WORK/src/beta.cc"
+run_lint
+expect_stats touched "files=3" "analyzed=1" "from_cache=2" "cache=warm"
+
+echo "PASS: incremental cache skips unchanged files"

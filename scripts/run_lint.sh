@@ -12,7 +12,10 @@ cmake -B "$BUILD_DIR" -S . >/dev/null
 cmake --build "$BUILD_DIR" -j"$(nproc)" --target cyqr_lint
 
 echo "== cyqr_lint =="
-"$BUILD_DIR"/tools/cyqr_lint/cyqr_lint src tools bench examples "$@"
+"$BUILD_DIR"/tools/cyqr_lint/cyqr_lint --jobs="$(nproc)" \
+  --cache="$BUILD_DIR/cyqr_lint_local.cache" \
+  --exclude=tests/lint/fixtures \
+  src tools bench examples tests "$@"
 
 if command -v clang-tidy >/dev/null 2>&1; then
   echo "== clang-tidy =="

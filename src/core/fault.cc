@@ -34,6 +34,8 @@ FaultInjector::FaultInjector(const FaultSpec& spec, uint64_t seed)
 Status FaultInjector::OnCall(Deadline& deadline) {
   // One fetch_add claims this call's unique index: the deterministic
   // window below fires exactly (end - begin) times under any interleaving.
+  // ordering: relaxed — the ticket needs only atomicity; the window test uses
+  // the returned value, not cross-thread order.
   const int64_t call = calls_.fetch_add(1, std::memory_order_relaxed);
   FaultSpec spec;
   bool latency_hit = false;
@@ -48,12 +50,16 @@ Status FaultInjector::OnCall(Deadline& deadline) {
   }
   if (latency_hit) {
     deadline.Charge(spec.latency_millis);
+    // ordering: relaxed — observability counter/snapshot; no other memory is
+    // published or consumed through it.
     injected_latency_spikes_.fetch_add(1, std::memory_order_relaxed);
   }
   const bool in_window = spec.fail_calls_begin >= 0 &&
                          call >= spec.fail_calls_begin &&
                          call < spec.fail_calls_end;
   if (in_window || coin) {
+    // ordering: relaxed — observability counter/snapshot; no other memory is
+    // published or consumed through it.
     injected_errors_.fetch_add(1, std::memory_order_relaxed);
     return MakeInjectedError(spec);
   }

@@ -88,11 +88,17 @@ class FaultInjector {
     std::lock_guard<std::mutex> lock(mu_);
     return spec_;
   }
+  // ordering: relaxed — stat snapshot for reporting; a stale value is
+  // acceptable.
   int64_t calls() const { return calls_.load(std::memory_order_relaxed); }
   int64_t injected_errors() const {
+    // ordering: relaxed — stat snapshot for reporting; a stale value is
+    // acceptable.
     return injected_errors_.load(std::memory_order_relaxed);
   }
   int64_t injected_latency_spikes() const {
+    // ordering: relaxed — stat snapshot for reporting; a stale value is
+    // acceptable.
     return injected_latency_spikes_.load(std::memory_order_relaxed);
   }
 

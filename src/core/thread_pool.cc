@@ -18,13 +18,19 @@ ThreadPool::ThreadPool(const Options& options)
 ThreadPool::~ThreadPool() { Drain(); }
 
 bool ThreadPool::Submit(Job job) {
+  // ordering: relaxed — observability counter/snapshot; no other memory is
+  // published or consumed through it.
   submitted_.fetch_add(1, std::memory_order_relaxed);
   BoundedQueue<Job>::PushResult result = queue_.Push(std::move(job));
   if (result.evicted.has_value()) {
+    // ordering: relaxed — observability counter/snapshot; no other memory is
+    // published or consumed through it.
     shed_.fetch_add(1, std::memory_order_relaxed);
     if (result.evicted->shed) result.evicted->shed();
   }
   if (result.rejected.has_value()) {
+    // ordering: relaxed — observability counter/snapshot; no other memory is
+    // published or consumed through it.
     shed_.fetch_add(1, std::memory_order_relaxed);
     if (result.rejected->shed) result.rejected->shed();
   }
@@ -51,9 +57,15 @@ void ThreadPool::Drain() {
 void ThreadPool::WorkerLoop() {
   Job job;
   while (queue_.Pop(&job)) {
+    // ordering: relaxed — observability counter/snapshot; no other memory is
+    // published or consumed through it.
     in_flight_.fetch_add(1, std::memory_order_relaxed);
     if (job.run) job.run();
+    // ordering: relaxed — observability counter/snapshot; no other memory is
+    // published or consumed through it.
     in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    // ordering: relaxed — observability counter/snapshot; no other memory is
+    // published or consumed through it.
     completed_.fetch_add(1, std::memory_order_relaxed);
     job = Job();  // Release captured state before blocking on the queue.
   }

@@ -66,12 +66,20 @@ class ThreadPool {
   /// Jobs waiting in the queue right now (excludes running jobs).
   size_t QueueDepth() const { return queue_.size(); }
   /// Jobs currently executing on a worker.
+  // ordering: relaxed — stat snapshot for reporting; a stale value is
+  // acceptable.
   int64_t InFlight() const { return in_flight_.load(std::memory_order_relaxed); }
   int64_t submitted_total() const {
+    // ordering: relaxed — stat snapshot for reporting; a stale value is
+    // acceptable.
     return submitted_.load(std::memory_order_relaxed);
   }
+  // ordering: relaxed — stat snapshot for reporting; a stale value is
+  // acceptable.
   int64_t shed_total() const { return shed_.load(std::memory_order_relaxed); }
   int64_t completed_total() const {
+    // ordering: relaxed — stat snapshot for reporting; a stale value is
+    // acceptable.
     return completed_.load(std::memory_order_relaxed);
   }
 

@@ -38,6 +38,9 @@ std::vector<DecodedSequence> BeamSearchDecode(
   std::vector<Hypothesis> finished;
 
   for (int64_t t = 0; t < options.max_len && !beam.empty(); ++t) {
+    // Budget check once per step: an expired deadline stops expansion and
+    // falls through to ranking whatever has been decoded so far.
+    if (options.deadline != nullptr && options.deadline->Expired()) break;
     struct Expansion {
       size_t parent;
       int32_t token;

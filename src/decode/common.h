@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/deadline.h"
 #include "nmt/seq2seq.h"
 
 namespace cyqr {
@@ -27,6 +28,12 @@ struct DecodeOptions {
   // GNMT-style length normalization for the final beam ranking:
   // score = log_prob / ((5 + len) / 6)^alpha; 0 disables it.
   float length_penalty = 0.0f;
+  // Optional per-request budget. Decoders check it once per generation
+  // step and stop expanding when it expires, returning the best
+  // hypotheses found so far — a deadline-bound request degrades to fewer
+  // or shorter rewrites rather than blowing through its budget mid-beam.
+  // Not owned; must outlive the decode call.
+  const Deadline* deadline = nullptr;
 };
 
 namespace decode_internal {

@@ -40,6 +40,8 @@ std::vector<DecodedSequence> DiverseBeamSearchDecode(
   }
 
   for (int64_t t = 0; t < options.max_len; ++t) {
+    // Budget check once per step (see DecodeOptions::deadline).
+    if (options.deadline != nullptr && options.deadline->Expired()) break;
     // Tokens chosen by earlier groups at this time step.
     std::unordered_map<int32_t, int> chosen_counts;
     for (int64_t g = 0; g < groups; ++g) {

@@ -44,6 +44,8 @@ DecodedSequence GreedyDecode(const Seq2SeqModel& model,
   DecodedSequence out;
   int32_t last = kBosId;
   for (int64_t t = 0; t < options.max_len; ++t) {
+    // Budget check once per step (see DecodeOptions::deadline).
+    if (options.deadline != nullptr && options.deadline->Expired()) break;
     const std::vector<float> logits = model.Step(*state, last);
     const std::vector<float> lp =
         decode_internal::StepLogProbs(logits, /*allow_eos=*/t > 0);

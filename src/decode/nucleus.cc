@@ -57,6 +57,10 @@ std::vector<DecodedSequence> NucleusSamplingDecode(
   CYQR_CHECK(nucleus.top_p > 0.0 && nucleus.top_p <= 1.0);
   const size_t k = static_cast<size_t>(options.beam_size);
 
+  // The per-step budget check below starts at t=1; an already-expired
+  // deadline must not pay for the first model step either.
+  if (options.deadline != nullptr && options.deadline->Expired()) return {};
+
   // First step: the k most likely distinct tokens, one per candidate
   // (shared with the top-n decoder — the diversity-critical step).
   auto root = model.StartDecode(src_ids);
@@ -78,6 +82,8 @@ std::vector<DecodedSequence> NucleusSamplingDecode(
   }
 
   for (int64_t t = 1; t < options.max_len; ++t) {
+    // Budget check once per step (see DecodeOptions::deadline).
+    if (options.deadline != nullptr && options.deadline->Expired()) break;
     bool any_live = false;
     for (Candidate& c : candidates) {
       if (c.finished) continue;

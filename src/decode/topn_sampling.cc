@@ -65,6 +65,10 @@ std::vector<DecodedSequence> TopNSamplingDecode(
   Stopwatch watch;
   const size_t k = static_cast<size_t>(options.beam_size);
 
+  // The per-step budget check below starts at t=1; an already-expired
+  // deadline must not pay for the first model step either.
+  if (options.deadline != nullptr && options.deadline->Expired()) return {};
+
   // First step: expand the root once and claim the k most likely distinct
   // first tokens, one per candidate (Figure 4).
   auto root = model.StartDecode(src_ids);
@@ -88,6 +92,8 @@ std::vector<DecodedSequence> TopNSamplingDecode(
 
   // Following steps: per-candidate top-n sampling.
   for (int64_t t = 1; t < options.max_len; ++t) {
+    // Budget check once per step (see DecodeOptions::deadline).
+    if (options.deadline != nullptr && options.deadline->Expired()) break;
     bool any_live = false;
     for (Candidate& c : candidates) {
       if (c.finished) continue;

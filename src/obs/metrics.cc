@@ -16,14 +16,22 @@ namespace {
 /// atomic<double> is a CAS loop anyway; writing it out keeps the memory
 /// order explicit).
 void AtomicAdd(std::atomic<double>* target, double delta) {
+  // ordering: relaxed — the CAS loop guarantees lossless accumulation; the
+  // value publishes nothing else.
   double current = target->load(std::memory_order_relaxed);
+  // ordering: relaxed — the CAS loop needs only atomicity of this double; it
+  // publishes nothing else.
   while (!target->compare_exchange_weak(current, current + delta,
                                         std::memory_order_relaxed)) {
   }
 }
 
 void AtomicMax(std::atomic<double>* target, double value) {
+  // ordering: relaxed — CAS loop keeps the max exact; the value publishes
+  // nothing else.
   double current = target->load(std::memory_order_relaxed);
+  // ordering: relaxed — the CAS loop needs only atomicity of this double; it
+  // publishes nothing else.
   while (value > current &&
          !target->compare_exchange_weak(current, value,
                                         std::memory_order_relaxed)) {
@@ -186,6 +194,8 @@ Histogram::Histogram(std::vector<double> bounds)
   const size_t n = bounds_.size() + 1;
   buckets_ = std::make_unique<std::atomic<int64_t>[]>(n);
   for (size_t i = 0; i < n; ++i) {
+    // ordering: relaxed — zeroes a just-allocated array before any reader can
+    // hold a reference to it.
     buckets_[i].store(0, std::memory_order_relaxed);
   }
 }
@@ -212,6 +222,8 @@ void Histogram::Observe(double value) {
       break;
     }
   }
+  // ordering: relaxed — observability counter/snapshot; no other memory is
+  // published or consumed through it.
   buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
   AtomicAdd(&sum_, value);
   AtomicMax(&max_, value);
@@ -220,6 +232,8 @@ void Histogram::Observe(double value) {
 int64_t Histogram::Count() const {
   int64_t total = 0;
   for (size_t i = 0; i <= bounds_.size(); ++i) {
+    // ordering: relaxed — stat snapshot for reporting; a stale value is
+    // acceptable.
     total += buckets_[i].load(std::memory_order_relaxed);
   }
   return total;
@@ -232,6 +246,8 @@ double Histogram::Mean() const {
 
 int64_t Histogram::BucketCount(size_t i) const {
   CYQR_CHECK_LE(i, bounds_.size());
+  // ordering: relaxed — stat snapshot for reporting; a stale value is
+  // acceptable.
   return buckets_[i].load(std::memory_order_relaxed);
 }
 
@@ -263,6 +279,8 @@ void Histogram::MergeFrom(const Histogram& other) {
   CYQR_CHECK_MSG(bounds_ == other.bounds_,
                  "can only merge histograms with identical bounds");
   for (size_t i = 0; i <= bounds_.size(); ++i) {
+    // ordering: relaxed — merge tallies; snapshot consistency is not promised
+    // across buckets.
     buckets_[i].fetch_add(other.BucketCount(i), std::memory_order_relaxed);
   }
   AtomicAdd(&sum_, other.Sum());

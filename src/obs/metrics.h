@@ -50,6 +50,8 @@ class Counter {
   /// `delta` must be >= 0 (counters are monotonic); negative deltas are
   /// dropped rather than corrupting the series.
   void Increment(int64_t delta = 1) {
+    // ordering: relaxed — observability counter/snapshot; no other memory is
+    // published or consumed through it.
     if (delta > 0) value_.fetch_add(delta, std::memory_order_relaxed);
   }
 
@@ -57,9 +59,13 @@ class Counter {
   /// paths can reuse the counter as a sampling sequence (e.g. observe an
   /// expensive histogram on every Nth event) without a second atomic op.
   int64_t FetchIncrement() {
+    // ordering: relaxed — observability counter/snapshot; no other memory is
+    // published or consumed through it.
     return value_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  // ordering: relaxed — stat snapshot for reporting; a stale value is
+  // acceptable.
   int64_t Value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
@@ -73,9 +79,13 @@ class Gauge {
   Gauge(const Gauge&) = delete;
   Gauge& operator=(const Gauge&) = delete;
 
+  // ordering: relaxed — observability counter/snapshot; no other memory is
+  // published or consumed through it.
   void Set(double value) { value_.store(value, std::memory_order_relaxed); }
   void Add(double delta);
 
+  // ordering: relaxed — stat snapshot for reporting; a stale value is
+  // acceptable.
   double Value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
@@ -105,8 +115,12 @@ class Histogram {
   /// Total observations, derived by summing the buckets at read time:
   /// Observe stays three atomic ops, and snapshot reads are cold.
   int64_t Count() const;
+  // ordering: relaxed — stat snapshot for reporting; a stale value is
+  // acceptable.
   double Sum() const { return sum_.load(std::memory_order_relaxed); }
   /// Largest observed value; 0 when empty.
+  // ordering: relaxed — stat snapshot for reporting; a stale value is
+  // acceptable.
   double Max() const { return max_.load(std::memory_order_relaxed); }
   double Mean() const;
 

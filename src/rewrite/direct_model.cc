@@ -48,11 +48,18 @@ DirectRewriter::DirectRewriter(DirectArch arch, const Seq2SeqConfig& config,
 std::vector<RewriteCandidate> DirectRewriter::Rewrite(
     const std::vector<std::string>& query_tokens, int64_t k,
     int64_t max_len) const {
+  return Rewrite(query_tokens, k, max_len, Deadline::Infinite());
+}
+
+std::vector<RewriteCandidate> DirectRewriter::Rewrite(
+    const std::vector<std::string>& query_tokens, int64_t k, int64_t max_len,
+    const Deadline& deadline) const {
   NoGradGuard no_grad;
   const std::vector<int32_t> query_ids = vocab_->Encode(query_tokens);
   DecodeOptions options;
   options.beam_size = k + 1;  // One slot may be consumed by the identity.
   options.max_len = max_len;
+  options.deadline = &deadline;
   std::vector<RewriteCandidate> out;
   for (const DecodedSequence& s :
        BeamSearchDecode(*model_, query_ids, options)) {

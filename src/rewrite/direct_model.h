@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/deadline.h"
 #include "decode/common.h"
 #include "nmt/seq2seq.h"
 #include "rewrite/inference.h"
@@ -36,6 +37,14 @@ class DirectRewriter {
   std::vector<RewriteCandidate> Rewrite(
       const std::vector<std::string>& query_tokens, int64_t k = 3,
       int64_t max_len = 10) const;
+
+  /// Deadline-bound form: the decode checks the budget every generation
+  /// step and returns whatever finished hypotheses exist when it expires
+  /// (possibly none). Serving must use this overload so a slow decode
+  /// cannot blow through the request budget.
+  std::vector<RewriteCandidate> Rewrite(
+      const std::vector<std::string>& query_tokens, int64_t k,
+      int64_t max_len, const Deadline& deadline) const;
 
  private:
   DirectArch arch_;

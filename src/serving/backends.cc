@@ -17,8 +17,14 @@ Status KvStoreBackend::Lookup(const std::string& key, Deadline& deadline,
 Status DirectModelBackend::Rewrite(
     const std::vector<std::string>& query_tokens, int64_t k, int64_t max_len,
     Deadline& deadline, std::vector<RewriteCandidate>* out) {
-  (void)deadline;  // Decode cost shows up on the wall clock.
-  *out = model_->Rewrite(query_tokens, k, max_len);
+  // Forward the request budget into the decode: without it a slow beam
+  // search runs to max_len regardless of how little budget remains, and
+  // the rung only notices after the fact (the bug cyqr_lint's
+  // deadline-propagation rule exists to catch).
+  *out = model_->Rewrite(query_tokens, k, max_len, deadline);
+  if (deadline.Expired() && out->empty()) {
+    return Status::FailedPrecondition("deadline expired mid-decode");
+  }
   return Status::OK();
 }
 

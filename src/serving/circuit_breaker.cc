@@ -24,28 +24,38 @@ CircuitBreaker::CircuitBreaker(const Options& options) : options_(options) {
 }
 
 bool CircuitBreaker::AllowRequest() {
+  // ordering: acquire — pairs with the release stores that change state; a
+  // thread seeing kHalfOpen must also see the cooldown counters reset.
   switch (state_.load(std::memory_order_acquire)) {
     case State::kClosed:
       return true;
     case State::kOpen: {
+      // ordering: relaxed — cooldown tally; the benign races here only
+      // lengthen a cooldown (see header).
       const int64_t seen =
           open_requests_seen_.fetch_add(1, std::memory_order_relaxed) + 1;
       if (seen >= options_.cooldown_requests) {
         // Cooldown served: exactly one thread wins the open -> half-open
         // CAS and becomes the probe; the losers fall through to rejection.
         State expected = State::kOpen;
+        // ordering: acq_rel — the winning probe must observe the cooldown
+        // reset; losers re-read the state via the acquire failure order.
         if (state_.compare_exchange_strong(expected, State::kHalfOpen,
                                            std::memory_order_acq_rel,
                                            std::memory_order_acquire)) {
           return true;
         }
       }
+      // ordering: relaxed — observability counter/snapshot; no other memory is
+      // published or consumed through it.
       rejected_requests_.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
     case State::kHalfOpen:
       // A probe is in flight (its outcome was never recorded yet); only
       // one probe flies at a time.
+      // ordering: relaxed — observability counter/snapshot; no other memory is
+      // published or consumed through it.
       rejected_requests_.fetch_add(1, std::memory_order_relaxed);
       return false;
   }
@@ -53,16 +63,21 @@ bool CircuitBreaker::AllowRequest() {
 }
 
 void CircuitBreaker::RecordSuccess() {
+  // ordering: relaxed — heuristic failure streak; state transitions are
+  // published by the CAS below.
   consecutive_failures_.store(0, std::memory_order_relaxed);
   // Only the probe's success closes the breaker; a success reported while
   // closed leaves the state untouched (CAS simply fails).
   State expected = State::kHalfOpen;
+  // ordering: acq_rel pairs with AllowRequest's acquire load of state_.
   state_.compare_exchange_strong(expected, State::kClosed,
                                  std::memory_order_acq_rel,
                                  std::memory_order_acquire);
 }
 
 void CircuitBreaker::RecordFailure() {
+  // ordering: acquire pairs with the release half of the state CASes (see
+  // AllowRequest).
   if (state_.load(std::memory_order_acquire) == State::kHalfOpen) {
     // Failed probe: straight back to open for another full cooldown. Only
     // the single probe can observe half-open here, so the CAS is
@@ -71,6 +86,8 @@ void CircuitBreaker::RecordFailure() {
     OpenFrom(State::kHalfOpen);
     return;
   }
+  // ordering: relaxed — failure streak is heuristic; the threshold transition
+  // itself is a CAS in OpenFrom.
   const int64_t failures =
       consecutive_failures_.fetch_add(1, std::memory_order_relaxed) + 1;
   if (failures >= options_.failure_threshold) {
@@ -83,13 +100,21 @@ bool CircuitBreaker::OpenFrom(State expected) {
   // sees kOpen cannot observe the previous cooldown's exhausted counter
   // (which would let it probe immediately). See the header for why the
   // remaining benign races only ever lengthen a cooldown.
+  // ordering: relaxed — made visible before kOpen by the release half of the
+  // CAS below; see the comment above.
   open_requests_seen_.store(0, std::memory_order_relaxed);
+  // ordering: release publishes the cooldown reset above; acquire on failure
+  // re-observes the winner's state.
   if (!state_.compare_exchange_strong(expected, State::kOpen,
                                       std::memory_order_acq_rel,
                                       std::memory_order_acquire)) {
     return false;
   }
+  // ordering: relaxed — failure-streak reset; the streak is a heuristic tally
+  // and publishes nothing.
   consecutive_failures_.store(0, std::memory_order_relaxed);
+  // ordering: relaxed — observability counter/snapshot; no other memory is
+  // published or consumed through it.
   times_opened_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }

@@ -65,16 +65,24 @@ class CircuitBreaker {
   void RecordSuccess();
   void RecordFailure();
 
+  // ordering: acquire pairs with the release half of the transition CASes, so
+  // observers see the counters reset before the state.
   State state() const { return state_.load(std::memory_order_acquire); }
   int64_t consecutive_failures() const {
+    // ordering: relaxed — stat snapshot for reporting; a stale value is
+    // acceptable.
     return consecutive_failures_.load(std::memory_order_relaxed);
   }
   /// Times the breaker tripped (closed/half-open -> open).
   int64_t times_opened() const {
+    // ordering: relaxed — stat snapshot for reporting; a stale value is
+    // acceptable.
     return times_opened_.load(std::memory_order_relaxed);
   }
   /// Requests skipped while open.
   int64_t rejected_requests() const {
+    // ordering: relaxed — stat snapshot for reporting; a stale value is
+    // acceptable.
     return rejected_requests_.load(std::memory_order_relaxed);
   }
 

@@ -139,6 +139,8 @@ void RewriteService::NoteBreakerState(Trace* trace) {
   // exactly one thread observes (prev != state) per state change and books
   // it. A burst of transitions between two calls can coalesce — transition
   // *counts* are best-effort observability; the state gauge converges.
+  // ordering: relaxed — last-seen snapshot for trace annotation; a lost race
+  // mislabels one trace at worst.
   const CircuitBreaker::State prev =
       last_breaker_state_.exchange(state, std::memory_order_relaxed);
   if (state == prev) return;
@@ -228,6 +230,8 @@ RewriteService::Response RewriteService::Serve(
       span.SetDetail("hit");
       answer(Source::kCache, std::move(cached));
       cache_latency_.Record(response.latency_millis);
+      // ordering: relaxed — observability counter/snapshot; no other memory is
+      // published or consumed through it.
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
       finish();
       return response;
@@ -290,6 +294,8 @@ RewriteService::Response RewriteService::Serve(
     if (status.ok() && !rewrites.empty()) {
       breaker_.RecordSuccess();
       NoteBreakerState(trace);
+      // ordering: relaxed — observability counter/snapshot; no other memory is
+      // published or consumed through it.
       model_calls_.fetch_add(1, std::memory_order_relaxed);
       span.SetDetail("hit");
       answer(Source::kDirectModel, std::move(rewrites));
@@ -300,6 +306,8 @@ RewriteService::Response RewriteService::Serve(
       // Degraded only if an upstream rung failed (e.g. cache outage).
       response.degraded = !response.degraded_status.ok();
       if (response.degraded) {
+        // ordering: relaxed — observability counter/snapshot; no other memory
+        // is published or consumed through it.
         degraded_requests_.fetch_add(1, std::memory_order_relaxed);
       }
       finish();
@@ -309,6 +317,8 @@ RewriteService::Response RewriteService::Serve(
       // Healthy model, nothing to say: a miss, not a failure.
       breaker_.RecordSuccess();
       NoteBreakerState(trace);
+      // ordering: relaxed — observability counter/snapshot; no other memory is
+      // published or consumed through it.
       model_calls_.fetch_add(1, std::memory_order_relaxed);
       const Status miss = Status::NotFound("model produced no rewrites");
       span.SetDetail("miss");
@@ -319,6 +329,8 @@ RewriteService::Response RewriteService::Serve(
     } else {
       breaker_.RecordFailure();
       NoteBreakerState(trace);
+      // ordering: relaxed — observability counter/snapshot; no other memory is
+      // published or consumed through it.
       model_failures_.fetch_add(1, std::memory_order_relaxed);
       span.SetStatus(status);
       RecordRungOutcome(Source::kDirectModel, status, /*skipped=*/false,
@@ -340,15 +352,22 @@ RewriteService::Response RewriteService::Serve(
   } else {
     TraceSpan span(trace, "rung:rule-based");
     const double rung_start = elapsed();
-    std::vector<std::vector<std::string>> rewrites =
-        rule_based_->Rewrite(query_tokens, options_.max_rewrites);
+    // In-memory synonym lookup: microseconds, cannot block, so
+    // RuleBasedRewriter deliberately has no Deadline overload.
+    // NOLINTNEXTLINE(cyqr-deadline-propagation): see above.
+    std::vector<std::vector<std::string>> rewrites = rule_based_->Rewrite(
+        query_tokens, options_.max_rewrites);
     if (!rewrites.empty()) {
       span.SetDetail("hit");
       RecordRungOutcome(Source::kRuleBased, Status::OK(), /*skipped=*/false,
                         elapsed() - rung_start);
+      // ordering: relaxed — observability counter/snapshot; no other memory is
+      // published or consumed through it.
       rule_based_answers_.fetch_add(1, std::memory_order_relaxed);
       answer(Source::kRuleBased, std::move(rewrites));
       response.degraded = true;
+      // ordering: relaxed — observability counter/snapshot; no other memory is
+      // published or consumed through it.
       degraded_requests_.fetch_add(1, std::memory_order_relaxed);
       finish();
       return response;
@@ -367,9 +386,13 @@ RewriteService::Response RewriteService::Serve(
     RecordRungOutcome(Source::kPassthrough, Status::OK(), /*skipped=*/false,
                       0.0);
   }
+  // ordering: relaxed — observability counter/snapshot; no other memory is
+  // published or consumed through it.
   passthrough_answers_.fetch_add(1, std::memory_order_relaxed);
   answer(Source::kPassthrough, {query_tokens});
   response.degraded = true;
+  // ordering: relaxed — observability counter/snapshot; no other memory is
+  // published or consumed through it.
   degraded_requests_.fetch_add(1, std::memory_order_relaxed);
   finish();
   return response;

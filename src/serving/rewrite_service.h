@@ -125,21 +125,33 @@ class RewriteService {
   const LatencyRecorder& cache_latency() const { return cache_latency_; }
   const LatencyRecorder& model_latency() const { return model_latency_; }
   int64_t cache_hits() const {
+    // ordering: relaxed — stat snapshot for reporting; a stale value is
+    // acceptable.
     return cache_hits_.load(std::memory_order_relaxed);
   }
   int64_t model_calls() const {
+    // ordering: relaxed — stat snapshot for reporting; a stale value is
+    // acceptable.
     return model_calls_.load(std::memory_order_relaxed);
   }
   int64_t model_failures() const {
+    // ordering: relaxed — stat snapshot for reporting; a stale value is
+    // acceptable.
     return model_failures_.load(std::memory_order_relaxed);
   }
   int64_t rule_based_answers() const {
+    // ordering: relaxed — stat snapshot for reporting; a stale value is
+    // acceptable.
     return rule_based_answers_.load(std::memory_order_relaxed);
   }
   int64_t passthrough_answers() const {
+    // ordering: relaxed — stat snapshot for reporting; a stale value is
+    // acceptable.
     return passthrough_answers_.load(std::memory_order_relaxed);
   }
   int64_t degraded_requests() const {
+    // ordering: relaxed — stat snapshot for reporting; a stale value is
+    // acceptable.
     return degraded_requests_.load(std::memory_order_relaxed);
   }
   const CircuitBreaker& breaker() const { return breaker_; }

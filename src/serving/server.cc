@@ -34,6 +34,8 @@ RewriteServer::RewriteServer(RewriteService* service, const Options& options,
 RewriteServer::~RewriteServer() { Drain(); }
 
 double RewriteServer::EstimatedQueueWaitMillis() const {
+  // ordering: relaxed — smoothed estimate read for an admission heuristic;
+  // staleness is acceptable.
   const double per_request =
       ewma_service_millis_.load(std::memory_order_relaxed);
   const double workers = static_cast<double>(
@@ -56,7 +58,11 @@ void RewriteServer::ObserveServiceTime(double millis) {
   // Lost updates under contention are acceptable: the EWMA feeds an
   // admission *estimate*, and dropping a sample moves it by < 20%.
   constexpr double kAlpha = 0.2;
+  // ordering: relaxed — lossy EWMA update; a dropped or reordered sample only
+  // perturbs a heuristic estimate.
   const double old_value = ewma_service_millis_.load(std::memory_order_relaxed);
+  // ordering: relaxed — lossy EWMA publish; readers treat the value as a
+  // heuristic estimate only.
   ewma_service_millis_.store((1.0 - kAlpha) * old_value + kAlpha * millis,
                              std::memory_order_relaxed);
 }
@@ -68,6 +74,8 @@ void RewriteServer::UpdateQueueDepthGauge() {
 }
 
 void RewriteServer::ShedRequest(Callback done, double retry_after_millis) {
+  // ordering: relaxed — observability counter/snapshot; no other memory is
+  // published or consumed through it.
   shed_.fetch_add(1, std::memory_order_relaxed);
   if (shed_counter_ != nullptr) shed_counter_->Increment();
   ServerResponse out;
@@ -113,6 +121,8 @@ void RewriteServer::RunRequest(std::vector<std::string> query_tokens,
     backoff_millis =
         std::min(backoff_millis, options_.retry.max_backoff_millis);
     backoff_millis *= 0.5 + 0.5 * rng.NextDouble();
+    // ordering: relaxed — heuristic cost estimate for the retry budget check;
+    // staleness is acceptable.
     const double next_attempt_millis =
         ewma_service_millis_.load(std::memory_order_relaxed);
     if (!deadline.HasBudget(backoff_millis + next_attempt_millis)) break;
@@ -121,6 +131,8 @@ void RewriteServer::RunRequest(std::vector<std::string> query_tokens,
   }
 
   if (retries > 0) {
+    // ordering: relaxed — observability counter/snapshot; no other memory is
+    // published or consumed through it.
     retries_.fetch_add(retries, std::memory_order_relaxed);
     if (retries_counter_ != nullptr) retries_counter_->Increment(retries);
   }
@@ -132,8 +144,12 @@ void RewriteServer::RunRequest(std::vector<std::string> query_tokens,
   out.queue_wait_millis = queue_wait_millis;
   out.total_millis = deadline.ElapsedMillis() - submit_elapsed_snapshot;
   if (deadline.Expired()) {
+    // ordering: relaxed — observability counter/snapshot; no other memory is
+    // published or consumed through it.
     deadline_violations_.fetch_add(1, std::memory_order_relaxed);
   }
+  // ordering: relaxed — observability counter/snapshot; no other memory is
+  // published or consumed through it.
   served_.fetch_add(1, std::memory_order_relaxed);
   UpdateQueueDepthGauge();
   done(std::move(out));
@@ -142,9 +158,13 @@ void RewriteServer::RunRequest(std::vector<std::string> query_tokens,
 bool RewriteServer::Submit(std::vector<std::string> query_tokens,
                            Deadline deadline, Callback done) {
   CYQR_CHECK(done != nullptr);
+  // ordering: relaxed — observability counter/snapshot; no other memory is
+  // published or consumed through it.
   submitted_.fetch_add(1, std::memory_order_relaxed);
 
   const double estimated_wait_millis = EstimatedQueueWaitMillis();
+  // ordering: acquire pairs with the release store in Drain: a submitter that
+  // sees false also sees the closed pool.
   if (!accepting_.load(std::memory_order_acquire)) {
     ShedRequest(std::move(done), estimated_wait_millis);
     return false;
@@ -157,6 +177,8 @@ bool RewriteServer::Submit(std::vector<std::string> query_tokens,
     return false;
   }
 
+  // ordering: relaxed — allocates a unique id; only distinctness matters for
+  // the per-request jitter streams.
   const uint64_t request_seq =
       next_seq_.fetch_add(1, std::memory_order_relaxed);
   const double submit_elapsed_snapshot = deadline.ElapsedMillis();
@@ -171,6 +193,10 @@ bool RewriteServer::Submit(std::vector<std::string> query_tokens,
     // Runs when the queue refuses the job or kEvictOldest displaces it.
     ShedRequest(done, EstimatedQueueWaitMillis());
   };
+  // The request deadline is captured by value inside `job` (its elapsed
+  // clock keeps running in the queue); ThreadPool::Submit takes no
+  // budget-bearing arguments by design.
+  // NOLINTNEXTLINE(cyqr-deadline-propagation): deadline rides in the closure.
   const bool admitted = pool_->Submit(std::move(job));
   UpdateQueueDepthGauge();
   return admitted;
@@ -215,6 +241,8 @@ RewriteServer::ServerResponse RewriteServer::ServeBlocking(
 }
 
 void RewriteServer::Drain() {
+  // ordering: release pairs with Submit's acquire load so no new job is
+  // admitted once shutdown is visible.
   accepting_.store(false, std::memory_order_release);
   pool_->Drain();
   UpdateQueueDepthGauge();

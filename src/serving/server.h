@@ -120,17 +120,27 @@ class RewriteServer {
   double EstimatedQueueWaitMillis() const;
 
   int64_t submitted_total() const {
+    // ordering: relaxed — stat snapshot for reporting; a stale value is
+    // acceptable.
     return submitted_.load(std::memory_order_relaxed);
   }
   int64_t served_total() const {
+    // ordering: relaxed — stat snapshot for reporting; a stale value is
+    // acceptable.
     return served_.load(std::memory_order_relaxed);
   }
+  // ordering: relaxed — stat snapshot for reporting; a stale value is
+  // acceptable.
   int64_t shed_total() const { return shed_.load(std::memory_order_relaxed); }
   int64_t retries_total() const {
+    // ordering: relaxed — stat snapshot for reporting; a stale value is
+    // acceptable.
     return retries_.load(std::memory_order_relaxed);
   }
   /// Served requests whose deadline was already exhausted at answer time.
   int64_t deadline_violations_total() const {
+    // ordering: relaxed — stat snapshot for reporting; a stale value is
+    // acceptable.
     return deadline_violations_.load(std::memory_order_relaxed);
   }
   size_t QueueDepth() const { return pool_->QueueDepth(); }

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "baseline/rule_based.h"
 #include "baseline/simrank.h"
 
@@ -58,28 +60,28 @@ TEST(RuleBasedTest, RewritesAreLexicallyClose) {
 class SimRankTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    catalog_ = new Catalog(Catalog::Generate({}));
+    catalog_ = std::make_unique<Catalog>(Catalog::Generate({}));
     ClickLogConfig config;
     config.num_distinct_queries = 150;
     config.num_sessions = 4000;
-    log_ = new ClickLog(ClickLog::Generate(*catalog_, config));
+    log_ = std::make_unique<ClickLog>(ClickLog::Generate(*catalog_, config));
     SimRankRewriter::Options options;
     options.iterations = 3;
-    simrank_ = new SimRankRewriter(log_, options);
+    simrank_ = std::make_unique<SimRankRewriter>(log_.get(), options);
   }
   static void TearDownTestSuite() {
-    delete simrank_;
-    delete log_;
-    delete catalog_;
+    simrank_.reset();
+    log_.reset();
+    catalog_.reset();
   }
-  static Catalog* catalog_;
-  static ClickLog* log_;
-  static SimRankRewriter* simrank_;
+  static std::unique_ptr<Catalog> catalog_;
+  static std::unique_ptr<ClickLog> log_;
+  static std::unique_ptr<SimRankRewriter> simrank_;
 };
 
-Catalog* SimRankTest::catalog_ = nullptr;
-ClickLog* SimRankTest::log_ = nullptr;
-SimRankRewriter* SimRankTest::simrank_ = nullptr;
+std::unique_ptr<Catalog> SimRankTest::catalog_;
+std::unique_ptr<ClickLog> SimRankTest::log_;
+std::unique_ptr<SimRankRewriter> SimRankTest::simrank_;
 
 TEST_F(SimRankTest, SelfSimilarityIsOne) {
   EXPECT_DOUBLE_EQ(simrank_->Similarity(0, 0), 1.0);

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 #include <set>
 
 #include "core/string_util.h"
@@ -15,22 +16,22 @@ namespace {
 class DatagenTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    catalog_ = new Catalog(Catalog::Generate({}));
+    catalog_ = std::make_unique<Catalog>(Catalog::Generate({}));
     ClickLogConfig config;
     config.num_distinct_queries = 300;
     config.num_sessions = 8000;
-    log_ = new ClickLog(ClickLog::Generate(*catalog_, config));
+    log_ = std::make_unique<ClickLog>(ClickLog::Generate(*catalog_, config));
   }
   static void TearDownTestSuite() {
-    delete log_;
-    delete catalog_;
+    log_.reset();
+    catalog_.reset();
   }
-  static Catalog* catalog_;
-  static ClickLog* log_;
+  static std::unique_ptr<Catalog> catalog_;
+  static std::unique_ptr<ClickLog> log_;
 };
 
-Catalog* DatagenTest::catalog_ = nullptr;
-ClickLog* DatagenTest::log_ = nullptr;
+std::unique_ptr<Catalog> DatagenTest::catalog_;
+std::unique_ptr<ClickLog> DatagenTest::log_;
 
 TEST_F(DatagenTest, CatalogHasProductsInEveryCategory) {
   std::set<std::string> categories;
@@ -186,7 +187,7 @@ TEST_F(DatagenTest, MinedPairsSortedByEvidence) {
 }
 
 TEST_F(DatagenTest, TrafficSamplerFollowsPopularity) {
-  TrafficSampler sampler(log_);
+  TrafficSampler sampler(log_.get());
   Rng rng(9);
   std::vector<int64_t> counts(log_->queries().size(), 0);
   const int64_t n = 20000;
@@ -200,7 +201,7 @@ TEST_F(DatagenTest, TrafficSamplerFollowsPopularity) {
 }
 
 TEST_F(DatagenTest, HeadQueriesCoverRequestedFraction) {
-  TrafficSampler sampler(log_);
+  TrafficSampler sampler(log_.get());
   const auto head = sampler.HeadQueries(0.5);
   double covered = 0.0;
   for (int64_t q : head) covered += log_->query_popularity()[q];

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "baseline/rule_based.h"
 #include "datagen/synonyms.h"
 #include "eval/judge.h"
@@ -14,13 +16,13 @@ namespace {
 class PolysemyTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    catalog_ = new Catalog(Catalog::Generate({}));
+    catalog_ = std::make_unique<Catalog>(Catalog::Generate({}));
   }
-  static void TearDownTestSuite() { delete catalog_; }
-  static Catalog* catalog_;
+  static void TearDownTestSuite() { catalog_.reset(); }
+  static std::unique_ptr<Catalog> catalog_;
 };
 
-Catalog* PolysemyTest::catalog_ = nullptr;
+std::unique_ptr<Catalog> PolysemyTest::catalog_;
 
 TEST_F(PolysemyTest, CherryKeyboardParsesAsBrand) {
   const QueryIntent intent = catalog_->ParseQuery({"cherry", "keyboard"});
@@ -47,7 +49,7 @@ TEST_F(PolysemyTest, RuleDictionaryRewriteBreaksKeyboardQueries) {
   Rng rng(5);
   const SynonymDictionary dict = BuildRuleDictionary(*catalog_, 1.0, rng);
   RuleBasedRewriter rule(&dict);
-  const RelevanceJudge judge(catalog_);
+  const RelevanceJudge judge(catalog_.get());
 
   // The context-free rule turns "cherry keyboard" into
   // "cherry fruit keyboard", which retrieves nothing.
@@ -67,7 +69,7 @@ TEST_F(PolysemyTest, RuleDictionaryRewriteIsFineForSnackQueries) {
   Rng rng(5);
   const SynonymDictionary dict = BuildRuleDictionary(*catalog_, 1.0, rng);
   RuleBasedRewriter rule(&dict);
-  const RelevanceJudge judge(catalog_);
+  const RelevanceJudge judge(catalog_.get());
 
   QueryIntent intent;
   intent.category = "snacks";

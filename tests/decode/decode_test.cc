@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 #include <set>
 
+#include "core/deadline.h"
 #include "decode/beam.h"
 #include "decode/diverse_beam.h"
 #include "decode/greedy.h"
@@ -34,7 +36,7 @@ class DecodeTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
     Rng rng(11);
-    model_ = new TransformerSeq2Seq(SmallConfig(), rng);
+    model_ = std::make_unique<TransformerSeq2Seq>(SmallConfig(), rng);
     const std::vector<SeqPair> data = {
         {{4, 5}, {10, 11, 12}},
         {{6, 7}, {13, 14}},
@@ -47,14 +49,14 @@ class DecodeTest : public ::testing::Test {
     model_->SetTraining(false);
   }
   static void TearDownTestSuite() {
-    delete model_;
+    model_.reset();
     model_ = nullptr;
   }
 
-  static TransformerSeq2Seq* model_;
+  static std::unique_ptr<TransformerSeq2Seq> model_;
 };
 
-TransformerSeq2Seq* DecodeTest::model_ = nullptr;
+std::unique_ptr<TransformerSeq2Seq> DecodeTest::model_;
 
 TEST_F(DecodeTest, GreedyReproducesTrainingTarget) {
   DecodeOptions options;
@@ -271,6 +273,54 @@ TEST_F(DecodeTest, MaxLenIsRespected) {
   for (const auto& s : TopNSamplingDecode(*model_, {4, 5}, options)) {
     EXPECT_LE(s.ids.size(), 2u);
   }
+}
+
+TEST_F(DecodeTest, ExpiredDeadlineStopsEveryDecoderBeforeTheFirstStep) {
+  // Regression for the serving deadline-propagation fix: a decoder handed
+  // an already-expired deadline must not run a single model step. Every
+  // surviving hypothesis is therefore the empty root.
+  Deadline deadline = Deadline::AfterMillis(0);
+  deadline.Charge(1.0);  // Deterministically expired (virtual time).
+  ASSERT_TRUE(deadline.Expired());
+  DecodeOptions options;
+  options.beam_size = 3;
+  options.max_len = 8;
+  options.deadline = &deadline;
+
+  EXPECT_TRUE(GreedyDecode(*model_, {4, 5}, options).ids.empty());
+  for (const auto& s : BeamSearchDecode(*model_, {4, 5}, options)) {
+    EXPECT_TRUE(s.ids.empty());
+  }
+  for (const auto& s : DiverseBeamSearchDecode(*model_, {4, 5}, options)) {
+    EXPECT_TRUE(s.ids.empty());
+  }
+  for (const auto& s : NucleusSamplingDecode(*model_, {4, 5}, options)) {
+    EXPECT_TRUE(s.ids.empty());
+  }
+  for (const auto& s : TopNSamplingDecode(*model_, {4, 5}, options)) {
+    EXPECT_TRUE(s.ids.empty());
+  }
+}
+
+TEST_F(DecodeTest, MidDecodeExpiryReturnsTruncatedHypotheses) {
+  // A deadline that expires after construction but before the decode ends:
+  // charge the budget away between steps by observing that the per-step
+  // check bounds output length. With a generous budget the decode is
+  // unaffected and matches the unbounded result exactly.
+  DecodeOptions unbounded;
+  unbounded.max_len = 6;
+  const DecodedSequence reference = GreedyDecode(*model_, {4, 5}, unbounded);
+
+  Deadline generous = Deadline::AfterMillis(60000);
+  DecodeOptions bounded = unbounded;
+  bounded.deadline = &generous;
+  EXPECT_EQ(GreedyDecode(*model_, {4, 5}, bounded).ids, reference.ids);
+
+  // An infinite deadline never expires regardless of charged time.
+  Deadline infinite = Deadline::Infinite();
+  infinite.Charge(1e9);
+  bounded.deadline = &infinite;
+  EXPECT_EQ(GreedyDecode(*model_, {4, 5}, bounded).ids, reference.ids);
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "eval/judge.h"
 
 namespace cyqr {
@@ -10,33 +12,33 @@ namespace {
 class AbSimTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    catalog_ = new Catalog(Catalog::Generate({}));
+    catalog_ = std::make_unique<Catalog>(Catalog::Generate({}));
     ClickLogConfig config;
     config.num_distinct_queries = 300;
     config.num_sessions = 6000;
-    log_ = new ClickLog(ClickLog::Generate(*catalog_, config));
-    index_ = new InvertedIndex();
+    log_ = std::make_unique<ClickLog>(ClickLog::Generate(*catalog_, config));
+    index_ = std::make_unique<InvertedIndex>();
     for (const Product& p : catalog_->products()) {
       index_->AddDocument(p.id, p.title_tokens);
     }
   }
   static void TearDownTestSuite() {
-    delete index_;
-    delete log_;
-    delete catalog_;
+    index_.reset();
+    log_.reset();
+    catalog_.reset();
   }
-  static Catalog* catalog_;
-  static ClickLog* log_;
-  static InvertedIndex* index_;
+  static std::unique_ptr<Catalog> catalog_;
+  static std::unique_ptr<ClickLog> log_;
+  static std::unique_ptr<InvertedIndex> index_;
 };
 
-Catalog* AbSimTest::catalog_ = nullptr;
-ClickLog* AbSimTest::log_ = nullptr;
-InvertedIndex* AbSimTest::index_ = nullptr;
+std::unique_ptr<Catalog> AbSimTest::catalog_;
+std::unique_ptr<ClickLog> AbSimTest::log_;
+std::unique_ptr<InvertedIndex> AbSimTest::index_;
 
 TEST_F(AbSimTest, IdenticalArmsProduceIdenticalMetrics) {
   // Paired randomness: same rewriters => exactly equal outcomes.
-  AbSimulator sim(catalog_, log_, index_);
+  AbSimulator sim(catalog_.get(), log_.get(), index_.get());
   AbConfig config;
   config.num_sessions = 1500;
   const AbResult result = sim.Run(nullptr, nullptr, config);
@@ -49,7 +51,7 @@ TEST_F(AbSimTest, IdenticalArmsProduceIdenticalMetrics) {
 TEST_F(AbSimTest, OracleRewritesLiftConversionAndCutRequeries) {
   // Treatment adds the canonical rewrite for every query — an upper bound
   // on what the model can contribute. UCVR/GMV must rise, QRR must drop.
-  AbSimulator sim(catalog_, log_, index_);
+  AbSimulator sim(catalog_.get(), log_.get(), index_.get());
   AbConfig config;
   config.num_sessions = 4000;
   auto oracle = [this](const QuerySpec& q) {
@@ -63,7 +65,7 @@ TEST_F(AbSimTest, OracleRewritesLiftConversionAndCutRequeries) {
 }
 
 TEST_F(AbSimTest, MetricsAreSaneFractions) {
-  AbSimulator sim(catalog_, log_, index_);
+  AbSimulator sim(catalog_.get(), log_.get(), index_.get());
   AbConfig config;
   config.num_sessions = 1000;
   const AbResult result = sim.Run(nullptr, nullptr, config);
@@ -76,7 +78,7 @@ TEST_F(AbSimTest, MetricsAreSaneFractions) {
 }
 
 TEST_F(AbSimTest, DeterministicAcrossRuns) {
-  AbSimulator sim(catalog_, log_, index_);
+  AbSimulator sim(catalog_.get(), log_.get(), index_.get());
   AbConfig config;
   config.num_sessions = 800;
   const AbResult a = sim.Run(nullptr, nullptr, config);
@@ -88,7 +90,7 @@ TEST_F(AbSimTest, DeterministicAcrossRuns) {
 TEST_F(AbSimTest, IrrelevantRewritesDoNotHurtMuch) {
   // Adding garbage rewrites retrieves junk candidates, but the shared
   // ranker filters them, so metrics should not collapse.
-  AbSimulator sim(catalog_, log_, index_);
+  AbSimulator sim(catalog_.get(), log_.get(), index_.get());
   AbConfig config;
   config.num_sessions = 1500;
   auto garbage = [](const QuerySpec&) {

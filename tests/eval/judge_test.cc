@@ -2,25 +2,27 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 namespace cyqr {
 namespace {
 
 class JudgeTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    catalog_ = new Catalog(Catalog::Generate({}));
-    judge_ = new RelevanceJudge(catalog_);
+    catalog_ = std::make_unique<Catalog>(Catalog::Generate({}));
+    judge_ = std::make_unique<RelevanceJudge>(catalog_.get());
   }
   static void TearDownTestSuite() {
-    delete judge_;
-    delete catalog_;
+    judge_.reset();
+    catalog_.reset();
   }
-  static Catalog* catalog_;
-  static RelevanceJudge* judge_;
+  static std::unique_ptr<Catalog> catalog_;
+  static std::unique_ptr<RelevanceJudge> judge_;
 };
 
-Catalog* JudgeTest::catalog_ = nullptr;
-RelevanceJudge* JudgeTest::judge_ = nullptr;
+std::unique_ptr<Catalog> JudgeTest::catalog_;
+std::unique_ptr<RelevanceJudge> JudgeTest::judge_;
 
 QueryIntent PhoneSeniorIntent() {
   QueryIntent intent;

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 
 #include "rewrite/trainer.h"
 
@@ -12,52 +13,53 @@ namespace {
 class RankerTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    catalog_ = new Catalog(Catalog::Generate({}));
+    catalog_ = std::make_unique<Catalog>(Catalog::Generate({}));
     ClickLogConfig config;
     config.num_distinct_queries = 250;
     config.num_sessions = 8000;
-    log_ = new ClickLog(ClickLog::Generate(*catalog_, config));
+    log_ = std::make_unique<ClickLog>(ClickLog::Generate(*catalog_, config));
 
     std::vector<std::vector<std::string>> corpus;
     for (const TokenPair& p : log_->TokenPairs(*catalog_)) {
       corpus.push_back(p.query);
       corpus.push_back(p.title);
     }
-    vocab_ = new Vocabulary(Vocabulary::Build(corpus));
+    vocab_ = std::make_unique<Vocabulary>(Vocabulary::Build(corpus));
 
-    bm25_ = new Bm25Scorer();
+    bm25_ = std::make_unique<Bm25Scorer>();
     for (const Product& p : catalog_->products()) {
       bm25_->AddDocument(p.id, p.title_tokens);
     }
     Rng rng(3);
-    embedder_ = new TwoTowerModel(vocab_->size(), 16, rng);
+    embedder_ = std::make_unique<TwoTowerModel>(vocab_->size(), 16, rng);
     TwoTowerModel::TrainOptions tower_options;
     tower_options.steps = 150;
-    embedder_->Train(EncodePairs(log_->TokenPairs(*catalog_), *vocab_),
-                     tower_options);
+    const double tower_loss = embedder_->Train(
+        EncodePairs(log_->TokenPairs(*catalog_), *vocab_), tower_options);
+    EXPECT_TRUE(std::isfinite(tower_loss));
   }
   static void TearDownTestSuite() {
-    delete embedder_;
-    delete bm25_;
-    delete vocab_;
-    delete log_;
-    delete catalog_;
+    embedder_.reset();
+    bm25_.reset();
+    vocab_.reset();
+    log_.reset();
+    catalog_.reset();
   }
-  static Catalog* catalog_;
-  static ClickLog* log_;
-  static Vocabulary* vocab_;
-  static Bm25Scorer* bm25_;
-  static TwoTowerModel* embedder_;
+  static std::unique_ptr<Catalog> catalog_;
+  static std::unique_ptr<ClickLog> log_;
+  static std::unique_ptr<Vocabulary> vocab_;
+  static std::unique_ptr<Bm25Scorer> bm25_;
+  static std::unique_ptr<TwoTowerModel> embedder_;
 };
 
-Catalog* RankerTest::catalog_ = nullptr;
-ClickLog* RankerTest::log_ = nullptr;
-Vocabulary* RankerTest::vocab_ = nullptr;
-Bm25Scorer* RankerTest::bm25_ = nullptr;
-TwoTowerModel* RankerTest::embedder_ = nullptr;
+std::unique_ptr<Catalog> RankerTest::catalog_;
+std::unique_ptr<ClickLog> RankerTest::log_;
+std::unique_ptr<Vocabulary> RankerTest::vocab_;
+std::unique_ptr<Bm25Scorer> RankerTest::bm25_;
+std::unique_ptr<TwoTowerModel> RankerTest::embedder_;
 
 TEST_F(RankerTest, FeaturesAreFinite) {
-  PairwiseRanker ranker(catalog_, bm25_, embedder_, vocab_);
+  PairwiseRanker ranker(catalog_.get(), bm25_.get(), embedder_.get(), vocab_.get());
   const auto f = ranker.ExtractFeatures({"red", "shoes"}, 0);
   EXPECT_TRUE(std::isfinite(f.bm25));
   EXPECT_TRUE(std::isfinite(f.embedding_cosine));
@@ -65,7 +67,7 @@ TEST_F(RankerTest, FeaturesAreFinite) {
 }
 
 TEST_F(RankerTest, TrainingReducesPairwiseLoss) {
-  PairwiseRanker ranker(catalog_, bm25_, embedder_, vocab_);
+  PairwiseRanker ranker(catalog_.get(), bm25_.get(), embedder_.get(), vocab_.get());
   PairwiseRanker::TrainOptions options;
   options.steps = 200;
   const double early = ranker.Train(*log_, options);
@@ -76,10 +78,11 @@ TEST_F(RankerTest, TrainingReducesPairwiseLoss) {
 }
 
 TEST_F(RankerTest, TrainedRankerPutsClickedItemsFirst) {
-  PairwiseRanker ranker(catalog_, bm25_, embedder_, vocab_);
+  PairwiseRanker ranker(catalog_.get(), bm25_.get(), embedder_.get(), vocab_.get());
   PairwiseRanker::TrainOptions options;
   options.steps = 2500;
-  ranker.Train(*log_, options);
+  const double final_loss = ranker.Train(*log_, options);
+  EXPECT_TRUE(std::isfinite(final_loss));
 
   // For queries with clicks, the mean rank of clicked items among all
   // products should be clearly better than random (i.e. < half).
@@ -108,7 +111,7 @@ TEST_F(RankerTest, TrainedRankerPutsClickedItemsFirst) {
 }
 
 TEST_F(RankerTest, RankIsSortedDescending) {
-  PairwiseRanker ranker(catalog_, bm25_, embedder_, vocab_);
+  PairwiseRanker ranker(catalog_.get(), bm25_.get(), embedder_.get(), vocab_.get());
   PostingList candidates = {0, 1, 2, 3, 4, 5};
   const auto ranked = ranker.Rank({"red", "shoes"}, candidates);
   for (size_t i = 1; i < ranked.size(); ++i) {

@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <memory>
+
 #include "baseline/rule_based.h"
 #include "core/string_util.h"
 #include "eval/judge.h"
@@ -21,7 +24,7 @@ namespace {
 class PipelineTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    world_ = new World();
+    world_ = std::make_unique<World>();
     // 1. Synthetic world.
     world_->catalog = Catalog::Generate({});
     ClickLogConfig log_config;
@@ -58,7 +61,7 @@ class PipelineTest : public ::testing::Test {
     }
   }
   static void TearDownTestSuite() {
-    delete world_;
+    world_.reset();
     world_ = nullptr;
   }
 
@@ -69,10 +72,10 @@ class PipelineTest : public ::testing::Test {
     std::unique_ptr<CycleModel> model;
     InvertedIndex index;
   };
-  static World* world_;
+  static std::unique_ptr<World> world_;
 };
 
-PipelineTest::World* PipelineTest::world_ = nullptr;
+std::unique_ptr<PipelineTest::World> PipelineTest::world_;
 
 TEST_F(PipelineTest, RewritesImproveRecallForHardQueries) {
   CycleRewriter rewriter(world_->model.get(), &world_->vocab);
@@ -151,13 +154,16 @@ TEST_F(PipelineTest, LearnedRankerBeatsReverseOrderOnClicks) {
   TwoTowerModel embedder(world_->vocab.size(), 16, rng);
   TwoTowerModel::TrainOptions tower_options;
   tower_options.steps = 120;
-  embedder.Train(EncodePairs(world_->log.TokenPairs(world_->catalog),
-                             world_->vocab),
-                 tower_options);
+  const double tower_loss =
+      embedder.Train(EncodePairs(world_->log.TokenPairs(world_->catalog),
+                                 world_->vocab),
+                     tower_options);
+  EXPECT_TRUE(std::isfinite(tower_loss));
   PairwiseRanker ranker(&world_->catalog, &bm25, &embedder, &world_->vocab);
   PairwiseRanker::TrainOptions rank_options;
   rank_options.steps = 1500;
-  ranker.Train(world_->log, rank_options);
+  const double rank_loss = ranker.Train(world_->log, rank_options);
+  EXPECT_TRUE(std::isfinite(rank_loss));
 
   PostingList all;
   for (const Product& p : world_->catalog.products()) all.push_back(p.id);

@@ -1,0 +1,247 @@
+// Tests for the cyqr_lint production driver: parallel analysis waves,
+// the content-hash incremental cache (including cross-file fact
+// invalidation), and the span-based --fix engine.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "driver.h"
+
+namespace cyqr_lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+class DriverTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(testing::TempDir()) /
+           ("cyqr_lint_driver_" +
+            std::string(
+                testing::UnitTest::GetInstance()->current_test_info()->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string Write(const std::string& name, const std::string& content) {
+    const fs::path path = dir_ / name;
+    std::ofstream out(path, std::ios::trunc);
+    out << content;
+    out.flush();
+    EXPECT_TRUE(out.good());
+    return path.string();
+  }
+
+  std::string ReadBack(const std::string& path) {
+    std::string content;
+    EXPECT_TRUE(ReadFileToString(path, &content));
+    return content;
+  }
+
+  fs::path dir_;
+};
+
+/// (file, line, rule) triples for order-insensitive comparison.
+std::vector<std::string> Keys(const LintResult& result) {
+  std::vector<std::string> keys;
+  for (const Diagnostic& d : result.diagnostics) {
+    keys.push_back(d.file + ":" + std::to_string(d.line) + ":" + d.rule);
+  }
+  return keys;
+}
+
+TEST_F(DriverTest, IncrementalCacheSkipsUnchangedFiles) {
+  Write("a.cc", "int Leak() { int* p = new int(3); return *p; }\n");
+  const std::string b_path =
+      Write("b.cc", "int Fine() { return 7; }\n");
+
+  DriverOptions options;
+  options.lint.enabled_rules.insert("raw-owning-new");
+  options.cache_path = (dir_ / "cache.txt").string();
+  options.jobs = 2;
+
+  // Cold: everything is analyzed.
+  const DriverResult cold = RunDriver({dir_.string()}, options);
+  EXPECT_FALSE(cold.stats.cache_valid);
+  EXPECT_EQ(cold.stats.files_analyzed, 2);
+  EXPECT_EQ(cold.stats.files_from_cache, 0);
+  ASSERT_EQ(cold.lint.diagnostics.size(), 1u);
+
+  // Warm: nothing is re-analyzed; diagnostics replay from the cache.
+  const DriverResult warm = RunDriver({dir_.string()}, options);
+  EXPECT_TRUE(warm.stats.cache_valid);
+  EXPECT_EQ(warm.stats.files_analyzed, 0);
+  EXPECT_EQ(warm.stats.files_from_cache, 2);
+  EXPECT_EQ(Keys(warm.lint), Keys(cold.lint));
+
+  // Touch one file (no fact change): exactly that file is re-analyzed.
+  Write("b.cc", "int Fine() { return 7; }\n// touched\n");
+  const DriverResult touched = RunDriver({dir_.string()}, options);
+  EXPECT_TRUE(touched.stats.cache_valid);
+  EXPECT_EQ(touched.stats.files_analyzed, 1);
+  EXPECT_EQ(touched.stats.files_from_cache, 1);
+  EXPECT_EQ(Keys(touched.lint), Keys(cold.lint));
+  (void)b_path;
+}
+
+TEST_F(DriverTest, CacheInvalidatedWhenFactsChangeElsewhere) {
+  // a.cc calls Foo without forwarding its deadline — clean today, because
+  // Foo is not known to accept one.
+  Write("a.cc",
+        "struct Deadline {};\n"
+        "int Foo(int x);\n"
+        "int Serve(int q, const Deadline& deadline) {\n"
+        "  return Foo(q);\n"
+        "}\n");
+  Write("b.cc", "int Unrelated();\n");
+
+  DriverOptions options;
+  options.lint.enabled_rules.insert("deadline-propagation");
+  options.cache_path = (dir_ / "cache.txt").string();
+  options.jobs = 2;
+
+  const DriverResult before = RunDriver({dir_.string()}, options);
+  EXPECT_TRUE(before.lint.diagnostics.empty());
+  const DriverResult warm = RunDriver({dir_.string()}, options);
+  EXPECT_EQ(warm.stats.files_from_cache, 2);
+
+  // b.cc now declares a deadline-accepting Foo overload. a.cc is
+  // byte-identical, but its cached verdict is stale: the cross-file fact
+  // set changed, so the fingerprint must force a full re-analysis.
+  Write("b.cc",
+        "struct Deadline {};\n"
+        "int Foo(int x, const Deadline& deadline);\n");
+  const DriverResult after = RunDriver({dir_.string()}, options);
+  EXPECT_FALSE(after.stats.cache_valid);
+  EXPECT_EQ(after.stats.files_analyzed, 2);
+  EXPECT_EQ(after.stats.files_from_cache, 0);
+  ASSERT_EQ(after.lint.diagnostics.size(), 1u);
+  EXPECT_EQ(after.lint.diagnostics[0].line, 4);
+  EXPECT_EQ(after.lint.diagnostics[0].rule, "deadline-propagation");
+}
+
+TEST_F(DriverTest, FixSynthesizesNolintAndIsIdempotent) {
+  const std::string path =
+      Write("leak.cc", "int Leak() {\n  int* p = new int(3);\n  return *p;\n}\n");
+
+  DriverOptions options;
+  options.lint.enabled_rules.insert("raw-owning-new");
+  options.fix = true;
+  options.fix_nolint_rules.push_back("raw-owning-new");
+
+  const DriverResult first = RunDriver({path}, options);
+  EXPECT_EQ(first.stats.files_fixed, 1);
+  const std::string fixed = ReadBack(path);
+  EXPECT_NE(
+      fixed.find("// NOLINTNEXTLINE(cyqr-raw-owning-new): TODO: justify"),
+      std::string::npos);
+  // The synthesized suppression inherits the flagged line's indentation.
+  EXPECT_NE(fixed.find("\n  // NOLINTNEXTLINE"), std::string::npos);
+
+  // Second pass: the suppression silences the finding, so --fix has
+  // nothing left to do and the file does not change again.
+  const DriverResult second = RunDriver({path}, options);
+  EXPECT_TRUE(second.lint.diagnostics.empty());
+  EXPECT_EQ(second.stats.files_fixed, 0);
+  EXPECT_EQ(ReadBack(path), fixed);
+}
+
+TEST_F(DriverTest, FixReordersSelfIncludeAndIsIdempotent) {
+  Write("widget.h",
+        "#ifndef WIDGET_H_\n#define WIDGET_H_\n#endif  // WIDGET_H_\n");
+  const std::string path = Write("widget.cc",
+                                 "#include <vector>\n"
+                                 "#include \"widget.h\"\n"
+                                 "int W() { return 1; }\n");
+
+  DriverOptions options;
+  options.lint.enabled_rules.insert("include-hygiene");
+  options.fix = true;
+
+  const DriverResult first = RunDriver({path}, options);
+  EXPECT_EQ(first.stats.files_fixed, 1);
+  const std::string fixed = ReadBack(path);
+  EXPECT_EQ(fixed.rfind("#include \"widget.h\"\n#include <vector>\n", 0), 0u)
+      << fixed;
+
+  const DriverResult second = RunDriver({path}, options);
+  EXPECT_TRUE(second.lint.diagnostics.empty());
+  EXPECT_EQ(second.stats.files_fixed, 0);
+  EXPECT_EQ(ReadBack(path), fixed);
+}
+
+TEST_F(DriverTest, FixDryRunRendersDiffWithoutWriting) {
+  const std::string path =
+      Write("leak.cc", "int* Leak() { return new int(3); }\n");
+  const std::string original = ReadBack(path);
+
+  DriverOptions options;
+  options.lint.enabled_rules.insert("raw-owning-new");
+  options.fix_dry_run = true;
+  options.fix_nolint_rules.push_back("raw-owning-new");
+
+  const DriverResult result = RunDriver({path}, options);
+  EXPECT_EQ(result.stats.files_fixed, 1);
+  EXPECT_NE(result.fix_diff.find("leak.cc:1"), std::string::npos);
+  EXPECT_NE(result.fix_diff.find("NOLINTNEXTLINE(cyqr-raw-owning-new)"),
+            std::string::npos);
+  EXPECT_EQ(ReadBack(path), original);
+}
+
+TEST_F(DriverTest, ParallelMatchesSerial) {
+  // The shipped fixture corpus under all twelve rules, once on a single
+  // thread and once on eight: identical findings, any schedule.
+  DriverOptions serial;
+  serial.jobs = 1;
+  DriverOptions parallel;
+  parallel.jobs = 8;
+  const std::vector<std::string> paths = {CYQR_LINT_FIXTURE_DIR};
+  const DriverResult a = RunDriver(paths, serial);
+  const DriverResult b = RunDriver(paths, parallel);
+  EXPECT_FALSE(a.lint.diagnostics.empty());
+  EXPECT_EQ(Keys(a.lint), Keys(b.lint));
+  EXPECT_EQ(a.stats.files_analyzed, b.stats.files_analyzed);
+}
+
+TEST_F(DriverTest, ExpandPathsHonorsExcludeFragments) {
+  Write("keep.cc", "int K();\n");
+  fs::create_directories(dir_ / "fixtures");
+  Write("fixtures/skip.cc", "int S();\n");
+
+  std::vector<std::string> errors;
+  const std::vector<std::string> all =
+      ExpandPaths({dir_.string()}, {}, &errors);
+  EXPECT_EQ(all.size(), 2u);
+  const std::vector<std::string> filtered =
+      ExpandPaths({dir_.string()}, {"fixtures"}, &errors);
+  ASSERT_EQ(filtered.size(), 1u);
+  EXPECT_NE(filtered[0].find("keep.cc"), std::string::npos);
+  EXPECT_TRUE(errors.empty());
+}
+
+TEST_F(DriverTest, CorruptCacheIsDiscardedNotTrusted) {
+  const std::string path =
+      Write("a.cc", "int Leak() { int* p = new int(3); return *p; }\n");
+  DriverOptions options;
+  options.lint.enabled_rules.insert("raw-owning-new");
+  options.cache_path = (dir_ / "cache.txt").string();
+
+  const DriverResult cold = RunDriver({path}, options);
+  ASSERT_EQ(cold.lint.diagnostics.size(), 1u);
+
+  // Truncate/corrupt the cache: the next run must fall back to a full
+  // analysis and still report the finding.
+  Write("cache.txt", "not a cache\n");
+  const DriverResult after = RunDriver({path}, options);
+  EXPECT_FALSE(after.stats.cache_valid);
+  EXPECT_EQ(after.stats.files_analyzed, 1);
+  EXPECT_EQ(Keys(after.lint), Keys(cold.lint));
+}
+
+}  // namespace
+}  // namespace cyqr_lint

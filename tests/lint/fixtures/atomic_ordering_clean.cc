@@ -1,0 +1,26 @@
+// Fixture: every explicit memory order carries an "ordering:" comment —
+// same line, above the statement, or above a statement that wraps.
+#include "atomic_ordering_clean.h"
+
+#include <atomic>
+
+std::atomic<int> hits{0};
+std::atomic<bool> ready{false};
+
+int Bump() {
+  // ordering: relaxed — pure tally; no other memory is published or
+  // consumed through this counter.
+  return hits.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool Ready() {
+  return ready.load(std::memory_order_acquire);  // ordering: pairs w/ release
+}
+
+bool Flip(bool expected) {
+  // ordering: acq_rel — the winner must observe prior writes; losers
+  // re-read the state through the acquire failure order.
+  return ready.compare_exchange_strong(expected, true,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_acquire);
+}

@@ -1,0 +1,19 @@
+// Fixture: explicit memory orders with no written justification.
+#include "atomic_ordering_violation.h"
+
+#include <atomic>
+
+std::atomic<int> hits{0};
+std::atomic<bool> ready{false};
+
+int Bump() {
+  return hits.fetch_add(1, std::memory_order_relaxed);  // violation: bare RMW
+}
+
+bool Ready() {
+  return ready.load(std::memory_order_acquire);  // violation
+}
+
+void Announce() {
+  ready.store(true, std::memory_order::release);  // violation: scoped spelling
+}

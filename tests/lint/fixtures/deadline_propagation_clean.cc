@@ -1,0 +1,20 @@
+// Fixture: every deadline-accepting callee receives the request deadline.
+#include "deadline_propagation_clean.h"
+
+struct Deadline {
+  bool HasBudget(int millis) const { return millis > 0; }
+};
+
+int Backend(int query, const Deadline& deadline);
+
+int Serve(int query, const Deadline& deadline) {
+  if (!deadline.HasBudget(5)) return 0;
+  return Backend(query, deadline);
+}
+
+int ServeDetached(int query, const Deadline& deadline) {
+  // The callee runs after this request completes; the request budget
+  // intentionally does not apply to it.
+  // NOLINTNEXTLINE(cyqr-deadline-propagation): detached background work.
+  return Backend(query, Deadline());
+}

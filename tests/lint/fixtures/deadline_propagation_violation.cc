@@ -1,0 +1,17 @@
+// Fixture: holders of a Deadline that drop the budget on the way down.
+#include "deadline_propagation_violation.h"
+
+struct Deadline {
+  bool Expired() const { return false; }
+};
+
+int Backend(int query, const Deadline& deadline);
+int Lookup(int key, const Deadline& deadline);
+
+int Serve(int query, const Deadline& deadline) {
+  if (deadline.Expired()) return 0;     // Member call on the deadline: fine.
+  int a = Backend(query, deadline);     // Forwards: fine.
+  int b = Lookup(query);                // violation: budget dropped
+  int c = Backend(query, Deadline());   // violation: fresh deadline
+  return a + b + c;
+}

@@ -1,0 +1,29 @@
+// Fixture: critical sections stay small; blocking work runs outside, and
+// condition-variable waits (which release the lock) are sanctioned.
+#include "lock_held_blocking_clean.h"
+
+#include <condition_variable>
+#include <mutex>
+
+struct BoundedQueue {
+  bool Push(int v);
+};
+
+std::mutex mu;
+std::condition_variable cv;
+BoundedQueue queue;
+
+void Publish(int v) {
+  int staged = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    staged = v + 1;
+  }
+  queue.Push(staged);  // Outside the critical section: fine.
+}
+
+int WaitForWork() {
+  std::unique_lock<std::mutex> lk(mu);
+  cv.wait(lk);  // Releases the lock while blocked: sanctioned.
+  return 0;
+}

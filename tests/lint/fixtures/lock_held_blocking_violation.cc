@@ -1,0 +1,27 @@
+// Fixture: blocking work performed while a scoped lock is held.
+#include "lock_held_blocking_violation.h"
+
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+struct Deadline {};
+struct BoundedQueue {
+  bool Push(int v);
+  int Pop();
+};
+int CallModel(int query, const Deadline& deadline);
+
+std::mutex mu;
+BoundedQueue queue;
+
+void Publish(int v) {
+  std::lock_guard<std::mutex> lk(mu);
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));  // violation
+  queue.Push(v);                                              // violation
+}
+
+int ServeLocked(int query, const Deadline& deadline) {
+  std::unique_lock<std::mutex> lk(mu);
+  return CallModel(query, deadline);  // violation: slow call under lock
+}

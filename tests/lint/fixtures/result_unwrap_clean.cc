@@ -1,0 +1,23 @@
+// Fixture: every Result unwrap is dominated by an ok() check (or the
+// error is propagated through status()).
+#include "result_unwrap_clean.h"
+
+template <typename T>
+struct Result {
+  bool ok() const;
+  const T& value() const;
+  int status() const;
+};
+
+Result<int> Fetch();
+
+int UseChecked() {
+  Result<int> r = Fetch();
+  if (!r.ok()) return -1;
+  return r.value();
+}
+
+int PropagateStatus(const Result<int>& res) {
+  if (!res.ok()) return res.status();
+  return res.value();
+}

@@ -1,0 +1,20 @@
+// Fixture: Result<T>::value() without a dominating ok() check.
+#include "result_unwrap_violation.h"
+
+template <typename T>
+struct Result {
+  bool ok() const;
+  const T& value() const;
+  int status() const;
+};
+
+Result<int> Fetch();
+
+int UseUnchecked() {
+  Result<int> r = Fetch();
+  return r.value();  // violation
+}
+
+int UseParamUnchecked(const Result<int>& res) {
+  return res.value();  // violation
+}

@@ -1,0 +1,161 @@
+// Unit tests for the cyqr_lint lexer's hard cases: raw string literals,
+// digit separators, and phase-2 line continuations. Every one of these,
+// mis-lexed, makes rule spans fire mid-token or inside literal bodies —
+// the fixtures here are the regressions for the hardened handling.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace cyqr_lint {
+namespace {
+
+LexedFile Lex(const std::string& source) {
+  return LexFile("test.cc", source);
+}
+
+std::vector<const Token*> OfKind(const LexedFile& f, TokKind kind) {
+  std::vector<const Token*> out;
+  for (const Token& t : f.tokens) {
+    if (t.kind == kind) out.push_back(&t);
+  }
+  return out;
+}
+
+const Token* FindIdent(const LexedFile& f, const std::string& name) {
+  for (const Token& t : f.tokens) {
+    if (t.kind == TokKind::kIdent && t.text == name) return &t;
+  }
+  return nullptr;
+}
+
+TEST(LexerTest, RawStringBodyIsOpaque) {
+  const LexedFile f =
+      Lex("auto s = R\"(a \"quoted\" ident_inside)\"; int after = 1;\n");
+  const auto strings = OfKind(f, TokKind::kString);
+  ASSERT_EQ(strings.size(), 1u);
+  // The body is preserved in aux (for rules that need the value) but the
+  // token text stays empty so identifier matching never fires inside it.
+  EXPECT_EQ(strings[0]->aux, "a \"quoted\" ident_inside");
+  EXPECT_EQ(strings[0]->text, "");
+  EXPECT_EQ(FindIdent(f, "ident_inside"), nullptr);
+  EXPECT_NE(FindIdent(f, "after"), nullptr);
+}
+
+TEST(LexerTest, RawStringCustomDelimiterShieldsPlainTerminator) {
+  // With delimiter "xy", a bare )" inside the body must not end the
+  // literal; only )xy" does.
+  const LexedFile f =
+      Lex("auto s = R\"xy(body )\" not the end)xy\"; int tail = 2;\n");
+  const auto strings = OfKind(f, TokKind::kString);
+  ASSERT_EQ(strings.size(), 1u);
+  EXPECT_EQ(strings[0]->aux, "body )\" not the end");
+  EXPECT_NE(FindIdent(f, "tail"), nullptr);
+  EXPECT_EQ(FindIdent(f, "end"), nullptr);
+}
+
+TEST(LexerTest, RawStringEncodingPrefixes) {
+  const LexedFile f = Lex(
+      "auto a = u8R\"(w)\";\n"
+      "auto b = uR\"(x)\";\n"
+      "auto c = UR\"(y)\";\n"
+      "auto d = LR\"(z)\";\n");
+  const auto strings = OfKind(f, TokKind::kString);
+  ASSERT_EQ(strings.size(), 4u);
+  EXPECT_EQ(strings[0]->aux, "w");
+  EXPECT_EQ(strings[3]->aux, "z");
+}
+
+TEST(LexerTest, IdentEndingInRIsNotARawStringPrefix) {
+  // TRACER"bar" is an identifier adjacent to an ordinary string; lexing
+  // it as a raw string would swallow tokens until a stray )" appears.
+  const LexedFile f = Lex("auto s = TRACER\"bar\"; int next = 3;\n");
+  EXPECT_NE(FindIdent(f, "TRACER"), nullptr);
+  const auto strings = OfKind(f, TokKind::kString);
+  ASSERT_EQ(strings.size(), 1u);
+  EXPECT_EQ(strings[0]->aux, "bar");
+  EXPECT_NE(FindIdent(f, "next"), nullptr);
+}
+
+TEST(LexerTest, RawStringLineAccounting) {
+  const LexedFile f = Lex(
+      "auto s = R\"(line one\n"
+      "line two)\";\n"
+      "int after = 1;\n");
+  const Token* after = FindIdent(f, "after");
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(after->line, 3);
+}
+
+TEST(LexerTest, DigitSeparatorsStayInsideOneNumberToken) {
+  const LexedFile f = Lex("int x = 1'000'000; int y = 0xFF'FF;\n");
+  const auto numbers = OfKind(f, TokKind::kNumber);
+  ASSERT_EQ(numbers.size(), 2u);
+  EXPECT_EQ(numbers[0]->text, "1'000'000");
+  EXPECT_EQ(numbers[1]->text, "0xFF'FF");
+  // No char-literal token was conjured out of the separators.
+  EXPECT_TRUE(OfKind(f, TokKind::kChar).empty());
+}
+
+TEST(LexerTest, QuoteAfterNumberContextStartsCharLiteral) {
+  // The separator rule must not glue a following char literal onto a
+  // number: here the quote opens 'a'.
+  const LexedFile f = Lex("auto v = f(1, 'a');\n");
+  const auto numbers = OfKind(f, TokKind::kNumber);
+  ASSERT_EQ(numbers.size(), 1u);
+  EXPECT_EQ(numbers[0]->text, "1");
+  EXPECT_EQ(OfKind(f, TokKind::kChar).size(), 1u);
+}
+
+TEST(LexerTest, LineContinuationExtendsLineComment) {
+  // The classic hazard: a backslash at the end of a // comment splices
+  // the next physical line into the comment. `hidden` is commented out.
+  const LexedFile f = Lex(
+      "int a = 1;  // trailing comment \\\n"
+      "int hidden = 2;\n"
+      "int b = 3;\n");
+  EXPECT_EQ(FindIdent(f, "hidden"), nullptr);
+  const Token* b = FindIdent(f, "b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->line, 3);
+}
+
+TEST(LexerTest, LineContinuationInsideIdentifier) {
+  // Phase-2 splicing: foo\<newline>bar is the single identifier foobar.
+  const LexedFile f = Lex(
+      "int foo\\\n"
+      "bar = 1;\n"
+      "int rest = 2;\n");
+  const Token* spliced = FindIdent(f, "foobar");
+  ASSERT_NE(spliced, nullptr);
+  EXPECT_EQ(spliced->line, 1);
+  EXPECT_EQ(FindIdent(f, "bar"), nullptr);
+  const Token* rest = FindIdent(f, "rest");
+  ASSERT_NE(rest, nullptr);
+  EXPECT_EQ(rest->line, 3);
+}
+
+TEST(LexerTest, OrderingCommentSpansEveryLineOfBlockComment) {
+  const LexedFile f = Lex(
+      "/* ordering: relaxed — this justification\n"
+      "   wraps onto a second line */\n"
+      "int x = 1;\n");
+  EXPECT_EQ(f.ordering_comment_lines.count(1), 1u);
+  EXPECT_EQ(f.ordering_comment_lines.count(2), 1u);
+  EXPECT_EQ(f.ordering_comment_lines.count(3), 0u);
+}
+
+TEST(LexerTest, OrderingCommentOnSplicedLineComment) {
+  // A spliced // comment carrying the marker covers both physical lines.
+  const LexedFile f = Lex(
+      "// ordering: relaxed — spliced \\\n"
+      "continuation line\n"
+      "int x = 1;\n");
+  EXPECT_EQ(f.ordering_comment_lines.count(1), 1u);
+  EXPECT_EQ(f.ordering_comment_lines.count(2), 1u);
+}
+
+}  // namespace
+}  // namespace cyqr_lint

@@ -168,17 +168,96 @@ TEST(LintTest, LockScopeClean) {
   EXPECT_TRUE(RunRule("lock-scope", "lock_scope_clean.cc").empty());
 }
 
+TEST(LintTest, DeadlinePropagationViolations) {
+  const auto diags =
+      RunRule("deadline-propagation", "deadline_propagation_violation.cc");
+  // Dropped budget (Lookup(query)), fresh deadline (Backend(..,
+  // Deadline())); the forwarding call and the member call on the deadline
+  // object itself stay clean.
+  EXPECT_EQ(Lines(diags), std::vector<int>({14, 15}));
+  for (const Diagnostic& d : diags) {
+    EXPECT_EQ(d.rule, "deadline-propagation");
+    EXPECT_NE(d.message.find("without forwarding it"), std::string::npos);
+  }
+}
+
+TEST(LintTest, DeadlinePropagationCleanIncludingNolint) {
+  // The clean fixture also proves NOLINTNEXTLINE works for this rule.
+  EXPECT_TRUE(
+      RunRule("deadline-propagation", "deadline_propagation_clean.cc")
+          .empty());
+}
+
+TEST(LintTest, LockHeldBlockingCallViolations) {
+  const auto diags =
+      RunRule("lock-held-blocking-call", "lock_held_blocking_violation.cc");
+  // sleep_for under lock_guard, queue.Push under lock_guard, and a
+  // deadline-bound callee under unique_lock.
+  EXPECT_EQ(Lines(diags), std::vector<int>({20, 21, 26}));
+  for (const Diagnostic& d : diags) {
+    EXPECT_EQ(d.rule, "lock-held-blocking-call");
+    EXPECT_NE(d.message.find("is held"), std::string::npos);
+  }
+}
+
+TEST(LintTest, LockHeldBlockingCallClean) {
+  // Push outside the inner brace scope and cv.wait (which releases the
+  // lock) both stay clean.
+  EXPECT_TRUE(
+      RunRule("lock-held-blocking-call", "lock_held_blocking_clean.cc")
+          .empty());
+}
+
+TEST(LintTest, AtomicOrderingAuditViolations) {
+  const auto diags =
+      RunRule("atomic-ordering-audit", "atomic_ordering_violation.cc");
+  // Bare relaxed fetch_add, unjustified acquire load, and the scoped
+  // memory_order::release spelling.
+  EXPECT_EQ(Lines(diags), std::vector<int>({10, 14, 18}));
+  // The RMW site gets the sharper message.
+  EXPECT_NE(diags[0].message.find("orders nothing"), std::string::npos);
+  EXPECT_NE(diags[1].message.find("memory_order_acquire"),
+            std::string::npos);
+  EXPECT_NE(diags[2].message.find("memory_order_release"),
+            std::string::npos);
+}
+
+TEST(LintTest, AtomicOrderingAuditClean) {
+  // Same-line comment, comment above the statement, and one comment above
+  // a CAS whose success/failure orders wrap onto later lines.
+  EXPECT_TRUE(
+      RunRule("atomic-ordering-audit", "atomic_ordering_clean.cc").empty());
+}
+
+TEST(LintTest, ResultUnwrapCheckViolations) {
+  const auto diags =
+      RunRule("result-unwrap-check", "result_unwrap_violation.cc");
+  // Unchecked unwrap of a local Result and of a Result parameter.
+  EXPECT_EQ(Lines(diags), std::vector<int>({15, 19}));
+  for (const Diagnostic& d : diags) {
+    EXPECT_EQ(d.rule, "result-unwrap-check");
+    EXPECT_NE(d.message.find("ok()"), std::string::npos);
+  }
+}
+
+TEST(LintTest, ResultUnwrapCheckClean) {
+  EXPECT_TRUE(
+      RunRule("result-unwrap-check", "result_unwrap_clean.cc").empty());
+}
+
 TEST(LintTest, AllRulesRunTogether) {
-  // The whole fixture directory under every rule: all eight rules fire
-  // somewhere, proving the multi-rule driver and cross-file
-  // status-function collection work end to end.
+  // The whole fixture directory under every rule: all twelve rules fire
+  // somewhere, proving the multi-rule driver and cross-file fact
+  // collection (status functions, deadline functions) work end to end.
   const LintResult result = RunLint({CYQR_LINT_FIXTURE_DIR}, {});
   std::vector<std::string> fired;
   for (const Diagnostic& d : result.diagnostics) fired.push_back(d.rule);
   for (const char* rule :
        {"discarded-status", "unchecked-stream", "banned-functions",
         "banned-unseeded-rng", "raw-owning-new", "include-hygiene",
-        "metrics-naming", "lock-scope"}) {
+        "metrics-naming", "lock-scope", "deadline-propagation",
+        "lock-held-blocking-call", "atomic-ordering-audit",
+        "result-unwrap-check"}) {
     EXPECT_NE(std::find(fired.begin(), fired.end(), rule), fired.end())
         << "rule never fired over fixtures: " << rule;
   }

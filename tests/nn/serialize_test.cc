@@ -173,7 +173,10 @@ TEST(SerializeTest, OutOfRangeRankRejected) {
 
 TEST(SerializeTest, ZeroLengthFileFails) {
   const std::string path = testing::TempDir() + "/cyqr_params_empty.bin";
-  { std::ofstream out(path, std::ios::binary | std::ios::trunc); }
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good());
+  }
   Rng rng(27);
   Linear dst(2, 2, rng);
   EXPECT_FALSE(LoadParametersFromFile(dst.Parameters(), path).ok());

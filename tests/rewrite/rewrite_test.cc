@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
 #include <set>
 
 #include "rewrite/direct_model.h"
@@ -250,31 +251,31 @@ TEST(EncodeQueryPairsTest, EmitsBothDirections) {
 class TrainedCycleTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    world_ = new TinyWorld(MakeTinyWorld());
+    world_ = std::make_unique<TinyWorld>(MakeTinyWorld());
     Rng rng(6);
-    model_ = new CycleModel(TinyConfig(world_->vocab.size()), rng);
+    model_ = std::make_unique<CycleModel>(TinyConfig(world_->vocab.size()), rng);
     CycleTrainerOptions options;
     options.max_steps = 220;
     options.warmup_steps = 160;
     options.batch_size = 3;
     options.eval_every = 0;
-    CycleTrainer trainer(model_, world_->pairs, options);
+    CycleTrainer trainer(model_.get(), world_->pairs, options);
     ASSERT_TRUE(trainer.Train({}).ok());
     model_->SetTraining(false);
   }
   static void TearDownTestSuite() {
-    delete model_;
-    delete world_;
+    model_.reset();
+    world_.reset();
   }
-  static TinyWorld* world_;
-  static CycleModel* model_;
+  static std::unique_ptr<TinyWorld> world_;
+  static std::unique_ptr<CycleModel> model_;
 };
 
-TinyWorld* TrainedCycleTest::world_ = nullptr;
-CycleModel* TrainedCycleTest::model_ = nullptr;
+std::unique_ptr<TinyWorld> TrainedCycleTest::world_;
+std::unique_ptr<CycleModel> TrainedCycleTest::model_;
 
 TEST_F(TrainedCycleTest, RewriteReturnsAtMostKSortedCandidates) {
-  CycleRewriter rewriter(model_, &world_->vocab);
+  CycleRewriter rewriter(model_.get(), &world_->vocab);
   RewriteOptions options;
   options.k = 3;
   options.max_title_len = 8;
@@ -289,7 +290,7 @@ TEST_F(TrainedCycleTest, RewriteReturnsAtMostKSortedCandidates) {
 }
 
 TEST_F(TrainedCycleTest, OriginalQueryIsFilteredOut) {
-  CycleRewriter rewriter(model_, &world_->vocab);
+  CycleRewriter rewriter(model_.get(), &world_->vocab);
   RewriteOptions options;
   options.k = 3;
   const std::vector<int32_t> query =
@@ -301,7 +302,7 @@ TEST_F(TrainedCycleTest, OriginalQueryIsFilteredOut) {
 }
 
 TEST_F(TrainedCycleTest, KeepOriginalOptionAllowsIdentity) {
-  CycleRewriter rewriter(model_, &world_->vocab);
+  CycleRewriter rewriter(model_.get(), &world_->vocab);
   RewriteOptions options;
   options.k = 6;
   options.keep_original = true;
@@ -319,7 +320,7 @@ TEST_F(TrainedCycleTest, KeepOriginalOptionAllowsIdentity) {
 }
 
 TEST_F(TrainedCycleTest, RewriteIsDeterministicPerSeed) {
-  CycleRewriter rewriter(model_, &world_->vocab);
+  CycleRewriter rewriter(model_.get(), &world_->vocab);
   RewriteOptions options;
   options.seed = 31;
   const auto a = rewriter.Rewrite({"senior", "phone"}, options);

@@ -36,6 +36,8 @@ std::string ReadAll(const std::string& path) {
 void WriteAll(const std::string& path, const std::string& content) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   out << content;
+  out.flush();
+  EXPECT_TRUE(out.good());
 }
 
 // A store pre-populated with a sentinel; any failed load must leave it

@@ -470,6 +470,43 @@ TEST_F(ServiceTest, MaxRewritesCapApplies) {
   EXPECT_EQ(service.Serve({"many"}).rewrites.size(), 2u);
 }
 
+TEST_F(ServiceTest, DirectRewriterHonorsExpiredDeadline) {
+  // Regression for the deadline-propagation fix: the deadline-bound
+  // Rewrite overload must stop before the first decode step when the
+  // budget is already gone, and behave identically to the unbounded form
+  // when plenty of budget remains.
+  Deadline expired = Deadline::AfterMillis(0);
+  expired.Charge(1.0);  // Deterministically expired (virtual time).
+  ASSERT_TRUE(expired.Expired());
+  EXPECT_TRUE(fallback_->Rewrite({"cheap", "phone"}, 2, 10, expired).empty());
+
+  const Deadline generous = Deadline::AfterMillis(60000);
+  const auto bounded = fallback_->Rewrite({"cheap", "phone"}, 2, 10, generous);
+  const auto unbounded = fallback_->Rewrite({"cheap", "phone"}, 2, 10);
+  ASSERT_EQ(bounded.size(), unbounded.size());
+  for (size_t i = 0; i < bounded.size(); ++i) {
+    EXPECT_EQ(bounded[i].ids, unbounded[i].ids);
+  }
+}
+
+TEST_F(ServiceTest, DirectModelBackendReportsDeadlineExpiry) {
+  DirectModelBackend backend(fallback_.get());
+  Deadline expired = Deadline::AfterMillis(0);
+  expired.Charge(1.0);
+  std::vector<RewriteCandidate> out;
+  const Status status =
+      backend.Rewrite({"cheap", "phone"}, 2, 10, expired, &out);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(status.message().find("deadline expired"), std::string::npos)
+      << status.ToString();
+  EXPECT_TRUE(out.empty());
+
+  Deadline fresh = Deadline::AfterMillis(60000);
+  ASSERT_TRUE(backend.Rewrite({"cheap", "phone"}, 2, 10, fresh, &out).ok());
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out[0].tokens, (std::vector<std::string>{"budget", "phone"}));
+}
+
 TEST_F(ServiceTest, NullFallbackServesIdentityPassthrough) {
   RewriteService service(&store_, nullptr, {});
   const auto response = service.Serve({"unknown", "query"});

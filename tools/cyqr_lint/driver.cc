@@ -1,0 +1,546 @@
+#include "driver.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "core/thread_pool.h"
+
+namespace cyqr_lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Bump whenever a rule's behaviour changes: stale caches from an older
+/// rule set must miss, or a fixed rule would keep replaying its old
+/// (possibly wrong) diagnostics for unchanged files.
+constexpr const char* kRulesVersionSalt = "cyqr-lint-rules-v2";
+constexpr const char* kCacheMagic = "cyqr-lint-cache 2";
+
+bool HasLintableExtension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp";
+}
+
+bool IsExcluded(const std::string& path,
+                const std::vector<std::string>& exclude) {
+  for (const std::string& fragment : exclude) {
+    if (path.find(fragment) != std::string::npos) return true;
+  }
+  return false;
+}
+
+/// Minimal barrier for the two analysis waves: every submitted job calls
+/// Done() exactly once; Wait() returns when all of them have.
+class WaitGroup {
+ public:
+  void Add(int n) { count_ += n; }
+  void Done() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--count_ == 0) cv_.notify_all();
+  }
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return count_ <= 0; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int count_ = 0;
+};
+
+struct CacheEntry {
+  uint64_t hash = 0;
+  std::vector<std::string> status_facts;
+  std::vector<std::string> deadline_facts;
+  std::vector<Diagnostic> diags;
+};
+
+struct Cache {
+  bool loaded = false;
+  uint64_t fingerprint = 0;
+  std::map<std::string, CacheEntry> entries;
+};
+
+Cache LoadCache(const std::string& path) {
+  Cache cache;
+  if (path.empty()) return cache;
+  std::ifstream in(path);
+  if (!in.is_open()) return cache;
+  std::string line;
+  if (!std::getline(in, line) || line != kCacheMagic) return cache;
+  if (!std::getline(in, line) || line.rfind("fingerprint ", 0) != 0) {
+    return cache;
+  }
+  cache.fingerprint = std::strtoull(line.c_str() + 12, nullptr, 16);
+  CacheEntry* entry = nullptr;
+  std::string entry_path;
+  while (std::getline(in, line)) {
+    if (line.rfind("file ", 0) == 0) {
+      // "file <hash-hex> <path>" — path last, it may contain spaces.
+      std::istringstream fields(line.substr(5));
+      std::string hash_hex;
+      fields >> hash_hex;
+      std::getline(fields, entry_path);
+      if (!entry_path.empty() && entry_path.front() == ' ') {
+        entry_path.erase(0, 1);
+      }
+      entry = &cache.entries[entry_path];
+      entry->hash = std::strtoull(hash_hex.c_str(), nullptr, 16);
+    } else if (entry != nullptr && line.rfind("s ", 0) == 0) {
+      entry->status_facts.push_back(line.substr(2));
+    } else if (entry != nullptr && line.rfind("d ", 0) == 0) {
+      entry->deadline_facts.push_back(line.substr(2));
+    } else if (entry != nullptr && line.rfind("g ", 0) == 0) {
+      // "g <line> <rule> <message...>"
+      std::istringstream fields(line.substr(2));
+      Diagnostic d;
+      fields >> d.line >> d.rule;
+      std::getline(fields, d.message);
+      if (!d.message.empty() && d.message.front() == ' ') {
+        d.message.erase(0, 1);
+      }
+      d.file = entry_path;
+      entry->diags.push_back(std::move(d));
+    } else {
+      return Cache{};  // Corrupt line: discard the whole cache.
+    }
+  }
+  cache.loaded = true;
+  return cache;
+}
+
+void HashMix(uint64_t* h, const std::string& s) {
+  for (char c : s) {
+    *h ^= static_cast<unsigned char>(c);
+    *h *= 1099511628211ull;
+  }
+  *h ^= 0xffu;  // Separator so {"ab","c"} != {"a","bc"}.
+  *h *= 1099511628211ull;
+}
+
+/// Cached diagnostics are valid only under the exact same analysis
+/// context: rule set version, enabled rules, allowlists, and the merged
+/// cross-file fact sets (a new Status-returning function elsewhere can
+/// create findings in an unchanged file).
+uint64_t Fingerprint(const LintOptions& options, const LintContext& ctx) {
+  uint64_t h = 1469598103934665603ull;  // FNV offset basis.
+  HashMix(&h, kRulesVersionSalt);
+  for (const std::string& rule : options.enabled_rules) HashMix(&h, rule);
+  for (const auto& kv : options.allow) {
+    HashMix(&h, kv.first);
+    for (const std::string& fragment : kv.second) HashMix(&h, fragment);
+  }
+  for (const std::string& name : ctx.status_functions) HashMix(&h, name);
+  for (const std::string& name : ctx.deadline_functions) HashMix(&h, name);
+  return h;
+}
+
+std::string StripNewlines(std::string s) {
+  for (char& c : s) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return s;
+}
+
+void WriteCache(const std::string& path, uint64_t fingerprint,
+                const std::map<std::string, CacheEntry>& entries,
+                std::vector<std::string>* errors) {
+  if (path.empty()) return;
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out.is_open()) {
+      errors->push_back("cannot write cache: " + tmp);
+      return;
+    }
+    char hex[32];
+    out << kCacheMagic << '\n';
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(fingerprint));
+    out << "fingerprint " << hex << '\n';
+    for (const auto& kv : entries) {
+      std::snprintf(hex, sizeof(hex), "%016llx",
+                    static_cast<unsigned long long>(kv.second.hash));
+      out << "file " << hex << ' ' << kv.first << '\n';
+      for (const std::string& name : kv.second.status_facts) {
+        out << "s " << name << '\n';
+      }
+      for (const std::string& name : kv.second.deadline_facts) {
+        out << "d " << name << '\n';
+      }
+      for (const Diagnostic& d : kv.second.diags) {
+        out << "g " << d.line << ' ' << d.rule << ' '
+            << StripNewlines(d.message) << '\n';
+      }
+    }
+    out.flush();
+    if (!out.good()) {
+      errors->push_back("cannot write cache: " + tmp);
+      return;
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) errors->push_back("cannot publish cache: " + path);
+}
+
+/// Per-file state threaded through the two waves. Each worker touches
+/// only its own slot, so the vectors need no locking; the WaitGroup's
+/// release/acquire pair publishes the writes to the coordinating thread.
+struct FileWork {
+  std::string path;
+  std::string source;
+  uint64_t hash = 0;
+  bool read_ok = false;
+  bool hash_hit = false;  ///< Content matches the cache entry.
+  bool lexed = false;
+  LexedFile lex;
+  std::set<std::string> status_facts;
+  std::set<std::string> deadline_facts;
+  bool analyzed = false;
+  std::vector<Diagnostic> diags;
+  bool fixed = false;
+};
+
+/// Runs `fn(i)` for every index on the pool; falls back to running
+/// inline when admission is refused so a small queue can never deadlock
+/// or drop work.
+void ParallelFor(cyqr::ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn) {
+  WaitGroup wg;
+  wg.Add(static_cast<int>(n));
+  for (size_t i = 0; i < n; ++i) {
+    const bool admitted = pool->Submit([&fn, &wg, i] {
+      fn(i);
+      wg.Done();
+    });
+    if (!admitted) {
+      fn(i);
+      wg.Done();
+    }
+  }
+  wg.Wait();
+}
+
+}  // namespace
+
+std::vector<std::string> ExpandPaths(const std::vector<std::string>& paths,
+                                     const std::vector<std::string>& exclude,
+                                     std::vector<std::string>* errors) {
+  std::vector<std::string> files;
+  for (const std::string& p : paths) {
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (fs::recursive_directory_iterator it(p, ec), end;
+           !ec && it != end; it.increment(ec)) {
+        if (it->is_regular_file(ec) && HasLintableExtension(it->path())) {
+          files.push_back(it->path().lexically_normal().string());
+        }
+      }
+      if (ec) errors->push_back("cannot walk directory: " + p);
+    } else if (fs::is_regular_file(p, ec)) {
+      files.push_back(fs::path(p).lexically_normal().string());
+    } else {
+      errors->push_back("no such file or directory: " + p);
+    }
+  }
+  files.erase(std::remove_if(files.begin(), files.end(),
+                             [&exclude](const std::string& f) {
+                               return IsExcluded(f, exclude);
+                             }),
+              files.end());
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+bool ReadFileToString(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) return false;
+  *out = buf.str();
+  return true;
+}
+
+uint64_t HashContent(const std::string& data) {
+  uint64_t h = 1469598103934665603ull;
+  for (char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string ApplyFixes(const std::string& source,
+                       std::vector<FixEdit> edits) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : source) {
+    if (c == '\n') {
+      lines.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  const bool trailing_newline = current.empty() && !source.empty();
+  if (!current.empty()) lines.push_back(std::move(current));
+
+  // Descending line order; deletes before inserts on the same line so a
+  // delete+insert pair at one spot nets a replacement.
+  std::stable_sort(edits.begin(), edits.end(),
+                   [](const FixEdit& a, const FixEdit& b) {
+                     if (a.line != b.line) return a.line > b.line;
+                     return a.kind == FixEdit::Kind::kDeleteLine &&
+                            b.kind != FixEdit::Kind::kDeleteLine;
+                   });
+  for (const FixEdit& edit : edits) {
+    const size_t idx = static_cast<size_t>(edit.line - 1);
+    if (idx >= lines.size() && edit.kind != FixEdit::Kind::kInsertLineBefore) {
+      continue;  // Span drifted (should not happen): skip, do not corrupt.
+    }
+    switch (edit.kind) {
+      case FixEdit::Kind::kAppendToLine:
+        lines[idx] += edit.text;
+        break;
+      case FixEdit::Kind::kDeleteLine:
+        lines.erase(lines.begin() + static_cast<long>(idx));
+        break;
+      case FixEdit::Kind::kInsertLineBefore: {
+        std::string text = edit.text;
+        if (!text.empty() && text[0] != ' ' && text[0] != '\t' &&
+            idx < lines.size()) {
+          const std::string& target = lines[idx];
+          const size_t indent = target.find_first_not_of(" \t");
+          if (indent != std::string::npos && indent > 0) {
+            text = target.substr(0, indent) + text;
+          }
+        }
+        if (idx >= lines.size()) {
+          lines.push_back(std::move(text));
+        } else {
+          lines.insert(lines.begin() + static_cast<long>(idx),
+                       std::move(text));
+        }
+        break;
+      }
+    }
+  }
+  std::string out;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    out += lines[i];
+    if (i + 1 < lines.size() || trailing_newline) out += '\n';
+  }
+  return out;
+}
+
+std::string FormatStats(const DriverStats& stats) {
+  std::ostringstream out;
+  out << "cyqr_lint stats: files=" << stats.files_total
+      << " analyzed=" << stats.files_analyzed
+      << " from_cache=" << stats.files_from_cache
+      << " fixed=" << stats.files_fixed << " jobs=" << stats.jobs
+      << " cache=" << (stats.cache_valid ? "warm" : "cold") << '\n';
+  return out.str();
+}
+
+DriverResult RunDriver(const std::vector<std::string>& paths,
+                       const DriverOptions& options) {
+  DriverResult result;
+  const std::vector<std::string> files =
+      ExpandPaths(paths, options.exclude, &result.lint.errors);
+  result.stats.files_total = static_cast<int>(files.size());
+
+  const bool fix_mode = options.fix || options.fix_dry_run;
+  Cache cache = LoadCache(options.cache_path);
+
+  int jobs = options.jobs;
+  if (jobs <= 0) {
+    jobs = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  if (jobs < 1) jobs = 1;
+  result.stats.jobs = jobs;
+
+  cyqr::ThreadPool::Options pool_options;
+  pool_options.num_threads = jobs;
+  pool_options.queue_capacity = std::max<size_t>(64, files.size() + 1);
+  cyqr::ThreadPool pool(pool_options);
+
+  std::vector<FileWork> work(files.size());
+  std::atomic<int> read_failures{0};
+
+  // Wave 1: read + hash every file; lex and collect facts for the ones
+  // the cache cannot vouch for. Facts for hash-hit files come straight
+  // from the cache, so a warm run never re-lexes an unchanged tree.
+  ParallelFor(&pool, work.size(), [&](size_t i) {
+    FileWork& w = work[i];
+    w.path = files[i];
+    if (!ReadFileToString(w.path, &w.source)) {
+      // ordering: pure tally, read only after the WaitGroup barrier.
+      read_failures.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    w.read_ok = true;
+    w.hash = HashContent(w.source);
+    auto it = cache.entries.find(w.path);
+    if (cache.loaded && it != cache.entries.end() &&
+        it->second.hash == w.hash) {
+      w.hash_hit = true;
+      w.status_facts.insert(it->second.status_facts.begin(),
+                            it->second.status_facts.end());
+      w.deadline_facts.insert(it->second.deadline_facts.begin(),
+                              it->second.deadline_facts.end());
+      return;
+    }
+    w.lex = LexFile(w.path, w.source);
+    w.lexed = true;
+    CollectStatusFunctions(w.lex, &w.status_facts);
+    CollectDeadlineFunctions(w.lex, &w.deadline_facts);
+  });
+
+  // Barrier: the cross-file fact sets must be complete before any rule
+  // runs, and the context fingerprint decides cached-diagnostic reuse.
+  LintContext ctx;
+  SeedContext(&ctx);
+  for (const FileWork& w : work) {
+    ctx.status_functions.insert(w.status_facts.begin(),
+                                w.status_facts.end());
+    ctx.deadline_functions.insert(w.deadline_facts.begin(),
+                                  w.deadline_facts.end());
+  }
+  const uint64_t fingerprint = Fingerprint(options.lint, ctx);
+  const bool cache_valid =
+      cache.loaded && cache.fingerprint == fingerprint;
+  result.stats.cache_valid = cache_valid;
+
+  // Wave 2: analyze. Cached diagnostics are reused only when the file's
+  // content AND the whole-context fingerprint match — and never in fix
+  // mode, because cached findings carry no fix spans.
+  const std::vector<std::unique_ptr<Rule>> rules = BuildAllRules();
+  std::atomic<int> analyzed{0};
+  std::atomic<int> from_cache{0};
+  ParallelFor(&pool, work.size(), [&](size_t i) {
+    FileWork& w = work[i];
+    if (!w.read_ok) return;
+    if (cache_valid && w.hash_hit && !fix_mode) {
+      w.diags = cache.entries.find(w.path)->second.diags;
+      // ordering: pure tally, read only after Drain().
+      from_cache.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (!w.lexed) {
+      w.lex = LexFile(w.path, w.source);
+      w.lexed = true;
+    }
+    const ParsedFile parsed = ParseFile(std::move(w.lex));
+    w.lexed = false;  // Moved from.
+    AnalyzeFile(parsed, ctx, options.lint, rules, &w.diags);
+    w.analyzed = true;
+    // ordering: pure tally, read only after Drain().
+    analyzed.fetch_add(1, std::memory_order_relaxed);
+  });
+  pool.Drain();
+  result.stats.files_analyzed = analyzed.load();
+  result.stats.files_from_cache = from_cache.load();
+
+  // Fix phase (serial: touches the filesystem). Synthesized NOLINT
+  // suppressions are attached first so they ride the same edit engine.
+  if (fix_mode) {
+    std::ostringstream diff;
+    for (FileWork& w : work) {
+      if (!w.read_ok) continue;
+      std::vector<FixEdit> edits;
+      for (Diagnostic& d : w.diags) {
+        if (d.fixes.empty()) {
+          const bool synth =
+              std::find(options.fix_nolint_rules.begin(),
+                        options.fix_nolint_rules.end(),
+                        d.rule) != options.fix_nolint_rules.end();
+          if (synth) {
+            FixEdit nolint;
+            nolint.kind = FixEdit::Kind::kInsertLineBefore;
+            nolint.line = d.line;
+            nolint.text = "// NOLINTNEXTLINE(cyqr-" + d.rule +
+                          "): TODO: justify this exemption.";
+            d.fixes.push_back(std::move(nolint));
+          }
+        }
+        for (const FixEdit& e : d.fixes) {
+          edits.push_back(e);
+          diff << w.path << ':' << e.line << ": "
+               << (e.kind == FixEdit::Kind::kDeleteLine ? "- (delete line)"
+                   : e.kind == FixEdit::Kind::kAppendToLine
+                       ? "+ (append) " + e.text
+                       : "+ " + e.text)
+               << '\n';
+        }
+      }
+      if (edits.empty()) continue;
+      const std::string fixed = ApplyFixes(w.source, std::move(edits));
+      if (fixed == w.source) continue;
+      w.fixed = true;
+      ++result.stats.files_fixed;
+      if (options.fix && !options.fix_dry_run) {
+        std::ofstream out(w.path, std::ios::trunc | std::ios::binary);
+        out << fixed;
+        out.flush();
+        if (!out.good()) {
+          result.lint.errors.push_back("cannot rewrite: " + w.path);
+        }
+      }
+    }
+    result.fix_diff = diff.str();
+  }
+
+  // Assemble the result and the next cache generation. Files just
+  // rewritten by --fix are dropped from the cache: their on-disk content
+  // no longer matches the hash the diagnostics were computed from.
+  std::map<std::string, CacheEntry> next_entries;
+  int scanned = 0;
+  for (FileWork& w : work) {
+    if (!w.read_ok) {
+      result.lint.errors.push_back("cannot read: " + w.path);
+      continue;
+    }
+    ++scanned;
+    for (const Diagnostic& d : w.diags) {
+      result.lint.diagnostics.push_back(d);
+    }
+    if (options.cache_path.empty() || w.fixed) continue;
+    CacheEntry entry;
+    entry.hash = w.hash;
+    entry.status_facts.assign(w.status_facts.begin(),
+                              w.status_facts.end());
+    entry.deadline_facts.assign(w.deadline_facts.begin(),
+                                w.deadline_facts.end());
+    entry.diags = w.diags;
+    next_entries[w.path] = std::move(entry);
+  }
+  result.lint.files_scanned = scanned;
+  std::sort(result.lint.diagnostics.begin(), result.lint.diagnostics.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  if (!options.cache_path.empty()) {
+    WriteCache(options.cache_path, fingerprint, next_entries,
+               &result.lint.errors);
+  }
+  return result;
+}
+
+}  // namespace cyqr_lint

@@ -1,0 +1,76 @@
+#ifndef CYQR_LINT_DRIVER_H_
+#define CYQR_LINT_DRIVER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace cyqr_lint {
+
+/// The production front end around the per-file analysis: parallel
+/// lex/analyze waves on the project's own cyqr::ThreadPool (the linter
+/// dogfoods the serving substrate it lints), a content-hash incremental
+/// cache so repeated tree-gate runs only re-analyze changed files, and a
+/// span-based --fix engine for the mechanical rules.
+struct DriverOptions {
+  LintOptions lint;
+  /// Worker threads; <= 0 means hardware_concurrency (min 1).
+  int jobs = 0;
+  /// Path of the incremental cache file; empty disables caching.
+  std::string cache_path;
+  /// Path substrings excluded from the scan entirely (fixtures etc.).
+  std::vector<std::string> exclude;
+  /// Apply mechanical fixes attached to diagnostics, rewriting files.
+  bool fix = false;
+  /// Compute fixes and render them as a diff instead of writing files.
+  bool fix_dry_run = false;
+  /// Rules for which --fix synthesizes a NOLINTNEXTLINE(cyqr-<rule>)
+  /// suppression (with a TODO justification) at each finding.
+  std::vector<std::string> fix_nolint_rules;
+};
+
+struct DriverStats {
+  int files_total = 0;      ///< Files discovered after excludes.
+  int files_analyzed = 0;   ///< Lexed + rules run this invocation.
+  int files_from_cache = 0; ///< Diagnostics reused from the cache.
+  int files_fixed = 0;      ///< Files rewritten (or diffed) by --fix.
+  int jobs = 1;             ///< Worker threads actually used.
+  bool cache_valid = false; ///< Cache fingerprint matched this run.
+};
+
+struct DriverResult {
+  LintResult lint;
+  DriverStats stats;
+  /// Under --fix-dry-run: one "path:line: -/+ text" entry per edit.
+  std::string fix_diff;
+};
+
+DriverResult RunDriver(const std::vector<std::string>& paths,
+                       const DriverOptions& options);
+
+/// Files or directories -> sorted unique list of lintable source files
+/// (.h/.hpp/.cc/.cpp), dropping any whose path contains an `exclude`
+/// fragment.
+std::vector<std::string> ExpandPaths(const std::vector<std::string>& paths,
+                                     const std::vector<std::string>& exclude,
+                                     std::vector<std::string>* errors);
+
+bool ReadFileToString(const std::string& path, std::string* out);
+
+/// FNV-1a 64-bit — the cache's content hash.
+uint64_t HashContent(const std::string& data);
+
+/// Applies line-span edits to `source`. Edits are applied in descending
+/// line order so an edit can never shift the span of one still pending;
+/// kInsertLineBefore lines inherit the indentation of the line they are
+/// inserted before when `text` itself starts at column zero.
+std::string ApplyFixes(const std::string& source,
+                       std::vector<FixEdit> edits);
+
+std::string FormatStats(const DriverStats& stats);
+
+}  // namespace cyqr_lint
+
+#endif  // CYQR_LINT_DRIVER_H_

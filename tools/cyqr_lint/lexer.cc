@@ -67,6 +67,14 @@ void HarvestNolint(const std::string& comment, int line,
   }
 }
 
+/// Records every line of a comment spanning [first_line, last_line] as
+/// carrying an "ordering:" justification when the comment contains one.
+void HarvestOrdering(const std::string& comment, int first_line,
+                     int last_line, std::set<int>* ordering_lines) {
+  if (comment.find("ordering:") == std::string::npos) return;
+  for (int l = first_line; l <= last_line; ++l) ordering_lines->insert(l);
+}
+
 }  // namespace
 
 LexedFile LexFile(std::string path, const std::string& source) {
@@ -95,13 +103,32 @@ LexedFile LexFile(std::string path, const std::string& source) {
       continue;
     }
 
-    // Line comment.
+    // Line comment. A backslash immediately before the newline splices the
+    // next physical line into the comment (the classic `// comment \`
+    // hazard: without this the spliced line would lex as code).
     if (c == '/' && i + 1 < n && source[i + 1] == '/') {
-      const size_t eol = source.find('\n', i);
-      const std::string text =
-          source.substr(i, (eol == std::string::npos ? n : eol) - i);
-      HarvestNolint(text, line, &out.nolint);
-      i = eol == std::string::npos ? n : eol;
+      const int first_line = line;
+      size_t end = i;
+      while (end < n) {
+        const size_t eol = source.find('\n', end);
+        if (eol == std::string::npos) {
+          end = n;
+          break;
+        }
+        size_t last = eol;
+        while (last > end && (source[last - 1] == '\r')) --last;
+        if (last > end && source[last - 1] == '\\') {
+          ++line;  // Comment continues onto the next physical line.
+          end = eol + 1;
+          continue;
+        }
+        end = eol;
+        break;
+      }
+      const std::string text = source.substr(i, end - i);
+      HarvestNolint(text, first_line, &out.nolint);
+      HarvestOrdering(text, first_line, line, &out.ordering_comment_lines);
+      i = end;
       continue;
     }
     // Block comment. NOLINT markers apply to the comment's first line.
@@ -110,9 +137,11 @@ LexedFile LexFile(std::string path, const std::string& source) {
       const size_t end = close == std::string::npos ? n : close + 2;
       const std::string text = source.substr(i, end - i);
       HarvestNolint(text, line, &out.nolint);
+      const int first_line = line;
       for (size_t j = i; j < end; ++j) {
         if (source[j] == '\n') ++line;
       }
+      HarvestOrdering(text, first_line, line, &out.ordering_comment_lines);
       i = end;
       continue;
     }
@@ -156,13 +185,36 @@ LexedFile LexFile(std::string path, const std::string& source) {
     if (IsIdentStart(c)) {
       const int tok_line = line;
       std::string ident;
-      while (i < n && IsIdentChar(source[i])) ident += source[i++];
-      // Raw string literal: prefix ends in R immediately before a quote.
-      if (i < n && source[i] == '"' && !ident.empty() &&
-          ident.back() == 'R') {
+      while (i < n) {
+        if (IsIdentChar(source[i])) {
+          ident += source[i++];
+          continue;
+        }
+        // Phase-2 line splice inside an identifier: `foo\<newline>bar`
+        // is one token. Without this the spliced halves would lex as two
+        // identifiers and rule spans would misfire mid-token.
+        if (source[i] == '\\' && i + 1 < n &&
+            (source[i + 1] == '\n' ||
+             (source[i + 1] == '\r' && i + 2 < n && source[i + 2] == '\n'))) {
+          i += source[i + 1] == '\n' ? 2 : 3;
+          ++line;
+          continue;
+        }
+        break;
+      }
+      // Raw string literal: the prefix must be exactly one of the five
+      // raw-string spellings. An identifier that merely *ends* in R
+      // (`FooR"x"`) is an ordinary identifier adjacent to a string.
+      const bool raw_prefix = ident == "R" || ident == "uR" ||
+                              ident == "u8R" || ident == "UR" ||
+                              ident == "LR";
+      if (i < n && source[i] == '"' && raw_prefix) {
         size_t j = i + 1;
         std::string delim;
-        while (j < n && source[j] != '(') delim += source[j++];
+        while (j < n && source[j] != '(' && source[j] != '"' &&
+               source[j] != '\n' && delim.size() < 16) {
+          delim += source[j++];
+        }
         const std::string terminator = ")" + delim + "\"";
         const size_t close = source.find(terminator, j);
         const size_t end =
@@ -215,9 +267,29 @@ LexedFile LexFile(std::string path, const std::string& source) {
       std::string num;
       while (i < n) {
         const char d = source[i];
-        if (IsIdentChar(d) || d == '.' || d == '\'') {
+        // A digit separator is only part of the number when sandwiched
+        // between digit characters (1'000). A bare quote after a number
+        // (`{1,'a'}` minus the comma) starts a char literal instead.
+        if (d == '\'') {
+          if (i + 1 < n &&
+              std::isalnum(static_cast<unsigned char>(source[i + 1]))) {
+            num += d;
+            ++i;
+            continue;
+          }
+          break;
+        }
+        if (IsIdentChar(d) || d == '.') {
           num += d;
           ++i;
+          continue;
+        }
+        // Phase-2 line splice inside a number (`1'0\<newline>00`).
+        if (d == '\\' && i + 1 < n &&
+            (source[i + 1] == '\n' ||
+             (source[i + 1] == '\r' && i + 2 < n && source[i + 2] == '\n'))) {
+          i += source[i + 1] == '\n' ? 2 : 3;
+          ++line;
           continue;
         }
         if ((d == '+' || d == '-') && !num.empty() &&

@@ -42,6 +42,11 @@ struct LexedFile {
   /// line -> rules suppressed on that line via NOLINT / NOLINTNEXTLINE
   /// comments. The special entry "*" suppresses every rule.
   std::unordered_map<int, std::set<std::string>> nolint;
+  /// Lines whose comment text contains an "ordering:" justification (the
+  /// atomic-ordering-audit rule accepts a justification on the same line
+  /// as the memory_order argument or on nearby preceding lines). For a
+  /// multi-line block comment every spanned line is recorded.
+  std::set<int> ordering_comment_lines;
   int num_lines = 0;
 };
 

@@ -1,55 +1,14 @@
 #include "lint.h"
 
 #include <algorithm>
-#include <filesystem>
-#include <fstream>
+#include <cstdio>
 #include <sstream>
+
+#include "driver.h"
 
 namespace cyqr_lint {
 
 namespace {
-
-namespace fs = std::filesystem;
-
-bool HasLintableExtension(const fs::path& p) {
-  const std::string ext = p.extension().string();
-  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp";
-}
-
-/// Files or directories -> sorted unique list of source files.
-std::vector<std::string> ExpandPaths(const std::vector<std::string>& paths,
-                                     std::vector<std::string>* errors) {
-  std::vector<std::string> files;
-  for (const std::string& p : paths) {
-    std::error_code ec;
-    if (fs::is_directory(p, ec)) {
-      for (fs::recursive_directory_iterator it(p, ec), end;
-           !ec && it != end; it.increment(ec)) {
-        if (it->is_regular_file(ec) && HasLintableExtension(it->path())) {
-          files.push_back(it->path().lexically_normal().string());
-        }
-      }
-      if (ec) errors->push_back("cannot walk directory: " + p);
-    } else if (fs::is_regular_file(p, ec)) {
-      files.push_back(fs::path(p).lexically_normal().string());
-    } else {
-      errors->push_back("no such file or directory: " + p);
-    }
-  }
-  std::sort(files.begin(), files.end());
-  files.erase(std::unique(files.begin(), files.end()), files.end());
-  return files;
-}
-
-bool ReadFile(const std::string& path, std::string* out) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.is_open()) return false;
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  if (in.bad()) return false;
-  *out = buf.str();
-  return true;
-}
 
 bool IsAllowlisted(const LintOptions& options, const std::string& rule,
                    const std::string& file) {
@@ -93,62 +52,40 @@ std::string JsonEscape(const std::string& s) {
 
 }  // namespace
 
-LintResult RunLint(const std::vector<std::string>& paths,
-                   const LintOptions& options) {
-  LintResult result;
-  const std::vector<std::string> files =
-      ExpandPaths(paths, &result.errors);
-
-  // Pass 1: lex everything and collect cross-file facts.
-  std::vector<LexedFile> lexed;
-  lexed.reserve(files.size());
-  LintContext ctx;
+void SeedContext(LintContext* ctx) {
   // Core factory/propagation names: calls like Status::OK() or
   // v.status() must be flagged even when core/status.h is not scanned.
-  ctx.status_functions = {"OK",
-                          "InvalidArgument",
-                          "NotFound",
-                          "OutOfRange",
-                          "FailedPrecondition",
-                          "Internal",
-                          "IoError",
-                          "Unimplemented",
-                          "status"};
-  for (const std::string& path : files) {
-    std::string source;
-    if (!ReadFile(path, &source)) {
-      result.errors.push_back("cannot read: " + path);
+  ctx->status_functions.insert({"OK", "InvalidArgument", "NotFound",
+                                "OutOfRange", "FailedPrecondition",
+                                "Internal", "IoError", "Unimplemented",
+                                "status"});
+}
+
+void AnalyzeFile(const ParsedFile& file, const LintContext& ctx,
+                 const LintOptions& options,
+                 const std::vector<std::unique_ptr<Rule>>& rules,
+                 std::vector<Diagnostic>* out) {
+  for (const auto& rule : rules) {
+    if (!options.enabled_rules.empty() &&
+        options.enabled_rules.count(rule->name()) == 0) {
       continue;
     }
-    lexed.push_back(LexFile(path, source));
-    CollectStatusFunctions(lexed.back(), &ctx.status_functions);
-  }
-  result.files_scanned = static_cast<int>(lexed.size());
-
-  // Pass 2: run rules, then drop suppressed / allowlisted findings.
-  const std::vector<std::unique_ptr<Rule>> rules = BuildAllRules();
-  for (const LexedFile& file : lexed) {
-    for (const auto& rule : rules) {
-      if (!options.enabled_rules.empty() &&
-          options.enabled_rules.count(rule->name()) == 0) {
-        continue;
-      }
-      std::vector<Diagnostic> found;
-      rule->Check(file, ctx, &found);
-      for (Diagnostic& d : found) {
-        if (IsSuppressed(file, d.line, d.rule)) continue;
-        if (IsAllowlisted(options, d.rule, d.file)) continue;
-        result.diagnostics.push_back(std::move(d));
-      }
+    std::vector<Diagnostic> found;
+    rule->Check(file, ctx, &found);
+    for (Diagnostic& d : found) {
+      if (IsSuppressed(file.lex, d.line, d.rule)) continue;
+      if (IsAllowlisted(options, d.rule, d.file)) continue;
+      out->push_back(std::move(d));
     }
   }
-  std::sort(result.diagnostics.begin(), result.diagnostics.end(),
-            [](const Diagnostic& a, const Diagnostic& b) {
-              if (a.file != b.file) return a.file < b.file;
-              if (a.line != b.line) return a.line < b.line;
-              return a.rule < b.rule;
-            });
-  return result;
+}
+
+LintResult RunLint(const std::vector<std::string>& paths,
+                   const LintOptions& options) {
+  DriverOptions driver_options;
+  driver_options.lint = options;
+  driver_options.jobs = 1;
+  return RunDriver(paths, driver_options).lint;
 }
 
 std::string FormatText(const LintResult& result) {

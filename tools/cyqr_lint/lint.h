@@ -8,8 +8,23 @@
 #include <vector>
 
 #include "lexer.h"
+#include "parse.h"
 
 namespace cyqr_lint {
+
+/// A mechanical, line-span-based repair attached to a diagnostic. Fixes
+/// are applied by the driver under --fix; they must be idempotent (a
+/// second --fix pass over fixed output produces no further edits).
+struct FixEdit {
+  enum class Kind {
+    kAppendToLine,     ///< Append `text` at the end of `line`.
+    kDeleteLine,       ///< Remove `line` entirely.
+    kInsertLineBefore  ///< Insert `text` as a new line before `line`.
+  };
+  Kind kind = Kind::kAppendToLine;
+  int line = 0;
+  std::string text;
+};
 
 /// One finding. Formats as "file:line: [rule] message".
 struct Diagnostic {
@@ -17,6 +32,8 @@ struct Diagnostic {
   int line = 0;
   std::string rule;
   std::string message;
+  /// Optional mechanical repair (applied under --fix).
+  std::vector<FixEdit> fixes;
 };
 
 /// Cross-file facts shared by every rule. Populated by a pre-pass over
@@ -27,27 +44,39 @@ struct LintContext {
   /// names so a call like Status::OK() is flagged even when status.h is
   /// outside the scan set.
   std::set<std::string> status_functions;
+  /// Unqualified names of functions/methods that accept a Deadline (or
+  /// DeadlineBudget) parameter anywhere in the scanned tree — the callee
+  /// set for the deadline-propagation rule.
+  std::set<std::string> deadline_functions;
 };
 
-/// A named invariant check. Rules are pure: they read the lexed file and
+/// A named invariant check. Rules are pure: they read the parsed file and
 /// the shared context and emit diagnostics; suppression and allowlists
 /// are applied by the driver.
 class Rule {
  public:
   virtual ~Rule() = default;
   virtual const char* name() const = 0;
-  virtual void Check(const LexedFile& file, const LintContext& ctx,
+  virtual void Check(const ParsedFile& file, const LintContext& ctx,
                      std::vector<Diagnostic>* out) const = 0;
 };
 
 /// All built-in rules: discarded-status, unchecked-stream,
-/// banned-functions, raw-owning-new, include-hygiene, metrics-naming.
+/// banned-functions, banned-unseeded-rng, raw-owning-new, include-hygiene,
+/// metrics-naming, lock-scope, deadline-propagation,
+/// lock-held-blocking-call, atomic-ordering-audit, result-unwrap-check.
 std::vector<std::unique_ptr<Rule>> BuildAllRules();
 
 /// Scans one lexed file for Status/Result-returning declarations
 /// (the pre-pass behind LintContext::status_functions).
 void CollectStatusFunctions(const LexedFile& file,
                             std::set<std::string>* names);
+
+/// Scans one lexed file for functions declared with a Deadline parameter
+/// (the pre-pass behind LintContext::deadline_functions). Works on raw
+/// tokens so pure declarations (`virtual ... = 0;`) are collected too.
+void CollectDeadlineFunctions(const LexedFile& file,
+                              std::set<std::string>* names);
 
 struct LintOptions {
   /// When non-empty, only rules named here run.
@@ -62,9 +91,18 @@ struct LintResult {
   std::vector<std::string> errors;  // Unreadable paths etc.
 };
 
+/// Runs every enabled rule over one parsed file, dropping
+/// NOLINT-suppressed and allowlisted findings. The per-file unit of work
+/// shared by RunLint and the parallel driver.
+void AnalyzeFile(const ParsedFile& file, const LintContext& ctx,
+                 const LintOptions& options,
+                 const std::vector<std::unique_ptr<Rule>>& rules,
+                 std::vector<Diagnostic>* out);
+
 /// Lints every C++ source file under `paths` (files or directories,
 /// recursively; .h/.hpp/.cc/.cpp). Two passes: collect cross-file facts,
 /// then run rules, dropping NOLINT-suppressed and allowlisted findings.
+/// Serial convenience wrapper over the driver in driver.h.
 LintResult RunLint(const std::vector<std::string>& paths,
                    const LintOptions& options);
 
@@ -72,6 +110,10 @@ LintResult RunLint(const std::vector<std::string>& paths,
 /// array of {file, line, rule, message} objects.
 std::string FormatText(const LintResult& result);
 std::string FormatJson(const LintResult& result);
+
+/// Seeds LintContext with the core factory/propagation names that must be
+/// recognized even when core/status.h is outside the scan set.
+void SeedContext(LintContext* ctx);
 
 }  // namespace cyqr_lint
 

@@ -1,10 +1,12 @@
 // cyqr_lint — project-native static analyzer for the cycleqr tree.
 //
 //   cyqr_lint [--json] [--rule=NAME ...] [--allow=RULE:PATH_FRAGMENT ...]
+//             [--exclude=PATH_FRAGMENT ...] [--jobs=N] [--cache=FILE]
+//             [--stats] [--fix] [--fix-dry-run] [--fix-nolint=RULE ...]
 //             [--list-rules] PATH [PATH ...]
 //
 // Walks the given files/directories (.h .hpp .cc .cpp) and enforces the
-// project invariants as named rules:
+// project invariants as named rules. The flat token rules:
 //
 //   discarded-status   a Status/Result-returning call whose value is
 //                      ignored at statement level
@@ -20,18 +22,44 @@
 //   raw-owning-new     raw new/delete outside an allowlist
 //   include-hygiene    headers without guards; .cc files whose own
 //                      header is not the first include
+//   metrics-naming     metric names outside the <subsystem>_<noun>_
+//                      <unit> convention
+//   lock-scope         mutex locked without a scoped guard
+//
+// The flow-aware rules (built on the parse layer's recovered functions,
+// calls, and lock regions):
+//
+//   deadline-propagation     a function holding a Deadline parameter
+//                            calls a Deadline-accepting callee without
+//                            forwarding it
+//   lock-held-blocking-call  sleep/IO/queue handoff/backend call inside
+//                            a lock_guard or unique_lock scope
+//   atomic-ordering-audit    explicit std::memory_order_* without a
+//                            '// ordering:' justification comment
+//   result-unwrap-check      Result<T>::value() with no dominating ok()
+//                            check in the same function
 //
 // Suppression: `// NOLINT(cyqr-<rule>)` on the offending line, or
 // `// NOLINTNEXTLINE(cyqr-<rule>)` on the line above; a justification
 // after the closing paren is expected by review convention. Allowlists
 // exempt whole paths: `--allow=raw-owning-new:bench/`.
 //
+// Driver: analysis runs in parallel on the project's own
+// cyqr::ThreadPool (--jobs). With --cache=FILE, per-file facts and
+// diagnostics are keyed by content hash plus a whole-context
+// fingerprint, so an unchanged file costs one hash on re-run (--stats
+// prints the hit counts). --fix applies the mechanical span fixes
+// (include reordering; NOLINT insertion for rules named via
+// --fix-nolint=RULE); --fix-dry-run prints the edits instead.
+//
 // Exit codes: 0 clean, 1 violations found, 2 usage or I/O error.
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "driver.h"
 #include "lint.h"
 
 namespace cyqr_lint {
@@ -40,27 +68,44 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: cyqr_lint [--json] [--rule=NAME ...] "
-               "[--allow=RULE:PATH_FRAGMENT ...] [--list-rules] "
-               "PATH [PATH ...]\n");
+               "[--allow=RULE:PATH_FRAGMENT ...] "
+               "[--exclude=PATH_FRAGMENT ...] [--jobs=N] [--cache=FILE] "
+               "[--stats] [--fix] [--fix-dry-run] [--fix-nolint=RULE ...] "
+               "[--list-rules] PATH [PATH ...]\n");
   return 2;
 }
 
 int Main(int argc, char** argv) {
-  LintOptions options;
+  DriverOptions options;
   std::vector<std::string> paths;
   bool json = false;
+  bool stats = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json") {
       json = true;
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (arg == "--fix") {
+      options.fix = true;
+    } else if (arg == "--fix-dry-run") {
+      options.fix_dry_run = true;
+    } else if (arg.rfind("--fix-nolint=", 0) == 0) {
+      options.fix_nolint_rules.push_back(arg.substr(13));
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      options.jobs = static_cast<int>(std::strtol(arg.c_str() + 7, nullptr, 10));
+    } else if (arg.rfind("--cache=", 0) == 0) {
+      options.cache_path = arg.substr(8);
+    } else if (arg.rfind("--exclude=", 0) == 0) {
+      options.exclude.push_back(arg.substr(10));
     } else if (arg == "--list-rules") {
       for (const auto& rule : BuildAllRules()) {
         std::printf("%s\n", rule->name());
       }
       return 0;
     } else if (arg.rfind("--rule=", 0) == 0) {
-      options.enabled_rules.insert(arg.substr(7));
+      options.lint.enabled_rules.insert(arg.substr(7));
     } else if (arg.rfind("--allow=", 0) == 0) {
       const std::string spec = arg.substr(8);
       const size_t colon = spec.find(':');
@@ -69,7 +114,7 @@ int Main(int argc, char** argv) {
         std::fprintf(stderr, "bad --allow spec: %s\n", spec.c_str());
         return Usage();
       }
-      options.allow[spec.substr(0, colon)].push_back(
+      options.lint.allow[spec.substr(0, colon)].push_back(
           spec.substr(colon + 1));
     } else if (arg == "--help" || arg == "-h") {
       return Usage();
@@ -82,19 +127,24 @@ int Main(int argc, char** argv) {
   }
   if (paths.empty()) return Usage();
 
-  const LintResult result = RunLint(paths, options);
-  for (const std::string& error : result.errors) {
+  const DriverResult result = RunDriver(paths, options);
+  for (const std::string& error : result.lint.errors) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
   }
-  if (json) {
-    std::fputs(FormatJson(result).c_str(), stdout);
-  } else {
-    std::fputs(FormatText(result).c_str(), stdout);
-    std::fprintf(stderr, "cyqr_lint: %d file(s), %zu violation(s)\n",
-                 result.files_scanned, result.diagnostics.size());
+  if (options.fix_dry_run && !result.fix_diff.empty()) {
+    std::fputs(result.fix_diff.c_str(), stdout);
   }
-  if (!result.errors.empty()) return 2;
-  return result.diagnostics.empty() ? 0 : 1;
+  if (json) {
+    std::fputs(FormatJson(result.lint).c_str(), stdout);
+  } else {
+    std::fputs(FormatText(result.lint).c_str(), stdout);
+    std::fprintf(stderr, "cyqr_lint: %d file(s), %zu violation(s)\n",
+                 result.lint.files_scanned,
+                 result.lint.diagnostics.size());
+  }
+  if (stats) std::fputs(FormatStats(result.stats).c_str(), stderr);
+  if (!result.lint.errors.empty()) return 2;
+  return result.lint.diagnostics.empty() ? 0 : 1;
 }
 
 }  // namespace

@@ -1,0 +1,322 @@
+#include "parse.h"
+
+#include <set>
+
+#include "rules.h"
+
+namespace cyqr_lint {
+
+namespace {
+
+bool IsGuardType(const std::string& ident) {
+  return ident == "lock_guard" || ident == "unique_lock" ||
+         ident == "scoped_lock" || ident == "shared_lock";
+}
+
+/// Skips a balanced group starting at `i` (which must be on the opening
+/// token); returns the index just past the matching close, or toks.size().
+size_t SkipGroup(const std::vector<Token>& toks, size_t i, const char* open,
+                 const char* close) {
+  const size_t match = MatchForward(toks, i, open, close);
+  return match >= toks.size() ? toks.size() : match + 1;
+}
+
+/// Parses one parameter range [begin, end) into type + name. The name is
+/// the last identifier that is immediately followed by the range end, a
+/// default-value '=', or an array '['; everything before it is the type.
+Param ParseParam(const std::vector<Token>& toks, size_t begin, size_t end) {
+  Param param;
+  // Cut off a default argument.
+  size_t effective_end = end;
+  int depth = 0;
+  for (size_t i = begin; i < end; ++i) {
+    if (toks[i].kind != TokKind::kPunct) continue;
+    const std::string& t = toks[i].text;
+    if (t == "(" || t == "{" || t == "[" || t == "<") ++depth;
+    if (t == ")" || t == "}" || t == "]" || t == ">") --depth;
+    if (t == "=" && depth == 0) {
+      effective_end = i;
+      break;
+    }
+  }
+  size_t name_index = effective_end;  // Sentinel: unnamed.
+  for (size_t i = effective_end; i > begin;) {
+    --i;
+    if (toks[i].kind == TokKind::kIdent) {
+      // `int x[3]`: the name is before the bracket group.
+      name_index = i;
+      break;
+    }
+    if (IsPunct(toks, i, "]")) continue;  // Walk through array suffixes.
+    if (toks[i].kind == TokKind::kPunct &&
+        (toks[i].text == "[" || toks[i].kind == TokKind::kNumber)) {
+      continue;
+    }
+    break;
+  }
+  for (size_t i = begin; i < effective_end; ++i) {
+    if (i == name_index) continue;
+    if (!param.type.empty()) param.type += ' ';
+    param.type += toks[i].text;
+  }
+  if (name_index < effective_end) param.name = toks[name_index].text;
+  // A single-token "parameter" (macro argument, type-only declaration
+  // like `int`) has no reliable name/type split: treat it as a name with
+  // no type so type-driven rules never fire on it.
+  if (param.type.empty() && name_index >= effective_end) param.name = "";
+  return param;
+}
+
+/// From the token after the parameter list's ')', walks over trailing
+/// qualifiers (const, noexcept, override, final, &, &&, trailing return
+/// types, member initializer lists) looking for the body '{'. Returns the
+/// index of the '{', or toks.size() when this is not a definition.
+size_t FindBodyBrace(const std::vector<Token>& toks, size_t i) {
+  const size_t n = toks.size();
+  while (i < n) {
+    if (IsPunct(toks, i, "{")) return i;
+    if (IsPunct(toks, i, ";")) return n;  // Declaration only.
+    if (toks[i].kind == TokKind::kIdent) {
+      const std::string& t = toks[i].text;
+      if (t == "const" || t == "override" || t == "final" ||
+          t == "noexcept" || t == "mutable" || t == "try") {
+        ++i;
+        // noexcept(...) condition.
+        if (IsPunct(toks, i, "(")) i = SkipGroup(toks, i, "(", ")");
+        continue;
+      }
+      return n;  // Some other identifier: not a definition shape.
+    }
+    if (IsPunct(toks, i, "&") || IsPunct(toks, i, "&&")) {
+      ++i;
+      continue;
+    }
+    if (IsPunct(toks, i, "->")) {
+      // Trailing return type: skip tokens (including template groups)
+      // until the body '{' or a ';'.
+      ++i;
+      while (i < n && !IsPunct(toks, i, "{") && !IsPunct(toks, i, ";")) {
+        if (IsPunct(toks, i, "(")) {
+          i = SkipGroup(toks, i, "(", ")");
+        } else {
+          ++i;
+        }
+      }
+      continue;
+    }
+    if (IsPunct(toks, i, ":")) {
+      // Member initializer list: ident/qualifier tokens, each initializer
+      // carrying one (...) or {...} group, comma-separated, then '{'.
+      ++i;
+      while (i < n) {
+        if (IsPunct(toks, i, "{")) {
+          // Either an init like `b_{x}` was just skipped and this is the
+          // body, or this is a brace initializer — disambiguated below by
+          // what preceded: SkipGroup advances past initializer braces, so
+          // a '{' seen at loop head after an ident is an initializer and
+          // otherwise the body.
+          return i;
+        }
+        if (IsPunct(toks, i, "(")) {
+          i = SkipGroup(toks, i, "(", ")");
+          continue;
+        }
+        if (toks[i].kind == TokKind::kIdent && i + 1 < n &&
+            IsPunct(toks, i + 1, "{")) {
+          i = SkipGroup(toks, i + 1, "{", "}");
+          continue;
+        }
+        if (IsPunct(toks, i, ",") || toks[i].kind == TokKind::kIdent ||
+            IsPunct(toks, i, "::") || IsPunct(toks, i, "<") ||
+            IsPunct(toks, i, ">")) {
+          ++i;
+          continue;
+        }
+        return n;  // Unrecognized initializer shape.
+      }
+      return n;
+    }
+    if (IsPunct(toks, i, "=")) return n;  // = default / = delete / = 0.
+    return n;
+  }
+  return n;
+}
+
+/// Whether the identifier at `i` can open a function definition: it must
+/// not be a control keyword, must not be a member access, and the prior
+/// token must look like the end of a declaration prefix (type name,
+/// '*'/'&', '::', '>', or a statement-ish boundary).
+bool CanBeDefinitionName(const std::vector<Token>& toks, size_t i) {
+  if (IsControlKeyword(toks[i].text)) return false;
+  if (i == 0) return true;
+  const Token& prev = toks[i - 1];
+  if (prev.kind == TokKind::kPunct &&
+      (prev.text == "." || prev.text == "->")) {
+    return false;  // Member call, never a definition.
+  }
+  return true;
+}
+
+}  // namespace
+
+bool FunctionDef::HasParamOfType(const std::string& fragment) const {
+  for (const Param& p : params) {
+    if (p.type.find(fragment) != std::string::npos) return true;
+  }
+  return false;
+}
+
+std::string FunctionDef::ParamNameOfType(const std::string& fragment) const {
+  for (const Param& p : params) {
+    if (p.type.find(fragment) != std::string::npos) return p.name;
+  }
+  return "";
+}
+
+std::vector<std::pair<size_t, size_t>> SplitArgs(
+    const std::vector<Token>& toks, size_t open, size_t close) {
+  std::vector<std::pair<size_t, size_t>> args;
+  if (close <= open + 1 || close >= toks.size()) return args;
+  size_t begin = open + 1;
+  int depth = 0;
+  for (size_t i = open + 1; i < close; ++i) {
+    if (toks[i].kind == TokKind::kPunct) {
+      const std::string& t = toks[i].text;
+      if (t == "(" || t == "{" || t == "[") ++depth;
+      if (t == ")" || t == "}" || t == "]") --depth;
+      if (t == "," && depth == 0) {
+        args.emplace_back(begin, i);
+        begin = i + 1;
+      }
+    }
+  }
+  args.emplace_back(begin, close);
+  return args;
+}
+
+bool RangeMentionsIdent(const std::vector<Token>& toks, size_t begin,
+                        size_t end, const std::string& ident) {
+  for (size_t i = begin; i < end && i < toks.size(); ++i) {
+    if (toks[i].kind == TokKind::kIdent && toks[i].text == ident) {
+      return true;
+    }
+  }
+  return false;
+}
+
+ParsedFile ParseFile(LexedFile lex) {
+  ParsedFile out;
+  out.lex = std::move(lex);
+  const std::vector<Token>& toks = out.lex.tokens;
+  const size_t n = toks.size();
+
+  // Pass 1: recover function definitions by the shape
+  //   NAME ( params ) [qualifiers] [init-list] {
+  for (size_t i = 0; i < n; ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+    if (!IsPunct(toks, i + 1, "(")) continue;
+    if (!CanBeDefinitionName(toks, i)) continue;
+    const size_t close = MatchForward(toks, i + 1, "(", ")");
+    if (close >= n) continue;
+    const size_t body = FindBodyBrace(toks, close + 1);
+    if (body >= n) continue;
+    const size_t body_end = MatchForward(toks, body, "{", "}");
+    if (body_end >= n) continue;
+
+    FunctionDef fn;
+    fn.name = toks[i].text;
+    fn.line = toks[i].line;
+    fn.body_begin = body;
+    fn.body_end = body_end;
+    for (const auto& range : SplitArgs(toks, i + 1, close)) {
+      if (range.first >= range.second) continue;  // Empty list: ().
+      fn.params.push_back(ParseParam(toks, range.first, range.second));
+    }
+    out.functions.push_back(std::move(fn));
+    // Do not skip past the body: nested recognizable definitions (local
+    // structs' methods) are rare but harmless to record. The outer scan
+    // continues token by token.
+  }
+
+  // Pass 2: per function, recover calls and lock regions inside the body.
+  for (FunctionDef& fn : out.functions) {
+    for (size_t i = fn.body_begin + 1; i < fn.body_end; ++i) {
+      if (toks[i].kind != TokKind::kIdent) continue;
+
+      // Lock-guard declaration: [std ::] guard_type [<...>] NAME ( | { | ;
+      if (IsGuardType(toks[i].text)) {
+        size_t j = i + 1;
+        if (IsPunct(toks, j, "<")) {
+          const size_t tclose = MatchForward(toks, j, "<", ">");
+          if (tclose >= fn.body_end) continue;
+          j = tclose + 1;
+        }
+        if (j < fn.body_end && toks[j].kind == TokKind::kIdent) {
+          LockRegion region;
+          region.guard_type = toks[i].text;
+          region.name = toks[j].text;
+          region.line = toks[i].line;
+          // Held from the end of the declaration statement.
+          size_t decl_end = j + 1;
+          if (IsPunct(toks, decl_end, "(")) {
+            decl_end = SkipGroup(toks, decl_end, "(", ")");
+          } else if (IsPunct(toks, decl_end, "{")) {
+            decl_end = SkipGroup(toks, decl_end, "{", "}");
+          }
+          region.begin = decl_end;
+          // Until the enclosing brace scope closes...
+          int depth = 0;
+          region.end = fn.body_end;
+          for (size_t k = decl_end; k < fn.body_end; ++k) {
+            if (IsPunct(toks, k, "{")) ++depth;
+            if (IsPunct(toks, k, "}")) {
+              if (depth == 0) {
+                region.end = k;
+                break;
+              }
+              --depth;
+            }
+          }
+          // ...or an explicit name.unlock() releases it early.
+          for (size_t k = region.begin; k + 3 < region.end; ++k) {
+            if (toks[k].kind == TokKind::kIdent &&
+                toks[k].text == region.name && IsPunct(toks, k + 1, ".") &&
+                IsIdent(toks, k + 2, "unlock") &&
+                IsPunct(toks, k + 3, "(")) {
+              region.end = k;
+              break;
+            }
+          }
+          fn.locks.push_back(std::move(region));
+          continue;
+        }
+      }
+
+      // Call expression: IDENT ( ... )
+      if (!IsPunct(toks, i + 1, "(")) continue;
+      if (IsControlKeyword(toks[i].text)) continue;
+      const size_t close = MatchForward(toks, i + 1, "(", ")");
+      if (close >= fn.body_end + 1) continue;
+      CallSite call;
+      call.callee = toks[i].text;
+      call.line = toks[i].line;
+      call.name_index = i;
+      call.open_paren = i + 1;
+      call.close_paren = close;
+      if (i >= 1 && toks[i - 1].kind == TokKind::kPunct &&
+          (toks[i - 1].text == "." || toks[i - 1].text == "->")) {
+        call.member_call = true;
+        if (i >= 2 && toks[i - 2].kind == TokKind::kIdent) {
+          call.receiver = toks[i - 2].text;
+        }
+      }
+      if (close > i + 2) {
+        call.args = SplitArgs(toks, i + 1, close);
+      }
+      fn.calls.push_back(std::move(call));
+    }
+  }
+  return out;
+}
+
+}  // namespace cyqr_lint

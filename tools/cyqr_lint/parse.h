@@ -1,0 +1,92 @@
+#ifndef CYQR_LINT_PARSE_H_
+#define CYQR_LINT_PARSE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lexer.h"
+
+namespace cyqr_lint {
+
+/// The recovery layer between the lexer and the flow-aware rules. This is
+/// deliberately not a C++ AST: it is a recursive-descent pass over the
+/// token stream that recovers exactly the shape the rules need — function
+/// boundaries, parameter lists, call expressions with argument spans, and
+/// lock-guard scope regions — by bracket matching. Anything it cannot
+/// recognize it skips, so malformed code degrades to "no structure"
+/// rather than wrong structure.
+
+/// One parameter of a recovered function definition.
+struct Param {
+  /// Flattened type tokens, space-separated ("const Deadline &").
+  std::string type;
+  /// "" for unnamed parameters.
+  std::string name;
+};
+
+/// One call expression inside a function body. Local declarations of the
+/// form `Type name(args);` are indistinguishable from calls at this level
+/// and appear as calls named `name`; rules key on callee names specific
+/// enough for that not to matter.
+struct CallSite {
+  std::string callee;    ///< Called identifier (unqualified).
+  std::string receiver;  ///< Ident before '.'/'->' on member calls, else "".
+  bool member_call = false;
+  int line = 0;
+  size_t name_index = 0;   ///< Token index of the callee identifier.
+  size_t open_paren = 0;   ///< '(' of the argument list.
+  size_t close_paren = 0;  ///< Matching ')'.
+  /// Top-level comma-separated argument token ranges [begin, end).
+  std::vector<std::pair<size_t, size_t>> args;
+};
+
+/// The token region over which a scope-based lock guard is held: from the
+/// token after its declaration to the close of the enclosing brace scope,
+/// truncated at an explicit `name.unlock()` when one appears.
+struct LockRegion {
+  std::string guard_type;  ///< lock_guard/unique_lock/scoped_lock/shared_lock.
+  std::string name;        ///< Guard variable name.
+  int line = 0;
+  size_t begin = 0;  ///< First token inside the held region.
+  size_t end = 0;    ///< Exclusive end of the held region.
+};
+
+/// A recovered function definition (free function, method, or ctor).
+struct FunctionDef {
+  std::string name;
+  int line = 0;
+  std::vector<Param> params;
+  size_t body_begin = 0;  ///< Token index of the body '{'.
+  size_t body_end = 0;    ///< Token index of the matching '}'.
+  std::vector<CallSite> calls;
+  std::vector<LockRegion> locks;
+
+  /// True when any parameter's type mentions `fragment` (e.g. "Deadline").
+  bool HasParamOfType(const std::string& fragment) const;
+  /// Name of the first parameter whose type mentions `fragment`, or "".
+  std::string ParamNameOfType(const std::string& fragment) const;
+};
+
+struct ParsedFile {
+  LexedFile lex;
+  std::vector<FunctionDef> functions;
+};
+
+/// Recovers the structure above from a lexed file.
+ParsedFile ParseFile(LexedFile lex);
+
+/// Splits the parenthesized group whose '(' is at `open` and ')' at
+/// `close` into top-level comma-separated token ranges [begin, end).
+/// Nested (), {}, and [] groups shield their commas.
+std::vector<std::pair<size_t, size_t>> SplitArgs(
+    const std::vector<Token>& toks, size_t open, size_t close);
+
+/// True when the token range [begin, end) contains an identifier token
+/// with exactly this text.
+bool RangeMentionsIdent(const std::vector<Token>& toks, size_t begin,
+                        size_t end, const std::string& ident);
+
+}  // namespace cyqr_lint
+
+#endif  // CYQR_LINT_PARSE_H_

@@ -1,0 +1,125 @@
+#include "rules.h"
+
+#include <algorithm>
+
+namespace cyqr_lint {
+
+namespace {
+
+/// Read-modify-write operations where memory_order_relaxed changes
+/// behaviour subtly: the RMW itself stays atomic, but it stops ordering
+/// the surrounding loads/stores, which is almost never what a counter
+/// consumer that also reads other state wants.
+bool IsRmwMember(const std::string& callee) {
+  return callee == "fetch_add" || callee == "fetch_sub" ||
+         callee == "fetch_and" || callee == "fetch_or" ||
+         callee == "fetch_xor" || callee == "exchange" ||
+         callee == "compare_exchange_weak" ||
+         callee == "compare_exchange_strong";
+}
+
+/// Finds the nearest enclosing member call for a token index, if the
+/// memory_order token sits inside some call's argument list.
+const CallSite* EnclosingCall(const FunctionDef& fn, size_t tok_index) {
+  const CallSite* best = nullptr;
+  for (const CallSite& call : fn.calls) {
+    if (tok_index <= call.open_paren || tok_index >= call.close_paren) {
+      continue;
+    }
+    // Innermost call wins: smaller span.
+    if (best == nullptr ||
+        call.close_paren - call.open_paren <
+            best->close_paren - best->open_paren) {
+      best = &call;
+    }
+  }
+  return best;
+}
+
+/// Finds the first line of the statement containing token `i`: the line
+/// of the token just after the previous ';', '{', or '}'. A wrapped call
+/// (CAS with separate success/failure orders on their own lines) is
+/// justified by one comment above the statement, not one per line.
+int StatementFirstLine(const std::vector<Token>& toks, size_t i) {
+  for (size_t j = i; j > 0;) {
+    --j;
+    if (toks[j].kind == TokKind::kPunct &&
+        (toks[j].text == ";" || toks[j].text == "{" ||
+         toks[j].text == "}")) {
+      return toks[j + 1].line;
+    }
+  }
+  return toks[i].line;
+}
+
+/// Every explicit std::memory_order_* argument is a claim about which
+/// reorderings are safe. The claim must be written down: a comment
+/// containing "ordering:" on the same line, or within the two lines
+/// above the statement it belongs to (the lexer records every line of a
+/// comment carrying the marker). Bare relaxed on an RMW gets a sharper
+/// message because it is the most commonly wrong strength.
+class AtomicOrderingAuditRule : public Rule {
+ public:
+  const char* name() const override { return "atomic-ordering-audit"; }
+
+  void Check(const ParsedFile& file, const LintContext& /*ctx*/,
+             std::vector<Diagnostic>* out) const override {
+    const std::vector<Token>& toks = file.lex.tokens;
+    for (size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i].kind != TokKind::kIdent) continue;
+      const std::string& t = toks[i].text;
+      if (t.rfind("memory_order_", 0) != 0 && t != "memory_order") {
+        continue;
+      }
+      // `memory_order::relaxed` spelling: fold the scoped enum name in.
+      std::string order = t;
+      if (t == "memory_order" && IsPunct(toks, i + 1, "::") &&
+          i + 2 < toks.size() && toks[i + 2].kind == TokKind::kIdent) {
+        order = "memory_order_" + toks[i + 2].text;
+      }
+      if (order == "memory_order") continue;  // Type use, not a constant.
+      const int line = toks[i].line;
+      const int stmt_line = std::min(StatementFirstLine(toks, i), line);
+      bool justified = false;
+      for (int l = stmt_line - 2; l <= line; ++l) {
+        if (file.lex.ordering_comment_lines.count(l) > 0) {
+          justified = true;
+          break;
+        }
+      }
+      if (justified) continue;
+
+      Diagnostic d;
+      d.file = file.lex.path;
+      d.line = line;
+      d.rule = name();
+      const CallSite* call = nullptr;
+      for (const FunctionDef& fn : file.functions) {
+        if (i > fn.body_begin && i < fn.body_end) {
+          call = EnclosingCall(fn, i);
+          if (call != nullptr) break;
+        }
+      }
+      if (order == "memory_order_relaxed" && call != nullptr &&
+          IsRmwMember(call->callee)) {
+        d.message = "relaxed " + call->callee +
+                    " orders nothing around it; add a '// ordering:' "
+                    "comment proving no nearby load/store depends on "
+                    "this RMW, or strengthen it";
+      } else {
+        d.message = "explicit " + order +
+                    " needs a '// ordering:' justification comment on "
+                    "this line or the two lines above";
+      }
+      out->push_back(std::move(d));
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> MakeAtomicOrderingAuditRule() {
+  return std::make_unique<AtomicOrderingAuditRule>();
+}
+
+}  // namespace cyqr_lint

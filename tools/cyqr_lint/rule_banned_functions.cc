@@ -33,9 +33,9 @@ class BannedFunctionsRule : public Rule {
  public:
   const char* name() const override { return "banned-functions"; }
 
-  void Check(const LexedFile& file, const LintContext& /*ctx*/,
+  void Check(const ParsedFile& file, const LintContext& /*ctx*/,
              std::vector<Diagnostic>* out) const override {
-    const std::vector<Token>& toks = file.tokens;
+    const std::vector<Token>& toks = file.lex.tokens;
     for (size_t i = 0; i < toks.size(); ++i) {
       if (toks[i].kind != TokKind::kIdent) continue;
       const std::string& t = toks[i].text;
@@ -68,10 +68,10 @@ class BannedFunctionsRule : public Rule {
   }
 
  private:
-  void Report(const LexedFile& file, int line, std::string message,
+  void Report(const ParsedFile& file, int line, std::string message,
               std::vector<Diagnostic>* out) const {
     Diagnostic d;
-    d.file = file.path;
+    d.file = file.lex.path;
     d.line = line;
     d.rule = name();
     d.message = std::move(message);

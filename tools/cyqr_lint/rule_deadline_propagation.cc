@@ -1,0 +1,105 @@
+#include "rules.h"
+
+namespace cyqr_lint {
+
+namespace {
+
+/// The serving ladder's core discipline (DESIGN.md "Fault-tolerant
+/// serving"): a function that was handed the request's Deadline must hand
+/// it onward to every callee that can accept one. Dropping the budget at
+/// any hop silently converts a deadline-bound request into an unbounded
+/// one — the callee then consults the wall clock (or nothing) and the
+/// request blows through its budget with no record of where.
+///
+/// Flow-aware shape: for every recovered function definition with a
+/// `Deadline` (or `DeadlineBudget`) parameter, every call to a callee
+/// known to accept a Deadline anywhere in the scanned tree must mention
+/// the deadline parameter in its argument list. Calls that intentionally
+/// do not forward (e.g. the deadline is captured into a job closure
+/// submitted to a pool) carry a NOLINT(cyqr-deadline-propagation) with
+/// justification.
+class DeadlinePropagationRule : public Rule {
+ public:
+  const char* name() const override { return "deadline-propagation"; }
+
+  void Check(const ParsedFile& file, const LintContext& ctx,
+             std::vector<Diagnostic>* out) const override {
+    const std::vector<Token>& toks = file.lex.tokens;
+    for (const FunctionDef& fn : file.functions) {
+      const std::string deadline_param = fn.ParamNameOfType("Deadline");
+      if (deadline_param.empty()) continue;
+
+      for (const CallSite& call : fn.calls) {
+        if (ctx.deadline_functions.count(call.callee) == 0) continue;
+        // A call *on* the deadline object itself (deadline.HasBudget(...))
+        // or on another Deadline value is not a forwarding hop.
+        if (call.receiver == deadline_param) continue;
+        // The defining function's own recursive overload chain is covered
+        // by the same test; no exemption needed.
+        bool forwards = false;
+        for (const auto& arg : call.args) {
+          if (RangeMentionsIdent(toks, arg.first, arg.second,
+                                 deadline_param)) {
+            forwards = true;
+            break;
+          }
+        }
+        if (forwards) continue;
+        Diagnostic d;
+        d.file = file.lex.path;
+        d.line = call.line;
+        d.rule = name();
+        d.message = "'" + fn.name + "' holds deadline '" + deadline_param +
+                     "' but calls '" + call.callee +
+                     "' (which accepts a Deadline) without forwarding it; "
+                     "pass the request deadline through or NOLINT with "
+                     "justification";
+        out->push_back(std::move(d));
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void CollectDeadlineFunctions(const LexedFile& file,
+                              std::set<std::string>* names) {
+  const std::vector<Token>& toks = file.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+    if (!IsPunct(toks, i + 1, "(")) continue;
+    if (IsControlKeyword(toks[i].text)) continue;
+    const size_t close = MatchForward(toks, i + 1, "(", ")");
+    if (close >= toks.size()) continue;
+    // Look for a parameter-declaration-shaped `Deadline` inside the
+    // group: the type name followed by (&, *, &&)* then a name or a
+    // parameter-list separator. `Deadline::...` (qualified call) and
+    // `Deadline(...)` (constructor) never match.
+    for (size_t j = i + 2; j < close; ++j) {
+      if (toks[j].kind != TokKind::kIdent) continue;
+      if (toks[j].text != "Deadline" && toks[j].text != "DeadlineBudget") {
+        continue;
+      }
+      size_t k = j + 1;
+      while (k < close && (IsPunct(toks, k, "&") || IsPunct(toks, k, "*") ||
+                           IsPunct(toks, k, "&&"))) {
+        ++k;
+      }
+      const bool param_shape =
+          k < close
+              ? (toks[k].kind == TokKind::kIdent || IsPunct(toks, k, ",") ||
+                 IsPunct(toks, k, "="))
+              : k == close;  // Unnamed trailing param: `..., Deadline&)`.
+      if (param_shape) {
+        names->insert(toks[i].text);
+        break;
+      }
+    }
+  }
+}
+
+std::unique_ptr<Rule> MakeDeadlinePropagationRule() {
+  return std::make_unique<DeadlinePropagationRule>();
+}
+
+}  // namespace cyqr_lint

@@ -8,9 +8,9 @@ class DiscardedStatusRule : public Rule {
  public:
   const char* name() const override { return "discarded-status"; }
 
-  void Check(const LexedFile& file, const LintContext& ctx,
+  void Check(const ParsedFile& file, const LintContext& ctx,
              std::vector<Diagnostic>* out) const override {
-    const std::vector<Token>& toks = file.tokens;
+    const std::vector<Token>& toks = file.lex.tokens;
     std::vector<bool> value_use;
     MarkValueUseContexts(toks, &value_use);
 
@@ -42,7 +42,7 @@ class DiscardedStatusRule : public Rule {
       if (!AtStatementBoundary(toks, s)) continue;
 
       Diagnostic d;
-      d.file = file.path;
+      d.file = file.lex.path;
       d.line = toks[i].line;
       d.rule = name();
       d.message = "result of Status/Result-returning '" + toks[i].text +

@@ -30,12 +30,12 @@ class IncludeHygieneRule : public Rule {
  public:
   const char* name() const override { return "include-hygiene"; }
 
-  void Check(const LexedFile& file, const LintContext& /*ctx*/,
+  void Check(const ParsedFile& file, const LintContext& /*ctx*/,
              std::vector<Diagnostic>* out) const override {
-    if (IsHeaderPath(file.path)) {
-      CheckGuard(file, out);
-    } else if (IsSourcePath(file.path)) {
-      CheckSelfIncludeFirst(file, out);
+    if (IsHeaderPath(file.lex.path)) {
+      CheckGuard(file.lex, out);
+    } else if (IsSourcePath(file.lex.path)) {
+      CheckSelfIncludeFirst(file.lex, out);
     }
   }
 
@@ -87,6 +87,17 @@ class IncludeHygieneRule : public Rule {
         d.message = "own header '" + target.string() +
                     "' must be the first include (currently line " +
                     std::to_string(first_line) + " comes first)";
+        // Span fix: delete the misplaced include and re-insert it before
+        // the include that currently sits first.
+        FixEdit del;
+        del.kind = FixEdit::Kind::kDeleteLine;
+        del.line = tok.line;
+        d.fixes.push_back(std::move(del));
+        FixEdit ins;
+        ins.kind = FixEdit::Kind::kInsertLineBefore;
+        ins.line = first_line;
+        ins.text = "#include " + tok.aux;
+        d.fixes.push_back(std::move(ins));
         out->push_back(std::move(d));
         return;
       }

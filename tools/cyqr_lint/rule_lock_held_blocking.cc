@@ -1,0 +1,86 @@
+#include "rules.h"
+
+namespace cyqr_lint {
+
+namespace {
+
+/// Calls that block the calling thread outright. Holding a mutex across
+/// any of these turns one slow request into a convoy: every other thread
+/// that needs the lock queues up behind an operation whose latency the
+/// lock holder does not control.
+bool IsSleepOrSystemBlocking(const std::string& callee) {
+  return callee == "sleep_for" || callee == "sleep_until" ||
+         callee == "sleep" || callee == "usleep" || callee == "nanosleep" ||
+         callee == "system" || callee == "getline" || callee == "getchar" ||
+         callee == "fgets" || callee == "fread" || callee == "fwrite";
+}
+
+/// Member calls that block (queue handoff, thread join, file open). Push
+/// on a BoundedQueue never blocks by design, but it takes the queue's own
+/// internal mutex — calling it while holding another lock builds a lock
+/// hierarchy nobody audited; Pop blocks until an element arrives.
+bool IsBlockingMemberCall(const std::string& callee) {
+  return callee == "Push" || callee == "Pop" || callee == "join" ||
+         callee == "open" || callee == "flush" || callee == "ServeBlocking";
+}
+
+/// Condition-variable waits atomically release the lock while sleeping —
+/// that is the one sanctioned way to block "inside" a lock scope.
+bool IsCvWait(const std::string& callee) {
+  return callee == "wait" || callee == "wait_for" ||
+         callee == "wait_until" || callee == "notify_one" ||
+         callee == "notify_all";
+}
+
+class LockHeldBlockingCallRule : public Rule {
+ public:
+  const char* name() const override { return "lock-held-blocking-call"; }
+
+  void Check(const ParsedFile& file, const LintContext& ctx,
+             std::vector<Diagnostic>* out) const override {
+    for (const FunctionDef& fn : file.functions) {
+      for (const LockRegion& lock : fn.locks) {
+        for (const CallSite& call : fn.calls) {
+          if (call.name_index < lock.begin ||
+              call.name_index >= lock.end) {
+            continue;
+          }
+          const char* why = nullptr;
+          if (IsSleepOrSystemBlocking(call.callee)) {
+            why = "sleeps or does blocking I/O";
+          } else if (call.member_call && IsCvWait(call.callee)) {
+            continue;  // cv.wait releases the lock while blocked.
+          } else if (call.member_call &&
+                     IsBlockingMemberCall(call.callee)) {
+            why = "can block on another thread or on I/O";
+          } else if (!call.member_call &&
+                     ctx.deadline_functions.count(call.callee) > 0) {
+            // Deadline-taking functions are the backend/serving calls —
+            // exactly the unbounded-latency work that must not run under
+            // a lock.
+            why = "is a deadline-bound (potentially slow) call";
+          }
+          if (why == nullptr) continue;
+          Diagnostic d;
+          d.file = file.lex.path;
+          d.line = call.line;
+          d.rule = name();
+          d.message = "'" + call.callee + "' " + why + " while '" +
+                      lock.name + "' (" + lock.guard_type + ", line " +
+                      std::to_string(lock.line) +
+                      ") is held; move it outside the critical section "
+                      "or NOLINT with justification";
+          out->push_back(std::move(d));
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> MakeLockHeldBlockingCallRule() {
+  return std::make_unique<LockHeldBlockingCallRule>();
+}
+
+}  // namespace cyqr_lint

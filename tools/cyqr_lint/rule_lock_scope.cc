@@ -24,9 +24,9 @@ class LockScopeRule : public Rule {
  public:
   const char* name() const override { return "lock-scope"; }
 
-  void Check(const LexedFile& file, const LintContext& /*ctx*/,
+  void Check(const ParsedFile& file, const LintContext& /*ctx*/,
              std::vector<Diagnostic>* out) const override {
-    const std::vector<Token>& toks = file.tokens;
+    const std::vector<Token>& toks = file.lex.tokens;
     static const std::set<std::string> kMutexTypes = {
         "mutex",            "timed_mutex",
         "recursive_mutex",  "recursive_timed_mutex",
@@ -63,7 +63,7 @@ class LockScopeRule : public Rule {
       }
       if (!IsPunct(toks, i + 3, "(")) continue;
       Diagnostic d;
-      d.file = file.path;
+      d.file = file.lex.path;
       d.line = toks[i].line;
       d.rule = name();
       d.message = "manual '" + toks[i].text + "." + method +

@@ -50,9 +50,9 @@ class MetricsNamingRule : public Rule {
  public:
   const char* name() const override { return "metrics-naming"; }
 
-  void Check(const LexedFile& file, const LintContext& /*ctx*/,
+  void Check(const ParsedFile& file, const LintContext& /*ctx*/,
              std::vector<Diagnostic>* out) const override {
-    const std::vector<Token>& toks = file.tokens;
+    const std::vector<Token>& toks = file.lex.tokens;
     for (size_t i = 0; i < toks.size(); ++i) {
       if (toks[i].kind != TokKind::kIdent) continue;
       const std::string& t = toks[i].text;
@@ -72,7 +72,7 @@ class MetricsNamingRule : public Rule {
       const std::string& metric = toks[i + 2].aux;
       if (ValidName(metric)) continue;
       Diagnostic d;
-      d.file = file.path;
+      d.file = file.lex.path;
       d.line = toks[i + 2].line;
       d.rule = name();
       d.message = "metric name \"" + metric + "\" violates the " +

@@ -8,9 +8,9 @@ class RawOwningNewRule : public Rule {
  public:
   const char* name() const override { return "raw-owning-new"; }
 
-  void Check(const LexedFile& file, const LintContext& /*ctx*/,
+  void Check(const ParsedFile& file, const LintContext& /*ctx*/,
              std::vector<Diagnostic>* out) const override {
-    const std::vector<Token>& toks = file.tokens;
+    const std::vector<Token>& toks = file.lex.tokens;
     for (size_t i = 0; i < toks.size(); ++i) {
       if (toks[i].kind != TokKind::kIdent) continue;
       const bool is_new = toks[i].text == "new";
@@ -21,7 +21,7 @@ class RawOwningNewRule : public Rule {
       if (i > 0 && IsIdent(toks, i - 1, "operator")) continue;
       if (is_delete && i > 0 && IsPunct(toks, i - 1, "=")) continue;
       Diagnostic d;
-      d.file = file.path;
+      d.file = file.lex.path;
       d.line = toks[i].line;
       d.rule = name();
       d.message = std::string("raw owning '") + toks[i].text +

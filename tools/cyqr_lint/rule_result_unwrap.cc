@@ -1,0 +1,81 @@
+#include "rules.h"
+
+namespace cyqr_lint {
+
+namespace {
+
+/// `Result<T>::value()` CYQR_CHECK-fails on an error result — it is the
+/// moral equivalent of unwrap(). Calling it without a dominating ok()
+/// check in the same function turns every propagated error into a
+/// process abort. The flow-aware shape: track every local/parameter of
+/// type Result<...>, and require a `name.ok()` or `name.status()`
+/// mention at an earlier token index than any `name.value()`.
+class ResultUnwrapCheckRule : public Rule {
+ public:
+  const char* name() const override { return "result-unwrap-check"; }
+
+  void Check(const ParsedFile& file, const LintContext& /*ctx*/,
+             std::vector<Diagnostic>* out) const override {
+    const std::vector<Token>& toks = file.lex.tokens;
+    for (const FunctionDef& fn : file.functions) {
+      // Collect Result-typed names: parameters first...
+      std::vector<std::string> result_names;
+      for (const Param& p : fn.params) {
+        if (p.type.find("Result") != std::string::npos && !p.name.empty()) {
+          result_names.push_back(p.name);
+        }
+      }
+      // ...then local declarations: Result < ... > NAME  (or auto NAME =
+      // ... is invisible here; rules stay conservative and skip those).
+      for (size_t i = fn.body_begin + 1; i < fn.body_end; ++i) {
+        if (!IsIdent(toks, i, "Result")) continue;
+        if (!IsPunct(toks, i + 1, "<")) continue;
+        const size_t tclose = MatchForward(toks, i + 1, "<", ">");
+        if (tclose >= fn.body_end) continue;
+        if (tclose + 1 < fn.body_end &&
+            toks[tclose + 1].kind == TokKind::kIdent) {
+          result_names.push_back(toks[tclose + 1].text);
+        }
+      }
+      if (result_names.empty()) continue;
+
+      for (const std::string& rname : result_names) {
+        // Token index of the first check and of each unwrap.
+        size_t first_check = toks.size();
+        for (size_t i = fn.body_begin + 1; i + 2 < fn.body_end; ++i) {
+          if (toks[i].kind != TokKind::kIdent || toks[i].text != rname) {
+            continue;
+          }
+          if (!IsPunct(toks, i + 1, ".") && !IsPunct(toks, i + 1, "->")) {
+            continue;
+          }
+          const std::string& member = toks[i + 2].text;
+          if (member == "ok" || member == "status") {
+            if (i < first_check) first_check = i;
+            continue;
+          }
+          if (member == "value" && IsPunct(toks, i + 3, "(") &&
+              i < first_check) {
+            Diagnostic d;
+            d.file = file.lex.path;
+            d.line = toks[i].line;
+            d.rule = name();
+            d.message = "'" + rname + ".value()' without a prior '" +
+                        rname + ".ok()' check in '" + fn.name +
+                        "'; an error result aborts here — branch on "
+                        "ok() first or propagate with status()";
+            out->push_back(std::move(d));
+          }
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> MakeResultUnwrapCheckRule() {
+  return std::make_unique<ResultUnwrapCheckRule>();
+}
+
+}  // namespace cyqr_lint

@@ -20,9 +20,9 @@ class UncheckedStreamRule : public Rule {
  public:
   const char* name() const override { return "unchecked-stream"; }
 
-  void Check(const LexedFile& file, const LintContext& /*ctx*/,
+  void Check(const ParsedFile& file, const LintContext& /*ctx*/,
              std::vector<Diagnostic>* out) const override {
-    const std::vector<Token>& toks = file.tokens;
+    const std::vector<Token>& toks = file.lex.tokens;
     std::vector<bool> in_condition;
     MarkValueUseContexts(toks, &in_condition);
 
@@ -67,7 +67,7 @@ class UncheckedStreamRule : public Rule {
         continue;
       }
       Diagnostic d;
-      d.file = file.path;
+      d.file = file.lex.path;
       d.line = toks[name_idx].line;
       d.rule = name();
       d.message = "stream '" + var +

@@ -29,6 +29,11 @@ size_t MatchForward(const std::vector<Token>& toks, size_t open,
 void MarkValueUseContexts(const std::vector<Token>& toks,
                           std::vector<bool>* flags);
 
+/// True for identifiers that introduce control flow or otherwise can
+/// never be the name of a function definition or call (if, while, return,
+/// sizeof, operator, ...). Shared by the parse layer and rules.
+bool IsControlKeyword(const std::string& ident);
+
 /// Rule factories (one translation unit per rule).
 std::unique_ptr<Rule> MakeDiscardedStatusRule();
 std::unique_ptr<Rule> MakeUncheckedStreamRule();
@@ -38,6 +43,10 @@ std::unique_ptr<Rule> MakeRawOwningNewRule();
 std::unique_ptr<Rule> MakeIncludeHygieneRule();
 std::unique_ptr<Rule> MakeMetricsNamingRule();
 std::unique_ptr<Rule> MakeLockScopeRule();
+std::unique_ptr<Rule> MakeDeadlinePropagationRule();
+std::unique_ptr<Rule> MakeLockHeldBlockingCallRule();
+std::unique_ptr<Rule> MakeAtomicOrderingAuditRule();
+std::unique_ptr<Rule> MakeResultUnwrapCheckRule();
 
 }  // namespace cyqr_lint
 

@@ -1,5 +1,7 @@
 #include "rules.h"
 
+#include <set>
+
 namespace cyqr_lint {
 
 std::vector<std::unique_ptr<Rule>> BuildAllRules() {
@@ -12,7 +14,20 @@ std::vector<std::unique_ptr<Rule>> BuildAllRules() {
   rules.push_back(MakeIncludeHygieneRule());
   rules.push_back(MakeMetricsNamingRule());
   rules.push_back(MakeLockScopeRule());
+  rules.push_back(MakeDeadlinePropagationRule());
+  rules.push_back(MakeLockHeldBlockingCallRule());
+  rules.push_back(MakeAtomicOrderingAuditRule());
+  rules.push_back(MakeResultUnwrapCheckRule());
   return rules;
+}
+
+bool IsControlKeyword(const std::string& ident) {
+  static const std::set<std::string> kKeywords = {
+      "if",       "while",     "for",    "switch",  "catch",
+      "return",   "co_return", "sizeof", "alignof", "decltype",
+      "operator", "throw",     "new",    "delete",  "static_assert",
+      "typeid",   "alignas",   "noexcept"};
+  return kKeywords.count(ident) > 0;
 }
 
 bool IsIdent(const std::vector<Token>& toks, size_t i, const char* text) {
