@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "core/check.h"
+#include "core/thread_annotations.h"
 
 namespace cyqr {
 
@@ -136,8 +137,8 @@ class BoundedQueue {
   const ShedPolicy policy_;
   mutable std::mutex mu_;
   std::condition_variable ready_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  std::deque<T> items_ CYQR_GUARDED_BY(mu_);
+  bool closed_ CYQR_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace cyqr

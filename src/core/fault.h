@@ -10,6 +10,7 @@
 #include "core/deadline.h"
 #include "core/rng.h"
 #include "core/status.h"
+#include "core/thread_annotations.h"
 
 namespace cyqr {
 
@@ -103,9 +104,9 @@ class FaultInjector {
   }
 
  private:
-  mutable std::mutex mu_;  // Guards spec_ and rng_.
-  FaultSpec spec_;
-  Rng rng_;
+  mutable std::mutex mu_;
+  FaultSpec spec_ CYQR_GUARDED_BY(mu_);
+  Rng rng_ CYQR_GUARDED_BY(mu_);
   std::atomic<int64_t> calls_{0};
   std::atomic<int64_t> injected_errors_{0};
   std::atomic<int64_t> injected_latency_spikes_{0};

@@ -1,0 +1,59 @@
+#ifndef CYCLEQR_CORE_THREAD_ANNOTATIONS_H_
+#define CYCLEQR_CORE_THREAD_ANNOTATIONS_H_
+
+/// Thread-safety annotations for mutex-guarded shared state.
+///
+/// Every field protected by a mutex carries `CYQR_GUARDED_BY(mu)` on its
+/// declaration, and every function with a lock-related contract declares
+/// it in the signature:
+///
+///   std::deque<T> items_ CYQR_GUARDED_BY(mu_);
+///   Family* GetFamily(const std::string& name) CYQR_REQUIRES(mu_);
+///   void LockShard(int i) CYQR_ACQUIRE(shards_[i].mu);
+///   void UnlockShard(int i) CYQR_RELEASE(shards_[i].mu);
+///   void Rebalance() CYQR_EXCLUDES(mu_);
+///
+/// The annotations are checked twice:
+///
+///   1. `cyqr_lint` parses them into cross-TU facts and enforces them at
+///      lint time on every build (rules `guarded-field-access`,
+///      `requires-not-held`, `lock-order-cycle`) — no special compiler
+///      needed, so the gate runs under GCC CI.
+///   2. When compiling with Clang, the macros additionally expand to the
+///      `__attribute__((guarded_by(...)))` family, so a
+///      `-DCYCLEQR_CLANG_THREAD_SAFETY=ON` build gets Clang's
+///      `-Wthread-safety` analysis for free as a cross-check.
+///
+/// Under GCC (the default toolchain) the macros expand to nothing, so
+/// annotated headers cost zero.
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define CYQR_THREAD_ANNOTATION__(x) __attribute__((x))
+#endif
+#endif
+#ifndef CYQR_THREAD_ANNOTATION__
+#define CYQR_THREAD_ANNOTATION__(x)  // Expands to nothing outside Clang.
+#endif
+
+/// The field is protected by the given mutex: read or write it only while
+/// that mutex is held (or from a `CYQR_REQUIRES` function).
+#define CYQR_GUARDED_BY(x) CYQR_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Callers must hold the given mutex for the duration of the call.
+#define CYQR_REQUIRES(...) \
+  CYQR_THREAD_ANNOTATION__(exclusive_locks_required(__VA_ARGS__))
+
+/// The function acquires the given mutex and returns holding it.
+#define CYQR_ACQUIRE(...) \
+  CYQR_THREAD_ANNOTATION__(exclusive_lock_function(__VA_ARGS__))
+
+/// The function releases the given mutex the caller was holding.
+#define CYQR_RELEASE(...) \
+  CYQR_THREAD_ANNOTATION__(unlock_function(__VA_ARGS__))
+
+/// Callers must NOT hold the given mutex (the function acquires it
+/// internally; holding it on entry would self-deadlock).
+#define CYQR_EXCLUDES(...) CYQR_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+#endif  // CYCLEQR_CORE_THREAD_ANNOTATIONS_H_

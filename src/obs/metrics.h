@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/status.h"
+#include "core/thread_annotations.h"
 
 namespace cyqr {
 
@@ -216,10 +217,10 @@ class MetricsRegistry {
     std::map<std::string, Instrument> instruments;
   };
 
-  Family* GetFamily(const std::string& name, Kind kind);
+  Family* GetFamily(const std::string& name, Kind kind) CYQR_REQUIRES(mu_);
 
   mutable std::mutex mu_;
-  std::map<std::string, Family> families_;
+  std::map<std::string, Family> families_ CYQR_GUARDED_BY(mu_);
 };
 
 }  // namespace cyqr

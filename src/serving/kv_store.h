@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/status.h"
+#include "core/thread_annotations.h"
 
 namespace cyqr {
 
@@ -80,14 +81,15 @@ class RewriteKvStore {
  private:
   /// Publishes a new table (writers only, under writer_mu_). Lock order is
   /// writer_mu_ then snapshot_mu_; snapshot() alone takes only the latter.
-  void Swap(Snapshot next) {
+  /// EXCLUDES: calling this while holding snapshot_mu_ would self-deadlock.
+  void Swap(Snapshot next) CYQR_EXCLUDES(snapshot_mu_) {
     std::lock_guard<std::mutex> lock(snapshot_mu_);
     map_ = std::move(next);
   }
 
   std::mutex writer_mu_;
   mutable std::mutex snapshot_mu_;
-  Snapshot map_;
+  Snapshot map_ CYQR_GUARDED_BY(snapshot_mu_);
 };
 
 }  // namespace cyqr

@@ -8,6 +8,7 @@
 #include "core/check.h"
 #include "core/rng.h"
 #include "core/stopwatch.h"
+#include "core/thread_annotations.h"
 
 namespace cyqr {
 
@@ -215,8 +216,8 @@ RewriteServer::ServerResponse RewriteServer::ServeBlocking(
   struct Waiter {
     std::mutex mu;
     std::condition_variable cv;
-    bool done = false;
-    ServerResponse response;
+    bool done CYQR_GUARDED_BY(mu) = false;
+    ServerResponse response CYQR_GUARDED_BY(mu);
   };
   auto waiter = std::make_shared<Waiter>();
   Submit(query_tokens, deadline, [waiter](ServerResponse response) {

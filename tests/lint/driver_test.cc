@@ -3,6 +3,7 @@
 // invalidation), and the span-based --fix engine.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -241,6 +242,59 @@ TEST_F(DriverTest, CorruptCacheIsDiscardedNotTrusted) {
   EXPECT_FALSE(after.stats.cache_valid);
   EXPECT_EQ(after.stats.files_analyzed, 1);
   EXPECT_EQ(Keys(after.lint), Keys(cold.lint));
+}
+
+TEST_F(DriverTest, FixWritesThroughSyncedTempThenRename) {
+  const std::string path =
+      Write("leak.cc", "int Leak() { int* p = new int(3); return *p; }\n");
+
+  DriverOptions options;
+  options.lint.enabled_rules.insert("raw-owning-new");
+  options.fix = true;
+  options.fix_nolint_rules.push_back("raw-owning-new");
+  std::string tmp_seen;
+  std::string tmp_content_at_sync;
+  options.on_fix_tmp_synced = [&](const std::string& tmp) {
+    tmp_seen = tmp;
+    EXPECT_TRUE(ReadFileToString(tmp, &tmp_content_at_sync));
+  };
+
+  const DriverResult result = RunDriver({path}, options);
+  EXPECT_EQ(result.stats.files_fixed, 1);
+  // At sync time the temp file already held the complete fixed text; the
+  // rename then published exactly that content and consumed the temp.
+  ASSERT_FALSE(tmp_seen.empty());
+  EXPECT_FALSE(fs::exists(tmp_seen));
+  EXPECT_EQ(ReadBack(path), tmp_content_at_sync);
+  EXPECT_NE(tmp_content_at_sync.find("NOLINTNEXTLINE(cyqr-raw-owning-new)"),
+            std::string::npos);
+}
+
+TEST_F(DriverTest, FixCrashBeforeRenameLeavesOriginalIntact) {
+  // Kill the process between fsync(tmp) and rename(tmp -> path): the
+  // worst-possible crash point. Atomicity means the original file must
+  // still read back byte-identical, and a plain re-run completes the fix.
+  testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const std::string original =
+      "int Leak() { int* p = new int(3); return *p; }\n";
+  const std::string path = Write("crash.cc", original);
+
+  DriverOptions options;
+  options.lint.enabled_rules.insert("raw-owning-new");
+  options.fix = true;
+  options.fix_nolint_rules.push_back("raw-owning-new");
+
+  DriverOptions crashing = options;
+  crashing.on_fix_tmp_synced = [](const std::string&) { std::_Exit(87); };
+  EXPECT_EXIT(RunDriver({path}, crashing), testing::ExitedWithCode(87), "");
+  EXPECT_EQ(ReadBack(path), original);
+
+  // Recovery is a plain re-run: the stale temp is overwritten, the
+  // rename lands, and the fix is in place.
+  const DriverResult retry = RunDriver({path}, options);
+  EXPECT_EQ(retry.stats.files_fixed, 1);
+  EXPECT_NE(ReadBack(path).find("NOLINTNEXTLINE(cyqr-raw-owning-new)"),
+            std::string::npos);
 }
 
 }  // namespace

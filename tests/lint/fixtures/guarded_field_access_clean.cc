@@ -1,0 +1,51 @@
+// Fixture: every CYQR_GUARDED_BY access holds the mutex — lock regions,
+// CYQR_REQUIRES propagation, constructor exemption, and an unrelated
+// struct sharing a field name with an annotated class (no guard evidence,
+// so the type-blind receiver check must stay quiet).
+#include "guarded_field_access_clean.h"
+
+#include <mutex>
+#include <utility>
+
+#include "core/thread_annotations.h"
+
+class Ledger {
+ public:
+  Ledger() { balance_ = 0; }  // ok: ctor exemption, not shared yet
+
+  void Deposit(int amount) {
+    std::lock_guard<std::mutex> lock(mu_);
+    balance_ += amount;
+  }
+
+  int Read() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return balance_;
+  }
+
+  void BumpLocked() CYQR_REQUIRES(mu_) {
+    ++balance_;  // ok: caller holds mu_ per the contract
+  }
+
+ private:
+  mutable std::mutex mu_;
+  int balance_ CYQR_GUARDED_BY(mu_) = 0;
+};
+
+struct Waiter {
+  std::mutex mu;
+  bool done CYQR_GUARDED_BY(mu) = false;
+};
+
+bool Poll(Waiter* waiter) {
+  std::lock_guard<std::mutex> lock(waiter->mu);
+  return waiter->done;  // ok: receiver's guard is held for the access
+}
+
+struct PlainResult {
+  bool done = false;  // same field name, but nothing guards it
+};
+
+bool Consume(PlainResult result) {
+  return result.done;  // ok: no guard evidence — unrelated struct
+}

@@ -1,0 +1,46 @@
+// Fixture: CYQR_GUARDED_BY fields touched without their mutex held.
+#include "guarded_field_access_violation.h"
+
+#include <mutex>
+
+#include "core/thread_annotations.h"
+
+class Ledger {
+ public:
+  void Deposit(int amount) {
+    std::lock_guard<std::mutex> lock(mu_);
+    balance_ += amount;  // ok: inside the region
+  }
+
+  int UnsafeRead() const {
+    return balance_;  // violation: no lock, no REQUIRES
+  }
+
+  void UnsafeBump() {
+    ++balance_;  // violation: lock-free increment
+  }
+
+  void LockedThenEscapes() {
+    std::unique_lock<std::mutex> lock(mu_);
+    balance_ += 1;  // ok: first segment
+    lock.unlock();
+    balance_ += 1;  // violation: the region ended at unlock()
+  }
+
+ private:
+  mutable std::mutex mu_;
+  int balance_ CYQR_GUARDED_BY(mu_) = 0;
+};
+
+struct Waiter {
+  std::mutex mu;
+  bool done CYQR_GUARDED_BY(mu) = false;
+};
+
+bool PollAfterRelease(Waiter* waiter) {
+  {
+    std::lock_guard<std::mutex> lock(waiter->mu);
+    if (waiter->done) return true;  // ok: receiver's guard is held
+  }
+  return waiter->done;  // violation: guard evidence present, lock dropped
+}

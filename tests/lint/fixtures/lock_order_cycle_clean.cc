@@ -1,0 +1,30 @@
+// Fixture: nested acquisition with a globally consistent order, a
+// scoped_lock over both mutexes (atomic acquisition — no ordering edge),
+// and an unlock/re-lock of one guard (segments of the same guard never
+// count as nesting).
+#include "lock_order_cycle_clean.h"
+
+#include <mutex>
+
+std::mutex g_mu_c;
+std::mutex g_mu_d;
+
+void FirstThenSecond() {
+  std::lock_guard<std::mutex> c(g_mu_c);
+  std::lock_guard<std::mutex> d(g_mu_d);
+}
+
+void AlsoFirstThenSecond() {
+  std::lock_guard<std::mutex> c(g_mu_c);
+  std::lock_guard<std::mutex> d(g_mu_d);
+}
+
+void BothAtOnce() {
+  std::scoped_lock lock(g_mu_c, g_mu_d);
+}
+
+void ReacquireSameGuard() {
+  std::unique_lock<std::mutex> lock(g_mu_c);
+  lock.unlock();
+  lock.lock();
+}

@@ -1,0 +1,13 @@
+// Fixture: the same mutex acquired through a second guard while the
+// first is still held — a guaranteed self-deadlock on a non-recursive
+// std::mutex, reported as the degenerate one-node cycle.
+#include "lock_order_cycle_self.h"
+
+#include <mutex>
+
+std::mutex g_mu_self;
+
+void DoubleAcquire() {
+  std::lock_guard<std::mutex> first(g_mu_self);
+  std::lock_guard<std::mutex> second(g_mu_self);
+}

@@ -1,0 +1,12 @@
+// Fixture header: the two mutexes the lock_order_cycle_tu* fixtures
+// acquire in opposite orders. Real deadlocks are cross-TU by nature —
+// each TU's order looks locally consistent.
+#ifndef FIXTURE_LOCK_ORDER_CYCLE_SHARED_H_
+#define FIXTURE_LOCK_ORDER_CYCLE_SHARED_H_
+
+#include <mutex>
+
+extern std::mutex g_mu_a;
+extern std::mutex g_mu_b;
+
+#endif  // FIXTURE_LOCK_ORDER_CYCLE_SHARED_H_

@@ -1,0 +1,11 @@
+// Fixture TU 1: acquires g_mu_a, then g_mu_b while holding it. Locally
+// fine — the inversion only exists against lock_order_cycle_tu2.cc.
+#include "lock_order_cycle_shared.h"
+
+std::mutex g_mu_a;
+std::mutex g_mu_b;
+
+void TransferAThenB() {
+  std::lock_guard<std::mutex> a(g_mu_a);
+  std::lock_guard<std::mutex> b(g_mu_b);
+}

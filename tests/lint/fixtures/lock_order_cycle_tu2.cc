@@ -1,0 +1,8 @@
+// Fixture TU 2: acquires g_mu_b, then g_mu_a — the inversion of TU 1's
+// order. Analyzed together they deadlock; each TU alone is clean.
+#include "lock_order_cycle_shared.h"
+
+void TransferBThenA() {
+  std::lock_guard<std::mutex> b(g_mu_b);
+  std::lock_guard<std::mutex> a(g_mu_a);
+}

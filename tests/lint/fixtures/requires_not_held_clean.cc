@@ -1,0 +1,45 @@
+// Fixture: CYQR_REQUIRES contracts honored — lock regions at the call
+// site, REQUIRES propagated to the caller, and a cross-object call made
+// while the receiver's mutex is held.
+#include "requires_not_held_clean.h"
+
+#include <mutex>
+
+#include "core/thread_annotations.h"
+
+class Registry {
+ public:
+  void Rebuild() {
+    std::lock_guard<std::mutex> lock(mu_);
+    CompactLocked();  // ok: mu_ held by the enclosing region
+  }
+
+  void RebuildFromLocked() CYQR_REQUIRES(mu_) {
+    CompactLocked();  // ok: caller propagates the contract
+  }
+
+ private:
+  void CompactLocked() CYQR_REQUIRES(mu_) { ++entries_; }
+
+  std::mutex mu_;
+  int entries_ = 0;
+};
+
+struct Guarded {
+  std::mutex mu;
+  void TouchLocked() CYQR_REQUIRES(mu);
+};
+
+void CrossObjectHeld(Guarded& g) {
+  std::lock_guard<std::mutex> lock(g.mu);
+  g.TouchLocked();  // ok: g.mu is held for the call
+}
+
+struct Unrelated {
+  // Same method name as Guarded's, but no guard evidence in callers.
+  void TouchLocked() {}
+};
+
+void CallUnrelated(Unrelated& u) {
+  u.TouchLocked();  // ok: u never shows a mu, so the check stays quiet
+}

@@ -1,0 +1,36 @@
+// Fixture: CYQR_REQUIRES callees invoked without the mutex held.
+#include "requires_not_held_violation.h"
+
+#include <mutex>
+
+#include "core/thread_annotations.h"
+
+class Registry {
+ public:
+  void Rebuild() {
+    CompactLocked();  // violation: mu_ is not held here
+  }
+
+  void RebuildAfterRelease() {
+    std::unique_lock<std::mutex> lock(mu_);
+    lock.unlock();
+    CompactLocked();  // violation: the region ended at unlock()
+  }
+
+ private:
+  void CompactLocked() CYQR_REQUIRES(mu_) { ++entries_; }
+
+  std::mutex mu_;
+  int entries_ = 0;
+};
+
+struct Guarded {
+  std::mutex mu;
+  void TouchLocked() CYQR_REQUIRES(mu);
+};
+
+void CrossObjectAfterRelease(Guarded& g) {
+  std::unique_lock<std::mutex> lock(g.mu);
+  lock.unlock();
+  g.TouchLocked();  // violation: evidence of g.mu, but it was released
+}

@@ -245,10 +245,94 @@ TEST(LintTest, ResultUnwrapCheckClean) {
       RunRule("result-unwrap-check", "result_unwrap_clean.cc").empty());
 }
 
+TEST(LintTest, GuardedFieldAccessViolations) {
+  const auto diags =
+      RunRule("guarded-field-access", "guarded_field_access_violation.cc");
+  // Lock-free read, lock-free increment, access after unlock(), and a
+  // receiver-qualified access after the guard's block closed.
+  EXPECT_EQ(Lines(diags), std::vector<int>({16, 20, 27, 45}));
+  for (const Diagnostic& d : diags) {
+    EXPECT_EQ(d.rule, "guarded-field-access");
+  }
+}
+
+TEST(LintTest, GuardedFieldAccessClean) {
+  EXPECT_TRUE(
+      RunRule("guarded-field-access", "guarded_field_access_clean.cc")
+          .empty());
+}
+
+TEST(LintTest, RequiresNotHeldViolations) {
+  const auto diags =
+      RunRule("requires-not-held", "requires_not_held_violation.cc");
+  // Unlocked same-object call, call after unlock(), and a cross-object
+  // call after the receiver's mutex was released.
+  EXPECT_EQ(Lines(diags), std::vector<int>({11, 17, 35}));
+  for (const Diagnostic& d : diags) {
+    EXPECT_EQ(d.rule, "requires-not-held");
+  }
+}
+
+TEST(LintTest, RequiresNotHeldClean) {
+  EXPECT_TRUE(
+      RunRule("requires-not-held", "requires_not_held_clean.cc").empty());
+}
+
+TEST(LintTest, LockOrderCycleAcrossTwoTus) {
+  // Each TU's acquisition order is locally consistent; only the merged
+  // cross-TU graph exposes the inversion. The one diagnostic must carry
+  // both witness paths, file:line each, so the report is actionable
+  // without re-running the analysis.
+  LintOptions options;
+  options.enabled_rules.insert("lock-order-cycle");
+  const LintResult result =
+      RunLint({Fixture("lock_order_cycle_tu1.cc"),
+               Fixture("lock_order_cycle_tu2.cc")},
+              options);
+  EXPECT_TRUE(result.errors.empty());
+  ASSERT_EQ(result.diagnostics.size(), 1u);
+  const Diagnostic& d = result.diagnostics[0];
+  EXPECT_EQ(d.rule, "lock-order-cycle");
+  EXPECT_NE(d.message.find("'g_mu_a' held while acquiring 'g_mu_b'"),
+            std::string::npos)
+      << d.message;
+  EXPECT_NE(d.message.find("'g_mu_b' held while acquiring 'g_mu_a'"),
+            std::string::npos)
+      << d.message;
+  EXPECT_NE(d.message.find("lock_order_cycle_tu1.cc:10"), std::string::npos)
+      << d.message;
+  EXPECT_NE(d.message.find("lock_order_cycle_tu2.cc:7"), std::string::npos)
+      << d.message;
+}
+
+TEST(LintTest, LockOrderCycleEachTuAloneIsClean) {
+  EXPECT_TRUE(
+      RunRule("lock-order-cycle", "lock_order_cycle_tu1.cc").empty());
+  EXPECT_TRUE(
+      RunRule("lock-order-cycle", "lock_order_cycle_tu2.cc").empty());
+}
+
+TEST(LintTest, LockOrderCycleConsistentOrderIsClean) {
+  // Consistent nesting, scoped_lock over both mutexes (atomic — no
+  // ordering edge), and unlock/re-lock of one guard all stay quiet.
+  EXPECT_TRUE(
+      RunRule("lock-order-cycle", "lock_order_cycle_clean.cc").empty());
+}
+
+TEST(LintTest, LockOrderCycleSelfAcquireIsReported) {
+  const auto diags =
+      RunRule("lock-order-cycle", "lock_order_cycle_self.cc");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find("acquired while already held"),
+            std::string::npos)
+      << diags[0].message;
+}
+
 TEST(LintTest, AllRulesRunTogether) {
-  // The whole fixture directory under every rule: all twelve rules fire
+  // The whole fixture directory under every rule: all fifteen rules fire
   // somewhere, proving the multi-rule driver and cross-file fact
-  // collection (status functions, deadline functions) work end to end.
+  // collection (status functions, deadline functions, thread-safety
+  // annotations, lock-order edges) work end to end.
   const LintResult result = RunLint({CYQR_LINT_FIXTURE_DIR}, {});
   std::vector<std::string> fired;
   for (const Diagnostic& d : result.diagnostics) fired.push_back(d.rule);
@@ -257,7 +341,8 @@ TEST(LintTest, AllRulesRunTogether) {
         "banned-unseeded-rng", "raw-owning-new", "include-hygiene",
         "metrics-naming", "lock-scope", "deadline-propagation",
         "lock-held-blocking-call", "atomic-ordering-audit",
-        "result-unwrap-check"}) {
+        "result-unwrap-check", "guarded-field-access", "requires-not-held",
+        "lock-order-cycle"}) {
     EXPECT_NE(std::find(fired.begin(), fired.end(), rule), fired.end())
         << "rule never fired over fixtures: " << rule;
   }

@@ -1,0 +1,215 @@
+// Regression tests for the parse layer's lock-region and annotation
+// recovery — the structure the thread-safety rules key on. The hard
+// cases: nested guards, unique_lock's unlock/re-lock segmentation,
+// scoped_lock over several mutexes, std::defer_lock, and annotation
+// attachment on declarations and definitions alike.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "parse.h"
+
+namespace cyqr_lint {
+namespace {
+
+ParsedFile Parse(const std::string& source) {
+  return ParseFile(LexFile("test.cc", source));
+}
+
+const FunctionDef* FindFn(const ParsedFile& f, const std::string& name) {
+  for (const FunctionDef& fn : f.functions) {
+    if (fn.name == name) return &fn;
+  }
+  return nullptr;
+}
+
+TEST(ParseTest, NestedLockRegionsAreBothRecovered) {
+  const ParsedFile f = Parse(
+      "void Nested() {\n"
+      "  std::lock_guard<std::mutex> a(mu_a);\n"
+      "  {\n"
+      "    std::lock_guard<std::mutex> b(mu_b);\n"
+      "    Use();\n"
+      "  }\n"
+      "}\n");
+  const FunctionDef* fn = FindFn(f, "Nested");
+  ASSERT_NE(fn, nullptr);
+  ASSERT_EQ(fn->locks.size(), 2u);
+  const LockRegion& outer = fn->locks[0];
+  const LockRegion& inner = fn->locks[1];
+  EXPECT_EQ(outer.mutexes, std::vector<std::string>({"mu_a"}));
+  EXPECT_EQ(inner.mutexes, std::vector<std::string>({"mu_b"}));
+  // The inner region nests strictly inside the outer one — the shape the
+  // lock-order edge collector keys on.
+  EXPECT_GT(inner.begin, outer.begin);
+  EXPECT_LE(inner.end, outer.end);
+}
+
+TEST(ParseTest, UnlockTruncatesTheRegion) {
+  const ParsedFile f = Parse(
+      "void Early() {\n"
+      "  std::unique_lock<std::mutex> lock(mu_);\n"
+      "  touched_ = 1;\n"
+      "  lock.unlock();\n"
+      "  after_ = 2;\n"
+      "}\n");
+  const FunctionDef* fn = FindFn(f, "Early");
+  ASSERT_NE(fn, nullptr);
+  ASSERT_EQ(fn->locks.size(), 1u);
+  const LockRegion& region = fn->locks[0];
+  // `touched_` is inside the region; `after_` is past the unlock().
+  EXPECT_TRUE(
+      RangeMentionsIdent(f.lex.tokens, region.begin, region.end, "touched_"));
+  EXPECT_FALSE(
+      RangeMentionsIdent(f.lex.tokens, region.begin, region.end, "after_"));
+}
+
+TEST(ParseTest, RelockOpensASecondSegment) {
+  const ParsedFile f = Parse(
+      "void Segmented() {\n"
+      "  std::unique_lock<std::mutex> lock(mu_);\n"
+      "  first_ = 1;\n"
+      "  lock.unlock();\n"
+      "  gap_ = 2;\n"
+      "  lock.lock();\n"
+      "  second_ = 3;\n"
+      "}\n");
+  const FunctionDef* fn = FindFn(f, "Segmented");
+  ASSERT_NE(fn, nullptr);
+  ASSERT_EQ(fn->locks.size(), 2u);
+  EXPECT_EQ(fn->locks[0].name, "lock");
+  EXPECT_EQ(fn->locks[1].name, "lock");
+  EXPECT_EQ(fn->locks[0].mutexes, fn->locks[1].mutexes);
+  // The re-lock segment reports the .lock() line, not the declaration's.
+  EXPECT_EQ(fn->locks[0].line, 2);
+  EXPECT_EQ(fn->locks[1].line, 6);
+  const auto& toks = f.lex.tokens;
+  EXPECT_TRUE(RangeMentionsIdent(toks, fn->locks[0].begin, fn->locks[0].end,
+                                 "first_"));
+  EXPECT_FALSE(
+      RangeMentionsIdent(toks, fn->locks[0].begin, fn->locks[0].end, "gap_"));
+  EXPECT_FALSE(RangeMentionsIdent(toks, fn->locks[1].begin, fn->locks[1].end,
+                                  "gap_"));
+  EXPECT_TRUE(RangeMentionsIdent(toks, fn->locks[1].begin, fn->locks[1].end,
+                                 "second_"));
+}
+
+TEST(ParseTest, ScopedLockOverTwoMutexesIsOneRegion) {
+  const ParsedFile f = Parse(
+      "void Both() {\n"
+      "  std::scoped_lock lock(mu_a, mu_b);\n"
+      "  Use();\n"
+      "}\n");
+  const FunctionDef* fn = FindFn(f, "Both");
+  ASSERT_NE(fn, nullptr);
+  ASSERT_EQ(fn->locks.size(), 1u);
+  EXPECT_EQ(fn->locks[0].mutexes,
+            std::vector<std::string>({"mu_a", "mu_b"}));
+}
+
+TEST(ParseTest, DeferLockContributesNoInitialRegion) {
+  const ParsedFile f = Parse(
+      "void Deferred() {\n"
+      "  std::unique_lock<std::mutex> lock(mu_, std::defer_lock);\n"
+      "  not_held_ = 1;\n"
+      "  lock.lock();\n"
+      "  held_ = 2;\n"
+      "}\n");
+  const FunctionDef* fn = FindFn(f, "Deferred");
+  ASSERT_NE(fn, nullptr);
+  ASSERT_EQ(fn->locks.size(), 1u);
+  const LockRegion& region = fn->locks[0];
+  // The only region starts at the explicit .lock(); the defer_lock tag is
+  // not recorded as a mutex.
+  EXPECT_EQ(region.mutexes, std::vector<std::string>({"mu_"}));
+  const auto& toks = f.lex.tokens;
+  EXPECT_FALSE(
+      RangeMentionsIdent(toks, region.begin, region.end, "not_held_"));
+  EXPECT_TRUE(RangeMentionsIdent(toks, region.begin, region.end, "held_"));
+}
+
+TEST(ParseTest, MemberPathMutexesAreFlattened) {
+  const ParsedFile f = Parse(
+      "void Wait(Waiter* waiter) {\n"
+      "  std::lock_guard<std::mutex> lock(waiter->mu);\n"
+      "}\n");
+  const FunctionDef* fn = FindFn(f, "Wait");
+  ASSERT_NE(fn, nullptr);
+  ASSERT_EQ(fn->locks.size(), 1u);
+  EXPECT_EQ(fn->locks[0].mutexes,
+            std::vector<std::string>({"waiter->mu"}));
+}
+
+TEST(ParseTest, GuardedFieldAndClassRecovery) {
+  const ParsedFile f = Parse(
+      "class Ledger {\n"
+      " public:\n"
+      "  void Deposit(int amount);\n"
+      " private:\n"
+      "  mutable std::mutex mu_;\n"
+      "  int balance_ CYQR_GUARDED_BY(mu_) = 0;\n"
+      "};\n"
+      "int g_total CYQR_GUARDED_BY(g_mu) = 0;\n");
+  ASSERT_EQ(f.classes.size(), 1u);
+  EXPECT_EQ(f.classes[0].name, "Ledger");
+  ASSERT_EQ(f.guarded_fields.size(), 2u);
+  EXPECT_EQ(f.guarded_fields[0].class_name, "Ledger");
+  EXPECT_EQ(f.guarded_fields[0].field, "balance_");
+  EXPECT_EQ(f.guarded_fields[0].mutex, "mu_");
+  EXPECT_EQ(f.guarded_fields[1].class_name, "");
+  EXPECT_EQ(f.guarded_fields[1].field, "g_total");
+  EXPECT_EQ(f.guarded_fields[1].mutex, "g_mu");
+}
+
+TEST(ParseTest, AnnotationRecoveredFromDeclarationAndDefinition) {
+  const ParsedFile f = Parse(
+      "class Registry {\n"
+      " public:\n"
+      "  Family* GetFamily(const std::string& name) CYQR_REQUIRES(mu_);\n"
+      "  void Publish() CYQR_EXCLUDES(mu_) {\n"
+      "    std::lock_guard<std::mutex> lock(mu_);\n"
+      "  }\n"
+      "};\n");
+  // Declaration-site REQUIRES: recovered as an AnnotationSite even though
+  // the function has no body in this file.
+  bool saw_requires = false;
+  bool saw_excludes = false;
+  for (const AnnotationSite& site : f.annotations) {
+    if (site.macro == "CYQR_REQUIRES") {
+      saw_requires = true;
+      EXPECT_EQ(site.function, "GetFamily");
+      EXPECT_EQ(site.class_name, "Registry");
+      EXPECT_EQ(site.args, std::vector<std::string>({"mu_"}));
+    }
+    if (site.macro == "CYQR_EXCLUDES") {
+      saw_excludes = true;
+      EXPECT_EQ(site.function, "Publish");
+      EXPECT_EQ(site.class_name, "Registry");
+    }
+  }
+  EXPECT_TRUE(saw_requires);
+  EXPECT_TRUE(saw_excludes);
+  // The definition's annotation also lands on the FunctionDef itself.
+  const FunctionDef* publish = FindFn(f, "Publish");
+  ASSERT_NE(publish, nullptr);
+  EXPECT_EQ(publish->excludes_locks, std::vector<std::string>({"mu_"}));
+  EXPECT_EQ(publish->class_name, "Registry");
+}
+
+TEST(ParseTest, AnnotatedDefinitionBodyIsStillRecovered) {
+  // The CYQR_* group sits between the parameter list and the body; the
+  // body-brace scan must skip it or the whole function vanishes.
+  const ParsedFile f = Parse(
+      "void Compact() CYQR_REQUIRES(mu_) {\n"
+      "  entries_ = 0;\n"
+      "}\n");
+  const FunctionDef* fn = FindFn(f, "Compact");
+  ASSERT_NE(fn, nullptr);
+  EXPECT_EQ(fn->requires_locks, std::vector<std::string>({"mu_"}));
+  EXPECT_TRUE(RangeMentionsIdent(f.lex.tokens, fn->body_begin, fn->body_end,
+                                 "entries_"));
+}
+
+}  // namespace
+}  // namespace cyqr_lint

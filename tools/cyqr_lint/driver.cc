@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
@@ -12,6 +13,8 @@
 #include <sstream>
 #include <thread>
 
+#include "core/file_util.h"
+#include "core/thread_annotations.h"
 #include "core/thread_pool.h"
 
 namespace cyqr_lint {
@@ -23,8 +26,8 @@ namespace fs = std::filesystem;
 /// Bump whenever a rule's behaviour changes: stale caches from an older
 /// rule set must miss, or a fixed rule would keep replaying its old
 /// (possibly wrong) diagnostics for unchanged files.
-constexpr const char* kRulesVersionSalt = "cyqr-lint-rules-v2";
-constexpr const char* kCacheMagic = "cyqr-lint-cache 2";
+constexpr const char* kRulesVersionSalt = "cyqr-lint-rules-v3";
+constexpr const char* kCacheMagic = "cyqr-lint-cache 3";
 
 bool HasLintableExtension(const fs::path& p) {
   const std::string ext = p.extension().string();
@@ -43,7 +46,10 @@ bool IsExcluded(const std::string& path,
 /// Done() exactly once; Wait() returns when all of them have.
 class WaitGroup {
  public:
-  void Add(int n) { count_ += n; }
+  void Add(int n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    count_ += n;
+  }
   void Done() {
     std::lock_guard<std::mutex> lock(mu_);
     if (--count_ == 0) cv_.notify_all();
@@ -56,13 +62,20 @@ class WaitGroup {
  private:
   std::mutex mu_;
   std::condition_variable cv_;
-  int count_ = 0;
+  int count_ CYQR_GUARDED_BY(mu_) = 0;
 };
 
 struct CacheEntry {
   uint64_t hash = 0;
   std::vector<std::string> status_facts;
   std::vector<std::string> deadline_facts;
+  /// Serialized thread-safety declaration facts ("gf ..."/"rq ..."/
+  /// "aq ..."); part of the whole-context fingerprint.
+  std::vector<std::string> ts_facts;
+  /// Serialized lock-order edge facts ("le ..."/"hc ..."/"fl ...");
+  /// outside the fingerprint — the cycle pass recomputes from them fresh
+  /// every run, so they influence no per-file diagnostic.
+  std::vector<std::string> edge_facts;
   std::vector<Diagnostic> diags;
 };
 
@@ -101,6 +114,10 @@ Cache LoadCache(const std::string& path) {
       entry->status_facts.push_back(line.substr(2));
     } else if (entry != nullptr && line.rfind("d ", 0) == 0) {
       entry->deadline_facts.push_back(line.substr(2));
+    } else if (entry != nullptr && line.rfind("t ", 0) == 0) {
+      entry->ts_facts.push_back(line.substr(2));
+    } else if (entry != nullptr && line.rfind("e ", 0) == 0) {
+      entry->edge_facts.push_back(line.substr(2));
     } else if (entry != nullptr && line.rfind("g ", 0) == 0) {
       // "g <line> <rule> <message...>"
       std::istringstream fields(line.substr(2));
@@ -143,6 +160,22 @@ uint64_t Fingerprint(const LintOptions& options, const LintContext& ctx) {
   }
   for (const std::string& name : ctx.status_functions) HashMix(&h, name);
   for (const std::string& name : ctx.deadline_functions) HashMix(&h, name);
+  for (const auto& kv : ctx.guarded_fields) {
+    HashMix(&h, "gf");
+    HashMix(&h, kv.first);
+    HashMix(&h, kv.second);
+  }
+  for (const auto& kv : ctx.requires_functions) {
+    HashMix(&h, "rq");
+    HashMix(&h, kv.first);
+    for (const std::string& m : kv.second) HashMix(&h, m);
+  }
+  for (const auto& kv : ctx.acquire_functions) {
+    HashMix(&h, "aq");
+    HashMix(&h, kv.first);
+    for (const std::string& m : kv.second) HashMix(&h, m);
+  }
+  // ctx.lock_order_edges deliberately excluded: see LintContext.
   return h;
 }
 
@@ -179,6 +212,12 @@ void WriteCache(const std::string& path, uint64_t fingerprint,
       for (const std::string& name : kv.second.deadline_facts) {
         out << "d " << name << '\n';
       }
+      for (const std::string& fact : kv.second.ts_facts) {
+        out << "t " << fact << '\n';
+      }
+      for (const std::string& fact : kv.second.edge_facts) {
+        out << "e " << fact << '\n';
+      }
       for (const Diagnostic& d : kv.second.diags) {
         out << "g " << d.line << ' ' << d.rule << ' '
             << StripNewlines(d.message) << '\n';
@@ -204,10 +243,12 @@ struct FileWork {
   uint64_t hash = 0;
   bool read_ok = false;
   bool hash_hit = false;  ///< Content matches the cache entry.
-  bool lexed = false;
-  LexedFile lex;
+  bool parsed_ok = false;
+  ParsedFile parsed;  ///< Wave 1 parses once; wave 2 reuses it.
   std::set<std::string> status_facts;
   std::set<std::string> deadline_facts;
+  std::set<std::string> ts_facts;
+  std::vector<std::string> edge_facts;
   bool analyzed = false;
   std::vector<Diagnostic> diags;
   bool fixed = false;
@@ -354,6 +395,11 @@ std::string FormatStats(const DriverStats& stats) {
       << " from_cache=" << stats.files_from_cache
       << " fixed=" << stats.files_fixed << " jobs=" << stats.jobs
       << " cache=" << (stats.cache_valid ? "warm" : "cold") << '\n';
+  for (const auto& kv : stats.rule_millis) {
+    char ms[32];
+    std::snprintf(ms, sizeof(ms), "%.2f", kv.second);
+    out << "cyqr_lint rule_ms " << kv.first << ' ' << ms << '\n';
+  }
   return out.str();
 }
 
@@ -382,9 +428,10 @@ DriverResult RunDriver(const std::vector<std::string>& paths,
   std::vector<FileWork> work(files.size());
   std::atomic<int> read_failures{0};
 
-  // Wave 1: read + hash every file; lex and collect facts for the ones
-  // the cache cannot vouch for. Facts for hash-hit files come straight
-  // from the cache, so a warm run never re-lexes an unchanged tree.
+  // Wave 1: read + hash every file; lex+parse and collect facts for the
+  // ones the cache cannot vouch for. Facts for hash-hit files come
+  // straight from the cache, so a warm run never re-lexes an unchanged
+  // tree.
   ParallelFor(&pool, work.size(), [&](size_t i) {
     FileWork& w = work[i];
     w.path = files[i];
@@ -403,12 +450,16 @@ DriverResult RunDriver(const std::vector<std::string>& paths,
                             it->second.status_facts.end());
       w.deadline_facts.insert(it->second.deadline_facts.begin(),
                               it->second.deadline_facts.end());
+      w.ts_facts.insert(it->second.ts_facts.begin(),
+                        it->second.ts_facts.end());
+      w.edge_facts = it->second.edge_facts;
       return;
     }
-    w.lex = LexFile(w.path, w.source);
-    w.lexed = true;
-    CollectStatusFunctions(w.lex, &w.status_facts);
-    CollectDeadlineFunctions(w.lex, &w.deadline_facts);
+    w.parsed = ParseFile(LexFile(w.path, w.source));
+    w.parsed_ok = true;
+    CollectStatusFunctions(w.parsed.lex, &w.status_facts);
+    CollectDeadlineFunctions(w.parsed.lex, &w.deadline_facts);
+    CollectThreadSafetyFacts(w.parsed, &w.ts_facts, &w.edge_facts);
   });
 
   // Barrier: the cross-file fact sets must be complete before any rule
@@ -420,16 +471,23 @@ DriverResult RunDriver(const std::vector<std::string>& paths,
                                 w.status_facts.end());
     ctx.deadline_functions.insert(w.deadline_facts.begin(),
                                   w.deadline_facts.end());
+    MergeThreadSafetyFacts(w.ts_facts, &ctx);
   }
   const uint64_t fingerprint = Fingerprint(options.lint, ctx);
   const bool cache_valid =
       cache.loaded && cache.fingerprint == fingerprint;
   result.stats.cache_valid = cache_valid;
+  // Edge facts resolve only against the complete requires/acquire maps,
+  // so this runs after every file's declaration facts are merged.
+  for (const FileWork& w : work) {
+    ResolveEdgeFacts(w.path, w.edge_facts, &ctx);
+  }
 
   // Wave 2: analyze. Cached diagnostics are reused only when the file's
   // content AND the whole-context fingerprint match — and never in fix
   // mode, because cached findings carry no fix spans.
   const std::vector<std::unique_ptr<Rule>> rules = BuildAllRules();
+  RuleTimings timings(rules.size());
   std::atomic<int> analyzed{0};
   std::atomic<int> from_cache{0};
   ParallelFor(&pool, work.size(), [&](size_t i) {
@@ -441,13 +499,11 @@ DriverResult RunDriver(const std::vector<std::string>& paths,
       from_cache.fetch_add(1, std::memory_order_relaxed);
       return;
     }
-    if (!w.lexed) {
-      w.lex = LexFile(w.path, w.source);
-      w.lexed = true;
+    if (!w.parsed_ok) {
+      w.parsed = ParseFile(LexFile(w.path, w.source));
+      w.parsed_ok = true;
     }
-    const ParsedFile parsed = ParseFile(std::move(w.lex));
-    w.lexed = false;  // Moved from.
-    AnalyzeFile(parsed, ctx, options.lint, rules, &w.diags);
+    AnalyzeFile(w.parsed, ctx, options.lint, rules, &w.diags, &timings);
     w.analyzed = true;
     // ordering: pure tally, read only after Drain().
     analyzed.fetch_add(1, std::memory_order_relaxed);
@@ -455,6 +511,31 @@ DriverResult RunDriver(const std::vector<std::string>& paths,
   pool.Drain();
   result.stats.files_analyzed = analyzed.load();
   result.stats.files_from_cache = from_cache.load();
+
+  // Whole-tree pass: cycles in the merged lock acquisition-order graph.
+  // Never cached (edges are re-resolved every run, including from
+  // hash-hit files); NOLINT was applied at edge collection, allowlists
+  // apply here.
+  std::vector<Diagnostic> cycle_diags;
+  if (options.lint.enabled_rules.empty() ||
+      options.lint.enabled_rules.count("lock-order-cycle") != 0) {
+    const auto cycle_start = std::chrono::steady_clock::now();
+    for (Diagnostic& d : CheckLockOrderCycles(ctx)) {
+      if (IsAllowlisted(options.lint, d.rule, d.file)) continue;
+      cycle_diags.push_back(std::move(d));
+    }
+    for (size_t r = 0; r < rules.size(); ++r) {
+      if (std::string(rules[r]->name()) == "lock-order-cycle") {
+        timings.Add(r, std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now() - cycle_start)
+                           .count());
+      }
+    }
+  }
+  for (size_t r = 0; r < rules.size(); ++r) {
+    result.stats.rule_millis.emplace_back(
+        rules[r]->name(), static_cast<double>(timings.nanos(r)) / 1e6);
+  }
 
   // Fix phase (serial: touches the filesystem). Synthesized NOLINT
   // suppressions are attached first so they ride the same edit engine.
@@ -494,11 +575,28 @@ DriverResult RunDriver(const std::vector<std::string>& paths,
       w.fixed = true;
       ++result.stats.files_fixed;
       if (options.fix && !options.fix_dry_run) {
-        std::ofstream out(w.path, std::ios::trunc | std::ios::binary);
-        out << fixed;
-        out.flush();
-        if (!out.good()) {
+        // Temp + fsync + rename: an interrupted fix run (crash, SIGKILL,
+        // power cut) can never truncate a source file — the original is
+        // replaced only by the atomic rename of a fully synced temp.
+        const std::string tmp = cyqr::TempPathFor(w.path);
+        bool streamed = false;
+        {
+          std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+          out << fixed;
+          out.flush();
+          streamed = out.good();
+        }
+        if (!streamed || !cyqr::SyncFile(tmp).ok()) {
           result.lint.errors.push_back("cannot rewrite: " + w.path);
+          std::error_code ec;
+          fs::remove(tmp, ec);
+          continue;
+        }
+        if (options.on_fix_tmp_synced) options.on_fix_tmp_synced(tmp);
+        if (!cyqr::RenameFile(tmp, w.path).ok()) {
+          result.lint.errors.push_back("cannot rewrite: " + w.path);
+          std::error_code ec;
+          fs::remove(tmp, ec);
         }
       }
     }
@@ -526,8 +624,13 @@ DriverResult RunDriver(const std::vector<std::string>& paths,
                               w.status_facts.end());
     entry.deadline_facts.assign(w.deadline_facts.begin(),
                                 w.deadline_facts.end());
+    entry.ts_facts.assign(w.ts_facts.begin(), w.ts_facts.end());
+    entry.edge_facts = w.edge_facts;
     entry.diags = w.diags;
     next_entries[w.path] = std::move(entry);
+  }
+  for (Diagnostic& d : cycle_diags) {
+    result.lint.diagnostics.push_back(std::move(d));
   }
   result.lint.files_scanned = scanned;
   std::sort(result.lint.diagnostics.begin(), result.lint.diagnostics.end(),

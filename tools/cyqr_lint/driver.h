@@ -2,7 +2,9 @@
 #define CYQR_LINT_DRIVER_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "lint.h"
@@ -29,6 +31,10 @@ struct DriverOptions {
   /// Rules for which --fix synthesizes a NOLINTNEXTLINE(cyqr-<rule>)
   /// suppression (with a TODO justification) at each finding.
   std::vector<std::string> fix_nolint_rules;
+  /// Test hook: called after a fix temp file is written and fsynced,
+  /// just before the rename commits it. A test that _exits here proves a
+  /// mid-fix kill leaves the original file intact.
+  std::function<void(const std::string& tmp_path)> on_fix_tmp_synced;
 };
 
 struct DriverStats {
@@ -38,6 +44,9 @@ struct DriverStats {
   int files_fixed = 0;      ///< Files rewritten (or diffed) by --fix.
   int jobs = 1;             ///< Worker threads actually used.
   bool cache_valid = false; ///< Cache fingerprint matched this run.
+  /// Cumulative wall time per rule in milliseconds, in rule order
+  /// (summed across workers, so totals can exceed wall clock).
+  std::vector<std::pair<std::string, double>> rule_millis;
 };
 
 struct DriverResult {

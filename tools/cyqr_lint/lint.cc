@@ -1,24 +1,18 @@
 #include "lint.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <deque>
 #include <sstream>
+#include <tuple>
+#include <utility>
 
 #include "driver.h"
 
 namespace cyqr_lint {
 
 namespace {
-
-bool IsAllowlisted(const LintOptions& options, const std::string& rule,
-                   const std::string& file) {
-  auto it = options.allow.find(rule);
-  if (it == options.allow.end()) return false;
-  for (const std::string& fragment : it->second) {
-    if (file.find(fragment) != std::string::npos) return true;
-  }
-  return false;
-}
 
 std::string JsonEscape(const std::string& s) {
   std::string out;
@@ -50,7 +44,59 @@ std::string JsonEscape(const std::string& s) {
   return out;
 }
 
+/// Joins strings with commas ("mu_,io_mu_") for the serialized facts.
+std::string JoinComma(const std::vector<std::string>& parts) {
+  std::string out;
+  for (const std::string& p : parts) {
+    if (!out.empty()) out += ',';
+    out += p;
+  }
+  return out;
+}
+
+std::vector<std::string> SplitComma(const std::string& joined) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (char c : joined) {
+    if (c == ',') {
+      if (!cur.empty()) parts.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) parts.push_back(cur);
+  return parts;
+}
+
+/// Maps a mutex expression to its node in the global lock graph. Plain
+/// member names are qualified by the owning class ("mu_" in a
+/// MetricsRegistry method -> "MetricsRegistry::mu_") so same-named
+/// mutexes in different classes never alias; already-qualified paths
+/// ("waiter->mu", "Shard::mu") pass through, with an explicit `this->`
+/// prefix folded into the class qualifier.
+std::string QualifyMutex(const std::string& class_name, std::string path) {
+  if (path.rfind("this->", 0) == 0) path = path.substr(6);
+  if (path.find("::") != std::string::npos ||
+      path.find("->") != std::string::npos ||
+      path.find('.') != std::string::npos) {
+    return path;
+  }
+  if (class_name.empty()) return path;
+  return class_name + "::" + path;
+}
+
 }  // namespace
+
+bool IsAllowlisted(const LintOptions& options, const std::string& rule,
+                   const std::string& file) {
+  auto it = options.allow.find(rule);
+  if (it == options.allow.end()) return false;
+  for (const std::string& fragment : it->second) {
+    if (file.find(fragment) != std::string::npos) return true;
+  }
+  return false;
+}
 
 void SeedContext(LintContext* ctx) {
   // Core factory/propagation names: calls like Status::OK() or
@@ -64,12 +110,14 @@ void SeedContext(LintContext* ctx) {
 void AnalyzeFile(const ParsedFile& file, const LintContext& ctx,
                  const LintOptions& options,
                  const std::vector<std::unique_ptr<Rule>>& rules,
-                 std::vector<Diagnostic>* out) {
-  for (const auto& rule : rules) {
+                 std::vector<Diagnostic>* out, RuleTimings* timings) {
+  for (size_t r = 0; r < rules.size(); ++r) {
+    const auto& rule = rules[r];
     if (!options.enabled_rules.empty() &&
         options.enabled_rules.count(rule->name()) == 0) {
       continue;
     }
+    const auto start = std::chrono::steady_clock::now();
     std::vector<Diagnostic> found;
     rule->Check(file, ctx, &found);
     for (Diagnostic& d : found) {
@@ -77,7 +125,287 @@ void AnalyzeFile(const ParsedFile& file, const LintContext& ctx,
       if (IsAllowlisted(options, d.rule, d.file)) continue;
       out->push_back(std::move(d));
     }
+    if (timings != nullptr) {
+      timings->Add(r, std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - start)
+                          .count());
+    }
   }
+}
+
+void CollectThreadSafetyFacts(const ParsedFile& file,
+                              std::set<std::string>* core_facts,
+                              std::vector<std::string>* edge_facts) {
+  for (const GuardedFieldDecl& gf : file.guarded_fields) {
+    const std::string key = gf.class_name + "::" + gf.field;
+    core_facts->insert("gf " + key + " " + gf.mutex);
+  }
+  for (const AnnotationSite& site : file.annotations) {
+    const char* tag = nullptr;
+    std::vector<std::string> args = site.args;
+    if (site.macro == "CYQR_REQUIRES") {
+      tag = "rq";  // Mutexes stay as written: matched against the
+                   // caller's own lock regions and REQUIRES lists.
+    } else if (site.macro == "CYQR_ACQUIRE") {
+      tag = "aq";  // Mutexes become graph nodes: qualify them.
+      for (std::string& m : args) m = QualifyMutex(site.class_name, m);
+    } else {
+      continue;  // RELEASE/EXCLUDES carry no cross-file obligations yet.
+    }
+    const std::string joined = JoinComma(args);
+    if (joined.empty()) continue;
+    core_facts->insert(std::string(tag) + " " + site.function + " " + joined);
+    if (!site.class_name.empty()) {
+      core_facts->insert(std::string(tag) + " " + site.class_name +
+                         "::" + site.function + " " + joined);
+    }
+  }
+
+  const char* kCycleRule = "lock-order-cycle";
+  std::set<std::string> seen;  // Dedup within the file.
+  auto emit = [&](const std::string& fact) {
+    if (seen.insert(fact).second) edge_facts->push_back(fact);
+  };
+  for (const FunctionDef& fn : file.functions) {
+    // Mutexes held for the whole body via the definition's own REQUIRES.
+    std::vector<std::string> held_always;
+    for (const std::string& m : fn.requires_locks) {
+      held_always.push_back(QualifyMutex(fn.class_name, m));
+    }
+    for (const LockRegion& outer : fn.locks) {
+      // Direct nesting: a region opened inside another held region means
+      // outer's mutexes were held when inner's were acquired. Segments of
+      // the same guard are sequential, never nested.
+      for (const LockRegion& inner : fn.locks) {
+        if (&inner == &outer || inner.name == outer.name) continue;
+        if (inner.begin <= outer.begin || inner.end > outer.end) continue;
+        if (IsSuppressed(file.lex, inner.line, kCycleRule)) continue;
+        for (const std::string& mo : outer.mutexes) {
+          for (const std::string& mi : inner.mutexes) {
+            emit("le " + QualifyMutex(fn.class_name, mo) + " " +
+                 QualifyMutex(fn.class_name, mi) + " " +
+                 std::to_string(inner.line));
+          }
+        }
+      }
+      // This function acquires these mutexes in its body; if some file
+      // declares a REQUIRES for it, the merge resolves that into edges.
+      if (IsSuppressed(file.lex, outer.line, kCycleRule)) continue;
+      const std::string cls = fn.class_name.empty() ? "-" : fn.class_name;
+      for (const std::string& m : outer.mutexes) {
+        emit("fl " + cls + " " + fn.name + " " +
+             QualifyMutex(fn.class_name, m) + " " +
+             std::to_string(outer.line));
+      }
+    }
+    // Calls made while a lock is held: if the callee is a CYQR_ACQUIRE
+    // function anywhere in the tree, the merge adds held -> acquired.
+    for (const CallSite& call : fn.calls) {
+      if (IsSuppressed(file.lex, call.line, kCycleRule)) continue;
+      for (const LockRegion& region : fn.locks) {
+        if (call.name_index < region.begin || call.name_index >= region.end) {
+          continue;
+        }
+        for (const std::string& m : region.mutexes) {
+          emit("hc " + QualifyMutex(fn.class_name, m) + " " + call.callee +
+               " " + std::to_string(call.line));
+        }
+      }
+      for (const std::string& held : held_always) {
+        emit("hc " + held + " " + call.callee + " " +
+             std::to_string(call.line));
+      }
+    }
+  }
+}
+
+void MergeThreadSafetyFacts(const std::set<std::string>& core_facts,
+                            LintContext* ctx) {
+  for (const std::string& fact : core_facts) {
+    std::istringstream in(fact);
+    std::string tag, key, value;
+    if (!(in >> tag >> key >> value)) continue;
+    if (tag == "gf") {
+      ctx->guarded_fields[key] = value;
+      continue;
+    }
+    std::map<std::string, std::vector<std::string>>* dest = nullptr;
+    if (tag == "rq") dest = &ctx->requires_functions;
+    if (tag == "aq") dest = &ctx->acquire_functions;
+    if (dest == nullptr) continue;
+    std::vector<std::string>& mutexes = (*dest)[key];
+    for (const std::string& m : SplitComma(value)) {
+      if (std::find(mutexes.begin(), mutexes.end(), m) == mutexes.end()) {
+        mutexes.push_back(m);
+      }
+    }
+  }
+}
+
+void ResolveEdgeFacts(const std::string& file,
+                      const std::vector<std::string>& edge_facts,
+                      LintContext* ctx) {
+  for (const std::string& fact : edge_facts) {
+    std::istringstream in(fact);
+    std::string tag;
+    if (!(in >> tag)) continue;
+    if (tag == "le") {
+      LockOrderEdge edge;
+      if (!(in >> edge.from >> edge.to >> edge.line)) continue;
+      edge.file = file;
+      ctx->lock_order_edges.push_back(std::move(edge));
+    } else if (tag == "hc") {
+      std::string held, callee;
+      int line = 0;
+      if (!(in >> held >> callee >> line)) continue;
+      auto it = ctx->acquire_functions.find(callee);
+      if (it == ctx->acquire_functions.end()) continue;
+      for (const std::string& acquired : it->second) {
+        ctx->lock_order_edges.push_back({held, acquired, file, line});
+      }
+    } else if (tag == "fl") {
+      std::string cls, fn, acquired;
+      int line = 0;
+      if (!(in >> cls >> fn >> acquired >> line)) continue;
+      if (cls == "-") cls.clear();
+      auto it = ctx->requires_functions.end();
+      if (!cls.empty()) {
+        it = ctx->requires_functions.find(cls + "::" + fn);
+      }
+      if (it == ctx->requires_functions.end()) {
+        it = ctx->requires_functions.find(fn);
+      }
+      if (it == ctx->requires_functions.end()) continue;
+      for (const std::string& required : it->second) {
+        const std::string from = QualifyMutex(cls, required);
+        if (from == acquired) continue;  // REQUIRES(m) + re-guard of m is
+                                         // the lock-scope rule's domain.
+        ctx->lock_order_edges.push_back({from, acquired, file, line});
+      }
+    }
+  }
+}
+
+std::vector<Diagnostic> CheckLockOrderCycles(const LintContext& ctx) {
+  std::vector<Diagnostic> out;
+  // Deduplicate edges, keeping the lexicographically first witness so
+  // reports are stable across runs and worker interleavings.
+  std::vector<LockOrderEdge> edges = ctx.lock_order_edges;
+  std::sort(edges.begin(), edges.end(),
+            [](const LockOrderEdge& a, const LockOrderEdge& b) {
+              return std::tie(a.from, a.to, a.file, a.line) <
+                     std::tie(b.from, b.to, b.file, b.line);
+            });
+  std::map<std::pair<std::string, std::string>, LockOrderEdge> uniq;
+  for (const LockOrderEdge& e : edges) {
+    uniq.emplace(std::make_pair(e.from, e.to), e);
+  }
+  std::map<std::string, std::vector<std::string>> adj;
+  for (const auto& entry : uniq) {
+    const LockOrderEdge& e = entry.second;
+    if (e.from == e.to) {
+      // Length-1 cycle: the same mutex acquired while already held.
+      Diagnostic d;
+      d.file = e.file;
+      d.line = e.line;
+      d.rule = "lock-order-cycle";
+      d.message = "mutex '" + e.from +
+                  "' acquired while already held (self-deadlock for a "
+                  "non-recursive mutex)";
+      out.push_back(std::move(d));
+      continue;
+    }
+    adj[e.from].push_back(e.to);
+  }
+  auto reachable = [&adj](const std::string& from, const std::string& to) {
+    std::set<std::string> visited{from};
+    std::deque<std::string> queue{from};
+    while (!queue.empty()) {
+      const std::string node = queue.front();
+      queue.pop_front();
+      auto it = adj.find(node);
+      if (it == adj.end()) continue;
+      for (const std::string& next : it->second) {
+        if (next == to) return true;
+        if (visited.insert(next).second) queue.push_back(next);
+      }
+    }
+    return false;
+  };
+  // Group mutually reachable nodes; report each component once, anchored
+  // at its lexicographically smallest node.
+  std::set<std::string> reported;
+  for (const auto& entry : adj) {
+    const std::string& a = entry.first;
+    if (reported.count(a) != 0) continue;
+    std::vector<std::string> component;
+    for (const auto& other : adj) {
+      const std::string& b = other.first;
+      if (b == a) continue;
+      if (reachable(a, b) && reachable(b, a)) component.push_back(b);
+    }
+    if (component.empty()) continue;
+    reported.insert(a);
+    for (const std::string& b : component) reported.insert(b);
+    // Shortest cycle through `a` by BFS with parent links.
+    std::map<std::string, std::string> parent;
+    std::deque<std::string> queue{a};
+    std::string closer;  // Node with an edge back to `a`.
+    while (!queue.empty() && closer.empty()) {
+      const std::string node = queue.front();
+      queue.pop_front();
+      auto it = adj.find(node);
+      if (it == adj.end()) continue;
+      for (const std::string& next : it->second) {
+        if (next == a && node != a) {
+          closer = node;
+          break;
+        }
+        if (next != a && parent.emplace(next, node).second) {
+          queue.push_back(next);
+        }
+      }
+    }
+    if (closer.empty()) continue;  // Only possible via self-edges.
+    std::vector<std::string> cycle{a};
+    for (std::string node = closer; node != a;) {
+      cycle.insert(cycle.begin() + 1, node);
+      auto it = parent.find(node);
+      if (it == parent.end()) break;
+      node = it->second;
+    }
+    cycle.push_back(a);  // A -> ... -> closer -> A.
+    std::string order;
+    for (const std::string& node : cycle) {
+      if (!order.empty()) order += " -> ";
+      order += "'" + node + "'";
+    }
+    std::string witnesses;
+    const LockOrderEdge* first = nullptr;
+    for (size_t i = 0; i + 1 < cycle.size(); ++i) {
+      auto it = uniq.find(std::make_pair(cycle[i], cycle[i + 1]));
+      if (it == uniq.end()) continue;
+      const LockOrderEdge& e = it->second;
+      if (first == nullptr) first = &e;
+      if (!witnesses.empty()) witnesses += "; ";
+      witnesses += "'" + e.from + "' held while acquiring '" + e.to + "' (" +
+                   e.file + ":" + std::to_string(e.line) + ")";
+    }
+    Diagnostic d;
+    d.file = first != nullptr ? first->file : "";
+    d.line = first != nullptr ? first->line : 0;
+    d.rule = "lock-order-cycle";
+    d.message = "potential deadlock: lock acquisition order cycle " + order +
+                "; witness: " + witnesses +
+                "; establish one global acquisition order";
+    out.push_back(std::move(d));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return std::tie(a.file, a.line, a.message) <
+                     std::tie(b.file, b.line, b.message);
+            });
+  return out;
 }
 
 LintResult RunLint(const std::vector<std::string>& paths,
@@ -110,6 +438,63 @@ std::string FormatJson(const LintResult& result) {
     out << '\n';
   }
   out << "]\n";
+  return out.str();
+}
+
+std::string FormatSarif(const LintResult& result) {
+  const std::vector<std::unique_ptr<Rule>> rules = BuildAllRules();
+  std::map<std::string, size_t> rule_index;
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"$schema\": "
+         "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [\n"
+      << "    {\n"
+      << "      \"tool\": {\n"
+      << "        \"driver\": {\n"
+      << "          \"name\": \"cyqr_lint\",\n"
+      << "          \"rules\": [\n";
+  for (size_t i = 0; i < rules.size(); ++i) {
+    rule_index[rules[i]->name()] = i;
+    out << "            {\"id\": \"cyqr-" << JsonEscape(rules[i]->name())
+        << "\"}";
+    if (i + 1 < rules.size()) out << ',';
+    out << '\n';
+  }
+  out << "          ]\n"
+      << "        }\n"
+      << "      },\n"
+      << "      \"results\": [\n";
+  for (size_t i = 0; i < result.diagnostics.size(); ++i) {
+    const Diagnostic& d = result.diagnostics[i];
+    out << "        {\n"
+        << "          \"ruleId\": \"cyqr-" << JsonEscape(d.rule) << "\",\n";
+    auto it = rule_index.find(d.rule);
+    if (it != rule_index.end()) {
+      out << "          \"ruleIndex\": " << it->second << ",\n";
+    }
+    out << "          \"level\": \"error\",\n"
+        << "          \"message\": {\"text\": \"" << JsonEscape(d.message)
+        << "\"},\n"
+        << "          \"locations\": [\n"
+        << "            {\n"
+        << "              \"physicalLocation\": {\n"
+        << "                \"artifactLocation\": {\"uri\": \""
+        << JsonEscape(d.file) << "\"},\n"
+        << "                \"region\": {\"startLine\": "
+        << (d.line > 0 ? d.line : 1) << "}\n"
+        << "              }\n"
+        << "            }\n"
+        << "          ]\n"
+        << "        }";
+    if (i + 1 < result.diagnostics.size()) out << ',';
+    out << '\n';
+  }
+  out << "      ]\n"
+      << "    }\n"
+      << "  ]\n"
+      << "}\n";
   return out.str();
 }
 

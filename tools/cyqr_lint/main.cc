@@ -1,6 +1,7 @@
 // cyqr_lint — project-native static analyzer for the cycleqr tree.
 //
-//   cyqr_lint [--json] [--rule=NAME ...] [--allow=RULE:PATH_FRAGMENT ...]
+//   cyqr_lint [--json] [--sarif=FILE] [--rule=NAME ...]
+//             [--allow=RULE:PATH_FRAGMENT ...]
 //             [--exclude=PATH_FRAGMENT ...] [--jobs=N] [--cache=FILE]
 //             [--stats] [--fix] [--fix-dry-run] [--fix-nolint=RULE ...]
 //             [--list-rules] PATH [PATH ...]
@@ -39,6 +40,21 @@
 //   result-unwrap-check      Result<T>::value() with no dominating ok()
 //                            check in the same function
 //
+// The thread-safety rules (driven by the CYQR_GUARDED_BY / CYQR_REQUIRES
+// / CYQR_ACQUIRE annotation macros in src/core/thread_annotations.h,
+// resolved as cross-file facts):
+//
+//   guarded-field-access     a CYQR_GUARDED_BY(m) field touched outside
+//                            a lock region holding m and outside a
+//                            CYQR_REQUIRES(m) function
+//   requires-not-held        call site of a CYQR_REQUIRES(m) function
+//                            with no enclosing lock region holding m
+//   lock-order-cycle         cycle in the global (whole-tree) lock
+//                            acquisition-order graph built from nested
+//                            lock regions and CYQR_ACQUIRE edges; the
+//                            report carries every witness edge's
+//                            file:line
+//
 // Suppression: `// NOLINT(cyqr-<rule>)` on the offending line, or
 // `// NOLINTNEXTLINE(cyqr-<rule>)` on the line above; a justification
 // after the closing paren is expected by review convention. Allowlists
@@ -59,6 +75,7 @@
 #include <string>
 #include <vector>
 
+#include "core/file_util.h"
 #include "driver.h"
 #include "lint.h"
 
@@ -67,7 +84,7 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: cyqr_lint [--json] [--rule=NAME ...] "
+               "usage: cyqr_lint [--json] [--sarif=FILE] [--rule=NAME ...] "
                "[--allow=RULE:PATH_FRAGMENT ...] "
                "[--exclude=PATH_FRAGMENT ...] [--jobs=N] [--cache=FILE] "
                "[--stats] [--fix] [--fix-dry-run] [--fix-nolint=RULE ...] "
@@ -80,11 +97,16 @@ int Main(int argc, char** argv) {
   std::vector<std::string> paths;
   bool json = false;
   bool stats = false;
+  std::string sarif_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json") {
       json = true;
+    } else if (arg.rfind("--sarif=", 0) == 0) {
+      sarif_path = arg.substr(8);
+    } else if (arg == "--sarif" && i + 1 < argc) {
+      sarif_path = argv[++i];
     } else if (arg == "--stats") {
       stats = true;
     } else if (arg == "--fix") {
@@ -131,6 +153,16 @@ int Main(int argc, char** argv) {
   for (const std::string& error : result.lint.errors) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
   }
+  bool sarif_failed = false;
+  if (!sarif_path.empty()) {
+    const cyqr::Status written =
+        cyqr::WriteStringToFileAtomic(sarif_path, FormatSarif(result.lint));
+    if (!written.ok()) {
+      std::fprintf(stderr, "error: cannot write SARIF: %s\n",
+                   sarif_path.c_str());
+      sarif_failed = true;
+    }
+  }
   if (options.fix_dry_run && !result.fix_diff.empty()) {
     std::fputs(result.fix_diff.c_str(), stdout);
   }
@@ -143,7 +175,7 @@ int Main(int argc, char** argv) {
                  result.lint.diagnostics.size());
   }
   if (stats) std::fputs(FormatStats(result.stats).c_str(), stderr);
-  if (!result.lint.errors.empty()) return 2;
+  if (!result.lint.errors.empty() || sarif_failed) return 2;
   return result.lint.diagnostics.empty() ? 0 : 1;
 }
 

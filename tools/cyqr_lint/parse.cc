@@ -13,12 +13,34 @@ bool IsGuardType(const std::string& ident) {
          ident == "scoped_lock" || ident == "shared_lock";
 }
 
+bool IsAnnotationMacro(const std::string& ident) {
+  return ident == "CYQR_GUARDED_BY" || ident == "CYQR_REQUIRES" ||
+         ident == "CYQR_ACQUIRE" || ident == "CYQR_RELEASE" ||
+         ident == "CYQR_EXCLUDES";
+}
+
 /// Skips a balanced group starting at `i` (which must be on the opening
 /// token); returns the index just past the matching close, or toks.size().
 size_t SkipGroup(const std::vector<Token>& toks, size_t i, const char* open,
                  const char* close) {
   const size_t match = MatchForward(toks, i, open, close);
   return match >= toks.size() ? toks.size() : match + 1;
+}
+
+/// Backward bracket match: `close_index` must sit on a `close` token;
+/// returns the index of the matching `open`, or toks.size().
+size_t MatchBackward(const std::vector<Token>& toks, size_t close_index,
+                     const char* open, const char* close) {
+  int depth = 0;
+  for (size_t i = close_index + 1; i > 0;) {
+    --i;
+    if (toks[i].kind != TokKind::kPunct) continue;
+    if (toks[i].text == close) ++depth;
+    if (toks[i].text == open) {
+      if (--depth == 0) return i;
+    }
+  }
+  return toks.size();
 }
 
 /// Parses one parameter range [begin, end) into type + name. The name is
@@ -68,9 +90,10 @@ Param ParseParam(const std::vector<Token>& toks, size_t begin, size_t end) {
 }
 
 /// From the token after the parameter list's ')', walks over trailing
-/// qualifiers (const, noexcept, override, final, &, &&, trailing return
-/// types, member initializer lists) looking for the body '{'. Returns the
-/// index of the '{', or toks.size() when this is not a definition.
+/// qualifiers (const, noexcept, override, final, CYQR_* thread-safety
+/// annotations, &, &&, trailing return types, member initializer lists)
+/// looking for the body '{'. Returns the index of the '{', or toks.size()
+/// when this is not a definition.
 size_t FindBodyBrace(const std::vector<Token>& toks, size_t i) {
   const size_t n = toks.size();
   while (i < n) {
@@ -83,6 +106,10 @@ size_t FindBodyBrace(const std::vector<Token>& toks, size_t i) {
         ++i;
         // noexcept(...) condition.
         if (IsPunct(toks, i, "(")) i = SkipGroup(toks, i, "(", ")");
+        continue;
+      }
+      if (IsAnnotationMacro(t) && IsPunct(toks, i + 1, "(")) {
+        i = SkipGroup(toks, i + 1, "(", ")");
         continue;
       }
       return n;  // Some other identifier: not a definition shape.
@@ -157,6 +184,32 @@ bool CanBeDefinitionName(const std::vector<Token>& toks, size_t i) {
   return true;
 }
 
+/// Name of the innermost class whose body span contains token `i`, or "".
+std::string EnclosingClass(const std::vector<ClassDef>& classes, size_t i) {
+  const ClassDef* best = nullptr;
+  for (const ClassDef& c : classes) {
+    if (c.body_begin < i && i < c.body_end) {
+      if (best == nullptr ||
+          c.body_end - c.body_begin < best->body_end - best->body_begin) {
+        best = &c;
+      }
+    }
+  }
+  return best != nullptr ? best->name : std::string();
+}
+
+/// A std::unique_lock tag argument that means "not locked on entry" or
+/// "already locked": either way it is not a mutex operand.
+bool IsLockTag(const std::string& flattened) {
+  return flattened == "std::defer_lock" || flattened == "defer_lock" ||
+         flattened == "std::adopt_lock" || flattened == "adopt_lock" ||
+         flattened == "std::try_to_lock" || flattened == "try_to_lock";
+}
+
+bool IsDeferTag(const std::string& flattened) {
+  return flattened == "std::defer_lock" || flattened == "defer_lock";
+}
+
 }  // namespace
 
 bool FunctionDef::HasParamOfType(const std::string& fragment) const {
@@ -204,18 +257,86 @@ bool RangeMentionsIdent(const std::vector<Token>& toks, size_t begin,
   return false;
 }
 
+std::string FlattenMemberPath(const std::vector<Token>& toks, size_t begin,
+                              size_t end) {
+  std::string path;
+  for (size_t i = begin; i < end && i < toks.size(); ++i) {
+    if (toks[i].kind == TokKind::kIdent || toks[i].kind == TokKind::kNumber) {
+      path += toks[i].text;
+      continue;
+    }
+    if (toks[i].kind == TokKind::kPunct &&
+        (toks[i].text == "." || toks[i].text == "->" ||
+         toks[i].text == "::")) {
+      path += toks[i].text;
+    }
+  }
+  // Trim dangling separators left by dropped tokens ("&mu_" is fine, but
+  // "this->" with a dropped tail would leave "this->").
+  while (!path.empty() &&
+         (path.back() == '.' || path.back() == ':' || path.back() == '>')) {
+    path.pop_back();
+    if (!path.empty() && path.back() == '-') path.pop_back();
+  }
+  return path;
+}
+
 ParsedFile ParseFile(LexedFile lex) {
   ParsedFile out;
   out.lex = std::move(lex);
   const std::vector<Token>& toks = out.lex.tokens;
   const size_t n = toks.size();
 
+  // Pass 0: class/struct body extents, so fields and inline methods can
+  // be attributed to their class.
+  for (size_t i = 0; i < n; ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+    if (toks[i].text != "class" && toks[i].text != "struct") continue;
+    if (i > 0 && IsIdent(toks, i - 1, "enum")) continue;  // enum class.
+    size_t j = i + 1;
+    if (j >= n || toks[j].kind != TokKind::kIdent) continue;  // Anonymous.
+    const std::string name = toks[j].text;
+    const int line = toks[j].line;
+    // Walk the head (final, base clauses, template bases) to '{' or give
+    // up on ';' (forward declaration) or anything unrecognized (e.g. a
+    // `struct S* f()` return type).
+    size_t k = j + 1;
+    size_t body = n;
+    while (k < n) {
+      if (IsPunct(toks, k, "{")) {
+        body = k;
+        break;
+      }
+      if (IsPunct(toks, k, ";")) break;  // Forward declaration.
+      if (toks[k].kind == TokKind::kIdent || IsPunct(toks, k, "::") ||
+          IsPunct(toks, k, ",") || IsPunct(toks, k, ":")) {
+        ++k;
+        continue;
+      }
+      if (IsPunct(toks, k, "<")) {
+        k = SkipGroup(toks, k, "<", ">");
+        continue;
+      }
+      break;  // Not a class-definition shape.
+    }
+    if (body >= n) continue;
+    const size_t body_end = MatchForward(toks, body, "{", "}");
+    if (body_end >= n) continue;
+    ClassDef cls;
+    cls.name = name;
+    cls.line = line;
+    cls.body_begin = body;
+    cls.body_end = body_end;
+    out.classes.push_back(std::move(cls));
+  }
+
   // Pass 1: recover function definitions by the shape
-  //   NAME ( params ) [qualifiers] [init-list] {
+  //   NAME ( params ) [qualifiers] [annotations] [init-list] {
   for (size_t i = 0; i < n; ++i) {
     if (toks[i].kind != TokKind::kIdent) continue;
     if (!IsPunct(toks, i + 1, "(")) continue;
     if (!CanBeDefinitionName(toks, i)) continue;
+    if (IsAnnotationMacro(toks[i].text)) continue;
     const size_t close = MatchForward(toks, i + 1, "(", ")");
     if (close >= n) continue;
     const size_t body = FindBodyBrace(toks, close + 1);
@@ -226,11 +347,43 @@ ParsedFile ParseFile(LexedFile lex) {
     FunctionDef fn;
     fn.name = toks[i].text;
     fn.line = toks[i].line;
+    fn.name_index = i;
     fn.body_begin = body;
     fn.body_end = body_end;
+    // Class attribution: a `C::name` / `C::~C` qualifier wins; otherwise
+    // the innermost enclosing class body (inline methods in headers).
+    size_t qual = i;  // Index whose predecessor should be '::'.
+    if (qual >= 1 && IsPunct(toks, qual - 1, "~")) --qual;
+    if (qual >= 2 && IsPunct(toks, qual - 1, "::") &&
+        toks[qual - 2].kind == TokKind::kIdent) {
+      fn.class_name = toks[qual - 2].text;
+    } else {
+      fn.class_name = EnclosingClass(out.classes, i);
+    }
     for (const auto& range : SplitArgs(toks, i + 1, close)) {
       if (range.first >= range.second) continue;  // Empty list: ().
       fn.params.push_back(ParseParam(toks, range.first, range.second));
+    }
+    // Thread-safety annotations between the parameter list and the body.
+    for (size_t k = close + 1; k < body; ++k) {
+      if (toks[k].kind != TokKind::kIdent ||
+          !IsAnnotationMacro(toks[k].text) || !IsPunct(toks, k + 1, "(")) {
+        continue;
+      }
+      const size_t aclose = MatchForward(toks, k + 1, "(", ")");
+      if (aclose >= body) continue;
+      std::vector<std::string>* dest = nullptr;
+      if (toks[k].text == "CYQR_REQUIRES") dest = &fn.requires_locks;
+      if (toks[k].text == "CYQR_ACQUIRE") dest = &fn.acquire_locks;
+      if (toks[k].text == "CYQR_RELEASE") dest = &fn.release_locks;
+      if (toks[k].text == "CYQR_EXCLUDES") dest = &fn.excludes_locks;
+      if (dest == nullptr) continue;
+      for (const auto& range : SplitArgs(toks, k + 1, aclose)) {
+        const std::string path =
+            FlattenMemberPath(toks, range.first, range.second);
+        if (!path.empty()) dest->push_back(path);
+      }
+      k = aclose;
     }
     out.functions.push_back(std::move(fn));
     // Do not skip past the body: nested recognizable definitions (local
@@ -252,42 +405,97 @@ ParsedFile ParseFile(LexedFile lex) {
           j = tclose + 1;
         }
         if (j < fn.body_end && toks[j].kind == TokKind::kIdent) {
-          LockRegion region;
-          region.guard_type = toks[i].text;
-          region.name = toks[j].text;
-          region.line = toks[i].line;
-          // Held from the end of the declaration statement.
+          const std::string guard_type = toks[i].text;
+          const std::string guard_name = toks[j].text;
+          const int guard_line = toks[i].line;
+          // Constructor arguments: mutexes, plus possible lock tags.
+          std::vector<std::string> mutexes;
+          bool deferred = false;
           size_t decl_end = j + 1;
+          size_t args_open = n;
+          size_t args_close = n;
           if (IsPunct(toks, decl_end, "(")) {
+            args_open = decl_end;
+            args_close = MatchForward(toks, decl_end, "(", ")");
             decl_end = SkipGroup(toks, decl_end, "(", ")");
           } else if (IsPunct(toks, decl_end, "{")) {
+            args_open = decl_end;
+            args_close = MatchForward(toks, decl_end, "{", "}");
             decl_end = SkipGroup(toks, decl_end, "{", "}");
           }
-          region.begin = decl_end;
-          // Until the enclosing brace scope closes...
+          if (args_open < n && args_close < n) {
+            for (const auto& range : SplitArgs(toks, args_open, args_close)) {
+              const std::string path =
+                  FlattenMemberPath(toks, range.first, range.second);
+              if (path.empty()) continue;
+              if (IsDeferTag(path)) deferred = true;
+              if (!IsLockTag(path)) mutexes.push_back(path);
+            }
+          }
+          // The guard can be held until the enclosing brace scope closes.
           int depth = 0;
-          region.end = fn.body_end;
+          size_t scope_end = fn.body_end;
           for (size_t k = decl_end; k < fn.body_end; ++k) {
             if (IsPunct(toks, k, "{")) ++depth;
             if (IsPunct(toks, k, "}")) {
               if (depth == 0) {
-                region.end = k;
+                scope_end = k;
                 break;
               }
               --depth;
             }
           }
-          // ...or an explicit name.unlock() releases it early.
-          for (size_t k = region.begin; k + 3 < region.end; ++k) {
-            if (toks[k].kind == TokKind::kIdent &&
-                toks[k].text == region.name && IsPunct(toks, k + 1, ".") &&
-                IsIdent(toks, k + 2, "unlock") &&
-                IsPunct(toks, k + 3, "(")) {
-              region.end = k;
-              break;
+          // Segment the scope at explicit name.unlock()/name.lock()
+          // calls: held regions alternate with released gaps (the
+          // unique_lock early-release and re-lock idiom). A defer_lock
+          // guard starts released.
+          bool held = !deferred;
+          size_t pos = decl_end;
+          int segment_line = guard_line;
+          while (pos < scope_end) {
+            if (held) {
+              size_t cut = scope_end;
+              size_t resume = scope_end;
+              for (size_t k = pos; k + 3 < scope_end; ++k) {
+                if (toks[k].kind == TokKind::kIdent &&
+                    toks[k].text == guard_name && IsPunct(toks, k + 1, ".") &&
+                    IsIdent(toks, k + 2, "unlock") &&
+                    IsPunct(toks, k + 3, "(")) {
+                  cut = k;
+                  resume = SkipGroup(toks, k + 3, "(", ")");
+                  break;
+                }
+              }
+              LockRegion region;
+              region.guard_type = guard_type;
+              region.name = guard_name;
+              region.mutexes = mutexes;
+              region.line = segment_line;
+              region.begin = pos;
+              region.end = cut;
+              fn.locks.push_back(std::move(region));
+              if (cut >= scope_end) break;
+              pos = resume;
+              held = false;
+            } else {
+              size_t resume = scope_end;
+              int line = segment_line;
+              for (size_t k = pos; k + 3 < scope_end; ++k) {
+                if (toks[k].kind == TokKind::kIdent &&
+                    toks[k].text == guard_name && IsPunct(toks, k + 1, ".") &&
+                    IsIdent(toks, k + 2, "lock") &&
+                    IsPunct(toks, k + 3, "(")) {
+                  resume = SkipGroup(toks, k + 3, "(", ")");
+                  line = toks[k].line;
+                  break;
+                }
+              }
+              if (resume >= scope_end) break;
+              pos = resume;
+              segment_line = line;
+              held = true;
             }
           }
-          fn.locks.push_back(std::move(region));
           continue;
         }
       }
@@ -295,6 +503,7 @@ ParsedFile ParseFile(LexedFile lex) {
       // Call expression: IDENT ( ... )
       if (!IsPunct(toks, i + 1, "(")) continue;
       if (IsControlKeyword(toks[i].text)) continue;
+      if (IsAnnotationMacro(toks[i].text)) continue;
       const size_t close = MatchForward(toks, i + 1, "(", ")");
       if (close >= fn.body_end + 1) continue;
       CallSite call;
@@ -315,6 +524,87 @@ ParsedFile ParseFile(LexedFile lex) {
       }
       fn.calls.push_back(std::move(call));
     }
+  }
+
+  // Pass 3: CYQR_GUARDED_BY fields and function-attached annotations
+  // (declarations included — pass 1 only sees definitions).
+  for (size_t i = 0; i + 1 < n; ++i) {
+    if (toks[i].kind != TokKind::kIdent || !IsAnnotationMacro(toks[i].text) ||
+        !IsPunct(toks, i + 1, "(")) {
+      continue;
+    }
+    const size_t close = MatchForward(toks, i + 1, "(", ")");
+    if (close >= n) continue;
+    std::vector<std::string> args;
+    for (const auto& range : SplitArgs(toks, i + 1, close)) {
+      const std::string path =
+          FlattenMemberPath(toks, range.first, range.second);
+      if (!path.empty()) args.push_back(path);
+    }
+    if (args.empty()) continue;
+
+    if (toks[i].text == "CYQR_GUARDED_BY") {
+      // Field form: `Type name CYQR_GUARDED_BY(mu);` — the field name is
+      // the identifier immediately before the macro.
+      if (i == 0 || toks[i - 1].kind != TokKind::kIdent) continue;
+      GuardedFieldDecl field;
+      field.class_name = EnclosingClass(out.classes, i);
+      field.field = toks[i - 1].text;
+      field.mutex = args[0];
+      field.line = toks[i].line;
+      out.guarded_fields.push_back(std::move(field));
+      continue;
+    }
+
+    // Function form: walk backward over trailing qualifiers and earlier
+    // annotation groups to the parameter list's ')', then match back to
+    // its '(' — the identifier before it is the function name.
+    size_t k = i;
+    std::string function;
+    size_t name_index = n;
+    while (k > 0) {
+      --k;
+      if (toks[k].kind == TokKind::kIdent) {
+        const std::string& t = toks[k].text;
+        if (t == "const" || t == "noexcept" || t == "override" ||
+            t == "final" || t == "mutable") {
+          continue;
+        }
+        break;  // Unexpected shape.
+      }
+      if (IsPunct(toks, k, ")")) {
+        const size_t open = MatchBackward(toks, k, "(", ")");
+        if (open >= n || open == 0) break;
+        size_t before = open - 1;
+        if (toks[before].kind != TokKind::kIdent) break;
+        if (IsAnnotationMacro(toks[before].text) ||
+            toks[before].text == "noexcept") {
+          // That group belonged to another annotation (or a noexcept
+          // condition); keep walking backward past it.
+          k = before;
+          continue;
+        }
+        function = toks[before].text;
+        name_index = before;
+        break;
+      }
+      break;  // Unexpected shape.
+    }
+    if (function.empty()) continue;
+    AnnotationSite site;
+    site.macro = toks[i].text;
+    site.function = function;
+    site.args = std::move(args);
+    site.line = toks[i].line;
+    size_t qual = name_index;
+    if (qual >= 1 && IsPunct(toks, qual - 1, "~")) --qual;
+    if (qual >= 2 && IsPunct(toks, qual - 1, "::") &&
+        toks[qual - 2].kind == TokKind::kIdent) {
+      site.class_name = toks[qual - 2].text;
+    } else {
+      site.class_name = EnclosingClass(out.classes, name_index);
+    }
+    out.annotations.push_back(std::move(site));
   }
   return out;
 }

@@ -12,10 +12,11 @@ namespace cyqr_lint {
 /// The recovery layer between the lexer and the flow-aware rules. This is
 /// deliberately not a C++ AST: it is a recursive-descent pass over the
 /// token stream that recovers exactly the shape the rules need — function
-/// boundaries, parameter lists, call expressions with argument spans, and
-/// lock-guard scope regions — by bracket matching. Anything it cannot
-/// recognize it skips, so malformed code degrades to "no structure"
-/// rather than wrong structure.
+/// boundaries, parameter lists, call expressions with argument spans,
+/// class extents, thread-safety annotation attachments, and lock-guard
+/// scope regions — by bracket matching. Anything it cannot recognize it
+/// skips, so malformed code degrades to "no structure" rather than wrong
+/// structure.
 
 /// One parameter of a recovered function definition.
 struct Param {
@@ -41,26 +42,73 @@ struct CallSite {
   std::vector<std::pair<size_t, size_t>> args;
 };
 
-/// The token region over which a scope-based lock guard is held: from the
-/// token after its declaration to the close of the enclosing brace scope,
-/// truncated at an explicit `name.unlock()` when one appears.
+/// The token region over which a scope-based lock guard is held. One
+/// guard declaration can yield several regions: the initial region runs
+/// from the token after the declaration to the close of the enclosing
+/// brace scope, truncated at an explicit `name.unlock()`; each later
+/// `name.lock()` re-acquisition opens a fresh region (the unique_lock
+/// unlock/re-lock idiom). A `std::defer_lock` guard contributes no
+/// initial region — only its explicit `.lock()` segments.
 struct LockRegion {
   std::string guard_type;  ///< lock_guard/unique_lock/scoped_lock/shared_lock.
   std::string name;        ///< Guard variable name.
+  /// Flattened mutex expressions passed to the guard constructor
+  /// ("mu_", "waiter->mu"); std::defer_lock-style tags are dropped. A
+  /// std::scoped_lock over several mutexes lists them all.
+  std::vector<std::string> mutexes;
+  int line = 0;       ///< Guard declaration line.
+  size_t begin = 0;   ///< First token inside the held region.
+  size_t end = 0;     ///< Exclusive end of the held region.
+};
+
+/// A class/struct definition's extent (used to attribute fields and
+/// inline member functions to their class).
+struct ClassDef {
+  std::string name;
   int line = 0;
-  size_t begin = 0;  ///< First token inside the held region.
-  size_t end = 0;    ///< Exclusive end of the held region.
+  size_t body_begin = 0;  ///< Token index of the class body '{'.
+  size_t body_end = 0;    ///< Token index of the matching '}'.
+};
+
+/// A field declared with CYQR_GUARDED_BY(mutex).
+struct GuardedFieldDecl {
+  std::string class_name;  ///< Innermost enclosing class; "" at file scope.
+  std::string field;
+  std::string mutex;  ///< Flattened CYQR_GUARDED_BY argument.
+  int line = 0;
+};
+
+/// One CYQR_REQUIRES/CYQR_ACQUIRE/CYQR_RELEASE/CYQR_EXCLUDES attachment,
+/// recovered from declarations and definitions alike (the backward walk
+/// from the macro finds the function name before the parameter list).
+struct AnnotationSite {
+  std::string macro;       ///< "CYQR_REQUIRES", "CYQR_ACQUIRE", ...
+  std::string function;    ///< Attached function name (unqualified).
+  std::string class_name;  ///< Qualifier or enclosing class; "" for free.
+  std::vector<std::string> args;  ///< Flattened mutex expressions.
+  int line = 0;
 };
 
 /// A recovered function definition (free function, method, or ctor).
 struct FunctionDef {
   std::string name;
+  /// `C` for `C::name` out-of-line definitions and for definitions inside
+  /// the body of class C; "" for free functions.
+  std::string class_name;
   int line = 0;
+  size_t name_index = 0;  ///< Token index of the definition name.
   std::vector<Param> params;
   size_t body_begin = 0;  ///< Token index of the body '{'.
   size_t body_end = 0;    ///< Token index of the matching '}'.
   std::vector<CallSite> calls;
   std::vector<LockRegion> locks;
+  /// Mutex expressions from CYQR_* annotations between the parameter list
+  /// and the body (definitions only; header declarations surface through
+  /// AnnotationSite instead).
+  std::vector<std::string> requires_locks;
+  std::vector<std::string> acquire_locks;
+  std::vector<std::string> release_locks;
+  std::vector<std::string> excludes_locks;
 
   /// True when any parameter's type mentions `fragment` (e.g. "Deadline").
   bool HasParamOfType(const std::string& fragment) const;
@@ -71,6 +119,9 @@ struct FunctionDef {
 struct ParsedFile {
   LexedFile lex;
   std::vector<FunctionDef> functions;
+  std::vector<ClassDef> classes;
+  std::vector<GuardedFieldDecl> guarded_fields;
+  std::vector<AnnotationSite> annotations;
 };
 
 /// Recovers the structure above from a lexed file.
@@ -86,6 +137,13 @@ std::vector<std::pair<size_t, size_t>> SplitArgs(
 /// with exactly this text.
 bool RangeMentionsIdent(const std::vector<Token>& toks, size_t begin,
                         size_t end, const std::string& ident);
+
+/// Flattens the token range [begin, end) into one member path, keeping
+/// identifiers joined by '.', '->', and '::' ("waiter->mu",
+/// "std::defer_lock"); other tokens (<> template groups, '&') are
+/// dropped. Returns "" when the range has no identifier.
+std::string FlattenMemberPath(const std::vector<Token>& toks, size_t begin,
+                              size_t end);
 
 }  // namespace cyqr_lint
 

@@ -1,0 +1,169 @@
+#include <algorithm>
+
+#include "rules.h"
+
+namespace cyqr_lint {
+
+namespace {
+
+/// Strips an explicit `this->` so "this->mu_" and "mu_" compare equal.
+std::string StripThis(const std::string& path) {
+  if (path.rfind("this->", 0) == 0) return path.substr(6);
+  return path;
+}
+
+bool RegionHolds(const LockRegion& region, const std::string& needed) {
+  for (const std::string& m : region.mutexes) {
+    if (StripThis(m) == needed) return true;
+  }
+  return false;
+}
+
+bool Contains(const std::vector<std::string>& v, const std::string& s) {
+  return std::find(v.begin(), v.end(), s) != v.end();
+}
+
+/// True when `receiver.guard` or `receiver->guard` appears anywhere in the
+/// function body. The receiver-qualified check is type-blind (the lexer does
+/// not know what type `out` in `out.response` is), so it only fires when the
+/// function itself shows evidence the receiver carries the guard — a function
+/// that never touches `out.mu` is almost certainly handling an unrelated
+/// struct that happens to share a field name with an annotated class.
+bool FnMentionsGuard(const FunctionDef& fn, const std::vector<Token>& toks,
+                     const std::string& receiver, const std::string& guard) {
+  for (size_t i = fn.body_begin + 1; i + 2 < fn.body_end; ++i) {
+    if (toks[i].kind != TokKind::kIdent || toks[i].text != receiver) continue;
+    if (!IsPunct(toks, i + 1, ".") && !IsPunct(toks, i + 1, "->")) continue;
+    if (toks[i + 2].kind == TokKind::kIdent && toks[i + 2].text == guard) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Enforces CYQR_GUARDED_BY: a guarded field may only be touched inside a
+/// lock region holding its mutex, or from a function that declares
+/// CYQR_REQUIRES on that mutex. Constructors/destructors are exempt — the
+/// object is not shared while it is being built or torn down.
+class GuardedFieldAccessRule : public Rule {
+ public:
+  const char* name() const override { return "guarded-field-access"; }
+
+  void Check(const ParsedFile& file, const LintContext& ctx,
+             std::vector<Diagnostic>* out) const override {
+    if (ctx.guarded_fields.empty()) return;
+    const std::vector<Token>& toks = file.lex.tokens;
+    for (const FunctionDef& fn : file.functions) {
+      if (!fn.class_name.empty() && fn.name == fn.class_name) continue;
+      const std::vector<std::string> held_always = HeldForWholeBody(fn, ctx);
+      for (size_t i = fn.body_begin + 1; i < fn.body_end; ++i) {
+        if (toks[i].kind != TokKind::kIdent) continue;
+        // A name followed by '(' is a call, the requires-not-held rule's
+        // territory (fields holding callables are out of model).
+        if (IsPunct(toks, i + 1, "(")) continue;
+        const std::string& ident = toks[i].text;
+
+        bool qualified = i > fn.body_begin + 1 &&
+                         (IsPunct(toks, i - 1, ".") ||
+                          IsPunct(toks, i - 1, "->"));
+        std::string receiver;
+        if (qualified && i >= 2 && toks[i - 2].kind == TokKind::kIdent) {
+          receiver = toks[i - 2].text;
+        }
+        if (qualified && receiver == "this") {
+          qualified = false;  // this->field is a plain member access.
+        }
+
+        std::string mutex;   // Guard as annotated (plain member name).
+        std::string needed;  // Path a lock region must mention.
+        if (!qualified) {
+          auto it = ctx.guarded_fields.end();
+          if (!fn.class_name.empty()) {
+            it = ctx.guarded_fields.find(fn.class_name + "::" + ident);
+          }
+          if (it == ctx.guarded_fields.end()) {
+            it = ctx.guarded_fields.find("::" + ident);
+          }
+          if (it == ctx.guarded_fields.end()) continue;
+          mutex = it->second;
+          needed = StripThis(mutex);
+        } else {
+          if (receiver.empty()) continue;  // Chained access: give up.
+          // Another object's field: any class annotating this field name
+          // tells us its guard; the receiver must hold receiver->guard.
+          const std::string suffix = "::" + ident;
+          for (const auto& entry : ctx.guarded_fields) {
+            const std::string& key = entry.first;
+            if (key.size() > suffix.size() &&
+                key.compare(key.size() - suffix.size(), suffix.size(),
+                            suffix) == 0) {
+              mutex = entry.second;
+              break;
+            }
+          }
+          if (mutex.empty()) continue;
+          if (!FnMentionsGuard(fn, toks, receiver, StripThis(mutex))) {
+            continue;  // No evidence the receiver is of the annotated type.
+          }
+          needed = receiver + toks[i - 1].text + StripThis(mutex);
+        }
+
+        bool held = Contains(held_always, StripThis(mutex));
+        if (!held) {
+          for (const LockRegion& region : fn.locks) {
+            if (i >= region.begin && i < region.end &&
+                RegionHolds(region, needed)) {
+              held = true;
+              break;
+            }
+          }
+        }
+        if (held) continue;
+        Diagnostic d;
+        d.file = file.lex.path;
+        d.line = toks[i].line;
+        d.rule = name();
+        d.message = "guarded field '" + (qualified ? receiver + "->" + ident
+                                                    : ident) +
+                    "' (CYQR_GUARDED_BY " + mutex +
+                    ") accessed without holding '" + needed +
+                    "'; wrap the access in a lock region or declare "
+                    "CYQR_REQUIRES(" +
+                    mutex + ") on the function";
+        out->push_back(std::move(d));
+      }
+    }
+  }
+
+ private:
+  /// Mutexes held for the whole body: the definition's own CYQR_REQUIRES
+  /// plus any declaration-site REQUIRES merged into the context.
+  static std::vector<std::string> HeldForWholeBody(const FunctionDef& fn,
+                                                   const LintContext& ctx) {
+    std::vector<std::string> held;
+    for (const std::string& m : fn.requires_locks) {
+      if (!Contains(held, StripThis(m))) held.push_back(StripThis(m));
+    }
+    auto merge = [&held, &ctx](const std::string& key) {
+      auto it = ctx.requires_functions.find(key);
+      if (it == ctx.requires_functions.end()) return;
+      for (const std::string& m : it->second) {
+        if (!Contains(held, StripThis(m))) held.push_back(StripThis(m));
+      }
+    };
+    if (!fn.class_name.empty()) {
+      merge(fn.class_name + "::" + fn.name);
+    } else {
+      merge(fn.name);
+    }
+    return held;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> MakeGuardedFieldAccessRule() {
+  return std::make_unique<GuardedFieldAccessRule>();
+}
+
+}  // namespace cyqr_lint

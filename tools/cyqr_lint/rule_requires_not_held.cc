@@ -1,0 +1,132 @@
+#include <algorithm>
+
+#include "rules.h"
+
+namespace cyqr_lint {
+
+namespace {
+
+std::string StripThis(const std::string& path) {
+  if (path.rfind("this->", 0) == 0) return path.substr(6);
+  return path;
+}
+
+bool RegionHolds(const LockRegion& region, const std::string& needed) {
+  for (const std::string& m : region.mutexes) {
+    if (StripThis(m) == needed) return true;
+  }
+  return false;
+}
+
+bool Contains(const std::vector<std::string>& v, const std::string& s) {
+  return std::find(v.begin(), v.end(), s) != v.end();
+}
+
+/// True when `receiver.guard` or `receiver->guard` appears anywhere in the
+/// function body — the same type-blindness safety valve as the
+/// guarded-field-access rule: a cross-object call is only checked when the
+/// function shows evidence the receiver carries the required mutex, so an
+/// unrelated class whose method shares a name with an annotated one does
+/// not produce noise.
+bool FnMentionsGuard(const FunctionDef& fn, const std::vector<Token>& toks,
+                     const std::string& receiver, const std::string& guard) {
+  for (size_t i = fn.body_begin + 1; i + 2 < fn.body_end; ++i) {
+    if (toks[i].kind != TokKind::kIdent || toks[i].text != receiver) continue;
+    if (!IsPunct(toks, i + 1, ".") && !IsPunct(toks, i + 1, "->")) continue;
+    if (toks[i + 2].kind == TokKind::kIdent && toks[i + 2].text == guard) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Enforces CYQR_REQUIRES at call sites: calling a function that requires
+/// a mutex without an enclosing lock region holding it (and without the
+/// caller itself declaring CYQR_REQUIRES on the same mutex) is a race —
+/// the callee touches guarded state assuming the caller serialized.
+class RequiresNotHeldRule : public Rule {
+ public:
+  const char* name() const override { return "requires-not-held"; }
+
+  void Check(const ParsedFile& file, const LintContext& ctx,
+             std::vector<Diagnostic>* out) const override {
+    if (ctx.requires_functions.empty()) return;
+    const std::vector<Token>& toks = file.lex.tokens;
+    for (const FunctionDef& fn : file.functions) {
+      if (!fn.class_name.empty() && fn.name == fn.class_name) continue;
+      std::vector<std::string> held_always;
+      for (const std::string& m : fn.requires_locks) {
+        held_always.push_back(StripThis(m));
+      }
+      auto merge = [&held_always, &ctx](const std::string& key) {
+        auto it = ctx.requires_functions.find(key);
+        if (it == ctx.requires_functions.end()) return;
+        for (const std::string& m : it->second) {
+          if (!Contains(held_always, StripThis(m))) {
+            held_always.push_back(StripThis(m));
+          }
+        }
+      };
+      if (!fn.class_name.empty()) {
+        merge(fn.class_name + "::" + fn.name);
+      } else {
+        merge(fn.name);
+      }
+
+      for (const CallSite& call : fn.calls) {
+        const bool other_object = call.member_call &&
+                                  !call.receiver.empty() &&
+                                  call.receiver != "this";
+        // Same-object calls prefer the qualified key (a method named like
+        // a free function must not inherit its contract); cross-object
+        // calls can only match by plain name.
+        auto it = ctx.requires_functions.end();
+        if (!other_object && !fn.class_name.empty()) {
+          it = ctx.requires_functions.find(fn.class_name + "::" +
+                                           call.callee);
+        }
+        if (it == ctx.requires_functions.end()) {
+          it = ctx.requires_functions.find(call.callee);
+        }
+        if (it == ctx.requires_functions.end()) continue;
+        for (const std::string& m : it->second) {
+          const std::string plain = StripThis(m);
+          std::string needed = plain;
+          if (other_object) {
+            if (!FnMentionsGuard(fn, toks, call.receiver, plain)) continue;
+            needed = call.receiver + toks[call.name_index - 1].text + plain;
+          }
+          bool held = !other_object && Contains(held_always, plain);
+          if (!held) {
+            for (const LockRegion& region : fn.locks) {
+              if (call.name_index >= region.begin &&
+                  call.name_index < region.end &&
+                  RegionHolds(region, needed)) {
+                held = true;
+                break;
+              }
+            }
+          }
+          if (held) continue;
+          Diagnostic d;
+          d.file = file.lex.path;
+          d.line = call.line;
+          d.rule = name();
+          d.message = "'" + call.callee + "' declares CYQR_REQUIRES(" + m +
+                      ") but no enclosing lock region holds '" + needed +
+                      "'; lock it before the call or propagate "
+                      "CYQR_REQUIRES to the caller";
+          out->push_back(std::move(d));
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Rule> MakeRequiresNotHeldRule() {
+  return std::make_unique<RequiresNotHeldRule>();
+}
+
+}  // namespace cyqr_lint

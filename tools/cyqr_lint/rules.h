@@ -47,6 +47,9 @@ std::unique_ptr<Rule> MakeDeadlinePropagationRule();
 std::unique_ptr<Rule> MakeLockHeldBlockingCallRule();
 std::unique_ptr<Rule> MakeAtomicOrderingAuditRule();
 std::unique_ptr<Rule> MakeResultUnwrapCheckRule();
+std::unique_ptr<Rule> MakeGuardedFieldAccessRule();
+std::unique_ptr<Rule> MakeRequiresNotHeldRule();
+std::unique_ptr<Rule> MakeLockOrderCycleRule();
 
 }  // namespace cyqr_lint
 

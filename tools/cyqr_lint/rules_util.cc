@@ -18,6 +18,9 @@ std::vector<std::unique_ptr<Rule>> BuildAllRules() {
   rules.push_back(MakeLockHeldBlockingCallRule());
   rules.push_back(MakeAtomicOrderingAuditRule());
   rules.push_back(MakeResultUnwrapCheckRule());
+  rules.push_back(MakeGuardedFieldAccessRule());
+  rules.push_back(MakeRequiresNotHeldRule());
+  rules.push_back(MakeLockOrderCycleRule());
   return rules;
 }
 
