@@ -5,22 +5,86 @@
 # checkpoint, and require the resumed run's saved parameters to be
 # byte-identical to the uninterrupted baseline's.
 #
-# Usage: scripts/crash_resume_drill.sh /path/to/cyqr_cli [workdir]
+# Two modes:
+#   legacy (default) — single-threaded trainer, coordinator crash.
+#   dp               — data-parallel trainer: the uninterrupted baseline
+#                      runs with 1 worker, the crashed run loses worker
+#                      rank 1 mid-step under 2 workers, and the resume
+#                      finishes under 4 workers. Parameters AND the final
+#                      convergence-curve point must still be bit-identical
+#                      to the baseline: worker count is never allowed to
+#                      change the trajectory.
+#
+# Usage: scripts/crash_resume_drill.sh /path/to/cyqr_cli [workdir] [mode]
 set -euo pipefail
 
-CLI="${1:?usage: crash_resume_drill.sh /path/to/cyqr_cli [workdir]}"
+CLI="${1:?usage: crash_resume_drill.sh /path/to/cyqr_cli [workdir] [mode]}"
 WORK="${2:-$(mktemp -d)}"
+MODE="${3:-legacy}"
 mkdir -p "$WORK"
 rm -rf "$WORK/data" "$WORK/baseline" "$WORK/crashed"
+
+echo "== drill workdir: $WORK (mode: $MODE)"
+"$CLI" generate-data --out "$WORK/data" --queries 40 --sessions 120 \
+  --seed 7
+
+if [[ "$MODE" == "dp" ]]; then
+  STEPS=12
+  CRASH_AT=9
+  TRAIN_FLAGS=(--steps "$STEPS" --warmup 8 --batch 4 --grad-shards 4
+               --layers 1 --seed 99 --checkpoint-every 3 --eval-every 6)
+
+  echo "== dp baseline: uninterrupted run with 1 worker"
+  "$CLI" train --data "$WORK/data/pairs.tsv" --out "$WORK/baseline" \
+    "${TRAIN_FLAGS[@]}" --workers 1 --curve-out "$WORK/baseline/curve.tsv"
+
+  echo "== dp crashed run: 2 workers, rank 1 dies at step $CRASH_AT"
+  set +e
+  "$CLI" train --data "$WORK/data/pairs.tsv" --out "$WORK/crashed" \
+    "${TRAIN_FLAGS[@]}" --workers 2 \
+    --crash-worker-rank 1 --crash-worker-at-step "$CRASH_AT"
+  crash_code=$?
+  set -e
+  if [[ "$crash_code" -ne 137 ]]; then
+    echo "FAIL: crashed run exited $crash_code, expected 137" >&2
+    exit 1
+  fi
+  if [[ -e "$WORK/crashed/model.params" ]]; then
+    echo "FAIL: crashed run left a model.params behind" >&2
+    exit 1
+  fi
+  ls "$WORK/crashed/checkpoints"/ckpt-*.cyqc > /dev/null
+  if ls "$WORK/crashed/checkpoints"/*.tmp* > /dev/null 2>&1; then
+    echo "FAIL: crashed run left torn temp files in the checkpoint dir" >&2
+    exit 1
+  fi
+
+  echo "== dp resumed run: picking up under 4 workers"
+  "$CLI" train --data "$WORK/data/pairs.tsv" --out "$WORK/crashed" \
+    "${TRAIN_FLAGS[@]}" --workers 4 --resume \
+    --curve-out "$WORK/crashed/curve.tsv"
+
+  echo "== comparing resumed parameters against the 1-worker baseline"
+  cmp "$WORK/baseline/model.params" "$WORK/crashed/model.params"
+
+  echo "== comparing the final convergence-curve point"
+  # The resumed run replays only the steps after the surviving
+  # checkpoint, so its curve is a suffix of the baseline's; the final
+  # sampled point (step $STEPS) must match bit for bit.
+  if [[ "$(tail -n 1 "$WORK/baseline/curve.tsv")" != \
+        "$(tail -n 1 "$WORK/crashed/curve.tsv")" ]]; then
+    echo "FAIL: final curve points diverge across worker counts" >&2
+    diff "$WORK/baseline/curve.tsv" "$WORK/crashed/curve.tsv" >&2 || true
+    exit 1
+  fi
+  echo "PASS: kill under K=2 + resume under K=4 is bit-identical to K=1"
+  exit 0
+fi
 
 STEPS=30
 CRASH_AT=23
 TRAIN_FLAGS=(--steps "$STEPS" --warmup 24 --batch 4 --layers 1
              --seed 99 --checkpoint-every 5)
-
-echo "== drill workdir: $WORK"
-"$CLI" generate-data --out "$WORK/data" --queries 40 --sessions 120 \
-  --seed 7
 
 echo "== baseline: uninterrupted run"
 "$CLI" train --data "$WORK/data/pairs.tsv" --out "$WORK/baseline" \

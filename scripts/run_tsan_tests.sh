@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Runs the concurrency-sensitive test binaries under ThreadSanitizer: the
-# thread-pool/bounded-queue primitives, the concurrent serving front end
-# with its multi-threaded fault drill, and the metrics registry. Any data
-# race in the breaker atomics, the KV snapshot swap, or the server's
-# accounting fails the run loudly (halt_on_error).
+# thread-pool/bounded-queue/collective primitives, the concurrent serving
+# front end with its multi-threaded fault drill, the metrics registry, and
+# the data-parallel training drills (train_dp_test is fork-free by design
+# so TSan sees every worker interleaving). Any data race in the breaker
+# atomics, the KV snapshot swap, the server's accounting, or the trainer's
+# plan/slot handoffs fails the run loudly (halt_on_error).
 #
 # The binaries are invoked directly rather than through ctest: the drill's
 # value under TSan is the interleavings it generates, and one process
@@ -20,10 +22,10 @@ cmake -B "$BUILD_DIR" -S . \
   -DCYCLEQR_BUILD_BENCHMARKS=OFF \
   -DCYCLEQR_BUILD_EXAMPLES=OFF
 cmake --build "$BUILD_DIR" -j"$(nproc)" \
-  --target core_test serving_test obs_test
+  --target core_test serving_test obs_test train_dp_test
 
 export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
-for binary in core_test serving_test obs_test; do
+for binary in core_test serving_test obs_test train_dp_test; do
   echo "=== TSan: ${binary} ==="
   "$BUILD_DIR/tests/${binary}" "$@"
 done

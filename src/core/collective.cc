@@ -1,0 +1,122 @@
+#include "core/collective.h"
+
+#include <chrono>
+#include <cmath>
+#include <string>
+
+#include "core/check.h"
+#include "core/stopwatch.h"
+
+namespace cyqr {
+
+namespace {
+
+std::chrono::steady_clock::time_point DeadlineAfterMillis(double millis) {
+  const auto now = std::chrono::steady_clock::now();
+  return now + std::chrono::microseconds(
+                   static_cast<int64_t>(std::llround(millis * 1000.0)));
+}
+
+}  // namespace
+
+Collective::Collective(const Options& options) : options_(options) {
+  CYQR_CHECK(options.world_size >= 1);
+  CYQR_CHECK(options.timeout_millis > 0.0);
+}
+
+Status Collective::Barrier() {
+  const auto deadline = DeadlineAfterMillis(options_.timeout_millis);
+  Stopwatch wait_watch;
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!abort_status_.ok()) return abort_status_;
+  if (arrived_ + 1 == options_.world_size) {
+    // Last arrival releases the whole generation.
+    arrived_ = 0;
+    ++generation_;
+    cv_.notify_all();
+    total_wait_millis_ += wait_watch.ElapsedMillis();
+    return Status::OK();
+  }
+  ++arrived_;
+  const int64_t gen = generation_;
+  while (generation_ == gen && abort_status_.ok()) {
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
+        generation_ == gen && abort_status_.ok()) {
+      // A peer is lost (crashed thread, livelock, scripted stall): poison
+      // the collective instead of hanging — every other rank, including
+      // one parked in StallUntilAborted, unwinds with this status.
+      abort_status_ = Status::DeadlineExceeded(
+          "collective barrier timed out after " +
+          std::to_string(options_.timeout_millis) +
+          " ms waiting for peers (" + std::to_string(arrived_) + "/" +
+          std::to_string(options_.world_size) + " arrived)");
+      cv_.notify_all();
+      break;
+    }
+  }
+  total_wait_millis_ += wait_watch.ElapsedMillis();
+  return abort_status_;
+}
+
+void Collective::Abort(const Status& status) {
+  if (status.ok()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!abort_status_.ok()) return;  // First abort wins.
+  abort_status_ = status;
+  cv_.notify_all();
+}
+
+Status Collective::StallUntilAborted() {
+  const auto deadline = DeadlineAfterMillis(options_.timeout_millis);
+  std::unique_lock<std::mutex> lock(mu_);
+  while (abort_status_.ok()) {
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout &&
+        abort_status_.ok()) {
+      // No peer aborted us (world_size == 1, or everyone is stalled):
+      // self-abort so the stall can never become a permanent hang.
+      abort_status_ = Status::DeadlineExceeded(
+          "stalled rank saw no abort within " +
+          std::to_string(options_.timeout_millis) + " ms; self-aborting");
+      cv_.notify_all();
+    }
+  }
+  return abort_status_;
+}
+
+Status Collective::AllReduceSum(int rank,
+                                std::vector<std::vector<float>>* slots) {
+  CYQR_CHECK(slots != nullptr);
+  CYQR_CHECK(rank >= 0 && rank < options_.world_size);
+  const size_t num_slots = slots->size();
+  // Fold pairwise along the fixed slot-index tree. The schedule below is
+  // identical on every rank; only the `task % world_size == rank` filter
+  // differs, so *which thread* executes a combine varies with K but the
+  // combine set and order (hence the result bits) never do.
+  for (size_t stride = 1; stride < num_slots; stride *= 2) {
+    int64_t task = 0;
+    for (size_t j = 0; j + stride < num_slots; j += 2 * stride) {
+      if (task % options_.world_size == rank) {
+        std::vector<float>& dst = (*slots)[j];
+        const std::vector<float>& src = (*slots)[j + stride];
+        CYQR_CHECK_EQ(dst.size(), src.size());
+        for (size_t e = 0; e < dst.size(); ++e) dst[e] += src[e];
+      }
+      ++task;
+    }
+    // Publish this level's combines to the next level's readers.
+    CYQR_RETURN_IF_ERROR(Barrier());
+  }
+  return Status::OK();
+}
+
+double Collective::total_wait_millis() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_wait_millis_;
+}
+
+Status Collective::abort_status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return abort_status_;
+}
+
+}  // namespace cyqr

@@ -77,6 +77,16 @@ bool TrainFaultPlan::StepHasNanLoss(int64_t step) const {
          nan_loss_steps.end();
 }
 
+bool TrainFaultPlan::WorkerCrashesAt(int64_t rank, int64_t step) const {
+  return crash_worker_rank >= 0 && crash_worker_at_step >= 0 &&
+         rank == crash_worker_rank && step == crash_worker_at_step;
+}
+
+bool TrainFaultPlan::WorkerStallsAt(int64_t rank, int64_t step) const {
+  return stall_worker_rank >= 0 && stall_worker_at_step >= 0 &&
+         rank == stall_worker_rank && step == stall_worker_at_step;
+}
+
 void SimulateCrash() { std::_Exit(137); }
 
 }  // namespace cyqr

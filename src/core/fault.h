@@ -124,7 +124,24 @@ struct TrainFaultPlan {
   /// state is mutated; disabled when < 0.
   int64_t crash_at_step = -1;
 
+  /// Data-parallel drills: the chosen worker rank dies (SimulateCrash)
+  /// mid-step — after shard compute, before the gradient collective — so
+  /// the kill lands in the widest torn-collective window. Disabled when
+  /// either field is < 0. Rank 0 is the coordinator and a valid target.
+  int64_t crash_worker_rank = -1;
+  int64_t crash_worker_at_step = -1;
+
+  /// Data-parallel drills: the chosen rank stops participating at the
+  /// given step (parks in Collective::StallUntilAborted instead of the
+  /// gradient collective). Peers must time out and every rank must unwind
+  /// with kDeadlineExceeded — a hang is a test failure. Disabled when
+  /// either field is < 0.
+  int64_t stall_worker_rank = -1;
+  int64_t stall_worker_at_step = -1;
+
   bool StepHasNanLoss(int64_t step) const;
+  bool WorkerCrashesAt(int64_t rank, int64_t step) const;
+  bool WorkerStallsAt(int64_t rank, int64_t step) const;
 };
 
 /// Terminates the process immediately with exit code 137 (the shell's

@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -10,6 +11,15 @@
 namespace cyqr {
 
 std::string TempPathFor(const std::string& path) { return path + ".tmp"; }
+
+std::string UniqueTempPathFor(const std::string& path) {
+  static std::atomic<uint64_t> counter{0};
+  // ordering: relaxed — the ticket needs only uniqueness-by-atomicity; no
+  // other memory is published through it.
+  const uint64_t ticket = counter.fetch_add(1, std::memory_order_relaxed);
+  return path + ".tmp." + std::to_string(::getpid()) + "." +
+         std::to_string(ticket);
+}
 
 Status SyncFile(const std::string& path) {
   const int fd = ::open(path.c_str(), O_RDONLY);
@@ -22,7 +32,10 @@ Status SyncFile(const std::string& path) {
 
 Status WriteStringToFileAtomic(const std::string& path,
                                const std::string& contents) {
-  const std::string tmp = TempPathFor(path);
+  // Unique staging name: concurrent writers to one target each stage into
+  // their own file, and the rename commits whichever finishes last — a
+  // complete file either way, never an interleaved one.
+  const std::string tmp = UniqueTempPathFor(path);
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out.is_open()) return Status::IoError("cannot open " + tmp);

@@ -8,7 +8,17 @@
 namespace cyqr {
 
 /// The temp-file path used by atomic writers: `path` + ".tmp".
+/// Deterministic — two threads writing the same target pick the SAME temp
+/// file and can corrupt each other's staging copy. Writers that stream
+/// into the temp file themselves may keep using it only when the caller
+/// serializes writers (the trainer's coordinator-owns-writes rule);
+/// anything else should use UniqueTempPathFor.
 std::string TempPathFor(const std::string& path);
+
+/// A collision-free temp path for `path`: suffixes the pid plus a
+/// process-wide counter, so concurrent writers — even racing on the same
+/// target from different processes — each stage into their own file.
+std::string UniqueTempPathFor(const std::string& path);
 
 /// Atomically replaces `path` with `contents`: writes `path`.tmp in full,
 /// fsyncs it, then renames it over `path`. A crash mid-write (or a power

@@ -113,6 +113,22 @@ std::vector<size_t> Rng::Permutation(size_t n) {
 
 Rng Rng::Split() { return Rng(NextUint64()); }
 
+uint64_t Rng::DeriveStreamSeed(uint64_t seed, uint64_t a, uint64_t b,
+                               uint64_t c) {
+  // Feed each coordinate through splitmix64 so adjacent (step, shard)
+  // pairs land in unrelated regions of the seed space; plain XOR of small
+  // integers would produce heavily correlated xoshiro init states.
+  uint64_t state = seed;
+  uint64_t mixed = SplitMix64(&state);
+  state ^= a + 0x9E3779B97F4A7C15ULL;
+  mixed ^= SplitMix64(&state);
+  state ^= b + 0xBF58476D1CE4E5B9ULL;
+  mixed ^= SplitMix64(&state);
+  state ^= c + 0x94D049BB133111EBULL;
+  mixed ^= SplitMix64(&state);
+  return mixed;
+}
+
 RngState Rng::state() const {
   RngState state;
   for (int i = 0; i < 4; ++i) state.s[i] = s_[i];

@@ -59,6 +59,14 @@ class Rng {
   /// Splits off an independent generator (for deterministic sub-streams).
   Rng Split();
 
+  /// Derives the seed of a stateless sub-stream from a root seed and up to
+  /// three stream coordinates (e.g. training step and gradient shard).
+  /// Pure function of its inputs: data-parallel workers can re-derive any
+  /// shard's stream on any rank — nothing extra to checkpoint, and the
+  /// stream is identical no matter which thread consumes it.
+  static uint64_t DeriveStreamSeed(uint64_t seed, uint64_t a, uint64_t b = 0,
+                                   uint64_t c = 0);
+
   /// Snapshots / restores the full generator state (checkpoint support).
   RngState state() const;
   void set_state(const RngState& state);

@@ -22,6 +22,11 @@ enum class StatusCode {
   /// The operation was refused because the service is overloaded or
   /// shutting down; the caller should back off and retry.
   kUnavailable = 8,
+  /// The operation ran out of time budget before completing — a barrier
+  /// timed out waiting for a stalled peer, or a deadline expired. Unlike
+  /// kUnavailable this is not a load-shedding decision: work was started
+  /// and abandoned.
+  kDeadlineExceeded = 9,
 };
 
 /// Returns a short human-readable name for a status code ("OK",
@@ -64,6 +69,9 @@ class [[nodiscard]] Status {
   }
   [[nodiscard]] static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  [[nodiscard]] static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }

@@ -17,7 +17,7 @@ ThreadPool::ThreadPool(const Options& options)
 
 ThreadPool::~ThreadPool() { Drain(); }
 
-bool ThreadPool::Submit(Job job) {
+Status ThreadPool::Submit(Job job) {
   // ordering: relaxed — observability counter/snapshot; no other memory is
   // published or consumed through it.
   submitted_.fetch_add(1, std::memory_order_relaxed);
@@ -34,10 +34,17 @@ bool ThreadPool::Submit(Job job) {
     shed_.fetch_add(1, std::memory_order_relaxed);
     if (result.rejected->shed) result.rejected->shed();
   }
-  return result.admitted;
+  if (result.admitted) return Status::OK();
+  // The queue rejects for exactly two reasons; closed() distinguishes a
+  // post-Drain submission from an overload shed so callers can tell
+  // "shutting down" apart from "try again later".
+  if (queue_.closed()) {
+    return Status::Unavailable("thread pool is draining; job rejected");
+  }
+  return Status::Unavailable("thread pool queue is full; job shed");
 }
 
-bool ThreadPool::Submit(std::function<void()> run) {
+Status ThreadPool::Submit(std::function<void()> run) {
   Job job;
   job.run = std::move(run);
   return Submit(std::move(job));

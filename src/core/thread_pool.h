@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/bounded_queue.h"
+#include "core/status.h"
 
 namespace cyqr {
 
@@ -47,15 +48,18 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Hands one job to the pool. Returns true when the job was admitted
-  /// (it will run, even if Drain() is called right after). On false the
-  /// job was shed and its `shed` hook has already run. Under
-  /// kEvictOldest an admitted Submit may shed a *different*, previously
-  /// queued job; that job's hook runs before Submit returns.
-  bool Submit(Job job);
+  /// Hands one job to the pool. OK means the job was admitted (it will
+  /// run, even if Drain() is called right after). On error the job was
+  /// shed and its `shed` hook has already run; the status says why —
+  /// kUnavailable "queue is full" for an overload rejection, kUnavailable
+  /// "draining" for a submission after shutdown began (previously an
+  /// indistinguishable silent drop). Under kEvictOldest an admitted
+  /// Submit may shed a *different*, previously queued job; that job's
+  /// hook runs before Submit returns.
+  [[nodiscard]] Status Submit(Job job);
 
   /// Convenience overload without a shed hook.
-  bool Submit(std::function<void()> run);
+  [[nodiscard]] Status Submit(std::function<void()> run);
 
   /// Closes admission, runs every already-queued job to completion, and
   /// joins the workers. Idempotent; safe to call from any thread except a

@@ -1,0 +1,56 @@
+#include "nn/grad_accum.h"
+
+#include <cstring>
+
+#include "core/check.h"
+
+namespace cyqr {
+
+int64_t TotalParameterSize(const std::vector<Tensor>& params) {
+  int64_t total = 0;
+  for (const Tensor& p : params) total += p.NumElements();
+  return total;
+}
+
+std::vector<float> FlattenGradients(const std::vector<Tensor>& params) {
+  std::vector<float> flat;
+  flat.reserve(static_cast<size_t>(TotalParameterSize(params)));
+  for (const Tensor& p : params) {
+    const float* grad = p.grad();
+    const size_t n = static_cast<size_t>(p.NumElements());
+    if (grad == nullptr) {
+      flat.insert(flat.end(), n, 0.0f);
+    } else {
+      flat.insert(flat.end(), grad, grad + n);
+    }
+  }
+  return flat;
+}
+
+void LoadGradients(const std::vector<Tensor>& params,
+                   const std::vector<float>& flat, float scale) {
+  CYQR_CHECK_EQ(static_cast<int64_t>(flat.size()),
+                TotalParameterSize(params));
+  size_t offset = 0;
+  for (const Tensor& p : params) {
+    Tensor t = p;  // Handles share storage; copy is an alias.
+    float* grad = t.mutable_grad();
+    const size_t n = static_cast<size_t>(t.NumElements());
+    for (size_t e = 0; e < n; ++e) grad[e] = flat[offset + e] * scale;
+    offset += n;
+  }
+}
+
+void CopyParameters(const std::vector<Tensor>& dst,
+                    const std::vector<Tensor>& src) {
+  CYQR_CHECK_EQ(dst.size(), src.size());
+  for (size_t i = 0; i < dst.size(); ++i) {
+    Tensor d = dst[i];
+    const Tensor& s = src[i];
+    CYQR_CHECK_EQ(d.NumElements(), s.NumElements());
+    std::memcpy(d.data(), s.data(),
+                static_cast<size_t>(d.NumElements()) * sizeof(float));
+  }
+}
+
+}  // namespace cyqr

@@ -1,0 +1,39 @@
+#ifndef CYCLEQR_NN_GRAD_ACCUM_H_
+#define CYCLEQR_NN_GRAD_ACCUM_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace cyqr {
+
+/// Gradient accumulation seam for data-parallel training: flat float
+/// vectors are what the collective all-reduce sums, and parameter copies
+/// are how worker replicas track the coordinator's master model. All three
+/// helpers walk the parameter list in its stable registration order, so a
+/// flattened gradient round-trips bit-identically on any rank.
+
+/// Total number of scalars across `params`.
+int64_t TotalParameterSize(const std::vector<Tensor>& params);
+
+/// Concatenates every parameter's gradient into one flat vector (in
+/// parameter order). Parameters whose gradient was never touched by
+/// backward contribute zeros — a shard that skipped a sub-model still
+/// produces a full-length, summable vector.
+std::vector<float> FlattenGradients(const std::vector<Tensor>& params);
+
+/// Scatters `flat * scale` back into the parameters' gradient buffers
+/// (overwriting, not accumulating). `flat` must have exactly
+/// TotalParameterSize(params) elements.
+void LoadGradients(const std::vector<Tensor>& params,
+                   const std::vector<float>& flat, float scale);
+
+/// Copies parameter *values* src -> dst elementwise. The two lists must
+/// be congruent (same count, same shapes) — replicas built from the same
+/// config always are. Gradient buffers are left untouched.
+void CopyParameters(const std::vector<Tensor>& dst,
+                    const std::vector<Tensor>& src);
+
+}  // namespace cyqr
+
+#endif  // CYCLEQR_NN_GRAD_ACCUM_H_

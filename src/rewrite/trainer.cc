@@ -5,11 +5,17 @@
 #include <filesystem>
 #include <limits>
 #include <set>
+#include <shared_mutex>
+#include <thread>
+#include <utility>
 
 #include "core/check.h"
+#include "core/collective.h"
 #include "core/math.h"
 #include "core/stopwatch.h"
+#include "core/thread_annotations.h"
 #include "decode/topn_sampling.h"
+#include "nn/grad_accum.h"
 #include "rewrite/checkpoint.h"
 #include "tensor/ops.h"
 
@@ -45,6 +51,181 @@ std::vector<SeqPair> ReversePairs(const std::vector<SeqPair>& pairs) {
   return out;
 }
 
+namespace {
+
+/// The full forward construction of one batch's loss — L_f + L_b, plus the
+/// cycle term when `cyclic` (Algorithm 1 lines 9-12 / Eq. 5). Shared by
+/// the legacy in-thread step and the data-parallel shard compute: any
+/// model replica with identical parameters, identical `decode_rng` state,
+/// and an identical dropout stream produces bit-identical loss and
+/// gradients, which is the whole determinism argument.
+Tensor ComputeBatchLoss(CycleModel& model, const CycleTrainerOptions& options,
+                        const std::vector<SeqPair>& batch, bool cyclic,
+                        Rng& decode_rng) {
+  const CycleConfig& config = model.config();
+
+  // L_f: query -> title.
+  std::vector<std::vector<int32_t>> queries;
+  std::vector<std::vector<int32_t>> titles;
+  for (const SeqPair& p : batch) {
+    queries.push_back(p.src);
+    titles.push_back(p.tgt);
+  }
+  const EncodedBatch q_batch = PadBatch(queries, config.max_query_len);
+  const TeacherForcedBatch t_tf = MakeTeacherForced(titles,
+                                                    config.max_title_len);
+  Tensor lf = MaskedCrossEntropy(model.forward().Forward(q_batch,
+                                                         t_tf.inputs),
+                                 t_tf.targets, t_tf.target_mask,
+                                 options.label_smoothing);
+
+  // L_b: title -> query.
+  const EncodedBatch t_batch = PadBatch(titles, config.max_title_len);
+  const TeacherForcedBatch q_tf = MakeTeacherForced(queries,
+                                                    config.max_query_len);
+  Tensor lb = MaskedCrossEntropy(model.backward().Forward(t_batch,
+                                                          q_tf.inputs),
+                                 q_tf.targets, q_tf.target_mask,
+                                 options.label_smoothing);
+  Tensor loss = Add(lf, lb);
+
+  if (cyclic) {
+    // Algorithm 1 lines 9-12: k synthetic titles per query via the top-n
+    // sampling decoder, then the approximated cycle likelihood (Eq. 5).
+    const int64_t k = config.beam_width;
+    DecodeOptions decode_options;
+    decode_options.beam_size = k;
+    decode_options.top_n = config.top_n;
+    decode_options.max_len = config.max_title_len;
+    std::vector<std::vector<int32_t>> synth_queries;  // Each repeated k times.
+    std::vector<std::vector<int32_t>> synth_titles;
+    for (const SeqPair& p : batch) {
+      std::vector<DecodedSequence> decoded = TopNSamplingDecode(
+          model.forward(), p.src, decode_options, decode_rng);
+      // Guarantee exactly k titles (tiny vocabularies can yield fewer).
+      while (static_cast<int64_t>(decoded.size()) < k && !decoded.empty()) {
+        decoded.push_back(decoded.back());
+      }
+      if (decoded.empty()) {
+        decoded.assign(static_cast<size_t>(k), DecodedSequence{{kUnkId}, 0.0});
+      }
+      for (int64_t i = 0; i < k; ++i) {
+        synth_queries.push_back(p.src);
+        synth_titles.push_back(decoded[i].ids);
+      }
+    }
+    // log P_f(y_i | x) — differentiable in theta_f.
+    const EncodedBatch sq_batch = PadBatch(synth_queries,
+                                           config.max_query_len);
+    const TeacherForcedBatch st_tf =
+        MakeTeacherForced(synth_titles, config.max_title_len);
+    Tensor lpf = SequenceLogProb(
+        model.forward().Forward(sq_batch, st_tf.inputs), st_tf.targets,
+        st_tf.target_mask);
+    // log P_b(x | y_i) — differentiable in theta_b.
+    const EncodedBatch st_batch = PadBatch(synth_titles,
+                                           config.max_title_len);
+    const TeacherForcedBatch sq_tf =
+        MakeTeacherForced(synth_queries, config.max_query_len);
+    Tensor lpb = SequenceLogProb(
+        model.backward().Forward(st_batch, sq_tf.inputs), sq_tf.targets,
+        sq_tf.target_mask);
+    // L_c = mean_x logsumexp_i (lpf_i + lpb_i); maximize => subtract.
+    Tensor lc = MeanAll(GroupLogSumExp(Add(lpf, lpb), k));
+    loss = Sub(loss, Scale(lc, config.lambda));
+  }
+  return loss;
+}
+
+/// What the coordinator tells the ranks to do next. Published before the
+/// step's first barrier, read by every rank after it.
+struct StepPlan {
+  int64_t step = 0;
+  bool cyclic = false;
+  bool stop = false;
+  std::vector<SeqPair> batch;  // The full global batch, shard-sliced later.
+};
+
+/// Shared state of one data-parallel Train() run. The plan rides under a
+/// reader/writer lock (the coordinator is the only writer; ranks take the
+/// shared side). The gradient slots and shard losses are deliberately
+/// unlocked: each slot/loss index has exactly one writer per step, and the
+/// collective's barriers hand the elements across threads with a proper
+/// happens-before edge.
+class DataParallelContext {
+ public:
+  DataParallelContext(const Collective::Options& collective_options,
+                      int64_t num_shards)
+      : collective(collective_options),
+        slots(static_cast<size_t>(num_shards)),
+        shard_losses(static_cast<size_t>(num_shards), 0.0) {}
+
+  void PublishPlan(StepPlan next) {
+    std::unique_lock<std::shared_mutex> lock(plan_mu_);
+    plan_ = std::move(next);
+  }
+
+  StepPlan SnapshotPlan() const {
+    std::shared_lock<std::shared_mutex> lock(plan_mu_);
+    return plan_;
+  }
+
+  Collective collective;
+  std::vector<std::vector<float>> slots;
+  std::vector<double> shard_losses;
+
+ private:
+  mutable std::shared_mutex plan_mu_;
+  StepPlan plan_ CYQR_GUARDED_BY(plan_mu_);
+};
+
+/// Computes every gradient shard owned by `rank` (shard j is owned by rank
+/// j % K) into ctx.slots / ctx.shard_losses, then runs the per-rank fault
+/// hooks. Each shard draws its decode and dropout randomness from streams
+/// derived purely from (seed, step, shard), so the shard's bits do not
+/// depend on which rank — or how many ranks — computed it.
+Status ComputeOwnedShards(int rank, const StepPlan& plan, CycleModel& model,
+                          const CycleTrainerOptions& options,
+                          DataParallelContext& ctx) {
+  const int64_t num_shards = static_cast<int64_t>(ctx.slots.size());
+  const int64_t per_shard = options.batch_size / num_shards;
+  const std::vector<Tensor> params = model.Parameters();
+  for (int64_t j = rank; j < num_shards;
+       j += ctx.collective.world_size()) {
+    Rng decode_rng(
+        Rng::DeriveStreamSeed(options.seed, plan.step, j, /*substream=*/1));
+    const Rng dropout_rng(
+        Rng::DeriveStreamSeed(options.seed, plan.step, j, /*substream=*/2));
+    model.rng().set_state(dropout_rng.state());
+    const std::vector<SeqPair> sub_batch(
+        plan.batch.begin() + j * per_shard,
+        plan.batch.begin() + (j + 1) * per_shard);
+    for (const Tensor& p : params) {
+      Tensor t = p;  // Handles share storage; copy is an alias.
+      t.ZeroGrad();
+    }
+    Tensor loss =
+        ComputeBatchLoss(model, options, sub_batch, plan.cyclic, decode_rng);
+    loss.Backward();
+    ctx.slots[static_cast<size_t>(j)] = FlattenGradients(params);
+    ctx.shard_losses[static_cast<size_t>(j)] = loss.item();
+  }
+  if (options.fault_plan.WorkerCrashesAt(rank, plan.step)) {
+    // Drill hook: die mid-step, after compute but before the gradient
+    // collective — the widest torn-collective window.
+    SimulateCrash();
+  }
+  if (options.fault_plan.WorkerStallsAt(rank, plan.step)) {
+    // Drill hook: stop participating. Peers time out at the next barrier
+    // and the abort fan-out (or the self-abort, when there are no peers)
+    // unwinds this rank too.
+    return ctx.collective.StallUntilAborted();
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 CycleTrainer::CycleTrainer(CycleModel* model,
                            std::vector<SeqPair> train_pairs,
                            const CycleTrainerOptions& options)
@@ -72,6 +253,9 @@ void CycleTrainer::InitInstruments(MetricsRegistry* metrics) {
   obs_->checkpoint_write =
       metrics->GetHistogram("cyqr_train_checkpoint_write_millis",
                             Histogram::DefaultLatencyBoundsMillis());
+  obs_->collective_wait =
+      metrics->GetHistogram("cyqr_train_collective_wait_millis",
+                            Histogram::DefaultLatencyBoundsMillis());
   obs_->tokens_per_sec = metrics->GetGauge("cyqr_train_tokens_per_sec");
   obs_->loss = metrics->GetGauge("cyqr_train_loss_value");
   obs_->grad_norm = metrics->GetGauge("cyqr_train_grad_norm");
@@ -95,80 +279,10 @@ double CycleTrainer::StepOnce() {
   for (const SeqPair& p : batch) {
     batch_tokens += static_cast<int64_t>(p.src.size() + p.tgt.size());
   }
-  const CycleConfig& config = model_->config();
-
-  // L_f: query -> title.
-  std::vector<std::vector<int32_t>> queries;
-  std::vector<std::vector<int32_t>> titles;
-  for (const SeqPair& p : batch) {
-    queries.push_back(p.src);
-    titles.push_back(p.tgt);
-  }
-  const EncodedBatch q_batch = PadBatch(queries, config.max_query_len);
-  const TeacherForcedBatch t_tf = MakeTeacherForced(titles,
-                                                    config.max_title_len);
-  Tensor lf = MaskedCrossEntropy(model_->forward().Forward(q_batch,
-                                                           t_tf.inputs),
-                                 t_tf.targets, t_tf.target_mask,
-                                 options_.label_smoothing);
-
-  // L_b: title -> query.
-  const EncodedBatch t_batch = PadBatch(titles, config.max_title_len);
-  const TeacherForcedBatch q_tf = MakeTeacherForced(queries,
-                                                    config.max_query_len);
-  Tensor lb = MaskedCrossEntropy(model_->backward().Forward(t_batch,
-                                                            q_tf.inputs),
-                                 q_tf.targets, q_tf.target_mask,
-                                 options_.label_smoothing);
-  Tensor loss = Add(lf, lb);
-
   const bool cyclic_phase =
       options_.joint && step_ > options_.warmup_steps;
-  if (cyclic_phase) {
-    // Algorithm 1 lines 9-12: k synthetic titles per query via the top-n
-    // sampling decoder, then the approximated cycle likelihood (Eq. 5).
-    const int64_t k = config.beam_width;
-    DecodeOptions decode_options;
-    decode_options.beam_size = k;
-    decode_options.top_n = config.top_n;
-    decode_options.max_len = config.max_title_len;
-    std::vector<std::vector<int32_t>> synth_queries;  // Each repeated k times.
-    std::vector<std::vector<int32_t>> synth_titles;
-    for (const SeqPair& p : batch) {
-      std::vector<DecodedSequence> decoded = TopNSamplingDecode(
-          model_->forward(), p.src, decode_options, rng_);
-      // Guarantee exactly k titles (tiny vocabularies can yield fewer).
-      while (static_cast<int64_t>(decoded.size()) < k && !decoded.empty()) {
-        decoded.push_back(decoded.back());
-      }
-      if (decoded.empty()) {
-        decoded.assign(static_cast<size_t>(k), DecodedSequence{{kUnkId}, 0.0});
-      }
-      for (int64_t i = 0; i < k; ++i) {
-        synth_queries.push_back(p.src);
-        synth_titles.push_back(decoded[i].ids);
-      }
-    }
-    // log P_f(y_i | x) — differentiable in theta_f.
-    const EncodedBatch sq_batch = PadBatch(synth_queries,
-                                           config.max_query_len);
-    const TeacherForcedBatch st_tf =
-        MakeTeacherForced(synth_titles, config.max_title_len);
-    Tensor lpf = SequenceLogProb(
-        model_->forward().Forward(sq_batch, st_tf.inputs), st_tf.targets,
-        st_tf.target_mask);
-    // log P_b(x | y_i) — differentiable in theta_b.
-    const EncodedBatch st_batch = PadBatch(synth_titles,
-                                           config.max_title_len);
-    const TeacherForcedBatch sq_tf =
-        MakeTeacherForced(synth_queries, config.max_query_len);
-    Tensor lpb = SequenceLogProb(
-        model_->backward().Forward(st_batch, sq_tf.inputs), sq_tf.targets,
-        sq_tf.target_mask);
-    // L_c = mean_x logsumexp_i (lpf_i + lpb_i); maximize => subtract.
-    Tensor lc = MeanAll(GroupLogSumExp(Add(lpf, lpb), k));
-    loss = Sub(loss, Scale(lc, config.lambda));
-  }
+  Tensor loss =
+      ComputeBatchLoss(*model_, options_, batch, cyclic_phase, rng_);
 
   optimizer_.ZeroGrad();
   loss.Backward();
@@ -340,6 +454,38 @@ Status CycleTrainer::ResumeLatest() {
   return Resume(latest.value());
 }
 
+Status CycleTrainer::PostStep(const std::vector<SeqPair>& eval_pairs) {
+  if (options_.eval_every > 0 &&
+      (step_ % options_.eval_every == 0 || step_ == options_.max_steps)) {
+    model_->SetTraining(false);
+    curve_.push_back(Evaluate(eval_pairs));
+    model_->SetTraining(true);
+  }
+  if (options_.checkpoint_every > 0 &&
+      step_ % options_.checkpoint_every == 0) {
+    CYQR_RETURN_IF_ERROR(SaveCheckpoint());
+  }
+  if (consecutive_anomalies_ >= options_.max_consecutive_anomalies) {
+    if (last_good_checkpoint_.empty()) {
+      return Status::Internal(
+          "training diverged (" +
+          std::to_string(consecutive_anomalies_) +
+          " consecutive anomalous batches) with no checkpoint to roll "
+          "back to");
+    }
+    ++rollbacks_;
+    if (obs_ != nullptr) obs_->rollbacks->Increment();
+    if (rollbacks_ > options_.max_rollbacks) {
+      return Status::Internal(
+          "training diverged: rollback budget exhausted after " +
+          std::to_string(rollbacks_ - 1) + " rollbacks");
+    }
+    CYQR_RETURN_IF_ERROR(Resume(last_good_checkpoint_));
+    consecutive_anomalies_ = 0;
+  }
+  return Status::OK();
+}
+
 Status CycleTrainer::Train(const std::vector<SeqPair>& eval_pairs) {
   if (options_.checkpoint_every > 0) {
     if (options_.checkpoint_dir.empty()) {
@@ -353,41 +499,160 @@ Status CycleTrainer::Train(const std::vector<SeqPair>& eval_pairs) {
                              options_.checkpoint_dir);
     }
   }
+  if (options_.workers >= 1) return TrainDataParallel(eval_pairs);
   while (step_ < options_.max_steps) {
     if (options_.fault_plan.crash_at_step == step_ + 1) {
       SimulateCrash();  // Drill hook: die as if SIGKILLed mid-run.
     }
     StepOnce();
-    if (options_.eval_every > 0 &&
-        (step_ % options_.eval_every == 0 || step_ == options_.max_steps)) {
-      model_->SetTraining(false);
-      curve_.push_back(Evaluate(eval_pairs));
-      model_->SetTraining(true);
-    }
-    if (options_.checkpoint_every > 0 &&
-        step_ % options_.checkpoint_every == 0) {
-      CYQR_RETURN_IF_ERROR(SaveCheckpoint());
-    }
-    if (consecutive_anomalies_ >= options_.max_consecutive_anomalies) {
-      if (last_good_checkpoint_.empty()) {
-        return Status::Internal(
-            "training diverged (" +
-            std::to_string(consecutive_anomalies_) +
-            " consecutive anomalous batches) with no checkpoint to roll "
-            "back to");
-      }
-      ++rollbacks_;
-      if (obs_ != nullptr) obs_->rollbacks->Increment();
-      if (rollbacks_ > options_.max_rollbacks) {
-        return Status::Internal(
-            "training diverged: rollback budget exhausted after " +
-            std::to_string(rollbacks_ - 1) + " rollbacks");
-      }
-      CYQR_RETURN_IF_ERROR(Resume(last_good_checkpoint_));
-      consecutive_anomalies_ = 0;
-    }
+    CYQR_RETURN_IF_ERROR(PostStep(eval_pairs));
   }
   return Status::OK();
+}
+
+Status CycleTrainer::TrainDataParallel(
+    const std::vector<SeqPair>& eval_pairs) {
+  if (options_.grad_shards < 1) {
+    return Status::InvalidArgument("options.grad_shards must be >= 1");
+  }
+  if (options_.batch_size % options_.grad_shards != 0) {
+    return Status::InvalidArgument(
+        "options.batch_size (" + std::to_string(options_.batch_size) +
+        ") must be divisible by options.grad_shards (" +
+        std::to_string(options_.grad_shards) + ")");
+  }
+  if (options_.workers > options_.grad_shards) {
+    return Status::InvalidArgument(
+        "options.workers (" + std::to_string(options_.workers) +
+        ") must not exceed options.grad_shards (" +
+        std::to_string(options_.grad_shards) + ")");
+  }
+  Collective::Options collective_options;
+  collective_options.world_size = static_cast<int>(options_.workers);
+  collective_options.timeout_millis = options_.collective_timeout_millis;
+  DataParallelContext ctx(collective_options, options_.grad_shards);
+  const int64_t num_shards = options_.grad_shards;
+
+  // Ranks 1..K-1 are worker threads; the calling thread is rank 0, the
+  // coordinator. Workers hold a private replica model and copy the master
+  // parameters at the top of every step — the master is only mutated while
+  // every worker is parked at the next step's opening barrier.
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(options_.workers - 1));
+  for (int64_t r = 1; r < options_.workers; ++r) {
+    threads.emplace_back([this, &ctx](int rank) {
+      Rng replica_rng(options_.seed);  // State re-derived per shard.
+      CycleModel replica(model_->config(), replica_rng);
+      replica.SetTraining(true);
+      const std::vector<Tensor> master_params = model_->Parameters();
+      const std::vector<Tensor> replica_params = replica.Parameters();
+      for (;;) {
+        if (!ctx.collective.Barrier().ok()) return;  // Plan barrier.
+        const StepPlan plan = ctx.SnapshotPlan();
+        if (plan.stop) return;
+        CopyParameters(replica_params, master_params);
+        if (!ComputeOwnedShards(rank, plan, replica, options_, ctx).ok()) {
+          return;
+        }
+        if (!ctx.collective.Barrier().ok()) return;  // Compute barrier.
+        if (!ctx.collective.AllReduceSum(rank, &ctx.slots).ok()) return;
+      }
+    }, static_cast<int>(r));
+  }
+
+  Status run_status;
+  while (step_ < options_.max_steps) {
+    Stopwatch step_watch;
+    const double wait_before = ctx.collective.total_wait_millis();
+    const int64_t next_step = step_ + 1;
+    if (options_.fault_plan.crash_at_step == next_step) {
+      SimulateCrash();  // Drill hook: die as if SIGKILLed mid-run.
+    }
+    StepPlan plan;
+    plan.step = next_step;
+    plan.cyclic = options_.joint && next_step > options_.warmup_steps;
+    plan.batch = SampleBatch();
+    int64_t batch_tokens = 0;
+    for (const SeqPair& p : plan.batch) {
+      batch_tokens += static_cast<int64_t>(p.src.size() + p.tgt.size());
+    }
+    ctx.PublishPlan(plan);
+    run_status = ctx.collective.Barrier();  // Plan barrier.
+    if (!run_status.ok()) break;
+    run_status = ComputeOwnedShards(0, plan, *model_, options_, ctx);
+    if (!run_status.ok()) break;
+    run_status = ctx.collective.Barrier();  // Compute barrier.
+    if (!run_status.ok()) break;
+    run_status = ctx.collective.AllReduceSum(0, &ctx.slots);
+    if (!run_status.ok()) break;
+
+    // The coordinator owns everything from here to the next plan barrier:
+    // the optimizer step, the traces, evaluation, and checkpointing all
+    // happen while the workers are parked, so no collective can be torn
+    // by a mid-step checkpoint and rank 0 is the only writer of
+    // curve/grad-norm state.
+    ++step_;
+    optimizer_.set_learning_rate(schedule_.LearningRate(step_));
+    double loss_value = 0.0;
+    for (const double shard_loss : ctx.shard_losses) {
+      loss_value += shard_loss;
+    }
+    loss_value /= static_cast<double>(num_shards);
+    if (options_.fault_plan.StepHasNanLoss(step_)) {
+      loss_value = std::numeric_limits<double>::quiet_NaN();
+    }
+    // Slot 0 holds the tree-reduced sum over all shards; average it into
+    // the master gradients.
+    LoadGradients(model_->Parameters(), ctx.slots[0],
+                  1.0f / static_cast<float>(num_shards));
+    const double grad_norm =
+        ClipGradNorm(model_->Parameters(), options_.grad_clip);
+    grad_norms_.push_back(grad_norm);
+    const bool anomaly = !std::isfinite(loss_value) ||
+                         !std::isfinite(grad_norm) ||
+                         grad_norm > options_.anomaly_grad_norm;
+    if (anomaly) {
+      ++consecutive_anomalies_;
+      ++skipped_batches_;
+    } else {
+      consecutive_anomalies_ = 0;
+      optimizer_.Step();
+    }
+    if (obs_ != nullptr) {
+      const double step_seconds = step_watch.ElapsedSeconds();
+      obs_->steps->Increment();
+      obs_->step_time->Observe(step_seconds * 1e3);
+      if (step_seconds > 0) {
+        obs_->tokens_per_sec->Set(batch_tokens / step_seconds);
+      }
+      if (std::isfinite(loss_value)) obs_->loss->Set(loss_value);
+      if (std::isfinite(grad_norm)) obs_->grad_norm->Set(grad_norm);
+      if (anomaly) obs_->skipped_batches->Increment();
+      obs_->collective_wait->Observe(ctx.collective.total_wait_millis() -
+                                     wait_before);
+    }
+    run_status = PostStep(eval_pairs);
+    if (!run_status.ok()) break;
+  }
+
+  if (run_status.ok()) {
+    // Clean shutdown: a stop plan plus one last barrier releases every
+    // worker out of its loop.
+    StepPlan stop_plan;
+    stop_plan.stop = true;
+    ctx.PublishPlan(stop_plan);
+    run_status = ctx.collective.Barrier();
+  } else {
+    // Poison the collective so workers blocked at any barrier unwind with
+    // the same status instead of timing out one by one. No-op when the
+    // failure already came from the collective (first abort wins).
+    ctx.collective.Abort(run_status);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  collective_wait_millis_ = ctx.collective.total_wait_millis();
+  return run_status;
 }
 
 double TrainSupervised(Seq2SeqModel& model,

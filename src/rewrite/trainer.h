@@ -75,7 +75,25 @@ struct CycleTrainerOptions {
   int64_t max_consecutive_anomalies = 5;
   int64_t max_rollbacks = 2;
   // Fault drill hooks: inject NaN losses / a hard crash at chosen steps.
+  // The *_worker_* fields target individual data-parallel ranks.
   TrainFaultPlan fault_plan;
+
+  // --- Data-parallel training ------------------------------------------
+  // Number of worker threads K (ranks). 0 keeps the legacy in-thread loop
+  // bit-for-bit. K >= 1 runs the synchronous data-parallel engine
+  // (DESIGN.md "Data-parallel training"): the calling thread is rank 0
+  // (the coordinator, which owns the optimizer step, evaluation, and every
+  // checkpoint write), ranks 1..K-1 compute on replica models. The
+  // parameter trajectory depends on `grad_shards`, never on K — K=1 and
+  // K=4 produce bit-identical parameters.
+  int64_t workers = 0;
+  // Number of gradient shards S: each step's batch splits into S equal
+  // sub-batches whose gradients are reduced along a fixed slot tree.
+  // batch_size must be divisible by S, and workers must not exceed S.
+  int64_t grad_shards = 4;
+  // Collective barrier timeout: a rank missing for this long poisons the
+  // run with kDeadlineExceeded instead of hanging it.
+  double collective_timeout_millis = 20000.0;
 
   // --- Telemetry -------------------------------------------------------
   // When set, the trainer records step time, tokens/sec, loss, gradient
@@ -134,6 +152,10 @@ class CycleTrainer {
   int64_t skipped_batches() const { return skipped_batches_; }
   int64_t consecutive_anomalies() const { return consecutive_anomalies_; }
   int64_t rollbacks() const { return rollbacks_; }
+  /// Total milliseconds all ranks spent blocked in the collective during
+  /// the last data-parallel Train() (0 in legacy mode) — the scaling
+  /// bench's synchronization-overhead signal.
+  double collective_wait_millis() const { return collective_wait_millis_; }
 
   /// Evaluates the Figure 7 metrics at the current parameters.
   TrainMetricsPoint Evaluate(const std::vector<SeqPair>& eval_pairs);
@@ -147,6 +169,7 @@ class CycleTrainer {
     Counter* rollbacks = nullptr;
     Histogram* step_time = nullptr;
     Histogram* checkpoint_write = nullptr;
+    Histogram* collective_wait = nullptr;
     Gauge* tokens_per_sec = nullptr;
     Gauge* loss = nullptr;
     Gauge* grad_norm = nullptr;
@@ -154,6 +177,12 @@ class CycleTrainer {
 
   std::vector<SeqPair> SampleBatch();
   void InitInstruments(MetricsRegistry* metrics);
+  /// The per-step bookkeeping both training loops share: curve sampling,
+  /// scheduled checkpointing, and the anomaly-streak rollback.
+  [[nodiscard]] Status PostStep(const std::vector<SeqPair>& eval_pairs);
+  /// The synchronous K-worker engine behind Train() when workers >= 1.
+  [[nodiscard]] Status TrainDataParallel(
+      const std::vector<SeqPair>& eval_pairs);
 
   CycleModel* model_;
   std::vector<SeqPair> train_;
@@ -171,6 +200,7 @@ class CycleTrainer {
   // rollback target. Rotation keeps it alive as long as healthy
   // checkpoints are more recent than `checkpoint_keep` unhealthy ones.
   std::string last_good_checkpoint_;
+  double collective_wait_millis_ = 0.0;
   std::unique_ptr<Instruments> obs_;  // Null when telemetry is disabled.
 };
 

@@ -198,9 +198,9 @@ bool RewriteServer::Submit(std::vector<std::string> query_tokens,
   // clock keeps running in the queue); ThreadPool::Submit takes no
   // budget-bearing arguments by design.
   // NOLINTNEXTLINE(cyqr-deadline-propagation): deadline rides in the closure.
-  const bool admitted = pool_->Submit(std::move(job));
+  const Status admitted = pool_->Submit(std::move(job));
   UpdateQueueDepthGauge();
-  return admitted;
+  return admitted.ok();
 }
 
 bool RewriteServer::Submit(std::vector<std::string> query_tokens,
@@ -220,7 +220,9 @@ RewriteServer::ServerResponse RewriteServer::ServeBlocking(
     ServerResponse response CYQR_GUARDED_BY(mu);
   };
   auto waiter = std::make_shared<Waiter>();
-  Submit(query_tokens, deadline, [waiter](ServerResponse response) {
+  // (void): a refused Submit still answers through the callback (the shed
+  // path builds the kUnavailable response), so the waiter always fires.
+  (void)Submit(query_tokens, deadline, [waiter](ServerResponse response) {
     {
       std::lock_guard<std::mutex> lock(waiter->mu);
       waiter->response = std::move(response);

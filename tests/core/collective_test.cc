@@ -1,0 +1,160 @@
+// Collective contracts: the barrier synchronizes ranks, a lost rank turns
+// into a clean kDeadlineExceeded instead of a hang, aborts fan out to
+// every blocked rank, and the all-reduce's bits depend only on the slot
+// contents — never on how many ranks participated.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "core/collective.h"
+#include "core/status.h"
+
+namespace cyqr {
+namespace {
+
+Collective::Options Opts(int world_size, double timeout_millis = 5000.0) {
+  Collective::Options options;
+  options.world_size = world_size;
+  options.timeout_millis = timeout_millis;
+  return options;
+}
+
+TEST(CollectiveTest, SingleRankBarrierIsImmediate) {
+  Collective collective(Opts(1));
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(collective.Barrier().ok());
+  }
+}
+
+TEST(CollectiveTest, BarrierSynchronizesRanks) {
+  constexpr int kWorld = 4;
+  constexpr int kRounds = 10;
+  Collective collective(Opts(kWorld));
+  std::atomic<int> arrivals{0};
+  std::atomic<bool> violated{false};
+  std::vector<std::thread> ranks;
+  for (int r = 0; r < kWorld; ++r) {
+    ranks.emplace_back([&] {
+      for (int round = 0; round < kRounds; ++round) {
+        arrivals.fetch_add(1);
+        ASSERT_TRUE(collective.Barrier().ok());
+        // Every rank of this round arrived before any rank passed.
+        if (arrivals.load() < (round + 1) * kWorld) violated.store(true);
+        ASSERT_TRUE(collective.Barrier().ok());  // Close the round.
+      }
+    });
+  }
+  for (std::thread& t : ranks) t.join();
+  EXPECT_FALSE(violated.load());
+}
+
+TEST(CollectiveTest, MissingPeerTimesOutWithDeadlineExceeded) {
+  Collective collective(Opts(2, /*timeout_millis=*/100.0));
+  // The peer never arrives: the barrier must poison itself, not hang.
+  const Status status = collective.Barrier();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  // The poison sticks: every later operation fails fast with it.
+  EXPECT_EQ(collective.Barrier().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(collective.abort_status().code(),
+            StatusCode::kDeadlineExceeded);
+}
+
+TEST(CollectiveTest, AbortWakesBlockedRanksAndFirstAbortWins) {
+  Collective collective(Opts(2));
+  Status seen;
+  std::thread blocked([&] { seen = collective.Barrier(); });
+  collective.Abort(Status::Internal("coordinator failed"));
+  collective.Abort(Status::IoError("latecomer"));  // Must not overwrite.
+  blocked.join();
+  ASSERT_FALSE(seen.ok());
+  EXPECT_EQ(seen.code(), StatusCode::kInternal);
+  EXPECT_EQ(collective.abort_status().code(), StatusCode::kInternal);
+}
+
+TEST(CollectiveTest, StallUntilAbortedReturnsPeerAbort) {
+  Collective collective(Opts(2));
+  Status seen;
+  std::thread stalled([&] { seen = collective.StallUntilAborted(); });
+  collective.Abort(Status::DeadlineExceeded("peers timed out"));
+  stalled.join();
+  EXPECT_EQ(seen.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(CollectiveTest, StallWithNoPeersSelfAborts) {
+  Collective collective(Opts(1, /*timeout_millis=*/100.0));
+  const Status status = collective.StallUntilAborted();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+}
+
+/// The reference fold: the same fixed slot-index tree the collective
+/// schedules, executed sequentially. AllReduceSum must match this bit for
+/// bit at every world size.
+std::vector<float> ReferenceTreeSum(std::vector<std::vector<float>> slots) {
+  for (size_t stride = 1; stride < slots.size(); stride *= 2) {
+    for (size_t j = 0; j + stride < slots.size(); j += 2 * stride) {
+      for (size_t e = 0; e < slots[j].size(); ++e) {
+        slots[j][e] += slots[j + stride][e];
+      }
+    }
+  }
+  return slots[0];
+}
+
+std::vector<std::vector<float>> MakeSlots(int num_slots) {
+  // Values chosen to make float addition order observable: summing these
+  // in a different order changes the low-order bits.
+  std::vector<std::vector<float>> slots;
+  for (int j = 0; j < num_slots; ++j) {
+    slots.push_back({1.0f + 1e-7f * static_cast<float>(j * j),
+                     -3.7f * static_cast<float>(j) + 0.1f,
+                     1e-8f * static_cast<float>(j + 1), 42.0f});
+  }
+  return slots;
+}
+
+std::vector<float> RunAllReduce(int world_size, int num_slots) {
+  Collective collective(Opts(world_size));
+  std::vector<std::vector<float>> slots = MakeSlots(num_slots);
+  std::vector<std::thread> ranks;
+  for (int r = 1; r < world_size; ++r) {
+    ranks.emplace_back([&collective, &slots, r] {
+      ASSERT_TRUE(collective.AllReduceSum(r, &slots).ok());
+    });
+  }
+  EXPECT_TRUE(collective.AllReduceSum(0, &slots).ok());
+  for (std::thread& t : ranks) t.join();
+  return slots[0];
+}
+
+TEST(CollectiveTest, AllReduceSumIsBitIdenticalAcrossWorldSizes) {
+  for (const int num_slots : {1, 2, 4, 5, 8}) {
+    const std::vector<float> reference =
+        ReferenceTreeSum(MakeSlots(num_slots));
+    for (const int world : {1, 2, 3, 4}) {
+      if (world > num_slots) continue;
+      EXPECT_EQ(RunAllReduce(world, num_slots), reference)
+          << "world=" << world << " slots=" << num_slots;
+    }
+  }
+}
+
+TEST(CollectiveTest, BarrierAccumulatesWaitTime) {
+  Collective collective(Opts(2));
+  std::thread peer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ASSERT_TRUE(collective.Barrier().ok());
+  });
+  ASSERT_TRUE(collective.Barrier().ok());
+  peer.join();
+  // The first arrival waited ~20ms for the sleeper.
+  EXPECT_GT(collective.total_wait_millis(), 5.0);
+}
+
+}  // namespace
+}  // namespace cyqr

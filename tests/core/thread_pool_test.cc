@@ -10,6 +10,7 @@
 #include <mutex>
 #include <thread>
 
+#include "core/status.h"
 #include "core/thread_pool.h"
 
 namespace cyqr {
@@ -44,7 +45,7 @@ TEST(ThreadPoolTest, RunsEveryAdmittedJob) {
   ThreadPool pool(options);
   std::atomic<int> ran{0};
   for (int i = 0; i < 100; ++i) {
-    EXPECT_TRUE(pool.Submit([&] { ran.fetch_add(1); }));
+    EXPECT_TRUE(pool.Submit([&] { ran.fetch_add(1); }).ok());
   }
   pool.Drain();
   EXPECT_EQ(ran.load(), 100);
@@ -64,7 +65,7 @@ TEST(ThreadPoolTest, ShedHookRunsForRefusedJobs) {
   std::atomic<int> ran{0};
   std::atomic<int> shed{0};
   // One job wedges the worker; two fill the queue; the rest must shed.
-  ASSERT_TRUE(pool.Submit([&] { gate.Wait(); }));
+  ASSERT_TRUE(pool.Submit([&] { gate.Wait(); }).ok());
   // The wedge job may not have been picked up yet; give the worker a
   // moment so the queue state is deterministic (queue empty, worker busy).
   while (pool.InFlight() == 0) std::this_thread::yield();
@@ -75,7 +76,15 @@ TEST(ThreadPoolTest, ShedHookRunsForRefusedJobs) {
     ThreadPool::Job job;
     job.run = [&] { ran.fetch_add(1); };
     job.shed = [&] { shed.fetch_add(1); };
-    if (pool.Submit(std::move(job))) ++admitted;
+    const Status status = pool.Submit(std::move(job));
+    if (status.ok()) {
+      ++admitted;
+    } else {
+      // Overload shed, not shutdown: the status must say so.
+      EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+      EXPECT_NE(status.message().find("full"), std::string::npos)
+          << status.ToString();
+    }
   }
   EXPECT_EQ(admitted, 2);          // queue_capacity
   EXPECT_EQ(shed.load(), kExtra - 2);  // hooks ran synchronously
@@ -97,7 +106,7 @@ TEST(ThreadPoolTest, EvictOldestRunsVictimsShedHook) {
   ThreadPool pool(options);
 
   Gate gate;
-  ASSERT_TRUE(pool.Submit([&] { gate.Wait(); }));
+  ASSERT_TRUE(pool.Submit([&] { gate.Wait(); }).ok());
   while (pool.InFlight() == 0) std::this_thread::yield();
 
   std::atomic<int> first_shed{0};
@@ -105,11 +114,11 @@ TEST(ThreadPoolTest, EvictOldestRunsVictimsShedHook) {
   ThreadPool::Job first;
   first.run = [] {};
   first.shed = [&] { first_shed.fetch_add(1); };
-  ASSERT_TRUE(pool.Submit(std::move(first)));
+  ASSERT_TRUE(pool.Submit(std::move(first)).ok());
 
   ThreadPool::Job second;
   second.run = [&] { second_ran.fetch_add(1); };
-  ASSERT_TRUE(pool.Submit(std::move(second)));  // Evicts `first`.
+  ASSERT_TRUE(pool.Submit(std::move(second)).ok());  // Evicts `first`.
   EXPECT_EQ(first_shed.load(), 1);
 
   gate.Open();
@@ -126,7 +135,7 @@ TEST(ThreadPoolTest, DrainFlushesQueuedJobsThenRefusesNewOnes) {
   ThreadPool pool(options);
   std::atomic<int> ran{0};
   for (int i = 0; i < 32; ++i) {
-    ASSERT_TRUE(pool.Submit([&] { ran.fetch_add(1); }));
+    ASSERT_TRUE(pool.Submit([&] { ran.fetch_add(1); }).ok());
   }
   pool.Drain();
   EXPECT_EQ(ran.load(), 32);  // Drain ran everything already queued.
@@ -135,7 +144,12 @@ TEST(ThreadPoolTest, DrainFlushesQueuedJobsThenRefusesNewOnes) {
   ThreadPool::Job late;
   late.run = [&] { ran.fetch_add(1); };
   late.shed = [&] { late_shed.fetch_add(1); };
-  EXPECT_FALSE(pool.Submit(std::move(late)));
+  const Status status = pool.Submit(std::move(late));
+  // Post-Drain submissions used to vanish with a bare `false`; the status
+  // now names the reason so callers can distinguish shutdown from overload.
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_NE(status.message().find("draining"), std::string::npos)
+      << status.ToString();
   EXPECT_EQ(late_shed.load(), 1);
   EXPECT_EQ(ran.load(), 32);
 
@@ -161,7 +175,8 @@ TEST(ThreadPoolTest, AccountingExactUnderConcurrentSubmitters) {
         ThreadPool::Job job;
         job.run = [&] { ran.fetch_add(1); };
         job.shed = [&] { shed.fetch_add(1); };
-        pool.Submit(std::move(job));
+        // (void): admission is accounted via the run/shed hooks here.
+        (void)pool.Submit(std::move(job));
       }
     });
   }

@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 
 class Account {
  public:
@@ -32,3 +33,10 @@ struct my {
   using mutex = int;
 };
 my::mutex counter = 0;
+
+// std::shared_lock is the RAII form of the reader hold — clean.
+int PeekShared() {
+  static std::shared_mutex table_mu;
+  std::shared_lock<std::shared_mutex> lock(table_mu);
+  return 7;
+}

@@ -31,3 +31,14 @@ int ReadShared() {
   registry_mu.unlock();  // violation: manual unlock
   return value;
 }
+
+void ReaderSection() {
+  static std::shared_mutex table_mu;
+  table_mu.lock_shared();  // violation: manual shared lock
+  int value = 7;
+  table_mu.unlock_shared();  // violation: manual shared unlock
+  if (table_mu.try_lock_shared()) {  // violation: manual shared try_lock
+    value += table_mu.try_lock_shared() ? 1 : 0;  // violation
+  }
+  (void)value;
+}

@@ -1,0 +1,35 @@
+// Fixture: std::shared_lock reader regions — reads of CYQR_GUARDED_BY
+// fields are legal under a shared hold; every write goes through an
+// exclusive region or a CYQR_REQUIRES contract.
+#include "shared_lock_clean.h"
+
+#include <mutex>
+#include <shared_mutex>
+
+#include "core/thread_annotations.h"
+
+class PlanBoard {
+ public:
+  int Snapshot() const {
+    std::shared_lock<std::shared_mutex> lock(plan_mu_);
+    return plan_;  // ok: read under the reader hold
+  }
+
+  bool Ready() const {
+    std::shared_lock<std::shared_mutex> lock(plan_mu_);
+    return plan_ > 0 && plan_ != 7;  // ok: pure reads
+  }
+
+  void Publish(int next) {
+    std::unique_lock<std::shared_mutex> lock(plan_mu_);
+    plan_ = next;  // ok: writer hold is exclusive
+  }
+
+  void BumpLocked() CYQR_REQUIRES(plan_mu_) {
+    ++plan_;  // ok: caller contract grants the exclusive hold
+  }
+
+ private:
+  mutable std::shared_mutex plan_mu_;
+  int plan_ CYQR_GUARDED_BY(plan_mu_) = 0;
+};

@@ -1,0 +1,25 @@
+// Fixture: writes to CYQR_GUARDED_BY fields under only a shared (reader)
+// hold — legal to read, a data race to mutate.
+#include "shared_lock_violation.h"
+
+#include <mutex>
+#include <shared_mutex>
+
+#include "core/thread_annotations.h"
+
+class PlanBoard {
+ public:
+  int ReadAndPatch() {
+    std::shared_lock<std::shared_mutex> lock(plan_mu_);
+    int seen = plan_;  // ok: read under the reader hold
+    plan_ = seen + 1;  // violation: assignment under shared hold
+    plan_ += 2;        // violation: compound assignment
+    ++plan_;           // violation: prefix increment
+    plan_--;           // violation: postfix decrement
+    return plan_;      // ok: read
+  }
+
+ private:
+  mutable std::shared_mutex plan_mu_;
+  int plan_ CYQR_GUARDED_BY(plan_mu_) = 0;
+};

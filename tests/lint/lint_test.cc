@@ -158,14 +158,36 @@ TEST(LintTest, AllowlistExemptsMatchingPaths) {
 
 TEST(LintTest, LockScopeViolations) {
   const auto diags = RunRule("lock-scope", "lock_scope_violation.cc");
-  EXPECT_EQ(Lines(diags), std::vector<int>({10, 12, 16, 18, 29, 31}));
+  // Exclusive manual calls, plus the lock_shared/unlock_shared/
+  // try_lock_shared family on a shared_mutex.
+  EXPECT_EQ(Lines(diags),
+            std::vector<int>({10, 12, 16, 18, 29, 31, 37, 39, 40, 41}));
   for (const Diagnostic& d : diags) {
     EXPECT_EQ(d.rule, "lock-scope");
   }
+  // Shared variants steer toward the RAII reader guard.
+  EXPECT_NE(diags[6].message.find("std::shared_lock"), std::string::npos);
 }
 
 TEST(LintTest, LockScopeClean) {
   EXPECT_TRUE(RunRule("lock-scope", "lock_scope_clean.cc").empty());
+}
+
+TEST(LintTest, SharedLockWriteViolations) {
+  // A std::shared_lock region is a reader hold: the reads in the fixture
+  // stay clean, every mutation of the guarded field is flagged.
+  const auto diags =
+      RunRule("guarded-field-access", "shared_lock_violation.cc");
+  EXPECT_EQ(Lines(diags), std::vector<int>({15, 16, 17, 18}));
+  for (const Diagnostic& d : diags) {
+    EXPECT_EQ(d.rule, "guarded-field-access");
+    EXPECT_NE(d.message.find("shared (reader) mode"), std::string::npos);
+  }
+}
+
+TEST(LintTest, SharedLockReadsAndExclusiveWritesClean) {
+  EXPECT_TRUE(
+      RunRule("guarded-field-access", "shared_lock_clean.cc").empty());
 }
 
 TEST(LintTest, DeadlinePropagationViolations) {

@@ -95,6 +95,25 @@ TEST(ParseTest, RelockOpensASecondSegment) {
                                  "second_"));
 }
 
+TEST(ParseTest, SharedLockRegionsCarryTheSharedFlag) {
+  const ParsedFile f = Parse(
+      "void Mixed() {\n"
+      "  std::shared_lock<std::shared_mutex> reader(mu_);\n"
+      "  Peek();\n"
+      "  reader.unlock();\n"
+      "  std::unique_lock<std::shared_mutex> writer(mu_);\n"
+      "  Poke();\n"
+      "}\n");
+  const FunctionDef* fn = FindFn(f, "Mixed");
+  ASSERT_NE(fn, nullptr);
+  ASSERT_EQ(fn->locks.size(), 2u);
+  EXPECT_EQ(fn->locks[0].guard_type, "shared_lock");
+  EXPECT_TRUE(fn->locks[0].shared);
+  EXPECT_EQ(fn->locks[1].guard_type, "unique_lock");
+  EXPECT_FALSE(fn->locks[1].shared);
+  EXPECT_EQ(fn->locks[0].mutexes, fn->locks[1].mutexes);
+}
+
 TEST(ParseTest, ScopedLockOverTwoMutexesIsOneRegion) {
   const ParsedFile f = Parse(
       "void Both() {\n"

@@ -180,6 +180,62 @@ TEST(CrashResumeTest, ForkKillResumeMatchesUninterrupted) {
             resumed.trainer->grad_norms());
 }
 
+TEST(CrashResumeTest, DataParallelForkKillResumeWithDifferentWorkerCount) {
+  // The data-parallel torn-collective drill: a worker rank dies mid-step
+  // (after shard compute, before the gradient collective) under K=2; the
+  // whole process must exit 137 without corrupting the checkpoint
+  // rotation, and a K=4 resume must land bit-identical to an
+  // uninterrupted K=1 run.
+  const TinyWorld world = MakeTinyWorld();
+  CycleTrainerOptions options = DrillOptions();
+  options.batch_size = 4;
+  options.grad_shards = 4;
+  options.workers = 2;
+  options.checkpoint_every = 5;
+  options.checkpoint_dir = FreshDir("dp_fork_drill");
+
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    CycleTrainerOptions crash = options;
+    crash.fault_plan.crash_worker_rank = 1;
+    crash.fault_plan.crash_worker_at_step = 13;
+    TrainRun child = MakeRun(world, crash);
+    const Status status = child.trainer->Train(world.pairs);
+    (void)status;
+    _Exit(0);  // Reaching here means the crash never fired.
+  }
+  int wstatus = 0;
+  ASSERT_EQ(waitpid(pid, &wstatus, 0), pid);
+  ASSERT_TRUE(WIFEXITED(wstatus));
+  ASSERT_EQ(WEXITSTATUS(wstatus), 137) << "child did not die at the drill";
+
+  Result<std::string> latest =
+      LatestCheckpointFile(options.checkpoint_dir);
+  ASSERT_TRUE(latest.ok());
+  EXPECT_NE(latest.value().find(CheckpointFileName(10)), std::string::npos);
+
+  // Resume with twice the ranks.
+  CycleTrainerOptions wider = options;
+  wider.workers = 4;
+  TrainRun resumed = MakeRun(world, wider);
+  ASSERT_TRUE(resumed.trainer->ResumeLatest().ok());
+  EXPECT_EQ(resumed.trainer->step(), 10);
+  ASSERT_TRUE(resumed.trainer->Train(world.pairs).ok());
+
+  // Reference: K=1, never interrupted, no checkpointing.
+  CycleTrainerOptions single = DrillOptions();
+  single.batch_size = 4;
+  single.grad_shards = 4;
+  single.workers = 1;
+  TrainRun reference = MakeRun(world, single);
+  ASSERT_TRUE(reference.trainer->Train(world.pairs).ok());
+
+  EXPECT_EQ(FlattenParams(*reference.model), FlattenParams(*resumed.model));
+  EXPECT_EQ(reference.trainer->grad_norms(),
+            resumed.trainer->grad_norms());
+}
+
 TEST(CrashResumeTest, GradNormTraceIsRecordedEveryStep) {
   const TinyWorld world = MakeTinyWorld();
   CycleTrainerOptions options = DrillOptions();

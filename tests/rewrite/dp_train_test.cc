@@ -1,0 +1,291 @@
+// Data-parallel determinism drills (thread-only — no forking here, so the
+// whole binary also runs under TSan): the parameter trajectory must be a
+// pure function of the options, never of the worker count; a killed or
+// stalled rank must end the run with a clean status instead of a hang;
+// and checkpoints racing into one directory must never corrupt resume.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rewrite/checkpoint.h"
+#include "rewrite/trainer.h"
+
+namespace cyqr {
+namespace {
+
+struct TinyWorld {
+  Vocabulary vocab;
+  std::vector<SeqPair> pairs;
+};
+
+TinyWorld MakeTinyWorld() {
+  TinyWorld world;
+  const std::vector<std::vector<std::string>> corpus = {
+      {"cheap", "phone"},  {"brandx", "model1", "smartphone", "budget"},
+      {"senior", "phone"}, {"brandx", "model2", "smartphone", "elderly"},
+      {"gift", "watch"},   {"brandy", "luxury", "wrist", "watch"},
+  };
+  world.vocab = Vocabulary::Build(corpus);
+  for (size_t i = 0; i + 1 < corpus.size(); i += 2) {
+    world.pairs.push_back({world.vocab.Encode(corpus[i]),
+                           world.vocab.Encode(corpus[i + 1])});
+  }
+  return world;
+}
+
+CycleConfig TinyConfig(int64_t vocab_size) {
+  CycleConfig config = PaperScaledConfig(vocab_size);
+  config.forward.num_layers = 1;
+  config.forward.d_model = 16;
+  config.forward.ff_hidden = 32;
+  config.backward.num_layers = 1;
+  config.backward.d_model = 16;
+  config.backward.ff_hidden = 32;
+  config.backward.vocab_size = vocab_size;
+  config.max_title_len = 8;
+  config.max_query_len = 6;
+  return config;
+}
+
+/// Short warmup then a few cyclic steps with S=4 shards: covers both
+/// phases of Algorithm 1 and every shard-to-rank assignment for K <= 4.
+CycleTrainerOptions DpOptions(int64_t workers) {
+  CycleTrainerOptions options;
+  options.max_steps = 12;
+  options.warmup_steps = 8;
+  options.batch_size = 4;
+  options.grad_shards = 4;
+  options.workers = workers;
+  options.eval_every = 6;
+  options.eval_queries = 3;
+  return options;
+}
+
+struct TrainRun {
+  std::unique_ptr<Rng> rng;
+  std::unique_ptr<CycleModel> model;
+  std::unique_ptr<CycleTrainer> trainer;
+};
+
+TrainRun MakeRun(const TinyWorld& world, const CycleTrainerOptions& options) {
+  TrainRun run;
+  run.rng = std::make_unique<Rng>(7);
+  run.model = std::make_unique<CycleModel>(TinyConfig(world.vocab.size()),
+                                           *run.rng);
+  run.trainer = std::make_unique<CycleTrainer>(run.model.get(), world.pairs,
+                                               options);
+  return run;
+}
+
+std::vector<float> FlattenParams(const CycleModel& model) {
+  std::vector<float> flat;
+  for (const Tensor& p : model.Parameters()) {
+    flat.insert(flat.end(), p.data(), p.data() + p.NumElements());
+  }
+  return flat;
+}
+
+std::string FreshDir(const char* name) {
+  const std::string dir = testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+TEST(DpTrainTest, WorkerCountNeverChangesTheTrajectory) {
+  const TinyWorld world = MakeTinyWorld();
+  TrainRun baseline = MakeRun(world, DpOptions(1));
+  ASSERT_TRUE(baseline.trainer->Train(world.pairs).ok());
+  const std::vector<float> expected = FlattenParams(*baseline.model);
+  ASSERT_FALSE(baseline.trainer->curve().empty());
+
+  for (const int64_t workers : {2, 4}) {
+    TrainRun run = MakeRun(world, DpOptions(workers));
+    ASSERT_TRUE(run.trainer->Train(world.pairs).ok());
+    EXPECT_EQ(FlattenParams(*run.model), expected) << "K=" << workers;
+    EXPECT_EQ(run.trainer->grad_norms(), baseline.trainer->grad_norms())
+        << "K=" << workers;
+    ASSERT_EQ(run.trainer->curve().size(),
+              baseline.trainer->curve().size());
+    for (size_t i = 0; i < run.trainer->curve().size(); ++i) {
+      EXPECT_EQ(run.trainer->curve()[i].translate_back_log_prob,
+                baseline.trainer->curve()[i].translate_back_log_prob);
+      EXPECT_EQ(run.trainer->curve()[i].q2t_perplexity,
+                baseline.trainer->curve()[i].q2t_perplexity);
+    }
+  }
+}
+
+TEST(DpTrainTest, ResumeWithDifferentWorkerCountIsBitIdentical) {
+  const TinyWorld world = MakeTinyWorld();
+
+  // Reference: K=1, never interrupted, no checkpointing at all.
+  TrainRun reference = MakeRun(world, DpOptions(1));
+  ASSERT_TRUE(reference.trainer->Train(world.pairs).ok());
+
+  // Interrupted at step 9 under K=2 (checkpoint rotation leaves step 8)...
+  CycleTrainerOptions first = DpOptions(2);
+  first.checkpoint_every = 4;
+  first.checkpoint_dir = FreshDir("dp_resume_cross_k");
+  {
+    CycleTrainerOptions partial = first;
+    partial.max_steps = 9;
+    TrainRun interrupted = MakeRun(world, partial);
+    ASSERT_TRUE(interrupted.trainer->Train(world.pairs).ok());
+  }
+  // ...then resumed under K=4: every word of persisted state is
+  // K-independent, so the trajectory must still match the K=1 reference.
+  CycleTrainerOptions second = first;
+  second.workers = 4;
+  TrainRun resumed = MakeRun(world, second);
+  ASSERT_TRUE(resumed.trainer->ResumeLatest().ok());
+  EXPECT_EQ(resumed.trainer->step(), 8);
+  ASSERT_TRUE(resumed.trainer->Train(world.pairs).ok());
+
+  EXPECT_EQ(FlattenParams(*reference.model), FlattenParams(*resumed.model));
+  EXPECT_EQ(reference.trainer->grad_norms(),
+            resumed.trainer->grad_norms());
+}
+
+TEST(DpTrainTest, StalledWorkerEndsRunWithDeadlineExceeded) {
+  const TinyWorld world = MakeTinyWorld();
+  CycleTrainerOptions options = DpOptions(2);
+  options.collective_timeout_millis = 300.0;
+  options.fault_plan.stall_worker_rank = 1;
+  options.fault_plan.stall_worker_at_step = 3;
+  TrainRun run = MakeRun(world, options);
+  const Status status = run.trainer->Train(world.pairs);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(DpTrainTest, StalledCoordinatorAlsoUnwindsCleanly) {
+  const TinyWorld world = MakeTinyWorld();
+  CycleTrainerOptions options = DpOptions(2);
+  options.collective_timeout_millis = 300.0;
+  options.fault_plan.stall_worker_rank = 0;
+  options.fault_plan.stall_worker_at_step = 2;
+  TrainRun run = MakeRun(world, options);
+  const Status status = run.trainer->Train(world.pairs);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(DpTrainTest, StallAfterCheckpointLeavesResumableState) {
+  const TinyWorld world = MakeTinyWorld();
+  CycleTrainerOptions options = DpOptions(2);
+  options.checkpoint_every = 4;
+  options.checkpoint_dir = FreshDir("dp_stall_resume");
+  options.collective_timeout_millis = 300.0;
+  options.fault_plan.stall_worker_rank = 1;
+  options.fault_plan.stall_worker_at_step = 6;
+  TrainRun run = MakeRun(world, options);
+  ASSERT_EQ(run.trainer->Train(world.pairs).code(),
+            StatusCode::kDeadlineExceeded);
+
+  // Checkpoints only happen at step boundaries while every rank is
+  // parked, so the stall cannot have torn one: resume and finish, and the
+  // result must match an undisturbed K=1 run.
+  CycleTrainerOptions clean = options;
+  clean.fault_plan = TrainFaultPlan{};
+  TrainRun resumed = MakeRun(world, clean);
+  ASSERT_TRUE(resumed.trainer->ResumeLatest().ok());
+  EXPECT_EQ(resumed.trainer->step(), 4);
+  ASSERT_TRUE(resumed.trainer->Train(world.pairs).ok());
+
+  TrainRun reference = MakeRun(world, DpOptions(1));
+  ASSERT_TRUE(reference.trainer->Train(world.pairs).ok());
+  EXPECT_EQ(FlattenParams(*reference.model), FlattenParams(*resumed.model));
+}
+
+TEST(DpTrainTest, NanGuardrailsWorkUnderDataParallelism) {
+  const TinyWorld world = MakeTinyWorld();
+  CycleTrainerOptions options = DpOptions(2);
+  options.max_steps = 8;
+  options.warmup_steps = 8;
+  options.eval_every = 0;
+  options.fault_plan.nan_loss_steps = {3};
+  TrainRun run = MakeRun(world, options);
+  ASSERT_TRUE(run.trainer->Train(world.pairs).ok());
+  EXPECT_EQ(run.trainer->skipped_batches(), 1);
+  EXPECT_EQ(run.trainer->rollbacks(), 0);
+  for (float v : FlattenParams(*run.model)) {
+    ASSERT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(DpTrainTest, MisconfiguredShardingIsRejected) {
+  const TinyWorld world = MakeTinyWorld();
+  CycleTrainerOptions options = DpOptions(2);
+  options.grad_shards = 3;  // batch_size=4 not divisible.
+  TrainRun run = MakeRun(world, options);
+  EXPECT_EQ(run.trainer->Train(world.pairs).code(),
+            StatusCode::kInvalidArgument);
+
+  options = DpOptions(4);
+  options.grad_shards = 2;  // More workers than shards.
+  TrainRun run2 = MakeRun(world, options);
+  EXPECT_EQ(run2.trainer->Train(world.pairs).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DpTrainTest, CollectiveWaitIsReportedAfterDataParallelRuns) {
+  const TinyWorld world = MakeTinyWorld();
+  CycleTrainerOptions options = DpOptions(2);
+  options.max_steps = 4;
+  options.warmup_steps = 4;
+  options.eval_every = 0;
+  TrainRun run = MakeRun(world, options);
+  ASSERT_TRUE(run.trainer->Train(world.pairs).ok());
+  EXPECT_GE(run.trainer->collective_wait_millis(), 0.0);
+}
+
+TEST(DpTrainTest, RacingCheckpointWritersNeverCorruptResume) {
+  // The coordinator-owns-writes invariant makes this race impossible in
+  // the trainer itself; this drill attacks the layer below anyway: two
+  // trainers (think: two ranks that both wrongly believe they own the
+  // directory) checkpoint the same step into the same dir concurrently.
+  // Unique temp staging means the survivor is one complete file, so
+  // ResumeLatest must always load a valid checkpoint.
+  const TinyWorld world = MakeTinyWorld();
+  const std::string dir = FreshDir("dp_ckpt_race");
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  ASSERT_FALSE(ec);
+
+  CycleTrainerOptions options = DpOptions(1);
+  options.max_steps = 2;
+  options.warmup_steps = 2;
+  options.eval_every = 0;
+  options.checkpoint_dir = dir;
+  TrainRun a = MakeRun(world, options);
+  TrainRun b = MakeRun(world, options);
+  ASSERT_TRUE(a.trainer->Train(world.pairs).ok());
+  ASSERT_TRUE(b.trainer->Train(world.pairs).ok());
+
+  for (int round = 0; round < 8; ++round) {
+    std::thread racer_a([&] { ASSERT_TRUE(a.trainer->SaveCheckpoint().ok()); });
+    std::thread racer_b([&] { ASSERT_TRUE(b.trainer->SaveCheckpoint().ok()); });
+    racer_a.join();
+    racer_b.join();
+    TrainRun reader = MakeRun(world, options);
+    ASSERT_TRUE(reader.trainer->ResumeLatest().ok()) << "round " << round;
+    EXPECT_EQ(reader.trainer->step(), 2);
+  }
+  // No staging debris: every temp file was either renamed or removed.
+  int leftovers = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().filename().string().find(".tmp") != std::string::npos) {
+      ++leftovers;
+    }
+  }
+  EXPECT_EQ(leftovers, 0);
+}
+
+}  // namespace
+}  // namespace cyqr

@@ -267,8 +267,9 @@ TEST(ConcurrentFaultDrillTest, AccountingStaysExactThroughOutageAndFlapping) {
                 : std::vector<std::string>{"tail", std::to_string(s),
                                            std::to_string(i)};
         if (i % 4 == 3) {
-          // Open-loop burst: fire-and-forget, may shed under backpressure.
-          server.Submit(std::move(query), Deadline::Infinite(), tally);
+          // Open-loop burst: fire-and-forget, may shed under backpressure;
+          // (void): every outcome reaches `tally` through the callback.
+          (void)server.Submit(std::move(query), Deadline::Infinite(), tally);
         } else {
           // Closed-loop: guarantees the workers process real volume (the
           // outage window and breaker cycling need served traffic, not a

@@ -54,6 +54,7 @@
 
 #include "core/bounded_queue.h"
 #include "core/deadline.h"
+#include "core/file_util.h"
 #include "core/flags.h"
 #include "core/stopwatch.h"
 #include "core/string_util.h"
@@ -165,9 +166,14 @@ int Train(const FlagParser& flags) {
                  "train flags: --data pairs.tsv --out MODEL_DIR "
                  "[--steps N] [--warmup N] [--layers N] [--batch N] "
                  "[--lambda F] [--separate] [--seed S] "
+                 "[--workers K] [--grad-shards S] "
+                 "[--collective-timeout-ms MS] "
+                 "[--eval-every N] [--curve-out curve.tsv] "
                  "[--checkpoint-every N] [--checkpoint-dir DIR] "
                  "[--checkpoint-keep K] [--resume] "
                  "[--crash-at-step N] [--nan-at-step N] "
+                 "[--crash-worker-rank R --crash-worker-at-step N] "
+                 "[--stall-worker-rank R --stall-worker-at-step N] "
                  "[--metrics-out metrics.json] "
                  "[--metrics-prom metrics.prom]\n");
     return 2;
@@ -193,7 +199,13 @@ int Train(const FlagParser& flags) {
   options.warmup_steps = flags.GetInt("warmup", 420);
   options.batch_size = flags.GetInt("batch", 8);
   options.joint = !flags.GetBool("separate", false);
-  options.eval_every = 0;
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed", 1234));
+  options.eval_every = flags.GetInt("eval-every", 0);
+  // Data-parallel engine: K worker threads over S gradient shards.
+  options.workers = flags.GetInt("workers", 0);
+  options.grad_shards = flags.GetInt("grad-shards", 4);
+  options.collective_timeout_millis =
+      flags.GetDouble("collective-timeout-ms", 20000.0);
   options.checkpoint_every = flags.GetInt("checkpoint-every", 0);
   options.checkpoint_keep = flags.GetInt("checkpoint-keep", 3);
   options.checkpoint_dir = flags.GetString("checkpoint-dir");
@@ -211,12 +223,22 @@ int Train(const FlagParser& flags) {
   if (nan_at_step >= 0) {
     options.fault_plan.nan_loss_steps.push_back(nan_at_step);
   }
+  options.fault_plan.crash_worker_rank =
+      flags.GetInt("crash-worker-rank", -1);
+  options.fault_plan.crash_worker_at_step =
+      flags.GetInt("crash-worker-at-step", -1);
+  options.fault_plan.stall_worker_rank =
+      flags.GetInt("stall-worker-rank", -1);
+  options.fault_plan.stall_worker_at_step =
+      flags.GetInt("stall-worker-at-step", -1);
   const std::vector<SeqPair> train = EncodePairs(pairs.value(),
                                                  vocab.value());
-  std::printf("training %s model: %lld steps (warmup %lld)...\n",
+  std::printf("training %s model: %lld steps (warmup %lld, workers %lld)"
+              "...\n",
               options.joint ? "joint" : "separate",
               static_cast<long long>(options.max_steps),
-              static_cast<long long>(options.warmup_steps));
+              static_cast<long long>(options.warmup_steps),
+              static_cast<long long>(options.workers));
   Stopwatch watch;
   CycleTrainer trainer(&model, train, options);
   if (resume) {
@@ -230,10 +252,32 @@ int Train(const FlagParser& flags) {
       return Fail(resumed);
     }
   }
-  const Status trained = trainer.Train({});
+  // With --eval-every the training pairs double as the curve's eval set
+  // (the trainer samples options.eval_queries of them per point).
+  const Status trained =
+      trainer.Train(options.eval_every > 0 ? train
+                                           : std::vector<SeqPair>{});
   // Dump telemetry even when training fails — the series leading up to a
   // divergence are exactly what a postmortem needs.
   const int metrics_code = DumpMetricsFiles(metrics_out, metrics_prom);
+  const std::string curve_out = flags.GetString("curve-out");
+  if (!curve_out.empty()) {
+    // Full-precision TSV so drill scripts can demand bit-identical curves
+    // across worker counts.
+    std::string tsv =
+        "step\tq2t_ppl\tt2q_ppl\tq2t_acc\tt2q_acc\ttb_logp\ttb_acc\n";
+    for (const TrainMetricsPoint& p : trainer.curve()) {
+      char line[256];
+      std::snprintf(line, sizeof(line),
+                    "%lld\t%.17g\t%.17g\t%.17g\t%.17g\t%.17g\t%.17g\n",
+                    static_cast<long long>(p.step), p.q2t_perplexity,
+                    p.t2q_perplexity, p.q2t_accuracy, p.t2q_accuracy,
+                    p.translate_back_log_prob, p.translate_back_accuracy);
+      tsv += line;
+    }
+    const Status curve_status = WriteStringToFileAtomic(curve_out, tsv);
+    if (!curve_status.ok()) return Fail(curve_status);
+  }
   if (!trained.ok()) return Fail(trained);
   if (metrics_code != 0) return metrics_code;
   std::printf("trained in %.1fs\n", watch.ElapsedSeconds());

@@ -262,11 +262,11 @@ void ParallelFor(cyqr::ThreadPool* pool, size_t n,
   WaitGroup wg;
   wg.Add(static_cast<int>(n));
   for (size_t i = 0; i < n; ++i) {
-    const bool admitted = pool->Submit([&fn, &wg, i] {
+    const cyqr::Status admitted = pool->Submit([&fn, &wg, i] {
       fn(i);
       wg.Done();
     });
-    if (!admitted) {
+    if (!admitted.ok()) {
       fn(i);
       wg.Done();
     }

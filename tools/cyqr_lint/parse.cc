@@ -470,6 +470,7 @@ ParsedFile ParseFile(LexedFile lex) {
               region.guard_type = guard_type;
               region.name = guard_name;
               region.mutexes = mutexes;
+              region.shared = guard_type == "shared_lock";
               region.line = segment_line;
               region.begin = pos;
               region.end = cut;

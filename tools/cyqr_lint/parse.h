@@ -56,6 +56,10 @@ struct LockRegion {
   /// ("mu_", "waiter->mu"); std::defer_lock-style tags are dropped. A
   /// std::scoped_lock over several mutexes lists them all.
   std::vector<std::string> mutexes;
+  /// True for std::shared_lock guards: the region holds the mutex in
+  /// reader (shared) mode — reads of guarded fields are legal, writes
+  /// still need an exclusive hold.
+  bool shared = false;
   int line = 0;       ///< Guard declaration line.
   size_t begin = 0;   ///< First token inside the held region.
   size_t end = 0;     ///< Exclusive end of the held region.

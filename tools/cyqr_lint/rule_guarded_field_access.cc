@@ -23,6 +23,24 @@ bool Contains(const std::vector<std::string>& v, const std::string& s) {
   return std::find(v.begin(), v.end(), s) != v.end();
 }
 
+/// True when the guarded-field access whose field identifier sits at
+/// token `i` mutates the field: it is followed by an assignment or
+/// compound-assignment operator, or bracketed by ++/-- (prefix forms
+/// look before the start of the whole access expression, which for a
+/// qualified access is the receiver two tokens back).
+bool IsWriteAccess(const std::vector<Token>& toks, size_t i, bool qualified) {
+  static const char* kMutators[] = {"=", "+=", "-=", "*=", "/=", "++", "--"};
+  for (const char* op : kMutators) {
+    if (IsPunct(toks, i + 1, op)) return true;
+  }
+  const size_t start = qualified ? i - 2 : i;
+  if (start > 0 &&
+      (IsPunct(toks, start - 1, "++") || IsPunct(toks, start - 1, "--"))) {
+    return true;
+  }
+  return false;
+}
+
 /// True when `receiver.guard` or `receiver->guard` appears anywhere in the
 /// function body. The receiver-qualified check is type-blind (the lexer does
 /// not know what type `out` in `out.response` is), so it only fires when the
@@ -43,7 +61,10 @@ bool FnMentionsGuard(const FunctionDef& fn, const std::vector<Token>& toks,
 
 /// Enforces CYQR_GUARDED_BY: a guarded field may only be touched inside a
 /// lock region holding its mutex, or from a function that declares
-/// CYQR_REQUIRES on that mutex. Constructors/destructors are exempt — the
+/// CYQR_REQUIRES on that mutex. A std::shared_lock region is a reader
+/// hold: reads of the guarded field are legal under it, but writes still
+/// demand an exclusive region (lock_guard/unique_lock/scoped_lock) or a
+/// CYQR_REQUIRES declaration. Constructors/destructors are exempt — the
 /// object is not shared while it is being built or torn down.
 class GuardedFieldAccessRule : public Rule {
  public:
@@ -108,28 +129,43 @@ class GuardedFieldAccessRule : public Rule {
           needed = receiver + toks[i - 1].text + StripThis(mutex);
         }
 
-        bool held = Contains(held_always, StripThis(mutex));
-        if (!held) {
+        bool held_exclusive = Contains(held_always, StripThis(mutex));
+        bool held_shared = false;
+        if (!held_exclusive) {
           for (const LockRegion& region : fn.locks) {
             if (i >= region.begin && i < region.end &&
                 RegionHolds(region, needed)) {
-              held = true;
-              break;
+              if (region.shared) {
+                held_shared = true;
+              } else {
+                held_exclusive = true;
+                break;
+              }
             }
           }
         }
-        if (held) continue;
+        if (held_exclusive) continue;
+        const bool is_write = IsWriteAccess(toks, i, qualified);
+        if (held_shared && !is_write) continue;
         Diagnostic d;
         d.file = file.lex.path;
         d.line = toks[i].line;
         d.rule = name();
-        d.message = "guarded field '" + (qualified ? receiver + "->" + ident
-                                                    : ident) +
-                    "' (CYQR_GUARDED_BY " + mutex +
-                    ") accessed without holding '" + needed +
-                    "'; wrap the access in a lock region or declare "
-                    "CYQR_REQUIRES(" +
-                    mutex + ") on the function";
+        const std::string shown =
+            qualified ? receiver + "->" + ident : ident;
+        if (held_shared) {
+          d.message = "guarded field '" + shown + "' (CYQR_GUARDED_BY " +
+                      mutex + ") written while holding '" + needed +
+                      "' only in shared (reader) mode; writes need an "
+                      "exclusive hold — use std::unique_lock or "
+                      "std::lock_guard for this region";
+        } else {
+          d.message = "guarded field '" + shown + "' (CYQR_GUARDED_BY " +
+                      mutex + ") accessed without holding '" + needed +
+                      "'; wrap the access in a lock region or declare "
+                      "CYQR_REQUIRES(" +
+                      mutex + ") on the function";
+        }
         out->push_back(std::move(d));
       }
     }

@@ -58,17 +58,22 @@ class LockScopeRule : public Rule {
       if (!IsPunct(toks, i + 1, ".")) continue;
       if (toks[i + 2].kind != TokKind::kIdent) continue;
       const std::string& method = toks[i + 2].text;
-      if (method != "lock" && method != "unlock" && method != "try_lock") {
-        continue;
-      }
+      static const std::set<std::string> kManualMethods = {
+          "lock",        "unlock",        "try_lock",
+          "lock_shared", "unlock_shared", "try_lock_shared"};
+      if (kManualMethods.count(method) == 0) continue;
       if (!IsPunct(toks, i + 3, "(")) continue;
+      const bool shared = method.find("shared") != std::string::npos;
       Diagnostic d;
       d.file = file.lex.path;
       d.line = toks[i].line;
       d.rule = name();
       d.message = "manual '" + toks[i].text + "." + method +
-                  "()' on a std::mutex: use std::lock_guard or "
-                  "std::unique_lock so the lock cannot leak on early "
+                  "()' on a std::mutex: use " +
+                  (shared ? std::string("std::shared_lock")
+                          : std::string("std::lock_guard or "
+                                        "std::unique_lock")) +
+                  " so the lock cannot leak on early "
                   "return or exception";
       out->push_back(std::move(d));
     }
