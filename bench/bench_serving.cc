@@ -27,8 +27,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -42,10 +49,13 @@
 #include "core/stopwatch.h"
 #include "core/string_util.h"
 #include "datagen/traffic.h"
+#include "obs/flight_recorder.h"
+#include "obs/introspect.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rewrite/direct_model.h"
 #include "serving/fault_injection.h"
+#include "serving/http_endpoint.h"
 #include "serving/latency.h"
 #include "serving/rewrite_service.h"
 #include "serving/server.h"
@@ -257,6 +267,35 @@ class SpinModelBackend : public ModelBackend {
   double spin_millis_;
 };
 
+// Minimal loopback HTTP GET for the scrape-under-load drill: returns true
+// when the endpoint answered 200 within the (blocking) socket round trip.
+bool HttpGetOk(int port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return false;
+  }
+  const std::string request =
+      "GET " + path + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  (void)::send(fd, request.data(), request.size(), 0);
+  char buf[512];
+  std::string head;
+  while (head.find("\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    head.append(buf, static_cast<size_t>(n));
+    if (head.size() > 65536) break;  // Drain cap; status line seen by now.
+  }
+  ::close(fd);
+  return head.rfind("HTTP/1.1 200", 0) == 0;
+}
+
 // Offers paced Zipfian traffic at 1x / 2x / 4x the calibrated capacity and
 // records the resulting curves as labelled gauges in the global registry
 // (they land in BENCH_serving.json next to the per-path latency benches).
@@ -264,8 +303,60 @@ class SpinModelBackend : public ModelBackend {
 // p99 of *admitted* requests stays inside the 50 ms deadline budget —
 // overload is refused at the door instead of timing out everyone in a
 // growing queue.
-void RunOverloadBench() {
+void RunOverloadBench(int introspect_port) {
   std::printf("overload mode: paced Zipfian traffic at 1x/2x/4x capacity\n");
+
+  // --introspect-port: stand up the live endpoint and scrape /metrics at
+  // ~1 Hz for the whole overload run, proving introspection stays
+  // answerable while the serving path is saturated.
+  std::unique_ptr<Introspector> introspector;
+  std::unique_ptr<HttpEndpoint> endpoint;
+  if (introspect_port >= 0) {
+    Introspector::Options introspect_options;
+    introspect_options.metrics = &MetricsRegistry::Global();
+    introspect_options.traces = &TraceSampler::Global();
+    introspect_options.flight = &FlightRecorder::Global();
+    introspect_options.build_info = "bench_serving overload";
+    introspector = std::make_unique<Introspector>(introspect_options);
+    HttpEndpoint::Options endpoint_options;
+    endpoint_options.port = introspect_port;
+    endpoint = std::make_unique<HttpEndpoint>(endpoint_options);
+    RegisterIntrospectionRoutes(endpoint.get(), introspector.get());
+    const Status started = endpoint->Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "warning: introspection disabled: %s\n",
+                   started.ToString().c_str());
+      endpoint.reset();
+      introspector.reset();
+    } else {
+      std::printf("  introspection: http://127.0.0.1:%d/metrics\n",
+                  endpoint->port());
+    }
+  }
+  std::atomic<bool> stop_scraper{false};
+  std::atomic<int64_t> scrapes_ok{0};
+  std::atomic<int64_t> scrapes_failed{0};
+  std::thread scraper;
+  if (endpoint != nullptr) {
+    scraper = std::thread([&] {
+      // ordering: relaxed — plain stop flag and tallies; joined before read.
+      while (!stop_scraper.load(std::memory_order_relaxed)) {
+        if (HttpGetOk(endpoint->port(), "/metrics")) {
+          // ordering: relaxed — plain tally; the join below synchronizes.
+          scrapes_ok.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          // ordering: relaxed — same tally contract as above.
+          scrapes_failed.fetch_add(1, std::memory_order_relaxed);
+        }
+        // ~1 Hz, in short slices so shutdown stays prompt.
+        for (int i = 0; i < 20; ++i) {
+          // ordering: relaxed — see stop flag note above.
+          if (stop_scraper.load(std::memory_order_relaxed)) break;
+          std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        }
+      }
+    });
+  }
 
   // World + precomputed head cache, but no model training: overload is
   // about queueing behaviour, so the deterministic spin backend stands in
@@ -373,22 +464,67 @@ void RunOverloadBench() {
         level.label, offered_per_sec, served_per_sec, 100.0 * shed_ratio,
         p50, p99, 100.0 * violation_ratio);
   }
+
+  if (scraper.joinable()) {
+    // ordering: relaxed — plain stop flag; the join is the synchronization.
+    stop_scraper.store(true, std::memory_order_relaxed);
+    scraper.join();
+    const int64_t ok = scrapes_ok.load();
+    const int64_t failed = scrapes_failed.load();
+    registry.GetGauge("cyqr_bench_introspect_scrapes_count")
+        ->Set(static_cast<double>(ok));
+    registry.GetGauge("cyqr_bench_introspect_scrape_failures_count")
+        ->Set(static_cast<double>(failed));
+    std::printf("  scrape under load: %lld ok, %lld failed\n",
+                static_cast<long long>(ok), static_cast<long long>(failed));
+    endpoint->Stop();
+  }
+
+  // Flight-recorder accounting for the whole overload run: the always-on
+  // queue.* / serving.* events land here so BENCH_serving.json shows what
+  // the recorder cost (drops mean the ring or thread table saturated).
+  const FlightRecorder& flight = FlightRecorder::Global();
+  registry.GetGauge("cyqr_bench_flight_events_recorded_count")
+      ->Set(static_cast<double>(flight.events_recorded_total()));
+  registry.GetGauge("cyqr_bench_flight_events_dropped_count")
+      ->Set(static_cast<double>(flight.events_dropped_total()));
+  registry.GetGauge("cyqr_bench_flight_threads_count")
+      ->Set(static_cast<double>(flight.thread_count()));
+  std::printf(
+      "  flight recorder: %lld events recorded, %lld dropped, "
+      "%d threads\n",
+      static_cast<long long>(flight.events_recorded_total()),
+      static_cast<long long>(flight.events_dropped_total()),
+      static_cast<int>(flight.thread_count()));
 }
 
 }  // namespace
 
-// Custom main instead of BENCHMARK_MAIN(): strips --metrics-out=PATH and
-// --overload before handing argv to the benchmark library, then dumps the
-// global metrics registry as the BENCH_serving.json artifact after the run.
+// Custom main instead of BENCHMARK_MAIN(): strips --metrics-out=PATH,
+// --overload and --introspect-port=N before handing argv to the benchmark
+// library, then dumps the global metrics registry as the
+// BENCH_serving.json artifact after the run.
 int main(int argc, char** argv) {
   std::string metrics_out = "BENCH_serving.json";
   bool overload = false;
+  int introspect_port = -1;  // Disabled unless --introspect-port is given.
   std::vector<char*> args;
   args.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
     constexpr char kFlag[] = "--metrics-out=";
+    constexpr char kPortFlag[] = "--introspect-port=";
     if (std::strncmp(argv[i], kFlag, std::strlen(kFlag)) == 0) {
       metrics_out = argv[i] + std::strlen(kFlag);
+    } else if (std::strncmp(argv[i], kPortFlag, std::strlen(kPortFlag)) ==
+               0) {
+      char* end = nullptr;
+      const long port = std::strtol(argv[i] + std::strlen(kPortFlag),
+                                    &end, 10);
+      if (end == nullptr || *end != '\0') {
+        std::fprintf(stderr, "error: bad %s value\n", argv[i]);
+        return 1;
+      }
+      introspect_port = static_cast<int>(port);
     } else if (std::strcmp(argv[i], "--overload") == 0) {
       overload = true;
     } else {
@@ -403,7 +539,7 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   if (overload) {
-    RunOverloadBench();
+    RunOverloadBench(introspect_port);
   }
   if (!metrics_out.empty()) {
     const cyqr::Status s = cyqr::bench::DumpMetrics(metrics_out);

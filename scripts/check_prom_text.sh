@@ -1,0 +1,137 @@
+#!/usr/bin/env bash
+# Validates a Prometheus text exposition (what /metrics serves and
+# `cyqr_cli --metrics-text-out` style dumps contain): every sample line
+# must parse, every series must be declared by a preceding `# TYPE` line
+# of a known type, histogram series must come as _bucket/_sum/_count with
+# a cumulative +Inf closer, and exemplar annotations must carry a 16-hex
+# trace id. Used by the CI introspection smoke against a live endpoint.
+#
+# Usage: scripts/check_prom_text.sh EXPOSITION.txt [EXPOSITION2.txt ...]
+set -euo pipefail
+
+if [[ $# -lt 1 ]]; then
+  echo "usage: check_prom_text.sh EXPOSITION.txt [...]" >&2
+  exit 2
+fi
+
+check_with_python() {
+  python3 - "$1" <<'PY'
+import re
+import sys
+
+path = sys.argv[1]
+with open(path, "r", encoding="utf-8") as f:
+    lines = f.read().splitlines()
+
+errors = []
+types = {}  # family name -> declared type
+name_re = re.compile(r"^cyqr(_[a-z0-9]+){2,}$")
+sample_re = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?P<labels>\{[^}]*\})? '
+    r'(?P<value>[^ ]+)'
+    r'(?P<exemplar> # \{trace_id="[0-9a-f]{16}"\} [^ ]+)?$')
+exemplars = 0
+buckets = {}  # (family, labels minus le) -> list of (le, count) in order
+
+def family_of(name):
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix) and name[: -len(suffix)] in types:
+            return name[: -len(suffix)], suffix
+    return name, ""
+
+for i, line in enumerate(lines, start=1):
+    if not line:
+        continue
+    if line.startswith("# TYPE "):
+        parts = line.split(" ")
+        if len(parts) != 4 or parts[3] not in ("counter", "gauge",
+                                               "histogram"):
+            errors.append(f"line {i}: malformed TYPE line: {line!r}")
+            continue
+        types[parts[2]] = parts[3]
+        if not name_re.match(parts[2]):
+            errors.append(f"line {i}: bad metric name {parts[2]!r}")
+        continue
+    if line.startswith("#"):
+        continue  # Other comments are legal exposition.
+    m = sample_re.match(line)
+    if not m:
+        errors.append(f"line {i}: unparseable sample: {line!r}")
+        continue
+    family, suffix = family_of(m.group("name"))
+    if family not in types:
+        errors.append(f"line {i}: series {m.group('name')!r} has no TYPE")
+        continue
+    if suffix and types[family] != "histogram":
+        errors.append(
+            f"line {i}: {m.group('name')!r} suffix on non-histogram")
+    if types[family] == "histogram" and not suffix:
+        errors.append(f"line {i}: bare sample for histogram {family!r}")
+    value = m.group("value")
+    try:
+        float(value)
+    except ValueError:
+        errors.append(f"line {i}: non-numeric value {value!r}")
+    if m.group("exemplar"):
+        exemplars += 1
+        if suffix != "_bucket":
+            errors.append(f"line {i}: exemplar outside a bucket series")
+    if suffix == "_bucket":
+        le = None
+        labels = m.group("labels") or ""
+        le_match = re.search(r'le="([^"]*)"', labels)
+        if not le_match:
+            errors.append(f"line {i}: bucket sample without le label")
+        else:
+            le = le_match.group(1)
+        # One bucket chain per labelled instrument, not per family: the
+        # le label is stripped, every other label distinguishes chains.
+        other = re.sub(r'le="[^"]*",?', "", labels).strip("{},")
+        buckets.setdefault((family, other), []).append((le, float(value)))
+
+for (family, other), series in buckets.items():
+    where = f"histogram {family}" + (f"{{{other}}}" if other else "")
+    if series[-1][0] != "+Inf":
+        errors.append(f"{where}: last bucket is not +Inf")
+    counts = [count for _, count in series]
+    if any(b > a for b, a in zip(counts, counts[1:])):
+        errors.append(f"{where}: bucket counts not cumulative")
+
+if not types:
+    errors.append("no TYPE lines: not a Prometheus exposition")
+
+if errors:
+    for e in errors:
+        print(f"check_prom_text: {path}: {e}", file=sys.stderr)
+    sys.exit(1)
+
+print(f"check_prom_text: {path}: OK ({len(types)} families, "
+      f"{exemplars} exemplars)")
+PY
+}
+
+check_with_grep() {
+  # Degraded fallback when python3 is unavailable: structural greps only.
+  local path="$1"
+  grep -q '^# TYPE cyqr_' "$path" ||
+    { echo "check_prom_text: $path: no TYPE lines" >&2; return 1; }
+  grep -q '^cyqr_' "$path" ||
+    { echo "check_prom_text: $path: no samples" >&2; return 1; }
+  echo "check_prom_text: $path: OK (grep fallback)"
+}
+
+status=0
+for exposition in "$@"; do
+  if [[ ! -s "$exposition" ]]; then
+    echo "check_prom_text: $exposition: missing or empty" >&2
+    status=1
+    continue
+  fi
+  if command -v python3 >/dev/null 2>&1; then
+    check_with_python "$exposition" || status=1
+  else
+    check_with_grep "$exposition" || status=1
+  fi
+done
+exit "$status"

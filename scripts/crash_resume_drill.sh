@@ -24,6 +24,46 @@ MODE="${3:-legacy}"
 mkdir -p "$WORK"
 rm -rf "$WORK/data" "$WORK/baseline" "$WORK/crashed"
 
+# The hard exit must still leave a readable post-mortem: the flight
+# recorder's crash dump, written on the way down by the fault hook. It
+# must parse, be tagged with the simulated-crash source, and carry train
+# events from the interrupted run. Checked after each crash, before the
+# resume overwrites the file with the clean run's journal.
+check_flight_dump() {
+  local dump="$1"
+  if [[ ! -s "$dump" ]]; then
+    echo "FAIL: crashed run left no flight dump at $dump" >&2
+    exit 1
+  fi
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "$dump" <<'PY'
+import json
+import sys
+
+path = sys.argv[1]
+with open(path, "r", encoding="utf-8") as f:
+    dump = json.load(f)  # A torn dump fails right here.
+
+assert dump.get("version") == 1, f"bad version: {dump.get('version')!r}"
+assert dump.get("source") == "simulated-crash", \
+    f"bad source: {dump.get('source')!r}"
+events = dump.get("events", [])
+assert events, "flight dump has no events"
+names = {e["name"] for e in events}
+assert any(n.startswith("train.") for n in names), \
+    f"no train events in dump: {sorted(names)}"
+print(f"flight dump OK: {len(events)} events, last = "
+      f"{events[-1]['name']} step {events[-1]['arg0']}")
+PY
+  else
+    grep -q '"source":"simulated-crash"' "$dump" ||
+      { echo "FAIL: dump not tagged simulated-crash" >&2; exit 1; }
+    grep -q '"name":"train\.' "$dump" ||
+      { echo "FAIL: no train events in dump" >&2; exit 1; }
+    echo "flight dump OK (grep fallback)"
+  fi
+}
+
 echo "== drill workdir: $WORK (mode: $MODE)"
 "$CLI" generate-data --out "$WORK/data" --queries 40 --sessions 120 \
   --seed 7
@@ -58,6 +98,8 @@ if [[ "$MODE" == "dp" ]]; then
     echo "FAIL: crashed run left torn temp files in the checkpoint dir" >&2
     exit 1
   fi
+  echo "== checking the crashed run's flight dump"
+  check_flight_dump "$WORK/crashed/flight.json"
 
   echo "== dp resumed run: picking up under 4 workers"
   "$CLI" train --data "$WORK/data/pairs.tsv" --out "$WORK/crashed" \
@@ -105,6 +147,8 @@ if [[ -e "$WORK/crashed/model.params" ]]; then
   exit 1
 fi
 ls "$WORK/crashed/checkpoints"/ckpt-*.cyqc > /dev/null
+echo "== checking the crashed run's flight dump"
+check_flight_dump "$WORK/crashed/flight.json"
 
 echo "== resumed run: picking up from the newest checkpoint"
 "$CLI" train --data "$WORK/data/pairs.tsv" --out "$WORK/crashed" \

@@ -83,6 +83,10 @@ class Collective {
   /// milliseconds — the "collective wait" observability series.
   double total_wait_millis() const;
 
+  /// Completed barrier generations so far — the /statusz "collective
+  /// generation" signal (how many synchronized steps the world has made).
+  int64_t generation() const;
+
   /// Abort status snapshot; OK while the collective is healthy.
   [[nodiscard]] Status abort_status() const;
 

@@ -1,9 +1,32 @@
 #include "core/fault.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 
 namespace cyqr {
+
+namespace {
+
+/// The process-wide fault-dump hook. Atomic so SimulateCrash (which may run
+/// on any thread, including inside a signal handler) reads it without a
+/// lock.
+std::atomic<FaultDumpHook> g_fault_dump_hook{nullptr};
+
+}  // namespace
+
+void SetFaultDumpHook(FaultDumpHook hook) {
+  // ordering: release — pairs with the acquire load in NotifyFaultDump so a
+  // thread that observes the hook also observes the state it depends on.
+  g_fault_dump_hook.store(hook, std::memory_order_release);
+}
+
+void NotifyFaultDump(const char* source) {
+  // ordering: acquire — pairs with the release store in SetFaultDumpHook.
+  const FaultDumpHook hook =
+      g_fault_dump_hook.load(std::memory_order_acquire);
+  if (hook != nullptr) hook(source);
+}
 
 Status MakeInjectedError(const FaultSpec& spec) {
   switch (spec.error_code) {
@@ -87,6 +110,9 @@ bool TrainFaultPlan::WorkerStallsAt(int64_t rank, int64_t step) const {
          rank == stall_worker_rank && step == stall_worker_at_step;
 }
 
-void SimulateCrash() { std::_Exit(137); }
+void SimulateCrash() {
+  NotifyFaultDump("simulated-crash");
+  std::_Exit(137);
+}
 
 }  // namespace cyqr

@@ -144,9 +144,30 @@ struct TrainFaultPlan {
   bool WorkerStallsAt(int64_t rank, int64_t step) const;
 };
 
+/// Process-wide fault-dump hook: a single function pointer invoked (with a
+/// short static source tag such as "simulated-crash" or "collective-abort")
+/// whenever a fault/kill path fires — SimulateCrash, a collective abort, a
+/// trainer rollback, a server drain. The observability layer registers the
+/// flight recorder's post-mortem writer here (FlightRecorder::
+/// EnableCrashDump); core stays free of any obs dependency. The hook must
+/// be async-signal-safe: SimulateCrash is the moral equivalent of SIGKILL
+/// and real signal handlers share the same entry point. Plain function
+/// pointer (no std::function) for exactly that reason.
+using FaultDumpHook = void (*)(const char* source);
+
+/// Installs the process-wide fault-dump hook (nullptr clears it).
+void SetFaultDumpHook(FaultDumpHook hook);
+
+/// Invokes the installed fault-dump hook, if any. `source` must point at
+/// static storage; fault paths call this right before dying or unwinding.
+void NotifyFaultDump(const char* source);
+
 /// Terminates the process immediately with exit code 137 (the shell's
 /// code for SIGKILL): no destructors, no atexit handlers, no stream
-/// flushes — the closest in-process stand-in for `kill -9`.
+/// flushes — the closest in-process stand-in for `kill -9`. The one
+/// concession to observability: the fault-dump hook runs first, so a
+/// configured flight recorder leaves a post-mortem journal behind (a real
+/// SIGKILL would not allow even that; the drills accept the trade).
 [[noreturn]] void SimulateCrash();
 
 }  // namespace cyqr

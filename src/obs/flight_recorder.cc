@@ -1,0 +1,586 @@
+#include "obs/flight_recorder.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "core/check.h"
+#include "core/fault.h"
+#include "core/file_util.h"
+
+namespace cyqr {
+
+namespace {
+
+/// The recorder armed by EnableCrashDump — what the fault-dump trampoline
+/// and the signal handlers write. Atomic: the hook can fire on any thread,
+/// including inside a signal handler.
+std::atomic<FlightRecorder*> g_crash_recorder{nullptr};
+
+/// Re-entrancy guard for the crash dumper: a fault that fires while a dump
+/// is already being written (e.g. a SIGSEGV inside the dump itself) must
+/// not recurse.
+std::atomic<bool> g_dump_in_progress{false};
+
+/// Monotonic recorder-instance ids. The thread-local ring cache is keyed
+/// by this id rather than the recorder address, so a new recorder reusing
+/// a destroyed one's address can never hit a stale cache entry (ABA).
+std::atomic<uint64_t> g_next_instance_id{1};
+
+void FaultDumpTrampoline(const char* source) {
+  // ordering: acquire — pairs with the release store in EnableCrashDump so
+  // the dumper sees the fully armed recorder (path buffer included).
+  FlightRecorder* recorder =
+      g_crash_recorder.load(std::memory_order_acquire);
+  if (recorder != nullptr) recorder->WriteCrashDumpNow(source);
+}
+
+void CrashSignalHandler(int signo) {
+  const char* source = "signal";
+  if (signo == SIGSEGV) source = "sigsegv";
+  if (signo == SIGABRT) source = "sigabrt";
+  FaultDumpTrampoline(source);
+  // Restore the default disposition and re-raise: the process must still
+  // die with the original signal (exit code, core dump) after the journal
+  // lands — the recorder observes the crash, it does not swallow it.
+  std::signal(signo, SIG_DFL);
+  std::raise(signo);
+}
+
+size_t RoundUpToPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p *= 2;
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Async-signal-safe formatting + buffered writer for the crash dump. All of
+// this runs inside signal handlers: no allocation, no locks, no stdio.
+// ---------------------------------------------------------------------------
+
+/// Streams bytes to an fd through a fixed buffer. write() failures flip
+/// `failed` and turn the rest of the dump into a no-op (nothing a signal
+/// handler could do about a full disk anyway).
+struct SignalSafeWriter {
+  int fd = -1;
+  char buf[16384];
+  size_t len = 0;
+  bool failed = false;
+
+  void Flush() {
+    size_t off = 0;
+    while (off < len && !failed) {
+      const ssize_t n = ::write(fd, buf + off, len - off);
+      if (n <= 0) {
+        failed = true;
+        break;
+      }
+      off += static_cast<size_t>(n);
+    }
+    len = 0;
+  }
+  void Append(const char* s, size_t n) {
+    while (n > 0 && !failed) {
+      if (len == sizeof(buf)) Flush();
+      const size_t take = std::min(n, sizeof(buf) - len);
+      std::memcpy(buf + len, s, take);
+      len += take;
+      s += take;
+      n -= take;
+    }
+  }
+  void Str(const char* s) { Append(s, std::strlen(s)); }
+  void I64(int64_t value) {
+    char digits[24];
+    size_t n = 0;
+    uint64_t magnitude;
+    if (value < 0) {
+      Append("-", 1);
+      magnitude = static_cast<uint64_t>(-(value + 1)) + 1;
+    } else {
+      magnitude = static_cast<uint64_t>(value);
+    }
+    do {
+      digits[n++] = static_cast<char>('0' + magnitude % 10);
+      magnitude /= 10;
+    } while (magnitude > 0);
+    while (n > 0) Append(&digits[--n], 1);
+  }
+};
+
+}  // namespace
+
+const char* FlightCategoryName(FlightCategory category) {
+  switch (category) {
+    case FlightCategory::kServing:
+      return "serving";
+    case FlightCategory::kQueue:
+      return "queue";
+    case FlightCategory::kTrain:
+      return "train";
+    case FlightCategory::kCollective:
+      return "collective";
+    case FlightCategory::kFault:
+      return "fault";
+    case FlightCategory::kGeneral:
+      return "general";
+  }
+  return "general";
+}
+
+bool IsValidFlightEventName(const std::string& name) {
+  if (name.empty()) return false;
+  int segments = 1;
+  size_t segment_len = 0;
+  for (const char c : name) {
+    if (c == '.') {
+      if (segment_len == 0) return false;  // Leading or doubled dot.
+      ++segments;
+      segment_len = 0;
+    } else if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+               c == '_') {
+      ++segment_len;
+    } else {
+      return false;
+    }
+  }
+  return segment_len > 0 && segments >= 2;
+}
+
+FlightRecorder::FlightRecorder(size_t events_per_thread)
+    : capacity_(RoundUpToPowerOfTwo(std::max<size_t>(events_per_thread, 8))),
+      mask_(capacity_ - 1),
+      // ordering: relaxed — the counter only needs unique values; no other
+      // state is published through it.
+      instance_id_(
+          g_next_instance_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+FlightRecorder::~FlightRecorder() {
+  // Disarm the crash path if this recorder was the armed one, so a later
+  // fault cannot dump through a dangling pointer.
+  FlightRecorder* expected = this;
+  // ordering: acq_rel — acquire pairs with EnableCrashDump's release;
+  // release orders our teardown before observers of the cleared slot.
+  if (g_crash_recorder.compare_exchange_strong(expected, nullptr,
+                                               std::memory_order_acq_rel)) {
+    SetFaultDumpHook(nullptr);
+  }
+}
+
+int32_t FlightRecorder::InternName(const char* name) {
+  CYQR_CHECK(name != nullptr);
+  CYQR_CHECK(IsValidFlightEventName(name));
+  // Fast path: already interned (every call site after the first).
+  // ordering: acquire — pairs with the release store of name_count_ below
+  // so names_[i] for i < count is visibly initialized.
+  const int32_t count = name_count_.load(std::memory_order_acquire);
+  for (int32_t i = 0; i < count; ++i) {
+    // ordering: relaxed — entries below `count` were published by the
+    // acquire load of name_count_ above.
+    const char* existing = names_[i].load(std::memory_order_relaxed);
+    if (existing != nullptr && std::strcmp(existing, name) == 0) return i;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  // Re-scan under the lock: another thread may have interned it since.
+  // ordering: relaxed — mu_ serializes writers; the re-scan only needs the
+  // latest value, which the lock acquisition already synchronized.
+  const int32_t locked_count = name_count_.load(std::memory_order_relaxed);
+  for (int32_t i = 0; i < locked_count; ++i) {
+    // ordering: relaxed — publication is ordered by mu_ for this reader.
+    const char* existing = names_[i].load(std::memory_order_relaxed);
+    if (existing != nullptr && std::strcmp(existing, name) == 0) return i;
+  }
+  CYQR_CHECK(locked_count < kMaxNames);
+  owned_names_.push_back(std::make_unique<std::string>(name));
+  // ordering: relaxed — the release store of name_count_ below publishes
+  // this entry to lock-free readers.
+  names_[locked_count].store(owned_names_.back()->c_str(),
+                             std::memory_order_relaxed);
+  // ordering: release — publishes names_[locked_count] to the acquire load
+  // in the fast path above and in the journal renderers.
+  name_count_.store(locked_count + 1, std::memory_order_release);
+  return locked_count;
+}
+
+FlightRecorder::ThreadRing* FlightRecorder::RingForThisThread() {
+  // Per-thread cache of (recorder instance id -> ring). A vector, not a
+  // single slot: a thread may record into several recorders (Global plus
+  // test-local ones) and must not re-register on every alternation. The
+  // ids are never reused, so entries for dead recorders can never be
+  // revived by a lookalike address.
+  thread_local std::vector<std::pair<uint64_t, ThreadRing*>> cache;
+  for (const auto& entry : cache) {
+    if (entry.first == instance_id_) return entry.second;
+  }
+  ThreadRing* ring = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // ordering: relaxed — mu_ serializes registrations; the release store
+    // below is what publishes to lock-free readers.
+    const int32_t index = ring_count_.load(std::memory_order_relaxed);
+    if (index < kMaxThreads) {
+      owned_rings_.push_back(std::make_unique<ThreadRing>(capacity_));
+      ring = owned_rings_.back().get();
+      // ordering: relaxed — the release store of ring_count_ below
+      // publishes this entry to snapshot readers.
+      rings_[index].store(ring, std::memory_order_relaxed);
+      // (Publishes rings_[index] and the ring's zero-initialized slots.)
+      // ordering: release — pairs with the acquire load of ring_count_ in
+      // Snapshot and the crash dumper.
+      ring_count_.store(index + 1, std::memory_order_release);
+    }
+    // Table full: cache the nullptr too, so an over-subscribed thread
+    // drops events cheaply instead of taking mu_ on every Record.
+  }
+  cache.emplace_back(instance_id_, ring);
+  return ring;
+}
+
+void FlightRecorder::Record(FlightCategory category, int32_t name_id,
+                            int64_t arg0, int64_t arg1) {
+  ThreadRing* ring = RingForThisThread();
+  if (ring == nullptr) return;  // Thread table full — drop, never block.
+  const int64_t t_micros =
+      static_cast<int64_t>(std::llround(birth_.ElapsedMicros()));
+  const uint64_t meta = (static_cast<uint64_t>(category) << 32) |
+                        static_cast<uint32_t>(name_id);
+  // Seqlock publish (Boehm-style, every field individually atomic so a
+  // concurrent reader races on values, never on bytes — TSan-clean):
+  //   odd seq (write in progress) -> release fence -> fields -> even seq.
+  // The even value encodes the ticket (2t+2), so a reader can tell "this
+  // slot now holds a NEWER event" apart from "consistent read of ticket t".
+  // ordering: relaxed — single writer; the fence below orders this store
+  // before the field stores for readers.
+  const uint64_t ticket = ring->head.load(std::memory_order_relaxed);
+  Slot& slot = ring->slots[ticket & mask_];
+  // ordering: relaxed — ordered before the field stores by the release
+  // fence just below.
+  slot.seq.store(2 * ticket + 1, std::memory_order_relaxed);
+  // ordering: release fence — orders the odd "in progress" marker before
+  // the field stores; pairs with the reader's acquire fence.
+  std::atomic_thread_fence(std::memory_order_release);
+  // ordering: relaxed — the closing seq store publishes all fields at once.
+  slot.t_micros.store(t_micros, std::memory_order_relaxed);
+  slot.meta.store(meta, std::memory_order_relaxed);
+  // ordering: relaxed — published with the fields above by the seq store.
+  slot.arg0.store(arg0, std::memory_order_relaxed);
+  slot.arg1.store(arg1, std::memory_order_relaxed);
+  // ordering: release — publishes the fields; pairs with the reader's
+  // first (acquire) load of seq.
+  slot.seq.store(2 * ticket + 2, std::memory_order_release);
+  // ordering: release — a reader that observes head > t can read slot t's
+  // completed publish.
+  ring->head.store(ticket + 1, std::memory_order_release);
+}
+
+bool FlightRecorder::ReadSlot(const ThreadRing& ring, uint64_t ticket,
+                              FlightEvent* out) const {
+  const Slot& slot = ring.slots[ticket & mask_];
+  const uint64_t want = 2 * ticket + 2;
+  // ordering: acquire — pairs with the writer's closing release store; if
+  // we see `want`, the field values of ticket `t` are visible.
+  const uint64_t seq_before = slot.seq.load(std::memory_order_acquire);
+  if (seq_before != want) return false;  // Overwritten or mid-write.
+  // ordering: relaxed — bracketed by acquire above and fence+re-check below.
+  const int64_t t_micros = slot.t_micros.load(std::memory_order_relaxed);
+  const uint64_t meta = slot.meta.load(std::memory_order_relaxed);
+  // ordering: relaxed — same bracket as the two loads above.
+  const int64_t arg0 = slot.arg0.load(std::memory_order_relaxed);
+  const int64_t arg1 = slot.arg1.load(std::memory_order_relaxed);
+  // ordering: acquire fence — orders the field loads before the re-check;
+  // pairs with the writer's release fence after its odd store.
+  std::atomic_thread_fence(std::memory_order_acquire);
+  // ordering: relaxed — the fence above already orders this load after the
+  // field loads.
+  if (slot.seq.load(std::memory_order_relaxed) != want) return false;
+  const uint32_t name_id = static_cast<uint32_t>(meta);
+  const uint32_t category_raw = static_cast<uint32_t>(meta >> 32);
+  out->t_micros = t_micros;
+  out->category = category_raw <= static_cast<uint32_t>(FlightCategory::kGeneral)
+                      ? static_cast<FlightCategory>(category_raw)
+                      : FlightCategory::kGeneral;
+  // ordering: acquire — pairs with the release store in InternName.
+  const int32_t name_count = name_count_.load(std::memory_order_acquire);
+  if (name_id < static_cast<uint32_t>(name_count)) {
+    // ordering: relaxed — published by the acquire load of name_count_.
+    out->name = names_[name_id].load(std::memory_order_relaxed);
+  } else {
+    out->name = "";
+  }
+  out->arg0 = arg0;
+  out->arg1 = arg1;
+  return true;
+}
+
+std::vector<FlightEvent> FlightRecorder::Snapshot() const {
+  std::vector<FlightEvent> events;
+  // ordering: acquire — pairs with the release store in RingForThisThread;
+  // rings_[i] for i < count is visibly initialized.
+  const int32_t ring_count = ring_count_.load(std::memory_order_acquire);
+  for (int32_t i = 0; i < ring_count; ++i) {
+    // ordering: relaxed — published by the acquire load of ring_count_.
+    const ThreadRing* ring = rings_[i].load(std::memory_order_relaxed);
+    if (ring == nullptr) continue;
+    // ordering: acquire — pairs with the writer's release store of head,
+    // so every ticket below `head` has a completed publish to validate.
+    const uint64_t head = ring->head.load(std::memory_order_acquire);
+    const uint64_t begin = head > capacity_ ? head - capacity_ : 0;
+    for (uint64_t ticket = begin; ticket < head; ++ticket) {
+      FlightEvent event;
+      if (ReadSlot(*ring, ticket, &event)) {
+        event.thread_index = i;
+        events.push_back(event);
+      }
+      // else: the writer lapped us mid-read — drop the torn slot.
+    }
+  }
+  // Per-ring collection is already in ticket (hence time) order; a stable
+  // sort on the timestamp merges rings without reordering same-thread ties.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FlightEvent& a, const FlightEvent& b) {
+                     if (a.t_micros != b.t_micros)
+                       return a.t_micros < b.t_micros;
+                     return a.thread_index < b.thread_index;
+                   });
+  return events;
+}
+
+std::string FlightRecorder::JournalJson(size_t max_events) const {
+  std::vector<FlightEvent> events = Snapshot();
+  if (max_events > 0 && events.size() > max_events) {
+    events.erase(events.begin(),
+                 events.end() - static_cast<ptrdiff_t>(max_events));
+  }
+  std::string out;
+  out.reserve(64 + events.size() * 96);
+  out += "{\"version\":1,\"source\":\"snapshot\",\"recorded_total\":";
+  out += std::to_string(events_recorded_total());
+  out += ",\"dropped_total\":";
+  out += std::to_string(events_dropped_total());
+  out += ",\"thread_count\":";
+  out += std::to_string(thread_count());
+  out += ",\"events\":[";
+  bool first = true;
+  for (const FlightEvent& event : events) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"t_us\":";
+    out += std::to_string(event.t_micros);
+    out += ",\"thread\":";
+    out += std::to_string(event.thread_index);
+    out += ",\"category\":\"";
+    out += FlightCategoryName(event.category);
+    out += "\",\"name\":\"";
+    out += event.name;  // Validated charset: no JSON escaping needed.
+    out += "\",\"arg0\":";
+    out += std::to_string(event.arg0);
+    out += ",\"arg1\":";
+    out += std::to_string(event.arg1);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+Status FlightRecorder::WriteJournal(const std::string& path) const {
+  return WriteStringToFileAtomic(path, JournalJson());
+}
+
+void FlightRecorder::EnableCrashDump(const std::string& path) {
+  CYQR_CHECK(!path.empty());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    owned_crash_path_ = std::make_unique<std::string>(path);
+    // ordering: release — the acquire load in WriteCrashDumpNow sees the
+    // fully constructed path bytes.
+    crash_dump_path_.store(owned_crash_path_->c_str(),
+                           std::memory_order_release);
+  }
+  // ordering: release — pairs with the acquire load in the trampoline /
+  // signal handler, publishing the armed recorder (path included).
+  g_crash_recorder.store(this, std::memory_order_release);
+  SetFaultDumpHook(&FaultDumpTrampoline);
+  // Real-crash coverage: a segfault or abort leaves the same journal the
+  // scripted drills do. sigaction outside the lock — installing handlers
+  // is cheap but still a syscall, and nothing here needs mu_.
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = &CrashSignalHandler;
+  sigemptyset(&action.sa_mask);
+  ::sigaction(SIGSEGV, &action, nullptr);
+  ::sigaction(SIGABRT, &action, nullptr);
+}
+
+void FlightRecorder::WriteCrashDumpNow(const char* source) {
+  // ordering: acquire — pairs with the release store in EnableCrashDump.
+  const char* path = crash_dump_path_.load(std::memory_order_acquire);
+  if (path == nullptr) return;  // Not armed.
+  // ordering: acq_rel — one dump at a time; a fault during the dump itself
+  // must not recurse.
+  if (g_dump_in_progress.exchange(true, std::memory_order_acq_rel)) return;
+
+  // Everything below is async-signal-safe: fixed buffers, raw syscalls,
+  // no allocation, no locks, no stdio. Same temp+rename discipline as
+  // WriteStringToFileAtomic so a fault *during the dump* leaves any
+  // previous journal intact.
+  static char tmp_path[4096];
+  const size_t path_len = std::strlen(path);
+  if (path_len + sizeof(".crash.tmp") >= sizeof(tmp_path)) {
+    // ordering: release — reopens the dump slot; pairs with the acq_rel
+    // exchange above.
+    g_dump_in_progress.store(false, std::memory_order_release);
+    return;
+  }
+  std::memcpy(tmp_path, path, path_len);
+  std::memcpy(tmp_path + path_len, ".crash.tmp", sizeof(".crash.tmp"));
+
+  const int fd = ::open(tmp_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    // ordering: release — pairs with the acq_rel exchange above.
+    g_dump_in_progress.store(false, std::memory_order_release);
+    return;
+  }
+
+  static SignalSafeWriter writer;  // Static: signal stacks are precious.
+  writer.fd = fd;
+  writer.len = 0;
+  writer.failed = false;
+  writer.Str("{\"version\":1,\"source\":\"");
+  writer.Str(source != nullptr ? source : "unknown");
+  writer.Str("\",\"events\":[");
+
+  // K-way merge of the per-thread rings by timestamp, streaming straight
+  // to the fd — no O(total events) staging buffer. Each ring is already
+  // time-ordered, so a cursor + peeked-event per ring suffices. The last
+  // kCrashEventsPerRing events per ring bound the dump size.
+  static constexpr uint64_t kCrashEventsPerRing = 1024;
+  static uint64_t cursor[kMaxThreads];
+  static uint64_t end[kMaxThreads];
+  static FlightEvent peeked[kMaxThreads];
+  static bool has_peek[kMaxThreads];
+
+  // ordering: acquire — pairs with the release store in RingForThisThread.
+  const int32_t ring_count = ring_count_.load(std::memory_order_acquire);
+  for (int32_t i = 0; i < ring_count; ++i) {
+    // ordering: relaxed — published by the acquire load of ring_count_.
+    const ThreadRing* ring = rings_[i].load(std::memory_order_relaxed);
+    if (ring == nullptr) {
+      cursor[i] = end[i] = 0;
+      has_peek[i] = false;
+      continue;
+    }
+    // ordering: acquire — pairs with the writer's release store of head.
+    const uint64_t head = ring->head.load(std::memory_order_acquire);
+    const uint64_t resident = std::min<uint64_t>(
+        head, std::min<uint64_t>(capacity_, kCrashEventsPerRing));
+    cursor[i] = head - resident;
+    end[i] = head;
+    has_peek[i] = false;
+  }
+
+  auto advance = [&](int32_t i) {
+    has_peek[i] = false;
+    // ordering: relaxed — already published via ring_count_'s acquire.
+    const ThreadRing* ring = rings_[i].load(std::memory_order_relaxed);
+    if (ring == nullptr) return;
+    while (cursor[i] < end[i]) {
+      if (ReadSlot(*ring, cursor[i], &peeked[i])) {
+        peeked[i].thread_index = i;
+        ++cursor[i];
+        has_peek[i] = true;
+        return;
+      }
+      ++cursor[i];  // Torn/overwritten slot: skip it.
+    }
+  };
+  for (int32_t i = 0; i < ring_count; ++i) advance(i);
+
+  bool first = true;
+  for (;;) {
+    int32_t best = -1;
+    for (int32_t i = 0; i < ring_count; ++i) {
+      if (has_peek[i] &&
+          (best < 0 || peeked[i].t_micros < peeked[best].t_micros)) {
+        best = i;
+      }
+    }
+    if (best < 0) break;
+    const FlightEvent& event = peeked[best];
+    if (!first) writer.Str(",");
+    first = false;
+    writer.Str("{\"t_us\":");
+    writer.I64(event.t_micros);
+    writer.Str(",\"thread\":");
+    writer.I64(event.thread_index);
+    writer.Str(",\"category\":\"");
+    writer.Str(FlightCategoryName(event.category));
+    writer.Str("\",\"name\":\"");
+    writer.Str(event.name);
+    writer.Str("\",\"arg0\":");
+    writer.I64(event.arg0);
+    writer.Str(",\"arg1\":");
+    writer.I64(event.arg1);
+    writer.Str("}");
+    advance(best);
+  }
+  writer.Str("]}");
+  writer.Flush();
+  const bool ok = !writer.failed;
+  ::fsync(fd);
+  ::close(fd);
+  if (ok) ::rename(tmp_path, path);
+  // ordering: release — pairs with the acq_rel exchange above; later
+  // dumps see a finished file system state.
+  g_dump_in_progress.store(false, std::memory_order_release);
+}
+
+int64_t FlightRecorder::events_recorded_total() const {
+  int64_t total = 0;
+  // ordering: acquire — pairs with the release store in RingForThisThread.
+  const int32_t ring_count = ring_count_.load(std::memory_order_acquire);
+  for (int32_t i = 0; i < ring_count; ++i) {
+    // ordering: relaxed — published by the acquire load of ring_count_.
+    const ThreadRing* ring = rings_[i].load(std::memory_order_relaxed);
+    if (ring == nullptr) continue;
+    // ordering: relaxed — stat snapshot; staleness is acceptable.
+    total += static_cast<int64_t>(ring->head.load(std::memory_order_relaxed));
+  }
+  return total;
+}
+
+int64_t FlightRecorder::events_dropped_total() const {
+  int64_t dropped = 0;
+  // ordering: acquire — pairs with the release store in RingForThisThread.
+  const int32_t ring_count = ring_count_.load(std::memory_order_acquire);
+  for (int32_t i = 0; i < ring_count; ++i) {
+    // ordering: relaxed — published by the acquire load of ring_count_.
+    const ThreadRing* ring = rings_[i].load(std::memory_order_relaxed);
+    if (ring == nullptr) continue;
+    // ordering: relaxed — stat snapshot; staleness is acceptable.
+    const uint64_t head = ring->head.load(std::memory_order_relaxed);
+    if (head > capacity_) dropped += static_cast<int64_t>(head - capacity_);
+  }
+  return dropped;
+}
+
+int32_t FlightRecorder::thread_count() const {
+  // ordering: acquire — pairs with the release store in RingForThisThread.
+  return ring_count_.load(std::memory_order_acquire);
+}
+
+FlightRecorder& FlightRecorder::Global() {
+  // Leaked on purpose, like MetricsRegistry::Global(): threads may record
+  // events during process teardown, after static destructors would have
+  // run — a destructed global recorder would be a use-after-free trap.
+  static FlightRecorder* const kGlobal =
+      new FlightRecorder();  // NOLINT(cyqr-raw-owning-new)
+  return *kGlobal;
+}
+
+}  // namespace cyqr

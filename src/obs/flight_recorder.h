@@ -1,0 +1,207 @@
+#ifndef CYCLEQR_OBS_FLIGHT_RECORDER_H_
+#define CYCLEQR_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "core/stopwatch.h"
+#include "core/thread_annotations.h"
+
+namespace cyqr {
+
+/// The always-on flight recorder (DESIGN.md "Live introspection & flight
+/// recorder"): per-thread fixed-capacity ring buffers of small structured
+/// events, cheap enough to leave enabled in production. Where the metrics
+/// registry answers "how many / how fast", the flight recorder answers
+/// "what exactly happened in the last few milliseconds before this process
+/// fell over" — the transient-failure record that aggregate counters
+/// cannot reconstruct.
+///
+/// Design goals, in order:
+///
+///   1. Lock-free writes. Record() touches only the calling thread's own
+///      ring: one per-slot seqlock publish (a handful of relaxed atomic
+///      stores plus one release store). No mutex, no allocation, no
+///      cross-thread contention — TSan-clean by construction because every
+///      slot field is itself an atomic.
+///   2. Readable while written. Snapshot() stitches the per-thread rings
+///      into one time-ordered journal without stopping any writer: each
+///      slot's sequence number is validated before and after the field
+///      reads, so a torn (mid-overwrite) slot is detected and dropped
+///      instead of surfacing garbage.
+///   3. Post-mortem on any death. A crash dump path plus the core
+///      fault-dump hook (SetFaultDumpHook) and SIGSEGV/SIGABRT handlers
+///      write the journal as `flight.json` through an async-signal-safe
+///      temp+rename writer — the kill-at-any-step drills read it back.
+///
+/// Event names are string-interned: call sites intern once (a function-
+/// local static) and record an integer id afterwards. Names follow the
+/// `<layer>.<event>` lowercase dotted convention (IsValidFlightEventName,
+/// enforced by the `metrics-naming` lint rule at InternName call sites),
+/// e.g. "serving.rung", "queue.submit", "train.step_begin",
+/// "collective.barrier_wait".
+
+/// Coarse event grouping, mostly for filtering a stitched journal.
+enum class FlightCategory : uint8_t {
+  kServing = 0,
+  kQueue = 1,
+  kTrain = 2,
+  kCollective = 3,
+  kFault = 4,
+  kGeneral = 5,
+};
+
+/// Stable lowercase label for one category ("serving", "queue", ...).
+const char* FlightCategoryName(FlightCategory category);
+
+/// One stitched journal entry. `name` points at interned storage owned by
+/// the recorder (valid for the recorder's lifetime).
+struct FlightEvent {
+  int64_t t_micros = 0;  // Microseconds since the recorder was created.
+  int32_t thread_index = 0;  // Registration order, not an OS thread id.
+  FlightCategory category = FlightCategory::kGeneral;
+  const char* name = "";
+  int64_t arg0 = 0;
+  int64_t arg1 = 0;
+};
+
+/// True when `name` follows the flight-event naming convention:
+/// lowercase [a-z0-9_] segments joined by single dots, at least two
+/// segments (`<layer>.<event>`), no leading/trailing/empty segment.
+bool IsValidFlightEventName(const std::string& name);
+
+class FlightRecorder {
+ public:
+  /// Per-thread ring capacity in events; rounded up to a power of two.
+  static constexpr size_t kDefaultEventsPerThread = 4096;
+  /// Hard cap on registered writer threads / interned names. Generous for
+  /// this codebase (serving pools + trainer ranks are dozens at most);
+  /// fixed so the signal-safe dump can walk plain atomic arrays.
+  static constexpr int32_t kMaxThreads = 256;
+  static constexpr int32_t kMaxNames = 256;
+
+  explicit FlightRecorder(size_t events_per_thread = kDefaultEventsPerThread);
+  ~FlightRecorder();
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Interns `name` (CYQR_CHECK-validated against the naming convention)
+  /// and returns its id. Idempotent per name; thread-safe; intended to run
+  /// once per call site via a function-local static:
+  ///
+  ///   static const int32_t kEvent =
+  ///       FlightRecorder::Global().InternName("serving.rung");
+  ///   FlightRecorder::Global().Record(FlightCategory::kServing, kEvent,
+  ///                                   rung_index, status_code);
+  int32_t InternName(const char* name);
+
+  /// Appends one event to the calling thread's ring (lock-free; see class
+  /// comment). `name_id` must come from InternName on this recorder.
+  void Record(FlightCategory category, int32_t name_id, int64_t arg0 = 0,
+              int64_t arg1 = 0);
+
+  /// Stitches every thread's ring into one journal ordered by timestamp
+  /// (ties broken by thread index). Safe to call while writers record;
+  /// slots overwritten mid-read are dropped, not torn.
+  std::vector<FlightEvent> Snapshot() const;
+
+  /// JSON rendering of Snapshot(): {"version":1,"events":[...]}. With
+  /// `max_events` > 0 only the newest that many events are kept (the
+  /// /flightz page bounds its response this way).
+  std::string JournalJson(size_t max_events = 0) const;
+
+  /// Atomically writes JournalJson() to `path` (temp + fsync + rename).
+  [[nodiscard]] Status WriteJournal(const std::string& path) const;
+
+  /// Arms the post-mortem path: every later fault/kill event — a
+  /// SimulateCrash drill, a collective abort/poison, a trainer rollback, a
+  /// server drain, or a real SIGSEGV/SIGABRT — dumps the journal to `path`
+  /// via the async-signal-safe writer. Registers this recorder with the
+  /// core fault-dump hook and installs the signal handlers. Meaningful on
+  /// Global() (the hook is process-wide); last call wins.
+  void EnableCrashDump(const std::string& path);
+
+  /// The async-signal-safe journal writer behind EnableCrashDump: formats
+  /// events with no allocation or locking, writes `path`.crash.tmp with
+  /// raw syscalls, fsyncs, and renames over `path`. No-op until
+  /// EnableCrashDump has set a path. `source` must be a static string; it
+  /// is recorded in the dump header.
+  void WriteCrashDumpNow(const char* source);
+
+  /// Sum of events ever recorded across all threads.
+  int64_t events_recorded_total() const;
+  /// Events lost to ring wrap-around (recorded minus still-resident).
+  int64_t events_dropped_total() const;
+  /// Writer threads that have registered a ring so far.
+  int32_t thread_count() const;
+  size_t events_per_thread() const { return capacity_; }
+
+  /// Process-wide recorder (what the CLI, server, and trainer record
+  /// into). Library code may take a recorder pointer instead so tests can
+  /// isolate their journals.
+  static FlightRecorder& Global();
+
+ private:
+  /// One event slot, seqlock-protected. Protocol: the writer stores an odd
+  /// sequence (write ticket 2t+1), publishes the fields, then stores the
+  /// even sequence 2t+2 with release; a reader accepts the slot only when
+  /// it reads the same even sequence before and after the field loads.
+  struct Slot {
+    std::atomic<uint64_t> seq{0};  // 0 = never written.
+    std::atomic<int64_t> t_micros{0};
+    std::atomic<uint64_t> meta{0};  // (category << 32) | name_id.
+    std::atomic<int64_t> arg0{0};
+    std::atomic<int64_t> arg1{0};
+  };
+
+  /// One thread's ring. Written only by its owner thread; read by
+  /// snapshots and the crash dumper. Rings live until the recorder dies so
+  /// a post-mortem still sees exited threads' final events.
+  struct ThreadRing {
+    explicit ThreadRing(size_t capacity)
+        : slots(std::make_unique<Slot[]>(capacity)) {}
+    std::unique_ptr<Slot[]> slots;
+    /// Events ever written by the owner; slot index = ticket & mask.
+    std::atomic<uint64_t> head{0};
+  };
+
+  ThreadRing* RingForThisThread();
+  /// Reads slot `ticket` of `ring` into `out`; false when the slot was
+  /// overwritten or mid-write (seqlock validation failed).
+  bool ReadSlot(const ThreadRing& ring, uint64_t ticket,
+                FlightEvent* out) const;
+
+  const size_t capacity_;  // Power of two.
+  const uint64_t mask_;
+  const uint64_t instance_id_;  // Never reused; keys the TLS ring cache.
+  Stopwatch birth_;
+
+  // Ring registry. The atomic array is the lock-free read side (snapshots
+  // and the signal-safe dump walk it without mu_); the unique_ptr vector
+  // under mu_ owns the memory.
+  std::atomic<ThreadRing*> rings_[kMaxThreads] = {};
+  std::atomic<int32_t> ring_count_{0};
+
+  // Name intern table, same split: atomic read side + owned storage.
+  std::atomic<const char*> names_[kMaxNames] = {};
+  std::atomic<int32_t> name_count_{0};
+
+  // Crash-dump path as a NUL-terminated buffer the signal handler can read
+  // without touching std::string internals.
+  std::atomic<const char*> crash_dump_path_{nullptr};
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<ThreadRing>> owned_rings_ CYQR_GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<std::string>> owned_names_
+      CYQR_GUARDED_BY(mu_);
+  std::unique_ptr<std::string> owned_crash_path_ CYQR_GUARDED_BY(mu_);
+};
+
+}  // namespace cyqr
+
+#endif  // CYCLEQR_OBS_FLIGHT_RECORDER_H_

@@ -1,0 +1,117 @@
+#include "obs/introspect.h"
+
+#include <cstdio>
+
+#include "core/check.h"
+
+namespace cyqr {
+
+namespace {
+
+constexpr char kTextPlain[] = "text/plain; charset=utf-8";
+/// Prometheus exposition format version marker, as scrapers expect.
+constexpr char kPromText[] = "text/plain; version=0.0.4; charset=utf-8";
+constexpr char kJson[] = "application/json";
+
+std::string FormatMillis(double millis) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", millis);
+  return buf;
+}
+
+}  // namespace
+
+Introspector::Introspector(const Options& options) : options_(options) {
+  CYQR_CHECK(options_.metrics != nullptr);
+  CYQR_CHECK(options_.traces != nullptr);
+  CYQR_CHECK(options_.flight != nullptr);
+}
+
+void Introspector::AddStatusSection(const std::string& name,
+                                    std::function<std::string()> render) {
+  CYQR_CHECK(render != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  sections_.emplace_back(name, std::move(render));
+}
+
+IntrospectPage Introspector::HandlePath(const std::string& path) const {
+  // Strip any query string: the pages take no parameters, but a scraper
+  // appending ?format=... should still land on the right page.
+  const size_t query = path.find('?');
+  const std::string clean =
+      query == std::string::npos ? path : path.substr(0, query);
+  IntrospectPage page;
+  if (clean == "/metrics") {
+    page.content_type = kPromText;
+    page.body = options_.metrics->ExpositionText();
+  } else if (clean == "/statusz" || clean == "/") {
+    page.content_type = kTextPlain;
+    page.body = RenderStatusz();
+  } else if (clean == "/tracez") {
+    page.content_type = kTextPlain;
+    page.body = RenderTracez();
+  } else if (clean == "/flightz") {
+    page.content_type = kJson;
+    page.body = options_.flight->JournalJson(options_.flightz_max_events);
+  } else {
+    page.status_code = 404;
+    page.content_type = kTextPlain;
+    page.body =
+        "not found: " + clean +
+        "\nknown endpoints: /metrics /statusz /tracez /flightz\n";
+  }
+  return page;
+}
+
+std::string Introspector::RenderStatusz() const {
+  std::string out = "cyqr statusz\n";
+  if (!options_.build_info.empty()) {
+    out += "build: " + options_.build_info + "\n";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "uptime_seconds: %.3f\n",
+                uptime_seconds());
+  out += buf;
+  out += "flight_events_recorded: " +
+         std::to_string(options_.flight->events_recorded_total()) + "\n";
+  out += "flight_events_dropped: " +
+         std::to_string(options_.flight->events_dropped_total()) + "\n";
+  out += "flight_threads: " +
+         std::to_string(options_.flight->thread_count()) + "\n";
+  out += "traces_sampled: " +
+         std::to_string(options_.traces->sampled_total()) + "\n";
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, render] : sections_) {
+    out += name + ": " + render() + "\n";
+  }
+  return out;
+}
+
+std::string Introspector::RenderTracez() const {
+  std::string out = "cyqr tracez\n";
+  const auto buckets = options_.traces->Snapshot();
+  if (buckets.empty()) out += "(no traces sampled yet)\n";
+  for (const auto& bucket : buckets) {
+    out += "\n== outcome: " + bucket.outcome + " ==\n";
+    const auto render = [&out](const char* title,
+                               const std::vector<TraceRecord>& records) {
+      out += title;
+      out += ":\n";
+      for (const TraceRecord& record : records) {
+        char id_hex[24];
+        std::snprintf(id_hex, sizeof(id_hex), "%016llx",
+                      static_cast<unsigned long long>(record.trace_id));
+        out += "  trace_id=";
+        out += id_hex;
+        out += " total_ms=" + FormatMillis(record.total_millis);
+        out += " seq=" + std::to_string(record.sequence);
+        out += " path=" + record.path + "\n";
+      }
+    };
+    render("slowest", bucket.slowest);
+    render("recent", bucket.recent);
+  }
+  return out;
+}
+
+}  // namespace cyqr

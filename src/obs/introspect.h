@@ -1,0 +1,88 @@
+#ifndef CYCLEQR_OBS_INTROSPECT_H_
+#define CYCLEQR_OBS_INTROSPECT_H_
+
+#include <functional>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/stopwatch.h"
+#include "core/thread_annotations.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace cyqr {
+
+/// One rendered introspection page: what an HTTP front end (or a test)
+/// sends back verbatim. The introspector is transport-agnostic on purpose
+/// — it lives in obs and knows nothing about sockets; serving's
+/// HttpEndpoint (or a unit test calling HandlePath directly) supplies the
+/// transport.
+struct IntrospectPage {
+  int status_code = 200;         // 200 or 404.
+  std::string content_type;      // e.g. "text/plain; version=0.0.4".
+  std::string body;
+};
+
+/// Renders the live-introspection page set over the process's
+/// observability state:
+///
+///   /metrics  — Prometheus text exposition of the metrics registry
+///               (histogram buckets carry trace-id exemplars).
+///   /statusz  — uptime, build info, flight-recorder stats, plus every
+///               registered status section (breaker state, queue depth,
+///               collective generation, ...) as `key: value` lines.
+///   /tracez   — the TraceSampler's retained traces per outcome bucket:
+///               N slowest and N most recent, with hex trace ids that
+///               exemplars in /metrics resolve against.
+///   /flightz  — the newest slice of the flight recorder's stitched
+///               journal, as the same JSON a crash dump writes.
+///
+/// Thread safety: HandlePath is safe from any number of front-end threads;
+/// every underlying store (registry, sampler, recorder) has concurrent
+/// snapshot reads, and the section list is mutex-guarded.
+class Introspector {
+ public:
+  struct Options {
+    MetricsRegistry* metrics = nullptr;       // Required.
+    TraceSampler* traces = nullptr;           // Required.
+    FlightRecorder* flight = nullptr;         // Required.
+    /// /flightz response bound, in events (newest kept).
+    size_t flightz_max_events = 512;
+    /// Free-form build/version string shown on /statusz.
+    std::string build_info;
+  };
+
+  explicit Introspector(const Options& options);
+  Introspector(const Introspector&) = delete;
+  Introspector& operator=(const Introspector&) = delete;
+
+  /// Adds a `name: <render()>` line to /statusz. Renderers run on the
+  /// serving thread of each /statusz hit, so they must be cheap and
+  /// thread-safe (typically a gauge read or a lock-guarded accessor).
+  void AddStatusSection(const std::string& name,
+                        std::function<std::string()> render);
+
+  /// Routes one request path ("/metrics", "/statusz?x" — the query string
+  /// is ignored) to its page; unknown paths get a 404 listing the known
+  /// endpoints.
+  IntrospectPage HandlePath(const std::string& path) const;
+
+  double uptime_seconds() const { return birth_.ElapsedSeconds(); }
+
+ private:
+  std::string RenderStatusz() const;
+  std::string RenderTracez() const;
+
+  const Options options_;
+  Stopwatch birth_;
+  mutable std::mutex mu_;
+  std::vector<std::pair<std::string, std::function<std::string()>>>
+      sections_ CYQR_GUARDED_BY(mu_);
+};
+
+}  // namespace cyqr
+
+#endif  // CYCLEQR_OBS_INTROSPECT_H_

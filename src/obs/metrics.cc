@@ -4,9 +4,9 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
-#include <fstream>
 
 #include "core/check.h"
+#include "core/file_util.h"
 
 namespace cyqr {
 
@@ -168,16 +168,13 @@ std::string JsonLabels(const MetricLabels& labels) {
   return out;
 }
 
-[[nodiscard]] Status WriteStringToFile(const std::string& content,
-                                       const std::string& path) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out.is_open()) {
-    return Status::IoError("cannot open " + path + " for writing");
-  }
-  out << content;
-  out.flush();
-  if (!out.good()) return Status::IoError("failed writing " + path);
-  return Status::OK();
+/// Lowercase-hex rendering of an exemplar trace id (matches the /tracez
+/// display format, so an id scraped from /metrics greps straight into it).
+std::string TraceIdHex(uint64_t id) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(id));
+  return buf;
 }
 
 }  // namespace
@@ -193,6 +190,7 @@ Histogram::Histogram(std::vector<double> bounds)
   }
   const size_t n = bounds_.size() + 1;
   buckets_ = std::make_unique<std::atomic<int64_t>[]>(n);
+  exemplars_ = std::make_unique<ExemplarSlot[]>(n);
   for (size_t i = 0; i < n; ++i) {
     // ordering: relaxed — zeroes a just-allocated array before any reader can
     // hold a reference to it.
@@ -210,7 +208,7 @@ std::vector<double> Histogram::DefaultTimeBoundsMicros() {
           1e4,  5e4,   1e5,   5e5,   1e6, 5e6};
 }
 
-void Histogram::Observe(double value) {
+void Histogram::Observe(double value, uint64_t exemplar_id) {
   // Linear scan instead of binary search: latency distributions put most
   // observations in the first buckets, so the common case is one or two
   // well-predicted comparisons (lower_bound mispredicts ~log2(n) times).
@@ -225,8 +223,28 @@ void Histogram::Observe(double value) {
   // ordering: relaxed — observability counter/snapshot; no other memory is
   // published or consumed through it.
   buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  if (exemplar_id != 0) {
+    // ordering: relaxed — exemplars are last-writer-wins breadcrumbs;
+    // tearing across the (id, value) pair is accepted by contract.
+    exemplars_[bucket].trace_id.store(exemplar_id,
+                                      std::memory_order_relaxed);
+    // ordering: relaxed — same breadcrumb contract as the id store above.
+    exemplars_[bucket].value.store(value, std::memory_order_relaxed);
+  }
   AtomicAdd(&sum_, value);
   AtomicMax(&max_, value);
+}
+
+uint64_t Histogram::ExemplarTraceId(size_t i) const {
+  CYQR_CHECK_LE(i, bounds_.size());
+  // ordering: relaxed — breadcrumb snapshot; staleness is acceptable.
+  return exemplars_[i].trace_id.load(std::memory_order_relaxed);
+}
+
+double Histogram::ExemplarValue(size_t i) const {
+  CYQR_CHECK_LE(i, bounds_.size());
+  // ordering: relaxed — breadcrumb snapshot; staleness is acceptable.
+  return exemplars_[i].value.load(std::memory_order_relaxed);
 }
 
 int64_t Histogram::Count() const {
@@ -282,6 +300,15 @@ void Histogram::MergeFrom(const Histogram& other) {
     // ordering: relaxed — merge tallies; snapshot consistency is not promised
     // across buckets.
     buckets_[i].fetch_add(other.BucketCount(i), std::memory_order_relaxed);
+    const uint64_t exemplar = other.ExemplarTraceId(i);
+    if (exemplar != 0) {
+      // ordering: relaxed — same last-writer-wins breadcrumb contract
+      // as Observe.
+      exemplars_[i].trace_id.store(exemplar, std::memory_order_relaxed);
+      // ordering: relaxed — breadcrumb contract, as above.
+      exemplars_[i].value.store(other.ExemplarValue(i),
+                                std::memory_order_relaxed);
+    }
   }
   AtomicAdd(&sum_, other.Sum());
   AtomicMax(&max_, other.Max());
@@ -386,17 +413,28 @@ std::string MetricsRegistry::ExpositionText() const {
                FormatNumber(inst.gauge->Value()) + "\n";
       } else {
         const Histogram& h = *inst.histogram;
+        // OpenMetrics-style exemplar suffix: a bucket that saw an exemplar
+        // appends ` # {trace_id="<hex>"} <value>` — the join key into
+        // /tracez for one concrete request that landed in that bucket.
+        const auto exemplar_suffix = [&h](size_t i) -> std::string {
+          const uint64_t id = h.ExemplarTraceId(i);
+          if (id == 0) return "";
+          return " # {trace_id=\"" + TraceIdHex(id) + "\"} " +
+                 FormatNumber(h.ExemplarValue(i));
+        };
         int64_t cumulative = 0;
         for (size_t i = 0; i < h.bounds().size(); ++i) {
           cumulative += h.BucketCount(i);
           out += name + "_bucket" +
                  LabelBlock(inst.labels,
                             "le=\"" + FormatNumber(h.bounds()[i]) + "\"") +
-                 " " + FormatNumber(static_cast<double>(cumulative)) + "\n";
+                 " " + FormatNumber(static_cast<double>(cumulative)) +
+                 exemplar_suffix(i) + "\n";
         }
         out += name + "_bucket" +
                LabelBlock(inst.labels, "le=\"+Inf\"") + " " +
-               FormatNumber(static_cast<double>(h.Count())) + "\n";
+               FormatNumber(static_cast<double>(h.Count())) +
+               exemplar_suffix(h.bounds().size()) + "\n";
         out += name + "_sum" + LabelBlock(inst.labels) + " " +
                FormatNumber(h.Sum()) + "\n";
         out += name + "_count" + LabelBlock(inst.labels) + " " +
@@ -460,11 +498,13 @@ std::string MetricsRegistry::JsonSnapshot() const {
 }
 
 Status MetricsRegistry::WriteJsonSnapshot(const std::string& path) const {
-  return WriteStringToFile(JsonSnapshot(), path);
+  // Atomic (temp + fsync + rename): a scraper or the bench checker reading
+  // mid-write sees the previous complete snapshot, never a torn file.
+  return WriteStringToFileAtomic(path, JsonSnapshot());
 }
 
 Status MetricsRegistry::WriteExpositionText(const std::string& path) const {
-  return WriteStringToFile(ExpositionText(), path);
+  return WriteStringToFileAtomic(path, ExpositionText());
 }
 
 MetricsRegistry& MetricsRegistry::Global() {

@@ -111,7 +111,23 @@ class Histogram {
   /// Default bounds for micro-scale timings in microseconds.
   static std::vector<double> DefaultTimeBoundsMicros();
 
-  void Observe(double value);
+  void Observe(double value) { Observe(value, 0); }
+
+  /// Observe with an exemplar: `exemplar_id` (a Trace id; 0 = none) is
+  /// remembered for the bucket the value lands in, last writer wins. This
+  /// is the latency-to-trace join: a p99 bucket in /metrics carries the id
+  /// of one concrete request that landed there, findable in /tracez.
+  /// The (id, value) pair is two relaxed stores — a concurrent reader can
+  /// pair one writer's id with another's value; exemplars are debugging
+  /// breadcrumbs, not accounting, so tearing across the pair is accepted
+  /// (each field individually is never torn).
+  void Observe(double value, uint64_t exemplar_id);
+
+  /// Exemplar trace id for bucket `i` (same indexing as BucketCount);
+  /// 0 when the bucket never saw an exemplar.
+  uint64_t ExemplarTraceId(size_t i) const;
+  /// The observed value that carried that exemplar (0 when none).
+  double ExemplarValue(size_t i) const;
 
   /// Total observations, derived by summing the buckets at read time:
   /// Observe stays three atomic ops, and snapshot reads are cold.
@@ -135,13 +151,22 @@ class Histogram {
   /// +Inf overflow bucket.
   int64_t BucketCount(size_t i) const;
 
-  /// Adds `other`'s buckets/count/sum/max into this histogram. The two
+  /// Adds `other`'s buckets/count/sum/max into this histogram, taking
+  /// `other`'s exemplar for every bucket where it has one. The two
   /// histograms must share identical bounds.
   void MergeFrom(const Histogram& other);
 
  private:
+  /// Last exemplar seen by one bucket. See Observe(value, exemplar_id) for
+  /// the (deliberate) cross-field tearing contract.
+  struct ExemplarSlot {
+    std::atomic<uint64_t> trace_id{0};
+    std::atomic<double> value{0.0};
+  };
+
   std::vector<double> bounds_;
   std::unique_ptr<std::atomic<int64_t>[]> buckets_;  // bounds_.size() + 1.
+  std::unique_ptr<ExemplarSlot[]> exemplars_;        // bounds_.size() + 1.
   std::atomic<double> sum_{0.0};
   std::atomic<double> max_{0.0};
 };

@@ -1,9 +1,31 @@
 #include "obs/trace.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <utility>
 
 namespace cyqr {
+
+namespace {
+
+/// Trace id source: process-unique, monotonic, never 0 (0 is the "no
+/// exemplar" sentinel in Histogram::Observe).
+std::atomic<uint64_t> g_next_trace_id{1};
+
+}  // namespace
+
+Trace::Trace()
+    // ordering: relaxed — ids only need uniqueness; nothing is published
+    // through the counter.
+    : id_(g_next_trace_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+std::string Trace::IdHex() const {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(id_));
+  return buf;
+}
 
 void Trace::Annotate(std::string name, std::string detail) {
   TraceEvent event;
@@ -73,6 +95,79 @@ void TraceSpan::End() {
   event.duration_millis = watch_.ElapsedMicros() / 1000.0;
   event.ok = ok_;
   trace_->AddEvent(std::move(event));
+}
+
+TraceSampler::TraceSampler(size_t keep_per_bucket)
+    : keep_per_bucket_(std::max<size_t>(keep_per_bucket, 1)) {}
+
+void TraceSampler::Sample(const Trace& trace, const std::string& outcome) {
+  TraceRecord record;
+  record.trace_id = trace.id();
+  record.outcome = outcome;
+  record.total_millis = trace.ElapsedMillis();
+  record.path = trace.PathString();
+  std::lock_guard<std::mutex> lock(mu_);
+  record.sequence = ++sampled_total_;
+  Bucket& bucket = buckets_[outcome];
+  bucket.recent.push_back(record);
+  if (bucket.recent.size() > keep_per_bucket_) bucket.recent.pop_front();
+  // Slowest list: insert in sorted position, drop the fastest overflow.
+  // Linear work over <= keep_per_bucket_ entries — bounded and tiny.
+  auto pos = std::upper_bound(
+      bucket.slowest.begin(), bucket.slowest.end(), record,
+      [](const TraceRecord& a, const TraceRecord& b) {
+        return a.total_millis > b.total_millis;
+      });
+  bucket.slowest.insert(pos, std::move(record));
+  if (bucket.slowest.size() > keep_per_bucket_) bucket.slowest.pop_back();
+}
+
+std::vector<TraceSampler::BucketView> TraceSampler::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<BucketView> out;
+  out.reserve(buckets_.size());
+  for (const auto& [outcome, bucket] : buckets_) {
+    BucketView view;
+    view.outcome = outcome;
+    view.recent.assign(bucket.recent.rbegin(),
+                       bucket.recent.rend());  // Newest first.
+    view.slowest = bucket.slowest;
+    out.push_back(std::move(view));
+  }
+  return out;
+}
+
+bool TraceSampler::Find(uint64_t trace_id, TraceRecord* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [outcome, bucket] : buckets_) {
+    (void)outcome;
+    for (const TraceRecord& record : bucket.recent) {
+      if (record.trace_id == trace_id) {
+        if (out != nullptr) *out = record;
+        return true;
+      }
+    }
+    for (const TraceRecord& record : bucket.slowest) {
+      if (record.trace_id == trace_id) {
+        if (out != nullptr) *out = record;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+int64_t TraceSampler::sampled_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sampled_total_;
+}
+
+TraceSampler& TraceSampler::Global() {
+  // Leaked like MetricsRegistry::Global(): requests may finish (and
+  // sample) during process teardown.
+  static TraceSampler* const kGlobal =
+      new TraceSampler();  // NOLINT(cyqr-raw-owning-new)
+  return *kGlobal;
 }
 
 }  // namespace cyqr

@@ -1,11 +1,16 @@
 #ifndef CYCLEQR_OBS_TRACE_H_
 #define CYCLEQR_OBS_TRACE_H_
 
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/status.h"
 #include "core/stopwatch.h"
+#include "core/thread_annotations.h"
 
 namespace cyqr {
 
@@ -32,9 +37,18 @@ struct TraceEvent {
 ///   // "rung:cache:error(IoError: ...) -> rung:direct-model:hit"
 class Trace {
  public:
-  Trace() = default;
+  Trace();
   Trace(const Trace&) = delete;
   Trace& operator=(const Trace&) = delete;
+
+  /// Process-unique trace id, assigned at construction, never 0. This is
+  /// the exemplar key: Histogram::Observe(value, trace.id()) links a
+  /// latency bucket in /metrics to this trace in /tracez.
+  uint64_t id() const { return id_; }
+
+  /// Lowercase 16-digit hex rendering of id() — the display/join format
+  /// used by /tracez and exemplar annotations.
+  std::string IdHex() const;
 
   void AddEvent(TraceEvent event) { events_.push_back(std::move(event)); }
 
@@ -53,6 +67,7 @@ class Trace {
   std::string ToString() const;
 
  private:
+  const uint64_t id_;
   Stopwatch watch_;
   std::vector<TraceEvent> events_;
 };
@@ -89,6 +104,70 @@ class TraceSpan {
   Stopwatch watch_;
   bool ok_ = true;
   bool ended_ = false;
+};
+
+/// Compact summary of one finished trace, as retained by TraceSampler:
+/// everything /tracez needs to render a row, nothing request-sized.
+struct TraceRecord {
+  uint64_t trace_id = 0;
+  std::string outcome;  // Bucket key, e.g. "cache", "rule-based", "failed".
+  double total_millis = 0.0;
+  std::string path;    // Trace::PathString() at finish time.
+  int64_t sequence = 0;  // Admission order into the sampler.
+};
+
+/// Bounded keep-the-interesting-ones sampler over finished traces — the
+/// store behind /tracez. Per outcome bucket it retains the N most recent
+/// and the N slowest finished traces; everything else is forgotten, so
+/// memory stays O(outcomes * N) no matter how long the process serves.
+///
+/// Mutex-per-sample is deliberate: Sample() runs once per *finished
+/// request* (not per event), and the serving hot path already takes
+/// heavier locks per request. The sampler is not on the rung fast path.
+class TraceSampler {
+ public:
+  static constexpr size_t kDefaultKeepPerBucket = 8;
+
+  explicit TraceSampler(size_t keep_per_bucket = kDefaultKeepPerBucket);
+  TraceSampler(const TraceSampler&) = delete;
+  TraceSampler& operator=(const TraceSampler&) = delete;
+
+  /// Records one finished trace under `outcome`. Reads PathString() and
+  /// ElapsedMillis() from the trace; call after the last span ended.
+  void Sample(const Trace& trace, const std::string& outcome);
+
+  /// One outcome bucket's retained traces, both views sorted for display:
+  /// `recent` newest-first, `slowest` slowest-first.
+  struct BucketView {
+    std::string outcome;
+    std::vector<TraceRecord> recent;
+    std::vector<TraceRecord> slowest;
+  };
+
+  /// All buckets, sorted by outcome name (deterministic rendering).
+  std::vector<BucketView> Snapshot() const;
+
+  /// Looks up a retained trace by id (the exemplar join). False when the
+  /// trace was never sampled or has since been evicted.
+  bool Find(uint64_t trace_id, TraceRecord* out) const;
+
+  /// Finished traces ever offered to Sample().
+  int64_t sampled_total() const;
+
+  /// Process-wide sampler (what /tracez serves). Library code takes a
+  /// sampler pointer so tests can isolate their samples.
+  static TraceSampler& Global();
+
+ private:
+  struct Bucket {
+    std::deque<TraceRecord> recent;    // Newest at the back.
+    std::vector<TraceRecord> slowest;  // Sorted slowest-first.
+  };
+
+  const size_t keep_per_bucket_;
+  mutable std::mutex mu_;
+  std::map<std::string, Bucket> buckets_ CYQR_GUARDED_BY(mu_);
+  int64_t sampled_total_ CYQR_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace cyqr

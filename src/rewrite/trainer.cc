@@ -11,11 +11,13 @@
 
 #include "core/check.h"
 #include "core/collective.h"
+#include "core/fault.h"
 #include "core/math.h"
 #include "core/stopwatch.h"
 #include "core/thread_annotations.h"
 #include "decode/topn_sampling.h"
 #include "nn/grad_accum.h"
+#include "obs/flight_recorder.h"
 #include "rewrite/checkpoint.h"
 #include "tensor/ops.h"
 
@@ -192,6 +194,13 @@ Status ComputeOwnedShards(int rank, const StepPlan& plan, CycleModel& model,
   const std::vector<Tensor> params = model.Parameters();
   for (int64_t j = rank; j < num_shards;
        j += ctx.collective.world_size()) {
+    // Flight event: args = (step, shard index). The dp crash drill kills a
+    // worker right after this loop, so the dump tail names the in-flight
+    // step and the shards this rank finished before dying.
+    static const int32_t kShardEvent =
+        FlightRecorder::Global().InternName("train.shard_compute");
+    FlightRecorder::Global().Record(FlightCategory::kTrain, kShardEvent,
+                                    plan.step, j);
     Rng decode_rng(
         Rng::DeriveStreamSeed(options.seed, plan.step, j, /*substream=*/1));
     const Rng dropout_rng(
@@ -222,6 +231,22 @@ Status ComputeOwnedShards(int rank, const StepPlan& plan, CycleModel& model,
     return ctx.collective.StallUntilAborted();
   }
   return Status::OK();
+}
+
+/// Barrier() wrapped in a flight event: args = (step, wait micros). The
+/// recorder lives in obs, which core cannot link against, so barrier waits
+/// are booked here at the call sites instead of inside Collective. A crash
+/// dump whose tail is a barrier_wait with no matching step_end reads as
+/// "died parked at the rendezvous for that step".
+Status TimedBarrier(Collective& collective, int64_t step) {
+  static const int32_t kBarrierEvent =
+      FlightRecorder::Global().InternName("collective.barrier_wait");
+  Stopwatch watch;
+  Status status = collective.Barrier();
+  FlightRecorder::Global().Record(
+      FlightCategory::kCollective, kBarrierEvent, step,
+      static_cast<int64_t>(watch.ElapsedMicros()));
+  return status;
 }
 
 }  // namespace
@@ -272,6 +297,12 @@ std::vector<SeqPair> CycleTrainer::SampleBatch() {
 
 double CycleTrainer::StepOnce() {
   ++step_;
+  // Flight event: args = (step, 0). A crash dump whose last train event is
+  // a step_begin with no matching step_end identifies the in-flight step.
+  static const int32_t kStepBeginEvent =
+      FlightRecorder::Global().InternName("train.step_begin");
+  FlightRecorder::Global().Record(FlightCategory::kTrain, kStepBeginEvent,
+                                  step_, 0);
   Stopwatch step_watch;
   optimizer_.set_learning_rate(schedule_.LearningRate(step_));
   const std::vector<SeqPair> batch = SampleBatch();
@@ -303,6 +334,11 @@ double CycleTrainer::StepOnce() {
     // and the streak counter drives the rollback decision in Train().
     ++consecutive_anomalies_;
     ++skipped_batches_;
+    // Flight event: args = (step, anomaly streak length).
+    static const int32_t kAnomalyEvent =
+        FlightRecorder::Global().InternName("train.anomaly");
+    FlightRecorder::Global().Record(FlightCategory::kTrain, kAnomalyEvent,
+                                    step_, consecutive_anomalies_);
   } else {
     consecutive_anomalies_ = 0;
     optimizer_.Step();
@@ -318,6 +354,12 @@ double CycleTrainer::StepOnce() {
     if (std::isfinite(grad_norm)) obs_->grad_norm->Set(grad_norm);
     if (anomaly) obs_->skipped_batches->Increment();
   }
+  // Flight event: args = (step, step time in micros).
+  static const int32_t kStepEndEvent =
+      FlightRecorder::Global().InternName("train.step_end");
+  FlightRecorder::Global().Record(
+      FlightCategory::kTrain, kStepEndEvent, step_,
+      static_cast<int64_t>(step_watch.ElapsedMicros()));
   return loss_value;
 }
 
@@ -425,6 +467,12 @@ Status CycleTrainer::SaveCheckpoint() {
   if (obs_ != nullptr) {
     obs_->checkpoint_write->Observe(write_watch.ElapsedMillis());
   }
+  // Flight event: args = (step, write time in micros).
+  static const int32_t kCheckpointEvent =
+      FlightRecorder::Global().InternName("train.checkpoint");
+  FlightRecorder::Global().Record(
+      FlightCategory::kTrain, kCheckpointEvent, step_,
+      static_cast<int64_t>(write_watch.ElapsedMicros()));
   if (consecutive_anomalies_ == 0) last_good_checkpoint_ = path;
   return Status::OK();
 }
@@ -475,6 +523,15 @@ Status CycleTrainer::PostStep(const std::vector<SeqPair>& eval_pairs) {
     }
     ++rollbacks_;
     if (obs_ != nullptr) obs_->rollbacks->Increment();
+    // Flight event: args = (step being abandoned, rollback count).
+    static const int32_t kRollbackEvent =
+        FlightRecorder::Global().InternName("train.rollback");
+    FlightRecorder::Global().Record(FlightCategory::kTrain, kRollbackEvent,
+                                    step_, rollbacks_);
+    // Post-mortem seam: dump the journal *before* Resume rewinds trainer
+    // state, so the anomaly streak that forced the rollback is on record.
+    // No-op when no flight dump is armed.
+    NotifyFaultDump("trainer-rollback");
     if (rollbacks_ > options_.max_rollbacks) {
       return Status::Internal(
           "training diverged: rollback budget exhausted after " +
@@ -546,15 +603,19 @@ Status CycleTrainer::TrainDataParallel(
       replica.SetTraining(true);
       const std::vector<Tensor> master_params = model_->Parameters();
       const std::vector<Tensor> replica_params = replica.Parameters();
+      int64_t last_step = 0;  // Step label for the next plan-barrier wait.
       for (;;) {
-        if (!ctx.collective.Barrier().ok()) return;  // Plan barrier.
+        // Plan barrier.
+        if (!TimedBarrier(ctx.collective, last_step).ok()) return;
         const StepPlan plan = ctx.SnapshotPlan();
         if (plan.stop) return;
+        last_step = plan.step;
         CopyParameters(replica_params, master_params);
         if (!ComputeOwnedShards(rank, plan, replica, options_, ctx).ok()) {
           return;
         }
-        if (!ctx.collective.Barrier().ok()) return;  // Compute barrier.
+        // Compute barrier.
+        if (!TimedBarrier(ctx.collective, plan.step).ok()) return;
         if (!ctx.collective.AllReduceSum(rank, &ctx.slots).ok()) return;
       }
     }, static_cast<int>(r));
@@ -576,12 +637,21 @@ Status CycleTrainer::TrainDataParallel(
     for (const SeqPair& p : plan.batch) {
       batch_tokens += static_cast<int64_t>(p.src.size() + p.tgt.size());
     }
+    // Flight event: args = (step, batch tokens). Mirrors StepOnce's
+    // step_begin so a dp crash dump tail names the in-flight step the same
+    // way the single-process dump does.
+    static const int32_t kDpStepBeginEvent =
+        FlightRecorder::Global().InternName("train.step_begin");
+    FlightRecorder::Global().Record(FlightCategory::kTrain,
+                                    kDpStepBeginEvent, next_step,
+                                    batch_tokens);
     ctx.PublishPlan(plan);
-    run_status = ctx.collective.Barrier();  // Plan barrier.
+    run_status = TimedBarrier(ctx.collective, next_step);  // Plan barrier.
     if (!run_status.ok()) break;
     run_status = ComputeOwnedShards(0, plan, *model_, options_, ctx);
     if (!run_status.ok()) break;
-    run_status = ctx.collective.Barrier();  // Compute barrier.
+    // Compute barrier.
+    run_status = TimedBarrier(ctx.collective, next_step);
     if (!run_status.ok()) break;
     run_status = ctx.collective.AllReduceSum(0, &ctx.slots);
     if (!run_status.ok()) break;
@@ -614,6 +684,12 @@ Status CycleTrainer::TrainDataParallel(
     if (anomaly) {
       ++consecutive_anomalies_;
       ++skipped_batches_;
+      // Flight event: args = (step, anomaly streak length).
+      static const int32_t kDpAnomalyEvent =
+          FlightRecorder::Global().InternName("train.anomaly");
+      FlightRecorder::Global().Record(FlightCategory::kTrain,
+                                      kDpAnomalyEvent, step_,
+                                      consecutive_anomalies_);
     } else {
       consecutive_anomalies_ = 0;
       optimizer_.Step();
@@ -631,6 +707,12 @@ Status CycleTrainer::TrainDataParallel(
       obs_->collective_wait->Observe(ctx.collective.total_wait_millis() -
                                      wait_before);
     }
+    // Flight event: args = (step, step time in micros).
+    static const int32_t kDpStepEndEvent =
+        FlightRecorder::Global().InternName("train.step_end");
+    FlightRecorder::Global().Record(
+        FlightCategory::kTrain, kDpStepEndEvent, step_,
+        static_cast<int64_t>(step_watch.ElapsedMicros()));
     run_status = PostStep(eval_pairs);
     if (!run_status.ok()) break;
   }
@@ -641,7 +723,7 @@ Status CycleTrainer::TrainDataParallel(
     StepPlan stop_plan;
     stop_plan.stop = true;
     ctx.PublishPlan(stop_plan);
-    run_status = ctx.collective.Barrier();
+    run_status = TimedBarrier(ctx.collective, step_);
   } else {
     // Poison the collective so workers blocked at any barrier unwind with
     // the same status instead of timing out one by one. No-op when the

@@ -6,6 +6,7 @@
 #include "core/check.h"
 #include "core/stopwatch.h"
 #include "core/string_util.h"
+#include "obs/flight_recorder.h"
 
 namespace cyqr {
 namespace {
@@ -22,6 +23,12 @@ const char* RungLabel(RewriteService::Source source) {
 constexpr int64_t kExactObservationWindow = 1024;
 constexpr int64_t kLatencySampleStride = 8;
 constexpr int64_t kDeadlineSampleStride = 16;
+
+// Flight-recorder rung outcome codes (arg1 of the serving.rung event).
+constexpr int64_t kFlightOutcomeAnswer = 0;
+constexpr int64_t kFlightOutcomeMiss = 1;
+constexpr int64_t kFlightOutcomeError = 2;
+constexpr int64_t kFlightOutcomeSkipped = 3;
 
 }  // namespace
 
@@ -111,6 +118,18 @@ void RewriteService::InitInstruments(MetricsRegistry* metrics) {
 
 void RewriteService::RecordRungOutcome(Source rung, const Status& status,
                                        bool skipped, double latency_millis) {
+  // Always-on flight event, even with metrics disabled: the recorder is
+  // the transient-failure journal, and a rung outcome is exactly the kind
+  // of breadcrumb a post-mortem needs. args = (rung index, outcome code).
+  static const int32_t kRungEvent =
+      FlightRecorder::Global().InternName("serving.rung");
+  const int64_t outcome = skipped ? kFlightOutcomeSkipped
+                          : status.ok() ? kFlightOutcomeAnswer
+                          : status.code() == StatusCode::kNotFound
+                              ? kFlightOutcomeMiss
+                              : kFlightOutcomeError;
+  FlightRecorder::Global().Record(FlightCategory::kServing, kRungEvent,
+                                  static_cast<int64_t>(rung), outcome);
   if (obs_ == nullptr) return;
   RungInstruments& in = obs_->rungs[static_cast<size_t>(rung)];
   if (skipped) {
@@ -199,20 +218,45 @@ RewriteService::Response RewriteService::Serve(
   // histograms; every counter stays exact.
   int64_t request_seq = 0;
   const auto finish = [&] {
+    // Flight event per finished request: (answering rung, latency in
+    // microseconds). Always on — this is what makes the tail of a
+    // post-mortem journal identify the in-flight request mix.
+    static const int32_t kRequestEvent =
+        FlightRecorder::Global().InternName("serving.request");
+    FlightRecorder::Global().Record(
+        FlightCategory::kServing, kRequestEvent,
+        static_cast<int64_t>(response.source),
+        static_cast<int64_t>(response.latency_millis * 1000.0));
+    if (options_.trace_sampler != nullptr && trace != nullptr) {
+      options_.trace_sampler->Sample(*trace, SourceName(response.source));
+    }
     if (obs_ == nullptr) return;
     if (SampleObservation(request_seq, kExactObservationWindow,
                           kLatencySampleStride)) {
-      obs_->request_latency->Observe(response.latency_millis);
+      // The trace id rides along as the bucket's exemplar — the /metrics
+      // -> /tracez join for one concrete request in this bucket.
+      obs_->request_latency->Observe(response.latency_millis,
+                                     trace != nullptr ? trace->id() : 0);
     }
     if (response.degraded) obs_->degraded->Increment();
   };
 
+  std::unique_ptr<Trace> sampled_trace;
   if (obs_ != nullptr) {
     request_seq = obs_->requests->FetchIncrement();
     if (SampleObservation(request_seq, kExactObservationWindow,
                           kDeadlineSampleStride) &&
         !deadline.infinite()) {
       obs_->deadline_remaining->Observe(deadline.RemainingMillis());
+    }
+    // Exemplar coverage: requests the caller did not trace get a
+    // service-created trace exactly when their latency will be observed,
+    // so every exemplar written by finish() resolves in the sampler.
+    if (trace == nullptr && options_.trace_sampler != nullptr &&
+        SampleObservation(request_seq, kExactObservationWindow,
+                          kLatencySampleStride)) {
+      sampled_trace = std::make_unique<Trace>();
+      trace = sampled_trace.get();
     }
   }
 
@@ -233,6 +277,7 @@ RewriteService::Response RewriteService::Serve(
       // ordering: relaxed — observability counter/snapshot; no other memory is
       // published or consumed through it.
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      span.End();  // Close the span before finish() samples the trace.
       finish();
       return response;
     }
@@ -310,6 +355,7 @@ RewriteService::Response RewriteService::Serve(
         // is published or consumed through it.
         degraded_requests_.fetch_add(1, std::memory_order_relaxed);
       }
+      span.End();  // Close the span before finish() samples the trace.
       finish();
       return response;
     }
@@ -369,6 +415,7 @@ RewriteService::Response RewriteService::Serve(
       // ordering: relaxed — observability counter/snapshot; no other memory is
       // published or consumed through it.
       degraded_requests_.fetch_add(1, std::memory_order_relaxed);
+      span.End();  // Close the span before finish() samples the trace.
       finish();
       return response;
     }

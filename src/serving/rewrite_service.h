@@ -51,6 +51,11 @@ class RewriteService {
     /// The model rung is skipped when less than this much budget remains.
     double model_min_budget_millis = 1.0;
     CircuitBreaker::Options breaker;
+    /// When non-null, finished traced requests are sampled here (the
+    /// /tracez store). Requests the caller did not trace get a
+    /// service-created trace on the same 1-in-N cadence as the latency
+    /// histogram, so every /metrics exemplar resolves in /tracez.
+    TraceSampler* trace_sampler = nullptr;
   };
 
   /// The ladder rung that produced the answer (also used to label rung

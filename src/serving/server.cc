@@ -6,9 +6,11 @@
 #include <utility>
 
 #include "core/check.h"
+#include "core/fault.h"
 #include "core/rng.h"
 #include "core/stopwatch.h"
 #include "core/thread_annotations.h"
+#include "obs/flight_recorder.h"
 
 namespace cyqr {
 
@@ -75,6 +77,14 @@ void RewriteServer::UpdateQueueDepthGauge() {
 }
 
 void RewriteServer::ShedRequest(Callback done, double retry_after_millis) {
+  // Flight event: args = (queue depth at shed time, retry-after micros).
+  // Sheds are exactly the transient the recorder exists to explain.
+  static const int32_t kShedEvent =
+      FlightRecorder::Global().InternName("queue.shed");
+  FlightRecorder::Global().Record(
+      FlightCategory::kQueue, kShedEvent,
+      static_cast<int64_t>(pool_->QueueDepth()),
+      static_cast<int64_t>(retry_after_millis * 1000.0));
   // ordering: relaxed — observability counter/snapshot; no other memory is
   // published or consumed through it.
   shed_.fetch_add(1, std::memory_order_relaxed);
@@ -91,6 +101,14 @@ void RewriteServer::RunRequest(std::vector<std::string> query_tokens,
                                double submit_elapsed_snapshot, Callback done) {
   const double queue_wait_millis =
       deadline.ElapsedMillis() - submit_elapsed_snapshot;
+  // Flight event: args = (request seq, queue wait in micros) — a journal
+  // tail full of queue.run with growing waits reads as overload onset.
+  static const int32_t kRunEvent =
+      FlightRecorder::Global().InternName("queue.run");
+  FlightRecorder::Global().Record(
+      FlightCategory::kQueue, kRunEvent,
+      static_cast<int64_t>(request_seq),
+      static_cast<int64_t>(queue_wait_millis * 1000.0));
 
   // Jitter stream: per-request, keyed by submission order, so a drill with
   // a fixed submission schedule replays the same backoffs.
@@ -184,6 +202,14 @@ bool RewriteServer::Submit(std::vector<std::string> query_tokens,
       next_seq_.fetch_add(1, std::memory_order_relaxed);
   const double submit_elapsed_snapshot = deadline.ElapsedMillis();
 
+  // Flight event: args = (request seq, queue depth at admission).
+  static const int32_t kSubmitEvent =
+      FlightRecorder::Global().InternName("queue.submit");
+  FlightRecorder::Global().Record(
+      FlightCategory::kQueue, kSubmitEvent,
+      static_cast<int64_t>(request_seq),
+      static_cast<int64_t>(pool_->QueueDepth()));
+
   ThreadPool::Job job;
   job.run = [this, query_tokens = std::move(query_tokens), deadline,
              request_seq, submit_elapsed_snapshot, done]() mutable {
@@ -249,6 +275,10 @@ void RewriteServer::Drain() {
   accepting_.store(false, std::memory_order_release);
   pool_->Drain();
   UpdateQueueDepthGauge();
+  // Post-mortem seam: a drained server is the end of this process's
+  // serving life, so leave the journal behind (when a flight dump is
+  // armed) exactly as the kill paths do. No-op when unarmed.
+  NotifyFaultDump("server-drain");
 }
 
 }  // namespace cyqr

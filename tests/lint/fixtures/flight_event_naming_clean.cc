@@ -1,0 +1,32 @@
+// Fixture: conventional flight event names and rule look-alikes — clean.
+#include "flight_event_naming_clean.h"
+
+#include <string>
+
+// A free function named like the recorder method: not a member call.
+int InternName(const std::string& name);
+
+void InternConventionalNames(FakeRecorder& recorder) {
+  int rung = recorder.InternName("serving.rung");
+  int shed = recorder.InternName("queue.shed");
+  int step = recorder.InternName("train.step_begin");
+  int wait = GlobalRecorder()->InternName("collective.barrier_wait");
+  int deep = recorder.InternName("train.dp.worker_loop");
+  (void)rung;
+  (void)shed;
+  (void)step;
+  (void)wait;
+  (void)deep;
+}
+
+void RuleLookAlikes(FakeRecorder& recorder) {
+  // Free-function call: no receiver, so the rule must not fire even
+  // though the name is junk.
+  int free_call = InternName("not an event at all");
+  // Runtime-built name: invisible to the lexer, left to the recorder's
+  // own validation.
+  const std::string dynamic = std::string("serving.") + "rung";
+  int built = recorder.InternName(dynamic.c_str());
+  (void)free_call;
+  (void)built;
+}

@@ -1,0 +1,14 @@
+#ifndef FIXTURE_FLIGHT_EVENT_NAMING_CLEAN_H_
+#define FIXTURE_FLIGHT_EVENT_NAMING_CLEAN_H_
+
+#include <string>
+
+/// Stand-in recorder: the rule matches member calls by name, so the
+/// fixture never needs the real cyqr_obs library.
+struct FakeRecorder {
+  int InternName(const char* name);
+};
+
+FakeRecorder* GlobalRecorder();
+
+#endif  // FIXTURE_FLIGHT_EVENT_NAMING_CLEAN_H_

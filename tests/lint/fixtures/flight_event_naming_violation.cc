@@ -1,0 +1,17 @@
+// Fixture: every way to break the <layer>.<event> convention.
+#include "flight_event_naming_violation.h"
+
+void InternBadNames(FakeBadRecorder& recorder) {
+  int a = recorder.InternName("rung");              // single segment
+  int b = recorder.InternName("Serving.rung");      // uppercase
+  int c = recorder.InternName("serving..rung");     // empty segment
+  int d = recorder.InternName(".serving.rung");     // leading dot
+  int e = recorder.InternName("serving.rung.");     // trailing dot
+  int f = recorder.InternName("serving rung");      // space
+  (void)a;
+  (void)b;
+  (void)c;
+  (void)d;
+  (void)e;
+  (void)f;
+}

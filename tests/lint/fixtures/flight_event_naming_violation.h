@@ -1,0 +1,8 @@
+#ifndef FIXTURE_FLIGHT_EVENT_NAMING_VIOLATION_H_
+#define FIXTURE_FLIGHT_EVENT_NAMING_VIOLATION_H_
+
+struct FakeBadRecorder {
+  int InternName(const char* name);
+};
+
+#endif  // FIXTURE_FLIGHT_EVENT_NAMING_VIOLATION_H_

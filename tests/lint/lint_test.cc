@@ -137,6 +137,23 @@ TEST(LintTest, MetricsNamingClean) {
       RunRule("metrics-naming", "metrics_naming_clean.cc").empty());
 }
 
+TEST(LintTest, FlightEventNamingViolations) {
+  const auto diags =
+      RunRule("metrics-naming", "flight_event_naming_violation.cc");
+  // Single segment, uppercase, empty segment, leading dot, trailing dot,
+  // space.
+  EXPECT_EQ(Lines(diags), std::vector<int>({5, 6, 7, 8, 9, 10}));
+  for (const Diagnostic& d : diags) {
+    EXPECT_EQ(d.rule, "metrics-naming");
+    EXPECT_NE(d.message.find("<layer>.<event>"), std::string::npos);
+  }
+}
+
+TEST(LintTest, FlightEventNamingClean) {
+  EXPECT_TRUE(
+      RunRule("metrics-naming", "flight_event_naming_clean.cc").empty());
+}
+
 TEST(LintTest, NolintSuppressesSameLineNextLineAndBare) {
   EXPECT_TRUE(RunRule("raw-owning-new", "nolint_suppressed.cc").empty());
 }

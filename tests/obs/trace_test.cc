@@ -265,5 +265,59 @@ TEST(ServingMetricsTest, SkippedRungsAreBookedAsSkippedNotAttempts) {
   EXPECT_EQ(RungAnswers(registry, "passthrough"), 1);
 }
 
+TEST(TraceIdTest, IdsAreUniqueNonZeroAndHexRendered) {
+  Trace a;
+  Trace b;
+  EXPECT_NE(a.id(), 0u);
+  EXPECT_NE(b.id(), 0u);
+  EXPECT_NE(a.id(), b.id());
+  const std::string hex = a.IdHex();
+  ASSERT_EQ(hex.size(), 16u);  // Fixed-width: the /tracez join format.
+  for (char c : hex) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+        << "non-hex char '" << c << "' in " << hex;
+  }
+}
+
+TEST(TraceSamplerTest, RetainsRecentAndSlowestPerOutcome) {
+  TraceSampler sampler(/*keep_per_bucket=*/2);
+  // Four traces in one bucket: with keep=2 only the 2 newest and the 2
+  // slowest survive.
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 4; ++i) {
+    Trace t;
+    t.Annotate("serve", "cache");
+    sampler.Sample(t, "cache");
+    ids.push_back(t.id());
+  }
+  Trace failed;
+  sampler.Sample(failed, "failed");
+
+  const std::vector<TraceSampler::BucketView> buckets = sampler.Snapshot();
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_EQ(buckets[0].outcome, "cache");  // Sorted by outcome name.
+  EXPECT_EQ(buckets[1].outcome, "failed");
+  ASSERT_EQ(buckets[0].recent.size(), 2u);
+  EXPECT_EQ(buckets[0].slowest.size(), 2u);
+  // Recent view is newest-first: the last two sampled ids, in reverse.
+  EXPECT_EQ(buckets[0].recent[0].trace_id, ids[3]);
+  EXPECT_EQ(buckets[0].recent[1].trace_id, ids[2]);
+  EXPECT_EQ(sampler.sampled_total(), 5);
+}
+
+TEST(TraceSamplerTest, FindResolvesRetainedIdsAndRejectsEvicted) {
+  TraceSampler sampler(/*keep_per_bucket=*/1);
+  Trace first;
+  sampler.Sample(first, "cache");
+  Trace second;
+  sampler.Sample(second, "cache");
+
+  TraceRecord record;
+  ASSERT_TRUE(sampler.Find(second.id(), &record));
+  EXPECT_EQ(record.trace_id, second.id());
+  EXPECT_EQ(record.outcome, "cache");
+  EXPECT_FALSE(sampler.Find(0xdead0000beef0000u, &record));
+}
+
 }  // namespace
 }  // namespace cyqr

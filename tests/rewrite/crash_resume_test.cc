@@ -9,11 +9,15 @@
 #include <unistd.h>
 
 #include <cmath>
+#include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "obs/flight_recorder.h"
 #include "rewrite/checkpoint.h"
 #include "rewrite/trainer.h"
 
@@ -178,6 +182,58 @@ TEST(CrashResumeTest, ForkKillResumeMatchesUninterrupted) {
   EXPECT_EQ(FlattenParams(*reference.model), FlattenParams(*resumed.model));
   EXPECT_EQ(reference.trainer->grad_norms(),
             resumed.trainer->grad_norms());
+}
+
+TEST(CrashResumeTest, ForkKillLeavesParseableFlightDump) {
+  // The post-mortem half of the kill drill: a hard _Exit(137) mid-run
+  // must still leave a readable flight.json (written by the fault-dump
+  // hook on the way down) whose newest events identify the in-flight
+  // step. The child arms EnableCrashDump exactly like `cyqr_cli train`.
+  const TinyWorld world = MakeTinyWorld();
+  CycleTrainerOptions options = DrillOptions();
+  options.checkpoint_every = 5;
+  options.checkpoint_dir = FreshDir("flight_dump_drill");
+  const std::string dump_path =
+      testing::TempDir() + "/flight_dump_drill.json";
+  std::filesystem::remove(dump_path);
+
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    FlightRecorder::Global().EnableCrashDump(dump_path);
+    CycleTrainerOptions crash = options;
+    crash.fault_plan.crash_at_step = 13;
+    TrainRun child = MakeRun(world, crash);
+    const Status status = child.trainer->Train(world.pairs);
+    (void)status;
+    _Exit(0);  // Reaching here means the crash never fired.
+  }
+  int wstatus = 0;
+  ASSERT_EQ(waitpid(pid, &wstatus, 0), pid);
+  ASSERT_TRUE(WIFEXITED(wstatus));
+  ASSERT_EQ(WEXITSTATUS(wstatus), 137) << "child did not die at the drill";
+
+  std::ifstream in(dump_path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "no flight dump at " << dump_path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string dump = buf.str();
+  // No torn temp file left next to the finished dump.
+  EXPECT_FALSE(std::filesystem::exists(dump_path + ".crash.tmp"));
+
+  EXPECT_NE(dump.find("{\"version\":1"), std::string::npos);
+  EXPECT_NE(dump.find("\"source\":\"simulated-crash\""), std::string::npos);
+  // The newest step event pins the death to the in-flight step: the
+  // crash fires as step 13 is entered, so the journal's last
+  // train.step_begin is step 12 (and step 12 also finished).
+  const size_t last_begin = dump.rfind("\"name\":\"train.step_begin\"");
+  ASSERT_NE(last_begin, std::string::npos);
+  EXPECT_EQ(dump.compare(last_begin + std::strlen("\"name\":\"train.step_begin\""),
+                         std::strlen(",\"arg0\":12"), ",\"arg0\":12"),
+            0)
+      << dump.substr(last_begin, 120);
+  EXPECT_NE(dump.find("\"name\":\"train.step_end\""), std::string::npos);
+  EXPECT_NE(dump.find("\"name\":\"train.checkpoint\""), std::string::npos);
 }
 
 TEST(CrashResumeTest, DataParallelForkKillResumeWithDifferentWorkerCount) {

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/fault.h"
+#include "obs/flight_recorder.h"
 #include "serving/fault_injection.h"
 #include "serving/server.h"
 
@@ -334,6 +335,38 @@ TEST(ConcurrentFaultDrillTest, AccountingStaysExactThroughOutageAndFlapping) {
   EXPECT_EQ(faults.cache.injector().injected_errors(),
             plan.cache.fail_calls_end - plan.cache.fail_calls_begin);
   EXPECT_GT(service.breaker().times_opened(), 0);
+
+  // --- Flight-recorder coherence under the same contention. ---
+  // The serving path records into the global recorder from every worker
+  // thread while this drill runs; the stitched journal must come back
+  // time-ordered with no torn slots (garbage args) despite the lock-free
+  // writes. This is the in-process half of the TSan drill — the sanitizer
+  // preset runs this whole binary.
+  const std::vector<FlightEvent> journal =
+      FlightRecorder::Global().Snapshot();
+  ASSERT_FALSE(journal.empty());
+  int64_t last_t = 0;
+  int64_t rung_events = 0;
+  int64_t queue_events = 0;
+  for (const FlightEvent& event : journal) {
+    EXPECT_GE(event.t_micros, last_t);
+    last_t = event.t_micros;
+    if (std::string(event.name) == "serving.rung") {
+      ++rung_events;
+      // arg0 = rung index, arg1 = outcome code: both live in [0, 3]; a
+      // torn slot would surface out-of-range garbage here.
+      EXPECT_GE(event.arg0, 0);
+      EXPECT_LE(event.arg0, 3);
+      EXPECT_GE(event.arg1, 0);
+      EXPECT_LE(event.arg1, 3);
+    } else if (std::string(event.name).rfind("queue.", 0) == 0) {
+      ++queue_events;
+    }
+  }
+  EXPECT_GT(rung_events, 0);
+  EXPECT_GT(queue_events, 0);
+  EXPECT_GT(FlightRecorder::Global().events_recorded_total(), 0);
+  EXPECT_GT(FlightRecorder::Global().thread_count(), 0);
 }
 
 }  // namespace

@@ -8,6 +8,8 @@
 //              [--checkpoint-every N] [--checkpoint-dir DIR]
 //              [--checkpoint-keep K] [--resume]
 //              [--crash-at-step N] [--nan-at-step N]
+//              [--introspect-port P] [--introspect-hold-ms MS]
+//              [--flight-out flight.json]
 //       Builds a vocabulary, trains the cycle model (Algorithm 1), and
 //       stores config + vocabulary + parameters in MODEL_DIR. With
 //       --checkpoint-every the run is crash-safe: atomic checksummed
@@ -15,6 +17,12 @@
 //       MODEL_DIR/checkpoints) and --resume continues bit-identically
 //       from the newest one. --crash-at-step / --nan-at-step are the
 //       fault-drill hooks (die as if SIGKILLed / poison one batch).
+//       The flight recorder is always armed: any kill/fault dumps the
+//       event journal to --flight-out (default MODEL_DIR/flight.json),
+//       and a clean run writes it there on exit. --introspect-port
+//       serves /metrics /statusz /tracez /flightz live during training
+//       (0 = ephemeral; --introspect-hold-ms keeps the endpoint up
+//       after the run for scraping).
 //
 //   cyqr rewrite --model MODEL_DIR --query "phone for grandpa" [--k 3]
 //       Runs the Figure 3 inference pipeline on one query.
@@ -32,7 +40,8 @@
 //              [--cache-latency-ms F] [--fault-seed S]
 //              [--threads N] [--queue-depth D] [--shed-policy reject|oldest]
 //              [--metrics-out metrics.json] [--metrics-prom metrics.prom]
-//              [--print-trace N]
+//              [--print-trace N] [--introspect-port P]
+//              [--introspect-hold-ms MS] [--flight-out flight.json]
 //       Replays traffic through the fault-tolerant serving ladder
 //       (cache -> ... -> identity passthrough) with optional cache fault
 //       injection, and reports rung mix, degradation, and latency.
@@ -44,9 +53,14 @@
 //       after the replay; --print-trace prints the per-request trace (the
 //       exact rung path) for the first N requests (single-threaded mode
 //       only). train accepts the same two metrics flags for its
-//       cyqr_train_* telemetry.
+//       cyqr_train_* telemetry. --introspect-port serves the live
+//       /metrics /statusz /tracez /flightz pages during the replay
+//       (and, with --introspect-hold-ms, for a scrape window after it);
+//       --flight-out arms the crash dump and writes the flight journal
+//       there when the replay completes.
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -58,6 +72,8 @@
 #include "core/flags.h"
 #include "core/stopwatch.h"
 #include "core/string_util.h"
+#include "obs/flight_recorder.h"
+#include "obs/introspect.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "datagen/io.h"
@@ -65,6 +81,7 @@
 #include "rewrite/trainer.h"
 #include "nn/serialize.h"
 #include "serving/fault_injection.h"
+#include "serving/http_endpoint.h"
 #include "serving/rewrite_service.h"
 #include "serving/server.h"
 #include "text/tokenizer.h"
@@ -104,6 +121,53 @@ int DumpMetricsFiles(const std::string& json_path,
                 prom_path.c_str());
   }
   return 0;
+}
+
+/// The live-introspection stack behind --introspect-port: the page
+/// renderer plus the loopback HTTP front end serving it. Holding the
+/// struct keeps both alive until the subcommand finishes.
+struct IntrospectionStack {
+  std::unique_ptr<Introspector> introspector;
+  std::unique_ptr<HttpEndpoint> endpoint;
+};
+
+/// Starts /metrics, /statusz, /tracez and /flightz on 127.0.0.1:`port`
+/// (0 picks a free port) over the process-global registry, trace sampler
+/// and flight recorder. Returns null on bind/listen failure (reported).
+std::unique_ptr<IntrospectionStack> StartIntrospection(
+    int port, const std::string& build_info) {
+  auto stack = std::make_unique<IntrospectionStack>();
+  Introspector::Options options;
+  options.metrics = &MetricsRegistry::Global();
+  options.traces = &TraceSampler::Global();
+  options.flight = &FlightRecorder::Global();
+  options.build_info = build_info;
+  stack->introspector = std::make_unique<Introspector>(options);
+  HttpEndpoint::Options endpoint_options;
+  endpoint_options.port = port;
+  stack->endpoint = std::make_unique<HttpEndpoint>(endpoint_options);
+  RegisterIntrospectionRoutes(stack->endpoint.get(),
+                              stack->introspector.get());
+  const Status started = stack->endpoint->Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "error: %s\n", started.ToString().c_str());
+    return nullptr;
+  }
+  std::printf("introspection: http://127.0.0.1:%d/statusz\n",
+              stack->endpoint->port());
+  std::fflush(stdout);  // A smoke harness reads the port before we finish.
+  return stack;
+}
+
+/// Keeps the introspection endpoint alive `hold_ms` after the subcommand's
+/// work, so an external scraper (the CI smoke) can probe a quiesced
+/// process before the endpoint tears down.
+void HoldIntrospection(const IntrospectionStack* stack, int64_t hold_ms) {
+  if (stack == nullptr || hold_ms <= 0) return;
+  std::printf("holding introspection endpoint for %lld ms\n",
+              static_cast<long long>(hold_ms));
+  std::fflush(stdout);
+  std::this_thread::sleep_for(std::chrono::milliseconds(hold_ms));
 }
 
 int GenerateData(const FlagParser& flags) {
@@ -175,11 +239,29 @@ int Train(const FlagParser& flags) {
                  "[--crash-worker-rank R --crash-worker-at-step N] "
                  "[--stall-worker-rank R --stall-worker-at-step N] "
                  "[--metrics-out metrics.json] "
-                 "[--metrics-prom metrics.prom]\n");
+                 "[--metrics-prom metrics.prom] "
+                 "[--introspect-port P] [--introspect-hold-ms MS] "
+                 "[--flight-out flight.json]\n");
     return 2;
   }
   const std::string metrics_out = flags.GetString("metrics-out");
   const std::string metrics_prom = flags.GetString("metrics-prom");
+  const int64_t introspect_port = flags.GetInt("introspect-port", -1);
+  const int64_t introspect_hold_ms = flags.GetInt("introspect-hold-ms", 0);
+  std::string flight_out = flags.GetString("flight-out");
+  if (flight_out.empty()) flight_out = out_dir + "/flight.json";
+  // The model dir is created before training (not after, like the model
+  // files) so the armed flight dump — and a mid-run kill drill — always
+  // has somewhere to land.
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  if (ec) {
+    return Fail(Status::IoError("cannot create directory " + out_dir));
+  }
+  // Always-on post-mortem: every fault path (simulated crash, collective
+  // abort, guardrail rollback, SIGSEGV/SIGABRT) leaves the stitched
+  // journal at --flight-out; clean runs write it explicitly below.
+  FlightRecorder::Global().EnableCrashDump(flight_out);
   Result<std::vector<TokenPair>> pairs = LoadTokenPairs(data_path);
   if (!pairs.ok()) return Fail(pairs.status());
   Result<Vocabulary> vocab = BuildVocabFromPairs(pairs.value());
@@ -214,7 +296,8 @@ int Train(const FlagParser& flags) {
       (options.checkpoint_every > 0 || resume)) {
     options.checkpoint_dir = out_dir + "/checkpoints";
   }
-  if (!metrics_out.empty() || !metrics_prom.empty()) {
+  if (!metrics_out.empty() || !metrics_prom.empty() ||
+      introspect_port >= 0) {
     options.metrics = &MetricsRegistry::Global();
   }
   // Fault-drill hooks.
@@ -252,6 +335,19 @@ int Train(const FlagParser& flags) {
       return Fail(resumed);
     }
   }
+  std::unique_ptr<IntrospectionStack> introspection;
+  if (introspect_port >= 0) {
+    introspection = StartIntrospection(static_cast<int>(introspect_port),
+                                       "cyqr_cli train");
+    if (introspection == nullptr) return 1;
+    // Sections must stay thread-safe: renderers run on endpoint threads
+    // while the trainer mutates its own (unsynchronized) state, so only
+    // immutable or atomic values are exposed here.
+    introspection->introspector->AddStatusSection(
+        "subcommand", [] { return std::string("train"); });
+    introspection->introspector->AddStatusSection(
+        "flight_dump_path", [flight_out] { return flight_out; });
+  }
   // With --eval-every the training pairs double as the curve's eval set
   // (the trainer samples options.eval_queries of them per point).
   const Status trained =
@@ -278,6 +374,16 @@ int Train(const FlagParser& flags) {
     const Status curve_status = WriteStringToFileAtomic(curve_out, tsv);
     if (!curve_status.ok()) return Fail(curve_status);
   }
+  // Clean runs leave the same journal a fault path would have dumped, so
+  // "what did the last run do?" has one answer regardless of outcome.
+  const Status journal = FlightRecorder::Global().WriteJournal(flight_out);
+  if (journal.ok()) {
+    std::printf("flight journal written to %s\n", flight_out.c_str());
+  } else {
+    std::fprintf(stderr, "warning: flight journal not written: %s\n",
+                 journal.ToString().c_str());
+  }
+  HoldIntrospection(introspection.get(), introspect_hold_ms);
   if (!trained.ok()) return Fail(trained);
   if (metrics_code != 0) return metrics_code;
   std::printf("trained in %.1fs\n", watch.ElapsedSeconds());
@@ -288,8 +394,6 @@ int Train(const FlagParser& flags) {
                 static_cast<long long>(trainer.rollbacks()));
   }
 
-  std::error_code ec;
-  std::filesystem::create_directories(out_dir, ec);
   Status s = SaveCycleConfig(config, out_dir + "/config.txt");
   if (!s.ok()) return Fail(s);
   s = vocab.value().Save(out_dir + "/vocab.txt");
@@ -457,7 +561,9 @@ int ServeTraffic(const FlagParser& flags) {
                  "[--fault-seed S] [--threads N] [--queue-depth D] "
                  "[--shed-policy reject|oldest] "
                  "[--metrics-out metrics.json] "
-                 "[--metrics-prom metrics.prom] [--print-trace N]\n");
+                 "[--metrics-prom metrics.prom] [--print-trace N] "
+                 "[--introspect-port P] [--introspect-hold-ms MS] "
+                 "[--flight-out flight.json]\n");
     return 2;
   }
   // Read every flag before any I/O, so an early load failure doesn't make
@@ -481,6 +587,9 @@ int ServeTraffic(const FlagParser& flags) {
   const std::string metrics_out = flags.GetString("metrics-out");
   const std::string metrics_prom = flags.GetString("metrics-prom");
   const int64_t print_trace = flags.GetInt("print-trace", 0);
+  const int64_t introspect_port = flags.GetInt("introspect-port", -1);
+  const int64_t introspect_hold_ms = flags.GetInt("introspect-hold-ms", 0);
+  const std::string flight_out = flags.GetString("flight-out");
   ShedPolicy shed_policy = ShedPolicy::kRejectNewest;
   if (!ParseShedPolicy(shed_policy_text, &shed_policy)) {
     return Fail(Status::InvalidArgument("unknown --shed-policy '" +
@@ -499,10 +608,35 @@ int ServeTraffic(const FlagParser& flags) {
   }
   std::printf("kv snapshot: %zu records (checksum ok)\n", store.size());
 
+  if (!flight_out.empty()) {
+    // Arm the post-mortem dump: fault paths (and the server's drain) leave
+    // the flight journal here; the clean path writes it explicitly below.
+    FlightRecorder::Global().EnableCrashDump(flight_out);
+  }
+  if (introspect_port >= 0) {
+    // Exemplars written to /metrics must resolve on /tracez, so the
+    // service samples traces whenever the endpoint is up.
+    options.trace_sampler = &TraceSampler::Global();
+  }
   KvStoreBackend cache(&store);
   FaultyKvBackend faulty_cache(&cache, cache_faults, fault_seed);
   RewriteService service(&faulty_cache, nullptr, nullptr, options,
                          &MetricsRegistry::Global());
+
+  std::unique_ptr<IntrospectionStack> introspection;
+  if (introspect_port >= 0) {
+    introspection = StartIntrospection(static_cast<int>(introspect_port),
+                                       "cyqr_cli serve");
+    if (introspection == nullptr) return 1;
+    introspection->introspector->AddStatusSection(
+        "subcommand", [] { return std::string("serve"); });
+    // Breaker state reads an atomic; safe from endpoint threads.
+    introspection->introspector->AddStatusSection(
+        "breaker_state", [&service] {
+          return std::string(
+              CircuitBreaker::StateName(service.breaker().state()));
+        });
+  }
 
   if (threads > 0) {
     // Concurrent front end: --threads workers drain a bounded admission
@@ -518,6 +652,18 @@ int ServeTraffic(const FlagParser& flags) {
     server_options.default_budget_millis = options.default_budget_millis;
     RewriteServer server(&service, server_options,
                          &MetricsRegistry::Global());
+    if (introspection != nullptr) {
+      // Queue sections read relaxed atomics off the live server; the
+      // endpoint is stopped before `server` leaves scope below.
+      introspection->introspector->AddStatusSection(
+          "queue_depth", [&server] {
+            return std::to_string(server.QueueDepth());
+          });
+      introspection->introspector->AddStatusSection(
+          "shed_total", [&server] {
+            return std::to_string(server.shed_total());
+          });
+    }
 
     LatencyRecorder latency;
     std::atomic<int64_t> by_source[4] = {};
@@ -568,6 +714,19 @@ int ServeTraffic(const FlagParser& flags) {
     std::printf("latency:       p50 %.3f ms, p99 %.3f ms, max %.3f ms\n",
                 latency.PercentileMillis(0.5),
                 latency.PercentileMillis(0.99), latency.MaxMillis());
+    if (!flight_out.empty()) {
+      // Overwrites the drain-time dump with the full post-replay journal.
+      const Status journal =
+          FlightRecorder::Global().WriteJournal(flight_out);
+      if (!journal.ok()) {
+        std::fprintf(stderr, "warning: flight journal not written: %s\n",
+                     journal.ToString().c_str());
+      }
+    }
+    HoldIntrospection(introspection.get(), introspect_hold_ms);
+    // The queue status sections capture `server` by reference; stop the
+    // endpoint before it goes out of scope.
+    if (introspection != nullptr) introspection->endpoint->Stop();
     return DumpMetricsFiles(metrics_out, metrics_prom);
   }
 
@@ -609,6 +768,14 @@ int ServeTraffic(const FlagParser& flags) {
   std::printf("latency:       p50 %.3f ms, p99 %.3f ms, max %.3f ms\n",
               latency.PercentileMillis(0.5), latency.PercentileMillis(0.99),
               latency.MaxMillis());
+  if (!flight_out.empty()) {
+    const Status journal = FlightRecorder::Global().WriteJournal(flight_out);
+    if (!journal.ok()) {
+      std::fprintf(stderr, "warning: flight journal not written: %s\n",
+                   journal.ToString().c_str());
+    }
+  }
+  HoldIntrospection(introspection.get(), introspect_hold_ms);
   return DumpMetricsFiles(metrics_out, metrics_prom);
 }
 

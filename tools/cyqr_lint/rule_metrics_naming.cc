@@ -41,11 +41,34 @@ bool ValidName(const std::string& name) {
   return false;
 }
 
+/// Mirror of cyqr::IsValidFlightEventName: `<layer>.<event>` — lowercase
+/// [a-z0-9_] segments, at least two, separated by single dots.
+bool ValidFlightEventName(const std::string& name) {
+  if (name.empty()) return false;
+  int segments = 1;
+  size_t segment_len = 0;
+  for (const char c : name) {
+    if (c == '.') {
+      if (segment_len == 0) return false;  // Leading or doubled dot.
+      ++segments;
+      segment_len = 0;
+    } else if ((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+               c == '_') {
+      ++segment_len;
+    } else {
+      return false;
+    }
+  }
+  return segment_len > 0 && segments >= 2;
+}
+
 /// Enforces the instrument naming convention (DESIGN.md "Observability")
-/// at MetricsRegistry call sites: the first argument of GetCounter /
+/// at MetricsRegistry call sites — the first argument of GetCounter /
 /// GetGauge / GetHistogram, when it is a string literal, must be a valid
-/// `cyqr_<layer>_<name>_<unit>` name. Names built at runtime are invisible
-/// to the lexer and are left to the registry's own CYQR_CHECK.
+/// `cyqr_<layer>_<name>_<unit>` name — and the flight-recorder convention
+/// at InternName call sites, whose literal must be a `<layer>.<event>`
+/// dotted name. Names built at runtime are invisible to the lexer and are
+/// left to the registry's / recorder's own CYQR_CHECK.
 class MetricsNamingRule : public Rule {
  public:
   const char* name() const override { return "metrics-naming"; }
@@ -56,10 +79,11 @@ class MetricsNamingRule : public Rule {
     for (size_t i = 0; i < toks.size(); ++i) {
       if (toks[i].kind != TokKind::kIdent) continue;
       const std::string& t = toks[i].text;
-      if (t != "GetCounter" && t != "GetGauge" && t != "GetHistogram") {
-        continue;
-      }
-      // Member call only (`registry.Get*` / `metrics->Get*`): a free
+      const bool is_metric =
+          t == "GetCounter" || t == "GetGauge" || t == "GetHistogram";
+      const bool is_flight = t == "InternName";
+      if (!is_metric && !is_flight) continue;
+      // Member call only (`registry.Get*` / `recorder.InternName`): a free
       // function that happens to share the name is not a registry.
       if (!(i >= 1 &&
             (IsPunct(toks, i - 1, ".") || IsPunct(toks, i - 1, "->")))) {
@@ -69,15 +93,22 @@ class MetricsNamingRule : public Rule {
           toks[i + 2].kind != TokKind::kString) {
         continue;
       }
-      const std::string& metric = toks[i + 2].aux;
-      if (ValidName(metric)) continue;
+      const std::string& literal = toks[i + 2].aux;
+      if (is_metric ? ValidName(literal) : ValidFlightEventName(literal)) {
+        continue;
+      }
       Diagnostic d;
       d.file = file.lex.path;
       d.line = toks[i + 2].line;
       d.rule = name();
-      d.message = "metric name \"" + metric + "\" violates the " +
-                  "cyqr_<layer>_<name>_<unit> convention (lowercase " +
-                  "[a-z0-9_], >= 4 segments, known unit suffix)";
+      d.message =
+          is_metric
+              ? "metric name \"" + literal + "\" violates the " +
+                    "cyqr_<layer>_<name>_<unit> convention (lowercase " +
+                    "[a-z0-9_], >= 4 segments, known unit suffix)"
+              : "flight event name \"" + literal + "\" violates the " +
+                    "<layer>.<event> convention (lowercase [a-z0-9_] " +
+                    "segments, >= 2, separated by single dots)";
       out->push_back(std::move(d));
     }
   }
